@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the simulator substrate: how much simulated
+//! machine time one host second buys.
+
+use cchunter_channels::{BitClock, BusChannelConfig, BusSpy, BusTrojan, Message, SpyLog};
+use cchunter_sim::{Cache, CacheConfig, ContextId, Machine, MachineConfig};
+use cchunter_workloads::noise::spawn_standard_noise;
+use cchunter_workloads::spec::Gobmk;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache_accesses(c: &mut Criterion) {
+    let config = CacheConfig {
+        capacity_bytes: 256 * 1024,
+        line_bytes: 64,
+        ways: 8,
+        hit_latency: 15,
+    };
+    let addrs: Vec<u64> = (0..10_000u64)
+        .map(|i| (i * 2_654_435_761) % (1 << 24))
+        .collect();
+    c.bench_function("l2_cache_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(config);
+            let ctx = ContextId::new(0, 0);
+            for &a in &addrs {
+                black_box(cache.access(a, ctx));
+            }
+            cache
+        })
+    });
+}
+
+fn bench_workload_quantum(c: &mut Criterion) {
+    c.bench_function("simulate_gobmk_2_5m_cycles", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                MachineConfig::builder()
+                    .quantum_cycles(2_500_000)
+                    .build()
+                    .unwrap(),
+            );
+            m.spawn(Box::new(Gobmk::new(1)), m.config().context_id(0, 0));
+            m.run_for(2_500_000);
+            m.stats()
+        })
+    });
+}
+
+fn bench_bus_channel_quantum(c: &mut Criterion) {
+    c.bench_function("simulate_bus_channel_2_5m_cycles", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                MachineConfig::builder()
+                    .quantum_cycles(2_500_000)
+                    .build()
+                    .unwrap(),
+            );
+            let clock = BitClock::new(10_000, 250_000);
+            let config = BusChannelConfig::new(Message::alternating(10), clock);
+            let log = SpyLog::new_handle();
+            m.spawn(
+                Box::new(BusTrojan::new(config.clone(), 0x1000_0000)),
+                m.config().context_id(0, 0),
+            );
+            m.spawn(
+                Box::new(BusSpy::new(config, 0x4000_0000, log)),
+                m.config().context_id(1, 0),
+            );
+            spawn_standard_noise(&mut m, 0, 3, 5);
+            m.run_for(2_500_000);
+            m.stats()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_accesses,
+    bench_workload_quantum,
+    bench_bus_channel_quantum
+);
+criterion_main!(benches);

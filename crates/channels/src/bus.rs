@@ -1,0 +1,495 @@
+//! The memory bus / QPI covert timing channel (paper §IV-A, after Wu et
+//! al., USENIX Security 2012).
+//!
+//! To transmit '1' the trojan repeatedly performs atomic unaligned memory
+//! accesses spanning two cache lines, each of which locks the memory bus
+//! (QPI platforms emulate the same behaviour); for '0' it leaves the bus
+//! alone. The spy — on a *different core* — streams through a large buffer
+//! so every load misses L2 and crosses the bus, and infers the bit from the
+//! average memory latency (Figure 2).
+//!
+//! At low bandwidths the trojan emits *bursts* of locks separated by
+//! dormancy (the paper §VI-A: low-bandwidth channels "create a certain
+//! number of conflicts … frequently followed by longer periods of
+//! dormancy"), which keeps each burst's event density high even when the
+//! average rate is tiny — exactly why CC-Hunter's likelihood ratio stays
+//! above 0.9 at 0.1 bps.
+
+use crate::message::Message;
+use crate::protocol::{BitClock, SpyLogHandle};
+use cchunter_sim::{Op, Program, ProgramView};
+
+/// Configuration shared by the trojan and spy of one bus channel.
+#[derive(Debug, Clone)]
+pub struct BusChannelConfig {
+    /// The message the trojan transmits.
+    pub message: Message,
+    /// The shared bit clock.
+    pub clock: BitClock,
+    /// Target cycles between consecutive bus locks inside a burst
+    /// (lock latency + pacing compute).
+    pub lock_interval: u64,
+    /// Locks per burst before a dormancy gap.
+    pub burst_locks: u64,
+    /// Upper bound on locks per '1' bit; long bit intervals spread this
+    /// budget across periodic bursts.
+    pub max_locks_per_bit: u64,
+    /// Loads per spy probe sequence.
+    pub probe_loads: u32,
+    /// Probe sequences the spy takes per sample window.
+    pub samples_per_bit: u32,
+}
+
+impl BusChannelConfig {
+    /// A channel transmitting `message` with the given clock and the
+    /// paper-calibrated defaults (≈ 20 locks per 100 k-cycle Δt window
+    /// inside a burst).
+    pub fn new(message: Message, clock: BitClock) -> Self {
+        BusChannelConfig {
+            message,
+            clock,
+            lock_interval: 5_000,
+            burst_locks: 400,
+            max_locks_per_bit: 24_000,
+            probe_loads: 8,
+            samples_per_bit: 6,
+        }
+    }
+
+    /// Dormancy gap between lock bursts within a '1' bit.
+    fn dormancy_gap(&self) -> u64 {
+        let bursts = (self.max_locks_per_bit / self.burst_locks).max(1);
+        let busy = self.burst_locks * self.lock_interval;
+        let per_burst_budget = self.clock.transmit_cycles() / bursts;
+        per_burst_budget.saturating_sub(busy).max(1)
+    }
+
+    /// Duration of one lock burst.
+    fn burst_cycles(&self) -> u64 {
+        self.burst_locks * self.lock_interval
+    }
+
+    /// Length of one burst-plus-dormancy slot on the shared grid. The spy
+    /// (synchronized with the trojan through the bit clock) samples inside
+    /// these slots, which is what keeps the channel decodable at very low
+    /// bandwidths.
+    pub fn burst_period(&self) -> u64 {
+        self.burst_cycles() + self.dormancy_gap()
+    }
+
+    /// Whether `now` (inside the bit starting at `bit_start`) falls within
+    /// a lock-burst slot.
+    pub fn in_burst(&self, now: u64, bit_start: u64) -> bool {
+        let rel = now.saturating_sub(bit_start);
+        rel % self.burst_period() < self.burst_cycles()
+    }
+
+    /// First cycle of the burst slot at or after `now`.
+    pub fn next_burst_start(&self, now: u64, bit_start: u64) -> u64 {
+        if self.in_burst(now, bit_start) {
+            return now;
+        }
+        let rel = now.saturating_sub(bit_start);
+        bit_start + (rel / self.burst_period() + 1) * self.burst_period()
+    }
+}
+
+/// The transmitting (trojan) side of the bus channel.
+#[derive(Debug)]
+pub struct BusTrojan {
+    config: BusChannelConfig,
+    lock_addr: u64,
+    locks_this_bit: u64,
+    locks_this_burst: u64,
+    current_bit: Option<usize>,
+    /// Alternate lock / pacing-compute ops.
+    pace_next: bool,
+}
+
+impl BusTrojan {
+    /// Creates the trojan. `lock_addr` is the line-pair address it issues
+    /// its atomic unaligned accesses against.
+    pub fn new(config: BusChannelConfig, lock_addr: u64) -> Self {
+        BusTrojan {
+            config,
+            lock_addr,
+            locks_this_bit: 0,
+            locks_this_burst: 0,
+            current_bit: None,
+            pace_next: false,
+        }
+    }
+}
+
+impl Program for BusTrojan {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+        if now >= clock.end_of_message(self.config.message.len()) {
+            return Op::Halt;
+        }
+        let Some(bit_index) = clock.bit_index(now) else {
+            // Before the agreed epoch: wait for it.
+            return Op::Idle {
+                cycles: clock.start() - now,
+            };
+        };
+        if self.current_bit != Some(bit_index) {
+            self.current_bit = Some(bit_index);
+            self.locks_this_bit = 0;
+            self.locks_this_burst = 0;
+            self.pace_next = false;
+        }
+        let bit = self.config.message.bit(bit_index).unwrap_or(false);
+        let in_transmit = clock.in_transmit(now);
+        if !bit || !in_transmit || self.locks_this_bit >= self.config.max_locks_per_bit {
+            // '0' bit, outside the transmit window, or budget exhausted:
+            // leave the bus un-contended until the next bit.
+            return Op::Idle {
+                cycles: clock.next_bit_start(now) - now,
+            };
+        }
+        if self.locks_this_burst >= self.config.burst_locks {
+            // Dormancy between bursts.
+            self.locks_this_burst = 0;
+            return Op::Idle {
+                cycles: self.config.dormancy_gap(),
+            };
+        }
+        if self.pace_next {
+            self.pace_next = false;
+            // Pace to the configured lock interval (the last latency was
+            // the lock op itself).
+            let pacing = self
+                .config
+                .lock_interval
+                .saturating_sub(view.last_latency)
+                .max(1);
+            return Op::Compute { cycles: pacing };
+        }
+        self.pace_next = true;
+        self.locks_this_bit += 1;
+        self.locks_this_burst += 1;
+        Op::AtomicUnaligned {
+            addr: self.lock_addr,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bus-trojan"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpyState {
+    /// Waiting for the next sample window.
+    Waiting,
+    /// Issuing the probe loads of one sequence.
+    Probing { issued: u32, start: u64 },
+}
+
+/// The receiving (spy) side of the bus channel.
+///
+/// The spy walks a streaming buffer (every load is a fresh line, so it
+/// always misses L2 and crosses the bus) and averages the per-load latency
+/// over each probe sequence; per-bit averages are decoded with the adaptive
+/// midpoint rule.
+#[derive(Debug)]
+pub struct BusSpy {
+    config: BusChannelConfig,
+    log: SpyLogHandle,
+    region_base: u64,
+    region_bytes: u64,
+    cursor: u64,
+    state: SpyState,
+    samples_this_bit: u32,
+    budget_bit: Option<usize>,
+    bit_sum: f64,
+    bit_count: u32,
+    acc_bit: Option<usize>,
+}
+
+impl BusSpy {
+    /// Creates the spy. `region_base` is the start of the streaming buffer
+    /// it probes through (must not collide with other programs' data).
+    pub fn new(config: BusChannelConfig, region_base: u64, log: SpyLogHandle) -> Self {
+        BusSpy {
+            config,
+            log,
+            region_base,
+            region_bytes: 8 * 1024 * 1024,
+            cursor: 0,
+            state: SpyState::Waiting,
+            samples_this_bit: 0,
+            budget_bit: None,
+            bit_sum: 0.0,
+            bit_count: 0,
+            acc_bit: None,
+        }
+    }
+
+    fn next_probe_addr(&mut self) -> u64 {
+        let addr = self.region_base + self.cursor;
+        self.cursor = (self.cursor + 64) % self.region_bytes;
+        addr
+    }
+
+    fn flush_bit(&mut self) {
+        if let Some(bit) = self.acc_bit.take() {
+            if self.bit_count > 0 {
+                self.log
+                    .borrow_mut()
+                    .push_bit(bit, self.bit_sum / self.bit_count as f64);
+            }
+        }
+        self.bit_sum = 0.0;
+        self.bit_count = 0;
+    }
+}
+
+impl Program for BusSpy {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+
+        // Finish an in-flight probe sequence first.
+        if let SpyState::Probing { issued, start } = self.state {
+            if issued < self.config.probe_loads {
+                self.state = SpyState::Probing {
+                    issued: issued + 1,
+                    start,
+                };
+                let addr = self.next_probe_addr();
+                return Op::Load { addr };
+            }
+            // Sequence complete: `now` is the completion of the last load.
+            let avg = (now - start) as f64 / self.config.probe_loads as f64;
+            let bit = clock.bit_index(start).unwrap_or(0);
+            if self.acc_bit != Some(bit) {
+                self.flush_bit();
+                self.acc_bit = Some(bit);
+            }
+            self.log.borrow_mut().push_sample(now, bit, avg);
+            self.bit_sum += avg;
+            self.bit_count += 1;
+            self.samples_this_bit += 1;
+            self.state = SpyState::Waiting;
+        }
+
+        if now >= clock.end_of_message(self.config.message.len()) {
+            self.flush_bit();
+            return Op::Halt;
+        }
+
+        // Start the next probe sequence when inside a sample window with
+        // budget left; otherwise sleep to the next window.
+        let in_window = clock.in_sample(now);
+        let window_bit = clock.bit_index(now);
+        if in_window && self.budget_bit != window_bit {
+            // A new bit interval begins: fresh sampling budget.
+            self.budget_bit = window_bit;
+            self.samples_this_bit = 0;
+        }
+        if in_window && self.samples_this_bit < self.config.samples_per_bit {
+            // Sample inside the shared burst grid's contention slots: a
+            // contended bus is only observable while the trojan locks it.
+            let bit_start = clock.bit_start(window_bit.unwrap_or(0));
+            if self.config.in_burst(now, bit_start) {
+                self.state = SpyState::Probing {
+                    issued: 1,
+                    start: now,
+                };
+                let addr = self.next_probe_addr();
+                return Op::Load { addr };
+            }
+            let next = self
+                .config
+                .next_burst_start(now, bit_start)
+                .min(clock.next_bit_start(now));
+            return Op::Idle {
+                cycles: (next - now).max(1),
+            };
+        }
+        let target = if now < clock.sample_start(now) {
+            clock.sample_start(now)
+        } else {
+            let next = clock.next_bit_start(now);
+            clock.sample_start(next)
+        };
+        Op::Idle {
+            cycles: (target - now).max(1),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bus-spy"
+    }
+}
+
+/// An evasion aide: emits bus locks at random (exponentially distributed)
+/// intervals, attempting to drown the channel's burst pattern in chaff
+/// (paper §III: "the trojan artificially inflating the patterns of random
+/// conflicts to evade detection").
+///
+/// The paper's counter-argument — that such noise destroys the channel's
+/// own reliability long before it hides the bursts — is demonstrated by
+/// the `evasion_study` experiment.
+#[derive(Debug)]
+pub struct LockChaff {
+    mean_interval: u64,
+    addr: u64,
+    /// xorshift state for the exponential draws.
+    rng: u64,
+}
+
+impl LockChaff {
+    /// Creates a chaff generator locking the bus once every
+    /// `mean_interval` cycles on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interval` is zero.
+    pub fn new(mean_interval: u64, addr: u64, seed: u64) -> Self {
+        assert!(mean_interval > 0, "mean interval must be nonzero");
+        LockChaff {
+            mean_interval,
+            addr,
+            rng: seed | 1,
+        }
+    }
+
+    fn next_gap(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        // Exponential via inverse CDF on a uniform in (0, 1).
+        let u = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        let gap = -(1.0 - u).ln() * self.mean_interval as f64;
+        gap.max(1.0) as u64
+    }
+}
+
+impl Program for LockChaff {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        // Alternate idle-gap / lock pairs; the gap dominates, so emitting
+        // the pair as two ops keeps the rate accurate.
+        if self.rng & 1 == 0 {
+            self.rng |= 1;
+            return Op::AtomicUnaligned { addr: self.addr };
+        }
+        let gap = self.next_gap();
+        self.rng &= !1;
+        Op::Idle { cycles: gap }
+    }
+
+    fn name(&self) -> &str {
+        "lock-chaff"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DecodeRule, SpyLog};
+    use cchunter_sim::{Machine, MachineConfig};
+
+    fn run_channel(message: Message, bit_cycles: u64) -> (Message, usize) {
+        let clock = BitClock::new(10_000, bit_cycles);
+        let config = BusChannelConfig::new(message.clone(), clock);
+        let mut machine = Machine::new(MachineConfig::default());
+        let log = SpyLog::new_handle();
+        let trojan_ctx = machine.config().context_id(0, 0);
+        let spy_ctx = machine.config().context_id(1, 0);
+        machine.spawn(
+            Box::new(BusTrojan::new(config.clone(), 0x1000_0000)),
+            trojan_ctx,
+        );
+        machine.spawn(
+            Box::new(BusSpy::new(config, 0x4000_0000, log.clone())),
+            spy_ctx,
+        );
+        let trace = machine.attach_trace();
+        machine.run_for(10_000 + bit_cycles * (message.len() as u64 + 1));
+        let locks = trace
+            .borrow()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, cchunter_sim::ProbeEvent::BusLock { .. }))
+            .count();
+        let decoded = log.borrow().decode(DecodeRule::Midpoint, message.len());
+        (decoded, locks)
+    }
+
+    #[test]
+    fn spy_decodes_alternating_message() {
+        let message = Message::alternating(8);
+        let (decoded, locks) = run_channel(message.clone(), 250_000);
+        assert!(locks > 0, "trojan must lock the bus");
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn spy_decodes_arbitrary_bits() {
+        let message = Message::from_bits(vec![
+            true, true, false, true, false, false, true, false, true, true,
+        ]);
+        let (decoded, _) = run_channel(message.clone(), 250_000);
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn zero_bits_produce_no_locks() {
+        let message = Message::from_bits(vec![false; 6]);
+        let (_, locks) = run_channel(message, 250_000);
+        assert_eq!(locks, 0);
+    }
+
+    #[test]
+    fn lock_budget_is_respected() {
+        let message = Message::from_bits(vec![true]);
+        let clock = BitClock::new(0, 2_000_000);
+        let mut config = BusChannelConfig::new(message, clock);
+        config.max_locks_per_bit = 50;
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        machine.spawn(Box::new(BusTrojan::new(config, 0x1000)), ctx);
+        machine.run_for(2_100_000);
+        assert!(machine.stats().bus_locks <= 50);
+        assert!(machine.stats().bus_locks >= 40, "budget mostly used");
+    }
+
+    #[test]
+    fn chaff_locks_at_roughly_the_requested_rate() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        machine.spawn(Box::new(LockChaff::new(50_000, 0x40, 99)), ctx);
+        machine.run_for(50_000_000);
+        let locks = machine.stats().bus_locks;
+        // Expect ≈ 1000 ± wide tolerance (exponential gaps + lock latency).
+        assert!(
+            (500..=1_200).contains(&locks),
+            "expected ≈1000 chaff locks, got {locks}"
+        );
+    }
+
+    #[test]
+    fn dormancy_gap_spreads_budget() {
+        let clock = BitClock::new(0, 250_000_000); // 10 bps
+        let config = BusChannelConfig::new(Message::from_bits(vec![true]), clock);
+        let gap = config.dormancy_gap();
+        // 60 bursts of 400 locks × 5k cycles = 2M busy per burst.
+        assert!(gap > 0);
+        let bursts = config.max_locks_per_bit / config.burst_locks;
+        let total = bursts * (config.burst_locks * config.lock_interval + gap);
+        let window = config.clock.transmit_cycles();
+        assert!(total <= window + window / 10);
+    }
+}

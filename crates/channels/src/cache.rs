@@ -1,0 +1,587 @@
+//! The shared L2 cache covert timing channel (paper §IV-C, after Xu et
+//! al., CCSW 2011).
+//!
+//! The trojan and spy agree (during their synchronization phase) on two
+//! groups of cache sets, G1 and G0. To transmit '1' the trojan visits G1
+//! and replaces all of its constituent blocks; for '0' it does the same to
+//! G0. The spy keeps one of its own lines resident in every set of both
+//! groups and, each bit, times a probe pass over G1 and over G0: the group
+//! the trojan visited misses (slow), the other hits (fast), so the latency
+//! *ratio* decodes the bit (Figure 7).
+//!
+//! The resulting conflict-miss event train alternates blocks of
+//! trojan→spy and spy→trojan replacements — one of each per active set per
+//! bit — giving the square-wave symbol series whose autocorrelogram peaks
+//! near the total number of sets used (Figure 8).
+
+use crate::message::Message;
+use crate::protocol::{BitClock, PhaseLayout, SpyLogHandle};
+use cchunter_sim::{Op, Program, ProgramView};
+use std::ops::Range;
+
+/// Configuration shared by the trojan and spy of one cache channel.
+#[derive(Debug, Clone)]
+pub struct CacheChannelConfig {
+    /// The message the trojan transmits.
+    pub message: Message,
+    /// The shared bit clock.
+    pub clock: BitClock,
+    /// Total cache sets used for signaling (split evenly into G1 and G0).
+    /// The paper's Figure 8 uses 512; Figure 13 sweeps 64–256.
+    pub total_sets: u32,
+    /// Number of sets of the shared L2 (512 for the paper's 256 KB L2).
+    pub l2_sets: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// L2 associativity; the trojan touches this many lines per set to
+    /// guarantee eviction.
+    pub ways: u32,
+    /// Base address of the trojan's eviction arrays (32 KB-aligned).
+    pub trojan_base: u64,
+    /// Base address of the spy's probe lines (32 KB-aligned).
+    pub spy_base: u64,
+    /// When set, the trojan re-sweeps the active group every `interval`
+    /// cycles within the bit and the spy probes midway between sweeps —
+    /// how low-bandwidth channels keep producing conflicts "frequently
+    /// followed by longer periods of dormancy" (paper §VI-A). `None`
+    /// modulates once per bit.
+    pub resweep_interval: Option<u64>,
+    /// Random extra lines the trojan touches per bit outside its eviction
+    /// arrays — the "random conflict misses in the surrounding code" that
+    /// push the observed autocorrelation wavelength slightly above the set
+    /// count (533 vs. 512 in the paper's Figure 8).
+    pub noise_loads_per_bit: u32,
+}
+
+impl CacheChannelConfig {
+    /// A channel transmitting `message` using `total_sets` cache sets, with
+    /// the paper's L2 geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_sets` is zero, odd, or exceeds the L2 set count.
+    pub fn new(message: Message, clock: BitClock, total_sets: u32) -> Self {
+        // Cache state persists, so the spy probes *after* the trojan's
+        // sweep: force the sequential phase layout.
+        let clock =
+            BitClock::with_layout(clock.start(), clock.bit_cycles(), PhaseLayout::sequential());
+        let config = CacheChannelConfig {
+            message,
+            clock,
+            total_sets,
+            l2_sets: 512,
+            line_bytes: 64,
+            ways: 8,
+            trojan_base: 0x1000_0000,
+            spy_base: 0x2000_0000,
+            resweep_interval: None,
+            noise_loads_per_bit: 8,
+        };
+        config.validate();
+        config
+    }
+
+    /// Enables periodic re-modulation within each bit (see
+    /// [`resweep_interval`](Self::resweep_interval)).
+    pub fn with_resweep(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "resweep interval must be nonzero");
+        self.resweep_interval = Some(interval);
+        self
+    }
+
+    /// Overrides the per-bit surrounding-code noise loads.
+    pub fn with_noise_loads(mut self, loads: u32) -> Self {
+        self.noise_loads_per_bit = loads;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.total_sets > 0 && self.total_sets.is_multiple_of(2),
+            "total_sets must be a positive even number"
+        );
+        assert!(
+            self.total_sets <= self.l2_sets,
+            "cannot signal on more sets than the L2 has"
+        );
+    }
+
+    /// Sets per group (|G1| = |G0|).
+    pub fn group_size(&self) -> u32 {
+        self.total_sets / 2
+    }
+
+    /// The set indices of G1 (used for '1') or G0 (used for '0').
+    pub fn group_sets(&self, bit: bool) -> Range<u32> {
+        let g = self.group_size();
+        if bit {
+            0..g
+        } else {
+            g..2 * g
+        }
+    }
+
+    /// Address of `way`-th line mapping to `set` in an array at `base`
+    /// (way stride = one full L2 footprint keeps the set index fixed).
+    pub fn line_addr(&self, base: u64, set: u32, way: u32) -> u64 {
+        base + way as u64 * self.l2_sets as u64 * self.line_bytes + set as u64 * self.line_bytes
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrojanState {
+    /// Waiting for the next sweep time.
+    Waiting,
+    /// Touching the per-bit surrounding-code noise lines.
+    NoiseLoads { remaining: u32 },
+    /// Sweeping the active group: flat index into (set, way) pairs.
+    Sweeping { index: u32 },
+}
+
+/// The transmitting (trojan) side: evicts one set group per bit.
+#[derive(Debug)]
+pub struct CacheTrojan {
+    config: CacheChannelConfig,
+    state: TrojanState,
+    current_bit: Option<usize>,
+    /// Next scheduled sweep start within the current bit.
+    next_sweep: u64,
+    /// Cheap deterministic generator for the noise-line addresses.
+    noise_rng: u64,
+}
+
+impl CacheTrojan {
+    /// Creates the trojan.
+    pub fn new(config: CacheChannelConfig) -> Self {
+        CacheTrojan {
+            config,
+            state: TrojanState::Waiting,
+            current_bit: None,
+            next_sweep: 0,
+            noise_rng: 0x0123_4567_89AB_CDEF,
+        }
+    }
+
+    fn noise_addr(&mut self) -> u64 {
+        // xorshift64 — deterministic "surrounding code" accesses landing on
+        // random channel sets at way indices beyond the eviction arrays.
+        self.noise_rng ^= self.noise_rng << 13;
+        self.noise_rng ^= self.noise_rng >> 7;
+        self.noise_rng ^= self.noise_rng << 17;
+        let set = (self.noise_rng % self.config.total_sets as u64) as u32;
+        let way = self.config.ways + (self.noise_rng >> 32) as u32 % 4;
+        self.config.line_addr(self.config.trojan_base, set, way)
+    }
+}
+
+impl Program for CacheTrojan {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+        if now >= clock.end_of_message(self.config.message.len())
+            && self.state == TrojanState::Waiting
+        {
+            return Op::Halt;
+        }
+        let bit_index = match clock.bit_index(now) {
+            Some(b) => b,
+            None => {
+                return Op::Idle {
+                    cycles: clock.start() - now,
+                }
+            }
+        };
+        if let TrojanState::NoiseLoads { remaining } = self.state {
+            if remaining > 0 {
+                self.state = TrojanState::NoiseLoads {
+                    remaining: remaining - 1,
+                };
+                let addr = self.noise_addr();
+                return Op::Load { addr };
+            }
+            self.state = TrojanState::Sweeping { index: 0 };
+        }
+        if let TrojanState::Sweeping { index } = self.state {
+            // Finish the sweep even if the window slid; sweeps are short
+            // relative to the bit interval.
+            let bit = self
+                .config
+                .message
+                .bit(self.current_bit.unwrap_or(bit_index))
+                .unwrap_or(false);
+            let sets = self.config.group_sets(bit);
+            let ways = self.config.ways;
+            let total = (sets.end - sets.start) * ways;
+            if index < total {
+                let set = sets.start + index / ways;
+                let way = index % ways;
+                self.state = TrojanState::Sweeping { index: index + 1 };
+                return Op::Load {
+                    addr: self.config.line_addr(self.config.trojan_base, set, way),
+                };
+            }
+            self.state = TrojanState::Waiting;
+            if let Some(interval) = self.config.resweep_interval {
+                // Next sweep on the interval grid, strictly after this one.
+                self.next_sweep = (now / interval + 1) * interval;
+            }
+        }
+        // A new bit begins: noise loads, then the eviction sweep.
+        if self.current_bit != Some(bit_index) && clock.in_transmit(now) {
+            self.current_bit = Some(bit_index);
+            self.next_sweep = now;
+            self.state = TrojanState::NoiseLoads {
+                remaining: self.config.noise_loads_per_bit,
+            };
+            let addr = self.noise_addr();
+            return Op::Load { addr };
+        }
+        // Periodic re-sweep of the same bit's group.
+        if let Some(_interval) = self.config.resweep_interval {
+            if clock.in_transmit(now) && now >= self.next_sweep {
+                self.state = TrojanState::Sweeping { index: 0 };
+                let bit = self.config.message.bit(bit_index).unwrap_or(false);
+                let sets = self.config.group_sets(bit);
+                return Op::Load {
+                    addr: self
+                        .config
+                        .line_addr(self.config.trojan_base, sets.start, 0),
+                };
+            }
+            let next_bit = clock.next_bit_start(now);
+            let target = if self.next_sweep > now && self.next_sweep < next_bit {
+                self.next_sweep
+            } else {
+                next_bit
+            };
+            return Op::Idle {
+                cycles: (target - now).max(1),
+            };
+        }
+        Op::Idle {
+            cycles: (clock.next_bit_start(now) - now).max(1),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cache-trojan"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SpyState {
+    /// Initial priming of both groups, before the clock starts.
+    Priming { index: u32 },
+    /// Waiting for the next sample window.
+    Waiting,
+    /// Timing the probe pass over G1.
+    ProbeG1 { index: u32, start: u64 },
+    /// Timing the probe pass over G0.
+    ProbeG0 { index: u32, start: u64, g1_avg: f64 },
+}
+
+/// The receiving (spy) side: primes one line per set of both groups and
+/// compares probe-pass latencies.
+#[derive(Debug)]
+pub struct CacheSpy {
+    config: CacheChannelConfig,
+    log: SpyLogHandle,
+    state: SpyState,
+    sampled_bit: Option<usize>,
+    /// Next scheduled probe pass (re-sweep mode).
+    next_probe: u64,
+    /// Per-bit ratio aggregation.
+    bit_sum: f64,
+    bit_count: u32,
+    acc_bit: Option<usize>,
+}
+
+impl CacheSpy {
+    /// Creates the spy.
+    pub fn new(config: CacheChannelConfig, log: SpyLogHandle) -> Self {
+        CacheSpy {
+            config,
+            log,
+            state: SpyState::Priming { index: 0 },
+            sampled_bit: None,
+            next_probe: 0,
+            bit_sum: 0.0,
+            bit_count: 0,
+            acc_bit: None,
+        }
+    }
+
+    /// The spy's probe line for a set.
+    fn probe_addr(&self, set: u32) -> u64 {
+        self.config.line_addr(self.config.spy_base, set, 0)
+    }
+
+    fn flush_bit(&mut self) {
+        if let Some(bit) = self.acc_bit.take() {
+            if self.bit_count > 0 {
+                self.log
+                    .borrow_mut()
+                    .push_bit(bit, self.bit_sum / self.bit_count as f64);
+            }
+        }
+        self.bit_sum = 0.0;
+        self.bit_count = 0;
+    }
+}
+
+impl Program for CacheSpy {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+        let g = self.config.group_size();
+
+        match self.state {
+            SpyState::Priming { index } => {
+                if index < self.config.total_sets {
+                    self.state = SpyState::Priming { index: index + 1 };
+                    return Op::Load {
+                        addr: self.probe_addr(index),
+                    };
+                }
+                self.state = SpyState::Waiting;
+            }
+            SpyState::ProbeG1 { index, start } => {
+                if index < g {
+                    self.state = SpyState::ProbeG1 {
+                        index: index + 1,
+                        start,
+                    };
+                    return Op::Load {
+                        addr: self.probe_addr(index),
+                    };
+                }
+                let g1_avg = (now - start) as f64 / g as f64;
+                self.state = SpyState::ProbeG0 {
+                    index: 0,
+                    start: now,
+                    g1_avg,
+                };
+            }
+            SpyState::ProbeG0 { .. } | SpyState::Waiting => {}
+        }
+
+        if let SpyState::ProbeG0 {
+            index,
+            start,
+            g1_avg,
+        } = self.state
+        {
+            if index < g {
+                self.state = SpyState::ProbeG0 {
+                    index: index + 1,
+                    start,
+                    g1_avg,
+                };
+                return Op::Load {
+                    addr: self.probe_addr(g + index),
+                };
+            }
+            let g0_avg = (now - start) as f64 / g as f64;
+            let ratio = if g0_avg > 0.0 { g1_avg / g0_avg } else { 1.0 };
+            let bit = clock.bit_index(start).unwrap_or(0);
+            if self.acc_bit != Some(bit) {
+                self.flush_bit();
+                self.acc_bit = Some(bit);
+            }
+            self.log.borrow_mut().push_sample(now, bit, ratio);
+            self.bit_sum += ratio;
+            self.bit_count += 1;
+            self.state = SpyState::Waiting;
+        }
+
+        if now >= clock.end_of_message(self.config.message.len()) {
+            self.flush_bit();
+            return Op::Halt;
+        }
+
+        let bit = clock.bit_index(now);
+        match self.config.resweep_interval {
+            None => {
+                // One probe pass per bit, inside the sample window.
+                if clock.in_sample(now) && bit.is_some() && self.sampled_bit != bit {
+                    self.sampled_bit = bit;
+                    self.state = SpyState::ProbeG1 {
+                        index: 1,
+                        start: now,
+                    };
+                    return Op::Load {
+                        addr: self.probe_addr(0),
+                    };
+                }
+                let target = if now < clock.sample_start(now) {
+                    clock.sample_start(now)
+                } else {
+                    clock.sample_start(clock.next_bit_start(now))
+                };
+                Op::Idle {
+                    cycles: (target.saturating_sub(now)).max(1),
+                }
+            }
+            Some(interval) => {
+                // Probe midway between sweeps, all bit long.
+                if self.next_probe < clock.start() + interval / 2 {
+                    self.next_probe = clock.start() + interval / 2;
+                }
+                if bit.is_some() && now >= self.next_probe {
+                    self.next_probe = (now - clock.start()) / interval * interval
+                        + interval
+                        + interval / 2
+                        + clock.start();
+                    self.state = SpyState::ProbeG1 {
+                        index: 1,
+                        start: now,
+                    };
+                    return Op::Load {
+                        addr: self.probe_addr(0),
+                    };
+                }
+                Op::Idle {
+                    cycles: (self.next_probe.saturating_sub(now)).max(1),
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cache-spy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DecodeRule, SpyLog};
+    use cchunter_sim::{CacheLevel, Machine, MachineConfig, ProbeEvent};
+
+    fn run_channel(
+        message: Message,
+        bit_cycles: u64,
+        total_sets: u32,
+    ) -> (Message, Vec<ProbeEvent>, SpyLogHandle) {
+        let clock = BitClock::new(1_000_000, bit_cycles);
+        let config = CacheChannelConfig::new(message.clone(), clock, total_sets);
+        let mut machine = Machine::new(MachineConfig::default());
+        let log = SpyLog::new_handle();
+        machine.spawn(
+            Box::new(CacheTrojan::new(config.clone())),
+            machine.config().context_id(0, 0),
+        );
+        machine.spawn(
+            Box::new(CacheSpy::new(config, log.clone())),
+            machine.config().context_id(0, 1),
+        );
+        let trace = machine.attach_trace();
+        machine.run_for(1_000_000 + bit_cycles * (message.len() as u64 + 1));
+        let events = trace.borrow().events().to_vec();
+        let decoded = log
+            .borrow()
+            .decode(DecodeRule::FixedThreshold(1.0), message.len());
+        (decoded, events, log)
+    }
+
+    #[test]
+    fn spy_decodes_alternating_message() {
+        let message = Message::alternating(8);
+        let (decoded, _, _) = run_channel(message.clone(), 2_500_000, 512);
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn spy_decodes_arbitrary_bits_on_fewer_sets() {
+        let message = Message::from_bits(vec![true, false, false, true, true, true, false, true]);
+        let (decoded, _, _) = run_channel(message.clone(), 2_500_000, 128);
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn ratios_separate_ones_from_zeros() {
+        let message = Message::alternating(6);
+        let (_, _, log) = run_channel(message, 2_500_000, 256);
+        let log = log.borrow();
+        for &(bit, ratio) in log.per_bit() {
+            if bit % 2 == 0 {
+                assert!(ratio > 1.2, "bit {bit} ('1') ratio {ratio}");
+            } else {
+                assert!(ratio < 0.85, "bit {bit} ('0') ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_context_replacements_alternate_per_bit() {
+        let message = Message::from_bits(vec![true, true, true, true]);
+        let (_, events, _) = run_channel(message, 2_500_000, 128);
+        // Count L2 replacements where trojan (smt 0) evicts spy (smt 1) and
+        // vice versa.
+        let mut t_to_s = 0;
+        let mut s_to_t = 0;
+        for e in &events {
+            if let ProbeEvent::CacheReplacement {
+                level: CacheLevel::L2,
+                replacer,
+                victim_owner,
+                ..
+            } = e
+            {
+                if replacer.smt() == 0 && victim_owner.smt() == 1 {
+                    t_to_s += 1;
+                } else if replacer.smt() == 1 && victim_owner.smt() == 0 {
+                    s_to_t += 1;
+                }
+            }
+        }
+        assert!(t_to_s > 0 && s_to_t > 0);
+        // Steady state: one T→S and one S→T per active set per bit (the
+        // first bit is still warming up).
+        let g = 64;
+        let bits = 4;
+        assert!(
+            (t_to_s as i64 - (g * bits) as i64).unsigned_abs() <= 2 * g,
+            "t_to_s = {t_to_s}, expected near {}",
+            g * bits
+        );
+        assert!(
+            (s_to_t as i64 - (g * bits) as i64).unsigned_abs() <= 2 * g,
+            "s_to_t = {s_to_t}, expected near {}",
+            g * bits
+        );
+    }
+
+    #[test]
+    fn group_layout_is_disjoint_and_even() {
+        let config = CacheChannelConfig::new(Message::alternating(2), BitClock::new(0, 1_000), 256);
+        let g1 = config.group_sets(true);
+        let g0 = config.group_sets(false);
+        assert_eq!(g1.len(), 128);
+        assert_eq!(g0.len(), 128);
+        assert!(g1.end <= g0.start);
+    }
+
+    #[test]
+    fn line_addr_preserves_set_index() {
+        let config = CacheChannelConfig::new(Message::alternating(2), BitClock::new(0, 1_000), 512);
+        for way in 0..8 {
+            let addr = config.line_addr(0x1000_0000, 77, way);
+            assert_eq!((addr / 64) % 512, 77);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_set_count_rejected() {
+        let _ = CacheChannelConfig::new(Message::alternating(2), BitClock::new(0, 1_000), 511);
+    }
+}

@@ -1,0 +1,433 @@
+//! The integer divider covert timing channel (paper §IV-A, after Wang &
+//! Lee's SMT/multiplier channel).
+//!
+//! Trojan and spy run as hyperthreads of the *same* SMT core. To transmit
+//! '1' the trojan executes a stream of integer divisions, putting every
+//! divider unit into a contended state; for '0' it spins an empty loop. The
+//! spy continuously times loop iterations containing a fixed number of
+//! divisions: iterations run long when the trojan contends (Figure 3).
+//!
+//! The indicator event is a division from one context stalling on a divider
+//! occupied by an instruction from the other context, measured in stalled
+//! cycles — a quantity ordinary performance counters cannot observe
+//! (paper §VII).
+
+use crate::message::Message;
+use crate::protocol::{BitClock, SpyLogHandle};
+use cchunter_sim::{Op, Program, ProgramView};
+
+/// Which contended execution unit the channel modulates. The paper notes
+/// Wang & Lee "showed a similar implementation using multipliers"; the
+/// same trojan/spy structure works for either unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecUnit {
+    /// The non-pipelined integer divider bank.
+    #[default]
+    Divider,
+    /// The integer multiplier bank.
+    Multiplier,
+}
+
+impl ExecUnit {
+    fn op(self, count: u32) -> Op {
+        match self {
+            ExecUnit::Divider => Op::Div { count },
+            ExecUnit::Multiplier => Op::Mul { count },
+        }
+    }
+}
+
+/// Configuration shared by the trojan and spy of one divider channel.
+#[derive(Debug, Clone)]
+pub struct DividerChannelConfig {
+    /// The message the trojan transmits.
+    pub message: Message,
+    /// The shared bit clock.
+    pub clock: BitClock,
+    /// Divisions per trojan op during a contention storm.
+    pub trojan_batch: u32,
+    /// Pacing compute between trojan division batches (cycles).
+    pub trojan_gap: u64,
+    /// Length of one contention burst in cycles.
+    pub burst_cycles: u64,
+    /// Upper bound on contention cycles per '1' bit; longer bit intervals
+    /// spread this budget across periodic bursts with dormancy in between.
+    pub max_contend_cycles_per_bit: u64,
+    /// Divisions per spy timing iteration.
+    pub spy_divs_per_iter: u32,
+    /// Pacing compute between spy iterations (cycles).
+    pub spy_gap: u64,
+    /// Timing iterations the spy aggregates per sample window.
+    pub samples_per_bit: u32,
+    /// Which execution unit carries the channel.
+    pub unit: ExecUnit,
+}
+
+impl DividerChannelConfig {
+    /// A channel transmitting `message` with paper-calibrated defaults.
+    pub fn new(message: Message, clock: BitClock) -> Self {
+        DividerChannelConfig {
+            message,
+            clock,
+            trojan_batch: 1,
+            trojan_gap: 4,
+            burst_cycles: 100_000,
+            max_contend_cycles_per_bit: 3_000_000,
+            spy_divs_per_iter: 1,
+            spy_gap: 128,
+            samples_per_bit: 48,
+            unit: ExecUnit::Divider,
+        }
+    }
+
+    /// The Wang & Lee multiplier variant: the same protocol on the
+    /// multiplier bank (shorter unit latency, tighter spy pacing).
+    pub fn for_multiplier(message: Message, clock: BitClock) -> Self {
+        DividerChannelConfig {
+            unit: ExecUnit::Multiplier,
+            trojan_gap: 1,
+            spy_gap: 32,
+            ..Self::new(message, clock)
+        }
+    }
+
+    /// Dormancy gap between contention bursts within a '1' bit.
+    fn dormancy_gap(&self) -> u64 {
+        let bursts = (self.max_contend_cycles_per_bit / self.burst_cycles).max(1);
+        let per_burst_budget = self.clock.transmit_cycles() / bursts;
+        per_burst_budget.saturating_sub(self.burst_cycles).max(1)
+    }
+
+    /// Length of one burst-plus-dormancy slot. Bursts sit on this grid
+    /// (relative to the bit start), which is how the trojan and the spy —
+    /// who share the bit clock from their synchronization phase — meet on
+    /// the divider even at very low bandwidths.
+    pub fn burst_period(&self) -> u64 {
+        self.burst_cycles + self.dormancy_gap()
+    }
+
+    /// Whether `now` (inside the bit starting at `bit_start`) falls within
+    /// a contention burst slot.
+    pub fn in_burst(&self, now: u64, bit_start: u64) -> bool {
+        let rel = now.saturating_sub(bit_start);
+        rel % self.burst_period() < self.burst_cycles
+    }
+
+    /// First cycle of the burst slot at or after `now`.
+    pub fn next_burst_start(&self, now: u64, bit_start: u64) -> u64 {
+        if self.in_burst(now, bit_start) {
+            return now;
+        }
+        let rel = now.saturating_sub(bit_start);
+        bit_start + (rel / self.burst_period() + 1) * self.burst_period()
+    }
+}
+
+/// The transmitting (trojan) hyperthread.
+#[derive(Debug)]
+pub struct DividerTrojan {
+    config: DividerChannelConfig,
+    current_bit: Option<usize>,
+    contended_this_bit: u64,
+    pace_next: bool,
+}
+
+impl DividerTrojan {
+    /// Creates the trojan.
+    pub fn new(config: DividerChannelConfig) -> Self {
+        DividerTrojan {
+            config,
+            current_bit: None,
+            contended_this_bit: 0,
+            pace_next: false,
+        }
+    }
+}
+
+impl Program for DividerTrojan {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+        if now >= clock.end_of_message(self.config.message.len()) {
+            return Op::Halt;
+        }
+        let Some(bit_index) = clock.bit_index(now) else {
+            return Op::Idle {
+                cycles: clock.start() - now,
+            };
+        };
+        if self.current_bit != Some(bit_index) {
+            self.current_bit = Some(bit_index);
+            self.contended_this_bit = 0;
+            self.pace_next = false;
+        }
+        let bit = self.config.message.bit(bit_index).unwrap_or(false);
+        let in_transmit = clock.in_transmit(now);
+        if !bit || !in_transmit || self.contended_this_bit >= self.config.max_contend_cycles_per_bit
+        {
+            // '0' bit: the paper's trojan runs an empty loop, leaving the
+            // dividers un-contended. Idle models the same absence of
+            // divider pressure without burning host time.
+            return Op::Idle {
+                cycles: clock.next_bit_start(now) - now,
+            };
+        }
+        let bit_start = clock.bit_start(bit_index);
+        if !self.config.in_burst(now, bit_start) {
+            // Dormancy between grid-aligned bursts keeps the *budget*
+            // bounded while preserving high within-burst density.
+            let next = self
+                .config
+                .next_burst_start(now, bit_start)
+                .min(clock.next_bit_start(now));
+            return Op::Idle {
+                cycles: (next - now).max(1),
+            };
+        }
+        if self.pace_next {
+            self.pace_next = false;
+            self.contended_this_bit += view.last_latency;
+            return Op::Compute {
+                cycles: self.config.trojan_gap,
+            };
+        }
+        self.pace_next = true;
+        self.contended_this_bit += self.config.trojan_gap;
+        self.config.unit.op(self.config.trojan_batch)
+    }
+
+    fn name(&self) -> &str {
+        "divider-trojan"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpyState {
+    /// Waiting for the next sample window.
+    Waiting,
+    /// Timing a loop iteration: divisions are issued as *individual* ops so
+    /// each one re-arbitrates for the divider bank (a real loop's divisions
+    /// interleave with the trojan's stream the same way).
+    Timing { issued: u32, start: u64 },
+}
+
+/// The receiving (spy) hyperthread: times fixed-size division loops.
+#[derive(Debug)]
+pub struct DividerSpy {
+    config: DividerChannelConfig,
+    log: SpyLogHandle,
+    state: SpyState,
+    samples_this_bit: u32,
+    budget_bit: Option<usize>,
+    bit_sum: f64,
+    bit_count: u32,
+    acc_bit: Option<usize>,
+}
+
+impl DividerSpy {
+    /// Creates the spy.
+    pub fn new(config: DividerChannelConfig, log: SpyLogHandle) -> Self {
+        DividerSpy {
+            config,
+            log,
+            state: SpyState::Waiting,
+            samples_this_bit: 0,
+            budget_bit: None,
+            bit_sum: 0.0,
+            bit_count: 0,
+            acc_bit: None,
+        }
+    }
+
+    fn flush_bit(&mut self) {
+        if let Some(bit) = self.acc_bit.take() {
+            if self.bit_count > 0 {
+                self.log
+                    .borrow_mut()
+                    .push_bit(bit, self.bit_sum / self.bit_count as f64);
+            }
+        }
+        self.bit_sum = 0.0;
+        self.bit_count = 0;
+    }
+}
+
+impl Program for DividerSpy {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let now = view.now.as_u64();
+        let clock = self.config.clock;
+
+        if let SpyState::Timing { issued, start } = self.state {
+            if issued < self.config.spy_divs_per_iter {
+                self.state = SpyState::Timing {
+                    issued: issued + 1,
+                    start,
+                };
+                return self.config.unit.op(1);
+            }
+            // Iteration complete: `now` is the last division's completion.
+            let per_div = (now - start) as f64 / self.config.spy_divs_per_iter as f64;
+            let bit = clock.bit_index(start).unwrap_or(0);
+            if self.acc_bit != Some(bit) {
+                self.flush_bit();
+                self.acc_bit = Some(bit);
+            }
+            self.log.borrow_mut().push_sample(now, bit, per_div);
+            self.bit_sum += per_div;
+            self.bit_count += 1;
+            self.samples_this_bit += 1;
+            self.state = SpyState::Waiting;
+            return Op::Compute {
+                cycles: self.config.spy_gap,
+            };
+        }
+
+        if now >= clock.end_of_message(self.config.message.len()) {
+            self.flush_bit();
+            return Op::Halt;
+        }
+
+        let in_window = clock.in_sample(now);
+        let window_bit = clock.bit_index(now);
+        if in_window && self.budget_bit != window_bit {
+            // A new bit interval begins: fresh sampling budget.
+            self.budget_bit = window_bit;
+            self.samples_this_bit = 0;
+        }
+        if in_window && self.samples_this_bit < self.config.samples_per_bit {
+            // Sample only during the shared burst grid's contention slots,
+            // where the trojan's modulation (if any) is present.
+            let bit_start = clock.bit_start(window_bit.unwrap_or(0));
+            if self.config.in_burst(now, bit_start) {
+                self.state = SpyState::Timing {
+                    issued: 1,
+                    start: now,
+                };
+                return self.config.unit.op(1);
+            }
+            let next = self
+                .config
+                .next_burst_start(now, bit_start)
+                .min(clock.next_bit_start(now));
+            return Op::Idle {
+                cycles: (next - now).max(1),
+            };
+        }
+        let target = if now < clock.sample_start(now) {
+            clock.sample_start(now)
+        } else {
+            clock.sample_start(clock.next_bit_start(now))
+        };
+        Op::Idle {
+            cycles: (target - now).max(1),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "divider-spy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DecodeRule, SpyLog};
+    use cchunter_sim::{Machine, MachineConfig, ProbeEvent};
+
+    fn run_channel(message: Message, bit_cycles: u64) -> (Message, u64) {
+        let clock = BitClock::new(10_000, bit_cycles);
+        let config = DividerChannelConfig::new(message.clone(), clock);
+        let mut machine = Machine::new(MachineConfig::default());
+        let log = SpyLog::new_handle();
+        // Same core, both hyperthreads.
+        let trojan_ctx = machine.config().context_id(0, 0);
+        let spy_ctx = machine.config().context_id(0, 1);
+        machine.spawn(Box::new(DividerTrojan::new(config.clone())), trojan_ctx);
+        machine.spawn(Box::new(DividerSpy::new(config, log.clone())), spy_ctx);
+        let trace = machine.attach_trace();
+        machine.run_for(10_000 + bit_cycles * (message.len() as u64 + 1));
+        let wait_cycles: u64 = trace
+            .borrow()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ProbeEvent::DividerWait { cycles, .. } => Some(*cycles),
+                _ => None,
+            })
+            .sum();
+        let decoded = log.borrow().decode(DecodeRule::Midpoint, message.len());
+        (decoded, wait_cycles)
+    }
+
+    #[test]
+    fn spy_decodes_alternating_message() {
+        let message = Message::alternating(8);
+        let (decoded, waits) = run_channel(message.clone(), 250_000);
+        assert!(waits > 0, "contention must produce wait cycles");
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn spy_decodes_arbitrary_bits() {
+        let message = Message::from_bits(vec![
+            false, true, true, false, true, false, false, true, true, false,
+        ]);
+        let (decoded, _) = run_channel(message.clone(), 250_000);
+        assert_eq!(
+            message.bit_error_rate(&decoded),
+            0.0,
+            "sent {message} got {decoded}"
+        );
+    }
+
+    #[test]
+    fn zero_message_produces_no_cross_context_waits() {
+        let message = Message::from_bits(vec![false; 6]);
+        let (_, waits) = run_channel(message, 250_000);
+        assert_eq!(waits, 0, "an idle trojan cannot contend");
+    }
+
+    #[test]
+    fn spy_iterations_run_longer_under_contention() {
+        // Direct latency check: '1' bits must slow the spy measurably.
+        let message = Message::from_bits(vec![true, false, true, false]);
+        let clock = BitClock::new(0, 500_000);
+        let config = DividerChannelConfig::new(message, clock);
+        let mut machine = Machine::new(MachineConfig::default());
+        let log = SpyLog::new_handle();
+        machine.spawn(
+            Box::new(DividerTrojan::new(config.clone())),
+            machine.config().context_id(0, 0),
+        );
+        machine.spawn(
+            Box::new(DividerSpy::new(config, log.clone())),
+            machine.config().context_id(0, 1),
+        );
+        machine.run_for(2_100_000);
+        let log = log.borrow();
+        let ones: Vec<f64> = log
+            .per_bit()
+            .iter()
+            .filter(|(b, _)| b % 2 == 0)
+            .map(|&(_, v)| v)
+            .collect();
+        let zeros: Vec<f64> = log
+            .per_bit()
+            .iter()
+            .filter(|(b, _)| b % 2 == 1)
+            .map(|&(_, v)| v)
+            .collect();
+        assert!(!ones.is_empty() && !zeros.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&ones) > avg(&zeros) * 1.3,
+            "'1' bits {:.1} vs '0' bits {:.1}",
+            avg(&ones),
+            avg(&zeros)
+        );
+    }
+}

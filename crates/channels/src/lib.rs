@@ -1,0 +1,49 @@
+//! # cchunter-channels
+//!
+//! Faithful re-implementations of the three covert timing channels the
+//! CC-Hunter paper evaluates, expressed as trojan/spy program pairs for the
+//! `cchunter-sim` substrate:
+//!
+//! * [`bus`] — the **memory bus / QPI** channel (Wu et al., USENIX Sec'12):
+//!   the trojan transmits '1' by issuing atomic unaligned accesses spanning
+//!   two cache lines, locking the bus; the spy times its own memory misses.
+//! * [`divider`] — the **integer divider** channel (after Wang & Lee): the
+//!   trojan and spy run as hyperthreads of one SMT core; '1' saturates the
+//!   divider bank, and the spy times fixed division loops.
+//! * [`cache`] — the **shared L2 cache** channel (Xu et al., CCSW'11): the
+//!   trojan evicts one of two cache-set groups (G1 for '1', G0 for '0');
+//!   the spy primes both and compares probe latencies.
+//!
+//! Every channel is an *actual* timing channel on the simulated hardware:
+//! the spy decodes the message from observed latencies alone, and the
+//! integration tests assert the decoded bits match the transmitted message.
+//! The channels deliberately do not share state with the detector — the
+//! only coupling is through hardware contention, exactly as on a real
+//! machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use cchunter_channels::{BitClock, Message};
+//!
+//! let msg = Message::from_u64(0x1234_5678_9ABC_DEF0);
+//! assert_eq!(msg.len(), 64);
+//! let clock = BitClock::new(1_000, 100_000); // bits of 100k cycles from cycle 1000
+//! assert_eq!(clock.bit_index(1_000), Some(0));
+//! assert_eq!(clock.bit_index(150_000), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bus;
+pub mod cache;
+pub mod divider;
+pub mod message;
+pub mod protocol;
+
+pub use bus::{BusChannelConfig, BusSpy, BusTrojan, LockChaff};
+pub use cache::{CacheChannelConfig, CacheSpy, CacheTrojan};
+pub use divider::{DividerChannelConfig, DividerSpy, DividerTrojan, ExecUnit};
+pub use message::Message;
+pub use protocol::{BitClock, DecodeRule, Phase, PhaseLayout, SpyLog, SpyLogHandle};

@@ -1,0 +1,246 @@
+//! Covert message encoding and fidelity metrics.
+
+use rand::Rng;
+use std::fmt;
+
+/// A bit string transmitted over a covert channel.
+///
+/// The paper's running example is "a randomly-chosen 64-bit credit card
+/// number"; [`Message::from_u64`] builds exactly that,
+/// [`Message::random`] generates the Figure 12 message sweep.
+///
+/// ```
+/// use cchunter_channels::Message;
+/// let m = Message::from_u64(0b1011);
+/// assert_eq!(&m.bits()[60..], &[true, false, true, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    bits: Vec<bool>,
+}
+
+impl Message {
+    /// Creates a message from explicit bits (transmitted in order).
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Message { bits }
+    }
+
+    /// Creates a 64-bit message from `value`, most significant bit first.
+    pub fn from_u64(value: u64) -> Self {
+        Message {
+            bits: (0..64).rev().map(|i| (value >> i) & 1 == 1).collect(),
+        }
+    }
+
+    /// Generates a random message of `len` bits.
+    pub fn random<R: Rng>(rng: &mut R, len: usize) -> Self {
+        Message {
+            bits: (0..len).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
+    /// An alternating 1010… pattern of `len` bits (a worst-case switching
+    /// pattern, useful in tests).
+    pub fn alternating(len: usize) -> Self {
+        Message {
+            bits: (0..len).map(|i| i % 2 == 0).collect(),
+        }
+    }
+
+    /// The bits in transmission order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The bit at `index`, or `None` past the end.
+    pub fn bit(&self, index: usize) -> Option<bool> {
+        self.bits.get(index).copied()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of '1' bits.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Encodes the message with `n`-fold repetition (each bit transmitted
+    /// `n` times in a row) — the simple forward-error-correction real
+    /// covert channels use against noisy co-tenants (cf. Xu et al.'s ≥20%
+    /// raw error rates under co-tenancy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// ```
+    /// use cchunter_channels::Message;
+    /// let m = Message::from_bits(vec![true, false]);
+    /// assert_eq!(m.repeat_encode(3).bits(), &[true, true, true, false, false, false]);
+    /// ```
+    pub fn repeat_encode(&self, n: usize) -> Message {
+        assert!(n > 0, "repetition factor must be nonzero");
+        Message {
+            bits: self
+                .bits
+                .iter()
+                .flat_map(|&b| std::iter::repeat_n(b, n))
+                .collect(),
+        }
+    }
+
+    /// Decodes an `n`-fold repetition encoding by majority vote per group
+    /// (ties decode to '1').
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// ```
+    /// use cchunter_channels::Message;
+    /// let noisy = Message::from_bits(vec![true, false, true, false, false, false]);
+    /// assert_eq!(noisy.repeat_decode(3).bits(), &[true, false]);
+    /// ```
+    pub fn repeat_decode(&self, n: usize) -> Message {
+        assert!(n > 0, "repetition factor must be nonzero");
+        Message {
+            bits: self
+                .bits
+                .chunks(n)
+                .map(|group| {
+                    let ones = group.iter().filter(|&&b| b).count();
+                    ones * 2 >= group.len()
+                })
+                .collect(),
+        }
+    }
+
+    /// Bit error rate of `received` against this message: differing bits
+    /// (plus any length shortfall) divided by this message's length.
+    ///
+    /// ```
+    /// use cchunter_channels::Message;
+    /// let sent = Message::from_bits(vec![true, false, true, true]);
+    /// let recv = Message::from_bits(vec![true, true, true, true]);
+    /// assert!((sent.bit_error_rate(&recv) - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn bit_error_rate(&self, received: &Message) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        let compared = self.bits.len().min(received.bits.len());
+        let wrong = self.bits[..compared]
+            .iter()
+            .zip(&received.bits[..compared])
+            .filter(|(a, b)| a != b)
+            .count()
+            + (self.bits.len() - compared);
+        wrong as f64 / self.bits.len() as f64
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Message {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Message {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_u64_is_msb_first() {
+        let m = Message::from_u64(0x8000_0000_0000_0001);
+        assert!(m.bit(0).unwrap());
+        assert!(!m.bit(1).unwrap());
+        assert!(m.bit(63).unwrap());
+        assert_eq!(m.ones(), 2);
+    }
+
+    #[test]
+    fn display_roundtrips_bits() {
+        let m = Message::from_bits(vec![true, false, true]);
+        assert_eq!(m.to_string(), "101");
+    }
+
+    #[test]
+    fn ber_of_identical_messages_is_zero() {
+        let m = Message::from_u64(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.bit_error_rate(&m.clone()), 0.0);
+    }
+
+    #[test]
+    fn ber_counts_missing_bits_as_errors() {
+        let sent = Message::from_bits(vec![true; 8]);
+        let recv = Message::from_bits(vec![true; 6]);
+        assert!((sent.bit_error_rate(&recv) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(Message::random(&mut a, 64), Message::random(&mut b, 64));
+    }
+
+    #[test]
+    fn alternating_pattern() {
+        let m = Message::alternating(4);
+        assert_eq!(m.bits(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn repetition_roundtrip() {
+        let m = Message::from_u64(0xDEAD_BEEF_1234_5678);
+        assert_eq!(m.repeat_encode(5).repeat_decode(5), m);
+        assert_eq!(m.repeat_encode(1).repeat_decode(1), m);
+    }
+
+    #[test]
+    fn repetition_corrects_minority_errors() {
+        let m = Message::from_bits(vec![true, false, true, false]);
+        let mut coded: Vec<bool> = m.repeat_encode(3).bits().to_vec();
+        // Flip one symbol per group: majority still wins.
+        for group in 0..4 {
+            coded[group * 3 + group % 3] = !coded[group * 3 + group % 3];
+        }
+        let decoded = Message::from_bits(coded).repeat_decode(3);
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn repetition_decode_handles_ragged_tail() {
+        let m = Message::from_bits(vec![true, true, false]);
+        assert_eq!(m.repeat_decode(2).bits(), &[true, false]);
+    }
+
+    #[test]
+    fn empty_message_edge_cases() {
+        let m = Message::from_bits(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.bit_error_rate(&Message::from_bits(vec![true])), 0.0);
+        assert_eq!(m.bit(0), None);
+    }
+}

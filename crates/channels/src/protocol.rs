@@ -1,0 +1,418 @@
+//! Shared trojan/spy protocol machinery: bit clocks, phases, and the spy's
+//! sample log.
+//!
+//! The paper assumes the trojan and spy have completed their
+//! synchronization phase before transmission (§VI: "covert transmission
+//! phases … should be already synchronized between the trojan and the
+//! spy"), so both sides derive bit boundaries from the global cycle count —
+//! the simulator equivalent of two processes that agreed on an epoch and
+//! read `rdtsc`.
+//!
+//! Two phase layouts cover the paper's channels:
+//!
+//! * [`PhaseLayout::concurrent`] — contention channels (bus, divider):
+//!   the modulation only exists *while* the trojan creates it, so the spy
+//!   samples inside the trojan's transmit window.
+//! * [`PhaseLayout::sequential`] — state channels (cache): the trojan's
+//!   evictions persist, so the spy probes after the transmit window, which
+//!   also keeps its probes from racing the trojan's sweep.
+
+use crate::message::Message;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Phase of the current bit interval (informational; overlapping layouts
+/// report `Transmit` while both windows are open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Trojan modulation window.
+    Transmit,
+    /// Spy measurement window (outside the transmit window).
+    Sample,
+    /// Dead time.
+    Guard,
+}
+
+/// Fractional windows of the bit interval assigned to the trojan and spy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseLayout {
+    /// Transmit window as fractions of the bit interval.
+    pub transmit: (f64, f64),
+    /// Sample window as fractions of the bit interval.
+    pub sample: (f64, f64),
+}
+
+impl PhaseLayout {
+    /// Spy samples *while* the trojan modulates — for contention channels
+    /// whose signal vanishes the moment the trojan stops.
+    pub fn concurrent() -> Self {
+        PhaseLayout {
+            transmit: (0.0, 0.95),
+            sample: (0.10, 0.90),
+        }
+    }
+
+    /// Spy samples *after* the trojan modulates — for state channels whose
+    /// signal persists in the cache.
+    pub fn sequential() -> Self {
+        PhaseLayout {
+            transmit: (0.0, 0.60),
+            sample: (0.65, 0.95),
+        }
+    }
+
+    fn validate(&self) {
+        for (lo, hi) in [self.transmit, self.sample] {
+            assert!(
+                (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo < hi,
+                "phase windows must be ordered fractions of the bit"
+            );
+        }
+    }
+}
+
+/// The shared bit clock: maps cycles to bit indices and phase windows.
+///
+/// ```
+/// use cchunter_channels::BitClock;
+/// let clock = BitClock::new(0, 1_000); // concurrent layout by default
+/// assert_eq!(clock.bit_index(2_500), Some(2));
+/// assert!(clock.in_transmit(100));
+/// assert!(clock.in_sample(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitClock {
+    start: u64,
+    bit_cycles: u64,
+    layout: PhaseLayout,
+}
+
+impl BitClock {
+    /// Creates a clock whose bit 0 starts at `start` and lasts
+    /// `bit_cycles`, with the [`PhaseLayout::concurrent`] layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_cycles` is zero.
+    pub fn new(start: u64, bit_cycles: u64) -> Self {
+        Self::with_layout(start, bit_cycles, PhaseLayout::concurrent())
+    }
+
+    /// Creates a clock with an explicit phase layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_cycles` is zero or the layout is malformed.
+    pub fn with_layout(start: u64, bit_cycles: u64, layout: PhaseLayout) -> Self {
+        assert!(bit_cycles > 0, "bit interval must be nonzero");
+        layout.validate();
+        BitClock {
+            start,
+            bit_cycles,
+            layout,
+        }
+    }
+
+    /// Derives the clock from a bandwidth in bits/second (concurrent
+    /// layout).
+    pub fn for_bandwidth(start: u64, bandwidth_bps: f64, clock_hz: u64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        let bit_cycles = (clock_hz as f64 / bandwidth_bps).round().max(1.0) as u64;
+        BitClock::new(start, bit_cycles)
+    }
+
+    /// The cycle bit 0 starts at.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Length of one bit interval in cycles.
+    pub fn bit_cycles(&self) -> u64 {
+        self.bit_cycles
+    }
+
+    /// The phase layout.
+    pub fn layout(&self) -> &PhaseLayout {
+        &self.layout
+    }
+
+    /// Cycles of the transmit window within one bit.
+    pub fn transmit_cycles(&self) -> u64 {
+        let (lo, hi) = self.layout.transmit;
+        (self.bit_cycles as f64 * (hi - lo)) as u64
+    }
+
+    /// The bit index active at `now` (`None` before `start`).
+    pub fn bit_index(&self, now: u64) -> Option<usize> {
+        if now < self.start {
+            return None;
+        }
+        Some(((now - self.start) / self.bit_cycles) as usize)
+    }
+
+    /// First cycle of bit `index`.
+    pub fn bit_start(&self, index: usize) -> u64 {
+        self.start + index as u64 * self.bit_cycles
+    }
+
+    /// First cycle after the last bit of an `len`-bit message.
+    pub fn end_of_message(&self, len: usize) -> u64 {
+        self.bit_start(len)
+    }
+
+    fn bit_fraction(&self, now: u64) -> Option<f64> {
+        if now < self.start {
+            return None;
+        }
+        let offset = (now - self.start) % self.bit_cycles;
+        Some(offset as f64 / self.bit_cycles as f64)
+    }
+
+    /// Whether `now` falls in the trojan's transmit window.
+    pub fn in_transmit(&self, now: u64) -> bool {
+        self.bit_fraction(now)
+            .map(|f| f >= self.layout.transmit.0 && f < self.layout.transmit.1)
+            .unwrap_or(false)
+    }
+
+    /// Whether `now` falls in the spy's sample window.
+    pub fn in_sample(&self, now: u64) -> bool {
+        self.bit_fraction(now)
+            .map(|f| f >= self.layout.sample.0 && f < self.layout.sample.1)
+            .unwrap_or(false)
+    }
+
+    /// Informational phase at `now` (transmit wins when windows overlap).
+    pub fn phase(&self, now: u64) -> Phase {
+        if self.in_transmit(now) {
+            Phase::Transmit
+        } else if self.in_sample(now) {
+            Phase::Sample
+        } else {
+            Phase::Guard
+        }
+    }
+
+    /// First cycle of the sample window of the bit active at `now` (or of
+    /// bit 0 when `now` precedes the clock start).
+    pub fn sample_start(&self, now: u64) -> u64 {
+        let bit = self.bit_index(now).unwrap_or(0);
+        self.bit_start(bit) + (self.bit_cycles as f64 * self.layout.sample.0) as u64
+    }
+
+    /// First cycle after the sample window of the bit active at `now`.
+    pub fn sample_end(&self, now: u64) -> u64 {
+        let bit = self.bit_index(now).unwrap_or(0);
+        self.bit_start(bit) + (self.bit_cycles as f64 * self.layout.sample.1) as u64
+    }
+
+    /// First cycle of the next bit after `now`.
+    pub fn next_bit_start(&self, now: u64) -> u64 {
+        match self.bit_index(now) {
+            None => self.start,
+            Some(bit) => self.bit_start(bit + 1),
+        }
+    }
+}
+
+/// How the spy turns per-bit measurements into bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeRule {
+    /// '1' when the per-bit value exceeds the midpoint between the smallest
+    /// and largest observed per-bit values (adaptive; used by the latency
+    /// channels).
+    Midpoint,
+    /// '1' when the per-bit value exceeds a fixed threshold (the cache
+    /// channel's G1/G0 latency ratio uses 1.0).
+    FixedThreshold(f64),
+}
+
+/// One raw spy measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Completion cycle of the measurement.
+    pub cycle: u64,
+    /// Bit interval it was taken in.
+    pub bit: usize,
+    /// Measured value (average latency in cycles, or a latency ratio).
+    pub value: f64,
+}
+
+/// The spy's measurement log: raw samples (for the paper's latency plots)
+/// plus one aggregated value per bit (for decoding).
+#[derive(Debug, Default, Clone)]
+pub struct SpyLog {
+    samples: Vec<Sample>,
+    per_bit: Vec<(usize, f64)>,
+}
+
+/// Shared handle to a [`SpyLog`] (the spy program holds one clone, the
+/// experiment harness another).
+pub type SpyLogHandle = Rc<RefCell<SpyLog>>;
+
+impl SpyLog {
+    /// Creates an empty log and returns a shared handle.
+    pub fn new_handle() -> SpyLogHandle {
+        Rc::new(RefCell::new(SpyLog::default()))
+    }
+
+    /// Records a raw sample.
+    pub fn push_sample(&mut self, cycle: u64, bit: usize, value: f64) {
+        self.samples.push(Sample { cycle, bit, value });
+    }
+
+    /// Records the aggregated measurement for one bit.
+    pub fn push_bit(&mut self, bit: usize, value: f64) {
+        self.per_bit.push((bit, value));
+    }
+
+    /// Raw samples in arrival order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Aggregated per-bit values in arrival order.
+    pub fn per_bit(&self) -> &[(usize, f64)] {
+        &self.per_bit
+    }
+
+    /// Decodes the logged per-bit values into a message.
+    ///
+    /// Bits with no measurement are decoded as '0' (a lost bit, counted by
+    /// [`Message::bit_error_rate`]).
+    pub fn decode(&self, rule: DecodeRule, message_len: usize) -> Message {
+        let threshold = match rule {
+            DecodeRule::FixedThreshold(t) => t,
+            DecodeRule::Midpoint => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &(_, v) in &self.per_bit {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    0.0
+                } else {
+                    (lo + hi) / 2.0
+                }
+            }
+        };
+        let mut bits = vec![false; message_len];
+        for &(bit, v) in &self.per_bit {
+            if bit < message_len {
+                bits[bit] = v > threshold;
+            }
+        }
+        Message::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_boundaries() {
+        let c = BitClock::new(100, 50);
+        assert_eq!(c.bit_index(99), None);
+        assert_eq!(c.bit_index(100), Some(0));
+        assert_eq!(c.bit_index(149), Some(0));
+        assert_eq!(c.bit_index(150), Some(1));
+        assert_eq!(c.bit_start(2), 200);
+        assert_eq!(c.next_bit_start(120), 150);
+        assert_eq!(c.next_bit_start(50), 100);
+        assert_eq!(c.end_of_message(4), 300);
+    }
+
+    #[test]
+    fn bandwidth_derivation() {
+        // 100 bps at 2.5 GHz → 25M cycles per bit.
+        let c = BitClock::for_bandwidth(0, 100.0, 2_500_000_000);
+        assert_eq!(c.bit_cycles(), 25_000_000);
+    }
+
+    #[test]
+    fn concurrent_layout_overlaps_windows() {
+        let c = BitClock::new(0, 1_000);
+        assert!(c.in_transmit(500));
+        assert!(c.in_sample(500));
+        assert!(!c.in_sample(50));
+        assert!(!c.in_transmit(970));
+        assert_eq!(c.phase(500), Phase::Transmit);
+        assert_eq!(c.phase(970), Phase::Guard);
+    }
+
+    #[test]
+    fn sequential_layout_separates_windows() {
+        let c = BitClock::with_layout(0, 1_000, PhaseLayout::sequential());
+        assert!(c.in_transmit(100));
+        assert!(!c.in_sample(100));
+        assert!(c.in_sample(700));
+        assert!(!c.in_transmit(700));
+        assert_eq!(c.phase(620), Phase::Guard);
+        assert_eq!(c.phase(700), Phase::Sample);
+        // Next bit wraps back to transmit.
+        assert_eq!(c.phase(1_000), Phase::Transmit);
+        assert_eq!(c.transmit_cycles(), 600);
+    }
+
+    #[test]
+    fn sample_window_bounds() {
+        let c = BitClock::with_layout(0, 1_000, PhaseLayout::sequential());
+        assert_eq!(c.sample_start(0), 650);
+        assert_eq!(c.sample_end(0), 950);
+        assert_eq!(c.sample_start(1_700), 1_650);
+    }
+
+    #[test]
+    fn midpoint_decode_separates_levels() {
+        let mut log = SpyLog::default();
+        for (bit, v) in [(0, 450.0), (1, 210.0), (2, 460.0), (3, 215.0)] {
+            log.push_bit(bit, v);
+        }
+        let decoded = log.decode(DecodeRule::Midpoint, 4);
+        assert_eq!(decoded.bits(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn fixed_threshold_decode() {
+        let mut log = SpyLog::default();
+        log.push_bit(0, 2.5);
+        log.push_bit(1, 0.4);
+        let decoded = log.decode(DecodeRule::FixedThreshold(1.0), 2);
+        assert_eq!(decoded.bits(), &[true, false]);
+    }
+
+    #[test]
+    fn missing_bits_decode_to_zero() {
+        let mut log = SpyLog::default();
+        log.push_bit(2, 9.0);
+        let decoded = log.decode(DecodeRule::FixedThreshold(1.0), 4);
+        assert_eq!(decoded.bits(), &[false, false, true, false]);
+    }
+
+    #[test]
+    fn empty_log_decodes_all_zero() {
+        let log = SpyLog::default();
+        let decoded = log.decode(DecodeRule::Midpoint, 3);
+        assert_eq!(decoded.bits(), &[false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bit_interval_rejected() {
+        let _ = BitClock::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered fractions")]
+    fn malformed_layout_rejected() {
+        let _ = BitClock::with_layout(
+            0,
+            100,
+            PhaseLayout {
+                transmit: (0.5, 0.2),
+                sample: (0.6, 0.9),
+            },
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the covert-channel protocol machinery.
+
+use cchunter_channels::{BitClock, DecodeRule, Message, PhaseLayout, SpyLog};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bit_index_inverts_bit_start(
+        start in 0u64..1_000_000,
+        bit_cycles in 1u64..10_000_000,
+        bit in 0usize..1_000,
+    ) {
+        let clock = BitClock::new(start, bit_cycles);
+        prop_assert_eq!(clock.bit_index(clock.bit_start(bit)), Some(bit));
+        // Last cycle of the bit still maps to it.
+        prop_assert_eq!(
+            clock.bit_index(clock.bit_start(bit) + bit_cycles - 1),
+            Some(bit)
+        );
+    }
+
+    #[test]
+    fn nothing_happens_before_the_epoch(
+        start in 1u64..1_000_000,
+        bit_cycles in 1u64..1_000_000,
+        before in 0u64..1_000_000,
+    ) {
+        prop_assume!(before < start);
+        let clock = BitClock::new(start, bit_cycles);
+        prop_assert_eq!(clock.bit_index(before), None);
+        prop_assert!(!clock.in_transmit(before));
+        prop_assert!(!clock.in_sample(before));
+    }
+
+    #[test]
+    fn sequential_layout_never_overlaps_windows(
+        bit_cycles in 100u64..1_000_000,
+        offset in 0u64..1_000_000,
+    ) {
+        let clock = BitClock::with_layout(0, bit_cycles, PhaseLayout::sequential());
+        let now = offset % (bit_cycles * 3);
+        prop_assert!(
+            !(clock.in_transmit(now) && clock.in_sample(now)),
+            "sequential transmit and sample windows must be disjoint at {now}"
+        );
+    }
+
+    #[test]
+    fn concurrent_layout_sample_implies_some_transmit_coverage(
+        bit_cycles in 1_000u64..1_000_000,
+    ) {
+        // The sample window must lie inside the transmit window so the spy
+        // observes live modulation.
+        let clock = BitClock::new(0, bit_cycles);
+        let (slo, shi) = clock.layout().sample;
+        let (tlo, thi) = clock.layout().transmit;
+        prop_assert!(tlo <= slo && shi <= thi);
+    }
+
+    #[test]
+    fn next_bit_start_is_strictly_ahead(
+        start in 0u64..1_000,
+        bit_cycles in 1u64..100_000,
+        now in 0u64..10_000_000,
+    ) {
+        let clock = BitClock::new(start, bit_cycles);
+        let next = clock.next_bit_start(now);
+        prop_assert!(next > now || next == start);
+        if now >= start {
+            prop_assert!(next > now);
+            prop_assert!(next - now <= bit_cycles);
+            prop_assert_eq!((next - start) % bit_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn message_u64_roundtrip(value in any::<u64>()) {
+        let m = Message::from_u64(value);
+        let rebuilt = m
+            .bits()
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 1) | b as u64);
+        prop_assert_eq!(rebuilt, value);
+    }
+
+    #[test]
+    fn ber_is_symmetric_for_equal_lengths(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..64),
+    ) {
+        let (a, b): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+        let ma = Message::from_bits(a);
+        let mb = Message::from_bits(b);
+        prop_assert_eq!(ma.bit_error_rate(&mb), mb.bit_error_rate(&ma));
+        prop_assert!(ma.bit_error_rate(&mb) <= 1.0);
+    }
+
+    #[test]
+    fn midpoint_decode_recovers_separated_levels(
+        bits in prop::collection::vec(any::<bool>(), 2..64),
+        low in 10.0f64..100.0,
+        gap in 50.0f64..500.0,
+    ) {
+        // Any message whose per-bit measurements are two separated levels
+        // must decode exactly, regardless of the absolute levels.
+        prop_assume!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
+        let mut log = SpyLog::default();
+        for (i, &b) in bits.iter().enumerate() {
+            log.push_bit(i, if b { low + gap } else { low });
+        }
+        let decoded = log.decode(DecodeRule::Midpoint, bits.len());
+        prop_assert_eq!(decoded.bits(), &bits[..]);
+    }
+
+    #[test]
+    fn decode_ignores_out_of_range_bits(
+        len in 1usize..32,
+        extra_bit in 32usize..1_000,
+        value in 0.0f64..10.0,
+    ) {
+        let mut log = SpyLog::default();
+        log.push_bit(extra_bit, value);
+        let decoded = log.decode(DecodeRule::FixedThreshold(0.5), len);
+        prop_assert_eq!(decoded.len(), len);
+        prop_assert_eq!(decoded.ones(), 0);
+    }
+}

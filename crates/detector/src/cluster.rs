@@ -1,0 +1,417 @@
+//! Recurrence analysis via pattern clustering (paper §IV-B, step 5).
+//!
+//! Once a quantum's histogram shows a significant burst distribution, the
+//! remaining question is whether the *pattern* recurs across the observation
+//! window (up to 512 OS time quanta — 51.2 s — to avoid diluting histogram
+//! significance). The paper's pattern-clustering algorithm (1) discretizes
+//! the event-density histograms into strings and (2) aggregates similar
+//! strings with k-means; recurring burst patterns show up as a populous
+//! cluster of bursty histograms, regardless of burst intervals — so
+//! low-bandwidth or irregular channels are still caught.
+
+use crate::burst::BurstVerdict;
+use crate::density::DensityHistogram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of discretization levels per histogram bin (log-scaled).
+pub const DISCRETIZATION_LEVELS: u8 = 16;
+
+/// Discretizes a density histogram into a 128-symbol string: each bin's
+/// frequency is quantized to a log₂ level in `0..DISCRETIZATION_LEVELS`.
+///
+/// ```
+/// use cchunter_detector::density::DensityHistogram;
+/// use cchunter_detector::cluster::discretize;
+/// let mut bins = vec![0u64; 128];
+/// bins[0] = 1000;
+/// bins[20] = 7;
+/// let s = discretize(&DensityHistogram::from_bins(bins, 100));
+/// assert_eq!(s.len(), 128);
+/// assert!(s[0] > s[20]);
+/// assert_eq!(s[1], 0);
+/// ```
+pub fn discretize(histogram: &DensityHistogram) -> Vec<u8> {
+    histogram
+        .bins()
+        .iter()
+        .map(|&f| {
+            if f == 0 {
+                0
+            } else {
+                let level = 64 - f.leading_zeros() as u8; // floor(log2(f)) + 1
+                level.min(DISCRETIZATION_LEVELS - 1)
+            }
+        })
+        .collect()
+}
+
+/// Configuration of the recurrence analyzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of k-means clusters.
+    pub k: usize,
+    /// Maximum k-means iterations.
+    pub max_iterations: usize,
+    /// Seed for deterministic k-means++ initialization.
+    pub seed: u64,
+    /// Minimum number of bursty histograms that must land in one cluster
+    /// for the pattern to count as *recurrent*.
+    pub min_recurring: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            k: 3,
+            max_iterations: 50,
+            seed: 0xCC15_BEEF,
+            min_recurring: 2,
+        }
+    }
+}
+
+/// Result of k-means clustering over discretized histogram strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternClusters {
+    /// Cluster index assigned to each input, in input order.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids in feature space.
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of members per cluster.
+    pub sizes: Vec<usize>,
+}
+
+impl PatternClusters {
+    /// Index and size of the most populous cluster, or `None` when empty.
+    pub fn largest(&self) -> Option<(usize, usize)> {
+        self.sizes
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, size)| size)
+    }
+}
+
+/// Deterministic k-means (k-means++ seeding) over feature vectors.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or feature vectors have inconsistent lengths.
+pub fn kmeans(
+    features: &[Vec<f64>],
+    k: usize,
+    seed: u64,
+    max_iterations: usize,
+) -> PatternClusters {
+    assert!(k > 0, "k must be nonzero");
+    if features.is_empty() {
+        return PatternClusters {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            sizes: Vec::new(),
+        };
+    }
+    let dim = features[0].len();
+    assert!(
+        features.iter().all(|f| f.len() == dim),
+        "inconsistent feature dimensions"
+    );
+    let k = k.min(features.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ initialization.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(features[rng.gen_range(0..features.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = features
+            .iter()
+            .map(|f| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(f, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= f64::EPSILON {
+            // All points identical to existing centroids.
+            centroids.push(features[rng.gen_range(0..features.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = features.len() - 1;
+        for (i, d) in dists.iter().enumerate() {
+            if target < *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(features[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; features.len()];
+    for _ in 0..max_iterations {
+        // Assign.
+        let mut changed = false;
+        for (i, f) in features.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    sq_dist(f, a)
+                        .partial_cmp(&sq_dist(f, b))
+                        .expect("finite distances")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (f, &a) in features.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(f) {
+                *s += x;
+            }
+        }
+        for (j, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                centroids[j] = sum.iter().map(|s| s / count as f64).collect();
+            } else {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid.
+                let far = features
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty features");
+                centroids[j] = features[far].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut sizes = vec![0usize; k];
+    for &a in &assignments {
+        sizes[a] += 1;
+    }
+    PatternClusters {
+        assignments,
+        centroids,
+        sizes,
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Outcome of recurrence analysis over an observation window of quanta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurrenceVerdict {
+    /// Quanta analyzed.
+    pub windows: usize,
+    /// Quanta whose histograms carried a significant burst distribution.
+    pub bursty_windows: usize,
+    /// Size of the largest cluster of bursty histograms.
+    pub largest_burst_cluster: usize,
+    /// Whether the burst pattern recurs — the recurrent-burst signature of
+    /// a contention-based covert timing channel.
+    pub recurrent: bool,
+}
+
+/// Clusters the bursty histograms of an observation window and decides
+/// recurrence.
+///
+/// `histograms` and `verdicts` are parallel per-quantum slices. Only quanta
+/// with `significant` burst verdicts participate in clustering; the pattern
+/// is recurrent when at least [`ClusterConfig::min_recurring`] of them share
+/// a cluster (i.e. keep producing *similar* burst histograms).
+pub fn analyze_recurrence(
+    histograms: &[DensityHistogram],
+    verdicts: &[BurstVerdict],
+    config: &ClusterConfig,
+) -> RecurrenceVerdict {
+    assert_eq!(
+        histograms.len(),
+        verdicts.len(),
+        "histograms and verdicts must be parallel"
+    );
+    let windows = histograms.len();
+    let bursty: Vec<&DensityHistogram> = histograms
+        .iter()
+        .zip(verdicts)
+        .filter(|(_, v)| v.significant)
+        .map(|(h, _)| h)
+        .collect();
+    let bursty_windows = bursty.len();
+    if bursty_windows < config.min_recurring {
+        return RecurrenceVerdict {
+            windows,
+            bursty_windows,
+            largest_burst_cluster: bursty_windows,
+            recurrent: false,
+        };
+    }
+    let features: Vec<Vec<f64>> = bursty
+        .iter()
+        .map(|h| discretize(h).into_iter().map(f64::from).collect())
+        .collect();
+    let clusters = kmeans(&features, config.k, config.seed, config.max_iterations);
+    let largest = clusters.largest().map(|(_, s)| s).unwrap_or(0);
+    RecurrenceVerdict {
+        windows,
+        bursty_windows,
+        largest_burst_cluster: largest,
+        recurrent: largest >= config.min_recurring,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BurstDetector;
+    use crate::density::HISTOGRAM_BINS;
+
+    fn histogram(pairs: &[(usize, u64)]) -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        for &(bin, f) in pairs {
+            bins[bin] = f;
+        }
+        DensityHistogram::from_bins(bins, 100_000)
+    }
+
+    fn covert_histogram(peak: usize) -> DensityHistogram {
+        histogram(&[(0, 2400), (1, 8), (peak, 180), (peak + 1, 20)])
+    }
+
+    fn benign_histogram(scale: u64) -> DensityHistogram {
+        histogram(&[(0, 2400), (1, 50 * scale), (2, 10 * scale), (3, scale)])
+    }
+
+    #[test]
+    fn discretize_is_monotone_in_frequency() {
+        let h = histogram(&[(0, 1), (1, 2), (2, 4), (3, 1000), (4, 0)]);
+        let s = discretize(&h);
+        assert!(s[0] < s[1] || s[0] == 1); // log levels: 1, 2, 3
+        assert!(s[2] < s[3]);
+        assert_eq!(s[4], 0);
+        assert!(*s.iter().max().unwrap() < DISCRETIZATION_LEVELS);
+    }
+
+    #[test]
+    fn kmeans_separates_two_obvious_groups() {
+        let mut features = Vec::new();
+        for i in 0..5 {
+            features.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            features.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        let clusters = kmeans(&features, 2, 42, 50);
+        // Points alternate groups; assignments must alternate too.
+        let a0 = clusters.assignments[0];
+        let a1 = clusters.assignments[1];
+        assert_ne!(a0, a1);
+        for i in (0..10).step_by(2) {
+            assert_eq!(clusters.assignments[i], a0);
+            assert_eq!(clusters.assignments[i + 1], a1);
+        }
+        assert_eq!(clusters.sizes, vec![5, 5]);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let features: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let a = kmeans(&features, 3, 7, 50);
+        let b = kmeans(&features, 3, 7, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kmeans_handles_k_larger_than_n() {
+        let features = vec![vec![1.0], vec![2.0]];
+        let clusters = kmeans(&features, 10, 1, 10);
+        assert_eq!(clusters.centroids.len(), 2);
+    }
+
+    #[test]
+    fn kmeans_empty_input() {
+        let clusters = kmeans(&[], 3, 1, 10);
+        assert!(clusters.assignments.is_empty());
+        assert!(clusters.largest().is_none());
+    }
+
+    #[test]
+    fn covert_channel_pattern_recurs() {
+        let detector = BurstDetector::default();
+        // 16 quanta, all carrying the same burst signature around bin 20.
+        let histograms: Vec<DensityHistogram> = (0..16).map(|_| covert_histogram(20)).collect();
+        let verdicts: Vec<_> = histograms.iter().map(|h| detector.analyze(h)).collect();
+        assert!(verdicts.iter().all(|v| v.significant));
+        let r = analyze_recurrence(&histograms, &verdicts, &ClusterConfig::default());
+        assert!(r.recurrent);
+        assert_eq!(r.bursty_windows, 16);
+        assert!(r.largest_burst_cluster >= 14);
+    }
+
+    #[test]
+    fn benign_window_is_not_recurrent() {
+        let detector = BurstDetector::default();
+        let histograms: Vec<DensityHistogram> =
+            (1..17).map(|i| benign_histogram(i % 3 + 1)).collect();
+        let verdicts: Vec<_> = histograms.iter().map(|h| detector.analyze(h)).collect();
+        let r = analyze_recurrence(&histograms, &verdicts, &ClusterConfig::default());
+        assert!(!r.recurrent, "{r:?}");
+    }
+
+    #[test]
+    fn single_burst_is_not_recurrent() {
+        let detector = BurstDetector::default();
+        let mut histograms: Vec<DensityHistogram> = (0..7).map(|_| benign_histogram(1)).collect();
+        histograms.push(covert_histogram(40));
+        let verdicts: Vec<_> = histograms.iter().map(|h| detector.analyze(h)).collect();
+        let r = analyze_recurrence(&histograms, &verdicts, &ClusterConfig::default());
+        assert_eq!(r.bursty_windows, 1);
+        assert!(!r.recurrent, "one-shot bursts must not count as recurrent");
+    }
+
+    #[test]
+    fn irregular_burst_intervals_still_recur() {
+        // Bursty quanta scattered irregularly through a mostly quiet window
+        // (the low-bandwidth channel shape).
+        let detector = BurstDetector::default();
+        let mut histograms = Vec::new();
+        for i in 0..32 {
+            if [3, 7, 8, 19, 30].contains(&i) {
+                histograms.push(covert_histogram(20));
+            } else {
+                histograms.push(histogram(&[(0, 2500)]));
+            }
+        }
+        let verdicts: Vec<_> = histograms.iter().map(|h| detector.analyze(h)).collect();
+        let r = analyze_recurrence(&histograms, &verdicts, &ClusterConfig::default());
+        assert!(r.recurrent);
+        assert_eq!(r.bursty_windows, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_inputs_panic() {
+        let histograms = vec![histogram(&[(0, 10)])];
+        analyze_recurrence(&histograms, &[], &ClusterConfig::default());
+    }
+}

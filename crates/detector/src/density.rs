@@ -1,0 +1,380 @@
+//! Event-density histograms over Δt windows (paper §IV-B, steps 1–2).
+//!
+//! Δt is "the product of the inverse of average event rate and α, an
+//! empirical constant" — the observation window used to count event
+//! occurrences. The histogram's x-axis is the number of events falling in a
+//! Δt window, the y-axis is how many windows saw that many events; low
+//! (non-burst) densities live on the left, bursts show up as a second
+//! distribution in the right tail (Figure 5/6).
+
+use crate::events::EventTrain;
+
+/// Number of histogram bins, matching the paper's 128-entry hardware
+/// histogram buffers. Densities of `HISTOGRAM_BINS - 1` or more saturate
+/// into the last bin.
+pub const HISTOGRAM_BINS: usize = 128;
+
+/// How Δt is chosen for a train.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaTPolicy {
+    /// A fixed window length in cycles. The paper's evaluation uses
+    /// 100,000 cycles (40 µs) for the memory bus and 500 cycles (200 ns)
+    /// for the integer divider.
+    Fixed(u64),
+    /// Δt = α / (mean event rate), clamped to `[min, max]`. The α factor
+    /// keeps Δt between the Poisson regime (too small) and the normal
+    /// regime (too large).
+    FromRate {
+        /// The α tempering constant.
+        alpha: f64,
+        /// Lower clamp in cycles.
+        min: u64,
+        /// Upper clamp in cycles.
+        max: u64,
+    },
+}
+
+impl DeltaTPolicy {
+    /// Resolves the policy to a concrete Δt for `train` observed over
+    /// `[start, end)`.
+    ///
+    /// Returns `None` if the rate-based policy sees no events (Δt would be
+    /// unbounded).
+    pub fn resolve(&self, train: &EventTrain, start: u64, end: u64) -> Option<u64> {
+        match *self {
+            DeltaTPolicy::Fixed(dt) => {
+                assert!(dt > 0, "Δt must be nonzero");
+                Some(dt)
+            }
+            DeltaTPolicy::FromRate { alpha, min, max } => {
+                assert!(alpha > 0.0 && min > 0 && max >= min, "invalid Δt policy");
+                let rate = train.mean_rate(start, end);
+                if rate <= 0.0 {
+                    return None;
+                }
+                let dt = (alpha / rate).round() as u64;
+                Some(dt.clamp(min, max))
+            }
+        }
+    }
+}
+
+/// An event-density histogram: for each density `d` (events per Δt window),
+/// the number of Δt windows that saw exactly `d` events (saturating at
+/// [`HISTOGRAM_BINS`]` - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityHistogram {
+    bins: Vec<u64>,
+    delta_t: u64,
+    windows: u64,
+}
+
+impl DensityHistogram {
+    /// Creates an empty histogram for windows of `delta_t` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_t` is zero.
+    pub fn empty(delta_t: u64) -> Self {
+        assert!(delta_t > 0, "Δt must be nonzero");
+        DensityHistogram {
+            bins: vec![0; HISTOGRAM_BINS],
+            delta_t,
+            windows: 0,
+        }
+    }
+
+    /// Builds the histogram of `train` over `[start, end)` using windows of
+    /// `delta_t` cycles. Weighted entries are treated as runs of unit events
+    /// on consecutive cycles beginning at the entry's timestamp (that is how
+    /// divider-wait runs are reported), so a run spanning a window boundary
+    /// contributes to both windows.
+    ///
+    /// Every window in the range is counted — windows with no events land in
+    /// bin 0 (the paper's "non-contention" bin).
+    pub fn from_train(train: &EventTrain, delta_t: u64, start: u64, end: u64) -> Self {
+        let mut h = Self::empty(delta_t);
+        h.accumulate(train, start, end);
+        h
+    }
+
+    /// Adds the windows of `[start, end)` from `train` into this histogram.
+    pub fn accumulate(&mut self, train: &EventTrain, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let dt = self.delta_t;
+        let total_windows = (end - start).div_ceil(dt);
+
+        // Per-window counts. Runs from different contexts may overlap in
+        // time, so counts are accumulated per window index before binning.
+        // Dense counting for normal ranges; sparse for huge, mostly-empty
+        // ranges (e.g. 0.1 bps channels observed over minutes).
+        const DENSE_LIMIT: u64 = 1 << 23;
+        let mut dense: Vec<u32> = Vec::new();
+        let mut sparse: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let use_dense = total_windows <= DENSE_LIMIT;
+        if use_dense {
+            dense = vec![0u32; total_windows as usize];
+        }
+        let mut add = |window: u64, count: u64| {
+            debug_assert!(window < total_windows);
+            if use_dense {
+                let slot = &mut dense[window as usize];
+                *slot = slot.saturating_add(count.min(u32::MAX as u64) as u32);
+            } else {
+                *sparse.entry(window).or_insert(0) += count;
+            }
+        };
+        for (time, weight) in train.iter() {
+            if time < start || time >= end || weight == 0 {
+                continue;
+            }
+            // Spread the run of `weight` unit events over consecutive
+            // cycles, splitting across window boundaries.
+            let mut t = time;
+            let mut remaining = weight as u64;
+            while remaining > 0 && t < end {
+                let w = (t - start) / dt;
+                let window_end = start + (w + 1) * dt;
+                let room = window_end.min(end) - t;
+                let take = remaining.min(room);
+                add(w, take);
+                remaining -= take;
+                t += take;
+            }
+        }
+        let mut counted_windows: u64 = 0;
+        if use_dense {
+            for &count in &dense {
+                if count > 0 {
+                    let bin = (count as usize).min(HISTOGRAM_BINS - 1);
+                    self.bins[bin] += 1;
+                    counted_windows += 1;
+                }
+            }
+        } else {
+            for (_, &count) in sparse.iter() {
+                if count > 0 {
+                    let bin = (count as usize).min(HISTOGRAM_BINS - 1);
+                    self.bins[bin] += 1;
+                    counted_windows += 1;
+                }
+            }
+        }
+        // All untouched windows are empty → bin 0.
+        self.bins[0] += total_windows - counted_windows;
+        self.windows += total_windows;
+    }
+
+    /// The Δt this histogram was built with.
+    pub fn delta_t(&self) -> u64 {
+        self.delta_t
+    }
+
+    /// Frequency of windows with density `bin` (bin 127 holds ≥ 127).
+    pub fn frequency(&self, bin: usize) -> u64 {
+        self.bins[bin]
+    }
+
+    /// All 128 bin frequencies.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of Δt windows observed.
+    pub fn total_windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Number of windows with at least one event (everything right of
+    /// bin 0). The paper's likelihood-ratio computation omits bin 0 "since
+    /// it does not contribute to any contention".
+    pub fn contended_windows(&self) -> u64 {
+        self.bins[1..].iter().sum()
+    }
+
+    /// Mean density over non-empty windows, or 0.0 if all windows are empty.
+    pub fn mean_nonzero_density(&self) -> f64 {
+        let (sum, count) = self.bins[1..]
+            .iter()
+            .enumerate()
+            .fold((0u64, 0u64), |(s, c), (i, &f)| {
+                (s + (i as u64 + 1) * f, c + f)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Merges another histogram built with the same Δt into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Δt values differ.
+    pub fn merge(&mut self, other: &DensityHistogram) {
+        assert_eq!(self.delta_t, other.delta_t, "Δt mismatch in merge");
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.windows += other.windows;
+    }
+
+    /// Creates a histogram directly from raw bin frequencies (e.g. read out
+    /// of the CC-auditor histogram buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is not exactly [`HISTOGRAM_BINS`] long or `delta_t`
+    /// is zero.
+    pub fn from_bins(bins: Vec<u64>, delta_t: u64) -> Self {
+        assert_eq!(bins.len(), HISTOGRAM_BINS, "expected 128 bins");
+        assert!(delta_t > 0, "Δt must be nonzero");
+        let windows = bins.iter().sum();
+        DensityHistogram {
+            bins,
+            delta_t,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_resolves() {
+        let train = EventTrain::from_times(vec![0, 10]);
+        assert_eq!(DeltaTPolicy::Fixed(500).resolve(&train, 0, 100), Some(500));
+    }
+
+    #[test]
+    fn rate_policy_scales_inverse_to_rate() {
+        // 10 events over 1000 cycles → rate 0.01; α = 5 → Δt = 500.
+        let train = EventTrain::from_times((0..10).map(|i| i * 100).collect());
+        let dt = DeltaTPolicy::FromRate {
+            alpha: 5.0,
+            min: 1,
+            max: 1_000_000,
+        }
+        .resolve(&train, 0, 1000)
+        .unwrap();
+        assert_eq!(dt, 500);
+    }
+
+    #[test]
+    fn rate_policy_clamps() {
+        let train = EventTrain::from_times(vec![0]);
+        let dt = DeltaTPolicy::FromRate {
+            alpha: 1.0,
+            min: 10,
+            max: 20,
+        }
+        .resolve(&train, 0, 1_000_000)
+        .unwrap();
+        assert_eq!(dt, 20, "huge raw Δt clamps to max");
+    }
+
+    #[test]
+    fn rate_policy_none_without_events() {
+        let train = EventTrain::new();
+        assert_eq!(
+            DeltaTPolicy::FromRate {
+                alpha: 1.0,
+                min: 1,
+                max: 10
+            }
+            .resolve(&train, 0, 100),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_counts_windows() {
+        // Windows of 100 over [0, 400): densities 2, 0, 1, 1.
+        let train = EventTrain::from_times(vec![10, 20, 210, 350]);
+        let h = DensityHistogram::from_train(&train, 100, 0, 400);
+        assert_eq!(h.total_windows(), 4);
+        assert_eq!(h.frequency(0), 1);
+        assert_eq!(h.frequency(1), 2);
+        assert_eq!(h.frequency(2), 1);
+        assert_eq!(h.contended_windows(), 3);
+    }
+
+    #[test]
+    fn histogram_saturates_at_last_bin() {
+        let train = EventTrain::from_times(vec![5; 500]);
+        let h = DensityHistogram::from_train(&train, 100, 0, 100);
+        assert_eq!(h.frequency(HISTOGRAM_BINS - 1), 1);
+    }
+
+    #[test]
+    fn weighted_runs_split_across_windows() {
+        // A 10-cycle run starting at cycle 95 with Δt = 100: 5 events in
+        // window 0, 5 in window 1.
+        let mut train = EventTrain::new();
+        train.push(95, 10);
+        let h = DensityHistogram::from_train(&train, 100, 0, 200);
+        assert_eq!(h.frequency(5), 2);
+        assert_eq!(h.total_windows(), 2);
+    }
+
+    #[test]
+    fn empty_windows_land_in_bin_zero() {
+        let train = EventTrain::new();
+        let h = DensityHistogram::from_train(&train, 100, 0, 1000);
+        assert_eq!(h.frequency(0), 10);
+        assert_eq!(h.contended_windows(), 0);
+        assert_eq!(h.mean_nonzero_density(), 0.0);
+    }
+
+    #[test]
+    fn partial_last_window_is_counted() {
+        let train = EventTrain::from_times(vec![250]);
+        let h = DensityHistogram::from_train(&train, 100, 0, 260);
+        assert_eq!(h.total_windows(), 3);
+        assert_eq!(h.frequency(1), 1);
+    }
+
+    #[test]
+    fn merge_adds_bins() {
+        let t1 = EventTrain::from_times(vec![10]);
+        let t2 = EventTrain::from_times(vec![10, 20]);
+        let mut a = DensityHistogram::from_train(&t1, 100, 0, 100);
+        let b = DensityHistogram::from_train(&t2, 100, 0, 100);
+        a.merge(&b);
+        assert_eq!(a.total_windows(), 2);
+        assert_eq!(a.frequency(1), 1);
+        assert_eq!(a.frequency(2), 1);
+    }
+
+    #[test]
+    fn mean_nonzero_density() {
+        let train = EventTrain::from_times(vec![0, 1, 2, 100]);
+        let h = DensityHistogram::from_train(&train, 100, 0, 200);
+        // Densities: 3 and 1 → mean 2.
+        assert!((h.mean_nonzero_density() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_bins_roundtrip() {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 90;
+        bins[20] = 10;
+        let h = DensityHistogram::from_bins(bins, 100_000);
+        assert_eq!(h.total_windows(), 100);
+        assert_eq!(h.frequency(20), 10);
+        assert_eq!(h.delta_t(), 100_000);
+    }
+
+    #[test]
+    fn events_outside_range_ignored() {
+        let train = EventTrain::from_times(vec![5, 150, 450]);
+        let h = DensityHistogram::from_train(&train, 100, 100, 400);
+        assert_eq!(h.total_windows(), 3);
+        assert_eq!(h.contended_windows(), 1);
+    }
+}

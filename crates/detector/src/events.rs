@@ -1,0 +1,364 @@
+//! Event trains and symbol series — the detector's input representations.
+//!
+//! The paper analyzes two kinds of time series:
+//!
+//! * an **event train**: a uni-dimensional time series of event occurrences
+//!   (Figure 4), here with an integer *weight* per entry so that run events
+//!   such as "this division stalled for 17 cycles" can be represented
+//!   compactly (one weighted entry instead of 17 unit entries);
+//! * a **symbol series**: the *order* of labeled events with time abstracted
+//!   away, used by the oscillation detector (each cache conflict miss is one
+//!   symbol: its ordered replacer→victim pair identifier).
+
+use std::fmt;
+
+/// A time-ordered train of (possibly weighted) events.
+///
+/// Timestamps are in cycles. Entries must be pushed in nondecreasing time
+/// order; weights are the number of unit events the entry stands for.
+///
+/// ```
+/// use cchunter_detector::EventTrain;
+/// let mut train = EventTrain::new();
+/// train.push(100, 1);
+/// train.push(250, 3); // e.g. a 3-cycle contention run
+/// assert_eq!(train.len(), 2);
+/// assert_eq!(train.total_events(), 4);
+/// assert_eq!(train.span(), Some((100, 250)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTrain {
+    times: Vec<u64>,
+    weights: Vec<u32>,
+    total: u64,
+}
+
+impl EventTrain {
+    /// Creates an empty train.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a train from unit events at the given timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is not sorted in nondecreasing order.
+    pub fn from_times(times: Vec<u64>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "event times must be nondecreasing"
+        );
+        let total = times.len() as u64;
+        let weights = vec![1; times.len()];
+        EventTrain {
+            times,
+            weights,
+            total,
+        }
+    }
+
+    /// Appends an event of `weight` unit occurrences at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last pushed event.
+    pub fn push(&mut self, time: u64, weight: u32) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "event times must be nondecreasing");
+        }
+        self.times.push(time);
+        self.weights.push(weight);
+        self.total += weight as u64;
+    }
+
+    /// Number of entries (weighted events).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the train has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Total unit event count (sum of weights).
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// First and last timestamps, if nonempty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(time, weight)` entries in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.times.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// The raw timestamps.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Mean unit-event rate over `[start, end)`, in events per cycle.
+    ///
+    /// Returns 0.0 for an empty window.
+    pub fn mean_rate(&self, start: u64, end: u64) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let events: u64 = self
+            .iter()
+            .filter(|&(t, _)| t >= start && t < end)
+            .map(|(_, w)| w as u64)
+            .sum();
+        events as f64 / (end - start) as f64
+    }
+
+    /// Returns the sub-train with timestamps in `[start, end)`.
+    pub fn window(&self, start: u64, end: u64) -> EventTrain {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < end);
+        let times = self.times[lo..hi].to_vec();
+        let weights = self.weights[lo..hi].to_vec();
+        let total = weights.iter().map(|&w| w as u64).sum();
+        EventTrain {
+            times,
+            weights,
+            total,
+        }
+    }
+
+    /// Splits the train into consecutive windows of `window_cycles` covering
+    /// `[start, end)` (the last window may be partial).
+    pub fn windows(&self, start: u64, end: u64, window_cycles: u64) -> Vec<EventTrain> {
+        assert!(window_cycles > 0, "window length must be nonzero");
+        let mut out = Vec::new();
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + window_cycles).min(end);
+            out.push(self.window(lo, hi));
+            lo = hi;
+        }
+        out
+    }
+}
+
+impl FromIterator<u64> for EventTrain {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        EventTrain::from_times(iter.into_iter().collect())
+    }
+}
+
+impl Extend<(u64, u32)> for EventTrain {
+    fn extend<I: IntoIterator<Item = (u64, u32)>>(&mut self, iter: I) {
+        for (t, w) in iter {
+            self.push(t, w);
+        }
+    }
+}
+
+/// An ordered series of event labels with time abstracted away.
+///
+/// For the cache oscillation detector each symbol is the identifier of an
+/// ordered (replacer → victim) context pair: "S→T" is one symbol value,
+/// "T→S" another (paper §IV-D).
+///
+/// ```
+/// use cchunter_detector::SymbolSeries;
+/// let series: SymbolSeries = [1u8, 0, 1, 0].into_iter().collect();
+/// assert_eq!(series.len(), 4);
+/// assert_eq!(series.alphabet_size(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolSeries {
+    symbols: Vec<u8>,
+}
+
+impl SymbolSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing symbol vector.
+    pub fn from_symbols(symbols: Vec<u8>) -> Self {
+        SymbolSeries { symbols }
+    }
+
+    /// Appends one symbol.
+    pub fn push(&mut self, symbol: u8) {
+        self.symbols.push(symbol);
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols in order.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Number of distinct symbol values present.
+    pub fn alphabet_size(&self) -> usize {
+        let mut seen = [false; 256];
+        let mut count = 0;
+        for &s in &self.symbols {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// The series as `f64` samples, for correlation analysis.
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.symbols.iter().map(|&s| s as f64).collect()
+    }
+
+    /// Splits into consecutive chunks of at most `chunk` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = SymbolSeries> + '_ {
+        assert!(chunk > 0, "chunk size must be nonzero");
+        self.symbols
+            .chunks(chunk)
+            .map(|c| SymbolSeries::from_symbols(c.to_vec()))
+    }
+}
+
+impl FromIterator<u8> for SymbolSeries {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        SymbolSeries {
+            symbols: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for SymbolSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolSeries[{} symbols]", self.symbols.len())
+    }
+}
+
+/// Identifier of an ordered (replacer → victim) hardware context pair.
+///
+/// Every ordered pair of distinct contexts gets a unique identifier, as the
+/// paper requires ("every ordered pair of trojan/spy contexts have unique
+/// identifiers").
+///
+/// ```
+/// use cchunter_detector::events::pair_symbol;
+/// let s_to_t = pair_symbol(1, 0, 8);
+/// let t_to_s = pair_symbol(0, 1, 8);
+/// assert_ne!(s_to_t, t_to_s);
+/// ```
+pub fn pair_symbol(replacer: u8, victim: u8, contexts: u8) -> u8 {
+    replacer * contexts + victim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_enforces_order() {
+        let mut t = EventTrain::new();
+        t.push(5, 1);
+        t.push(5, 2);
+        t.push(9, 1);
+        assert_eq!(t.total_events(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn push_rejects_time_travel() {
+        let mut t = EventTrain::new();
+        t.push(10, 1);
+        t.push(9, 1);
+    }
+
+    #[test]
+    fn window_selects_half_open_interval() {
+        let t = EventTrain::from_times(vec![0, 10, 20, 30, 40]);
+        let w = t.window(10, 30);
+        assert_eq!(w.times(), &[10, 20]);
+        assert_eq!(w.total_events(), 2);
+    }
+
+    #[test]
+    fn windows_cover_range() {
+        let t = EventTrain::from_times(vec![0, 10, 20, 30, 40]);
+        let ws = t.windows(0, 50, 20);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].len(), 2);
+        assert_eq!(ws[1].len(), 2);
+        assert_eq!(ws[2].len(), 1);
+    }
+
+    #[test]
+    fn mean_rate_counts_weights() {
+        let mut t = EventTrain::new();
+        t.push(0, 2);
+        t.push(50, 2);
+        assert!((t.mean_rate(0, 100) - 0.04).abs() < 1e-12);
+        assert_eq!(t.mean_rate(100, 100), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: EventTrain = vec![1u64, 2, 3].into_iter().collect();
+        t.extend(vec![(4u64, 2u32)]);
+        assert_eq!(t.total_events(), 5);
+    }
+
+    #[test]
+    fn empty_train_edge_cases() {
+        let t = EventTrain::new();
+        assert!(t.is_empty());
+        assert_eq!(t.span(), None);
+        assert_eq!(t.mean_rate(0, 100), 0.0);
+        assert!(t.window(0, 10).is_empty());
+    }
+
+    #[test]
+    fn symbol_series_alphabet() {
+        let s = SymbolSeries::from_symbols(vec![3, 3, 7, 3, 9]);
+        assert_eq!(s.alphabet_size(), 3);
+        assert_eq!(s.as_f64()[2], 7.0);
+    }
+
+    #[test]
+    fn symbol_chunks_partition() {
+        let s: SymbolSeries = (0..10u8).collect();
+        let chunks: Vec<_> = s.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].len(), 2);
+    }
+
+    #[test]
+    fn pair_symbols_are_unique_for_eight_contexts() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..8u8 {
+            for v in 0..8u8 {
+                assert!(seen.insert(pair_symbol(r, v, 8)));
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+}

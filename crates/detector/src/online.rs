@@ -1,0 +1,259 @@
+//! Online (streaming) detection — the long-running daemon view.
+//!
+//! The batch APIs in [`crate::pipeline`] analyze a completed observation
+//! window; a deployed CC-Hunter daemon instead consumes the CC-auditor's
+//! buffers quantum by quantum, keeps a sliding observation window (at most
+//! 512 quanta, §IV-B), and raises an alarm the moment recurrence (or
+//! sustained oscillation) is established.
+
+use crate::auditor::ConflictRecord;
+use crate::autocorr::{OscillationDetector, OscillationVerdict};
+use crate::burst::{BurstDetector, BurstVerdict};
+use crate::cluster::{analyze_recurrence, RecurrenceVerdict};
+use crate::density::DensityHistogram;
+use crate::pipeline::{symbol_series, CcHunterConfig, Verdict};
+use std::collections::VecDeque;
+
+/// Status returned after each pushed quantum.
+#[derive(Debug, Clone)]
+pub struct OnlineStatus {
+    /// The quantum's own burst verdict (contention path) — `None` on the
+    /// oscillation path.
+    pub quantum_burst: Option<BurstVerdict>,
+    /// The quantum's oscillation verdict (oscillation path) — `None` on
+    /// the contention path.
+    pub quantum_oscillation: Option<OscillationVerdict>,
+    /// Recurrence over the current sliding window (contention path).
+    pub recurrence: Option<RecurrenceVerdict>,
+    /// Oscillatory quanta within the current sliding window.
+    pub oscillatory_in_window: usize,
+    /// Quanta currently in the sliding window.
+    pub window_len: usize,
+    /// The daemon's current call.
+    pub verdict: Verdict,
+}
+
+/// Streaming detector for one *combinational* resource (bus, divider,
+/// multiplier): feed one harvested histogram per OS quantum.
+///
+/// ```
+/// use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
+/// use cchunter_detector::online::OnlineContentionDetector;
+/// use cchunter_detector::pipeline::CcHunterConfig;
+///
+/// let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 512);
+/// let mut bins = vec![0u64; HISTOGRAM_BINS];
+/// bins[0] = 2_400;
+/// bins[20] = 100; // a covert-channel-shaped quantum
+/// let covert = DensityHistogram::from_bins(bins, 100_000);
+/// let status = daemon.push_quantum(covert.clone());
+/// assert!(!status.verdict.is_covert(), "one bursty quantum is not recurrent");
+/// let status = daemon.push_quantum(covert);
+/// assert!(status.verdict.is_covert(), "the pattern recurs");
+/// ```
+#[derive(Debug)]
+pub struct OnlineContentionDetector {
+    config: CcHunterConfig,
+    detector: BurstDetector,
+    window: VecDeque<(DensityHistogram, BurstVerdict)>,
+    capacity: usize,
+}
+
+impl OnlineContentionDetector {
+    /// Creates a daemon keeping a sliding window of `window_quanta`
+    /// (clamped to the paper's 512-quantum limit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_quanta` is zero.
+    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Self {
+        assert!(window_quanta > 0, "window must hold at least one quantum");
+        OnlineContentionDetector {
+            detector: BurstDetector::new(config.burst),
+            config,
+            window: VecDeque::new(),
+            capacity: window_quanta.min(512),
+        }
+    }
+
+    /// Quanta currently retained.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Feeds one quantum's harvested histogram; returns the daemon's
+    /// up-to-date status.
+    pub fn push_quantum(&mut self, histogram: DensityHistogram) -> OnlineStatus {
+        let verdict = self.detector.analyze(&histogram);
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((histogram, verdict));
+        let histograms: Vec<DensityHistogram> =
+            self.window.iter().map(|(h, _)| h.clone()).collect();
+        let verdicts: Vec<BurstVerdict> = self.window.iter().map(|(_, v)| *v).collect();
+        let recurrence = analyze_recurrence(&histograms, &verdicts, &self.config.cluster);
+        let call = if recurrence.recurrent {
+            Verdict::CovertTimingChannel
+        } else {
+            Verdict::Clean
+        };
+        OnlineStatus {
+            quantum_burst: Some(verdict),
+            quantum_oscillation: None,
+            oscillatory_in_window: 0,
+            window_len: self.window.len(),
+            recurrence: Some(recurrence),
+            verdict: call,
+        }
+    }
+}
+
+/// Streaming detector for a *memory* resource (shared cache): feed the
+/// conflict records drained each OS quantum.
+#[derive(Debug)]
+pub struct OnlineOscillationDetector {
+    config: CcHunterConfig,
+    detector: OscillationDetector,
+    /// Per-quantum oscillation outcomes in the sliding window.
+    window: VecDeque<bool>,
+    capacity: usize,
+}
+
+impl OnlineOscillationDetector {
+    /// Creates a daemon keeping a sliding window of `window_quanta`
+    /// (clamped to 512).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_quanta` is zero.
+    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Self {
+        assert!(window_quanta > 0, "window must hold at least one quantum");
+        OnlineOscillationDetector {
+            detector: OscillationDetector::new(config.oscillation),
+            config,
+            window: VecDeque::new(),
+            capacity: window_quanta.min(512),
+        }
+    }
+
+    /// Feeds one quantum's drained conflict records.
+    pub fn push_quantum(&mut self, records: &[ConflictRecord]) -> OnlineStatus {
+        let series = symbol_series(records, 0, u64::MAX);
+        let verdict = self.detector.analyze(&series, self.config.max_lag);
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(verdict.oscillatory);
+        let oscillatory = self.window.iter().filter(|&&o| o).count();
+        let call = if oscillatory >= self.config.min_oscillatory_windows {
+            Verdict::CovertTimingChannel
+        } else {
+            Verdict::Clean
+        };
+        OnlineStatus {
+            quantum_burst: None,
+            quantum_oscillation: Some(verdict),
+            oscillatory_in_window: oscillatory,
+            window_len: self.window.len(),
+            recurrence: None,
+            verdict: call,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::HISTOGRAM_BINS;
+
+    fn covert_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_400;
+        bins[19] = 20;
+        bins[20] = 150;
+        bins[21] = 25;
+        DensityHistogram::from_bins(bins, 100_000)
+    }
+
+    fn quiet_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_495;
+        bins[1] = 5;
+        DensityHistogram::from_bins(bins, 100_000)
+    }
+
+    #[test]
+    fn alarm_fires_once_pattern_recurs() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64);
+        let first = daemon.push_quantum(covert_histogram());
+        assert!(!first.verdict.is_covert());
+        let second = daemon.push_quantum(covert_histogram());
+        assert!(second.verdict.is_covert());
+        assert!(second.recurrence.unwrap().recurrent);
+    }
+
+    #[test]
+    fn quiet_stream_never_alarms() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64);
+        for _ in 0..100 {
+            let status = daemon.push_quantum(quiet_histogram());
+            assert!(!status.verdict.is_covert());
+        }
+        assert_eq!(daemon.window_len(), 64, "window is bounded");
+    }
+
+    #[test]
+    fn alarm_clears_after_channel_stops() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8);
+        for _ in 0..4 {
+            daemon.push_quantum(covert_histogram());
+        }
+        assert!(daemon.push_quantum(covert_histogram()).verdict.is_covert());
+        // The channel stops; once its quanta age out of the window the
+        // daemon stands down.
+        let mut last = Verdict::CovertTimingChannel;
+        for _ in 0..8 {
+            last = daemon.push_quantum(quiet_histogram()).verdict;
+        }
+        assert!(!last.is_covert());
+    }
+
+    #[test]
+    fn oscillation_daemon_needs_sustained_windows() {
+        let config = CcHunterConfig::default();
+        let mut daemon = OnlineOscillationDetector::new(config, 16);
+        // A square-wave quantum: 8 bits × (64 T→S + 64 S→T).
+        let mut records = Vec::new();
+        let mut cycle = 0;
+        for _ in 0..8 {
+            for _ in 0..64 {
+                records.push(ConflictRecord {
+                    cycle,
+                    replacer: 0,
+                    victim: 1,
+                });
+                cycle += 100;
+            }
+            for _ in 0..64 {
+                records.push(ConflictRecord {
+                    cycle,
+                    replacer: 1,
+                    victim: 0,
+                });
+                cycle += 100;
+            }
+        }
+        let first = daemon.push_quantum(&records);
+        assert!(first.quantum_oscillation.unwrap().oscillatory);
+        assert!(!first.verdict.is_covert(), "one window is not sustained");
+        let second = daemon.push_quantum(&records);
+        assert!(second.verdict.is_covert());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quantum")]
+    fn zero_window_rejected() {
+        let _ = OnlineContentionDetector::new(CcHunterConfig::default(), 0);
+    }
+}

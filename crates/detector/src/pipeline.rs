@@ -1,0 +1,532 @@
+//! The end-to-end CC-Hunter detection pipeline (paper §IV–§V).
+//!
+//! The software half of CC-Hunter runs as a background daemon: every OS
+//! time quantum it harvests the CC-auditor's buffers and runs
+//!
+//! * the **recurrent-burst** path for combinational units: per-quantum
+//!   density histogram → threshold-density split → likelihood ratio →
+//!   pattern clustering across the observation window (≤ 512 quanta);
+//! * the **oscillation** path for memory units: per-window conflict-miss
+//!   symbol series → autocorrelogram → periodicity test. The window
+//!   defaults to one quantum and can be divided further (the paper's
+//!   Figure 11 shows fractional windows recover 0.1 bps channels).
+
+use crate::auditor::ConflictRecord;
+use crate::autocorr::{OscillationConfig, OscillationDetector, OscillationVerdict};
+use crate::burst::{BurstConfig, BurstDetector, BurstVerdict};
+use crate::cluster::{analyze_recurrence, ClusterConfig, RecurrenceVerdict};
+use crate::density::{DeltaTPolicy, DensityHistogram};
+use crate::events::{pair_symbol, EventTrain, SymbolSeries};
+use std::fmt;
+
+/// The two classes of shared hardware the paper distinguishes (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Logic and wires (memory bus, divider): covert channels appear as
+    /// recurrent contention bursts.
+    Combinational,
+    /// Memory structures (caches): covert channels appear as oscillatory
+    /// conflict-miss patterns.
+    Memory,
+}
+
+/// CC-Hunter's final call for one audited resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Recurrent bursts / sustained oscillation found: a covert timing
+    /// channel is likely operating on the resource.
+    CovertTimingChannel,
+    /// No covert-channel signature.
+    Clean,
+}
+
+impl Verdict {
+    /// Whether this verdict reports a channel.
+    pub fn is_covert(self) -> bool {
+        matches!(self, Verdict::CovertTimingChannel)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::CovertTimingChannel => f.write_str("COVERT TIMING CHANNEL"),
+            Verdict::Clean => f.write_str("clean"),
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcHunterConfig {
+    /// OS time quantum in cycles (0.1 s = 250 M cycles at 2.5 GHz).
+    pub quantum_cycles: u64,
+    /// Δt selection for contention audits.
+    pub delta_t: DeltaTPolicy,
+    /// Burst-detection thresholds.
+    pub burst: BurstConfig,
+    /// Pattern-clustering (recurrence) parameters.
+    pub cluster: ClusterConfig,
+    /// Oscillation-detection thresholds.
+    pub oscillation: OscillationConfig,
+    /// Autocorrelogram depth in lags.
+    pub max_lag: usize,
+    /// Observation windows per quantum for the oscillation path (1 = full
+    /// quantum; 2/4 = the paper's 0.5×/0.25× fine-grain analysis).
+    pub windows_per_quantum: u32,
+    /// Minimum number of oscillatory windows to report a cache channel.
+    pub min_oscillatory_windows: usize,
+}
+
+impl Default for CcHunterConfig {
+    fn default() -> Self {
+        CcHunterConfig {
+            quantum_cycles: 250_000_000,
+            delta_t: DeltaTPolicy::Fixed(100_000),
+            burst: BurstConfig::default(),
+            cluster: ClusterConfig::default(),
+            oscillation: OscillationConfig::default(),
+            max_lag: 1000,
+            windows_per_quantum: 1,
+            min_oscillatory_windows: 2,
+        }
+    }
+}
+
+/// Report of the recurrent-burst path over an observation window.
+#[derive(Debug, Clone)]
+pub struct ContentionReport {
+    /// Per-quantum density histograms.
+    pub histograms: Vec<DensityHistogram>,
+    /// Per-quantum burst verdicts (parallel to `histograms`).
+    pub quantum_verdicts: Vec<BurstVerdict>,
+    /// Recurrence analysis over the whole window.
+    pub recurrence: RecurrenceVerdict,
+    /// Highest likelihood ratio among significant quanta.
+    pub peak_likelihood_ratio: f64,
+    /// Final call.
+    pub verdict: Verdict,
+}
+
+impl ContentionReport {
+    /// Number of quanta with a significant burst distribution.
+    pub fn significant_quanta(&self) -> usize {
+        self.quantum_verdicts
+            .iter()
+            .filter(|v| v.significant)
+            .count()
+    }
+}
+
+/// Report of the oscillation path over an observation window.
+#[derive(Debug, Clone)]
+pub struct OscillationReport {
+    /// Per-window verdicts.
+    pub window_verdicts: Vec<OscillationVerdict>,
+    /// Strongest autocorrelation peak seen: `(lag, value)`.
+    pub peak: Option<(usize, f64)>,
+    /// Number of oscillatory windows.
+    pub oscillatory_windows: usize,
+    /// Final call.
+    pub verdict: Verdict,
+}
+
+/// The CC-Hunter detection pipeline.
+///
+/// ```
+/// use cchunter_detector::{CcHunter, CcHunterConfig, EventTrain};
+/// use cchunter_detector::density::DeltaTPolicy;
+///
+/// let config = CcHunterConfig {
+///     quantum_cycles: 10_000,
+///     delta_t: DeltaTPolicy::Fixed(100),
+///     ..CcHunterConfig::default()
+/// };
+/// let hunter = CcHunter::new(config);
+///
+/// // A trojan bursting 20 events per Δt for half of every quantum.
+/// let mut train = EventTrain::new();
+/// for q in 0..8u64 {
+///     for w in 0..50u64 {
+///         for e in 0..20u64 {
+///             train.push(q * 10_000 + w * 100 + e * 5, 1);
+///         }
+///     }
+/// }
+/// let report = hunter.analyze_contention_train(&train, 0, 80_000);
+/// assert!(report.verdict.is_covert());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CcHunter {
+    config: CcHunterConfig,
+}
+
+impl Default for CcHunter {
+    fn default() -> Self {
+        CcHunter::new(CcHunterConfig::default())
+    }
+}
+
+impl CcHunter {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: CcHunterConfig) -> Self {
+        CcHunter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CcHunterConfig {
+        &self.config
+    }
+
+    /// Runs the recurrent-burst path on pre-harvested per-quantum
+    /// histograms (the daemon's normal mode, fed by the CC-auditor).
+    pub fn analyze_contention(&self, histograms: Vec<DensityHistogram>) -> ContentionReport {
+        let detector = BurstDetector::new(self.config.burst);
+        let quantum_verdicts: Vec<BurstVerdict> =
+            histograms.iter().map(|h| detector.analyze(h)).collect();
+        let recurrence = analyze_recurrence(&histograms, &quantum_verdicts, &self.config.cluster);
+        let peak_likelihood_ratio = quantum_verdicts
+            .iter()
+            .filter(|v| v.has_burst_distribution)
+            .map(|v| v.likelihood_ratio)
+            .fold(0.0, f64::max);
+        let verdict = if recurrence.recurrent {
+            Verdict::CovertTimingChannel
+        } else {
+            Verdict::Clean
+        };
+        ContentionReport {
+            histograms,
+            quantum_verdicts,
+            recurrence,
+            peak_likelihood_ratio,
+            verdict,
+        }
+    }
+
+    /// Convenience: slices an event train into quanta over `[start, end)`,
+    /// builds the histograms, and runs the recurrent-burst path.
+    pub fn analyze_contention_train(
+        &self,
+        train: &EventTrain,
+        start: u64,
+        end: u64,
+    ) -> ContentionReport {
+        let histograms = self.quantum_histograms(train, start, end);
+        self.analyze_contention(histograms)
+    }
+
+    /// Builds per-quantum density histograms for a train over `[start,
+    /// end)`, resolving Δt from the configured policy (falling back to one
+    /// quantum when the rate-based policy sees no events).
+    pub fn quantum_histograms(
+        &self,
+        train: &EventTrain,
+        start: u64,
+        end: u64,
+    ) -> Vec<DensityHistogram> {
+        let quantum = self.config.quantum_cycles;
+        let delta_t = self
+            .config
+            .delta_t
+            .resolve(train, start, end)
+            .unwrap_or(quantum);
+        let mut out = Vec::new();
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + quantum).min(end);
+            out.push(DensityHistogram::from_train(train, delta_t, lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
+    /// Runs the oscillation path on drained conflict records over
+    /// `[start, end)` cycles.
+    ///
+    /// Records are windowed by time (quantum / `windows_per_quantum`), each
+    /// window's cross-context conflicts become a symbol series, and each
+    /// series is tested for sustained periodicity.
+    pub fn analyze_oscillation(
+        &self,
+        records: &[ConflictRecord],
+        start: u64,
+        end: u64,
+    ) -> OscillationReport {
+        let window =
+            (self.config.quantum_cycles / self.config.windows_per_quantum.max(1) as u64).max(1);
+        let detector = OscillationDetector::new(self.config.oscillation);
+        let mut window_verdicts = Vec::new();
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + window).min(end);
+            let series = symbol_series(records, lo, hi);
+            window_verdicts.push(detector.analyze(&series, self.config.max_lag));
+            lo = hi;
+        }
+        let oscillatory_windows = window_verdicts.iter().filter(|v| v.oscillatory).count();
+        let peak = window_verdicts
+            .iter()
+            .filter_map(|v| v.peak)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite peaks"));
+        let verdict = if oscillatory_windows >= self.config.min_oscillatory_windows {
+            Verdict::CovertTimingChannel
+        } else {
+            Verdict::Clean
+        };
+        OscillationReport {
+            window_verdicts,
+            peak,
+            oscillatory_windows,
+            verdict,
+        }
+    }
+}
+
+/// Builds the cross-context conflict symbol series for records within
+/// `[start, end)`. Same-context replacements (a thread conflicting with
+/// itself) carry no inter-process signal and are filtered out, matching the
+/// paper's trojan/spy pair identifiers.
+pub fn symbol_series(records: &[ConflictRecord], start: u64, end: u64) -> SymbolSeries {
+    records
+        .iter()
+        .filter(|r| r.cycle >= start && r.cycle < end && r.replacer != r.victim)
+        .map(|r| pair_symbol(r.replacer, r.victim, 8))
+        .collect()
+}
+
+/// A labeled detection outcome, convenient for experiment summaries.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Short resource label (e.g. "memory-bus").
+    pub resource: String,
+    /// Resource class.
+    pub kind: ResourceKind,
+    /// Final call.
+    pub verdict: Verdict,
+    /// One-line evidence summary.
+    pub evidence: String,
+}
+
+impl Detection {
+    /// Builds a detection summary from a contention report.
+    pub fn from_contention(resource: impl Into<String>, report: &ContentionReport) -> Self {
+        Detection {
+            resource: resource.into(),
+            kind: ResourceKind::Combinational,
+            verdict: report.verdict,
+            evidence: format!(
+                "{} of {} quanta bursty (peak LR {:.3}), largest cluster {}",
+                report.significant_quanta(),
+                report.quantum_verdicts.len(),
+                report.peak_likelihood_ratio,
+                report.recurrence.largest_burst_cluster
+            ),
+        }
+    }
+
+    /// Builds a detection summary from an oscillation report.
+    pub fn from_oscillation(resource: impl Into<String>, report: &OscillationReport) -> Self {
+        let peak = report
+            .peak
+            .map(|(lag, value)| format!("peak r={value:.3} @ lag {lag}"))
+            .unwrap_or_else(|| "no peak".to_string());
+        Detection {
+            resource: resource.into(),
+            kind: ResourceKind::Memory,
+            verdict: report.verdict,
+            evidence: format!(
+                "{} of {} windows oscillatory ({peak})",
+                report.oscillatory_windows,
+                report.window_verdicts.len()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.resource, self.verdict, self.evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CcHunterConfig {
+        CcHunterConfig {
+            quantum_cycles: 100_000,
+            delta_t: DeltaTPolicy::Fixed(1_000),
+            ..CcHunterConfig::default()
+        }
+    }
+
+    /// A covert-channel-like train: dense bursts in every quantum.
+    fn covert_train(quanta: u64, quantum: u64) -> EventTrain {
+        let mut train = EventTrain::new();
+        for q in 0..quanta {
+            // 20 bursts per quantum, each 25 events over ~1 Δt.
+            for b in 0..20u64 {
+                let base = q * quantum + b * 5_000;
+                for e in 0..25u64 {
+                    train.push(base + e * 40, 1);
+                }
+            }
+        }
+        train
+    }
+
+    /// A benign train: sparse, uniformly scattered single events.
+    fn benign_train(quanta: u64, quantum: u64) -> EventTrain {
+        let mut train = EventTrain::new();
+        let mut x: u64 = 12345;
+        let mut t = 0;
+        while t < quanta * quantum {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += 2_000 + x % 3_000;
+            if t < quanta * quantum {
+                train.push(t, 1);
+            }
+        }
+        train
+    }
+
+    #[test]
+    fn contention_path_flags_covert_train() {
+        let hunter = CcHunter::new(config());
+        let train = covert_train(8, 100_000);
+        let report = hunter.analyze_contention_train(&train, 0, 800_000);
+        assert!(report.verdict.is_covert());
+        assert!(report.peak_likelihood_ratio > 0.9);
+        assert_eq!(report.significant_quanta(), 8);
+        assert!(report.recurrence.recurrent);
+    }
+
+    #[test]
+    fn contention_path_clears_benign_train() {
+        let hunter = CcHunter::new(config());
+        let train = benign_train(8, 100_000);
+        let report = hunter.analyze_contention_train(&train, 0, 800_000);
+        assert_eq!(report.verdict, Verdict::Clean);
+    }
+
+    #[test]
+    fn empty_train_is_clean() {
+        let hunter = CcHunter::new(config());
+        let report = hunter.analyze_contention_train(&EventTrain::new(), 0, 800_000);
+        assert_eq!(report.verdict, Verdict::Clean);
+        assert_eq!(report.histograms.len(), 8);
+    }
+
+    fn cache_records(bits: usize, sets_per_group: usize) -> Vec<ConflictRecord> {
+        // Per bit: trojan (ctx 0) evicts the spy's lines (victim ctx 1),
+        // then the spy probes (replacer 1, victim 0) — the paper's
+        // steady-state [T→S × G][S→T × G] square wave.
+        let mut records = Vec::new();
+        let mut cycle = 0u64;
+        for _ in 0..bits {
+            for _ in 0..sets_per_group {
+                records.push(ConflictRecord {
+                    cycle,
+                    replacer: 0,
+                    victim: 1,
+                });
+                cycle += 50;
+            }
+            for _ in 0..sets_per_group {
+                records.push(ConflictRecord {
+                    cycle,
+                    replacer: 1,
+                    victim: 0,
+                });
+                cycle += 50;
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn oscillation_path_flags_cache_channel() {
+        let hunter = CcHunter::new(CcHunterConfig {
+            quantum_cycles: 250_000,
+            max_lag: 600,
+            ..CcHunterConfig::default()
+        });
+        let records = cache_records(64, 128);
+        let end = records.last().unwrap().cycle + 1;
+        let report = hunter.analyze_oscillation(&records, 0, end);
+        assert!(report.verdict.is_covert(), "{report:?}");
+        let (lag, value) = report.peak.unwrap();
+        assert!(
+            (246..=266).contains(&lag),
+            "peak near 256 (= 2 × sets per group), got {lag}"
+        );
+        assert!(value > 0.8);
+    }
+
+    #[test]
+    fn oscillation_path_clears_random_conflicts() {
+        let mut x: u64 = 777;
+        let records: Vec<ConflictRecord> = (0..20_000u64)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ConflictRecord {
+                    cycle: i * 500,
+                    replacer: (x % 4) as u8,
+                    victim: ((x >> 8) % 4) as u8,
+                }
+            })
+            .collect();
+        let hunter = CcHunter::new(CcHunterConfig {
+            quantum_cycles: 2_500_000,
+            ..CcHunterConfig::default()
+        });
+        let report = hunter.analyze_oscillation(&records, 0, 10_000_000);
+        assert_eq!(report.verdict, Verdict::Clean, "{report:?}");
+    }
+
+    #[test]
+    fn same_context_conflicts_are_filtered() {
+        let records = vec![
+            ConflictRecord {
+                cycle: 1,
+                replacer: 2,
+                victim: 2,
+            },
+            ConflictRecord {
+                cycle: 2,
+                replacer: 2,
+                victim: 3,
+            },
+        ];
+        let series = symbol_series(&records, 0, 10);
+        assert_eq!(series.len(), 1);
+    }
+
+    #[test]
+    fn fractional_windows_slice_records() {
+        let hunter = CcHunter::new(CcHunterConfig {
+            quantum_cycles: 1_000_000,
+            windows_per_quantum: 4,
+            ..CcHunterConfig::default()
+        });
+        let records = cache_records(16, 64);
+        let report = hunter.analyze_oscillation(&records, 0, 1_000_000);
+        assert_eq!(report.window_verdicts.len(), 4);
+    }
+
+    #[test]
+    fn detection_summaries_render() {
+        let hunter = CcHunter::new(config());
+        let report = hunter.analyze_contention_train(&covert_train(4, 100_000), 0, 400_000);
+        let d = Detection::from_contention("memory-bus", &report);
+        assert!(d.verdict.is_covert());
+        assert!(d.to_string().contains("memory-bus"));
+        assert!(d.to_string().contains("COVERT"));
+    }
+}

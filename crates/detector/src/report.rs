@@ -1,0 +1,152 @@
+//! Session reports: aggregate the per-resource detections of one audit
+//! session into a single structured, renderable record — what the daemon
+//! would hand to the administrator (or a SIEM) when it raises an alarm.
+
+use crate::pipeline::{ContentionReport, Detection, OscillationReport, Verdict};
+use std::fmt;
+
+/// A complete audit-session report across all monitored resources.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    detections: Vec<Detection>,
+    /// Cycles covered by the session.
+    span: Option<(u64, u64)>,
+    /// Clock frequency for second conversions (optional).
+    clock_hz: Option<u64>,
+}
+
+impl SessionReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the cycle span the session covered.
+    pub fn with_span(mut self, start: u64, end: u64) -> Self {
+        self.span = Some((start, end));
+        self
+    }
+
+    /// Sets the clock frequency used for second conversions.
+    pub fn with_clock(mut self, clock_hz: u64) -> Self {
+        self.clock_hz = Some(clock_hz);
+        self
+    }
+
+    /// Adds a contention-path result for `resource`.
+    pub fn add_contention(&mut self, resource: impl Into<String>, report: &ContentionReport) {
+        self.detections
+            .push(Detection::from_contention(resource, report));
+    }
+
+    /// Adds an oscillation-path result for `resource`.
+    pub fn add_oscillation(&mut self, resource: impl Into<String>, report: &OscillationReport) {
+        self.detections
+            .push(Detection::from_oscillation(resource, report));
+    }
+
+    /// All per-resource detections.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// The resources convicted of carrying a covert timing channel.
+    pub fn convicted(&self) -> Vec<&Detection> {
+        self.detections
+            .iter()
+            .filter(|d| d.verdict.is_covert())
+            .collect()
+    }
+
+    /// The session's overall verdict: covert if *any* resource is.
+    pub fn overall(&self) -> Verdict {
+        if self.detections.iter().any(|d| d.verdict.is_covert()) {
+            Verdict::CovertTimingChannel
+        } else {
+            Verdict::Clean
+        }
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CC-Hunter audit session report")?;
+        if let Some((start, end)) = self.span {
+            match self.clock_hz {
+                Some(hz) if hz > 0 => writeln!(
+                    f,
+                    "  span: cycles {start}..{end} ({:.3} s)",
+                    (end.saturating_sub(start)) as f64 / hz as f64
+                )?,
+                _ => writeln!(f, "  span: cycles {start}..{end}")?,
+            }
+        }
+        if self.detections.is_empty() {
+            writeln!(f, "  (no resources audited)")?;
+        }
+        for d in &self.detections {
+            writeln!(f, "  {d}")?;
+        }
+        write!(f, "overall: {}", self.overall())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{DensityHistogram, HISTOGRAM_BINS};
+    use crate::pipeline::{CcHunter, CcHunterConfig};
+
+    fn covert_report() -> ContentionReport {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_400;
+        bins[20] = 100;
+        let h = DensityHistogram::from_bins(bins, 100_000);
+        CcHunter::new(CcHunterConfig::default()).analyze_contention(vec![h.clone(), h])
+    }
+
+    fn quiet_report() -> ContentionReport {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_500;
+        let h = DensityHistogram::from_bins(bins, 100_000);
+        CcHunter::new(CcHunterConfig::default()).analyze_contention(vec![h.clone(), h])
+    }
+
+    #[test]
+    fn overall_is_covert_if_any_resource_is() {
+        let mut report = SessionReport::new();
+        report.add_contention("memory-bus", &covert_report());
+        report.add_contention("integer-divider(core0)", &quiet_report());
+        assert!(report.overall().is_covert());
+        assert_eq!(report.convicted().len(), 1);
+        assert_eq!(report.convicted()[0].resource, "memory-bus");
+    }
+
+    #[test]
+    fn clean_session_is_clean() {
+        let mut report = SessionReport::new();
+        report.add_contention("memory-bus", &quiet_report());
+        assert_eq!(report.overall(), Verdict::Clean);
+        assert!(report.convicted().is_empty());
+    }
+
+    #[test]
+    fn display_renders_span_and_rows() {
+        let mut report = SessionReport::new()
+            .with_span(0, 2_500_000_000)
+            .with_clock(2_500_000_000);
+        report.add_contention("memory-bus", &covert_report());
+        let text = report.to_string();
+        assert!(text.contains("1.000 s"));
+        assert!(text.contains("memory-bus"));
+        assert!(text.contains("overall: COVERT TIMING CHANNEL"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = SessionReport::new();
+        let text = report.to_string();
+        assert!(text.contains("no resources audited"));
+        assert!(text.contains("overall: clean"));
+    }
+}

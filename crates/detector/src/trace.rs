@@ -1,0 +1,263 @@
+//! Trace import/export: run the detector on event data from outside the
+//! bundled simulator (hardware performance counters, other simulators,
+//! packet captures of bus analyzers, …).
+//!
+//! Two plain-text formats, chosen for zero dependencies and `join`-ability
+//! with standard Unix tooling:
+//!
+//! * **event trains** — CSV `cycle,weight` (header optional);
+//! * **conflict records** — CSV `cycle,replacer,victim` (header optional).
+
+use crate::auditor::ConflictRecord;
+use crate::events::EventTrain;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::num::ParseIntError;
+
+/// Errors produced when parsing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Events were not in nondecreasing time order.
+    OutOfOrder {
+        /// 1-based line number of the offending event.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            TraceError::OutOfOrder { line } => {
+                write!(f, "trace events out of time order at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn parse_field(s: &str, line: usize, what: &str) -> Result<u64, TraceError> {
+    s.trim()
+        .parse()
+        .map_err(|e: ParseIntError| TraceError::Parse {
+            line,
+            reason: format!("bad {what} {s:?}: {e}"),
+        })
+}
+
+/// Reads an event train from CSV lines of `cycle[,weight]`.
+///
+/// Blank lines, `#` comments and a leading non-numeric header are skipped;
+/// a missing weight defaults to 1.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, malformed fields, or time-order
+/// violations.
+///
+/// ```
+/// use cchunter_detector::trace::read_event_train;
+/// let train = read_event_train("cycle,weight\n100,1\n250,3\n".as_bytes()).unwrap();
+/// assert_eq!(train.total_events(), 4);
+/// ```
+pub fn read_event_train<R: Read>(reader: R) -> Result<EventTrain, TraceError> {
+    let mut train = EventTrain::new();
+    let mut last = 0u64;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        if line_no == 1 && text.chars().next().is_some_and(|c| !c.is_ascii_digit()) {
+            continue; // header
+        }
+        let mut fields = text.split(',');
+        let cycle = parse_field(fields.next().unwrap_or(""), line_no, "cycle")?;
+        let weight = match fields.next() {
+            Some(w) if !w.trim().is_empty() => parse_field(w, line_no, "weight")? as u32,
+            _ => 1,
+        };
+        if cycle < last {
+            return Err(TraceError::OutOfOrder { line: line_no });
+        }
+        last = cycle;
+        train.push(cycle, weight);
+    }
+    Ok(train)
+}
+
+/// Writes an event train as `cycle,weight` CSV with a header.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_event_train<W: Write>(train: &EventTrain, mut writer: W) -> std::io::Result<()> {
+    let mut out = String::with_capacity(train.len() * 12 + 16);
+    out.push_str("cycle,weight\n");
+    for (t, w) in train.iter() {
+        let _ = writeln!(out, "{t},{w}");
+    }
+    writer.write_all(out.as_bytes())
+}
+
+/// Reads conflict records from CSV lines of `cycle,replacer,victim`.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, malformed fields, context ids
+/// above 7, or time-order violations.
+pub fn read_conflicts<R: Read>(reader: R) -> Result<Vec<ConflictRecord>, TraceError> {
+    let mut records = Vec::new();
+    let mut last = 0u64;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        if line_no == 1 && text.chars().next().is_some_and(|c| !c.is_ascii_digit()) {
+            continue;
+        }
+        let mut fields = text.split(',');
+        let cycle = parse_field(fields.next().unwrap_or(""), line_no, "cycle")?;
+        let replacer = parse_field(fields.next().unwrap_or(""), line_no, "replacer")?;
+        let victim = parse_field(fields.next().unwrap_or(""), line_no, "victim")?;
+        if replacer > 7 || victim > 7 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                reason: "context ids are 3-bit (0..=7)".to_string(),
+            });
+        }
+        if cycle < last {
+            return Err(TraceError::OutOfOrder { line: line_no });
+        }
+        last = cycle;
+        records.push(ConflictRecord {
+            cycle,
+            replacer: replacer as u8,
+            victim: victim as u8,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes conflict records as `cycle,replacer,victim` CSV with a header.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_conflicts<W: Write>(records: &[ConflictRecord], mut writer: W) -> std::io::Result<()> {
+    let mut out = String::with_capacity(records.len() * 14 + 24);
+    out.push_str("cycle,replacer,victim\n");
+    for r in records {
+        let _ = writeln!(out, "{},{},{}", r.cycle, r.replacer, r.victim);
+    }
+    writer.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_train_roundtrip() {
+        let mut train = EventTrain::new();
+        train.push(10, 1);
+        train.push(25, 7);
+        train.push(25, 2);
+        let mut buf = Vec::new();
+        write_event_train(&train, &mut buf).unwrap();
+        let back = read_event_train(buf.as_slice()).unwrap();
+        assert_eq!(back, train);
+    }
+
+    #[test]
+    fn conflicts_roundtrip() {
+        let records = vec![
+            ConflictRecord {
+                cycle: 5,
+                replacer: 0,
+                victim: 1,
+            },
+            ConflictRecord {
+                cycle: 9,
+                replacer: 1,
+                victim: 0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_conflicts(&records, &mut buf).unwrap();
+        let back = read_conflicts(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn header_comments_and_blanks_are_skipped() {
+        let text = "cycle,weight\n# a comment\n\n100\n200,4\n";
+        let train = read_event_train(text.as_bytes()).unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(train.total_events(), 5);
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_one() {
+        let train = read_event_train("7\n9\n".as_bytes()).unwrap();
+        assert_eq!(train.total_events(), 2);
+    }
+
+    #[test]
+    fn malformed_field_is_reported_with_line() {
+        let err = read_event_train("10\nbogus,1\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_is_rejected() {
+        let err = read_event_train("10\n5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { line: 2 }));
+    }
+
+    #[test]
+    fn oversized_context_id_rejected() {
+        let err = read_conflicts("1,8,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn errors_display_reasonably() {
+        let err = read_event_train("x\ny\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line"));
+    }
+}

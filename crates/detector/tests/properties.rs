@@ -1,0 +1,217 @@
+//! Property-based tests for the detector's core data structures and
+//! invariants.
+
+use cchunter_detector::auditor::{AuditorConfig, CcAuditor, HardwareUnit, Privilege};
+use cchunter_detector::autocorr::Autocorrelogram;
+use cchunter_detector::cluster::{discretize, kmeans};
+use cchunter_detector::conflict::{
+    ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier,
+};
+use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
+use cchunter_detector::events::EventTrain;
+use cchunter_detector::BloomFilter;
+use proptest::prelude::*;
+
+/// Sorted event times within a bounded horizon.
+fn times(max_len: usize, horizon: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..horizon, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn autocorrelation_is_bounded_and_one_at_lag_zero(
+        samples in prop::collection::vec(-100.0f64..100.0, 3..200),
+        max_lag in 1usize..64,
+    ) {
+        let c = Autocorrelogram::compute(&samples, max_lag);
+        let variance: f64 = {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum()
+        };
+        if variance > 1e-9 {
+            prop_assert!((c.coefficient(0) - 1.0).abs() < 1e-9);
+        }
+        for lag in 0..=max_lag {
+            prop_assert!(c.coefficient(lag).abs() <= 1.0 + 1e-9, "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn histogram_window_count_is_exact(
+        times in times(300, 1_000_000),
+        delta_t in 1u64..10_000,
+    ) {
+        let train = EventTrain::from_times(times);
+        let h = DensityHistogram::from_train(&train, delta_t, 0, 1_000_000);
+        prop_assert_eq!(h.total_windows(), 1_000_000u64.div_ceil(delta_t));
+        prop_assert_eq!(h.bins().iter().sum::<u64>(), h.total_windows());
+    }
+
+    #[test]
+    fn histogram_preserves_unsaturated_event_mass(
+        times in times(200, 100_000),
+        delta_t in 1_000u64..50_000,
+    ) {
+        // With ≤200 events and wide windows, saturation at bin 127 can
+        // only occur when ≥127 events share a window; exclude by capping
+        // event count below 127.
+        let train = EventTrain::from_times(times.into_iter().take(120).collect());
+        let h = DensityHistogram::from_train(&train, delta_t, 0, 100_000);
+        let mass: u64 = h
+            .bins()
+            .iter()
+            .enumerate()
+            .map(|(bin, &f)| bin as u64 * f)
+            .sum();
+        prop_assert_eq!(mass, train.total_events());
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_accumulation(
+        a in times(150, 50_000),
+        b in times(150, 50_000),
+        delta_t in 100u64..5_000,
+    ) {
+        let ta = EventTrain::from_times(a);
+        let tb = EventTrain::from_times(b.iter().map(|t| t + 50_000).collect());
+        let mut merged = DensityHistogram::from_train(&ta, delta_t, 0, 50_000);
+        merged.merge(&DensityHistogram::from_train(&tb, delta_t, 50_000, 100_000));
+        let mut joined = DensityHistogram::empty(delta_t);
+        joined.accumulate(&ta, 0, 50_000);
+        joined.accumulate(&tb, 50_000, 100_000);
+        prop_assert_eq!(merged.bins(), joined.bins());
+    }
+
+    #[test]
+    fn event_train_windows_partition_events(
+        times in times(300, 1_000_000),
+        window in 1_000u64..200_000,
+    ) {
+        let train = EventTrain::from_times(times);
+        let windows = train.windows(0, 1_000_000, window);
+        let total: u64 = windows.iter().map(|w| w.total_events()).sum();
+        prop_assert_eq!(total, train.total_events());
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in prop::collection::hash_set(any::<u64>(), 1..200),
+        bits in 64usize..8_192,
+        hashes in 1u32..6,
+    ) {
+        let mut filter = BloomFilter::new(bits, hashes);
+        for &k in &keys {
+            filter.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(filter.contains(k));
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_consistent(
+        features in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 4),
+            1..60,
+        ),
+        k in 1usize..6,
+    ) {
+        let clusters = kmeans(&features, k, 99, 30);
+        prop_assert_eq!(clusters.assignments.len(), features.len());
+        let k_eff = k.min(features.len());
+        for &a in &clusters.assignments {
+            prop_assert!(a < k_eff);
+        }
+        prop_assert_eq!(clusters.sizes.iter().sum::<usize>(), features.len());
+        // Determinism.
+        let again = kmeans(&features, k, 99, 30);
+        prop_assert_eq!(clusters.assignments, again.assignments);
+    }
+
+    #[test]
+    fn discretize_is_monotone_per_bin(
+        freqs in prop::collection::vec(0u64..100_000, HISTOGRAM_BINS),
+    ) {
+        let total: u64 = freqs.iter().sum();
+        prop_assume!(total > 0);
+        let h = DensityHistogram::from_bins(freqs.clone(), 1_000);
+        let s = discretize(&h);
+        prop_assert_eq!(s.len(), HISTOGRAM_BINS);
+        for (bin, &f) in freqs.iter().enumerate() {
+            if f == 0 {
+                prop_assert_eq!(s[bin], 0);
+            } else {
+                prop_assert!(s[bin] >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn practical_tracker_never_misses_recent_conflicts(
+        working_set in 4u64..40,
+        rounds in 1usize..20,
+    ) {
+        // Blocks evicted and promptly re-accessed within a working set far
+        // below the tracker window must always classify as conflicts.
+        let mut tracker = GenerationTracker::for_cache(4_096);
+        let blocks: Vec<u64> = (0..working_set).map(|i| i * 64).collect();
+        for &b in &blocks {
+            tracker.record_access(b);
+        }
+        for _ in 0..rounds {
+            for &b in &blocks {
+                tracker.record_replacement(b);
+                prop_assert_eq!(tracker.classify_miss(b), ConflictClass::Conflict);
+                tracker.record_access(b);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_tracker_matches_reference_recency_model(
+        accesses in prop::collection::vec(0u64..64, 1..300),
+        capacity in 4usize..32,
+    ) {
+        let mut tracker = IdealLruTracker::new(capacity);
+        let mut reference: Vec<u64> = Vec::new(); // recency list, MRU front
+        for &a in &accesses {
+            let block = a * 64;
+            let expected = if reference.contains(&block) {
+                ConflictClass::Conflict
+            } else {
+                ConflictClass::NonConflict
+            };
+            prop_assert_eq!(tracker.classify_miss(block), expected);
+            tracker.record_access(block);
+            reference.retain(|&b| b != block);
+            reference.insert(0, block);
+            reference.truncate(capacity);
+        }
+    }
+
+    #[test]
+    fn auditor_signal_path_matches_offline_histogram(
+        times in times(200, 400_000),
+        delta_t in 500u64..20_000,
+    ) {
+        // The hardware Δt/accumulator datapath must agree with the offline
+        // DensityHistogram construction. The hardware only finalizes
+        // *complete* Δt windows at harvest (a partial window carries into
+        // the next quantum), so compare over an aligned horizon.
+        let horizon = (400_000 / delta_t) * delta_t;
+        let mut auditor = CcAuditor::new(AuditorConfig::default());
+        let slot = auditor
+            .program(HardwareUnit::MemoryBus, delta_t, Privilege::Supervisor)
+            .unwrap();
+        let train = EventTrain::from_times(times.into_iter().filter(|&t| t < horizon).collect());
+        for (t, w) in train.iter() {
+            auditor.signal(slot, t, w).unwrap();
+        }
+        let hw = auditor.harvest_histogram(slot, horizon).unwrap();
+        let sw = DensityHistogram::from_train(&train, delta_t, 0, horizon);
+        prop_assert_eq!(hw.bins(), sw.bins());
+    }
+}

@@ -1,0 +1,4 @@
+//! Runs the ablation and extension studies (evasion, coherence, trackers, Δt).
+fn main() {
+    cchunter_experiments::figs::extras::run_all_extras();
+}

@@ -1,0 +1,4 @@
+//! Runs the entire evaluation, every table and figure in order.
+fn main() {
+    cchunter_experiments::figs::run_all();
+}

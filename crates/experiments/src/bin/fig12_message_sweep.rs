@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `cchunter_experiments::figs`.
+fn main() {
+    cchunter_experiments::figs::fig12::run();
+}

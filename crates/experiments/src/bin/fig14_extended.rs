@@ -1,0 +1,4 @@
+//! Extended pairwise false-alarm sweep (66 pairs).
+fn main() {
+    cchunter_experiments::figs::fig14ext::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    cchunter_experiments::figs::table1::run();
+}

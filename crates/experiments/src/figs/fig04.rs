@@ -1,0 +1,100 @@
+//! Figure 4: event-train plots for the memory bus (lock events) and the
+//! integer divider (wait-cycle runs), showing the thick burst bands on '1'
+//! bits.
+
+use crate::harness::{paper, run_bus, run_divider, RunOptions};
+use crate::output::write_csv;
+use cc_hunter::channels::Message;
+use cc_hunter::detector::EventTrain;
+
+/// Channel bandwidth (as figures 2/3).
+pub const BANDWIDTH_BPS: f64 = 1_000.0;
+
+/// Runs the experiment.
+pub fn run() {
+    super::banner(
+        "Figure 4",
+        "indicator-event trains: bus locks and divider wait runs",
+    );
+    let message = Message::from_u64(paper::CREDIT_CARD);
+    let opts = RunOptions {
+        collect_events: true,
+        ..RunOptions::default()
+    };
+
+    let bus = run_bus(message.clone(), BANDWIDTH_BPS, &opts);
+    let lock_train = bus.bus_lock_train.expect("events collected");
+    let bus_path = write_csv(
+        "fig04_bus_event_train",
+        &["cycle", "weight"],
+        lock_train
+            .iter()
+            .map(|(t, w)| vec![t.to_string(), w.to_string()]),
+    );
+
+    let div = run_divider(message.clone(), BANDWIDTH_BPS, &opts);
+    let wait_train = div.divider_wait_train.expect("events collected");
+    let div_path = write_csv(
+        "fig04_divider_event_train",
+        &["cycle", "wait_cycles"],
+        wait_train
+            .iter()
+            .map(|(t, w)| vec![t.to_string(), w.to_string()]),
+    );
+
+    for (name, train, bit_cycles, path) in [
+        ("memory bus locks", &lock_train, bus.bit_cycles, &bus_path),
+        ("divider wait runs", &wait_train, div.bit_cycles, &div_path),
+    ] {
+        println!(
+            "\n{name}: {} entries ({} unit events)",
+            train.len(),
+            train.total_events()
+        );
+        println!("  written to {}", path.display());
+        print_band_profile(name, train, &message, bit_cycles, opts.epoch);
+    }
+    println!("\npaper shape: thick event bands on every '1' bit, silence on '0' bits");
+}
+
+/// Prints a per-bit event count profile — the textual version of the burst
+/// bands visible in the paper's plot.
+fn print_band_profile(
+    name: &str,
+    train: &EventTrain,
+    message: &Message,
+    bit_cycles: u64,
+    epoch: u64,
+) {
+    let mut per_bit = vec![0u64; message.len()];
+    for (t, w) in train.iter() {
+        if t >= epoch {
+            let bit = ((t - epoch) / bit_cycles) as usize;
+            if bit < per_bit.len() {
+                per_bit[bit] += w as u64;
+            }
+        }
+    }
+    let ones: Vec<u64> = per_bit
+        .iter()
+        .zip(message.bits())
+        .filter(|(_, &b)| b)
+        .map(|(&c, _)| c)
+        .collect();
+    let zeros: Vec<u64> = per_bit
+        .iter()
+        .zip(message.bits())
+        .filter(|(_, &b)| !b)
+        .map(|(&c, _)| c)
+        .collect();
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+    println!(
+        "  {name}: avg events per '1' bit = {:.0}, per '0' bit = {:.0}",
+        avg(&ones),
+        avg(&zeros)
+    );
+    assert!(
+        avg(&ones) > 10.0 * (avg(&zeros) + 1.0),
+        "burst bands must align with '1' bits"
+    );
+}

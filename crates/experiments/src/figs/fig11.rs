@@ -1,0 +1,113 @@
+//! Figure 11: fine-grain observation windows rescue the 0.1 bps cache
+//! channel — autocorrelograms at 0.75×, 0.5× and 0.25× of the OS time
+//! quantum show significant repetitive peaks that the full-quantum
+//! analysis dilutes.
+
+use crate::harness::{paper, run_cache, RunOptions};
+use crate::output::{write_csv, Table};
+use cc_hunter::audit::TrackerKind;
+use cc_hunter::channels::Message;
+use cc_hunter::detector::autocorr::{OscillationConfig, OscillationDetector};
+use cc_hunter::detector::pipeline::symbol_series;
+
+/// The low-bandwidth channel under study.
+pub const BANDWIDTH_BPS: f64 = 0.1;
+/// Window sizes as fractions of the OS time quantum.
+pub const WINDOW_FRACTIONS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+
+/// Runs the experiment.
+pub fn run() {
+    super::banner(
+        "Figure 11",
+        "0.1 bps cache channel under fractional observation windows",
+    );
+    let message = Message::from_bits(vec![true, false]);
+    let artifacts = run_cache(
+        message,
+        BANDWIDTH_BPS,
+        512,
+        TrackerKind::Practical,
+        &RunOptions::default(),
+    );
+    // Fractional windows hold only a couple of pattern periods, so judge
+    // them on peak magnitude (the paper's visual criterion); the harmonic
+    // confirmation needs more data than a quarter-quantum window contains.
+    let detector = OscillationDetector::new(OscillationConfig {
+        harmonic_fraction: 0.0,
+        ..OscillationConfig::default()
+    });
+
+    let mut table = Table::new(&[
+        "window size",
+        "windows",
+        "oscillatory",
+        "best peak r",
+        "best peak lag",
+    ]);
+    let mut csv_rows = Vec::new();
+    let mut fine_beats_coarse = (0.0f64, 0usize); // (full-quantum best, finest oscillatory count)
+    for &fraction in &WINDOW_FRACTIONS {
+        let window = (paper::QUANTUM as f64 * fraction) as u64;
+        let mut oscillatory = 0usize;
+        let mut windows = 0usize;
+        let mut best: (usize, f64) = (0, 0.0);
+        let mut lo = artifacts.data.start;
+        while lo < artifacts.data.end {
+            let hi = (lo + window).min(artifacts.data.end);
+            let series = symbol_series(&artifacts.data.conflicts, lo, hi);
+            // Deep enough to see the second harmonic of a 512-set channel.
+            let verdict = detector.analyze(&series, 1300);
+            windows += 1;
+            if verdict.oscillatory {
+                oscillatory += 1;
+            }
+            if let Some((lag, value)) = verdict.peak {
+                if value > best.1 {
+                    best = (lag, value);
+                }
+            }
+            lo = hi;
+        }
+        table.row(vec![
+            format!("{:.2}× quantum", fraction),
+            windows.to_string(),
+            oscillatory.to_string(),
+            format!("{:.3}", best.1),
+            best.0.to_string(),
+        ]);
+        csv_rows.push(vec![
+            fraction.to_string(),
+            windows.to_string(),
+            oscillatory.to_string(),
+            format!("{:.4}", best.1),
+            best.0.to_string(),
+        ]);
+        if (fraction - 1.0).abs() < 1e-9 {
+            fine_beats_coarse.0 = best.1;
+        }
+        if (fraction - 0.25).abs() < 1e-9 {
+            fine_beats_coarse.1 = oscillatory;
+        }
+    }
+    table.print();
+    write_csv(
+        "fig11_fine_grain_windows",
+        &[
+            "window_fraction",
+            "windows",
+            "oscillatory",
+            "best_peak_r",
+            "best_peak_lag",
+        ],
+        csv_rows,
+    );
+    println!();
+    assert!(
+        fine_beats_coarse.1 > 0,
+        "0.25× windows must expose significant repetitive peaks"
+    );
+    println!("paper shape: fractional windows expose significant repetitive peaks —");
+    println!("REPRODUCED. (Divergence: our 0.1 bps channel re-modulates densely");
+    println!("enough that full-quantum windows also stay significant; the paper's");
+    println!("sparser channel needed the finer windows to reach significance.)");
+}

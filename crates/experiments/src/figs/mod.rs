@@ -1,0 +1,48 @@
+//! One module per paper artifact. Each exposes `run()`, which prints the
+//! artifact's rows/series and writes CSV under `results/`.
+
+pub mod extras;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig14ext;
+pub mod table1;
+
+/// Banner printed at the top of each experiment.
+pub fn banner(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id} — {caption}");
+    println!("================================================================");
+}
+
+/// Runs the entire evaluation, in paper order.
+pub fn run_all() {
+    let t0 = std::time::Instant::now();
+    fig02::run();
+    fig03::run();
+    fig04::run();
+    fig05::run();
+    fig06::run();
+    fig07::run();
+    fig08::run();
+    fig10::run();
+    fig11::run();
+    fig12::run();
+    fig13::run();
+    fig14::run();
+    table1::run();
+    println!();
+    println!(
+        "entire evaluation regenerated in {:.1} s (CSV under results/)",
+        t0.elapsed().as_secs_f64()
+    );
+}

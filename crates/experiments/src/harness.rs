@@ -1,0 +1,321 @@
+//! Shared experiment scaffolding: paper-scale constants and channel
+//! runners.
+
+use cc_hunter::audit::{AuditData, AuditSession, QuantumRunner, TrackerKind};
+use cc_hunter::channels::{
+    BitClock, BusChannelConfig, BusSpy, BusTrojan, CacheChannelConfig, CacheSpy, CacheTrojan,
+    DividerChannelConfig, DividerSpy, DividerTrojan, Message, SpyLog, SpyLogHandle,
+};
+use cc_hunter::sim::{Machine, MachineConfig};
+use cc_hunter::workloads::noise::spawn_scaled_noise;
+
+/// The paper's evaluation constants.
+pub mod paper {
+    /// Modeled clock: 2.5 GHz.
+    pub const CLOCK_HZ: u64 = 2_500_000_000;
+    /// OS time quantum: 0.1 s = 250 M cycles.
+    pub const QUANTUM: u64 = 250_000_000;
+    /// Δt for the memory-bus audit: 100,000 cycles (40 µs).
+    pub const BUS_DELTA_T: u64 = 100_000;
+    /// Δt for the integer-divider audit: 500 cycles (200 ns).
+    pub const DIV_DELTA_T: u64 = 500;
+    /// Observation window cap: 512 quanta (51.2 s).
+    pub const MAX_WINDOW_QUANTA: usize = 512;
+    /// The fixed 64-bit "credit card number" used across figures 2/3/7
+    /// (any value works; this one is the workspace's canonical choice).
+    pub const CREDIT_CARD: u64 = 0x4929_1273_5521_8674;
+}
+
+/// Whether the fast (CI-sized) variant was requested via `CCH_FAST=1`.
+pub fn fast_mode() -> bool {
+    std::env::var("CCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Per-run knobs.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Background noise processes (the paper's "at least three").
+    pub noise_processes: usize,
+    /// Noise seed (vary to get independent interference).
+    pub noise_seed: u64,
+    /// Extra quanta to run past the end of the message.
+    pub tail_quanta: usize,
+    /// Cycle at which bit 0 starts.
+    pub epoch: u64,
+    /// Also record the raw indicator-event trains (Figure 4).
+    pub collect_events: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            noise_processes: 3,
+            noise_seed: 1001,
+            tail_quanta: 0,
+            epoch: 1_000_000,
+            collect_events: false,
+        }
+    }
+}
+
+/// Everything an experiment needs from one channel run.
+#[derive(Debug)]
+pub struct ChannelArtifacts {
+    /// Harvested CC-auditor data.
+    pub data: AuditData,
+    /// The spy's measurement log.
+    pub log: SpyLogHandle,
+    /// The transmitted message.
+    pub message: Message,
+    /// Bit interval in cycles.
+    pub bit_cycles: u64,
+    /// Quanta simulated.
+    pub quanta: usize,
+    /// Raw bus-lock event train (when `collect_events` was set).
+    pub bus_lock_train: Option<cc_hunter::detector::EventTrain>,
+    /// Raw divider-wait event train (weighted by stalled cycles).
+    pub divider_wait_train: Option<cc_hunter::detector::EventTrain>,
+}
+
+/// Converts a recorded probe trace into the two indicator-event trains.
+fn extract_trains(
+    events: &[cc_hunter::sim::ProbeEvent],
+) -> (
+    cc_hunter::detector::EventTrain,
+    cc_hunter::detector::EventTrain,
+) {
+    use cc_hunter::sim::ProbeEvent;
+    let mut locks: Vec<(u64, u32)> = Vec::new();
+    let mut waits: Vec<(u64, u32)> = Vec::new();
+    for ev in events {
+        match *ev {
+            ProbeEvent::BusLock { cycle, .. } => locks.push((cycle.as_u64(), 1)),
+            ProbeEvent::DividerWait { start, cycles, .. } => {
+                waits.push((start.as_u64(), cycles.min(u32::MAX as u64) as u32))
+            }
+            _ => {}
+        }
+    }
+    locks.sort_unstable_by_key(|&(t, _)| t);
+    waits.sort_unstable_by_key(|&(t, _)| t);
+    let mut lock_train = cc_hunter::detector::EventTrain::new();
+    lock_train.extend(locks);
+    let mut wait_train = cc_hunter::detector::EventTrain::new();
+    wait_train.extend(waits);
+    (lock_train, wait_train)
+}
+
+fn machine() -> Machine {
+    Machine::new(
+        MachineConfig::builder()
+            .quantum_cycles(paper::QUANTUM)
+            .build()
+            .expect("paper config is valid"),
+    )
+}
+
+fn quanta_for(total_cycles: u64, tail: usize) -> usize {
+    (total_cycles.div_ceil(paper::QUANTUM)) as usize + tail
+}
+
+/// Noise op-coarsening for very long runs: keeps interference realistic
+/// while bounding host time.
+fn noise_scale(total_cycles: u64) -> u64 {
+    match total_cycles {
+        0..=2_000_000_000 => 1,
+        2_000_000_001..=20_000_000_000 => 4,
+        _ => 16,
+    }
+}
+
+/// Runs the memory-bus channel at `bandwidth_bps`, auditing the bus with
+/// the paper's Δt.
+pub fn run_bus(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> ChannelArtifacts {
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let bit_cycles = clock.bit_cycles();
+    let total = opts.epoch + bit_cycles * message.len() as u64;
+    let mut m = machine();
+    let config = BusChannelConfig::new(message.clone(), clock);
+    let log = SpyLog::new_handle();
+    m.spawn(
+        Box::new(BusTrojan::new(config.clone(), 0x1000_0000)),
+        m.config().context_id(0, 0),
+    );
+    m.spawn(
+        Box::new(BusSpy::new(config, 0x4000_0000, log.clone())),
+        m.config().context_id(1, 0),
+    );
+    spawn_scaled_noise(
+        &mut m,
+        0,
+        opts.noise_processes,
+        opts.noise_seed,
+        noise_scale(total),
+    );
+    let mut session = AuditSession::new();
+    session.audit_bus(paper::BUS_DELTA_T).expect("bus audit");
+    session.attach(&mut m);
+    let trace = if opts.collect_events {
+        Some(m.attach_trace())
+    } else {
+        None
+    };
+    let quanta = quanta_for(total, opts.tail_quanta);
+    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let (bus_lock_train, divider_wait_train) = match &trace {
+        Some(t) => {
+            let (locks, waits) = extract_trains(t.borrow().events());
+            (Some(locks), Some(waits))
+        }
+        None => (None, None),
+    };
+    ChannelArtifacts {
+        data,
+        log,
+        message,
+        bit_cycles,
+        quanta,
+        bus_lock_train,
+        divider_wait_train,
+    }
+}
+
+/// Runs the integer-divider channel at `bandwidth_bps`, auditing core 0's
+/// divider bank.
+pub fn run_divider(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> ChannelArtifacts {
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let bit_cycles = clock.bit_cycles();
+    let total = opts.epoch + bit_cycles * message.len() as u64;
+    let mut m = machine();
+    let config = DividerChannelConfig::new(message.clone(), clock);
+    let log = SpyLog::new_handle();
+    m.spawn(
+        Box::new(DividerTrojan::new(config.clone())),
+        m.config().context_id(0, 0),
+    );
+    m.spawn(
+        Box::new(DividerSpy::new(config, log.clone())),
+        m.config().context_id(0, 1),
+    );
+    spawn_scaled_noise(
+        &mut m,
+        0,
+        opts.noise_processes,
+        opts.noise_seed,
+        noise_scale(total),
+    );
+    let mut session = AuditSession::new();
+    session
+        .audit_divider(0, paper::DIV_DELTA_T)
+        .expect("divider audit");
+    session.attach(&mut m);
+    let trace = if opts.collect_events {
+        Some(m.attach_trace())
+    } else {
+        None
+    };
+    let quanta = quanta_for(total, opts.tail_quanta);
+    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let (bus_lock_train, divider_wait_train) = match &trace {
+        Some(t) => {
+            let (locks, waits) = extract_trains(t.borrow().events());
+            (Some(locks), Some(waits))
+        }
+        None => (None, None),
+    };
+    ChannelArtifacts {
+        data,
+        log,
+        message,
+        bit_cycles,
+        quanta,
+        bus_lock_train,
+        divider_wait_train,
+    }
+}
+
+/// Runs the shared-L2 cache channel at `bandwidth_bps` with `total_sets`
+/// signaling sets, auditing core 0's cache.
+///
+/// Long bit intervals automatically enable within-bit re-modulation, the
+/// way real low-bandwidth cache channels keep their conflict rate up.
+pub fn run_cache(
+    message: Message,
+    bandwidth_bps: f64,
+    total_sets: u32,
+    tracker: TrackerKind,
+    opts: &RunOptions,
+) -> ChannelArtifacts {
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let bit_cycles = clock.bit_cycles();
+    let total = opts.epoch + bit_cycles * message.len() as u64;
+    let mut m = machine();
+    let mut config = CacheChannelConfig::new(message.clone(), clock, total_sets);
+    if bit_cycles > 20_000_000 {
+        // Re-modulate every ~10 ms of the bit.
+        config = config.with_resweep(25_000_000);
+    }
+    let log = SpyLog::new_handle();
+    m.spawn(
+        Box::new(CacheTrojan::new(config.clone())),
+        m.config().context_id(0, 0),
+    );
+    m.spawn(
+        Box::new(CacheSpy::new(config, log.clone())),
+        m.config().context_id(0, 1),
+    );
+    spawn_scaled_noise(
+        &mut m,
+        0,
+        opts.noise_processes,
+        opts.noise_seed,
+        noise_scale(total),
+    );
+    let mut session = AuditSession::new();
+    let blocks = m.config().l2.total_blocks() as usize;
+    session
+        .audit_cache(0, blocks, tracker)
+        .expect("cache audit");
+    session.attach(&mut m);
+    let trace = if opts.collect_events {
+        Some(m.attach_trace())
+    } else {
+        None
+    };
+    let quanta = quanta_for(total, opts.tail_quanta);
+    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let (bus_lock_train, divider_wait_train) = match &trace {
+        Some(t) => {
+            let (locks, waits) = extract_trains(t.borrow().events());
+            (Some(locks), Some(waits))
+        }
+        None => (None, None),
+    };
+    ChannelArtifacts {
+        data,
+        log,
+        message,
+        bit_cycles,
+        quanta,
+        bus_lock_train,
+        divider_wait_train,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quanta_cover_the_message() {
+        assert_eq!(quanta_for(paper::QUANTUM * 3, 0), 3);
+        assert_eq!(quanta_for(paper::QUANTUM * 3 + 1, 1), 5);
+    }
+
+    #[test]
+    fn noise_scale_grows_with_run_length() {
+        assert_eq!(noise_scale(1_000_000_000), 1);
+        assert_eq!(noise_scale(10_000_000_000), 4);
+        assert_eq!(noise_scale(100_000_000_000), 16);
+    }
+}

@@ -1,0 +1,23 @@
+//! # cchunter-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! CC-Hunter paper. One binary per artifact (`fig02_bus_latency`,
+//! `fig06_density_histograms`, …, `table1_cost`), plus `all` to run the
+//! whole evaluation; each prints the paper's rows/series and writes CSV
+//! under `results/`.
+//!
+//! Absolute numbers come from the bundled simulator rather than the
+//! authors' Xeon testbed, so magnitudes differ; the *shape* of every
+//! artifact (who bursts where, which likelihood ratios clear 0.9, where
+//! autocorrelation peaks fall) is the reproduction target. See
+//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
+//!
+//! Set `CCH_FAST=1` to shrink message counts and window counts for a quick
+//! smoke pass.
+
+pub mod figs;
+pub mod harness;
+pub mod output;
+
+pub use harness::{paper, run_bus, run_cache, run_divider, ChannelArtifacts, RunOptions};
+pub use output::{write_csv, Table};

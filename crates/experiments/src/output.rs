@@ -1,0 +1,127 @@
+//! Result output: CSV files under `results/` plus compact console tables.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CCH_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Writes `rows` as `results/<name>.csv` with the given header. Returns
+/// the path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiments should fail loudly.
+pub fn write_csv<R, C>(name: &str, header: &[&str], rows: R) -> PathBuf
+where
+    R: IntoIterator<Item = Vec<C>>,
+    C: Display,
+{
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv");
+    writeln!(file, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        writeln!(file, "{}", cells.join(",")).expect("write row");
+    }
+    path
+}
+
+/// A minimal fixed-width console table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<C: Display>(&mut self, cells: Vec<C>) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            println!("  {}", padded.join("  "));
+        };
+        line(&self.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Renders the nonzero bins of a density histogram as `bin:freq` pairs.
+pub fn sparse_bins(histogram: &cc_hunter::detector::DensityHistogram) -> String {
+    let cells: Vec<String> = histogram
+        .bins()
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(bin, &f)| format!("{bin}:{f}"))
+        .collect();
+    cells.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("CCH_RESULTS_DIR", "/tmp/cch_test_results");
+        let path = write_csv(
+            "unit_test",
+            &["a", "b"],
+            vec![vec![1.to_string(), "x".to_string()]],
+        );
+        let text = fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,x\n");
+        std::env::remove_var("CCH_RESULTS_DIR");
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = Table::new(&["col", "longer column"]);
+        t.row(vec!["1", "2"]);
+        t.print();
+    }
+}

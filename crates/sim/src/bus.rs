@@ -1,0 +1,163 @@
+//! The shared memory bus, including x86 bus-lock semantics.
+//!
+//! All L2 misses from every core are serialized on one bus. An atomic
+//! unaligned access spanning two cache lines acquires the bus *lock*:
+//! the bus is quiesced and held for [`crate::BusConfig::lock_hold_cycles`],
+//! delaying every other requester — exactly the contention the memory-bus
+//! covert channel modulates (and QPI platforms still emulate, per the
+//! paper §IV-A).
+
+use crate::config::BusConfig;
+use crate::time::Cycle;
+
+/// Grant returned by the bus for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// Instant the request was granted the bus.
+    pub start: Cycle,
+    /// Cycles the request waited behind earlier traffic and locks.
+    pub wait: u64,
+    /// Instant the request releases the bus.
+    pub release: Cycle,
+}
+
+/// The shared memory bus: a single serially-granted resource.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    config: BusConfig,
+    next_free: Cycle,
+    transactions: u64,
+    locks: u64,
+    total_wait: u64,
+}
+
+impl Bus {
+    /// Creates an idle bus.
+    pub fn new(config: BusConfig) -> Self {
+        Bus {
+            config,
+            next_free: Cycle::ZERO,
+            transactions: 0,
+            locks: 0,
+            total_wait: 0,
+        }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Requests a normal cache-line transfer at time `now`.
+    ///
+    /// The grant serializes behind all earlier traffic, including lock
+    /// holds.
+    pub fn transaction(&mut self, now: Cycle) -> BusGrant {
+        self.grant(now, self.config.transaction_cycles, false)
+    }
+
+    /// Requests a locked atomic unaligned operation at time `now`: holds
+    /// the bus for [`BusConfig::lock_hold_cycles`].
+    pub fn lock(&mut self, now: Cycle) -> BusGrant {
+        self.grant(now, self.config.lock_hold_cycles, true)
+    }
+
+    /// The earliest instant a new request issued now would be granted.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Total transactions granted (including locks).
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total lock grants.
+    pub fn locks(&self) -> u64 {
+        self.locks
+    }
+
+    /// Sum of wait cycles across all grants (a congestion measure).
+    pub fn total_wait(&self) -> u64 {
+        self.total_wait
+    }
+
+    fn grant(&mut self, now: Cycle, occupancy: u64, locked: bool) -> BusGrant {
+        let start = self.next_free.max(now);
+        let wait = start - now.min(start);
+        let release = start + occupancy;
+        self.next_free = release;
+        self.transactions += 1;
+        if locked {
+            self.locks += 1;
+        }
+        self.total_wait += wait;
+        BusGrant {
+            start,
+            wait,
+            release,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> Bus {
+        Bus::new(BusConfig {
+            transaction_cycles: 10,
+            dram_latency: 100,
+            lock_hold_cycles: 50,
+        })
+    }
+
+    #[test]
+    fn idle_bus_grants_immediately() {
+        let mut b = bus();
+        let g = b.transaction(Cycle::new(5));
+        assert_eq!(g.start, Cycle::new(5));
+        assert_eq!(g.wait, 0);
+        assert_eq!(g.release, Cycle::new(15));
+    }
+
+    #[test]
+    fn back_to_back_requests_serialize() {
+        let mut b = bus();
+        let g1 = b.transaction(Cycle::new(0));
+        let g2 = b.transaction(Cycle::new(0));
+        assert_eq!(g1.release, Cycle::new(10));
+        assert_eq!(g2.start, Cycle::new(10));
+        assert_eq!(g2.wait, 10);
+    }
+
+    #[test]
+    fn lock_delays_subsequent_traffic() {
+        let mut b = bus();
+        let lock = b.lock(Cycle::new(0));
+        assert_eq!(lock.release, Cycle::new(50));
+        let g = b.transaction(Cycle::new(3));
+        assert_eq!(g.start, Cycle::new(50));
+        assert_eq!(g.wait, 47);
+        assert_eq!(b.locks(), 1);
+        assert_eq!(b.transactions(), 2);
+    }
+
+    #[test]
+    fn bus_frees_after_gap() {
+        let mut b = bus();
+        b.lock(Cycle::new(0));
+        let g = b.transaction(Cycle::new(1_000));
+        assert_eq!(g.wait, 0);
+        assert_eq!(g.start, Cycle::new(1_000));
+    }
+
+    #[test]
+    fn wait_accounting_accumulates() {
+        let mut b = bus();
+        b.transaction(Cycle::new(0));
+        b.transaction(Cycle::new(0));
+        b.transaction(Cycle::new(0));
+        assert_eq!(b.total_wait(), 10 + 20);
+    }
+}

@@ -1,0 +1,430 @@
+//! Machine configuration.
+//!
+//! Defaults mirror the paper's evaluation platform: a quad-core 2.5 GHz
+//! processor with two hyperthreads per core, private 32 KB L1 and 256 KB L2
+//! caches (shared between the hyperthreads of a core), a shared memory bus,
+//! and an OS scheduler with 0.1 s time quanta.
+
+use crate::probe::ContextId;
+use crate::time::DEFAULT_CLOCK_HZ;
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> u32 {
+        let lines = self.capacity_bytes / self.line_bytes;
+        assert_eq!(
+            lines % self.ways as u64,
+            0,
+            "cache lines not divisible by ways"
+        );
+        (lines / self.ways as u64) as u32
+    }
+
+    /// Total number of cache blocks (lines).
+    pub fn total_blocks(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if any field is zero, the line size
+    /// is not a power of two, or the geometry does not divide evenly.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 || self.line_bytes == 0 || self.ways == 0 {
+            return Err("cache geometry fields must be nonzero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("cache line size must be a power of two".into());
+        }
+        let lines = self.capacity_bytes / self.line_bytes;
+        if lines == 0 || !lines.is_multiple_of(self.ways as u64) {
+            return Err("cache capacity must be a whole number of sets".into());
+        }
+        if !(lines / self.ways as u64).is_power_of_two() {
+            return Err("number of cache sets must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// Shared memory bus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles one cache-line transfer occupies the bus.
+    pub transaction_cycles: u64,
+    /// DRAM access latency in cycles (added after the bus grant).
+    pub dram_latency: u64,
+    /// Cycles the bus stays locked for an atomic unaligned access spanning
+    /// two lines (two transfers plus the quiesce the lock protocol imposes).
+    pub lock_hold_cycles: u64,
+}
+
+/// Integer divider bank parameters (per core, shared between hyperthreads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DividerConfig {
+    /// Number of divider units per core.
+    pub units_per_core: u32,
+    /// Latency of one non-pipelined division in cycles.
+    pub latency: u64,
+}
+
+/// OS scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Time quantum in cycles (0.1 s = 250 M cycles at 2.5 GHz).
+    pub quantum_cycles: u64,
+    /// Direct cost of a context switch in cycles.
+    pub switch_cost: u64,
+}
+
+/// Full machine configuration.
+///
+/// Use [`MachineConfig::default`] for the paper's platform or
+/// [`MachineConfig::builder`] to customize. All geometry is validated when a
+/// [`crate::Machine`] is constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of physical cores.
+    pub cores: u8,
+    /// SMT hardware threads per core.
+    pub smt_per_core: u8,
+    /// Core clock in Hz (used only for cycle↔second conversions).
+    pub clock_hz: u64,
+    /// Private L1 cache (shared between a core's hyperthreads).
+    pub l1: CacheConfig,
+    /// Private L2 cache (shared between a core's hyperthreads).
+    pub l2: CacheConfig,
+    /// Shared memory bus.
+    pub bus: BusConfig,
+    /// Integer divider bank.
+    pub divider: DividerConfig,
+    /// Integer multiplier bank (the other contended execution unit of
+    /// Wang & Lee's SMT channels).
+    pub multiplier: DividerConfig,
+    /// OS scheduler.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for MachineConfig {
+    /// The paper's evaluation platform: 4 cores × 2 SMT @ 2.5 GHz,
+    /// 32 KB/8-way L1 (3-cycle), 256 KB/8-way L2 (15-cycle, 512 sets),
+    /// ~200-cycle DRAM behind a shared bus, and 0.1 s scheduler quanta.
+    fn default() -> Self {
+        MachineConfig {
+            cores: 4,
+            smt_per_core: 2,
+            clock_hz: DEFAULT_CLOCK_HZ,
+            l1: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 256 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 15,
+            },
+            bus: BusConfig {
+                transaction_cycles: 36,
+                dram_latency: 160,
+                // An atomic unaligned access quiesces all outstanding bus
+                // traffic before and after its two locked transfers; the
+                // effective hold matches the paper's observed lock-event
+                // period (≈ 20 locks per 100 k-cycle Δt window, Figure 6a)
+                // and the Figure 2 spy-latency swing.
+                lock_hold_cycles: 4_000,
+            },
+            divider: DividerConfig {
+                units_per_core: 1,
+                latency: 24,
+            },
+            multiplier: DividerConfig {
+                units_per_core: 1,
+                latency: 6,
+            },
+            scheduler: SchedulerConfig {
+                quantum_cycles: 250_000_000,
+                switch_cost: 2_000,
+            },
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// Total number of hardware contexts.
+    pub fn context_count(&self) -> usize {
+        self.cores as usize * self.smt_per_core as usize
+    }
+
+    /// The [`ContextId`] for SMT slot `smt` of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `smt` is out of range.
+    pub fn context_id(&self, core: u8, smt: u8) -> ContextId {
+        assert!(core < self.cores, "core {core} out of range");
+        assert!(smt < self.smt_per_core, "smt slot {smt} out of range");
+        ContextId::new(core, smt)
+    }
+
+    /// Enumerates all hardware contexts in flat-index order.
+    pub fn contexts(&self) -> impl Iterator<Item = ContextId> + '_ {
+        (0..self.cores)
+            .flat_map(move |core| (0..self.smt_per_core).map(move |smt| ContextId::new(core, smt)))
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field group.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 || self.smt_per_core == 0 {
+            return Err(ConfigError("machine needs at least one context".into()));
+        }
+        if self.context_count() > 8 {
+            // The paper's conflict-miss tracker stores 3-bit context IDs.
+            return Err(ConfigError(
+                "at most 8 hardware contexts supported (3-bit context IDs)".into(),
+            ));
+        }
+        if self.clock_hz == 0 {
+            return Err(ConfigError("clock frequency must be nonzero".into()));
+        }
+        self.l1
+            .validate()
+            .map_err(|m| ConfigError(format!("L1: {m}")))?;
+        self.l2
+            .validate()
+            .map_err(|m| ConfigError(format!("L2: {m}")))?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err(ConfigError("L1 and L2 line sizes must match".into()));
+        }
+        if self.bus.transaction_cycles == 0 || self.bus.lock_hold_cycles == 0 {
+            return Err(ConfigError("bus timings must be nonzero".into()));
+        }
+        if self.divider.units_per_core == 0 || self.divider.latency == 0 {
+            return Err(ConfigError("divider parameters must be nonzero".into()));
+        }
+        if self.multiplier.units_per_core == 0 || self.multiplier.latency == 0 {
+            return Err(ConfigError("multiplier parameters must be nonzero".into()));
+        }
+        if self.scheduler.quantum_cycles == 0 {
+            return Err(ConfigError("scheduler quantum must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a [`MachineConfig`] is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`MachineConfig`].
+///
+/// ```
+/// use cchunter_sim::MachineConfig;
+/// let config = MachineConfig::builder()
+///     .cores(2)
+///     .quantum_cycles(1_000_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.cores, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    config: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Sets the number of physical cores.
+    pub fn cores(mut self, cores: u8) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets SMT threads per core.
+    pub fn smt_per_core(mut self, smt: u8) -> Self {
+        self.config.smt_per_core = smt;
+        self
+    }
+
+    /// Sets the modeled clock frequency.
+    pub fn clock_hz(mut self, hz: u64) -> Self {
+        self.config.clock_hz = hz;
+        self
+    }
+
+    /// Replaces the L1 configuration.
+    pub fn l1(mut self, l1: CacheConfig) -> Self {
+        self.config.l1 = l1;
+        self
+    }
+
+    /// Replaces the L2 configuration.
+    pub fn l2(mut self, l2: CacheConfig) -> Self {
+        self.config.l2 = l2;
+        self
+    }
+
+    /// Replaces the bus configuration.
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.config.bus = bus;
+        self
+    }
+
+    /// Replaces the divider configuration.
+    pub fn divider(mut self, divider: DividerConfig) -> Self {
+        self.config.divider = divider;
+        self
+    }
+
+    /// Replaces the multiplier configuration.
+    pub fn multiplier(mut self, multiplier: DividerConfig) -> Self {
+        self.config.multiplier = multiplier;
+        self
+    }
+
+    /// Sets the scheduler time quantum in cycles.
+    pub fn quantum_cycles(mut self, cycles: u64) -> Self {
+        self.config.scheduler.quantum_cycles = cycles;
+        self
+    }
+
+    /// Sets the context-switch cost in cycles.
+    pub fn switch_cost(mut self, cycles: u64) -> Self {
+        self.config.scheduler.switch_cost = cycles;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper() {
+        let config = MachineConfig::default();
+        config.validate().unwrap();
+        assert_eq!(config.cores, 4);
+        assert_eq!(config.smt_per_core, 2);
+        assert_eq!(config.l2.sets(), 512, "256KB/64B/8-way L2 has 512 sets");
+        assert_eq!(config.l1.sets(), 64);
+        assert_eq!(config.l2.total_blocks(), 4096);
+        // 0.1 s quantum at 2.5 GHz.
+        assert_eq!(config.scheduler.quantum_cycles, 250_000_000);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let config = MachineConfig::builder()
+            .cores(1)
+            .smt_per_core(2)
+            .quantum_cycles(42)
+            .switch_cost(0)
+            .build()
+            .unwrap();
+        assert_eq!(config.cores, 1);
+        assert_eq!(config.scheduler.quantum_cycles, 42);
+        assert_eq!(config.scheduler.switch_cost, 0);
+    }
+
+    #[test]
+    fn rejects_too_many_contexts() {
+        let err = MachineConfig::builder().cores(8).smt_per_core(2).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_cache_geometry() {
+        let bad = CacheConfig {
+            capacity_bytes: 1000, // not a whole number of 8-way 64B sets
+            line_bytes: 64,
+            ways: 8,
+            hit_latency: 1,
+        };
+        assert!(bad.validate().is_err());
+        let err = MachineConfig::builder().l1(bad).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_non_pow2_line() {
+        let bad = CacheConfig {
+            capacity_bytes: 48 * 1024,
+            line_bytes: 48,
+            ways: 8,
+            hit_latency: 1,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn context_enumeration_is_flat_ordered() {
+        let config = MachineConfig::default();
+        let all: Vec<_> = config.contexts().collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], ContextId::new(0, 0));
+        assert_eq!(all[7], ContextId::new(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn context_id_bounds_checked() {
+        let config = MachineConfig::default();
+        let _ = config.context_id(9, 0);
+    }
+
+    #[test]
+    fn config_error_displays_reason() {
+        let err = MachineConfig::builder().clock_hz(0).build().unwrap_err();
+        assert!(err.to_string().contains("clock"));
+    }
+}

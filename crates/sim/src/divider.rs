@@ -1,0 +1,180 @@
+//! Per-core integer divider bank with SMT arbitration.
+//!
+//! Divisions are non-pipelined: a unit is busy for the full division
+//! latency. When a division from one hardware context must wait on a unit
+//! occupied by an instruction from *another* context, the bank reports the
+//! stalled cycles — the paper's indicator event for the integer-divider
+//! covert channel ("the number of times a division instruction from one
+//! process waits on a busy divider occupied by an instruction from another
+//! context"; the detector counts the stalled *cycles*, which current
+//! performance counters cannot measure, per §VII).
+
+use crate::config::DividerConfig;
+use crate::probe::ContextId;
+use crate::time::Cycle;
+
+/// Result of issuing one division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivIssue {
+    /// Instant the division began executing.
+    pub start: Cycle,
+    /// Cycles the division stalled waiting for a unit.
+    pub wait: u64,
+    /// Instant the division completes.
+    pub complete: Cycle,
+    /// If the stall was caused by another context's division: that context.
+    pub contended_with: Option<ContextId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Unit {
+    busy_until: Cycle,
+    owner: Option<ContextId>,
+}
+
+/// One core's bank of integer divider units, shared by its hyperthreads.
+#[derive(Debug, Clone)]
+pub struct DividerBank {
+    config: DividerConfig,
+    units: Vec<Unit>,
+    issued: u64,
+    cross_context_wait_cycles: u64,
+}
+
+impl DividerBank {
+    /// Creates an idle bank.
+    pub fn new(config: DividerConfig) -> Self {
+        DividerBank {
+            config,
+            units: vec![
+                Unit {
+                    busy_until: Cycle::ZERO,
+                    owner: None,
+                };
+                config.units_per_core as usize
+            ],
+            issued: 0,
+            cross_context_wait_cycles: 0,
+        }
+    }
+
+    /// The bank configuration.
+    pub fn config(&self) -> &DividerConfig {
+        &self.config
+    }
+
+    /// Issues one division from `ctx` at `now`, picking the
+    /// earliest-available unit.
+    pub fn issue(&mut self, ctx: ContextId, now: Cycle) -> DivIssue {
+        self.issued += 1;
+        let unit = self
+            .units
+            .iter_mut()
+            .min_by_key(|u| u.busy_until)
+            .expect("nonzero unit count");
+        let start = unit.busy_until.max(now);
+        let wait = start.saturating_since(now);
+        let contended_with = if wait > 0 {
+            unit.owner.filter(|owner| *owner != ctx)
+        } else {
+            None
+        };
+        if contended_with.is_some() {
+            self.cross_context_wait_cycles += wait;
+        }
+        let complete = start + self.config.latency;
+        unit.busy_until = complete;
+        unit.owner = Some(ctx);
+        DivIssue {
+            start,
+            wait,
+            complete,
+            contended_with,
+        }
+    }
+
+    /// Total divisions issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total cycles divisions stalled behind *another* context's divisions.
+    pub fn cross_context_wait_cycles(&self) -> u64 {
+        self.cross_context_wait_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(units: u32) -> DividerBank {
+        DividerBank::new(DividerConfig {
+            units_per_core: units,
+            latency: 20,
+        })
+    }
+
+    fn ctx(smt: u8) -> ContextId {
+        ContextId::new(0, smt)
+    }
+
+    #[test]
+    fn idle_unit_no_wait() {
+        let mut b = bank(1);
+        let issue = b.issue(ctx(0), Cycle::new(100));
+        assert_eq!(issue.start, Cycle::new(100));
+        assert_eq!(issue.wait, 0);
+        assert_eq!(issue.complete, Cycle::new(120));
+        assert!(issue.contended_with.is_none());
+    }
+
+    #[test]
+    fn same_context_back_to_back_is_not_cross_context_contention() {
+        let mut b = bank(1);
+        b.issue(ctx(0), Cycle::new(0));
+        let second = b.issue(ctx(0), Cycle::new(0));
+        assert_eq!(second.wait, 20);
+        assert!(second.contended_with.is_none(), "own op occupies the unit");
+        assert_eq!(b.cross_context_wait_cycles(), 0);
+    }
+
+    #[test]
+    fn cross_context_wait_is_reported() {
+        let mut b = bank(1);
+        b.issue(ctx(0), Cycle::new(0));
+        let issue = b.issue(ctx(1), Cycle::new(5));
+        assert_eq!(issue.wait, 15);
+        assert_eq!(issue.contended_with, Some(ctx(0)));
+        assert_eq!(b.cross_context_wait_cycles(), 15);
+    }
+
+    #[test]
+    fn two_units_absorb_two_streams() {
+        let mut b = bank(2);
+        let a = b.issue(ctx(0), Cycle::new(0));
+        let c = b.issue(ctx(1), Cycle::new(0));
+        assert_eq!(a.wait, 0);
+        assert_eq!(c.wait, 0, "second unit picked up the second stream");
+        let d = b.issue(ctx(1), Cycle::new(0));
+        assert_eq!(d.wait, 20, "third op queues behind the earliest unit");
+    }
+
+    #[test]
+    fn unit_frees_after_latency() {
+        let mut b = bank(1);
+        b.issue(ctx(0), Cycle::new(0));
+        let later = b.issue(ctx(1), Cycle::new(50));
+        assert_eq!(later.wait, 0);
+        assert!(later.contended_with.is_none());
+    }
+
+    #[test]
+    fn issue_count_tracks() {
+        let mut b = bank(1);
+        for _ in 0..5 {
+            b.issue(ctx(0), Cycle::new(0));
+        }
+        assert_eq!(b.issued(), 5);
+    }
+}

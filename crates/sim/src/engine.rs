@@ -1,0 +1,125 @@
+//! The discrete-event kernel: a time-ordered event queue with deterministic
+//! FIFO tie-breaking.
+
+use crate::time::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue.
+///
+/// Events at the same instant are delivered in insertion order, which makes
+/// whole-machine runs deterministic.
+///
+/// ```
+/// use cchunter_sim::engine::EventQueue;
+/// use cchunter_sim::Cycle;
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(10), "b");
+/// q.push(Cycle::new(5), "a");
+/// q.push(Cycle::new(10), "c");
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "a")));
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "b")));
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, Slot<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper so the payload never participates in heap ordering.
+#[derive(Debug)]
+struct Slot<T>(T);
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Slot<T> {}
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `when`.
+    pub fn push(&mut self, when: Cycle, payload: T) {
+        self.seq += 1;
+        self.heap.push(Reverse((when, self.seq, Slot(payload))));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|Reverse((when, _, Slot(p)))| (when, p))
+    }
+
+    /// The instant of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((when, _, _))| *when)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(3), 30);
+        q.push(Cycle::new(1), 10);
+        q.push(Cycle::new(3), 31);
+        q.push(Cycle::new(2), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![10, 20, 30, 31]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(7), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

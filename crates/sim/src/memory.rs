@@ -1,0 +1,308 @@
+//! The memory hierarchy: per-core L1/L2 caches in front of a shared bus and
+//! DRAM.
+//!
+//! Latency model per access:
+//!
+//! * L1 hit: `l1.hit_latency`
+//! * L2 hit: `l1.hit_latency + l2.hit_latency`
+//! * L2 miss: `l1 + l2 + bus wait + bus transaction + dram_latency`
+//!
+//! An atomic unaligned access spanning two lines bypasses the caches for its
+//! locked bus phase (x86 split-lock behaviour) and holds the bus lock for
+//! the configured duration.
+
+use crate::bus::Bus;
+use crate::cache::{Cache, CacheLevel};
+use crate::config::MachineConfig;
+use crate::probe::{ContextId, ProbeEvent};
+use crate::time::Cycle;
+
+/// Result of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// End-to-end latency in cycles.
+    pub latency: u64,
+    /// Whether the access hit in L1.
+    pub l1_hit: bool,
+    /// Whether the access hit in L2 (meaningless when `l1_hit`).
+    pub l2_hit: bool,
+}
+
+/// The full memory system: per-core L1 and L2, one shared bus, DRAM.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    bus: Bus,
+    l1_hit_latency: u64,
+    l2_hit_latency: u64,
+    dram_latency: u64,
+    /// Emit per-access L2 probe events (hits and misses). Replacement
+    /// events are always emitted; access events are only needed when a
+    /// cache audit is active, and they dominate trace volume.
+    pub trace_l2_accesses: bool,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        MemorySystem {
+            l1: (0..config.cores).map(|_| Cache::new(config.l1)).collect(),
+            l2: (0..config.cores).map(|_| Cache::new(config.l2)).collect(),
+            bus: Bus::new(config.bus),
+            l1_hit_latency: config.l1.hit_latency,
+            l2_hit_latency: config.l2.hit_latency,
+            dram_latency: config.bus.dram_latency,
+            trace_l2_accesses: true,
+        }
+    }
+
+    /// Immutable view of the shared bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The L2 cache of `core`.
+    pub fn l2(&self, core: u8) -> &Cache {
+        &self.l2[core as usize]
+    }
+
+    /// Performs a load or store by `ctx` at `addr`, starting at `now`.
+    /// Probe events are appended to `events`.
+    pub fn access(
+        &mut self,
+        ctx: ContextId,
+        addr: u64,
+        now: Cycle,
+        events: &mut Vec<ProbeEvent>,
+    ) -> MemAccess {
+        let core = ctx.core() as usize;
+        let l1_out = self.l1[core].access(addr, ctx);
+        if l1_out.hit {
+            return MemAccess {
+                latency: self.l1_hit_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+        }
+        let l2_out = self.l2[core].access(addr, ctx);
+        let block = self.l2[core].block_address(addr);
+        if self.trace_l2_accesses {
+            events.push(ProbeEvent::CacheAccess {
+                cycle: now,
+                level: CacheLevel::L2,
+                core: ctx.core(),
+                ctx,
+                block,
+                hit: l2_out.hit,
+            });
+        }
+        if l2_out.hit {
+            return MemAccess {
+                latency: self.l1_hit_latency + self.l2_hit_latency,
+                l1_hit: false,
+                l2_hit: true,
+            };
+        }
+        if let Some((victim_block, victim_owner)) = l2_out.victim {
+            events.push(ProbeEvent::CacheReplacement {
+                cycle: now,
+                level: CacheLevel::L2,
+                core: ctx.core(),
+                set: l2_out.set,
+                replacer: ctx,
+                new_block: block,
+                victim_block,
+                victim_owner,
+            });
+        }
+        // Miss: go over the shared bus to DRAM.
+        let issue = now + self.l1_hit_latency + self.l2_hit_latency;
+        let grant = self.bus.transaction(issue);
+        events.push(ProbeEvent::BusTransaction {
+            cycle: grant.start,
+            ctx,
+            wait: grant.wait,
+        });
+        let done = grant.release + self.dram_latency;
+        MemAccess {
+            latency: done - now,
+            l1_hit: false,
+            l2_hit: false,
+        }
+    }
+
+    /// Performs an atomic unaligned access spanning the two lines at `addr`
+    /// and `addr + line`: acquires the bus lock, emitting a
+    /// [`ProbeEvent::BusLock`].
+    ///
+    /// Returns the end-to-end latency.
+    pub fn atomic_unaligned(
+        &mut self,
+        ctx: ContextId,
+        addr: u64,
+        now: Cycle,
+        events: &mut Vec<ProbeEvent>,
+    ) -> u64 {
+        let grant = self.bus.lock(now);
+        events.push(ProbeEvent::BusLock {
+            cycle: grant.start,
+            ctx,
+            hold: grant.release - grant.start,
+        });
+        // Keep the two touched lines warm in the local hierarchy (their
+        // fills ride inside the locked window; no separate bus grant).
+        let core = ctx.core() as usize;
+        let line = self.l1[core].config().line_bytes;
+        for a in [addr, addr + line] {
+            let l1_out = self.l1[core].access(a, ctx);
+            if !l1_out.hit {
+                let l2_out = self.l2[core].access(a, ctx);
+                let block = self.l2[core].block_address(a);
+                if self.trace_l2_accesses {
+                    events.push(ProbeEvent::CacheAccess {
+                        cycle: grant.start,
+                        level: CacheLevel::L2,
+                        core: ctx.core(),
+                        ctx,
+                        block,
+                        hit: l2_out.hit,
+                    });
+                }
+                if let Some((victim_block, victim_owner)) = l2_out.victim {
+                    events.push(ProbeEvent::CacheReplacement {
+                        cycle: grant.start,
+                        level: CacheLevel::L2,
+                        core: ctx.core(),
+                        set: l2_out.set,
+                        replacer: ctx,
+                        new_block: block,
+                        victim_block,
+                        victim_owner,
+                    });
+                }
+            }
+        }
+        grant.release + self.dram_latency - now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(&MachineConfig::default())
+    }
+
+    fn ctx() -> ContextId {
+        ContextId::new(0, 0)
+    }
+
+    #[test]
+    fn cold_access_goes_to_dram() {
+        let mut m = sys();
+        let mut ev = Vec::new();
+        let out = m.access(ctx(), 0x1000, Cycle::new(0), &mut ev);
+        assert!(!out.l1_hit && !out.l2_hit);
+        // l1 + l2 + bus transaction + dram.
+        assert_eq!(out.latency, 3 + 15 + 36 + 160);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::BusTransaction { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::CacheAccess { hit: false, .. })));
+    }
+
+    #[test]
+    fn warm_access_hits_l1() {
+        let mut m = sys();
+        let mut ev = Vec::new();
+        m.access(ctx(), 0x1000, Cycle::new(0), &mut ev);
+        let out = m.access(ctx(), 0x1000, Cycle::new(500), &mut ev);
+        assert!(out.l1_hit);
+        assert_eq!(out.latency, 3);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = sys();
+        let mut ev = Vec::new();
+        // Fill one L1 set (64 sets × 8 ways; stride 64*64 = 4096 stays in
+        // one L1 set; L2 has 512 sets so these spread across L2 sets 0,64,...
+        // wrapping: 4096/64 = 64 line-index stride → L2 sets differ).
+        for i in 0..9u64 {
+            m.access(ctx(), i * 4096, Cycle::new(0), &mut ev);
+        }
+        // First address was evicted from 8-way L1 but still lives in L2.
+        let out = m.access(ctx(), 0, Cycle::new(1_000), &mut ev);
+        assert!(!out.l1_hit);
+        assert!(out.l2_hit);
+        assert_eq!(out.latency, 3 + 15);
+    }
+
+    #[test]
+    fn atomic_unaligned_locks_bus_and_delays_others() {
+        let mut m = sys();
+        let mut ev = Vec::new();
+        let lat = m.atomic_unaligned(ctx(), 0x2000, Cycle::new(0), &mut ev);
+        assert!(lat >= 400, "lock hold dominates latency, got {lat}");
+        assert!(ev.iter().any(|e| matches!(e, ProbeEvent::BusLock { .. })));
+        // A miss from another core right behind the lock waits it out.
+        let other = ContextId::new(1, 0);
+        let out = m.access(other, 0x9000, Cycle::new(10), &mut ev);
+        assert!(
+            out.latency > 400,
+            "load behind a bus lock should stall, got {}",
+            out.latency
+        );
+    }
+
+    #[test]
+    fn l2_replacement_emits_victim_event() {
+        let mut m = sys();
+        let mut ev = Vec::new();
+        // 9 distinct lines in one L2 set (stride = 512 sets × 64 B = 32 KB),
+        // all missing L1 too (L1 set stride wraps at 4 KB so they also share
+        // an L1 set, but L1 evictions are not probed).
+        for i in 0..9u64 {
+            m.access(
+                ctx(),
+                0x10_0000 + i * 32 * 1024,
+                Cycle::new(i * 1000),
+                &mut ev,
+            );
+        }
+        let replacements: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::CacheReplacement { .. }))
+            .collect();
+        assert_eq!(replacements.len(), 1, "ninth line evicts the first");
+        if let ProbeEvent::CacheReplacement {
+            victim_block,
+            new_block,
+            ..
+        } = replacements[0]
+        {
+            assert_eq!(*victim_block, 0x10_0000);
+            assert_eq!(*new_block, 0x10_0000 + 8 * 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut m = sys();
+        m.trace_l2_accesses = false;
+        let mut ev = Vec::new();
+        m.access(ctx(), 0x1000, Cycle::new(0), &mut ev);
+        assert!(!ev
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::CacheAccess { .. })));
+        // Bus transaction still visible.
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::BusTransaction { .. })));
+    }
+}

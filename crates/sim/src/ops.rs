@@ -1,0 +1,104 @@
+//! The abstract operations executed by simulated programs.
+
+/// Width hint for a memory access. The simulator only distinguishes whether
+/// the access stays within one cache line or (for atomic unaligned accesses)
+/// spans two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemWidth {
+    /// A normal access contained in one cache line.
+    #[default]
+    Word,
+    /// An access spanning two cache lines (only meaningful for
+    /// [`Op::AtomicUnaligned`]).
+    SplitLine,
+}
+
+/// One abstract operation of a simulated program.
+///
+/// Programs are streams of `Op`s produced by [`crate::Program::next_op`].
+/// Each op's latency is computed from the machine state (cache contents,
+/// bus/divider occupancy) when it executes, and reported back to the program
+/// through [`crate::ProgramView::last_latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Pure computation for `cycles` cycles: occupies the context but no
+    /// shared resources.
+    Compute {
+        /// Busy duration in cycles.
+        cycles: u64,
+    },
+    /// A load from `addr`, walking L1 → L2 → bus/DRAM.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to `addr`. Modeled with the same hierarchy walk as a load
+    /// (write-allocate).
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+    /// An atomic read-modify-write spanning two cache lines starting at
+    /// `addr`: acquires the memory-bus lock for the whole operation. This is
+    /// the trojan primitive of the memory-bus covert channel.
+    AtomicUnaligned {
+        /// Byte address of the first line touched.
+        addr: u64,
+    },
+    /// Issue `count` back-to-back integer divisions, arbitrating for the
+    /// core's divider bank. This is the primitive of the divider covert
+    /// channel.
+    Div {
+        /// Number of divisions issued serially.
+        count: u32,
+    },
+    /// Issue `count` back-to-back integer multiplications, arbitrating for
+    /// the core's multiplier bank (the Wang & Lee SMT/multiplier channel's
+    /// primitive).
+    Mul {
+        /// Number of multiplications issued serially.
+        count: u32,
+    },
+    /// Sleep for `cycles` cycles without using the CPU: the OS deschedules
+    /// the thread, so other runnable threads on the context may run.
+    Idle {
+        /// Sleep duration in cycles.
+        cycles: u64,
+    },
+    /// Voluntarily yield the rest of the quantum to the next runnable thread
+    /// on this context (runs again after one trip through the run queue).
+    Yield,
+    /// Terminate the thread. The program is never asked for ops again.
+    Halt,
+}
+
+impl Op {
+    /// Whether the op terminates the thread.
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Op::Halt)
+    }
+
+    /// Whether the op touches the memory hierarchy.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. } | Op::Store { .. } | Op::AtomicUnaligned { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Op::Halt.is_halt());
+        assert!(!Op::Yield.is_halt());
+        assert!(Op::Load { addr: 0 }.is_memory());
+        assert!(Op::Store { addr: 0 }.is_memory());
+        assert!(Op::AtomicUnaligned { addr: 0 }.is_memory());
+        assert!(!Op::Compute { cycles: 1 }.is_memory());
+        assert!(!Op::Div { count: 1 }.is_memory());
+    }
+}

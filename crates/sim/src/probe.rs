@@ -1,0 +1,356 @@
+//! Probe events: the indicator-event firehose consumed by CC-Hunter.
+//!
+//! The paper's CC-auditor receives wired event signals from the hardware
+//! units under audit. The simulator reports the same signals through the
+//! [`ProbeSink`] trait: bus lock acquisitions, integer-divider wait cycles,
+//! and shared-cache accesses/replacements annotated with the hardware
+//! contexts involved. Sinks are attached to a [`crate::Machine`] before a
+//! run.
+
+use crate::cache::CacheLevel;
+use crate::time::Cycle;
+use std::fmt;
+
+/// Identifier of a physical core.
+pub type CoreId = u8;
+
+/// Identifier of a software thread managed by the simulated OS.
+pub type ThreadId = u32;
+
+/// A hardware context: one SMT thread slot of one core.
+///
+/// The paper's conflict-miss tracker stores three-bit context IDs (four
+/// cores × two SMT threads); [`ContextId::index`] yields exactly that
+/// encoding.
+///
+/// ```
+/// use cchunter_sim::ContextId;
+/// let ctx = ContextId::new(2, 1);
+/// assert_eq!(ctx.core(), 2);
+/// assert_eq!(ctx.smt(), 1);
+/// assert_eq!(ctx.index(2), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId {
+    core: CoreId,
+    smt: u8,
+}
+
+impl ContextId {
+    /// Creates a context identifier for SMT slot `smt` of core `core`.
+    pub const fn new(core: CoreId, smt: u8) -> Self {
+        ContextId { core, smt }
+    }
+
+    /// The physical core this context belongs to.
+    pub const fn core(self) -> CoreId {
+        self.core
+    }
+
+    /// The SMT slot within the core.
+    pub const fn smt(self) -> u8 {
+        self.smt
+    }
+
+    /// Flat index of this context given `smt_per_core` slots per core.
+    ///
+    /// This matches the three-bit context ID stored in cache block metadata
+    /// by the paper's conflict-miss tracker.
+    pub const fn index(self, smt_per_core: u8) -> u8 {
+        self.core * smt_per_core + self.smt
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}t{}", self.core, self.smt)
+    }
+}
+
+/// A microarchitectural indicator event reported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// The memory bus was locked (x86 `LOCK` semantics for an atomic
+    /// unaligned access spanning two cache lines). This is the indicator
+    /// event of the memory-bus covert channel.
+    BusLock {
+        /// Instant the lock was granted.
+        cycle: Cycle,
+        /// Context that acquired the lock.
+        ctx: ContextId,
+        /// Number of cycles the bus stays locked.
+        hold: u64,
+    },
+    /// A regular (unlocked) bus transaction was granted.
+    BusTransaction {
+        /// Instant the transaction started on the bus.
+        cycle: Cycle,
+        /// Requesting context.
+        ctx: ContextId,
+        /// Cycles the request waited for the bus (queuing + lock delays).
+        wait: u64,
+    },
+    /// A division from `waiter` stalled on a divider occupied by an
+    /// instruction from `holder`. One event covers a contiguous run of
+    /// `cycles` wait cycles starting at `start`; this is the indicator event
+    /// of the integer-divider covert channel ("cycles where one thread waits
+    /// for another").
+    DividerWait {
+        /// First stalled cycle.
+        start: Cycle,
+        /// Length of the stall in cycles.
+        cycles: u64,
+        /// Context whose division stalled.
+        waiter: ContextId,
+        /// Context whose division occupies the unit.
+        holder: ContextId,
+    },
+    /// A multiplication from `waiter` stalled on a multiplier occupied by
+    /// an instruction from `holder` (run semantics as [`ProbeEvent::DividerWait`]).
+    MultiplierWait {
+        /// First stalled cycle.
+        start: Cycle,
+        /// Length of the stall in cycles.
+        cycles: u64,
+        /// Context whose multiplication stalled.
+        waiter: ContextId,
+        /// Context whose multiplication occupies the unit.
+        holder: ContextId,
+    },
+    /// An access to a monitored cache level completed.
+    CacheAccess {
+        /// Instant the access was issued.
+        cycle: Cycle,
+        /// Which cache level (only the shared L2 is reported by default).
+        level: CacheLevel,
+        /// Core whose cache was accessed.
+        core: CoreId,
+        /// Accessing context.
+        ctx: ContextId,
+        /// Block (line-aligned) address.
+        block: u64,
+        /// Whether the access hit.
+        hit: bool,
+    },
+    /// A cache miss evicted a resident block. This is the raw material of
+    /// the conflict-miss trackers: the detector classifies the miss as a
+    /// conflict miss and labels it replacer→victim.
+    CacheReplacement {
+        /// Instant of the miss.
+        cycle: Cycle,
+        /// Which cache level.
+        level: CacheLevel,
+        /// Core whose cache was accessed.
+        core: CoreId,
+        /// Set index the replacement happened in.
+        set: u32,
+        /// Context that requested the incoming block.
+        replacer: ContextId,
+        /// Incoming block (line-aligned) address.
+        new_block: u64,
+        /// Evicted block (line-aligned) address.
+        victim_block: u64,
+        /// Owner context recorded in the evicted block's metadata.
+        victim_owner: ContextId,
+    },
+    /// The OS switched the software thread running on a context.
+    ContextSwitch {
+        /// Instant of the switch.
+        cycle: Cycle,
+        /// The hardware context affected.
+        ctx: ContextId,
+        /// Outgoing thread, if any.
+        from: Option<ThreadId>,
+        /// Incoming thread, if any.
+        to: Option<ThreadId>,
+    },
+}
+
+impl ProbeEvent {
+    /// The instant the event occurred (start instant for run events).
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            ProbeEvent::BusLock { cycle, .. }
+            | ProbeEvent::BusTransaction { cycle, .. }
+            | ProbeEvent::CacheAccess { cycle, .. }
+            | ProbeEvent::CacheReplacement { cycle, .. }
+            | ProbeEvent::ContextSwitch { cycle, .. } => cycle,
+            ProbeEvent::DividerWait { start, .. } | ProbeEvent::MultiplierWait { start, .. } => {
+                start
+            }
+        }
+    }
+}
+
+/// Observer of probe events. Implementations must be cheap: they run inline
+/// with the simulation.
+pub trait ProbeSink {
+    /// Called for every probe event, in nondecreasing `cycle` order per
+    /// resource (global order is nondecreasing by construction of the
+    /// discrete-event engine).
+    fn on_event(&mut self, event: &ProbeEvent);
+}
+
+/// A sink that records every event into a vector, for offline analysis.
+#[derive(Debug, Default)]
+pub struct VecTrace {
+    events: Vec<ProbeEvent>,
+}
+
+impl VecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// Consumes the trace, returning the recorded events.
+    pub fn into_events(self) -> Vec<ProbeEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl ProbeSink for VecTrace {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// A sink that keeps only events matching a predicate.
+pub struct FilteredTrace<F> {
+    inner: VecTrace,
+    keep: F,
+}
+
+impl<F: Fn(&ProbeEvent) -> bool> FilteredTrace<F> {
+    /// Creates a trace retaining only events for which `keep` returns true.
+    pub fn new(keep: F) -> Self {
+        FilteredTrace {
+            inner: VecTrace::new(),
+            keep,
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[ProbeEvent] {
+        self.inner.events()
+    }
+
+    /// Consumes the trace, returning the recorded events.
+    pub fn into_events(self) -> Vec<ProbeEvent> {
+        self.inner.into_events()
+    }
+}
+
+impl<F> fmt::Debug for FilteredTrace<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilteredTrace")
+            .field("recorded", &self.inner.len())
+            .finish()
+    }
+}
+
+impl<F: Fn(&ProbeEvent) -> bool> ProbeSink for FilteredTrace<F> {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        if (self.keep)(event) {
+            self.inner.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_id_flat_index_matches_three_bit_encoding() {
+        // Four cores, two hyperthreads: indices 0..8 fit in three bits.
+        let mut seen = Vec::new();
+        for core in 0..4 {
+            for smt in 0..2 {
+                seen.push(ContextId::new(core, smt).index(2));
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn vec_trace_records_in_order() {
+        let mut trace = VecTrace::new();
+        for i in 0..4u64 {
+            trace.on_event(&ProbeEvent::BusLock {
+                cycle: Cycle::new(i * 10),
+                ctx: ContextId::new(0, 0),
+                hold: 5,
+            });
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.events()[3].cycle(), Cycle::new(30));
+    }
+
+    #[test]
+    fn filtered_trace_drops_unmatched() {
+        let mut trace = FilteredTrace::new(|e| matches!(e, ProbeEvent::BusLock { .. }));
+        trace.on_event(&ProbeEvent::BusLock {
+            cycle: Cycle::new(1),
+            ctx: ContextId::new(0, 0),
+            hold: 1,
+        });
+        trace.on_event(&ProbeEvent::BusTransaction {
+            cycle: Cycle::new(2),
+            ctx: ContextId::new(0, 0),
+            wait: 0,
+        });
+        assert_eq!(trace.events().len(), 1);
+    }
+
+    #[test]
+    fn event_cycle_accessor_covers_all_variants() {
+        let ctx = ContextId::new(1, 0);
+        let events = [
+            ProbeEvent::BusLock {
+                cycle: Cycle::new(1),
+                ctx,
+                hold: 2,
+            },
+            ProbeEvent::BusTransaction {
+                cycle: Cycle::new(2),
+                ctx,
+                wait: 0,
+            },
+            ProbeEvent::DividerWait {
+                start: Cycle::new(3),
+                cycles: 4,
+                waiter: ctx,
+                holder: ContextId::new(1, 1),
+            },
+            ProbeEvent::ContextSwitch {
+                cycle: Cycle::new(4),
+                ctx,
+                from: None,
+                to: Some(7),
+            },
+        ];
+        let cycles: Vec<u64> = events.iter().map(|e| e.cycle().as_u64()).collect();
+        assert_eq!(cycles, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn context_display_is_compact() {
+        assert_eq!(ContextId::new(3, 1).to_string(), "c3t1");
+    }
+}

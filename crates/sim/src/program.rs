@@ -1,0 +1,174 @@
+//! The [`Program`] trait: how simulated software is expressed.
+
+use crate::ops::Op;
+use crate::probe::{ContextId, ThreadId};
+use crate::time::Cycle;
+
+/// Read-only view of the executing environment passed to
+/// [`Program::next_op`].
+///
+/// The `last_latency` field is how covert-channel *spy* programs observe
+/// timing: it reports the end-to-end latency (in cycles) of the previous op,
+/// including all queuing and contention delays — the moral equivalent of
+/// bracketing an operation with `rdtsc`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramView {
+    /// Current simulated time (the instant the previous op completed).
+    pub now: Cycle,
+    /// Latency of the previously executed op in cycles (0 before the first
+    /// op, and for `Yield`).
+    pub last_latency: u64,
+    /// The hardware context the thread currently runs on.
+    pub ctx: ContextId,
+    /// This thread's identifier.
+    pub thread: ThreadId,
+}
+
+/// A simulated program: a state machine producing a stream of [`Op`]s.
+///
+/// Programs observe time and latency through the [`ProgramView`] handed to
+/// each [`next_op`](Program::next_op) call, which is sufficient to implement
+/// both the trojan (timing modulation) and spy (timing observation) sides of
+/// every covert channel in the paper, as well as benign workloads.
+pub trait Program {
+    /// Produces the next operation. Returning [`Op::Halt`] terminates the
+    /// thread; `next_op` is never called again afterwards.
+    fn next_op(&mut self, view: &ProgramView) -> Op;
+
+    /// Short human-readable name used in traces and statistics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+impl Program for Box<dyn Program> {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        (**self).next_op(view)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A program that replays a fixed list of ops, then halts.
+///
+/// Useful in tests and as a building block for simple workloads.
+///
+/// ```
+/// use cchunter_sim::{Op, OpScript};
+/// let script = OpScript::new("demo", vec![Op::Compute { cycles: 10 }, Op::Load { addr: 64 }]);
+/// assert_eq!(script.remaining(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpScript {
+    name: String,
+    ops: std::vec::IntoIter<Op>,
+    remaining: usize,
+}
+
+impl OpScript {
+    /// Creates a script that emits `ops` in order, then [`Op::Halt`].
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        let remaining = ops.len();
+        OpScript {
+            name: name.into(),
+            ops: ops.into_iter(),
+            remaining,
+        }
+    }
+
+    /// Number of scripted ops not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Program for OpScript {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        match self.ops.next() {
+            Some(op) => {
+                self.remaining -= 1;
+                op
+            }
+            None => Op::Halt,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A program built from a closure, for tests and one-off workloads.
+pub struct FnProgram<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(&ProgramView) -> Op> FnProgram<F> {
+    /// Wraps `f` as a [`Program`].
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProgram {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for FnProgram<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProgram")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<F: FnMut(&ProgramView) -> Op> Program for FnProgram<F> {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        (self.f)(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> ProgramView {
+        ProgramView {
+            now: Cycle::ZERO,
+            last_latency: 0,
+            ctx: ContextId::new(0, 0),
+            thread: 0,
+        }
+    }
+
+    #[test]
+    fn op_script_replays_then_halts() {
+        let mut script = OpScript::new("s", vec![Op::Yield, Op::Compute { cycles: 5 }]);
+        let v = view();
+        assert_eq!(script.next_op(&v), Op::Yield);
+        assert_eq!(script.remaining(), 1);
+        assert_eq!(script.next_op(&v), Op::Compute { cycles: 5 });
+        assert_eq!(script.next_op(&v), Op::Halt);
+        assert_eq!(script.next_op(&v), Op::Halt);
+        assert_eq!(script.name(), "s");
+    }
+
+    #[test]
+    fn fn_program_sees_latency() {
+        let mut last = 0;
+        let mut prog = FnProgram::new("f", |v: &ProgramView| {
+            last = v.last_latency;
+            Op::Halt
+        });
+        let mut v = view();
+        v.last_latency = 99;
+        let _ = prog.next_op(&v);
+        assert_eq!(last, 99);
+    }
+}

@@ -1,0 +1,124 @@
+//! OS thread scheduling over hardware contexts.
+//!
+//! Each hardware context owns a run queue of software threads (threads are
+//! affine to a context unless respawned elsewhere, mirroring the pinned
+//! trojan/spy placement of the paper's experiments). Threads rotate
+//! round-robin at quantum boundaries; sleeping threads ([`crate::Op::Idle`])
+//! leave the context free for other runnable threads.
+
+use crate::probe::ThreadId;
+use crate::time::Cycle;
+use std::collections::VecDeque;
+
+/// Lifecycle state of a software thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable (queued or currently on a context).
+    Ready,
+    /// Blocked in an [`crate::Op::Idle`] until the given instant.
+    Sleeping {
+        /// Wake-up time.
+        until: Cycle,
+    },
+    /// Terminated.
+    Halted,
+}
+
+/// Scheduling state of one hardware context.
+#[derive(Debug, Clone)]
+pub struct ContextSched {
+    /// Runnable threads waiting for this context.
+    pub queue: VecDeque<ThreadId>,
+    /// Threads sleeping on this context.
+    pub sleeping: Vec<ThreadId>,
+    /// The thread currently running, if any.
+    pub current: Option<ThreadId>,
+    /// End of the running thread's quantum.
+    pub quantum_end: Cycle,
+    /// Whether an op-completion event is in flight for this context.
+    pub busy: bool,
+    /// Whether a wake event is already scheduled (avoids duplicates).
+    pub wake_scheduled: bool,
+}
+
+impl ContextSched {
+    /// Creates an idle context with no threads.
+    pub fn new() -> Self {
+        ContextSched {
+            queue: VecDeque::new(),
+            sleeping: Vec::new(),
+            current: None,
+            quantum_end: Cycle::ZERO,
+            busy: false,
+            wake_scheduled: false,
+        }
+    }
+
+    /// Moves every sleeping thread whose wake time has passed back to the
+    /// run queue; returns how many woke.
+    pub fn wake_due(&mut self, now: Cycle, wake_time: impl Fn(ThreadId) -> Cycle) -> usize {
+        let mut woke = 0;
+        let mut i = 0;
+        while i < self.sleeping.len() {
+            if wake_time(self.sleeping[i]) <= now {
+                let tid = self.sleeping.swap_remove(i);
+                self.queue.push_back(tid);
+                woke += 1;
+            } else {
+                i += 1;
+            }
+        }
+        woke
+    }
+
+    /// Earliest wake time among sleeping threads.
+    pub fn next_wake(&self, wake_time: impl Fn(ThreadId) -> Cycle) -> Option<Cycle> {
+        self.sleeping.iter().map(|&t| wake_time(t)).min()
+    }
+
+    /// Whether any thread (running, queued, or sleeping) is attached.
+    pub fn has_threads(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty() || !self.sleeping.is_empty()
+    }
+}
+
+impl Default for ContextSched {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_due_moves_expired_sleepers() {
+        let mut ctx = ContextSched::new();
+        ctx.sleeping = vec![1, 2, 3];
+        let wake = |t: ThreadId| Cycle::new(t as u64 * 100);
+        let woke = ctx.wake_due(Cycle::new(250), wake);
+        assert_eq!(woke, 2);
+        assert_eq!(ctx.sleeping, vec![3]);
+        assert_eq!(ctx.queue.len(), 2);
+    }
+
+    #[test]
+    fn next_wake_is_minimum() {
+        let mut ctx = ContextSched::new();
+        ctx.sleeping = vec![5, 2, 9];
+        let wake = |t: ThreadId| Cycle::new(t as u64);
+        assert_eq!(ctx.next_wake(wake), Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn has_threads_covers_all_holding_places() {
+        let mut ctx = ContextSched::new();
+        assert!(!ctx.has_threads());
+        ctx.current = Some(1);
+        assert!(ctx.has_threads());
+        ctx.current = None;
+        ctx.sleeping.push(2);
+        assert!(ctx.has_threads());
+    }
+}

@@ -1,0 +1,32 @@
+//! Aggregate run statistics.
+
+/// Counters accumulated over a [`crate::Machine`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Total operations committed across all threads.
+    pub committed_ops: u64,
+    /// Total memory operations (loads, stores, atomics).
+    pub memory_ops: u64,
+    /// Total divisions issued.
+    pub divisions: u64,
+    /// Total multiplications issued.
+    pub multiplications: u64,
+    /// Total bus lock acquisitions.
+    pub bus_locks: u64,
+    /// Total OS context switches performed.
+    pub context_switches: u64,
+    /// Threads that have halted.
+    pub halted_threads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = MachineStats::default();
+        assert_eq!(s.committed_ops, 0);
+        assert_eq!(s.context_switches, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cycle-denominated simulated time.
+//!
+//! All simulator timekeeping is in CPU cycles of the modeled clock
+//! (2.5 GHz by default, matching the paper's MARSSx86 configuration). A
+//! [`Cycle`] is an absolute point on the simulated timeline; durations are
+//! plain `u64` cycle counts.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The modeled core clock of the paper's machine: 2.5 GHz.
+pub const DEFAULT_CLOCK_HZ: u64 = 2_500_000_000;
+
+/// An absolute instant on the simulated timeline, measured in CPU cycles
+/// since machine reset.
+///
+/// `Cycle` is ordered and supports the arithmetic needed by resource
+/// timelines (`cycle + duration`, `cycle - cycle -> duration`).
+///
+/// ```
+/// use cchunter_sim::Cycle;
+/// let t = Cycle::ZERO + 100;
+/// assert_eq!(t.as_u64(), 100);
+/// assert_eq!(t - Cycle::ZERO, 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Machine reset time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable instant (used as an "infinitely far"
+    /// sentinel by resource timelines).
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates an instant from a raw cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Converts this instant to seconds under the given clock frequency.
+    ///
+    /// ```
+    /// use cchunter_sim::{Cycle, DEFAULT_CLOCK_HZ};
+    /// let t = Cycle::new(DEFAULT_CLOCK_HZ); // one second of cycles
+    /// assert!((t.as_seconds(DEFAULT_CLOCK_HZ) - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn as_seconds(self, clock_hz: u64) -> f64 {
+        self.0 as f64 / clock_hz as f64
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle duration");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+/// Number of cycles in `seconds` of wall time under `clock_hz`.
+///
+/// ```
+/// use cchunter_sim::{cycles_per_second, DEFAULT_CLOCK_HZ};
+/// // One OS time quantum of 0.1 s is 250M cycles at 2.5 GHz.
+/// assert_eq!(cycles_per_second(0.1, DEFAULT_CLOCK_HZ), 250_000_000);
+/// ```
+pub fn cycles_per_second(seconds: f64, clock_hz: u64) -> u64 {
+    (seconds * clock_hz as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle::new(10);
+        let b = a + 32;
+        assert_eq!(b.as_u64(), 42);
+        assert_eq!(b - a, 32);
+        assert_eq!(a.saturating_since(b), 0);
+        assert_eq!(b.saturating_since(a), 32);
+    }
+
+    #[test]
+    fn cycle_add_saturates() {
+        let far = Cycle::MAX + 10;
+        assert_eq!(far, Cycle::MAX);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Cycle::new(5) < Cycle::new(6));
+        assert!(Cycle::ZERO < Cycle::MAX);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let quantum = Cycle::new(250_000_000);
+        assert!((quantum.as_seconds(DEFAULT_CLOCK_HZ) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(7).to_string(), "7cyc");
+    }
+
+    #[test]
+    fn cycles_per_second_rounds() {
+        assert_eq!(cycles_per_second(1.0, 1000), 1000);
+        assert_eq!(cycles_per_second(0.0004, 1000), 0);
+    }
+}

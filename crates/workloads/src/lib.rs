@@ -1,0 +1,167 @@
+//! # cchunter-workloads
+//!
+//! Benign synthetic workload generators for the CC-Hunter false-alarm
+//! experiments (paper §VI-D) and for background interference (§III: every
+//! experiment runs "a few other (at least three) active processes").
+//!
+//! The paper pairs SPEC2006, STREAM and Filebench programs chosen to
+//! maximize pressure on the audited units: gobmk/sjeng hammer the memory
+//! bus, bzip2/h264ref issue many integer divisions, STREAM saturates memory
+//! bandwidth, and the Filebench mailserver/webserver personalities generate
+//! multi-threaded bursty I/O-like traffic. None of them carries a covert
+//! channel, so CC-Hunter must stay quiet — including on the mailserver,
+//! whose fsync bursts produce a real second histogram distribution that the
+//! likelihood-ratio test must (and does) reject.
+//!
+//! Generators model the *op mix and phase structure* of their namesakes,
+//! not their computation: CC-Hunter only ever sees indicator-event timing,
+//! so the mix and its burstiness are the behaviour that matters.
+//!
+//! ```
+//! use cchunter_sim::{Machine, MachineConfig};
+//! use cchunter_workloads::spec::Gobmk;
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let ctx = machine.config().context_id(0, 0);
+//! machine.spawn(Box::new(Gobmk::new(1)), ctx);
+//! machine.run_for(1_000_000);
+//! assert!(machine.stats().memory_ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod filebench;
+pub mod noise;
+pub mod spec;
+pub mod stream;
+
+pub use filebench::{Mailserver, Webserver};
+pub use noise::BackgroundNoise;
+pub use spec::{Bzip2, Gobmk, H264ref, Hmmer, Libquantum, Mcf, Povray, Sjeng};
+pub use stream::Stream;
+
+use cchunter_sim::Program;
+
+/// The benchmark pairs of the paper's Figure 14 false-alarm study, as
+/// `(label, program A, program B)` rows. Both programs of a pair are run
+/// simultaneously on the same physical core as hyperthreads.
+///
+/// Seeds differ per instance so "mailserver mailserver" runs two distinct
+/// mailserver instances.
+#[allow(clippy::type_complexity)]
+pub fn figure14_pairs() -> Vec<(&'static str, Box<dyn Program>, Box<dyn Program>)> {
+    vec![
+        (
+            "gobmk_sjeng",
+            Box::new(Gobmk::new(101)) as Box<dyn Program>,
+            Box::new(Sjeng::new(202)) as Box<dyn Program>,
+        ),
+        (
+            "bzip2_h264ref",
+            Box::new(Bzip2::new(303)),
+            Box::new(H264ref::new(404)),
+        ),
+        (
+            "stream_stream",
+            Box::new(Stream::new(505)),
+            Box::new(Stream::new(606)),
+        ),
+        (
+            "mailserver_mailserver",
+            Box::new(Mailserver::new(707)),
+            Box::new(Mailserver::new(808)),
+        ),
+        (
+            "webserver_webserver",
+            Box::new(Webserver::new(909)),
+            Box::new(Webserver::new(1010)),
+        ),
+    ]
+}
+
+/// Every benign workload by name, for the extended pairwise false-alarm
+/// study (the paper tests 128 pair-wise combinations; `extended_pairs`
+/// enumerates all unordered pairs of this roster).
+pub fn workload_roster() -> Vec<&'static str> {
+    vec![
+        "gobmk",
+        "sjeng",
+        "bzip2",
+        "h264ref",
+        "mcf",
+        "libquantum",
+        "povray",
+        "hmmer",
+        "stream",
+        "mailserver",
+        "webserver",
+    ]
+}
+
+/// Instantiates a workload by roster name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Program> {
+    match name {
+        "gobmk" => Box::new(Gobmk::new(seed)),
+        "sjeng" => Box::new(Sjeng::new(seed)),
+        "bzip2" => Box::new(Bzip2::new(seed)),
+        "h264ref" => Box::new(H264ref::new(seed)),
+        "mcf" => Box::new(Mcf::new(seed)),
+        "libquantum" => Box::new(Libquantum::new(seed)),
+        "povray" => Box::new(Povray::new(seed)),
+        "hmmer" => Box::new(Hmmer::new(seed)),
+        "stream" => Box::new(Stream::new(seed)),
+        "mailserver" => Box::new(Mailserver::new(seed)),
+        "webserver" => Box::new(Webserver::new(seed)),
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+/// All unordered pairs (including self-pairs) of the roster: 66 pairs.
+#[allow(clippy::type_complexity)]
+pub fn extended_pairs() -> Vec<(String, Box<dyn Program>, Box<dyn Program>)> {
+    let roster = workload_roster();
+    let mut pairs = Vec::new();
+    for (i, a) in roster.iter().enumerate() {
+        for b in roster.iter().skip(i) {
+            pairs.push((
+                format!("{a}_{b}"),
+                workload_by_name(a, 1_000 + i as u64),
+                workload_by_name(b, 2_000 + i as u64),
+            ));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_has_five_pairs() {
+        let pairs = figure14_pairs();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[0].0, "gobmk_sjeng");
+        assert_eq!(pairs[0].1.name(), "gobmk");
+    }
+
+    #[test]
+    fn extended_roster_covers_all_pairs() {
+        let pairs = extended_pairs();
+        // 11 workloads → 11·12/2 = 66 unordered pairs.
+        assert_eq!(pairs.len(), 66);
+        let names: std::collections::HashSet<_> = pairs.iter().map(|(l, _, _)| l.clone()).collect();
+        assert_eq!(names.len(), 66, "labels are unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = workload_by_name("doom", 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Background interference processes.
+//!
+//! The paper's threat model (§III) runs at least three other active
+//! processes alongside every trojan/spy pair, so detection is demonstrated
+//! under realistic noise. [`BackgroundNoise`] is a tunable such process: it
+//! alternates sleep with short activity bursts of cache-touching loads,
+//! computes, divisions, and (optionally) rare atomics.
+
+use cchunter_sim::{Op, Program, ProgramView};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A configurable background process.
+#[derive(Debug)]
+pub struct BackgroundNoise {
+    rng: SmallRng,
+    region_base: u64,
+    region_lines: u64,
+    /// Fraction of time active (0.0–1.0).
+    duty: f64,
+    /// Ops per activity burst.
+    burst_ops: u32,
+    /// Whether the process may issue rare locked atomics.
+    allow_atomics: bool,
+    /// Coarsening factor: multiplies compute-op sizes and sleeps, keeping
+    /// the duty cycle while reducing the op count (for very long runs).
+    op_scale: u64,
+    burst_left: u32,
+}
+
+impl BackgroundNoise {
+    /// A light noise process (~`duty` activity) over a private 2 MB region.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < duty <= 1.0`.
+    pub fn new(seed: u64, duty: f64) -> Self {
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        let slot = rng.gen_range(0..128u64);
+        BackgroundNoise {
+            rng,
+            region_base: 0xC0_0000_0000 + slot * 0x400_0000,
+            region_lines: 2 * 1024 * 1024 / 64,
+            duty,
+            burst_ops: 64,
+            allow_atomics: false,
+            op_scale: 1,
+            burst_left: 0,
+        }
+    }
+
+    /// Enables rare locked atomics (bus-lock noise).
+    pub fn with_atomics(mut self) -> Self {
+        self.allow_atomics = true;
+        self
+    }
+
+    /// Overrides the burst length in ops.
+    pub fn with_burst_ops(mut self, ops: u32) -> Self {
+        self.burst_ops = ops.max(1);
+        self
+    }
+
+    /// Coarsens the op stream by `scale`: compute ops and sleeps grow
+    /// `scale`×, keeping the duty cycle while cutting the op count (and
+    /// the per-cycle event rate) proportionally. Used for multi-minute
+    /// simulated runs such as the 0.1 bps experiments.
+    pub fn with_op_scale(mut self, scale: u64) -> Self {
+        self.op_scale = scale.max(1);
+        self
+    }
+}
+
+impl Program for BackgroundNoise {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        if self.burst_left == 0 {
+            // Average burst ≈ burst_ops × ~100 cycles of activity; pick the
+            // sleep so the duty cycle holds on average.
+            let active_cycles = self.burst_ops as u64 * 100 * self.op_scale;
+            let sleep = (active_cycles as f64 * (1.0 - self.duty) / self.duty) as u64;
+            self.burst_left = self.burst_ops;
+            return Op::Idle {
+                cycles: self.rng.gen_range(sleep / 2..=sleep + 1),
+            };
+        }
+        self.burst_left -= 1;
+        let scale = self.op_scale;
+        match self.rng.gen_range(0..10u32) {
+            0..=4 => {
+                let line = self.rng.gen_range(0..self.region_lines);
+                Op::Load {
+                    addr: self.region_base + line * 64,
+                }
+            }
+            5..=7 => Op::Compute {
+                cycles: self.rng.gen_range(40..200) * scale,
+            },
+            8 => Op::Div { count: 1 },
+            _ => {
+                if self.allow_atomics && self.rng.gen_ratio(1, 50) {
+                    let line = self.rng.gen_range(0..self.region_lines);
+                    Op::AtomicUnaligned {
+                        addr: self.region_base + line * 64,
+                    }
+                } else {
+                    Op::Compute {
+                        cycles: self.rng.gen_range(20..100) * scale,
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "background-noise"
+    }
+}
+
+/// Spawns the paper's baseline interference: `count` noise processes on the
+/// contexts of cores other than `busy_core`, round-robin.
+pub fn spawn_standard_noise(
+    machine: &mut cchunter_sim::Machine,
+    busy_core: u8,
+    count: usize,
+    seed: u64,
+) {
+    spawn_scaled_noise(machine, busy_core, count, seed, 1);
+}
+
+/// [`spawn_standard_noise`] with an op-coarsening factor for very long
+/// simulated runs (see [`BackgroundNoise::with_op_scale`]).
+pub fn spawn_scaled_noise(
+    machine: &mut cchunter_sim::Machine,
+    busy_core: u8,
+    count: usize,
+    seed: u64,
+    op_scale: u64,
+) {
+    let config = machine.config().clone();
+    let contexts: Vec<_> = config
+        .contexts()
+        .filter(|c| c.core() != busy_core)
+        .collect();
+    assert!(!contexts.is_empty(), "no free contexts for noise");
+    for i in 0..count {
+        let ctx = contexts[i % contexts.len()];
+        machine.spawn(
+            Box::new(BackgroundNoise::new(seed + i as u64, 0.3).with_op_scale(op_scale)),
+            ctx,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cchunter_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn noise_respects_duty_cycle_roughly() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        machine.spawn(Box::new(BackgroundNoise::new(1, 0.2)), ctx);
+        machine.run_for(20_000_000);
+        let stats = machine.stats();
+        // A 20% duty process commits far fewer ops than a saturating one.
+        let mut busy_machine = Machine::new(MachineConfig::default());
+        let bctx = busy_machine.config().context_id(0, 0);
+        busy_machine.spawn(Box::new(BackgroundNoise::new(1, 1.0)), bctx);
+        busy_machine.run_for(20_000_000);
+        assert!(stats.committed_ops * 2 < busy_machine.stats().committed_ops);
+    }
+
+    #[test]
+    fn atomics_only_when_enabled() {
+        let run = |atomics: bool| {
+            let mut machine = Machine::new(MachineConfig::default());
+            let ctx = machine.config().context_id(0, 0);
+            let noise = BackgroundNoise::new(9, 0.8).with_burst_ops(256);
+            let noise = if atomics { noise.with_atomics() } else { noise };
+            machine.spawn(Box::new(noise), ctx);
+            machine.run_for(50_000_000);
+            machine.stats().bus_locks
+        };
+        assert_eq!(run(false), 0);
+        assert!(run(true) > 0);
+    }
+
+    #[test]
+    fn standard_noise_avoids_the_busy_core() {
+        let mut machine = Machine::new(MachineConfig::default());
+        spawn_standard_noise(&mut machine, 0, 3, 77);
+        for tid in 0..3 {
+            assert_ne!(machine.thread_context(tid).core(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn zero_duty_rejected() {
+        let _ = BackgroundNoise::new(1, 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! SPEC2006-like synthetic workloads.
+//!
+//! Each generator models the op mix the paper relies on: gobmk and sjeng
+//! have "numerous repeated accesses to the memory bus" (pointer-chasing
+//! over working sets larger than L2, with the occasional legacy unaligned
+//! atomic), while bzip2 and h264ref have "a significant number of integer
+//! divisions" (rate/distortion and entropy arithmetic). Phase behaviour is
+//! modeled with alternating compute/memory regions of randomized length, so
+//! contention is irregular rather than recurrent — the property that keeps
+//! them on the right side of CC-Hunter's likelihood-ratio test.
+
+use cchunter_sim::{Op, Program, ProgramView};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Common scaffolding for the SPEC-like generators.
+#[derive(Debug)]
+struct SpecCore {
+    rng: SmallRng,
+    region_base: u64,
+    region_lines: u64,
+    /// Remaining ops of the current phase.
+    phase_left: u32,
+    /// Whether the current phase is memory-bound.
+    memory_phase: bool,
+}
+
+impl SpecCore {
+    fn new(seed: u64, region_mb: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let region_base = 0x6000_0000 + (rng.gen_range(0..64u64)) * 0x1000_0000;
+        SpecCore {
+            rng,
+            region_base,
+            region_lines: region_mb * 1024 * 1024 / 64,
+            phase_left: 0,
+            memory_phase: false,
+        }
+    }
+
+    fn random_load(&mut self) -> Op {
+        let line = self.rng.gen_range(0..self.region_lines);
+        Op::Load {
+            addr: self.region_base + line * 64,
+        }
+    }
+
+    /// Advances the phase machine; returns whether the current phase is
+    /// memory-bound.
+    fn tick_phase(&mut self, memory_bias: f64, phase_ops: std::ops::Range<u32>) -> bool {
+        if self.phase_left == 0 {
+            self.memory_phase = self.rng.gen_bool(memory_bias);
+            self.phase_left = self.rng.gen_range(phase_ops);
+        }
+        self.phase_left -= 1;
+        self.memory_phase
+    }
+}
+
+macro_rules! spec_workload {
+    ($(#[$doc:meta])* $name:ident, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            core: SpecCore,
+        }
+
+        impl $name {
+            /// Creates an instance with a deterministic seed.
+            pub fn new(seed: u64) -> Self {
+                $name {
+                    core: SpecCore::new(seed ^ const_hash($label), 16),
+                }
+            }
+        }
+    };
+}
+
+/// Compile-time-ish label hash so same seed + different workload differ.
+fn const_hash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+spec_workload!(
+    /// gobmk-like: Go engine with branchy compute and bus-heavy board
+    /// scans; issues occasional legacy unaligned atomics (lock-prefixed
+    /// RMW on packed structures).
+    Gobmk,
+    "gobmk"
+);
+
+impl Program for Gobmk {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.55, 40..220);
+        if memory {
+            if self.core.rng.gen_ratio(1, 400) {
+                // A packed-structure atomic: the benign source of the
+                // occasional bus lock in Figure 14's first column.
+                let line = self.core.rng.gen_range(0..self.core.region_lines);
+                return Op::AtomicUnaligned {
+                    addr: self.core.region_base + line * 64,
+                };
+            }
+            self.core.random_load()
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(30..200),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gobmk"
+    }
+}
+
+spec_workload!(
+    /// sjeng-like: chess search alternating deep compute with transposition
+    /// table lookups that mostly miss cache; rare locked RMWs.
+    Sjeng,
+    "sjeng"
+);
+
+impl Program for Sjeng {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.45, 60..300);
+        if memory {
+            if self.core.rng.gen_ratio(1, 500) {
+                let line = self.core.rng.gen_range(0..self.core.region_lines);
+                return Op::AtomicUnaligned {
+                    addr: self.core.region_base + line * 64,
+                };
+            }
+            self.core.random_load()
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(50..350),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sjeng"
+    }
+}
+
+spec_workload!(
+    /// bzip2-like: block-sorting compression with division-heavy entropy
+    /// coding phases.
+    Bzip2,
+    "bzip2"
+);
+
+impl Program for Bzip2 {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.35, 80..400);
+        if memory {
+            self.core.random_load()
+        } else if self.core.rng.gen_ratio(1, 12) {
+            Op::Div {
+                count: self.core.rng.gen_range(1..3),
+            }
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(20..160),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bzip2"
+    }
+}
+
+spec_workload!(
+    /// h264ref-like: video encoding with rate-distortion divisions and
+    /// motion-search memory sweeps.
+    H264ref,
+    "h264ref"
+);
+
+impl Program for H264ref {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.40, 100..500);
+        if memory {
+            self.core.random_load()
+        } else if self.core.rng.gen_ratio(1, 8) {
+            Op::Div { count: 1 }
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(15..120),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "h264ref"
+    }
+}
+
+spec_workload!(
+    /// mcf-like: single-thread network simplex — almost purely
+    /// latency-bound pointer chasing over a huge working set.
+    Mcf,
+    "mcf"
+);
+
+impl Program for Mcf {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.85, 200..800);
+        if memory {
+            self.core.random_load()
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(10..60),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mcf"
+    }
+}
+
+spec_workload!(
+    /// libquantum-like: quantum simulation with long streaming sweeps over
+    /// the state vector, interleaved with light arithmetic.
+    Libquantum,
+    "libquantum"
+);
+
+impl Program for Libquantum {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        // Streaming: sequential lines, not random.
+        let memory = self.core.tick_phase(0.70, 500..2_000);
+        if memory {
+            let line = (view.now.as_u64() / 64) % self.core.region_lines;
+            Op::Load {
+                addr: self.core.region_base + line * 64,
+            }
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(20..90),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "libquantum"
+    }
+}
+
+spec_workload!(
+    /// povray-like: ray tracing — overwhelmingly compute with small hot
+    /// data, occasional divisions in shading math.
+    Povray,
+    "povray"
+);
+
+impl Program for Povray {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.10, 100..400);
+        if memory {
+            self.core.random_load()
+        } else if self.core.rng.gen_ratio(1, 20) {
+            Op::Div { count: 1 }
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(40..300),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "povray"
+    }
+}
+
+spec_workload!(
+    /// hmmer-like: profile HMM search — tight integer compute with
+    /// regular, prefetch-friendly memory access and multiplications.
+    Hmmer,
+    "hmmer"
+);
+
+impl Program for Hmmer {
+    fn next_op(&mut self, view: &ProgramView) -> Op {
+        let memory = self.core.tick_phase(0.30, 150..600);
+        if memory {
+            let line = (view.now.as_u64() / 128) % self.core.region_lines;
+            Op::Load {
+                addr: self.core.region_base + line * 64,
+            }
+        } else if self.core.rng.gen_ratio(1, 6) {
+            Op::Mul {
+                count: self.core.rng.gen_range(1..4),
+            }
+        } else {
+            Op::Compute {
+                cycles: self.core.rng.gen_range(15..100),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hmmer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cchunter_sim::{Machine, MachineConfig};
+
+    fn run_alone(program: Box<dyn Program>, cycles: u64) -> cchunter_sim::MachineStats {
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        machine.spawn(program, ctx);
+        machine.run_for(cycles);
+        machine.stats()
+    }
+
+    #[test]
+    fn gobmk_touches_bus_and_occasionally_locks() {
+        let stats = run_alone(Box::new(Gobmk::new(7)), 5_000_000);
+        assert!(stats.memory_ops > 1_000);
+        assert!(stats.bus_locks > 0, "gobmk issues occasional atomics");
+        // Locks are rare, not a storm.
+        assert!(stats.bus_locks < stats.memory_ops / 50);
+    }
+
+    #[test]
+    fn bzip2_divides_a_lot() {
+        let stats = run_alone(Box::new(Bzip2::new(7)), 5_000_000);
+        assert!(stats.divisions > 1_000, "got {}", stats.divisions);
+        assert_eq!(stats.bus_locks, 0, "bzip2 does not lock the bus");
+    }
+
+    #[test]
+    fn h264_divides_more_often_than_sjeng() {
+        let h264 = run_alone(Box::new(H264ref::new(7)), 5_000_000);
+        let sjeng = run_alone(Box::new(Sjeng::new(7)), 5_000_000);
+        assert!(h264.divisions > sjeng.divisions * 10);
+    }
+
+    #[test]
+    fn same_seed_reproduces_op_stream() {
+        let a = run_alone(Box::new(Gobmk::new(42)), 1_000_000);
+        let b = run_alone(Box::new(Gobmk::new(42)), 1_000_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_workloads_differ_under_same_seed() {
+        let a = run_alone(Box::new(Gobmk::new(42)), 1_000_000);
+        let b = run_alone(Box::new(Sjeng::new(42)), 1_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mcf_is_memory_bound() {
+        let stats = run_alone(Box::new(Mcf::new(7)), 5_000_000);
+        assert!(stats.memory_ops * 2 > stats.committed_ops);
+        assert_eq!(stats.bus_locks, 0);
+    }
+
+    #[test]
+    fn povray_is_compute_bound() {
+        let stats = run_alone(Box::new(Povray::new(7)), 5_000_000);
+        assert!(stats.memory_ops * 4 < stats.committed_ops);
+    }
+
+    #[test]
+    fn hmmer_multiplies() {
+        let stats = run_alone(Box::new(Hmmer::new(7)), 5_000_000);
+        assert!(stats.multiplications > 500, "got {}", stats.multiplications);
+        assert_eq!(stats.divisions, 0);
+    }
+
+    #[test]
+    fn libquantum_streams() {
+        let stats = run_alone(Box::new(Libquantum::new(7)), 5_000_000);
+        assert!(stats.memory_ops > 5_000);
+        assert_eq!(stats.bus_locks, 0);
+    }
+
+    #[test]
+    fn workloads_never_halt() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        let tid = machine.spawn(Box::new(Bzip2::new(1)), ctx);
+        machine.run_for(2_000_000);
+        assert_eq!(machine.thread_state(tid), cchunter_sim::ThreadState::Ready);
+    }
+}

@@ -1,0 +1,156 @@
+//! A STREAM-like bandwidth benchmark (McCalpin).
+//!
+//! STREAM cycles through its four kernels (copy, scale, add, triad) over
+//! arrays far larger than any cache, producing a steady wall of sequential
+//! memory traffic — maximal pressure on the bus with no locks and no
+//! recurrent burst structure (the access rate is *constant*, which is
+//! exactly what the burst detector's threshold-density split rejects).
+
+use cchunter_sim::{Op, Program, ProgramView};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which STREAM kernel is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl Kernel {
+    fn next(self) -> Kernel {
+        match self {
+            Kernel::Copy => Kernel::Scale,
+            Kernel::Scale => Kernel::Add,
+            Kernel::Add => Kernel::Triad,
+            Kernel::Triad => Kernel::Copy,
+        }
+    }
+
+    /// Loads per stored element (copy/scale read one array, add/triad two).
+    fn loads(self) -> u32 {
+        match self {
+            Kernel::Copy | Kernel::Scale => 1,
+            Kernel::Add | Kernel::Triad => 2,
+        }
+    }
+
+    /// Arithmetic cycles per element.
+    fn flops_cycles(self) -> u64 {
+        match self {
+            Kernel::Copy => 1,
+            Kernel::Scale => 4,
+            Kernel::Add => 4,
+            Kernel::Triad => 8,
+        }
+    }
+}
+
+/// The STREAM-like generator.
+#[derive(Debug)]
+pub struct Stream {
+    base: u64,
+    array_lines: u64,
+    cursor: u64,
+    kernel: Kernel,
+    /// Per-element micro-state: pending loads before the store.
+    loads_left: u32,
+    store_pending: bool,
+}
+
+impl Stream {
+    /// Creates an instance; `seed` staggers the address region so two
+    /// STREAM instances do not share lines.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Stream {
+            base: 0x20_0000_0000 + rng.gen_range(0..32u64) * 0x4000_0000,
+            array_lines: 4 * 1024 * 1024 / 64, // 4 MB arrays
+            cursor: 0,
+            kernel: Kernel::Copy,
+            loads_left: 1,
+            store_pending: false,
+        }
+    }
+
+    fn line_addr(&self, array: u64, line: u64) -> u64 {
+        self.base + array * 0x1000_0000 + line * 64
+    }
+}
+
+impl Program for Stream {
+    fn next_op(&mut self, _view: &ProgramView) -> Op {
+        if self.loads_left > 0 {
+            let array = self.loads_left as u64; // source array 1 or 2
+            self.loads_left -= 1;
+            self.store_pending = true;
+            return Op::Load {
+                addr: self.line_addr(array, self.cursor),
+            };
+        }
+        if self.store_pending {
+            self.store_pending = false;
+            return Op::Store {
+                addr: self.line_addr(0, self.cursor),
+            };
+        }
+        // Element done: arithmetic, then advance (next kernel at wrap).
+        let flops = self.kernel.flops_cycles();
+        self.cursor += 1;
+        if self.cursor >= self.array_lines {
+            self.cursor = 0;
+            self.kernel = self.kernel.next();
+        }
+        self.loads_left = self.kernel.loads();
+        Op::Compute { cycles: flops }
+    }
+
+    fn name(&self) -> &str {
+        "stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cchunter_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn stream_is_memory_dominated() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let ctx = machine.config().context_id(0, 0);
+        machine.spawn(Box::new(Stream::new(1)), ctx);
+        machine.run_for(5_000_000);
+        let stats = machine.stats();
+        assert!(stats.memory_ops * 2 > stats.committed_ops);
+        assert_eq!(stats.bus_locks, 0);
+        assert_eq!(stats.divisions, 0);
+    }
+
+    #[test]
+    fn sequential_cursor_walks_lines() {
+        let mut s = Stream::new(1);
+        let view = ProgramView {
+            now: cchunter_sim::Cycle::ZERO,
+            last_latency: 0,
+            ctx: cchunter_sim::ContextId::new(0, 0),
+            thread: 0,
+        };
+        let mut loads = Vec::new();
+        for _ in 0..30 {
+            if let Op::Load { addr } = s.next_op(&view) {
+                loads.push(addr);
+            }
+        }
+        assert!(loads.windows(2).all(|w| w[1] >= w[0]), "monotone walk");
+    }
+
+    #[test]
+    fn two_instances_use_disjoint_regions() {
+        let a = Stream::new(1);
+        let b = Stream::new(2);
+        assert_ne!(a.base, b.base);
+    }
+}

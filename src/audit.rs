@@ -1,0 +1,565 @@
+//! Wiring between the simulator's probe events and the CC-auditor: the
+//! "event signals wired from the hardware units" of paper §V-A, plus the
+//! per-quantum harvesting loop of the software daemon (§V-B).
+
+use cchunter_detector::auditor::{
+    AuditorConfig, AuditorError, CcAuditor, ConflictRecord, HardwareUnit, Privilege, SlotId,
+};
+use cchunter_detector::conflict::{
+    ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier,
+};
+use cchunter_detector::density::DensityHistogram;
+use cchunter_sim::{CacheLevel, Machine, ProbeEvent, ProbeSink};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which conflict-miss tracker implementation the cache audit uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackerKind {
+    /// The paper's practical generation-bit + Bloom-filter tracker.
+    #[default]
+    Practical,
+    /// The fully-associative LRU-stack oracle (for fidelity comparisons).
+    Ideal,
+}
+
+struct CacheAudit {
+    slot: SlotId,
+    core: u8,
+    tracker: Box<dyn MissClassifier>,
+    /// The most recent L2 miss: `(block, was_conflict)`.
+    last_miss: Option<(u64, bool)>,
+    conflict_misses: u64,
+    total_misses: u64,
+}
+
+struct Inner {
+    auditor: CcAuditor,
+    bus_slot: Option<SlotId>,
+    divider_slot: Option<(SlotId, u8)>,
+    multiplier_slot: Option<(SlotId, u8)>,
+    cache: Option<CacheAudit>,
+    smt_per_core: u8,
+    /// Stable principal id per hardware context. The OS tracks thread
+    /// migration across context switches (paper §V-A), so the daemon can
+    /// keep labeling conflicts by *software principal* even when the
+    /// trojan or spy lands on a different hardware context.
+    principals: [u8; 8],
+}
+
+impl Inner {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        match *event {
+            ProbeEvent::BusLock { cycle, .. } => {
+                if let Some(slot) = self.bus_slot {
+                    self.auditor
+                        .signal(slot, cycle.as_u64(), 1)
+                        .expect("bus slot accepts signals");
+                }
+            }
+            ProbeEvent::DividerWait {
+                start,
+                cycles,
+                waiter,
+                ..
+            } => {
+                if let Some((slot, core)) = self.divider_slot {
+                    if waiter.core() == core {
+                        let weight = cycles.min(u32::MAX as u64) as u32;
+                        self.auditor
+                            .signal(slot, start.as_u64(), weight)
+                            .expect("divider slot accepts signals");
+                    }
+                }
+            }
+            ProbeEvent::MultiplierWait {
+                start,
+                cycles,
+                waiter,
+                ..
+            } => {
+                if let Some((slot, core)) = self.multiplier_slot {
+                    if waiter.core() == core {
+                        let weight = cycles.min(u32::MAX as u64) as u32;
+                        self.auditor
+                            .signal(slot, start.as_u64(), weight)
+                            .expect("multiplier slot accepts signals");
+                    }
+                }
+            }
+            ProbeEvent::CacheAccess {
+                level: CacheLevel::L2,
+                core,
+                block,
+                hit,
+                ..
+            } => {
+                if let Some(cache) = self.cache.as_mut() {
+                    if cache.core == core {
+                        if hit {
+                            cache.tracker.record_access(block);
+                            cache.last_miss = None;
+                        } else {
+                            let class = cache.tracker.classify_miss(block);
+                            cache.tracker.record_access(block);
+                            cache.total_misses += 1;
+                            let is_conflict = class == ConflictClass::Conflict;
+                            if is_conflict {
+                                cache.conflict_misses += 1;
+                            }
+                            cache.last_miss = Some((block, is_conflict));
+                        }
+                    }
+                }
+            }
+            ProbeEvent::CacheReplacement {
+                level: CacheLevel::L2,
+                core,
+                cycle,
+                replacer,
+                new_block,
+                victim_block,
+                victim_owner,
+                ..
+            } => {
+                if let Some(cache) = self.cache.as_mut() {
+                    if cache.core == core {
+                        cache.tracker.record_replacement(victim_block);
+                        if let Some((miss_block, true)) = cache.last_miss {
+                            if miss_block == new_block {
+                                let smt = self.smt_per_core;
+                                let replacer = self.principals[replacer.index(smt) as usize];
+                                let victim = self.principals[victim_owner.index(smt) as usize];
+                                self.auditor
+                                    .record_conflict(cache.slot, cycle.as_u64(), replacer, victim)
+                                    .expect("cache slot accepts conflicts");
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl ProbeSink for Inner {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        Inner::on_event(self, event);
+    }
+}
+
+/// An audit session: programs up to two hardware units on the CC-auditor,
+/// attaches to a [`Machine`] as a probe, and exposes the daemon-side
+/// harvest operations.
+pub struct AuditSession {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for AuditSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("AuditSession")
+            .field("units", &inner.auditor.audited_units())
+            .finish()
+    }
+}
+
+impl Default for AuditSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuditSession {
+    /// Creates a session with the default auditor sizing for a 4-core,
+    /// 2-SMT machine.
+    pub fn new() -> Self {
+        Self::with_config(AuditorConfig::default(), 2)
+    }
+
+    /// Creates a session with explicit auditor sizing and SMT width.
+    pub fn with_config(config: AuditorConfig, smt_per_core: u8) -> Self {
+        AuditSession {
+            inner: Rc::new(RefCell::new(Inner {
+                auditor: CcAuditor::new(config),
+                bus_slot: None,
+                divider_slot: None,
+                multiplier_slot: None,
+                cache: None,
+                smt_per_core,
+                principals: [0, 1, 2, 3, 4, 5, 6, 7],
+            })),
+        }
+    }
+
+    /// Programs the memory bus for auditing with the given Δt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AuditorError`] (e.g. both slots taken).
+    pub fn audit_bus(&mut self, delta_t: u64) -> Result<(), AuditorError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot =
+            inner
+                .auditor
+                .program(HardwareUnit::MemoryBus, delta_t, Privilege::Supervisor)?;
+        inner.bus_slot = Some(slot);
+        Ok(())
+    }
+
+    /// Programs `core`'s divider bank for auditing with the given Δt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AuditorError`].
+    pub fn audit_divider(&mut self, core: u8, delta_t: u64) -> Result<(), AuditorError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.auditor.program(
+            HardwareUnit::IntegerDivider { core },
+            delta_t,
+            Privilege::Supervisor,
+        )?;
+        inner.divider_slot = Some((slot, core));
+        Ok(())
+    }
+
+    /// Programs `core`'s multiplier bank for auditing with the given Δt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AuditorError`].
+    pub fn audit_multiplier(&mut self, core: u8, delta_t: u64) -> Result<(), AuditorError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.auditor.program(
+            HardwareUnit::IntegerMultiplier { core },
+            delta_t,
+            Privilege::Supervisor,
+        )?;
+        inner.multiplier_slot = Some((slot, core));
+        Ok(())
+    }
+
+    /// Programs `core`'s shared L2 for auditing. `total_blocks` sizes the
+    /// conflict-miss tracker (4096 for the paper's 256 KB L2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AuditorError`].
+    pub fn audit_cache(
+        &mut self,
+        core: u8,
+        total_blocks: usize,
+        tracker: TrackerKind,
+    ) -> Result<(), AuditorError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot =
+            inner
+                .auditor
+                .program(HardwareUnit::SharedCache { core }, 0, Privilege::Supervisor)?;
+        let tracker: Box<dyn MissClassifier> = match tracker {
+            TrackerKind::Practical => Box::new(GenerationTracker::for_cache(total_blocks)),
+            TrackerKind::Ideal => Box::new(IdealLruTracker::new(total_blocks)),
+        };
+        inner.cache = Some(CacheAudit {
+            slot,
+            core,
+            tracker,
+            last_miss: None,
+            conflict_misses: 0,
+            total_misses: 0,
+        });
+        Ok(())
+    }
+
+    /// Attaches this session's probe to a machine. Call once per machine,
+    /// before running.
+    pub fn attach(&self, machine: &mut Machine) {
+        machine.attach_probe(self.inner.clone());
+    }
+
+    /// Harvests the bus histogram buffer, finalizing windows through
+    /// `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is not under audit.
+    pub fn harvest_bus_histogram(&self, until: u64) -> DensityHistogram {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.bus_slot.expect("bus not under audit");
+        inner
+            .auditor
+            .harvest_histogram(slot, until)
+            .expect("bus histogram harvest")
+    }
+
+    /// Harvests the divider histogram buffer, finalizing windows through
+    /// `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no divider is under audit.
+    pub fn harvest_divider_histogram(&self, until: u64) -> DensityHistogram {
+        let mut inner = self.inner.borrow_mut();
+        let (slot, _) = inner.divider_slot.expect("divider not under audit");
+        inner
+            .auditor
+            .harvest_histogram(slot, until)
+            .expect("divider histogram harvest")
+    }
+
+    /// Harvests the multiplier histogram buffer, finalizing windows through
+    /// `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no multiplier is under audit.
+    pub fn harvest_multiplier_histogram(&self, until: u64) -> DensityHistogram {
+        let mut inner = self.inner.borrow_mut();
+        let (slot, _) = inner.multiplier_slot.expect("multiplier not under audit");
+        inner
+            .auditor
+            .harvest_histogram(slot, until)
+            .expect("multiplier histogram harvest")
+    }
+
+    /// Drains all recorded conflict-miss records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cache is under audit.
+    pub fn drain_conflicts(&self) -> Vec<ConflictRecord> {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.cache.as_ref().expect("cache not under audit").slot;
+        inner.auditor.drain_conflicts(slot).expect("conflict drain")
+    }
+
+    /// Updates the stable principal id attributed to a hardware context.
+    /// The OS calls this when it migrates a monitored thread, so the
+    /// conflict labels keep identifying the same software principals
+    /// (paper §V-A: "we can identify trojan/spy pairs correctly despite
+    /// their migration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx_index` is not a valid 3-bit context index.
+    pub fn set_principal(&self, ctx_index: u8, principal: u8) {
+        let mut inner = self.inner.borrow_mut();
+        inner.principals[ctx_index as usize] = principal;
+    }
+
+    /// `(conflict misses, total misses)` seen by the cache audit so far.
+    pub fn cache_miss_counts(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        inner
+            .cache
+            .as_ref()
+            .map(|c| (c.conflict_misses, c.total_misses))
+            .unwrap_or((0, 0))
+    }
+}
+
+/// Data harvested over an audited run.
+#[derive(Debug, Default)]
+pub struct AuditData {
+    /// Per-quantum bus-lock density histograms (empty when the bus was not
+    /// audited).
+    pub bus_histograms: Vec<DensityHistogram>,
+    /// Per-quantum divider-wait density histograms.
+    pub divider_histograms: Vec<DensityHistogram>,
+    /// Per-quantum multiplier-wait density histograms.
+    pub multiplier_histograms: Vec<DensityHistogram>,
+    /// All conflict-miss records in time order.
+    pub conflicts: Vec<ConflictRecord>,
+    /// First cycle of the run.
+    pub start: u64,
+    /// First cycle after the run.
+    pub end: u64,
+}
+
+/// Runs a machine quantum by quantum, harvesting the CC-auditor at every
+/// quantum boundary — the software daemon's loop.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantumRunner {
+    quantum_cycles: u64,
+}
+
+impl QuantumRunner {
+    /// Creates a runner with the given OS time quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_cycles` is zero.
+    pub fn new(quantum_cycles: u64) -> Self {
+        assert!(quantum_cycles > 0, "quantum must be nonzero");
+        QuantumRunner { quantum_cycles }
+    }
+
+    /// Runs `quanta` OS time quanta from the machine's current time,
+    /// harvesting the session's programmed units at each boundary.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        session: &mut AuditSession,
+        quanta: usize,
+    ) -> AuditData {
+        let start = machine.now().as_u64();
+        let mut data = AuditData {
+            start,
+            ..AuditData::default()
+        };
+        let (has_bus, has_div, has_mul, has_cache) = {
+            let inner = session.inner.borrow();
+            (
+                inner.bus_slot.is_some(),
+                inner.divider_slot.is_some(),
+                inner.multiplier_slot.is_some(),
+                inner.cache.is_some(),
+            )
+        };
+        for q in 0..quanta {
+            let boundary = start + (q as u64 + 1) * self.quantum_cycles;
+            machine.run_until(boundary.into());
+            if has_bus {
+                data.bus_histograms
+                    .push(session.harvest_bus_histogram(boundary));
+            }
+            if has_div {
+                data.divider_histograms
+                    .push(session.harvest_divider_histogram(boundary));
+            }
+            if has_mul {
+                data.multiplier_histograms
+                    .push(session.harvest_multiplier_histogram(boundary));
+            }
+            if has_cache {
+                data.conflicts.extend(session.drain_conflicts());
+            }
+        }
+        data.end = machine.now().as_u64();
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cchunter_sim::{MachineConfig, Op, OpScript};
+
+    fn machine() -> Machine {
+        Machine::new(
+            MachineConfig::builder()
+                .quantum_cycles(100_000)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn bus_audit_counts_locks() {
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session.audit_bus(10_000).unwrap();
+        session.attach(&mut m);
+        let ctx = m.config().context_id(0, 0);
+        m.spawn(
+            Box::new(OpScript::new(
+                "locker",
+                vec![
+                    Op::AtomicUnaligned { addr: 0x40 },
+                    Op::AtomicUnaligned { addr: 0x40 },
+                ],
+            )),
+            ctx,
+        );
+        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        assert_eq!(data.bus_histograms.len(), 1);
+        let h = &data.bus_histograms[0];
+        assert_eq!(h.contended_windows(), 1, "both locks land in one window");
+        assert_eq!(h.frequency(2), 1);
+    }
+
+    #[test]
+    fn divider_audit_only_counts_its_core() {
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session.audit_divider(0, 500).unwrap();
+        session.attach(&mut m);
+        // Contention on core 1: must not be counted.
+        m.spawn(
+            Box::new(OpScript::new("d1", vec![Op::Div { count: 50 }])),
+            m.config().context_id(1, 0),
+        );
+        m.spawn(
+            Box::new(OpScript::new("d2", vec![Op::Div { count: 50 }])),
+            m.config().context_id(1, 1),
+        );
+        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        assert_eq!(data.divider_histograms[0].contended_windows(), 0);
+    }
+
+    #[test]
+    fn cache_audit_records_cross_context_conflicts() {
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session
+            .audit_cache(
+                0,
+                m.config().l2.total_blocks() as usize,
+                TrackerKind::Practical,
+            )
+            .unwrap();
+        session.attach(&mut m);
+        // Two hyperthreads ping-pong 9 lines in one L2 set (8-way): every
+        // round-trip evicts the other's line.
+        let set_stride = 512 * 64;
+        let mk_ops = |base: u64| -> Vec<Op> {
+            let mut ops = Vec::new();
+            for round in 0..20u64 {
+                for i in 0..5u64 {
+                    ops.push(Op::Load {
+                        addr: base + ((round * 5 + i) % 9) * set_stride,
+                    });
+                }
+                ops.push(Op::Compute { cycles: 100 });
+            }
+            ops
+        };
+        m.spawn(
+            Box::new(OpScript::new("a", mk_ops(0x100_0000))),
+            m.config().context_id(0, 0),
+        );
+        m.spawn(
+            Box::new(OpScript::new("b", mk_ops(0x100_0000 + 9 * set_stride))),
+            m.config().context_id(0, 1),
+        );
+        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        let (conflicts, total) = session.cache_miss_counts();
+        assert!(total > 0);
+        assert!(conflicts > 0, "ping-pong must classify as conflict misses");
+        assert!(!data.conflicts.is_empty());
+    }
+
+    #[test]
+    fn two_audits_max() {
+        let mut session = AuditSession::new();
+        session.audit_bus(1_000).unwrap();
+        session.audit_divider(0, 500).unwrap();
+        let err = session
+            .audit_cache(0, 4096, TrackerKind::Practical)
+            .unwrap_err();
+        assert_eq!(err, AuditorError::SlotsExhausted);
+    }
+
+    #[test]
+    fn quantum_runner_advances_time() {
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session.audit_bus(1_000).unwrap();
+        session.attach(&mut m);
+        let data = QuantumRunner::new(50_000).run(&mut m, &mut session, 4);
+        assert_eq!(m.now().as_u64(), 200_000);
+        assert_eq!(data.bus_histograms.len(), 4);
+        assert_eq!(data.end - data.start, 200_000);
+    }
+}

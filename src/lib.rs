@@ -1,0 +1,72 @@
+//! # cc-hunter
+//!
+//! A full reproduction of *CC-Hunter: Uncovering Covert Timing Channels on
+//! Shared Processor Hardware* (Chen & Venkataramani, MICRO 2014) as a Rust
+//! workspace:
+//!
+//! * [`sim`] — a deterministic discrete-event multicore simulator (the
+//!   MARSSx86 substitute): SMT cores, L1/L2 caches, a lockable shared
+//!   memory bus, per-core integer dividers, and an OS scheduler.
+//! * [`detector`] — the paper's contribution: the CC-auditor hardware
+//!   model, event-density/burst analysis, pattern clustering,
+//!   autocorrelation-based oscillation detection, conflict-miss trackers,
+//!   and the Table I cost model.
+//! * [`channels`] — the three covert timing channels used in the
+//!   evaluation (memory bus, integer divider, shared L2 cache), built as
+//!   real trojan/spy program pairs whose spies decode the message from
+//!   timing alone.
+//! * [`workloads`] — benign SPEC2006-, STREAM- and Filebench-like
+//!   generators for the false-alarm study and background noise.
+//! * [`audit`] — the glue: a probe sink that feeds simulator indicator
+//!   events into the CC-auditor, and a quantum-by-quantum runner that
+//!   harvests its buffers the way the paper's software daemon does.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cc_hunter::audit::{AuditSession, QuantumRunner};
+//! use cc_hunter::channels::{BitClock, BusChannelConfig, BusSpy, BusTrojan, Message, SpyLog};
+//! use cc_hunter::detector::{CcHunter, CcHunterConfig, DeltaTPolicy};
+//! use cc_hunter::sim::{Machine, MachineConfig};
+//!
+//! // A machine with a 1M-cycle scheduling quantum (scaled for a doctest).
+//! let config = MachineConfig::builder().quantum_cycles(1_000_000).build().unwrap();
+//! let mut machine = Machine::new(config);
+//!
+//! // A 100 kb/s-equivalent bus covert channel (8 bits, 250k cycles each).
+//! let clock = BitClock::new(10_000, 250_000);
+//! let channel = BusChannelConfig::new(Message::alternating(8), clock);
+//! let log = SpyLog::new_handle();
+//! machine.spawn(
+//!     Box::new(BusTrojan::new(channel.clone(), 0x1000_0000)),
+//!     machine.config().context_id(0, 0),
+//! );
+//! machine.spawn(
+//!     Box::new(BusSpy::new(channel, 0x4000_0000, log)),
+//!     machine.config().context_id(1, 0),
+//! );
+//!
+//! // Audit the memory bus with Δt = 10k cycles and run 3 quanta.
+//! let mut session = AuditSession::new();
+//! session.audit_bus(10_000).unwrap();
+//! session.attach(&mut machine);
+//! let data = QuantumRunner::new(1_000_000).run(&mut machine, &mut session, 3);
+//!
+//! // The recurrent-burst pipeline flags the channel.
+//! let hunter = CcHunter::new(CcHunterConfig {
+//!     quantum_cycles: 1_000_000,
+//!     delta_t: DeltaTPolicy::Fixed(10_000),
+//!     ..CcHunterConfig::default()
+//! });
+//! let report = hunter.analyze_contention(data.bus_histograms);
+//! assert!(report.verdict.is_covert());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cchunter_channels as channels;
+pub use cchunter_detector as detector;
+pub use cchunter_sim as sim;
+pub use cchunter_workloads as workloads;
+
+pub mod audit;

@@ -1,0 +1,110 @@
+#![allow(dead_code)] // each integration test binary uses a subset of these helpers
+
+//! Shared scaffolding for the integration tests: scaled-down machines
+//! (millisecond quanta) running full trojan/spy/noise scenarios.
+
+use cc_hunter::audit::{AuditData, AuditSession, QuantumRunner, TrackerKind};
+use cc_hunter::channels::{
+    BitClock, BusChannelConfig, BusSpy, BusTrojan, CacheChannelConfig, CacheSpy, CacheTrojan,
+    DividerChannelConfig, DividerSpy, DividerTrojan, Message, SpyLog, SpyLogHandle,
+};
+use cc_hunter::sim::{Machine, MachineConfig};
+use cc_hunter::workloads::noise::spawn_standard_noise;
+
+/// Scaled OS time quantum used throughout the integration tests (1 ms at
+/// 2.5 GHz; the experiment harness uses the paper's full 0.1 s).
+pub const QUANTUM: u64 = 2_500_000;
+
+/// Builds the standard test machine.
+pub fn machine() -> Machine {
+    Machine::new(
+        MachineConfig::builder()
+            .quantum_cycles(QUANTUM)
+            .build()
+            .expect("valid config"),
+    )
+}
+
+/// Outcome of a full channel-under-audit run.
+pub struct ChannelRun {
+    pub data: AuditData,
+    pub log: SpyLogHandle,
+    pub message: Message,
+}
+
+/// Runs the memory-bus channel with three background noise processes under
+/// a bus audit.
+pub fn run_bus_channel(message: Message, bit_cycles: u64, quanta: usize) -> ChannelRun {
+    let mut machine = machine();
+    let clock = BitClock::new(50_000, bit_cycles);
+    let config = BusChannelConfig::new(message.clone(), clock);
+    let log = SpyLog::new_handle();
+    machine.spawn(
+        Box::new(BusTrojan::new(config.clone(), 0x1000_0000)),
+        machine.config().context_id(0, 0),
+    );
+    machine.spawn(
+        Box::new(BusSpy::new(config, 0x4000_0000, log.clone())),
+        machine.config().context_id(1, 0),
+    );
+    spawn_standard_noise(&mut machine, 0, 3, 11);
+    let mut session = AuditSession::new();
+    session.audit_bus(100_000).expect("bus audit");
+    session.attach(&mut machine);
+    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    ChannelRun { data, log, message }
+}
+
+/// Runs the integer-divider channel (SMT co-residents on core 0) with
+/// noise under a divider audit.
+pub fn run_divider_channel(message: Message, bit_cycles: u64, quanta: usize) -> ChannelRun {
+    let mut machine = machine();
+    let clock = BitClock::new(50_000, bit_cycles);
+    let config = DividerChannelConfig::new(message.clone(), clock);
+    let log = SpyLog::new_handle();
+    machine.spawn(
+        Box::new(DividerTrojan::new(config.clone())),
+        machine.config().context_id(0, 0),
+    );
+    machine.spawn(
+        Box::new(DividerSpy::new(config, log.clone())),
+        machine.config().context_id(0, 1),
+    );
+    spawn_standard_noise(&mut machine, 0, 3, 13);
+    let mut session = AuditSession::new();
+    session.audit_divider(0, 500).expect("divider audit");
+    session.attach(&mut machine);
+    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    ChannelRun { data, log, message }
+}
+
+/// Runs the shared-L2 cache channel with noise under a cache audit.
+pub fn run_cache_channel(
+    message: Message,
+    bit_cycles: u64,
+    total_sets: u32,
+    tracker: TrackerKind,
+    quanta: usize,
+) -> ChannelRun {
+    let mut machine = machine();
+    let clock = BitClock::new(1_000_000, bit_cycles);
+    let config = CacheChannelConfig::new(message.clone(), clock, total_sets);
+    let log = SpyLog::new_handle();
+    machine.spawn(
+        Box::new(CacheTrojan::new(config.clone())),
+        machine.config().context_id(0, 0),
+    );
+    machine.spawn(
+        Box::new(CacheSpy::new(config, log.clone())),
+        machine.config().context_id(0, 1),
+    );
+    spawn_standard_noise(&mut machine, 0, 3, 17);
+    let mut session = AuditSession::new();
+    let blocks = machine.config().l2.total_blocks() as usize;
+    session
+        .audit_cache(0, blocks, tracker)
+        .expect("cache audit");
+    session.attach(&mut machine);
+    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    ChannelRun { data, log, message }
+}

@@ -1,0 +1,118 @@
+//! The multiplier variant of the execution-unit channel (paper §IV-A:
+//! "Wang et al showed a similar implementation using multipliers"): the
+//! same CC-Hunter algorithm detects it — the framework is not tied to the
+//! divider.
+
+mod common;
+
+use cc_hunter::audit::{AuditSession, QuantumRunner};
+use cc_hunter::channels::{
+    BitClock, DecodeRule, DividerChannelConfig, DividerSpy, DividerTrojan, Message, SpyLog,
+};
+use cc_hunter::detector::{CcHunter, CcHunterConfig, DeltaTPolicy};
+use cc_hunter::sim::{Machine, MachineConfig};
+use cc_hunter::workloads::noise::spawn_standard_noise;
+use common::QUANTUM;
+
+fn run_multiplier_channel(
+    message: Message,
+    bit_cycles: u64,
+    quanta: usize,
+) -> (
+    cc_hunter::audit::AuditData,
+    cc_hunter::channels::SpyLogHandle,
+) {
+    let mut machine = Machine::new(
+        MachineConfig::builder()
+            .quantum_cycles(QUANTUM)
+            .build()
+            .unwrap(),
+    );
+    let clock = BitClock::new(50_000, bit_cycles);
+    let config = DividerChannelConfig::for_multiplier(message, clock);
+    let log = SpyLog::new_handle();
+    machine.spawn(
+        Box::new(DividerTrojan::new(config.clone())),
+        machine.config().context_id(0, 0),
+    );
+    machine.spawn(
+        Box::new(DividerSpy::new(config, log.clone())),
+        machine.config().context_id(0, 1),
+    );
+    spawn_standard_noise(&mut machine, 0, 3, 31);
+    let mut session = AuditSession::new();
+    session.audit_multiplier(0, 500).expect("multiplier audit");
+    session.attach(&mut machine);
+    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    (data, log)
+}
+
+#[test]
+fn spy_decodes_and_hunter_detects_the_multiplier_channel() {
+    let message = Message::from_u64(0x4929_1273_5521_8674);
+    let (data, log) = run_multiplier_channel(message.clone(), 250_000, 8);
+    let decoded = log.borrow().decode(DecodeRule::Midpoint, message.len());
+    assert_eq!(
+        message.bit_error_rate(&decoded),
+        0.0,
+        "channel must work: sent {message} got {decoded}"
+    );
+    let hunter = CcHunter::new(CcHunterConfig {
+        quantum_cycles: QUANTUM,
+        delta_t: DeltaTPolicy::Fixed(500),
+        ..CcHunterConfig::default()
+    });
+    let report = hunter.analyze_contention(data.multiplier_histograms);
+    assert!(report.verdict.is_covert(), "{report:?}");
+    assert!(
+        report.peak_likelihood_ratio > 0.9,
+        "LR = {}",
+        report.peak_likelihood_ratio
+    );
+}
+
+#[test]
+fn multiplier_audit_does_not_see_divider_contention() {
+    // A divider channel must not leak into a multiplier audit: the units
+    // are separate banks with separate indicator events.
+    let message = Message::from_bits(vec![true; 6]);
+    let mut machine = Machine::new(
+        MachineConfig::builder()
+            .quantum_cycles(QUANTUM)
+            .build()
+            .unwrap(),
+    );
+    let clock = BitClock::new(50_000, 250_000);
+    let config = DividerChannelConfig::new(message, clock); // divider unit
+    let log = SpyLog::new_handle();
+    machine.spawn(
+        Box::new(DividerTrojan::new(config.clone())),
+        machine.config().context_id(0, 0),
+    );
+    machine.spawn(
+        Box::new(DividerSpy::new(config, log)),
+        machine.config().context_id(0, 1),
+    );
+    let mut session = AuditSession::new();
+    session.audit_multiplier(0, 500).unwrap();
+    session.attach(&mut machine);
+    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, 3);
+    let contended: u64 = data
+        .multiplier_histograms
+        .iter()
+        .map(|h| h.contended_windows())
+        .sum();
+    assert_eq!(contended, 0, "no multiplier waits from a divider channel");
+}
+
+#[test]
+fn all_zero_multiplier_message_stays_clean() {
+    let (data, _) = run_multiplier_channel(Message::from_bits(vec![false; 8]), 250_000, 8);
+    let hunter = CcHunter::new(CcHunterConfig {
+        quantum_cycles: QUANTUM,
+        delta_t: DeltaTPolicy::Fixed(500),
+        ..CcHunterConfig::default()
+    });
+    let report = hunter.analyze_contention(data.multiplier_histograms);
+    assert!(!report.verdict.is_covert(), "{report:?}");
+}

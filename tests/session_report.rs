@@ -1,0 +1,47 @@
+//! End-to-end session reporting: one audit session over a machine carrying
+//! a bus channel plus benign divider load yields a report that convicts
+//! exactly the right resource.
+
+mod common;
+
+use cc_hunter::channels::Message;
+use cc_hunter::detector::{CcHunter, CcHunterConfig, DeltaTPolicy, SessionReport, Verdict};
+use common::{run_bus_channel, run_divider_channel, QUANTUM};
+
+#[test]
+fn report_convicts_only_the_guilty_resource() {
+    // Bus channel active; divider channel silent (all-zero message keeps
+    // the trojan idle, so only benign-style spy sampling touches the bank).
+    let bus = run_bus_channel(Message::alternating(64), 250_000, 8);
+    let div = run_divider_channel(Message::from_bits(vec![false; 8]), 250_000, 8);
+
+    let bus_report = CcHunter::new(CcHunterConfig {
+        quantum_cycles: QUANTUM,
+        delta_t: DeltaTPolicy::Fixed(100_000),
+        ..CcHunterConfig::default()
+    })
+    .analyze_contention(bus.data.bus_histograms);
+    let div_report = CcHunter::new(CcHunterConfig {
+        quantum_cycles: QUANTUM,
+        delta_t: DeltaTPolicy::Fixed(500),
+        ..CcHunterConfig::default()
+    })
+    .analyze_contention(div.data.divider_histograms);
+
+    let mut session = SessionReport::new()
+        .with_span(0, 8 * QUANTUM)
+        .with_clock(2_500_000_000);
+    session.add_contention("memory-bus", &bus_report);
+    session.add_contention("integer-divider(core0)", &div_report);
+
+    assert_eq!(session.overall(), Verdict::CovertTimingChannel);
+    let convicted = session.convicted();
+    assert_eq!(convicted.len(), 1);
+    assert_eq!(convicted[0].resource, "memory-bus");
+
+    let rendered = session.to_string();
+    assert!(rendered.contains("memory-bus"));
+    assert!(rendered.contains("COVERT TIMING CHANNEL"));
+    assert!(rendered.contains("integer-divider(core0)"));
+    assert!(rendered.contains("overall: COVERT TIMING CHANNEL"));
+}
