@@ -29,7 +29,7 @@ pub fn covert_histogram(peak: usize, windows: u64) -> DensityHistogram {
     bins[peak + 1] = windows / 60;
     let used: u64 = bins.iter().sum();
     bins[0] += windows.saturating_sub(used);
-    DensityHistogram::from_bins(bins, 100_000)
+    DensityHistogram::from_bins(bins, 100_000).expect("synthetic bins are 128 long")
 }
 
 /// One OS quantum's worth of cache-channel conflict records (the paper's

@@ -1,126 +1,160 @@
 //! Property-based tests for the covert-channel protocol machinery.
+//!
+//! Hand-rolled deterministic harness (no crates.io access for proptest):
+//! each property runs over `CASES` seeded random inputs and assertion
+//! messages carry the case seed for direct reproduction.
 
 use cchunter_channels::{BitClock, DecodeRule, Message, PhaseLayout, SpyLog};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn bit_index_inverts_bit_start(
-        start in 0u64..1_000_000,
-        bit_cycles in 1u64..10_000_000,
-        bit in 0usize..1_000,
-    ) {
+const CASES: u64 = 64;
+
+#[test]
+fn bit_index_inverts_bit_start() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB170_0000 + case);
+        let start = rng.gen_range(0u64..1_000_000);
+        let bit_cycles = rng.gen_range(1u64..10_000_000);
+        let bit = rng.gen_range(0usize..1_000);
         let clock = BitClock::new(start, bit_cycles);
-        prop_assert_eq!(clock.bit_index(clock.bit_start(bit)), Some(bit));
+        assert_eq!(
+            clock.bit_index(clock.bit_start(bit)),
+            Some(bit),
+            "case {case}"
+        );
         // Last cycle of the bit still maps to it.
-        prop_assert_eq!(
+        assert_eq!(
             clock.bit_index(clock.bit_start(bit) + bit_cycles - 1),
-            Some(bit)
+            Some(bit),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn nothing_happens_before_the_epoch(
-        start in 1u64..1_000_000,
-        bit_cycles in 1u64..1_000_000,
-        before in 0u64..1_000_000,
-    ) {
-        prop_assume!(before < start);
+#[test]
+fn nothing_happens_before_the_epoch() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE70C_0000 + case);
+        let start = rng.gen_range(1u64..1_000_000);
+        let bit_cycles = rng.gen_range(1u64..1_000_000);
+        let before = rng.gen_range(0u64..start);
         let clock = BitClock::new(start, bit_cycles);
-        prop_assert_eq!(clock.bit_index(before), None);
-        prop_assert!(!clock.in_transmit(before));
-        prop_assert!(!clock.in_sample(before));
+        assert_eq!(clock.bit_index(before), None, "case {case}");
+        assert!(!clock.in_transmit(before), "case {case}");
+        assert!(!clock.in_sample(before), "case {case}");
     }
+}
 
-    #[test]
-    fn sequential_layout_never_overlaps_windows(
-        bit_cycles in 100u64..1_000_000,
-        offset in 0u64..1_000_000,
-    ) {
+#[test]
+fn sequential_layout_never_overlaps_windows() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5E00_0000 + case);
+        let bit_cycles = rng.gen_range(100u64..1_000_000);
+        let offset = rng.gen_range(0u64..1_000_000);
         let clock = BitClock::with_layout(0, bit_cycles, PhaseLayout::sequential());
         let now = offset % (bit_cycles * 3);
-        prop_assert!(
+        assert!(
             !(clock.in_transmit(now) && clock.in_sample(now)),
-            "sequential transmit and sample windows must be disjoint at {now}"
+            "case {case}: sequential transmit and sample windows must be disjoint at {now}"
         );
     }
+}
 
-    #[test]
-    fn concurrent_layout_sample_implies_some_transmit_coverage(
-        bit_cycles in 1_000u64..1_000_000,
-    ) {
+#[test]
+fn concurrent_layout_sample_implies_some_transmit_coverage() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC07C_0000 + case);
+        let bit_cycles = rng.gen_range(1_000u64..1_000_000);
         // The sample window must lie inside the transmit window so the spy
         // observes live modulation.
         let clock = BitClock::new(0, bit_cycles);
         let (slo, shi) = clock.layout().sample;
         let (tlo, thi) = clock.layout().transmit;
-        prop_assert!(tlo <= slo && shi <= thi);
+        assert!(tlo <= slo && shi <= thi, "case {case}");
     }
+}
 
-    #[test]
-    fn next_bit_start_is_strictly_ahead(
-        start in 0u64..1_000,
-        bit_cycles in 1u64..100_000,
-        now in 0u64..10_000_000,
-    ) {
+#[test]
+fn next_bit_start_is_strictly_ahead() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0EB1_0000 + case);
+        let start = rng.gen_range(0u64..1_000);
+        let bit_cycles = rng.gen_range(1u64..100_000);
+        let now = rng.gen_range(0u64..10_000_000);
         let clock = BitClock::new(start, bit_cycles);
         let next = clock.next_bit_start(now);
-        prop_assert!(next > now || next == start);
+        assert!(next > now || next == start, "case {case}");
         if now >= start {
-            prop_assert!(next > now);
-            prop_assert!(next - now <= bit_cycles);
-            prop_assert_eq!((next - start) % bit_cycles, 0);
+            assert!(next > now, "case {case}");
+            assert!(next - now <= bit_cycles, "case {case}");
+            assert_eq!((next - start) % bit_cycles, 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn message_u64_roundtrip(value in any::<u64>()) {
+#[test]
+fn message_u64_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0640_0000 + case);
+        let value = rng.gen_range(0..u64::MAX);
         let m = Message::from_u64(value);
-        let rebuilt = m
-            .bits()
-            .iter()
-            .fold(0u64, |acc, &b| (acc << 1) | b as u64);
-        prop_assert_eq!(rebuilt, value);
+        let rebuilt = m.bits().iter().fold(0u64, |acc, &b| (acc << 1) | b as u64);
+        assert_eq!(rebuilt, value, "case {case}");
     }
+}
 
-    #[test]
-    fn ber_is_symmetric_for_equal_lengths(
-        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..64),
-    ) {
-        let (a, b): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+#[test]
+fn ber_is_symmetric_for_equal_lengths() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xBE50_0000 + case);
+        let len = rng.gen_range(1usize..64);
+        let a: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+        let b: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
         let ma = Message::from_bits(a);
         let mb = Message::from_bits(b);
-        prop_assert_eq!(ma.bit_error_rate(&mb), mb.bit_error_rate(&ma));
-        prop_assert!(ma.bit_error_rate(&mb) <= 1.0);
+        assert_eq!(
+            ma.bit_error_rate(&mb),
+            mb.bit_error_rate(&ma),
+            "case {case}"
+        );
+        assert!(ma.bit_error_rate(&mb) <= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn midpoint_decode_recovers_separated_levels(
-        bits in prop::collection::vec(any::<bool>(), 2..64),
-        low in 10.0f64..100.0,
-        gap in 50.0f64..500.0,
-    ) {
+#[test]
+fn midpoint_decode_recovers_separated_levels() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4111_0000 + case);
+        let len = rng.gen_range(2usize..64);
+        let mut bits: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+        // Force both levels to appear so a midpoint exists.
+        bits[0] = false;
+        bits[len - 1] = true;
+        let low = rng.gen_range(10.0f64..100.0);
+        let gap = rng.gen_range(50.0f64..500.0);
         // Any message whose per-bit measurements are two separated levels
         // must decode exactly, regardless of the absolute levels.
-        prop_assume!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
         let mut log = SpyLog::default();
         for (i, &b) in bits.iter().enumerate() {
             log.push_bit(i, if b { low + gap } else { low });
         }
         let decoded = log.decode(DecodeRule::Midpoint, bits.len());
-        prop_assert_eq!(decoded.bits(), &bits[..]);
+        assert_eq!(decoded.bits(), &bits[..], "case {case}");
     }
+}
 
-    #[test]
-    fn decode_ignores_out_of_range_bits(
-        len in 1usize..32,
-        extra_bit in 32usize..1_000,
-        value in 0.0f64..10.0,
-    ) {
+#[test]
+fn decode_ignores_out_of_range_bits() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1640_0000 + case);
+        let len = rng.gen_range(1usize..32);
+        let extra_bit = rng.gen_range(32usize..1_000);
+        let value = rng.gen_range(0.0f64..10.0);
         let mut log = SpyLog::default();
         log.push_bit(extra_bit, value);
         let decoded = log.decode(DecodeRule::FixedThreshold(0.5), len);
-        prop_assert_eq!(decoded.len(), len);
-        prop_assert_eq!(decoded.ones(), 0);
+        assert_eq!(decoded.len(), len, "case {case}");
+        assert_eq!(decoded.ones(), 0, "case {case}");
     }
 }

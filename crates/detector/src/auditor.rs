@@ -24,6 +24,7 @@
 //! behaviour (with saturation) can be modeled too.
 
 use crate::density::{DensityHistogram, HISTOGRAM_BINS};
+use crate::online::Harvest;
 use std::fmt;
 
 /// A shared hardware unit the CC-auditor can monitor.
@@ -174,6 +175,10 @@ enum SlotState {
         accumulator: u64,
         bins: Vec<u64>,
         last_signal: u64,
+        /// Δt windows whose observation was lost or distorted by register
+        /// saturation since the last harvest (histogram entries clamped at
+        /// the entry cap, or the 16-bit accumulator topping out mid-window).
+        degraded_windows: u64,
     },
     Oscillation {
         /// The active vector register being filled.
@@ -270,6 +275,7 @@ impl CcAuditor {
                 accumulator: 0,
                 bins: vec![0; HISTOGRAM_BINS],
                 last_signal: 0,
+                degraded_windows: 0,
             }
         };
         self.slots.push(Slot { unit, state });
@@ -310,6 +316,7 @@ impl CcAuditor {
             accumulator,
             bins,
             last_signal,
+            degraded_windows,
             ..
         } = &mut slot.state
         else {
@@ -328,20 +335,28 @@ impl CcAuditor {
             if w > *current_window {
                 // Count-down register expired: fold the accumulator into
                 // the histogram and account the empty windows in between.
-                let bin = (*accumulator as usize).min(HISTOGRAM_BINS - 1);
-                if *accumulator > 0 {
-                    bins[bin] = (bins[bin] + 1).min(entry_cap);
+                let bin = if *accumulator > 0 {
+                    (*accumulator as usize).min(HISTOGRAM_BINS - 1)
                 } else {
-                    bins[0] = (bins[0] + 1).min(entry_cap);
-                }
+                    0
+                };
+                bump_bin(bins, bin, 1, entry_cap, degraded_windows);
                 let empties = w - *current_window - 1;
-                bins[0] = bins[0].saturating_add(empties).min(entry_cap);
+                if empties > 0 {
+                    bump_bin(bins, 0, empties, entry_cap, degraded_windows);
+                }
                 *current_window = w;
                 *accumulator = 0;
             }
             let window_end = *origin + (w + 1) * dt;
             let take = remaining.min(window_end - t);
-            *accumulator = (*accumulator + take).min(acc_cap);
+            let next = *accumulator + take;
+            if next > acc_cap && *accumulator < acc_cap {
+                // The 16-bit accumulator tops out mid-window: the window's
+                // density is under-reported. One distorted window.
+                *degraded_windows += 1;
+            }
+            *accumulator = next.min(acc_cap);
             remaining -= take;
             t += take;
         }
@@ -396,6 +411,43 @@ impl CcAuditor {
         slot: SlotId,
         until: u64,
     ) -> Result<DensityHistogram, AuditorError> {
+        self.finalize_and_take(slot, until).map(|(h, _)| h)
+    }
+
+    /// Harvests a contention slot as a [`Harvest`]: like
+    /// [`harvest_histogram`](Self::harvest_histogram), but the read-out
+    /// also reports how much of the quantum's observation was degraded by
+    /// register saturation, so the daemon can weight the quantum instead of
+    /// trusting a silently clamped histogram.
+    ///
+    /// A quantum with no saturation harvests as [`Harvest::Complete`]; one
+    /// with clamped histogram entries or a topped-out accumulator harvests
+    /// as [`Harvest::Partial`] with `lost_fraction` equal to the degraded
+    /// share of its Δt windows (a conservative proxy — a distorted window
+    /// still carries *some* signal).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditorError::BadSlot`] or [`AuditorError::WrongDatapath`].
+    pub fn harvest(&mut self, slot: SlotId, until: u64) -> Result<Harvest, AuditorError> {
+        let (histogram, degraded) = self.finalize_and_take(slot, until)?;
+        if degraded == 0 {
+            return Ok(Harvest::Complete(histogram));
+        }
+        let total = histogram.total_windows().max(1);
+        Ok(Harvest::Partial {
+            lost_fraction: (degraded as f64 / total as f64).min(1.0),
+            histogram,
+        })
+    }
+
+    /// Finalizes windows through `until`, returning the cleared histogram
+    /// buffer and the degraded-window count since the previous harvest.
+    fn finalize_and_take(
+        &mut self,
+        slot: SlotId,
+        until: u64,
+    ) -> Result<(DensityHistogram, u64), AuditorError> {
         let entry_cap = entry_cap(self.config.histogram_entry_bits);
         let slot = self.slots.get_mut(slot.0).ok_or(AuditorError::BadSlot)?;
         let SlotState::Contention {
@@ -404,6 +456,7 @@ impl CcAuditor {
             origin,
             accumulator,
             bins,
+            degraded_windows,
             ..
         } = &mut slot.state
         else {
@@ -413,19 +466,26 @@ impl CcAuditor {
         // Finalize every window that ends at or before `until`.
         let complete_through = (until.saturating_sub(*origin)) / dt; // windows [0, complete_through) done
         if complete_through > *current_window {
-            let bin = (*accumulator as usize).min(HISTOGRAM_BINS - 1);
-            if *accumulator > 0 {
-                bins[bin] = (bins[bin] + 1).min(entry_cap);
+            let bin = if *accumulator > 0 {
+                (*accumulator as usize).min(HISTOGRAM_BINS - 1)
             } else {
-                bins[0] = (bins[0] + 1).min(entry_cap);
-            }
+                0
+            };
+            bump_bin(bins, bin, 1, entry_cap, degraded_windows);
             let empties = complete_through - *current_window - 1;
-            bins[0] = bins[0].saturating_add(empties).min(entry_cap);
+            if empties > 0 {
+                bump_bin(bins, 0, empties, entry_cap, degraded_windows);
+            }
             *current_window = complete_through;
             *accumulator = 0;
         }
         let harvested = std::mem::replace(bins, vec![0; HISTOGRAM_BINS]);
-        Ok(DensityHistogram::from_bins(harvested, dt))
+        let degraded = std::mem::take(degraded_windows);
+        // Invariant: the buffer is allocated as exactly HISTOGRAM_BINS
+        // entries at program() time and dt was validated nonzero there.
+        let histogram = DensityHistogram::from_bins(harvested, dt)
+            .expect("auditor buffer is always 128 bins with Δt > 0");
+        Ok((histogram, degraded))
     }
 
     /// Drains every recorded conflict (both the software log and the
@@ -463,6 +523,18 @@ impl CcAuditor {
 
 fn entry_cap(bits: u32) -> u64 {
     entry_cap_u64(bits)
+}
+
+/// Adds `by` window observations to `bins[bin]`, clamping at `cap` and
+/// accounting every clamped-away observation as a degraded window.
+fn bump_bin(bins: &mut [u64], bin: usize, by: u64, cap: u64, degraded: &mut u64) {
+    let next = bins[bin].saturating_add(by);
+    if next > cap {
+        *degraded += next - cap;
+        bins[bin] = cap;
+    } else {
+        bins[bin] = next;
+    }
 }
 
 fn entry_cap_u64(bits: u32) -> u64 {
@@ -637,6 +709,61 @@ mod tests {
         assert!(a.audited_units().is_empty());
         a.program(HardwareUnit::MemoryBus, 100, Privilege::Supervisor)
             .unwrap();
+    }
+
+    #[test]
+    fn clean_quantum_harvests_complete() {
+        let mut a = auditor();
+        let slot = a
+            .program(HardwareUnit::MemoryBus, 100, Privilege::Supervisor)
+            .unwrap();
+        a.signal(slot, 10, 1).unwrap();
+        a.signal(slot, 250, 1).unwrap();
+        match a.harvest(slot, 400).unwrap() {
+            Harvest::Complete(h) => assert_eq!(h.total_windows(), 4),
+            other => panic!("unexpected harvest {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_quantum_harvests_partial() {
+        let mut a = CcAuditor::new(AuditorConfig::paper_strict());
+        let slot = a
+            .program(HardwareUnit::MemoryBus, 10, Privilege::Supervisor)
+            .unwrap();
+        // 70,000 empty windows overflow the 16-bit bin-0 entry; the daemon
+        // must learn the harvest is degraded rather than silently get a
+        // clamped histogram.
+        a.signal(slot, 10 * 70_000, 1).unwrap();
+        match a.harvest(slot, 10 * 70_001).unwrap() {
+            Harvest::Partial { lost_fraction, .. } => {
+                assert!(lost_fraction > 0.0 && lost_fraction <= 1.0);
+            }
+            other => panic!("expected a partial harvest, got {other:?}"),
+        }
+        // The degradation counter resets with the harvest.
+        a.signal(slot, 10 * 70_002, 1).unwrap();
+        assert!(matches!(
+            a.harvest(slot, 10 * 70_003).unwrap(),
+            Harvest::Complete(_)
+        ));
+    }
+
+    #[test]
+    fn accumulator_saturation_marks_harvest_partial() {
+        let mut a = auditor();
+        let slot = a
+            .program(HardwareUnit::MemoryBus, 100_000, Privilege::Supervisor)
+            .unwrap();
+        // One window with a 70,000-cycle run tops out the 16-bit
+        // accumulator at 65,535.
+        a.signal(slot, 0, 70_000).unwrap();
+        match a.harvest(slot, 100_000).unwrap() {
+            Harvest::Partial { lost_fraction, .. } => {
+                assert_eq!(lost_fraction, 1.0, "the single window was distorted");
+            }
+            other => panic!("expected a partial harvest, got {other:?}"),
+        }
     }
 
     #[test]

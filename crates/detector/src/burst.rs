@@ -245,7 +245,7 @@ mod tests {
         for &(bin, freq) in pairs {
             bins[bin] = freq;
         }
-        DensityHistogram::from_bins(bins, 100_000)
+        DensityHistogram::from_bins(bins, 100_000).expect("test bins are 128 long")
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub const DISCRETIZATION_LEVELS: u8 = 16;
 /// let mut bins = vec![0u64; 128];
 /// bins[0] = 1000;
 /// bins[20] = 7;
-/// let s = discretize(&DensityHistogram::from_bins(bins, 100));
+/// let s = discretize(&DensityHistogram::from_bins(bins, 100).unwrap());
 /// assert_eq!(s.len(), 128);
 /// assert!(s[0] > s[20]);
 /// assert_eq!(s[1], 0);
@@ -291,7 +291,7 @@ mod tests {
         for &(bin, f) in pairs {
             bins[bin] = f;
         }
-        DensityHistogram::from_bins(bins, 100_000)
+        DensityHistogram::from_bins(bins, 100_000).expect("test bins are 128 long")
     }
 
     fn covert_histogram(peak: usize) -> DensityHistogram {

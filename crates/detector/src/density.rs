@@ -8,6 +8,7 @@
 //! distribution in the right tail (Figure 5/6).
 
 use crate::events::EventTrain;
+use crate::DetectorError;
 
 /// Number of histogram bins, matching the paper's 128-entry hardware
 /// histogram buffers. Densities of `HISTOGRAM_BINS - 1` or more saturate
@@ -225,19 +226,32 @@ impl DensityHistogram {
     /// Creates a histogram directly from raw bin frequencies (e.g. read out
     /// of the CC-auditor histogram buffer).
     ///
-    /// # Panics
+    /// This is the entry point for *external* data (hardware read-outs,
+    /// trace files, checkpoints), so structural defects are reported as
+    /// [`DetectorError::BadHarvest`] instead of panicking: a daemon fed a
+    /// truncated buffer must degrade, not die.
     ///
-    /// Panics if `bins` is not exactly [`HISTOGRAM_BINS`] long or `delta_t`
-    /// is zero.
-    pub fn from_bins(bins: Vec<u64>, delta_t: u64) -> Self {
-        assert_eq!(bins.len(), HISTOGRAM_BINS, "expected 128 bins");
-        assert!(delta_t > 0, "Δt must be nonzero");
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::BadHarvest`] if `bins` is not exactly
+    /// [`HISTOGRAM_BINS`] long or `delta_t` is zero.
+    pub fn from_bins(bins: Vec<u64>, delta_t: u64) -> Result<Self, DetectorError> {
+        if bins.len() != HISTOGRAM_BINS {
+            return Err(DetectorError::BadHarvest {
+                reason: format!("expected {HISTOGRAM_BINS} bins, got {}", bins.len()),
+            });
+        }
+        if delta_t == 0 {
+            return Err(DetectorError::BadHarvest {
+                reason: "Δt must be nonzero".to_string(),
+            });
+        }
         let windows = bins.iter().sum();
-        DensityHistogram {
+        Ok(DensityHistogram {
             bins,
             delta_t,
             windows,
-        }
+        })
     }
 }
 
@@ -364,10 +378,22 @@ mod tests {
         let mut bins = vec![0u64; HISTOGRAM_BINS];
         bins[0] = 90;
         bins[20] = 10;
-        let h = DensityHistogram::from_bins(bins, 100_000);
+        let h = DensityHistogram::from_bins(bins, 100_000).unwrap();
         assert_eq!(h.total_windows(), 100);
         assert_eq!(h.frequency(20), 10);
         assert_eq!(h.delta_t(), 100_000);
+    }
+
+    #[test]
+    fn from_bins_rejects_bad_shapes() {
+        assert!(matches!(
+            DensityHistogram::from_bins(vec![0; 12], 100),
+            Err(DetectorError::BadHarvest { .. })
+        ));
+        assert!(matches!(
+            DensityHistogram::from_bins(vec![0; HISTOGRAM_BINS], 0),
+            Err(DetectorError::BadHarvest { .. })
+        ));
     }
 
     #[test]

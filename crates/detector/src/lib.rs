@@ -67,6 +67,7 @@ pub mod conflict;
 pub mod cost;
 pub mod density;
 pub mod events;
+pub mod fault;
 pub mod online;
 pub mod pipeline;
 pub mod report;
@@ -81,6 +82,83 @@ pub use conflict::{ConflictClass, GenerationTracker, IdealLruTracker, MissClassi
 pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, SymbolSeries};
-pub use online::{OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
+pub use fault::{FaultClass, FaultConfig, FaultInjector};
+pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 pub use pipeline::{CcHunter, CcHunterConfig, Detection, ResourceKind, Verdict};
 pub use report::SessionReport;
+pub use trace::TraceError;
+
+use std::fmt;
+
+/// The unified error type of the detection stack.
+///
+/// Every fallible public API in this crate (and in the facade crate's audit
+/// glue) reports failures through this enum, so a daemon embedding CC-Hunter
+/// needs exactly one error path. Hardware-interface errors
+/// ([`AuditorError`]) and trace/checkpoint parse errors ([`TraceError`])
+/// chain through [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum DetectorError {
+    /// The CC-auditor programming/harvest interface refused the operation.
+    Auditor(AuditorError),
+    /// Trace or checkpoint I/O or parsing failed.
+    Trace(TraceError),
+    /// A configuration parameter is out of its valid domain.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// Harvested histogram data is structurally invalid (wrong bin count,
+    /// zero Δt) and cannot be analyzed even in degraded mode.
+    BadHarvest {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// The requested hardware unit is not under audit in this session.
+    NotAudited {
+        /// Short unit label (e.g. "memory-bus").
+        unit: &'static str,
+    },
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::Auditor(e) => write!(f, "auditor error: {e}"),
+            DetectorError::Trace(e) => write!(f, "trace error: {e}"),
+            DetectorError::InvalidConfig { reason } => {
+                write!(f, "invalid detector configuration: {reason}")
+            }
+            DetectorError::BadHarvest { reason } => write!(f, "bad harvest: {reason}"),
+            DetectorError::NotAudited { unit } => write!(f, "{unit} is not under audit"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectorError::Auditor(e) => Some(e),
+            DetectorError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AuditorError> for DetectorError {
+    fn from(e: AuditorError) -> Self {
+        DetectorError::Auditor(e)
+    }
+}
+
+impl From<TraceError> for DetectorError {
+    fn from(e: TraceError) -> Self {
+        DetectorError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for DetectorError {
+    fn from(e: std::io::Error) -> Self {
+        DetectorError::Trace(TraceError::Io(e))
+    }
+}

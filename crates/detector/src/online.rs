@@ -5,6 +5,25 @@
 //! buffers quantum by quantum, keeps a sliding observation window (at most
 //! 512 quanta, §IV-B), and raises an alarm the moment recurrence (or
 //! sustained oscillation) is established.
+//!
+//! ## Degraded harvests
+//!
+//! A real deployment does not get a pristine histogram every quantum: the
+//! daemon can be descheduled past a harvest deadline (quantum missed),
+//! registers saturate, buffers are truncated by DMA races. The daemon
+//! therefore consumes [`Harvest`] values rather than bare histograms, keeps
+//! *gap-aware* windows (a missed quantum occupies a window slot with zero
+//! observation weight instead of silently vanishing), and every status
+//! carries a [`confidence`](OnlineStatus::confidence) — the observed
+//! fraction of the window — that decays under loss instead of letting the
+//! verdict flip to a spuriously confident `Clean`.
+//!
+//! ## Checkpoint / restore
+//!
+//! Both daemons serialize their sliding window to the plain-text checkpoint
+//! format of [`crate::trace`] ([`OnlineContentionDetector::checkpoint`],
+//! [`OnlineContentionDetector::restore`]), so a daemon restart resumes
+//! mid-window and reproduces the verdict sequence of an uninterrupted run.
 
 use crate::auditor::ConflictRecord;
 use crate::autocorr::{OscillationDetector, OscillationVerdict};
@@ -12,50 +31,128 @@ use crate::burst::{BurstDetector, BurstVerdict};
 use crate::cluster::{analyze_recurrence, RecurrenceVerdict};
 use crate::density::DensityHistogram;
 use crate::pipeline::{symbol_series, CcHunterConfig, Verdict};
+use crate::trace::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointSlot, TraceError};
+use crate::DetectorError;
 use std::collections::VecDeque;
+use std::io::{Read, Write};
+
+/// One OS quantum's worth of harvested observation, as delivered to the
+/// daemon — possibly degraded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Harvest {
+    /// The full quantum was observed.
+    Complete(DensityHistogram),
+    /// The quantum was observed, but a fraction of it was lost or distorted
+    /// (register saturation, truncated read-out, dropped Δt windows).
+    Partial {
+        /// What was salvaged.
+        histogram: DensityHistogram,
+        /// Estimated fraction of the quantum's observation that was lost,
+        /// in `[0, 1]`.
+        lost_fraction: f64,
+    },
+    /// The quantum's harvest never arrived (daemon descheduled past the
+    /// deadline, buffer overwritten before read-out).
+    Missed,
+}
+
+impl Harvest {
+    /// The harvest's observation weight: 1.0 for a complete quantum, the
+    /// observed fraction for a partial one, 0.0 for a miss.
+    pub fn observed_weight(&self) -> f64 {
+        match self {
+            Harvest::Complete(_) => 1.0,
+            Harvest::Partial { lost_fraction, .. } => (1.0 - lost_fraction).clamp(0.0, 1.0),
+            Harvest::Missed => 0.0,
+        }
+    }
+
+    /// The salvaged histogram, if any part of the quantum was observed.
+    pub fn histogram(&self) -> Option<&DensityHistogram> {
+        match self {
+            Harvest::Complete(h) | Harvest::Partial { histogram: h, .. } => Some(h),
+            Harvest::Missed => None,
+        }
+    }
+}
+
+impl From<DensityHistogram> for Harvest {
+    fn from(histogram: DensityHistogram) -> Self {
+        Harvest::Complete(histogram)
+    }
+}
 
 /// Status returned after each pushed quantum.
 #[derive(Debug, Clone)]
 pub struct OnlineStatus {
     /// The quantum's own burst verdict (contention path) — `None` on the
-    /// oscillation path.
+    /// oscillation path or when the quantum was missed.
     pub quantum_burst: Option<BurstVerdict>,
     /// The quantum's oscillation verdict (oscillation path) — `None` on
-    /// the contention path.
+    /// the contention path or when the quantum was missed.
     pub quantum_oscillation: Option<OscillationVerdict>,
-    /// Recurrence over the current sliding window (contention path).
+    /// Recurrence over the observed quanta of the current sliding window
+    /// (contention path).
     pub recurrence: Option<RecurrenceVerdict>,
     /// Oscillatory quanta within the current sliding window.
     pub oscillatory_in_window: usize,
-    /// Quanta currently in the sliding window.
+    /// Quanta currently in the sliding window, missed ones included.
     pub window_len: usize,
+    /// Quanta in the window with any observation at all.
+    pub observed_in_window: usize,
+    /// Observed fraction of the window, in `[0, 1]`: the sum of per-quantum
+    /// observation weights divided by `window_len`. 1.0 means the verdict
+    /// rests on a fully observed window; anything lower means harvests were
+    /// lost or degraded and the verdict — covert *or* clean — is
+    /// correspondingly less trustworthy.
+    pub confidence: f64,
     /// The daemon's current call.
     pub verdict: Verdict,
 }
 
+impl OnlineStatus {
+    /// Whether the verdict rests on a degraded window (missed or partial
+    /// harvests present).
+    pub fn is_degraded(&self) -> bool {
+        self.confidence < 1.0
+    }
+}
+
+/// One sliding-window slot of the contention daemon.
+#[derive(Debug, Clone)]
+struct QuantumSlot {
+    histogram: Option<DensityHistogram>,
+    verdict: Option<BurstVerdict>,
+    weight: f64,
+}
+
 /// Streaming detector for one *combinational* resource (bus, divider,
-/// multiplier): feed one harvested histogram per OS quantum.
+/// multiplier): feed one harvest per OS quantum.
 ///
 /// ```
 /// use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
-/// use cchunter_detector::online::OnlineContentionDetector;
+/// use cchunter_detector::online::{Harvest, OnlineContentionDetector};
 /// use cchunter_detector::pipeline::CcHunterConfig;
 ///
-/// let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 512);
+/// let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 512).unwrap();
 /// let mut bins = vec![0u64; HISTOGRAM_BINS];
 /// bins[0] = 2_400;
 /// bins[20] = 100; // a covert-channel-shaped quantum
-/// let covert = DensityHistogram::from_bins(bins, 100_000);
+/// let covert = DensityHistogram::from_bins(bins, 100_000).unwrap();
 /// let status = daemon.push_quantum(covert.clone());
 /// assert!(!status.verdict.is_covert(), "one bursty quantum is not recurrent");
 /// let status = daemon.push_quantum(covert);
 /// assert!(status.verdict.is_covert(), "the pattern recurs");
+/// assert_eq!(status.confidence, 1.0, "no harvests were lost");
+/// // A missed harvest leaves a gap in the window instead of vanishing:
+/// let status = daemon.push_quantum(Harvest::Missed);
+/// assert!(status.confidence < 1.0);
 /// ```
 #[derive(Debug)]
 pub struct OnlineContentionDetector {
     config: CcHunterConfig,
     detector: BurstDetector,
-    window: VecDeque<(DensityHistogram, BurstVerdict)>,
+    window: VecDeque<QuantumSlot>,
     capacity: usize,
 }
 
@@ -63,50 +160,193 @@ impl OnlineContentionDetector {
     /// Creates a daemon keeping a sliding window of `window_quanta`
     /// (clamped to the paper's 512-quantum limit).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `window_quanta` is zero.
-    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Self {
-        assert!(window_quanta > 0, "window must hold at least one quantum");
-        OnlineContentionDetector {
+    /// Returns [`DetectorError::InvalidConfig`] if `window_quanta` is zero.
+    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Result<Self, DetectorError> {
+        if window_quanta == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "window must hold at least one quantum".to_string(),
+            });
+        }
+        Ok(OnlineContentionDetector {
             detector: BurstDetector::new(config.burst),
             config,
             window: VecDeque::new(),
             capacity: window_quanta.min(512),
-        }
+        })
     }
 
-    /// Quanta currently retained.
+    /// Quanta currently retained (missed quanta included).
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
 
-    /// Feeds one quantum's harvested histogram; returns the daemon's
-    /// up-to-date status.
-    pub fn push_quantum(&mut self, histogram: DensityHistogram) -> OnlineStatus {
-        let verdict = self.detector.analyze(&histogram);
+    /// The sliding-window capacity in quanta.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Feeds one quantum's harvest (a bare [`DensityHistogram`] converts to
+    /// [`Harvest::Complete`]); returns the daemon's up-to-date status.
+    ///
+    /// Never panics: a missed or partial harvest occupies a window slot
+    /// with reduced observation weight, and the returned status's
+    /// [`confidence`](OnlineStatus::confidence) reports how much of the
+    /// window the verdict actually rests on.
+    pub fn push_quantum(&mut self, harvest: impl Into<Harvest>) -> OnlineStatus {
+        let harvest = harvest.into();
+        let weight = harvest.observed_weight();
+        let (histogram, verdict) = match harvest {
+            Harvest::Complete(h) | Harvest::Partial { histogram: h, .. } => {
+                let v = self.detector.analyze(&h);
+                (Some(h), Some(v))
+            }
+            Harvest::Missed => (None, None),
+        };
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
-        self.window.push_back((histogram, verdict));
-        let histograms: Vec<DensityHistogram> =
-            self.window.iter().map(|(h, _)| h.clone()).collect();
-        let verdicts: Vec<BurstVerdict> = self.window.iter().map(|(_, v)| *v).collect();
+        self.window.push_back(QuantumSlot {
+            histogram,
+            verdict: verdict.as_ref().copied(),
+            weight,
+        });
+        self.status(verdict)
+    }
+
+    /// Computes the daemon's status over the current window; `quantum` is
+    /// the just-pushed quantum's own verdict, if it was observed.
+    fn status(&self, quantum: Option<BurstVerdict>) -> OnlineStatus {
+        // Recurrence is established over the *observed* quanta only — a
+        // gap cannot make two recurring patterns dissimilar, it just
+        // shrinks the evidence (which the confidence reports).
+        let histograms: Vec<DensityHistogram> = self
+            .window
+            .iter()
+            .filter_map(|s| s.histogram.clone())
+            .collect();
+        let verdicts: Vec<BurstVerdict> = self.window.iter().filter_map(|s| s.verdict).collect();
         let recurrence = analyze_recurrence(&histograms, &verdicts, &self.config.cluster);
         let call = if recurrence.recurrent {
             Verdict::CovertTimingChannel
         } else {
             Verdict::Clean
         };
+        let window_len = self.window.len();
+        let observed_weight: f64 = self.window.iter().map(|s| s.weight).sum();
         OnlineStatus {
-            quantum_burst: Some(verdict),
+            quantum_burst: quantum,
             quantum_oscillation: None,
             oscillatory_in_window: 0,
-            window_len: self.window.len(),
+            window_len,
+            observed_in_window: histograms.len(),
+            confidence: if window_len == 0 {
+                0.0
+            } else {
+                observed_weight / window_len as f64
+            },
             recurrence: Some(recurrence),
             verdict: call,
         }
     }
+
+    /// Serializes the sliding window to `writer` in the plain-text
+    /// checkpoint format of [`crate::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn checkpoint<W: Write>(&self, writer: W) -> Result<(), DetectorError> {
+        let slots = self
+            .window
+            .iter()
+            .map(|s| CheckpointSlot {
+                weight: s.weight,
+                histogram: s.histogram.as_ref().map(|h| {
+                    let sparse: Vec<(usize, u64)> = h
+                        .bins()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| f > 0)
+                        .map(|(i, &f)| (i, f))
+                        .collect();
+                    (h.delta_t(), sparse)
+                }),
+                oscillatory: None,
+            })
+            .collect();
+        let cp = Checkpoint {
+            kind: "contention".to_string(),
+            capacity: self.capacity,
+            slots,
+        };
+        write_checkpoint(&cp, writer)?;
+        Ok(())
+    }
+
+    /// Restores a daemon from a checkpoint written by
+    /// [`checkpoint`](Self::checkpoint). Per-quantum burst verdicts are
+    /// recomputed from the serialized histograms (the analysis is
+    /// deterministic), so a restored daemon produces the same verdict
+    /// sequence as one that never restarted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::Trace`] on malformed input and
+    /// [`DetectorError::InvalidConfig`] if the checkpoint is not a
+    /// contention checkpoint or its capacity is zero.
+    pub fn restore<R: Read>(config: CcHunterConfig, reader: R) -> Result<Self, DetectorError> {
+        let cp = read_checkpoint(reader)?;
+        if cp.kind != "contention" {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("expected a contention checkpoint, got kind {:?}", cp.kind),
+            });
+        }
+        let mut daemon = Self::new(config, cp.capacity)?;
+        for (idx, slot) in cp.slots.into_iter().enumerate() {
+            if daemon.window.len() == daemon.capacity {
+                return Err(DetectorError::Trace(TraceError::Parse {
+                    line: 0,
+                    reason: format!(
+                        "checkpoint has more slots than its capacity {}",
+                        cp.capacity
+                    ),
+                }));
+            }
+            let histogram = slot
+                .histogram
+                .map(|(delta_t, sparse)| {
+                    let mut bins = vec![0u64; crate::density::HISTOGRAM_BINS];
+                    for (i, f) in sparse {
+                        let b = bins
+                            .get_mut(i)
+                            .ok_or(DetectorError::Trace(TraceError::Parse {
+                                line: 0,
+                                reason: format!("slot {idx} bin index {i} out of range"),
+                            }))?;
+                        *b = f;
+                    }
+                    DensityHistogram::from_bins(bins, delta_t)
+                })
+                .transpose()?;
+            let verdict = histogram.as_ref().map(|h| daemon.detector.analyze(h));
+            daemon.window.push_back(QuantumSlot {
+                histogram,
+                verdict,
+                weight: slot.weight,
+            });
+        }
+        Ok(daemon)
+    }
+}
+
+/// One sliding-window slot of the oscillation daemon.
+#[derive(Debug, Clone, Copy)]
+struct OscSlot {
+    /// The quantum's oscillation outcome — `None` when it was missed.
+    oscillatory: Option<bool>,
+    weight: f64,
 }
 
 /// Streaming detector for a *memory* resource (shared cache): feed the
@@ -115,8 +355,7 @@ impl OnlineContentionDetector {
 pub struct OnlineOscillationDetector {
     config: CcHunterConfig,
     detector: OscillationDetector,
-    /// Per-quantum oscillation outcomes in the sliding window.
-    window: VecDeque<bool>,
+    window: VecDeque<OscSlot>,
     capacity: usize,
 }
 
@@ -124,41 +363,159 @@ impl OnlineOscillationDetector {
     /// Creates a daemon keeping a sliding window of `window_quanta`
     /// (clamped to 512).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `window_quanta` is zero.
-    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Self {
-        assert!(window_quanta > 0, "window must hold at least one quantum");
-        OnlineOscillationDetector {
+    /// Returns [`DetectorError::InvalidConfig`] if `window_quanta` is zero.
+    pub fn new(config: CcHunterConfig, window_quanta: usize) -> Result<Self, DetectorError> {
+        if window_quanta == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "window must hold at least one quantum".to_string(),
+            });
+        }
+        Ok(OnlineOscillationDetector {
             detector: OscillationDetector::new(config.oscillation),
             config,
             window: VecDeque::new(),
             capacity: window_quanta.min(512),
-        }
+        })
+    }
+
+    /// Quanta currently retained (missed quanta included).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
     }
 
     /// Feeds one quantum's drained conflict records.
     pub fn push_quantum(&mut self, records: &[ConflictRecord]) -> OnlineStatus {
+        self.push_quantum_degraded(records, 0.0)
+    }
+
+    /// Feeds one quantum's conflict records, a `lost_fraction` of which is
+    /// known to have been lost or corrupted (vector-register overruns,
+    /// Bloom-filter aliasing bursts): the quantum still contributes its
+    /// verdict, but with reduced observation weight.
+    pub fn push_quantum_degraded(
+        &mut self,
+        records: &[ConflictRecord],
+        lost_fraction: f64,
+    ) -> OnlineStatus {
         let series = symbol_series(records, 0, u64::MAX);
         let verdict = self.detector.analyze(&series, self.config.max_lag);
+        self.push_slot(OscSlot {
+            oscillatory: Some(verdict.oscillatory),
+            weight: (1.0 - lost_fraction).clamp(0.0, 1.0),
+        });
+        self.status(Some(verdict))
+    }
+
+    /// Records a quantum whose conflict drain never arrived: the window
+    /// keeps its place as a gap with zero observation weight.
+    pub fn push_missed(&mut self) -> OnlineStatus {
+        self.push_slot(OscSlot {
+            oscillatory: None,
+            weight: 0.0,
+        });
+        self.status(None)
+    }
+
+    fn push_slot(&mut self, slot: OscSlot) {
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
-        self.window.push_back(verdict.oscillatory);
-        let oscillatory = self.window.iter().filter(|&&o| o).count();
+        self.window.push_back(slot);
+    }
+
+    fn status(&self, quantum: Option<OscillationVerdict>) -> OnlineStatus {
+        let oscillatory = self
+            .window
+            .iter()
+            .filter(|s| s.oscillatory == Some(true))
+            .count();
+        let observed = self
+            .window
+            .iter()
+            .filter(|s| s.oscillatory.is_some())
+            .count();
         let call = if oscillatory >= self.config.min_oscillatory_windows {
             Verdict::CovertTimingChannel
         } else {
             Verdict::Clean
         };
+        let window_len = self.window.len();
+        let observed_weight: f64 = self.window.iter().map(|s| s.weight).sum();
         OnlineStatus {
             quantum_burst: None,
-            quantum_oscillation: Some(verdict),
+            quantum_oscillation: quantum,
             oscillatory_in_window: oscillatory,
-            window_len: self.window.len(),
+            window_len,
+            observed_in_window: observed,
+            confidence: if window_len == 0 {
+                0.0
+            } else {
+                observed_weight / window_len as f64
+            },
             recurrence: None,
             verdict: call,
         }
+    }
+
+    /// Serializes the sliding window to `writer` in the plain-text
+    /// checkpoint format of [`crate::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn checkpoint<W: Write>(&self, writer: W) -> Result<(), DetectorError> {
+        let slots = self
+            .window
+            .iter()
+            .map(|s| CheckpointSlot {
+                weight: s.weight,
+                histogram: None,
+                oscillatory: s.oscillatory,
+            })
+            .collect();
+        let cp = Checkpoint {
+            kind: "oscillation".to_string(),
+            capacity: self.capacity,
+            slots,
+        };
+        write_checkpoint(&cp, writer)?;
+        Ok(())
+    }
+
+    /// Restores a daemon from a checkpoint written by
+    /// [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::Trace`] on malformed input and
+    /// [`DetectorError::InvalidConfig`] if the checkpoint is not an
+    /// oscillation checkpoint or its capacity is zero.
+    pub fn restore<R: Read>(config: CcHunterConfig, reader: R) -> Result<Self, DetectorError> {
+        let cp = read_checkpoint(reader)?;
+        if cp.kind != "oscillation" {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("expected an oscillation checkpoint, got kind {:?}", cp.kind),
+            });
+        }
+        let mut daemon = Self::new(config, cp.capacity)?;
+        for slot in cp.slots {
+            if daemon.window.len() == daemon.capacity {
+                return Err(DetectorError::Trace(TraceError::Parse {
+                    line: 0,
+                    reason: format!(
+                        "checkpoint has more slots than its capacity {}",
+                        cp.capacity
+                    ),
+                }));
+            }
+            daemon.window.push_back(OscSlot {
+                oscillatory: slot.oscillatory,
+                weight: slot.weight,
+            });
+        }
+        Ok(daemon)
     }
 }
 
@@ -173,29 +530,31 @@ mod tests {
         bins[19] = 20;
         bins[20] = 150;
         bins[21] = 25;
-        DensityHistogram::from_bins(bins, 100_000)
+        DensityHistogram::from_bins(bins, 100_000).unwrap()
     }
 
     fn quiet_histogram() -> DensityHistogram {
         let mut bins = vec![0u64; HISTOGRAM_BINS];
         bins[0] = 2_495;
         bins[1] = 5;
-        DensityHistogram::from_bins(bins, 100_000)
+        DensityHistogram::from_bins(bins, 100_000).unwrap()
     }
 
     #[test]
     fn alarm_fires_once_pattern_recurs() {
-        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64);
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64).unwrap();
         let first = daemon.push_quantum(covert_histogram());
         assert!(!first.verdict.is_covert());
         let second = daemon.push_quantum(covert_histogram());
         assert!(second.verdict.is_covert());
-        assert!(second.recurrence.unwrap().recurrent);
+        assert!(second.recurrence.as_ref().unwrap().recurrent);
+        assert_eq!(second.confidence, 1.0);
+        assert!(!second.is_degraded());
     }
 
     #[test]
     fn quiet_stream_never_alarms() {
-        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64);
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 64).unwrap();
         for _ in 0..100 {
             let status = daemon.push_quantum(quiet_histogram());
             assert!(!status.verdict.is_covert());
@@ -205,7 +564,7 @@ mod tests {
 
     #[test]
     fn alarm_clears_after_channel_stops() {
-        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8);
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8).unwrap();
         for _ in 0..4 {
             daemon.push_quantum(covert_histogram());
         }
@@ -220,9 +579,86 @@ mod tests {
     }
 
     #[test]
+    fn missed_quanta_decay_confidence_not_verdict() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8).unwrap();
+        daemon.push_quantum(covert_histogram());
+        daemon.push_quantum(covert_histogram());
+        let status = daemon.push_quantum(Harvest::Missed);
+        // The recurring pattern is still in the window; the gap only dents
+        // the confidence.
+        assert!(status.verdict.is_covert());
+        assert!((status.confidence - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(status.observed_in_window, 2);
+        assert_eq!(status.window_len, 3);
+        assert!(status.quantum_burst.is_none());
+        assert!(status.is_degraded());
+    }
+
+    #[test]
+    fn partial_harvests_weight_the_confidence() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8).unwrap();
+        daemon.push_quantum(covert_histogram());
+        let status = daemon.push_quantum(Harvest::Partial {
+            histogram: covert_histogram(),
+            lost_fraction: 0.5,
+        });
+        assert!(status.verdict.is_covert(), "the salvaged half still recurs");
+        assert!((status.confidence - 0.75).abs() < 1e-12);
+        assert_eq!(status.observed_in_window, 2);
+    }
+
+    #[test]
+    fn all_missed_window_is_zero_confidence_clean() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 4).unwrap();
+        for _ in 0..4 {
+            let status = daemon.push_quantum(Harvest::Missed);
+            assert!(!status.verdict.is_covert());
+            assert_eq!(status.confidence, 0.0, "a blind window has no confidence");
+        }
+    }
+
+    #[test]
+    fn contention_checkpoint_roundtrips_and_resumes() {
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 8).unwrap();
+        daemon.push_quantum(covert_histogram());
+        daemon.push_quantum(Harvest::Missed);
+        daemon.push_quantum(Harvest::Partial {
+            histogram: covert_histogram(),
+            lost_fraction: 0.25,
+        });
+        let mut buf = Vec::new();
+        daemon.checkpoint(&mut buf).unwrap();
+        let mut restored =
+            OnlineContentionDetector::restore(CcHunterConfig::default(), buf.as_slice()).unwrap();
+        assert_eq!(restored.window_len(), 3);
+        // Both daemons must report identical statuses from here on.
+        for harvest in [
+            Harvest::Complete(covert_histogram()),
+            Harvest::Missed,
+            Harvest::Complete(quiet_histogram()),
+        ] {
+            let a = daemon.push_quantum(harvest.clone());
+            let b = restored.push_quantum(harvest);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.confidence, b.confidence);
+            assert_eq!(a.window_len, b.window_len);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_kind() {
+        let daemon = OnlineOscillationDetector::new(CcHunterConfig::default(), 4).unwrap();
+        let mut buf = Vec::new();
+        daemon.checkpoint(&mut buf).unwrap();
+        let err = OnlineContentionDetector::restore(CcHunterConfig::default(), buf.as_slice())
+            .unwrap_err();
+        assert!(matches!(err, DetectorError::InvalidConfig { .. }));
+    }
+
+    #[test]
     fn oscillation_daemon_needs_sustained_windows() {
         let config = CcHunterConfig::default();
-        let mut daemon = OnlineOscillationDetector::new(config, 16);
+        let mut daemon = OnlineOscillationDetector::new(config, 16).unwrap();
         // A square-wave quantum: 8 bits × (64 T→S + 64 S→T).
         let mut records = Vec::new();
         let mut cycle = 0;
@@ -249,11 +685,25 @@ mod tests {
         assert!(!first.verdict.is_covert(), "one window is not sustained");
         let second = daemon.push_quantum(&records);
         assert!(second.verdict.is_covert());
+        assert_eq!(second.confidence, 1.0);
+
+        // Checkpoint/restore resumes the oscillation window too.
+        let mut buf = Vec::new();
+        daemon.checkpoint(&mut buf).unwrap();
+        let mut restored =
+            OnlineOscillationDetector::restore(CcHunterConfig::default(), buf.as_slice()).unwrap();
+        let a = daemon.push_missed();
+        let b = restored.push_missed();
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.confidence, b.confidence);
+        assert!(a.confidence < 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one quantum")]
     fn zero_window_rejected() {
-        let _ = OnlineContentionDetector::new(CcHunterConfig::default(), 0);
+        let err = OnlineContentionDetector::new(CcHunterConfig::default(), 0).unwrap_err();
+        assert!(matches!(err, DetectorError::InvalidConfig { .. }));
+        let err = OnlineOscillationDetector::new(CcHunterConfig::default(), 0).unwrap_err();
+        assert!(matches!(err, DetectorError::InvalidConfig { .. }));
     }
 }

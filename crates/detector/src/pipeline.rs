@@ -17,6 +17,7 @@ use crate::burst::{BurstConfig, BurstDetector, BurstVerdict};
 use crate::cluster::{analyze_recurrence, ClusterConfig, RecurrenceVerdict};
 use crate::density::{DeltaTPolicy, DensityHistogram};
 use crate::events::{pair_symbol, EventTrain, SymbolSeries};
+use crate::online::Harvest;
 use std::fmt;
 
 /// The two classes of shared hardware the paper distinguishes (§IV).
@@ -96,7 +97,8 @@ impl Default for CcHunterConfig {
 /// Report of the recurrent-burst path over an observation window.
 #[derive(Debug, Clone)]
 pub struct ContentionReport {
-    /// Per-quantum density histograms.
+    /// Per-quantum density histograms (observed quanta only — missed
+    /// harvests leave no histogram).
     pub histograms: Vec<DensityHistogram>,
     /// Per-quantum burst verdicts (parallel to `histograms`).
     pub quantum_verdicts: Vec<BurstVerdict>,
@@ -104,6 +106,10 @@ pub struct ContentionReport {
     pub recurrence: RecurrenceVerdict,
     /// Highest likelihood ratio among significant quanta.
     pub peak_likelihood_ratio: f64,
+    /// Observed fraction of the analyzed window in `[0, 1]`: 1.0 when
+    /// every quantum harvested completely, lower when harvests were missed
+    /// or partial (see [`crate::online::Harvest`]).
+    pub confidence: f64,
     /// Final call.
     pub verdict: Verdict,
 }
@@ -181,7 +187,25 @@ impl CcHunter {
     /// Runs the recurrent-burst path on pre-harvested per-quantum
     /// histograms (the daemon's normal mode, fed by the CC-auditor).
     pub fn analyze_contention(&self, histograms: Vec<DensityHistogram>) -> ContentionReport {
+        self.analyze_contention_harvests(histograms.into_iter().map(Harvest::Complete).collect())
+    }
+
+    /// Runs the recurrent-burst path on per-quantum [`Harvest`]es, tolerating
+    /// missed and partial quanta: recurrence is established over whatever
+    /// was observed, and the report's `confidence` records the observed
+    /// fraction of the window so degraded evidence is never mistaken for a
+    /// fully observed `Clean`.
+    pub fn analyze_contention_harvests(&self, harvests: Vec<Harvest>) -> ContentionReport {
         let detector = BurstDetector::new(self.config.burst);
+        let window_len = harvests.len();
+        let observed_weight: f64 = harvests.iter().map(Harvest::observed_weight).sum();
+        let histograms: Vec<DensityHistogram> = harvests
+            .into_iter()
+            .filter_map(|h| match h {
+                Harvest::Complete(h) | Harvest::Partial { histogram: h, .. } => Some(h),
+                Harvest::Missed => None,
+            })
+            .collect();
         let quantum_verdicts: Vec<BurstVerdict> =
             histograms.iter().map(|h| detector.analyze(h)).collect();
         let recurrence = analyze_recurrence(&histograms, &quantum_verdicts, &self.config.cluster);
@@ -200,6 +224,11 @@ impl CcHunter {
             quantum_verdicts,
             recurrence,
             peak_likelihood_ratio,
+            confidence: if window_len == 0 {
+                0.0
+            } else {
+                observed_weight / window_len as f64
+            },
             verdict,
         }
     }
@@ -403,6 +432,40 @@ mod tests {
         assert!(report.peak_likelihood_ratio > 0.9);
         assert_eq!(report.significant_quanta(), 8);
         assert!(report.recurrence.recurrent);
+        assert_eq!(report.confidence, 1.0, "fully observed window");
+    }
+
+    #[test]
+    fn degraded_harvests_lower_confidence_not_verdict() {
+        let hunter = CcHunter::new(config());
+        let train = covert_train(8, 100_000);
+        let harvests: Vec<Harvest> = hunter
+            .quantum_histograms(&train, 0, 800_000)
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                if i % 4 == 3 {
+                    Harvest::Missed
+                } else {
+                    Harvest::Complete(h)
+                }
+            })
+            .collect();
+        let report = hunter.analyze_contention_harvests(harvests);
+        assert!(
+            report.verdict.is_covert(),
+            "recurrence survives 25% missed quanta"
+        );
+        assert!((report.confidence - 0.75).abs() < 1e-12);
+        assert_eq!(report.histograms.len(), 6);
+    }
+
+    #[test]
+    fn all_missed_harvests_are_zero_confidence() {
+        let hunter = CcHunter::new(config());
+        let report = hunter.analyze_contention_harvests(vec![Harvest::Missed; 4]);
+        assert_eq!(report.verdict, Verdict::Clean);
+        assert_eq!(report.confidence, 0.0, "a blind window proves nothing");
     }
 
     #[test]

@@ -101,14 +101,14 @@ mod tests {
         let mut bins = vec![0u64; HISTOGRAM_BINS];
         bins[0] = 2_400;
         bins[20] = 100;
-        let h = DensityHistogram::from_bins(bins, 100_000);
+        let h = DensityHistogram::from_bins(bins, 100_000).expect("test bins are 128 long");
         CcHunter::new(CcHunterConfig::default()).analyze_contention(vec![h.clone(), h])
     }
 
     fn quiet_report() -> ContentionReport {
         let mut bins = vec![0u64; HISTOGRAM_BINS];
         bins[0] = 2_500;
-        let h = DensityHistogram::from_bins(bins, 100_000);
+        let h = DensityHistogram::from_bins(bins, 100_000).expect("test bins are 128 long");
         CcHunter::new(CcHunterConfig::default()).analyze_contention(vec![h.clone(), h])
     }
 

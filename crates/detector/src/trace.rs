@@ -184,6 +184,203 @@ pub fn write_conflicts<W: Write>(records: &[ConflictRecord], mut writer: W) -> s
     writer.write_all(out.as_bytes())
 }
 
+/// Magic first line of a daemon checkpoint file.
+const CHECKPOINT_MAGIC: &str = "cchunter-checkpoint,v1";
+
+/// One sliding-window slot in a daemon checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSlot {
+    /// Observation weight of the quantum (1.0 complete, 0.0 missed).
+    pub weight: f64,
+    /// The quantum's harvested histogram as `(Δt, sparse non-zero bins)`,
+    /// if one was observed (contention daemons).
+    pub histogram: Option<(u64, Vec<(usize, u64)>)>,
+    /// The quantum's oscillation outcome, if one was observed (oscillation
+    /// daemons).
+    pub oscillatory: Option<bool>,
+}
+
+/// A serialized online-daemon sliding window (see [`crate::online`]).
+///
+/// The format is the same plain-text CSV family as the event-train and
+/// conflict traces:
+///
+/// ```text
+/// cchunter-checkpoint,v1
+/// kind,contention
+/// capacity,512
+/// slot,1,hist,100000,0:2400 20:100
+/// slot,0.75,hist,100000,0:2380 20:80
+/// slot,0,missed
+/// end
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Daemon kind: `"contention"` or `"oscillation"`.
+    pub kind: String,
+    /// Sliding-window capacity in quanta.
+    pub capacity: usize,
+    /// Window contents, oldest first.
+    pub slots: Vec<CheckpointSlot>,
+}
+
+/// Writes a daemon checkpoint in the plain-text format above.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_checkpoint<W: Write>(checkpoint: &Checkpoint, mut writer: W) -> std::io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CHECKPOINT_MAGIC}");
+    let _ = writeln!(out, "kind,{}", checkpoint.kind);
+    let _ = writeln!(out, "capacity,{}", checkpoint.capacity);
+    for slot in &checkpoint.slots {
+        if let Some((delta_t, bins)) = &slot.histogram {
+            let pairs: Vec<String> = bins.iter().map(|(i, f)| format!("{i}:{f}")).collect();
+            let _ = writeln!(
+                out,
+                "slot,{},hist,{delta_t},{}",
+                slot.weight,
+                pairs.join(" ")
+            );
+        } else if let Some(osc) = slot.oscillatory {
+            let _ = writeln!(out, "slot,{},osc,{}", slot.weight, osc as u8);
+        } else {
+            let _ = writeln!(out, "slot,{},missed", slot.weight);
+        }
+    }
+    let _ = writeln!(out, "end");
+    writer.write_all(out.as_bytes())
+}
+
+fn parse_f64(s: &str, line: usize, what: &str) -> Result<f64, TraceError> {
+    s.trim().parse().map_err(|e| TraceError::Parse {
+        line,
+        reason: format!("bad {what} {s:?}: {e}"),
+    })
+}
+
+/// Reads a daemon checkpoint written by [`write_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, a missing or wrong magic line,
+/// or any malformed field.
+pub fn read_checkpoint<R: Read>(reader: R) -> Result<Checkpoint, TraceError> {
+    let mut kind: Option<String> = None;
+    let mut capacity: Option<usize> = None;
+    let mut slots = Vec::new();
+    let mut saw_magic = false;
+    let mut saw_end = false;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        if !saw_magic {
+            if text != CHECKPOINT_MAGIC {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    reason: format!("expected {CHECKPOINT_MAGIC:?} magic, got {text:?}"),
+                });
+            }
+            saw_magic = true;
+            continue;
+        }
+        if text == "end" {
+            saw_end = true;
+            break;
+        }
+        let (tag, rest) = text.split_once(',').unwrap_or((text, ""));
+        match tag {
+            "kind" => kind = Some(rest.trim().to_string()),
+            "capacity" => {
+                capacity = Some(parse_field(rest, line_no, "capacity")? as usize);
+            }
+            "slot" => {
+                let mut fields = rest.splitn(2, ',');
+                let weight = parse_f64(fields.next().unwrap_or(""), line_no, "weight")?;
+                if !(0.0..=1.0).contains(&weight) {
+                    return Err(TraceError::Parse {
+                        line: line_no,
+                        reason: format!("slot weight {weight} out of [0, 1]"),
+                    });
+                }
+                let body = fields.next().unwrap_or("").trim();
+                let slot = if body == "missed" {
+                    CheckpointSlot {
+                        weight,
+                        histogram: None,
+                        oscillatory: None,
+                    }
+                } else if let Some(osc) = body.strip_prefix("osc,") {
+                    CheckpointSlot {
+                        weight,
+                        histogram: None,
+                        oscillatory: Some(parse_field(osc, line_no, "oscillatory flag")? != 0),
+                    }
+                } else if let Some(hist) = body.strip_prefix("hist,") {
+                    let (delta_t, pairs) =
+                        hist.split_once(',').ok_or_else(|| TraceError::Parse {
+                            line: line_no,
+                            reason: "histogram slot needs Δt and bin pairs".to_string(),
+                        })?;
+                    let delta_t = parse_field(delta_t, line_no, "Δt")?;
+                    let mut bins = Vec::new();
+                    for pair in pairs.split_whitespace() {
+                        let (i, f) = pair.split_once(':').ok_or_else(|| TraceError::Parse {
+                            line: line_no,
+                            reason: format!("bad bin pair {pair:?}"),
+                        })?;
+                        bins.push((
+                            parse_field(i, line_no, "bin index")? as usize,
+                            parse_field(f, line_no, "bin frequency")?,
+                        ));
+                    }
+                    CheckpointSlot {
+                        weight,
+                        histogram: Some((delta_t, bins)),
+                        oscillatory: None,
+                    }
+                } else {
+                    return Err(TraceError::Parse {
+                        line: line_no,
+                        reason: format!("unknown slot body {body:?}"),
+                    });
+                };
+                slots.push(slot);
+            }
+            other => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    reason: format!("unknown checkpoint line tag {other:?}"),
+                });
+            }
+        }
+    }
+    if !saw_magic || !saw_end {
+        return Err(TraceError::Parse {
+            line: 0,
+            reason: "truncated checkpoint (missing magic or end line)".to_string(),
+        });
+    }
+    let kind = kind.ok_or_else(|| TraceError::Parse {
+        line: 0,
+        reason: "checkpoint has no kind line".to_string(),
+    })?;
+    let capacity = capacity.ok_or_else(|| TraceError::Parse {
+        line: 0,
+        reason: "checkpoint has no capacity line".to_string(),
+    })?;
+    Ok(Checkpoint {
+        kind,
+        capacity,
+        slots,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +456,76 @@ mod tests {
     fn errors_display_reasonably() {
         let err = read_event_train("x\ny\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line"));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let cp = Checkpoint {
+            kind: "contention".to_string(),
+            capacity: 512,
+            slots: vec![
+                CheckpointSlot {
+                    weight: 1.0,
+                    histogram: Some((100_000, vec![(0, 2_400), (20, 100)])),
+                    oscillatory: None,
+                },
+                CheckpointSlot {
+                    weight: 0.75,
+                    histogram: Some((100_000, vec![(0, 2_380)])),
+                    oscillatory: None,
+                },
+                CheckpointSlot {
+                    weight: 0.0,
+                    histogram: None,
+                    oscillatory: None,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        write_checkpoint(&cp, &mut buf).unwrap();
+        assert_eq!(read_checkpoint(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn oscillation_checkpoint_roundtrip() {
+        let cp = Checkpoint {
+            kind: "oscillation".to_string(),
+            capacity: 16,
+            slots: vec![
+                CheckpointSlot {
+                    weight: 1.0,
+                    histogram: None,
+                    oscillatory: Some(true),
+                },
+                CheckpointSlot {
+                    weight: 1.0,
+                    histogram: None,
+                    oscillatory: Some(false),
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        write_checkpoint(&cp, &mut buf).unwrap();
+        assert_eq!(read_checkpoint(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn checkpoint_without_magic_rejected() {
+        let err = read_checkpoint("kind,contention\nend\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let text = "cchunter-checkpoint,v1\nkind,contention\ncapacity,8\n";
+        let err = read_checkpoint(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn out_of_range_weight_rejected() {
+        let text = "cchunter-checkpoint,v1\nkind,contention\ncapacity,8\nslot,1.5,missed\nend\n";
+        let err = read_checkpoint(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 4, .. }));
     }
 }

@@ -1,5 +1,10 @@
 //! Property-based tests for the detector's core data structures and
 //! invariants.
+//!
+//! The properties are exercised by a hand-rolled deterministic harness (the
+//! build environment has no crates.io access for proptest): each property
+//! runs over `CASES` seeded random inputs, and every assertion message
+//! carries the case seed so a failure reproduces directly.
 
 use cchunter_detector::auditor::{AuditorConfig, CcAuditor, HardwareUnit, Privilege};
 use cchunter_detector::autocorr::Autocorrelogram;
@@ -10,55 +15,75 @@ use cchunter_detector::conflict::{
 use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
 use cchunter_detector::events::EventTrain;
 use cchunter_detector::BloomFilter;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 48;
 
 /// Sorted event times within a bounded horizon.
-fn times(max_len: usize, horizon: u64) -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0..horizon, 0..max_len).prop_map(|mut v| {
-        v.sort_unstable();
-        v
-    })
+fn times(rng: &mut SmallRng, max_len: usize, horizon: u64) -> Vec<u64> {
+    let len = rng.gen_range(0..max_len);
+    let mut v: Vec<u64> = (0..len).map(|_| rng.gen_range(0..horizon)).collect();
+    v.sort_unstable();
+    v
 }
 
-proptest! {
-    #[test]
-    fn autocorrelation_is_bounded_and_one_at_lag_zero(
-        samples in prop::collection::vec(-100.0f64..100.0, 3..200),
-        max_lag in 1usize..64,
-    ) {
+#[test]
+fn autocorrelation_is_bounded_and_one_at_lag_zero() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA070_0000 + case);
+        let n = rng.gen_range(3usize..200);
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let max_lag = rng.gen_range(1usize..64);
         let c = Autocorrelogram::compute(&samples, max_lag);
         let variance: f64 = {
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             samples.iter().map(|x| (x - mean) * (x - mean)).sum()
         };
         if variance > 1e-9 {
-            prop_assert!((c.coefficient(0) - 1.0).abs() < 1e-9);
+            assert!((c.coefficient(0) - 1.0).abs() < 1e-9, "case {case}");
         }
         for lag in 0..=max_lag {
-            prop_assert!(c.coefficient(lag).abs() <= 1.0 + 1e-9, "lag {lag}");
+            assert!(
+                c.coefficient(lag).abs() <= 1.0 + 1e-9,
+                "case {case} lag {lag}"
+            );
         }
     }
+}
 
-    #[test]
-    fn histogram_window_count_is_exact(
-        times in times(300, 1_000_000),
-        delta_t in 1u64..10_000,
-    ) {
-        let train = EventTrain::from_times(times);
+#[test]
+fn histogram_window_count_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB170_0000 + case);
+        let train = EventTrain::from_times(times(&mut rng, 300, 1_000_000));
+        let delta_t = rng.gen_range(1u64..10_000);
         let h = DensityHistogram::from_train(&train, delta_t, 0, 1_000_000);
-        prop_assert_eq!(h.total_windows(), 1_000_000u64.div_ceil(delta_t));
-        prop_assert_eq!(h.bins().iter().sum::<u64>(), h.total_windows());
+        assert_eq!(
+            h.total_windows(),
+            1_000_000u64.div_ceil(delta_t),
+            "case {case}"
+        );
+        assert_eq!(
+            h.bins().iter().sum::<u64>(),
+            h.total_windows(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn histogram_preserves_unsaturated_event_mass(
-        times in times(200, 100_000),
-        delta_t in 1_000u64..50_000,
-    ) {
-        // With ≤200 events and wide windows, saturation at bin 127 can
-        // only occur when ≥127 events share a window; exclude by capping
-        // event count below 127.
-        let train = EventTrain::from_times(times.into_iter().take(120).collect());
+#[test]
+fn histogram_preserves_unsaturated_event_mass() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC270_0000 + case);
+        // With ≤120 events, saturation at bin 127 cannot occur, so every
+        // event lands in a bin at its exact density.
+        let times: Vec<u64> = times(&mut rng, 200, 100_000)
+            .into_iter()
+            .take(120)
+            .collect();
+        let delta_t = rng.gen_range(1_000u64..50_000);
+        let train = EventTrain::from_times(times);
         let h = DensityHistogram::from_train(&train, delta_t, 0, 100_000);
         let mass: u64 = h
             .bins()
@@ -66,15 +91,17 @@ proptest! {
             .enumerate()
             .map(|(bin, &f)| bin as u64 * f)
             .sum();
-        prop_assert_eq!(mass, train.total_events());
+        assert_eq!(mass, train.total_events(), "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_merge_equals_concatenated_accumulation(
-        a in times(150, 50_000),
-        b in times(150, 50_000),
-        delta_t in 100u64..5_000,
-    ) {
+#[test]
+fn histogram_merge_equals_concatenated_accumulation() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD370_0000 + case);
+        let a = times(&mut rng, 150, 50_000);
+        let b = times(&mut rng, 150, 50_000);
+        let delta_t = rng.gen_range(100u64..5_000);
         let ta = EventTrain::from_times(a);
         let tb = EventTrain::from_times(b.iter().map(|t| t + 50_000).collect());
         let mut merged = DensityHistogram::from_train(&ta, delta_t, 0, 50_000);
@@ -82,78 +109,97 @@ proptest! {
         let mut joined = DensityHistogram::empty(delta_t);
         joined.accumulate(&ta, 0, 50_000);
         joined.accumulate(&tb, 50_000, 100_000);
-        prop_assert_eq!(merged.bins(), joined.bins());
+        assert_eq!(merged.bins(), joined.bins(), "case {case}");
     }
+}
 
-    #[test]
-    fn event_train_windows_partition_events(
-        times in times(300, 1_000_000),
-        window in 1_000u64..200_000,
-    ) {
-        let train = EventTrain::from_times(times);
+#[test]
+fn event_train_windows_partition_events() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE470_0000 + case);
+        let train = EventTrain::from_times(times(&mut rng, 300, 1_000_000));
+        let window = rng.gen_range(1_000u64..200_000);
         let windows = train.windows(0, 1_000_000, window);
         let total: u64 = windows.iter().map(|w| w.total_events()).sum();
-        prop_assert_eq!(total, train.total_events());
+        assert_eq!(total, train.total_events(), "case {case}");
     }
+}
 
-    #[test]
-    fn bloom_has_no_false_negatives(
-        keys in prop::collection::hash_set(any::<u64>(), 1..200),
-        bits in 64usize..8_192,
-        hashes in 1u32..6,
-    ) {
+#[test]
+fn bloom_has_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF570_0000 + case);
+        let n = rng.gen_range(1usize..200);
+        let keys: std::collections::HashSet<u64> =
+            (0..n).map(|_| rng.gen_range(0..u64::MAX)).collect();
+        let bits = rng.gen_range(64usize..8_192);
+        let hashes = rng.gen_range(1u32..6);
         let mut filter = BloomFilter::new(bits, hashes);
         for &k in &keys {
             filter.insert(k);
         }
         for &k in &keys {
-            prop_assert!(filter.contains(k));
+            assert!(filter.contains(k), "case {case} key {k:#x}");
         }
     }
+}
 
-    #[test]
-    fn kmeans_assignments_are_consistent(
-        features in prop::collection::vec(
-            prop::collection::vec(-10.0f64..10.0, 4),
-            1..60,
-        ),
-        k in 1usize..6,
-    ) {
+#[test]
+fn kmeans_assignments_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1670_0000 + case);
+        let n = rng.gen_range(1usize..60);
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let k = rng.gen_range(1usize..6);
         let clusters = kmeans(&features, k, 99, 30);
-        prop_assert_eq!(clusters.assignments.len(), features.len());
+        assert_eq!(clusters.assignments.len(), features.len(), "case {case}");
         let k_eff = k.min(features.len());
         for &a in &clusters.assignments {
-            prop_assert!(a < k_eff);
+            assert!(a < k_eff, "case {case}");
         }
-        prop_assert_eq!(clusters.sizes.iter().sum::<usize>(), features.len());
+        assert_eq!(
+            clusters.sizes.iter().sum::<usize>(),
+            features.len(),
+            "case {case}"
+        );
         // Determinism.
         let again = kmeans(&features, k, 99, 30);
-        prop_assert_eq!(clusters.assignments, again.assignments);
+        assert_eq!(clusters.assignments, again.assignments, "case {case}");
     }
+}
 
-    #[test]
-    fn discretize_is_monotone_per_bin(
-        freqs in prop::collection::vec(0u64..100_000, HISTOGRAM_BINS),
-    ) {
+#[test]
+fn discretize_is_monotone_per_bin() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2770_0000 + case);
+        let freqs: Vec<u64> = (0..HISTOGRAM_BINS)
+            .map(|_| rng.gen_range(0u64..100_000))
+            .collect();
         let total: u64 = freqs.iter().sum();
-        prop_assume!(total > 0);
-        let h = DensityHistogram::from_bins(freqs.clone(), 1_000);
+        if total == 0 {
+            continue;
+        }
+        let h = DensityHistogram::from_bins(freqs.clone(), 1_000).expect("128 bins, Δt > 0");
         let s = discretize(&h);
-        prop_assert_eq!(s.len(), HISTOGRAM_BINS);
+        assert_eq!(s.len(), HISTOGRAM_BINS, "case {case}");
         for (bin, &f) in freqs.iter().enumerate() {
             if f == 0 {
-                prop_assert_eq!(s[bin], 0);
+                assert_eq!(s[bin], 0, "case {case} bin {bin}");
             } else {
-                prop_assert!(s[bin] >= 1);
+                assert!(s[bin] >= 1, "case {case} bin {bin}");
             }
         }
     }
+}
 
-    #[test]
-    fn practical_tracker_never_misses_recent_conflicts(
-        working_set in 4u64..40,
-        rounds in 1usize..20,
-    ) {
+#[test]
+fn practical_tracker_never_misses_recent_conflicts() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3870_0000 + case);
+        let working_set = rng.gen_range(4u64..40);
+        let rounds = rng.gen_range(1usize..20);
         // Blocks evicted and promptly re-accessed within a working set far
         // below the tracker window must always classify as conflicts.
         let mut tracker = GenerationTracker::for_cache(4_096);
@@ -164,17 +210,24 @@ proptest! {
         for _ in 0..rounds {
             for &b in &blocks {
                 tracker.record_replacement(b);
-                prop_assert_eq!(tracker.classify_miss(b), ConflictClass::Conflict);
+                assert_eq!(
+                    tracker.classify_miss(b),
+                    ConflictClass::Conflict,
+                    "case {case} block {b:#x}"
+                );
                 tracker.record_access(b);
             }
         }
     }
+}
 
-    #[test]
-    fn ideal_tracker_matches_reference_recency_model(
-        accesses in prop::collection::vec(0u64..64, 1..300),
-        capacity in 4usize..32,
-    ) {
+#[test]
+fn ideal_tracker_matches_reference_recency_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4970_0000 + case);
+        let n = rng.gen_range(1usize..300);
+        let accesses: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..64)).collect();
+        let capacity = rng.gen_range(4usize..32);
         let mut tracker = IdealLruTracker::new(capacity);
         let mut reference: Vec<u64> = Vec::new(); // recency list, MRU front
         for &a in &accesses {
@@ -184,19 +237,21 @@ proptest! {
             } else {
                 ConflictClass::NonConflict
             };
-            prop_assert_eq!(tracker.classify_miss(block), expected);
+            assert_eq!(tracker.classify_miss(block), expected, "case {case}");
             tracker.record_access(block);
             reference.retain(|&b| b != block);
             reference.insert(0, block);
             reference.truncate(capacity);
         }
     }
+}
 
-    #[test]
-    fn auditor_signal_path_matches_offline_histogram(
-        times in times(200, 400_000),
-        delta_t in 500u64..20_000,
-    ) {
+#[test]
+fn auditor_signal_path_matches_offline_histogram() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5A70_0000 + case);
+        let times = times(&mut rng, 200, 400_000);
+        let delta_t = rng.gen_range(500u64..20_000);
         // The hardware Δt/accumulator datapath must agree with the offline
         // DensityHistogram construction. The hardware only finalizes
         // *complete* Δt windows at harvest (a partial window carries into
@@ -212,6 +267,90 @@ proptest! {
         }
         let hw = auditor.harvest_histogram(slot, horizon).unwrap();
         let sw = DensityHistogram::from_train(&train, delta_t, 0, horizon);
-        prop_assert_eq!(hw.bins(), sw.bins());
+        assert_eq!(hw.bins(), sw.bins(), "case {case}");
+    }
+}
+
+#[test]
+fn bin_zero_saturation_never_corrupts_neighboring_bins() {
+    // Paper-strict sizing: 16-bit histogram entries clamp at u16::MAX.
+    // Driving far more empty Δt windows than the entry cap must saturate
+    // bin 0 exactly at the cap while every occupied bin keeps its exact
+    // count — saturation may lose mass, never move it.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD370_0000 + case);
+        let delta_t = 10u64;
+        let horizon = 1_000_000u64; // 100_000 windows >> u16::MAX empties
+        let n_occupied = rng.gen_range(20usize..60);
+        let mut windows: Vec<u64> = (0..n_occupied)
+            .map(|_| rng.gen_range(0..horizon / delta_t))
+            .collect();
+        windows.sort_unstable();
+        windows.dedup();
+        let mut expected = [0u64; HISTOGRAM_BINS];
+        let mut auditor = CcAuditor::new(AuditorConfig::paper_strict());
+        let slot = auditor
+            .program(HardwareUnit::MemoryBus, delta_t, Privilege::Supervisor)
+            .unwrap();
+        for &w in &windows {
+            let density = rng.gen_range(1u64..6);
+            for k in 0..density {
+                auditor.signal(slot, w * delta_t + k, 1).unwrap();
+            }
+            expected[density as usize] += 1;
+        }
+        let h = auditor.harvest_histogram(slot, horizon).unwrap();
+        assert_eq!(
+            h.frequency(0),
+            u64::from(u16::MAX),
+            "case {case}: bin 0 must clamp exactly at the 16-bit cap"
+        );
+        for (bin, &want) in expected.iter().enumerate().skip(1) {
+            assert_eq!(
+                h.frequency(bin),
+                want,
+                "case {case} bin {bin}: saturation of bin 0 leaked into a neighbor"
+            );
+        }
+    }
+}
+
+#[test]
+fn online_detector_survives_any_fault_sequence() {
+    // For any seeded fault-injector sequence over any harvest stream,
+    // push_quantum never panics, the sliding window never exceeds its
+    // capacity, and confidence stays within [0, 1].
+    use cchunter_detector::online::OnlineContentionDetector;
+    use cchunter_detector::{CcHunterConfig, FaultClass, FaultConfig, FaultInjector};
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE470_0000 + case);
+        let mut config = FaultConfig::none();
+        for class in FaultClass::ALL {
+            config.set_rate(class, rng.gen_range(0.0..1.0));
+        }
+        config.jitter_cycles = rng.gen_range(0..5_000);
+        let mut injector = FaultInjector::new(config, 0xFA17 + case);
+        let capacity = rng.gen_range(1usize..16);
+        let quantum = 100_000u64;
+        let hunter = CcHunterConfig {
+            quantum_cycles: quantum,
+            ..CcHunterConfig::default()
+        };
+        let mut daemon = OnlineContentionDetector::new(hunter, capacity).unwrap();
+        for _ in 0..rng.gen_range(1usize..40) {
+            let train = EventTrain::from_times(times(&mut rng, 120, quantum));
+            let histogram = DensityHistogram::from_train(&train, 1_000, 0, quantum);
+            let status = daemon.push_quantum(injector.perturb_harvest(histogram));
+            assert!(status.window_len <= capacity, "case {case}");
+            assert!(
+                status.observed_in_window <= status.window_len,
+                "case {case}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&status.confidence),
+                "case {case}: confidence {} out of range",
+                status.confidence
+            );
+        }
     }
 }

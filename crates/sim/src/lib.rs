@@ -80,7 +80,9 @@ pub use divider::{DivIssue, DividerBank};
 pub use machine::Machine;
 pub use memory::{MemAccess, MemorySystem};
 pub use ops::{MemWidth, Op};
-pub use probe::{ContextId, CoreId, FilteredTrace, ProbeEvent, ProbeSink, ThreadId, VecTrace};
+pub use probe::{
+    ContextId, CoreId, DegradedProbe, FilteredTrace, ProbeEvent, ProbeSink, ThreadId, VecTrace,
+};
 pub use program::{FnProgram, OpScript, Program, ProgramView};
 pub use scheduler::ThreadState;
 pub use stats::MachineStats;

@@ -251,6 +251,8 @@ impl Machine {
             if when > end {
                 break;
             }
+            // Invariant: peek_time() just returned Some, and nothing popped
+            // in between.
             let (t, ev) = self.queue.pop().expect("peeked event");
             self.now = self.now.max(t);
             match ev {
@@ -397,6 +399,8 @@ impl Machine {
                 }
             }
 
+            // Invariant: the dispatch path above either scheduled a thread
+            // onto this context or returned early.
             let tid = self.contexts[idx].current.expect("thread picked");
             let view = ProgramView {
                 now: t,
@@ -633,8 +637,14 @@ mod tests {
         let c0 = m.config().context_id(0, 0);
         let c1 = m.config().context_id(0, 1);
         let trace = m.attach_trace();
-        m.spawn(Box::new(OpScript::new("m0", vec![Op::Mul { count: 50 }])), c0);
-        m.spawn(Box::new(OpScript::new("m1", vec![Op::Mul { count: 50 }])), c1);
+        m.spawn(
+            Box::new(OpScript::new("m0", vec![Op::Mul { count: 50 }])),
+            c0,
+        );
+        m.spawn(
+            Box::new(OpScript::new("m1", vec![Op::Mul { count: 50 }])),
+            c1,
+        );
         m.run_for(100_000);
         assert_eq!(m.stats().multiplications, 100);
         let waits = trace

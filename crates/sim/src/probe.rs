@@ -9,7 +9,11 @@
 
 use crate::cache::CacheLevel;
 use crate::time::Cycle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// Identifier of a physical core.
 pub type CoreId = u8;
@@ -272,6 +276,138 @@ impl<F: Fn(&ProbeEvent) -> bool> ProbeSink for FilteredTrace<F> {
     }
 }
 
+/// A lossy wrapper around another sink that models a degraded harvest path.
+///
+/// Real CC-auditor wiring can lose or delay indicator signals: the event
+/// queue between the hardware unit and the auditor can overflow, and
+/// signal propagation can smear timestamps. `DegradedProbe` reproduces
+/// both effects deterministically from a seed so fault-tolerance tests
+/// are repeatable: each event is independently dropped with probability
+/// `drop_rate`, and surviving events have their cycle stamp jittered
+/// forward by up to `jitter_cycles`.
+///
+/// Jitter is clamped so the per-resource nondecreasing-cycle contract of
+/// [`ProbeSink::on_event`] still holds for the wrapped sink: a jittered
+/// timestamp is never allowed to move behind the last cycle already
+/// forwarded for the same resource class.
+pub struct DegradedProbe {
+    inner: Rc<RefCell<dyn ProbeSink>>,
+    drop_rate: f64,
+    jitter_cycles: u64,
+    rng: SmallRng,
+    dropped: u64,
+    jittered: u64,
+    forwarded: u64,
+    // Last forwarded cycle per resource class (bus, divider, multiplier,
+    // cache, scheduler) — the floor for jittered timestamps.
+    floor: [u64; 5],
+}
+
+impl DegradedProbe {
+    /// Wraps `inner`, dropping each event with probability `drop_rate`
+    /// (clamped to `[0, 1]`) and jittering survivors forward by up to
+    /// `jitter_cycles`. All randomness derives from `seed`.
+    pub fn new(
+        inner: Rc<RefCell<dyn ProbeSink>>,
+        drop_rate: f64,
+        jitter_cycles: u64,
+        seed: u64,
+    ) -> Self {
+        DegradedProbe {
+            inner,
+            drop_rate: drop_rate.clamp(0.0, 1.0),
+            jitter_cycles,
+            rng: SmallRng::seed_from_u64(seed),
+            dropped: 0,
+            jittered: 0,
+            forwarded: 0,
+            floor: [0; 5],
+        }
+    }
+
+    /// Number of events silently dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events whose timestamp was perturbed so far.
+    pub fn jittered(&self) -> u64 {
+        self.jittered
+    }
+
+    /// Number of events forwarded to the wrapped sink so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    fn class(event: &ProbeEvent) -> usize {
+        match event {
+            ProbeEvent::BusLock { .. } | ProbeEvent::BusTransaction { .. } => 0,
+            ProbeEvent::DividerWait { .. } => 1,
+            ProbeEvent::MultiplierWait { .. } => 2,
+            ProbeEvent::CacheAccess { .. } | ProbeEvent::CacheReplacement { .. } => 3,
+            ProbeEvent::ContextSwitch { .. } => 4,
+        }
+    }
+
+    fn restamp(event: &ProbeEvent, cycle: Cycle) -> ProbeEvent {
+        let mut out = *event;
+        match &mut out {
+            ProbeEvent::BusLock { cycle: c, .. }
+            | ProbeEvent::BusTransaction { cycle: c, .. }
+            | ProbeEvent::CacheAccess { cycle: c, .. }
+            | ProbeEvent::CacheReplacement { cycle: c, .. }
+            | ProbeEvent::ContextSwitch { cycle: c, .. } => *c = cycle,
+            ProbeEvent::DividerWait { start, .. } | ProbeEvent::MultiplierWait { start, .. } => {
+                *start = cycle
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DegradedProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DegradedProbe")
+            .field("drop_rate", &self.drop_rate)
+            .field("jitter_cycles", &self.jitter_cycles)
+            .field("dropped", &self.dropped)
+            .field("jittered", &self.jittered)
+            .field("forwarded", &self.forwarded)
+            .finish()
+    }
+}
+
+impl ProbeSink for DegradedProbe {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+            self.dropped += 1;
+            return;
+        }
+        let class = Self::class(event);
+        let mut cycle = event.cycle().as_u64();
+        if self.jitter_cycles > 0 {
+            let shift = self.rng.gen_range(0..=self.jitter_cycles);
+            if shift > 0 {
+                cycle = cycle.saturating_add(shift);
+                self.jittered += 1;
+            }
+        }
+        // Never move behind what the wrapped sink already saw for this
+        // resource: the auditor requires nondecreasing signal times.
+        cycle = cycle.max(self.floor[class]);
+        self.floor[class] = cycle;
+        self.forwarded += 1;
+        if cycle == event.cycle().as_u64() {
+            self.inner.borrow_mut().on_event(event);
+        } else {
+            self.inner
+                .borrow_mut()
+                .on_event(&Self::restamp(event, Cycle::new(cycle)));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +488,69 @@ mod tests {
     #[test]
     fn context_display_is_compact() {
         assert_eq!(ContextId::new(3, 1).to_string(), "c3t1");
+    }
+
+    fn bus_lock_at(cycle: u64) -> ProbeEvent {
+        ProbeEvent::BusLock {
+            cycle: Cycle::new(cycle),
+            ctx: ContextId::new(0, 0),
+            hold: 5,
+        }
+    }
+
+    #[test]
+    fn degraded_probe_is_transparent_at_zero_rates() {
+        let trace = Rc::new(RefCell::new(VecTrace::new()));
+        let mut probe = DegradedProbe::new(trace.clone(), 0.0, 0, 7);
+        for i in 0..16u64 {
+            probe.on_event(&bus_lock_at(i * 10));
+        }
+        assert_eq!(probe.dropped(), 0);
+        assert_eq!(probe.jittered(), 0);
+        assert_eq!(probe.forwarded(), 16);
+        let recorded: Vec<u64> = trace
+            .borrow()
+            .events()
+            .iter()
+            .map(|e| e.cycle().as_u64())
+            .collect();
+        assert_eq!(recorded, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degraded_probe_drops_and_is_deterministic() {
+        let run = |seed| {
+            let trace = Rc::new(RefCell::new(VecTrace::new()));
+            let mut probe = DegradedProbe::new(trace.clone(), 0.5, 0, seed);
+            for i in 0..256u64 {
+                probe.on_event(&bus_lock_at(i * 10));
+            }
+            let kept = trace.borrow().len();
+            (probe.dropped(), kept)
+        };
+        let (dropped, kept) = run(42);
+        assert!(dropped > 0, "a 50% drop rate must lose something");
+        assert_eq!(dropped as usize + kept, 256);
+        assert_eq!(run(42), (dropped, kept), "same seed, same losses");
+    }
+
+    #[test]
+    fn degraded_probe_jitter_preserves_per_resource_order() {
+        let trace = Rc::new(RefCell::new(VecTrace::new()));
+        let mut probe = DegradedProbe::new(trace.clone(), 0.0, 500, 3);
+        for i in 0..128u64 {
+            probe.on_event(&bus_lock_at(i * 10));
+        }
+        assert!(probe.jittered() > 0, "a 500-cycle jitter must fire");
+        let recorded: Vec<u64> = trace
+            .borrow()
+            .events()
+            .iter()
+            .map(|e| e.cycle().as_u64())
+            .collect();
+        assert!(
+            recorded.windows(2).all(|w| w[0] <= w[1]),
+            "jittered bus events must stay nondecreasing: {recorded:?}"
+        );
     }
 }

@@ -1,11 +1,18 @@
 //! Property-based tests for the simulator substrate.
+//!
+//! Hand-rolled deterministic harness (no crates.io access for proptest):
+//! each property runs over `CASES` seeded random inputs and assertion
+//! messages carry the case seed for direct reproduction.
 
 use cchunter_sim::engine::EventQueue;
 use cchunter_sim::{
     Bus, BusConfig, Cache, CacheConfig, ContextId, Cycle, Machine, MachineConfig, Op, OpScript,
 };
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+
+const CASES: u64 = 48;
 
 /// A reference per-set LRU model.
 #[derive(Default)]
@@ -48,11 +55,16 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_lru_model(
-        accesses in prop::collection::vec(0u64..4_096, 1..400),
-    ) {
+fn vec_of(rng: &mut SmallRng, lo: usize, hi: usize, max: u64) -> Vec<u64> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[test]
+fn cache_matches_reference_lru_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x51C0_0000 + case);
+        let accesses = vec_of(&mut rng, 1, 400, 4_096);
         // 4 sets × 2 ways of 64 B lines.
         let config = CacheConfig {
             capacity_bytes: 512,
@@ -67,15 +79,21 @@ proptest! {
             let addr = a * 64;
             let out = cache.access(addr, ctx);
             let (ref_hit, ref_victim) = reference.access(addr);
-            prop_assert_eq!(out.hit, ref_hit, "addr {:#x}", addr);
-            prop_assert_eq!(out.victim.map(|(b, _)| b), ref_victim, "addr {:#x}", addr);
+            assert_eq!(out.hit, ref_hit, "case {case} addr {addr:#x}");
+            assert_eq!(
+                out.victim.map(|(b, _)| b),
+                ref_victim,
+                "case {case} addr {addr:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        accesses in prop::collection::vec(0u64..100_000, 1..300),
-    ) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0CC0_0000 + case);
+        let accesses = vec_of(&mut rng, 1, 300, 100_000);
         let config = CacheConfig {
             capacity_bytes: 2_048,
             line_bytes: 64,
@@ -86,15 +104,19 @@ proptest! {
         let ctx = ContextId::new(1, 1);
         for &a in &accesses {
             cache.access(a * 64, ctx);
-            prop_assert!(cache.occupancy() <= 32);
+            assert!(cache.occupancy() <= 32, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bus_grants_are_serialized_and_monotone(
-        requests in prop::collection::vec((0u64..100_000, any::<bool>()), 1..100),
-    ) {
-        let mut requests = requests;
+#[test]
+fn bus_grants_are_serialized_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB050_0000 + case);
+        let n = rng.gen_range(1usize..100);
+        let mut requests: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..100_000), rng.gen_bool(0.5)))
+            .collect();
         requests.sort_unstable_by_key(|&(t, _)| t);
         let mut bus = Bus::new(BusConfig {
             transaction_cycles: 10,
@@ -108,17 +130,19 @@ proptest! {
             } else {
                 bus.transaction(Cycle::new(t))
             };
-            prop_assert!(grant.start >= Cycle::new(t));
-            prop_assert!(grant.start >= last_release, "grants must not overlap");
-            prop_assert!(grant.release > grant.start);
+            assert!(grant.start >= Cycle::new(t), "case {case}");
+            assert!(grant.start >= last_release, "case {case}: grants overlap");
+            assert!(grant.release > grant.start, "case {case}");
             last_release = grant.release;
         }
     }
+}
 
-    #[test]
-    fn event_queue_pops_in_time_then_fifo_order(
-        events in prop::collection::vec(0u64..1_000, 1..200),
-    ) {
+#[test]
+fn event_queue_pops_in_time_then_fifo_order() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE0E0_0000 + case);
+        let events = vec_of(&mut rng, 1, 200, 1_000);
         let mut q = EventQueue::new();
         for (i, &t) in events.iter().enumerate() {
             q.push(Cycle::new(t), i);
@@ -126,30 +150,37 @@ proptest! {
         let mut last: Option<(Cycle, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt, "case {case}");
                 if t == lt {
-                    prop_assert!(i > li, "same-instant events must pop FIFO");
+                    assert!(i > li, "case {case}: same-instant events must pop FIFO");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    #[test]
-    fn machine_runs_random_scripts_deterministically(
-        ops in prop::collection::vec(0u8..6, 1..60),
-        addr_seed in 0u64..1_000,
-    ) {
+#[test]
+fn machine_runs_random_scripts_deterministically() {
+    for case in 0..12 {
+        let mut rng = SmallRng::seed_from_u64(0xDE70_0000 + case);
+        let n = rng.gen_range(1usize..60);
+        let ops: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..6)).collect();
+        let addr_seed = rng.gen_range(0u64..1_000);
         let build_script = |ops: &[u8]| -> Vec<Op> {
             ops.iter()
                 .enumerate()
                 .map(|(i, &k)| {
                     let addr = (addr_seed + i as u64) * 64;
                     match k {
-                        0 => Op::Compute { cycles: 10 + i as u64 },
+                        0 => Op::Compute {
+                            cycles: 10 + i as u64,
+                        },
                         1 => Op::Load { addr },
                         2 => Op::Store { addr },
-                        3 => Op::Div { count: 1 + (i % 3) as u32 },
+                        3 => Op::Div {
+                            count: 1 + (i % 3) as u32,
+                        },
                         4 => Op::Idle { cycles: 100 },
                         _ => Op::AtomicUnaligned { addr },
                     }
@@ -174,25 +205,31 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
         // Every scripted op commits (plus the final Halt).
-        prop_assert_eq!(a.1.committed_ops, ops.len() as u64 + 1);
+        assert_eq!(a.1.committed_ops, ops.len() as u64 + 1, "case {case}");
     }
+}
 
-    #[test]
-    fn simulated_time_never_runs_backwards(
-        ops in prop::collection::vec(0u8..6, 1..40),
-    ) {
-        let script: Vec<Op> = ops
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| match k {
-                0 => Op::Compute { cycles: 1 + i as u64 },
-                1 => Op::Load { addr: i as u64 * 64 },
+#[test]
+fn simulated_time_never_runs_backwards() {
+    for case in 0..12 {
+        let mut rng = SmallRng::seed_from_u64(0x71FE_0000 + case);
+        let n = rng.gen_range(1usize..40);
+        let script: Vec<Op> = (0..n)
+            .map(|i| match rng.gen_range(0u8..6) {
+                0 => Op::Compute {
+                    cycles: 1 + i as u64,
+                },
+                1 => Op::Load {
+                    addr: i as u64 * 64,
+                },
                 2 => Op::Div { count: 2 },
                 3 => Op::Idle { cycles: 50 },
                 4 => Op::Yield,
-                _ => Op::AtomicUnaligned { addr: i as u64 * 128 },
+                _ => Op::AtomicUnaligned {
+                    addr: i as u64 * 128,
+                },
             })
             .collect();
         let mut m = Machine::new(
@@ -214,7 +251,7 @@ proptest! {
             // within one op's span.
             let ordered = pair[1].cycle() >= pair[0].cycle()
                 || pair[0].cycle().saturating_since(pair[1].cycle()) < 10_000;
-            prop_assert!(ordered);
+            assert!(ordered, "case {case}");
         }
     }
 }

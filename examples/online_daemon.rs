@@ -49,19 +49,19 @@ fn main() {
     };
     // A short sliding window so the alarm clears quickly after the channel
     // stops (production would use up to 512 quanta).
-    let mut daemon = OnlineContentionDetector::new(hunter_config, 4);
+    let mut daemon = OnlineContentionDetector::new(hunter_config, 4).expect("nonzero window");
 
     let runner = QuantumRunner::new(quantum);
     let mut alarm_history = Vec::new();
-    println!("quantum | bursty | LR    | daemon");
+    println!("quantum | bursty | LR    | conf | daemon");
     for q in 0..18 {
         let data = runner.run(&mut machine, &mut session, 1);
         let histogram = data.bus_histograms.into_iter().next().expect("one quantum");
         let status = daemon.push_quantum(histogram);
         let burst = status.quantum_burst.expect("contention path");
         println!(
-            "{q:>7} | {:>6} | {:>5.3} | {}",
-            burst.significant, burst.likelihood_ratio, status.verdict
+            "{q:>7} | {:>6} | {:>5.3} | {:>4.2} | {}",
+            burst.significant, burst.likelihood_ratio, status.confidence, status.verdict
         );
         alarm_history.push(status.verdict);
     }

@@ -9,6 +9,7 @@ use cchunter_detector::conflict::{
     ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier,
 };
 use cchunter_detector::density::DensityHistogram;
+use cchunter_detector::{DetectorError, FaultInjector, Harvest};
 use cchunter_sim::{CacheLevel, Machine, ProbeEvent, ProbeSink};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,6 +53,9 @@ impl Inner {
         match *event {
             ProbeEvent::BusLock { cycle, .. } => {
                 if let Some(slot) = self.bus_slot {
+                    // Invariant: bus_slot is only Some after a successful
+                    // program(), and probe events arrive in nondecreasing
+                    // cycle order, so signal() cannot fail here.
                     self.auditor
                         .signal(slot, cycle.as_u64(), 1)
                         .expect("bus slot accepts signals");
@@ -66,6 +70,8 @@ impl Inner {
                 if let Some((slot, core)) = self.divider_slot {
                     if waiter.core() == core {
                         let weight = cycles.min(u32::MAX as u64) as u32;
+                        // Invariant: slot was programmed and event times are
+                        // nondecreasing per resource; signal() cannot fail.
                         self.auditor
                             .signal(slot, start.as_u64(), weight)
                             .expect("divider slot accepts signals");
@@ -81,6 +87,8 @@ impl Inner {
                 if let Some((slot, core)) = self.multiplier_slot {
                     if waiter.core() == core {
                         let weight = cycles.min(u32::MAX as u64) as u32;
+                        // Invariant: slot was programmed and event times are
+                        // nondecreasing per resource; signal() cannot fail.
                         self.auditor
                             .signal(slot, start.as_u64(), weight)
                             .expect("multiplier slot accepts signals");
@@ -130,6 +138,9 @@ impl Inner {
                                 let smt = self.smt_per_core;
                                 let replacer = self.principals[replacer.index(smt) as usize];
                                 let victim = self.principals[victim_owner.index(smt) as usize];
+                                // Invariant: cache.slot was programmed as a
+                                // SharedCache unit, so record_conflict()
+                                // cannot fail.
                                 self.auditor
                                     .record_conflict(cache.slot, cycle.as_u64(), replacer, victim)
                                     .expect("cache slot accepts conflicts");
@@ -281,57 +292,107 @@ impl AuditSession {
     /// Harvests the bus histogram buffer, finalizing windows through
     /// `until`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bus is not under audit.
-    pub fn harvest_bus_histogram(&self, until: u64) -> DensityHistogram {
+    /// Returns [`DetectorError::NotAudited`] if the bus is not under audit.
+    pub fn harvest_bus_histogram(&self, until: u64) -> Result<DensityHistogram, DetectorError> {
         let mut inner = self.inner.borrow_mut();
-        let slot = inner.bus_slot.expect("bus not under audit");
-        inner
-            .auditor
-            .harvest_histogram(slot, until)
-            .expect("bus histogram harvest")
+        let slot = inner
+            .bus_slot
+            .ok_or(DetectorError::NotAudited { unit: "memory-bus" })?;
+        Ok(inner.auditor.harvest_histogram(slot, until)?)
+    }
+
+    /// Harvests the bus as a [`Harvest`], carrying the auditor's own
+    /// saturation-based degradation estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::NotAudited`] if the bus is not under audit.
+    pub fn harvest_bus(&self, until: u64) -> Result<Harvest, DetectorError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner
+            .bus_slot
+            .ok_or(DetectorError::NotAudited { unit: "memory-bus" })?;
+        Ok(inner.auditor.harvest(slot, until)?)
     }
 
     /// Harvests the divider histogram buffer, finalizing windows through
     /// `until`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no divider is under audit.
-    pub fn harvest_divider_histogram(&self, until: u64) -> DensityHistogram {
+    /// Returns [`DetectorError::NotAudited`] if no divider is under audit.
+    pub fn harvest_divider_histogram(&self, until: u64) -> Result<DensityHistogram, DetectorError> {
         let mut inner = self.inner.borrow_mut();
-        let (slot, _) = inner.divider_slot.expect("divider not under audit");
-        inner
-            .auditor
-            .harvest_histogram(slot, until)
-            .expect("divider histogram harvest")
+        let (slot, _) = inner.divider_slot.ok_or(DetectorError::NotAudited {
+            unit: "integer-divider",
+        })?;
+        Ok(inner.auditor.harvest_histogram(slot, until)?)
+    }
+
+    /// Harvests the divider as a [`Harvest`], carrying the auditor's own
+    /// saturation-based degradation estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::NotAudited`] if no divider is under audit.
+    pub fn harvest_divider(&self, until: u64) -> Result<Harvest, DetectorError> {
+        let mut inner = self.inner.borrow_mut();
+        let (slot, _) = inner.divider_slot.ok_or(DetectorError::NotAudited {
+            unit: "integer-divider",
+        })?;
+        Ok(inner.auditor.harvest(slot, until)?)
     }
 
     /// Harvests the multiplier histogram buffer, finalizing windows through
     /// `until`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no multiplier is under audit.
-    pub fn harvest_multiplier_histogram(&self, until: u64) -> DensityHistogram {
+    /// Returns [`DetectorError::NotAudited`] if no multiplier is under
+    /// audit.
+    pub fn harvest_multiplier_histogram(
+        &self,
+        until: u64,
+    ) -> Result<DensityHistogram, DetectorError> {
         let mut inner = self.inner.borrow_mut();
-        let (slot, _) = inner.multiplier_slot.expect("multiplier not under audit");
-        inner
-            .auditor
-            .harvest_histogram(slot, until)
-            .expect("multiplier histogram harvest")
+        let (slot, _) = inner.multiplier_slot.ok_or(DetectorError::NotAudited {
+            unit: "integer-multiplier",
+        })?;
+        Ok(inner.auditor.harvest_histogram(slot, until)?)
+    }
+
+    /// Harvests the multiplier as a [`Harvest`], carrying the auditor's own
+    /// saturation-based degradation estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::NotAudited`] if no multiplier is under
+    /// audit.
+    pub fn harvest_multiplier(&self, until: u64) -> Result<Harvest, DetectorError> {
+        let mut inner = self.inner.borrow_mut();
+        let (slot, _) = inner.multiplier_slot.ok_or(DetectorError::NotAudited {
+            unit: "integer-multiplier",
+        })?;
+        Ok(inner.auditor.harvest(slot, until)?)
     }
 
     /// Drains all recorded conflict-miss records.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no cache is under audit.
-    pub fn drain_conflicts(&self) -> Vec<ConflictRecord> {
+    /// Returns [`DetectorError::NotAudited`] if no cache is under audit.
+    pub fn drain_conflicts(&self) -> Result<Vec<ConflictRecord>, DetectorError> {
         let mut inner = self.inner.borrow_mut();
-        let slot = inner.cache.as_ref().expect("cache not under audit").slot;
-        inner.auditor.drain_conflicts(slot).expect("conflict drain")
+        let slot = inner
+            .cache
+            .as_ref()
+            .ok_or(DetectorError::NotAudited {
+                unit: "shared-cache",
+            })?
+            .slot;
+        Ok(inner.auditor.drain_conflicts(slot)?)
     }
 
     /// Updates the stable principal id attributed to a hardware context.
@@ -340,12 +401,20 @@ impl AuditSession {
     /// (paper §V-A: "we can identify trojan/spy pairs correctly despite
     /// their migration").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ctx_index` is not a valid 3-bit context index.
-    pub fn set_principal(&self, ctx_index: u8, principal: u8) {
+    /// Returns [`DetectorError::InvalidConfig`] if `ctx_index` is not a
+    /// valid 3-bit context index.
+    pub fn set_principal(&self, ctx_index: u8, principal: u8) -> Result<(), DetectorError> {
         let mut inner = self.inner.borrow_mut();
-        inner.principals[ctx_index as usize] = principal;
+        let slot = inner
+            .principals
+            .get_mut(ctx_index as usize)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("context index {ctx_index} exceeds the 3-bit context space"),
+            })?;
+        *slot = principal;
+        Ok(())
     }
 
     /// `(conflict misses, total misses)` seen by the cache audit so far.
@@ -420,25 +489,120 @@ impl QuantumRunner {
         for q in 0..quanta {
             let boundary = start + (q as u64 + 1) * self.quantum_cycles;
             machine.run_until(boundary.into());
+            // Invariant: each harvest below is gated on the matching slot
+            // being programmed, so NotAudited cannot occur.
             if has_bus {
-                data.bus_histograms
-                    .push(session.harvest_bus_histogram(boundary));
+                data.bus_histograms.push(
+                    session
+                        .harvest_bus_histogram(boundary)
+                        .expect("bus slot is programmed"),
+                );
             }
             if has_div {
-                data.divider_histograms
-                    .push(session.harvest_divider_histogram(boundary));
+                data.divider_histograms.push(
+                    session
+                        .harvest_divider_histogram(boundary)
+                        .expect("divider slot is programmed"),
+                );
             }
             if has_mul {
-                data.multiplier_histograms
-                    .push(session.harvest_multiplier_histogram(boundary));
+                data.multiplier_histograms.push(
+                    session
+                        .harvest_multiplier_histogram(boundary)
+                        .expect("multiplier slot is programmed"),
+                );
             }
             if has_cache {
-                data.conflicts.extend(session.drain_conflicts());
+                data.conflicts
+                    .extend(session.drain_conflicts().expect("cache slot is programmed"));
             }
         }
         data.end = machine.now().as_u64();
         data
     }
+
+    /// Runs `quanta` OS time quanta like [`QuantumRunner::run`], but routes
+    /// every harvest through a [`FaultInjector`] that models a degraded
+    /// collection path. The result carries [`Harvest`] values (which may be
+    /// `Partial` or `Missed`) instead of bare histograms, and per-quantum
+    /// conflict batches annotated with their estimated lost fraction —
+    /// ready to feed the gap-aware online detectors.
+    pub fn run_with_injector(
+        &self,
+        machine: &mut Machine,
+        session: &mut AuditSession,
+        quanta: usize,
+        injector: &mut FaultInjector,
+    ) -> DegradedAuditData {
+        let start = machine.now().as_u64();
+        let mut data = DegradedAuditData {
+            start,
+            ..DegradedAuditData::default()
+        };
+        let (has_bus, has_div, has_mul, has_cache) = {
+            let inner = session.inner.borrow();
+            (
+                inner.bus_slot.is_some(),
+                inner.divider_slot.is_some(),
+                inner.multiplier_slot.is_some(),
+                inner.cache.is_some(),
+            )
+        };
+        for q in 0..quanta {
+            let boundary = start + (q as u64 + 1) * self.quantum_cycles;
+            machine.run_until(boundary.into());
+            // Invariant: each harvest below is gated on the matching slot
+            // being programmed, so NotAudited cannot occur.
+            if has_bus {
+                let histogram = session
+                    .harvest_bus_histogram(boundary)
+                    .expect("bus slot is programmed");
+                data.bus_harvests.push(injector.perturb_harvest(histogram));
+            }
+            if has_div {
+                let histogram = session
+                    .harvest_divider_histogram(boundary)
+                    .expect("divider slot is programmed");
+                data.divider_harvests
+                    .push(injector.perturb_harvest(histogram));
+            }
+            if has_mul {
+                let histogram = session
+                    .harvest_multiplier_histogram(boundary)
+                    .expect("multiplier slot is programmed");
+                data.multiplier_harvests
+                    .push(injector.perturb_harvest(histogram));
+            }
+            if has_cache {
+                let records = session.drain_conflicts().expect("cache slot is programmed");
+                data.conflicts.push(injector.perturb_conflicts(records));
+            }
+        }
+        data.end = machine.now().as_u64();
+        data
+    }
+}
+
+/// Data harvested over an audited run through a [`FaultInjector`].
+///
+/// Unlike [`AuditData`], per-quantum results are [`Harvest`] values: a
+/// quantum whose histogram was dropped appears as [`Harvest::Missed`], and
+/// a damaged one as [`Harvest::Partial`] with its estimated lost fraction.
+#[derive(Debug, Default)]
+pub struct DegradedAuditData {
+    /// Per-quantum bus-lock harvests (empty when the bus was not audited).
+    pub bus_harvests: Vec<Harvest>,
+    /// Per-quantum divider-wait harvests.
+    pub divider_harvests: Vec<Harvest>,
+    /// Per-quantum multiplier-wait harvests.
+    pub multiplier_harvests: Vec<Harvest>,
+    /// Per-quantum conflict-record batches with their estimated lost
+    /// fraction after fault injection.
+    pub conflicts: Vec<(Vec<ConflictRecord>, f64)>,
+    /// First cycle of the run.
+    pub start: u64,
+    /// First cycle after the run.
+    pub end: u64,
 }
 
 #[cfg(test)]
@@ -549,6 +713,73 @@ mod tests {
             .audit_cache(0, 4096, TrackerKind::Practical)
             .unwrap_err();
         assert_eq!(err, AuditorError::SlotsExhausted);
+    }
+
+    #[test]
+    fn harvest_without_audit_is_typed_error() {
+        let session = AuditSession::new();
+        assert!(matches!(
+            session.harvest_bus_histogram(1_000),
+            Err(DetectorError::NotAudited { unit: "memory-bus" })
+        ));
+        assert!(matches!(
+            session.harvest_divider(1_000),
+            Err(DetectorError::NotAudited {
+                unit: "integer-divider"
+            })
+        ));
+        assert!(matches!(
+            session.drain_conflicts(),
+            Err(DetectorError::NotAudited {
+                unit: "shared-cache"
+            })
+        ));
+    }
+
+    #[test]
+    fn set_principal_rejects_out_of_range_context() {
+        let session = AuditSession::new();
+        session.set_principal(7, 3).unwrap();
+        assert!(matches!(
+            session.set_principal(8, 0),
+            Err(DetectorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn injector_runner_yields_complete_harvests_when_fault_free() {
+        use cchunter_detector::FaultConfig;
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session.audit_bus(1_000).unwrap();
+        session.attach(&mut m);
+        let mut injector = FaultInjector::new(FaultConfig::none(), 1);
+        let data =
+            QuantumRunner::new(50_000).run_with_injector(&mut m, &mut session, 4, &mut injector);
+        assert_eq!(data.bus_harvests.len(), 4);
+        assert!(data
+            .bus_harvests
+            .iter()
+            .all(|h| matches!(h, Harvest::Complete(_))));
+        assert_eq!(data.end - data.start, 200_000);
+    }
+
+    #[test]
+    fn injector_runner_drops_quanta_at_full_drop_rate() {
+        use cchunter_detector::{FaultClass, FaultConfig};
+        let mut m = machine();
+        let mut session = AuditSession::new();
+        session.audit_bus(1_000).unwrap();
+        session.attach(&mut m);
+        let config = FaultConfig::none().with_rate(FaultClass::DroppedQuantum, 1.0);
+        let mut injector = FaultInjector::new(config, 1);
+        let data =
+            QuantumRunner::new(50_000).run_with_injector(&mut m, &mut session, 4, &mut injector);
+        assert!(data
+            .bus_harvests
+            .iter()
+            .all(|h| matches!(h, Harvest::Missed)));
+        assert_eq!(injector.injected(FaultClass::DroppedQuantum), 4);
     }
 
     #[test]

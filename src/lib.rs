@@ -70,3 +70,5 @@ pub use cchunter_sim as sim;
 pub use cchunter_workloads as workloads;
 
 pub mod audit;
+
+pub use cchunter_detector::{DetectorError, FaultClass, FaultConfig, FaultInjector, Harvest};

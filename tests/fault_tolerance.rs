@@ -1,0 +1,221 @@
+//! Fault-injection robustness: the online daemon must degrade gracefully —
+//! never panic, and never report a spurious full-confidence `Clean` — when
+//! the harvest path between the CC-auditor and the daemon is damaged.
+//!
+//! The bus covert channel from the noise-robustness suite is harvested once
+//! cleanly, then replayed through a [`FaultInjector`] for every fault class.
+
+mod common;
+
+use cc_hunter::channels::Message;
+use cc_hunter::detector::auditor::ConflictRecord;
+use cc_hunter::detector::density::DensityHistogram;
+use cc_hunter::detector::online::{OnlineContentionDetector, OnlineOscillationDetector};
+use cc_hunter::detector::{CcHunterConfig, DeltaTPolicy, Verdict};
+use cc_hunter::{FaultClass, FaultConfig, FaultInjector, Harvest};
+use common::QUANTUM;
+use std::sync::OnceLock;
+
+/// One clean 8-quantum bus-channel harvest, shared by every test in this
+/// binary (the simulation is the expensive part; injection is cheap).
+fn clean_bus_histograms() -> &'static [DensityHistogram] {
+    static HISTOGRAMS: OnceLock<Vec<DensityHistogram>> = OnceLock::new();
+    HISTOGRAMS.get_or_init(|| {
+        let run = common::run_bus_channel(Message::alternating(64), 250_000, 8);
+        run.data.bus_histograms
+    })
+}
+
+fn hunter_config() -> CcHunterConfig {
+    CcHunterConfig {
+        quantum_cycles: QUANTUM,
+        delta_t: DeltaTPolicy::Fixed(100_000),
+        ..CcHunterConfig::default()
+    }
+}
+
+/// Pushes `rounds` cycles of the clean harvest stream through a fresh
+/// daemon behind `injector`, asserting graceful degradation on every
+/// status. Returns the final status.
+fn replay_through_injector(
+    injector: &mut FaultInjector,
+    rounds: usize,
+) -> cc_hunter::detector::online::OnlineStatus {
+    let histograms = clean_bus_histograms();
+    let mut daemon = OnlineContentionDetector::new(hunter_config(), 8).expect("nonzero window");
+    let mut weights: Vec<f64> = Vec::new();
+    let mut last = None;
+    for _ in 0..rounds {
+        for histogram in histograms {
+            let harvest = injector.perturb_harvest(histogram.clone());
+            weights.push(harvest.observed_weight());
+            let status = daemon.push_quantum(harvest);
+            assert!(status.window_len <= 8);
+            assert!(status.observed_in_window <= status.window_len);
+            assert!((0.0..=1.0).contains(&status.confidence));
+            // The core guarantee: confidence tracks the observed fraction
+            // of the window exactly, so faults can never hide behind a
+            // full-confidence verdict — Clean *or* Covert.
+            let window: &[f64] = &weights[weights.len().saturating_sub(8)..];
+            let expected = window.iter().sum::<f64>() / window.len() as f64;
+            assert!(
+                (status.confidence - expected).abs() < 1e-9,
+                "confidence {} must equal the observed window fraction {expected}: {status:?}",
+                status.confidence
+            );
+            last = Some(status);
+        }
+    }
+    last.expect("at least one quantum pushed")
+}
+
+#[test]
+fn histogram_fault_classes_degrade_gracefully() {
+    // Quantum-scoped classes: these damage the histogram read-out itself.
+    let classes = [
+        FaultClass::DroppedQuantum,
+        FaultClass::TruncatedHistogram,
+        FaultClass::AccumulatorSaturation,
+        FaultClass::ClockJitter,
+    ];
+    for class in classes {
+        let mut injector = FaultInjector::new(FaultConfig::only(class), 0xFA01);
+        let status = replay_through_injector(&mut injector, 3);
+        assert!(
+            injector.injected(class) > 0,
+            "{class}: the default rate must fire over 24 quanta"
+        );
+        // The channel keeps transmitting the whole time; at default
+        // (moderate) fault rates the verdict survives the damage.
+        assert!(
+            status.verdict.is_covert(),
+            "{class}: default-rate faults must not erase an active channel: {status:?}"
+        );
+    }
+}
+
+#[test]
+fn conflict_fault_classes_degrade_gracefully() {
+    // Record-scoped classes: these damage drained conflict records, feeding
+    // the oscillation path. Synthesize a strongly oscillatory record train
+    // (trojan context 0 and spy context 1 evicting each other in strict
+    // alternation).
+    let records_for_quantum = |q: u64| -> Vec<ConflictRecord> {
+        (0..128u64)
+            .map(|i| {
+                let (replacer, victim) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                ConflictRecord {
+                    cycle: q * QUANTUM + i * 10_000,
+                    replacer,
+                    victim,
+                }
+            })
+            .collect()
+    };
+    let classes = [
+        FaultClass::OutOfOrderConflicts,
+        FaultClass::DuplicatedConflicts,
+        FaultClass::BloomAliasing,
+    ];
+    for class in classes {
+        let mut injector = FaultInjector::new(FaultConfig::only(class), 0xFA02);
+        let mut daemon = OnlineOscillationDetector::new(hunter_config(), 8).expect("window");
+        let mut saw_damage = false;
+        for q in 0..24u64 {
+            let (records, lost_fraction) = injector.perturb_conflicts(records_for_quantum(q));
+            assert!((0.0..=1.0).contains(&lost_fraction), "{class}");
+            saw_damage |= lost_fraction > 0.0;
+            let status = daemon.push_quantum_degraded(&records, lost_fraction);
+            assert!(status.window_len <= 8, "{class}");
+            assert!((0.0..=1.0).contains(&status.confidence), "{class}");
+            // A damaged batch must surface as reduced confidence, never as
+            // a full-confidence verdict.
+            if lost_fraction > 0.0 {
+                assert!(
+                    status.is_degraded(),
+                    "{class}: damage must show in confidence: {status:?}"
+                );
+            }
+        }
+        assert!(injector.injected(class) > 0, "{class} must fire");
+        assert!(saw_damage, "{class} must report a nonzero lost fraction");
+    }
+}
+
+#[test]
+fn detection_survives_twenty_percent_dropped_quanta() {
+    let config = FaultConfig::none().with_rate(FaultClass::DroppedQuantum, 0.2);
+    let mut injector = FaultInjector::new(config, 0xFA03);
+    let status = replay_through_injector(&mut injector, 3);
+    assert!(injector.injected(FaultClass::DroppedQuantum) > 0);
+    assert!(
+        status.verdict.is_covert(),
+        "20% quantum loss must not blind the detector: {status:?}"
+    );
+    assert!(
+        status.confidence >= 0.5,
+        "most of the window is still observed: {status:?}"
+    );
+}
+
+#[test]
+fn heavy_quantum_loss_degrades_to_low_confidence_not_false_clean() {
+    let config = FaultConfig::none().with_rate(FaultClass::DroppedQuantum, 0.9);
+    let mut injector = FaultInjector::new(config, 0xFA04);
+    let status = replay_through_injector(&mut injector, 3);
+    assert!(
+        status.confidence < 0.5,
+        "a 90% loss rate must show up as low confidence: {status:?}"
+    );
+    assert!(
+        status.is_degraded(),
+        "whatever the verdict, it must be flagged degraded: {status:?}"
+    );
+}
+
+#[test]
+fn checkpoint_restore_reproduces_verdict_sequence() {
+    // Degrade the stream (same seed twice → identical fault sequence), then
+    // compare an uninterrupted daemon against one checkpointed and restored
+    // at the halfway point: the verdict/confidence sequence must match.
+    let perturbed: Vec<Harvest> = {
+        let mut injector = FaultInjector::new(FaultConfig::default(), 0xFA05);
+        clean_bus_histograms()
+            .iter()
+            .map(|h| injector.perturb_harvest(h.clone()))
+            .collect()
+    };
+
+    let mut uninterrupted =
+        OnlineContentionDetector::new(hunter_config(), 8).expect("nonzero window");
+    let reference: Vec<(Verdict, f64, usize)> = perturbed
+        .iter()
+        .map(|h| {
+            let s = uninterrupted.push_quantum(h.clone());
+            (s.verdict, s.confidence, s.window_len)
+        })
+        .collect();
+
+    let mut first_half = OnlineContentionDetector::new(hunter_config(), 8).expect("window");
+    for h in &perturbed[..4] {
+        first_half.push_quantum(h.clone());
+    }
+    let mut snapshot = Vec::new();
+    first_half.checkpoint(&mut snapshot).expect("checkpoint");
+    drop(first_half); // the daemon restarts here
+
+    let mut resumed =
+        OnlineContentionDetector::restore(hunter_config(), &snapshot[..]).expect("restore");
+    let resumed_tail: Vec<(Verdict, f64, usize)> = perturbed[4..]
+        .iter()
+        .map(|h| {
+            let s = resumed.push_quantum(h.clone());
+            (s.verdict, s.confidence, s.window_len)
+        })
+        .collect();
+    assert_eq!(
+        resumed_tail,
+        reference[4..],
+        "a restored daemon must continue exactly where the original would have been"
+    );
+}

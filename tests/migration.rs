@@ -57,8 +57,8 @@ fn cache_channel_survives_smt_slot_swap() {
     assert_eq!(machine.thread_context(trojan_tid).smt(), 1);
     // The daemon re-labels the hardware contexts with stable principals:
     // slot 0 now carries the spy (principal 1), slot 1 the trojan (0).
-    session.set_principal(0, 1);
-    session.set_principal(1, 0);
+    session.set_principal(0, 1).expect("valid context");
+    session.set_principal(1, 0).expect("valid context");
 
     let second = runner.run(&mut machine, &mut session, 9);
 

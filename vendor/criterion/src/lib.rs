@@ -1,0 +1,100 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of criterion's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! wall-clock median over a fixed number of batches — good enough for
+//! relative before/after comparisons, with no statistics machinery.
+
+#![allow(clippy::all)] // vendored shim: mirrors the upstream API, not our style
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median per-iteration time of the fastest batch, filled by `iter`.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count until one batch
+    /// takes long enough to measure.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and find a batch size taking ≥ ~20 ms.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || batch >= 1 << 30 {
+                break elapsed / batch as u32;
+            }
+            batch *= 8;
+        };
+        // Re-measure a few batches and keep the best (least-noise) one.
+        let mut best = per_iter;
+        for _ in 0..4 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let t = start.elapsed() / batch as u32;
+            if t < best {
+                best = t;
+            }
+        }
+        self.result = Some(best);
+    }
+}
+
+/// Bench registry and runner (stand-in for criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(t) => println!("{name:<48} {:>12.3?} /iter", t),
+            None => println!("{name:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for criterion's macro;
+/// configuration arguments are not supported and not used in this repo).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
