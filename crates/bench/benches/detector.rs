@@ -1,112 +1,9 @@
-//! Criterion benchmarks for the detector hot paths.
+//! Criterion benchmarks for the detector hot paths. The benchmark bodies
+//! live in [`cchunter_bench::suites`] so the bench-runner binary can run
+//! the same suite and serialize the results.
 
-use cchunter_bench::{bursty_train, covert_histogram, quantum_conflicts, random_blocks};
-use cchunter_detector::autocorr::Autocorrelogram;
-use cchunter_detector::burst::BurstDetector;
-use cchunter_detector::cluster::{discretize, kmeans};
-use cchunter_detector::conflict::{GenerationTracker, IdealLruTracker, MissClassifier};
-use cchunter_detector::density::DensityHistogram;
-use cchunter_detector::pipeline::symbol_series;
-use cchunter_detector::BloomFilter;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cchunter_bench::suites::detector_suite;
+use criterion::{criterion_group, criterion_main};
 
-fn bench_autocorrelation(c: &mut Criterion) {
-    let records = quantum_conflicts(10, 256);
-    let series = symbol_series(&records, 0, u64::MAX);
-    let samples = series.as_f64();
-    c.bench_function("autocorrelogram_5120_events_1000_lags", |b| {
-        b.iter(|| Autocorrelogram::compute(black_box(&samples), 1000))
-    });
-}
-
-fn bench_density(c: &mut Criterion) {
-    let train = bursty_train(100, 25, 100_000);
-    c.bench_function("density_histogram_2500_events", |b| {
-        b.iter(|| DensityHistogram::from_train(black_box(&train), 100_000, 0, 10_000_000))
-    });
-}
-
-fn bench_burst(c: &mut Criterion) {
-    let histogram = covert_histogram(20, 2_500);
-    let detector = BurstDetector::default();
-    c.bench_function("burst_analyze", |b| {
-        b.iter(|| detector.analyze(black_box(&histogram)))
-    });
-}
-
-fn bench_clustering(c: &mut Criterion) {
-    // 512 quanta of discretized histograms: the paper's clustering window.
-    let features: Vec<Vec<f64>> = (0..512)
-        .map(|i| {
-            let h = covert_histogram(18 + (i % 5), 2_500);
-            discretize(&h).into_iter().map(f64::from).collect()
-        })
-        .collect();
-    c.bench_function("kmeans_512_quanta_window", |b| {
-        b.iter(|| kmeans(black_box(&features), 3, 42, 50))
-    });
-}
-
-fn bench_bloom(c: &mut Criterion) {
-    let blocks = random_blocks(4_096, 4_096, 7);
-    c.bench_function("bloom_insert_4096", |b| {
-        b.iter(|| {
-            let mut f = BloomFilter::new(4_096, 3);
-            for &k in &blocks {
-                f.insert(k);
-            }
-            f
-        })
-    });
-    let mut filter = BloomFilter::new(4_096, 3);
-    for &k in &blocks[..1024] {
-        filter.insert(k);
-    }
-    c.bench_function("bloom_query", |b| {
-        b.iter(|| {
-            blocks
-                .iter()
-                .filter(|&&k| filter.contains(black_box(k)))
-                .count()
-        })
-    });
-}
-
-fn bench_trackers(c: &mut Criterion) {
-    let accesses = random_blocks(100_000, 8_192, 11);
-    c.bench_function("generation_tracker_100k_accesses", |b| {
-        b.iter(|| {
-            let mut t = GenerationTracker::for_cache(4_096);
-            for &block in &accesses {
-                if t.classify_miss(block).is_conflict() {
-                    black_box(());
-                }
-                t.record_access(block);
-            }
-            t
-        })
-    });
-    c.bench_function("ideal_lru_tracker_100k_accesses", |b| {
-        b.iter(|| {
-            let mut t = IdealLruTracker::new(4_096);
-            for &block in &accesses {
-                if t.classify_miss(block).is_conflict() {
-                    black_box(());
-                }
-                t.record_access(block);
-            }
-            t
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_autocorrelation,
-    bench_density,
-    bench_burst,
-    bench_clustering,
-    bench_bloom,
-    bench_trackers
-);
+criterion_group!(benches, detector_suite);
 criterion_main!(benches);

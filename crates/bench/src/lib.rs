@@ -1,4 +1,8 @@
-//! Shared input generators for the CC-Hunter benchmarks.
+//! Shared input generators for the CC-Hunter benchmarks, plus the
+//! [`suites`] module holding the benchmark bodies shared by the `cargo
+//! bench` harnesses and the bench-runner binary.
+
+pub mod suites;
 
 use cchunter_detector::auditor::ConflictRecord;
 use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};

@@ -1,0 +1,42 @@
+//! Bench runner: `cargo run -p cchunter-bench --release` runs the detector
+//! suite through the criterion shim and writes `BENCH_detector.json` at the
+//! repository root — a flat map of bench name → ns/op plus the host core
+//! count (parallel speedups are only meaningful relative to it).
+//!
+//! Set `CCHUNTER_BENCH_QUICK=1` for a fast low-precision smoke run (used by
+//! CI); the `quick` field in the output records which mode produced it.
+
+use cchunter_bench::suites::detector_suite;
+use criterion::Criterion;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let mut c = Criterion::default();
+    detector_suite(&mut c);
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let quick = criterion::quick_mode();
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"host_cores\": {host_cores},").expect("string write");
+    writeln!(json, "  \"quick\": {quick},").expect("string write");
+    json.push_str("  \"benches_ns_per_op\": {\n");
+    let results = c.results();
+    for (i, (name, t)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(json, "    \"{name}\": {}{comma}", t.as_nanos()).expect("string write");
+    }
+    json.push_str("  }\n}\n");
+
+    let out = repo_root().join("BENCH_detector.json");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("\nwrote {}", out.display());
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.join("../..").canonicalize().unwrap_or(manifest)
+}

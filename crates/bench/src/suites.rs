@@ -1,0 +1,168 @@
+//! The detector benchmark suite, callable both from the `cargo bench`
+//! harness (`benches/detector.rs`) and from the bench-runner binary
+//! (`cargo run -p cchunter-bench --release`), which serializes the results
+//! to `BENCH_detector.json`.
+
+use crate::{bursty_train, covert_histogram, quantum_conflicts, random_blocks};
+use cchunter_detector::autocorr::Autocorrelogram;
+use cchunter_detector::burst::BurstDetector;
+use cchunter_detector::cluster::{discretize, kmeans};
+use cchunter_detector::conflict::{GenerationTracker, IdealLruTracker, MissClassifier};
+use cchunter_detector::density::DensityHistogram;
+use cchunter_detector::online::{Harvest, OnlineContentionDetector};
+use cchunter_detector::pipeline::symbol_series;
+use cchunter_detector::{BloomFilter, CcHunter, CcHunterConfig, PairAudit, PairEvidence};
+use criterion::{black_box, Criterion};
+
+/// Runs every detector benchmark against `c`.
+pub fn detector_suite(c: &mut Criterion) {
+    bench_autocorrelation(c);
+    bench_density(c);
+    bench_burst(c);
+    bench_clustering(c);
+    bench_online_push(c);
+    bench_audit_pairs(c);
+    bench_bloom(c);
+    bench_trackers(c);
+}
+
+fn bench_autocorrelation(c: &mut Criterion) {
+    let records = quantum_conflicts(10, 256);
+    let series = symbol_series(&records, 0, u64::MAX);
+    let samples = series.as_f64();
+    c.bench_function("autocorrelogram_5120_events_1000_lags", |b| {
+        b.iter(|| Autocorrelogram::compute(black_box(&samples), 1000))
+    });
+    // The direct lag-product reference the FFT path replaced; kept so the
+    // speedup stays visible in every BENCH_detector.json.
+    c.bench_function("autocorrelogram_5120_events_1000_lags_naive", |b| {
+        b.iter(|| Autocorrelogram::compute_naive(black_box(&samples), 1000))
+    });
+}
+
+fn bench_density(c: &mut Criterion) {
+    let train = bursty_train(100, 25, 100_000);
+    c.bench_function("density_histogram_2500_events", |b| {
+        b.iter(|| DensityHistogram::from_train(black_box(&train), 100_000, 0, 10_000_000))
+    });
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let histogram = covert_histogram(20, 2_500);
+    let detector = BurstDetector::default();
+    c.bench_function("burst_analyze", |b| {
+        b.iter(|| detector.analyze(black_box(&histogram)))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // 512 quanta of discretized histograms: the paper's clustering window.
+    let features: Vec<Vec<f64>> = (0..512)
+        .map(|i| {
+            let h = covert_histogram(18 + (i % 5), 2_500);
+            discretize(&h).into_iter().map(f64::from).collect()
+        })
+        .collect();
+    c.bench_function("kmeans_512_quanta_window", |b| {
+        b.iter(|| kmeans(black_box(&features), 3, 42, 50))
+    });
+}
+
+fn bench_online_push(c: &mut Criterion) {
+    // Steady state of the streaming daemon: a full 512-quantum window with
+    // every push evicting the oldest slot.
+    let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 512)
+        .expect("512-quantum window is valid");
+    let histograms: Vec<DensityHistogram> =
+        (0..8).map(|i| covert_histogram(16 + i, 2_500)).collect();
+    for i in 0..512usize {
+        daemon.push_quantum(histograms[i % histograms.len()].clone());
+    }
+    let mut i = 0usize;
+    c.bench_function("online_contention_push_512_window", |b| {
+        b.iter(|| {
+            i += 1;
+            daemon.push_quantum(black_box(histograms[i % histograms.len()].clone()))
+        })
+    });
+}
+
+fn bench_audit_pairs(c: &mut Criterion) {
+    // Eight principal pairs with 64-quantum contention windows each: the
+    // multi-pair fan-out the parallel audit engine targets.
+    let hunter = CcHunter::new(CcHunterConfig::default());
+    let audits: Vec<PairAudit> = (0..8)
+        .map(|pair| PairAudit {
+            label: format!("memory-bus: pair {pair}"),
+            evidence: PairEvidence::Contention(
+                (0..64)
+                    .map(|q| Harvest::Complete(covert_histogram(14 + ((pair + q) % 7), 2_500)))
+                    .collect(),
+            ),
+        })
+        .collect();
+    c.bench_function("audit_8_pairs_serial", |b| {
+        b.iter(|| {
+            audits
+                .iter()
+                .map(|a| hunter.audit_pair(black_box(a)))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("audit_8_pairs_parallel", |b| {
+        b.iter(|| hunter.audit_pairs(black_box(&audits)))
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let blocks = random_blocks(4_096, 4_096, 7);
+    c.bench_function("bloom_insert_4096", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::new(4_096, 3);
+            for &k in &blocks {
+                f.insert(k);
+            }
+            f
+        })
+    });
+    let mut filter = BloomFilter::new(4_096, 3);
+    for &k in &blocks[..1024] {
+        filter.insert(k);
+    }
+    c.bench_function("bloom_query", |b| {
+        b.iter(|| {
+            blocks
+                .iter()
+                .filter(|&&k| filter.contains(black_box(k)))
+                .count()
+        })
+    });
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let accesses = random_blocks(100_000, 8_192, 11);
+    c.bench_function("generation_tracker_100k_accesses", |b| {
+        b.iter(|| {
+            let mut t = GenerationTracker::for_cache(4_096);
+            for &block in &accesses {
+                if t.classify_miss(block).is_conflict() {
+                    black_box(());
+                }
+                t.record_access(block);
+            }
+            t
+        })
+    });
+    c.bench_function("ideal_lru_tracker_100k_accesses", |b| {
+        b.iter(|| {
+            let mut t = IdealLruTracker::new(4_096);
+            for &block in &accesses {
+                if t.classify_miss(block).is_conflict() {
+                    black_box(());
+                }
+                t.record_access(block);
+            }
+            t
+        })
+    });
+}

@@ -9,6 +9,38 @@
 //! sustained periodicity.
 
 use crate::events::SymbolSeries;
+use crate::fft;
+
+/// Below this `n × lags` volume the naive O(n·lags) loop beats the FFT's
+/// constant factor; above it [`Autocorrelogram::compute`] switches to the
+/// Wiener–Khinchin path.
+const NAIVE_CUTOFF: usize = 1 << 14;
+
+/// Centers `samples` around their mean and returns `(centered, denominator)`
+/// where the denominator is `Σᵢ (Xᵢ − X̄)²` — the shared first step of every
+/// autocorrelation formula in this module. Returns `None` for series too
+/// short (< 2) or with (numerically) zero variance, where every coefficient
+/// is defined as 0.0.
+fn centered_series(samples: &[f64]) -> Option<(Vec<f64>, f64)> {
+    let n = samples.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = samples.iter().map(|x| x - mean).collect();
+    let denom: f64 = centered.iter().map(|x| x * x).sum();
+    if denom <= f64::EPSILON {
+        return None;
+    }
+    Some((centered, denom))
+}
+
+/// The raw lag sum `Σᵢ centered[i]·centered[i+lag]`.
+fn lag_sum(centered: &[f64], lag: usize) -> f64 {
+    (0..centered.len() - lag)
+        .map(|i| centered[i] * centered[i + lag])
+        .sum()
+}
 
 /// The autocorrelation coefficient of `samples` at `lag`:
 ///
@@ -24,19 +56,13 @@ use crate::events::SymbolSeries;
 /// assert!(autocorrelation(&square, 8) < -0.8);  // half period
 /// ```
 pub fn autocorrelation(samples: &[f64], lag: usize) -> f64 {
-    let n = samples.len();
-    if lag + 2 > n {
+    if lag + 2 > samples.len() {
         return 0.0;
     }
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    let denom: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum();
-    if denom <= f64::EPSILON {
-        return 0.0;
+    match centered_series(samples) {
+        Some((centered, denom)) => lag_sum(&centered, lag) / denom,
+        None => 0.0,
     }
-    let numer: f64 = (0..n - lag)
-        .map(|i| (samples[i] - mean) * (samples[i + lag] - mean))
-        .sum();
-    numer / denom
 }
 
 /// Autocorrelation coefficients for every lag `0..=max_lag` of a series —
@@ -50,24 +76,41 @@ impl Autocorrelogram {
     /// Computes the autocorrelogram of `samples` up to `max_lag`.
     ///
     /// Lags beyond the series length yield 0.0 coefficients.
+    ///
+    /// Large inputs go through the Wiener–Khinchin FFT path (power spectrum
+    /// → inverse FFT, O((n + lags)·log(n + lags))); tiny inputs use the
+    /// direct O(n·lags) loop, which [`compute_naive`](Self::compute_naive)
+    /// exposes as a reference implementation.
     pub fn compute(samples: &[f64], max_lag: usize) -> Self {
+        Self::build(samples, max_lag, false)
+    }
+
+    /// The direct O(n·max_lag) reference implementation of
+    /// [`compute`](Self::compute): every coefficient from its definition,
+    /// no FFT. The two agree within floating-point round-off (≈ 1e-12
+    /// relative); property tests enforce 1e-9.
+    pub fn compute_naive(samples: &[f64], max_lag: usize) -> Self {
+        Self::build(samples, max_lag, true)
+    }
+
+    fn build(samples: &[f64], max_lag: usize, force_naive: bool) -> Self {
         let n = samples.len();
         let mut coefficients = vec![0.0; max_lag + 1];
         if n >= 2 {
-            let mean = samples.iter().sum::<f64>() / n as f64;
-            let centered: Vec<f64> = samples.iter().map(|x| x - mean).collect();
-            let denom: f64 = centered.iter().map(|x| x * x).sum();
-            if denom > f64::EPSILON {
-                for (lag, coeff) in coefficients.iter_mut().enumerate() {
-                    if lag + 2 > n {
-                        break;
+            if let Some((centered, denom)) = centered_series(samples) {
+                // Coefficients are defined (nonzero) only while lag + 2 <= n.
+                let lags = max_lag.min(n - 2);
+                if force_naive || n.saturating_mul(lags) <= NAIVE_CUTOFF {
+                    for (lag, coeff) in coefficients.iter_mut().enumerate().take(lags + 1) {
+                        *coeff = lag_sum(&centered, lag) / denom;
                     }
-                    let numer: f64 = (0..n - lag).map(|i| centered[i] * centered[i + lag]).sum();
-                    *coeff = numer / denom;
+                } else {
+                    let sums = fft::autocorrelation_sums(&centered, lags);
+                    for (coeff, sum) in coefficients.iter_mut().zip(&sums) {
+                        *coeff = sum / denom;
+                    }
                 }
             }
-        }
-        if !coefficients.is_empty() && n >= 2 {
             coefficients[0] = 1.0;
         }
         Autocorrelogram { coefficients }
@@ -100,9 +143,11 @@ impl Autocorrelogram {
         if min_lag > hi {
             return None;
         }
+        // total_cmp: a degenerate series (NaN coefficients) must yield an
+        // arbitrary-but-stable peak, never panic the daemon.
         (min_lag..=hi)
             .map(|lag| (lag, self.coefficients[lag]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite coefficients"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The dominant periodic peak: the global maximum *after* the
@@ -369,6 +414,34 @@ mod tests {
         assert!(c.peak_in(200, 300).is_none() || c.max_lag() >= 200);
         let (lag, _) = c.peak_in(8, 100).unwrap();
         assert!(lag >= 8);
+    }
+
+    #[test]
+    fn fft_path_matches_naive_reference() {
+        // Large enough to cross NAIVE_CUTOFF, length not a power of two.
+        let samples: Vec<f64> = (0..2_077)
+            .map(|i| ((i * 31) % 17) as f64 + ((i / 100) % 2) as f64 * 3.0)
+            .collect();
+        let fast = Autocorrelogram::compute(&samples, 900);
+        let naive = Autocorrelogram::compute_naive(&samples, 900);
+        for lag in 0..=900 {
+            assert!(
+                (fast.coefficient(lag) - naive.coefficient(lag)).abs() < 1e-9,
+                "lag {lag}: {} vs {}",
+                fast.coefficient(lag),
+                naive.coefficient(lag)
+            );
+        }
+    }
+
+    #[test]
+    fn peak_in_survives_nan_coefficients() {
+        // A degenerate correlogram must never panic the daemon.
+        let c = Autocorrelogram {
+            coefficients: vec![1.0, f64::NAN, 0.4, f64::NAN, 0.2],
+        };
+        let (lag, _) = c.peak_in(1, 4).expect("range is nonempty");
+        assert!((1..=4).contains(&lag));
     }
 
     #[test]

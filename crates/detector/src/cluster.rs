@@ -93,13 +93,40 @@ impl PatternClusters {
     }
 }
 
+/// Below this many feature vectors the assignment step stays serial — the
+/// fan-out cost of [`threadpool::par_map`] only pays off on wide windows.
+const PAR_ASSIGN_MIN: usize = 64;
+
+/// Index of the centroid nearest to `point` (first wins on exact ties —
+/// the tie-break every caller, serial or parallel, must share for
+/// assignments to be reproducible).
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_dist = sq_dist(point, &centroids[0]);
+    for (j, centroid) in centroids.iter().enumerate().skip(1) {
+        let dist = sq_dist(point, centroid);
+        if dist.total_cmp(&best_dist) == std::cmp::Ordering::Less {
+            best = j;
+            best_dist = dist;
+        }
+    }
+    best
+}
+
 /// Deterministic k-means (k-means++ seeding) over feature vectors.
+///
+/// The assignment step fans out across the process thread pool for large
+/// inputs; because each point's nearest centroid is computed independently
+/// (same arithmetic, same tie-break) and results land at their input index,
+/// the output is bit-identical to serial execution for any thread count.
+/// The centroid-update accumulation stays serial to keep floating-point
+/// summation order fixed.
 ///
 /// # Panics
 ///
 /// Panics if `k` is zero or feature vectors have inconsistent lengths.
-pub fn kmeans(
-    features: &[Vec<f64>],
+pub fn kmeans<F: AsRef<[f64]> + Sync>(
+    features: &[F],
     k: usize,
     seed: u64,
     max_iterations: usize,
@@ -112,9 +139,9 @@ pub fn kmeans(
             sizes: Vec::new(),
         };
     }
-    let dim = features[0].len();
+    let dim = features[0].as_ref().len();
     assert!(
-        features.iter().all(|f| f.len() == dim),
+        features.iter().all(|f| f.as_ref().len() == dim),
         "inconsistent feature dimensions"
     );
     let k = k.min(features.len());
@@ -122,21 +149,21 @@ pub fn kmeans(
 
     // k-means++ initialization.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(features[rng.gen_range(0..features.len())].clone());
+    centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
     while centroids.len() < k {
         let dists: Vec<f64> = features
             .iter()
             .map(|f| {
                 centroids
                     .iter()
-                    .map(|c| sq_dist(f, c))
+                    .map(|c| sq_dist(f.as_ref(), c))
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
         let total: f64 = dists.iter().sum();
         if total <= f64::EPSILON {
             // All points identical to existing centroids.
-            centroids.push(features[rng.gen_range(0..features.len())].clone());
+            centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
             continue;
         }
         let mut target = rng.gen_range(0.0..total);
@@ -148,35 +175,34 @@ pub fn kmeans(
             }
             target -= d;
         }
-        centroids.push(features[chosen].clone());
+        centroids.push(features[chosen].as_ref().to_vec());
     }
 
     let mut assignments = vec![0usize; features.len()];
     for _ in 0..max_iterations {
-        // Assign.
-        let mut changed = false;
-        for (i, f) in features.iter().enumerate() {
-            let nearest = centroids
+        // Assign: independent per point, so safe to parallelize.
+        let nearest: Vec<usize> = if features.len() >= PAR_ASSIGN_MIN {
+            let centroids = &centroids;
+            threadpool::par_map(features, |f| nearest_centroid(f.as_ref(), centroids))
+        } else {
+            features
                 .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    sq_dist(f, a)
-                        .partial_cmp(&sq_dist(f, b))
-                        .expect("finite distances")
-                })
-                .map(|(j, _)| j)
-                .expect("k >= 1");
-            if assignments[i] != nearest {
-                assignments[i] = nearest;
+                .map(|f| nearest_centroid(f.as_ref(), &centroids))
+                .collect()
+        };
+        let mut changed = false;
+        for (a, n) in assignments.iter_mut().zip(&nearest) {
+            if *a != *n {
+                *a = *n;
                 changed = true;
             }
         }
-        // Update.
+        // Update: serial, preserving a fixed summation order.
         let mut sums = vec![vec![0.0; dim]; k];
         let mut counts = vec![0usize; k];
         for (f, &a) in features.iter().zip(&assignments) {
             counts[a] += 1;
-            for (s, x) in sums[a].iter_mut().zip(f) {
+            for (s, x) in sums[a].iter_mut().zip(f.as_ref()) {
                 *s += x;
             }
         }
@@ -190,13 +216,12 @@ pub fn kmeans(
                     .iter()
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
-                        sq_dist(a, &centroids[assignments[0]])
-                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
-                            .expect("finite distances")
+                        sq_dist(a.as_ref(), &centroids[assignments[0]])
+                            .total_cmp(&sq_dist(b.as_ref(), &centroids[assignments[0]]))
                     })
                     .map(|(i, _)| i)
                     .expect("nonempty features");
-                centroids[j] = features[far].clone();
+                centroids[j] = features[far].as_ref().to_vec();
             }
         }
         if !changed {
@@ -250,14 +275,37 @@ pub fn analyze_recurrence(
         verdicts.len(),
         "histograms and verdicts must be parallel"
     );
-    let windows = histograms.len();
-    let bursty: Vec<&DensityHistogram> = histograms
+    let features: Vec<Vec<f64>> = histograms
         .iter()
         .zip(verdicts)
         .filter(|(_, v)| v.significant)
-        .map(|(h, _)| h)
+        .map(|(h, _)| discretized_features(h))
         .collect();
-    let bursty_windows = bursty.len();
+    recurrence_from_features(histograms.len(), &features, config)
+}
+
+/// A histogram's discretized string as a k-means feature vector — the form
+/// the incremental online daemon caches per window slot so a quantum is
+/// discretized exactly once.
+pub fn discretized_features(histogram: &DensityHistogram) -> Vec<f64> {
+    discretize(histogram).into_iter().map(f64::from).collect()
+}
+
+/// Decides recurrence from the already-discretized feature vectors of the
+/// bursty quanta (in window order). `windows` is the total number of
+/// observed quanta, bursty or not.
+///
+/// This is the clustering core shared by [`analyze_recurrence`] and the
+/// incremental [`crate::online::OnlineContentionDetector`]: given the same
+/// bursty feature sequence it returns the same verdict, which is what lets
+/// the daemon skip re-clustering when a pushed or evicted quantum leaves
+/// that sequence unchanged.
+pub fn recurrence_from_features<F: AsRef<[f64]> + Sync>(
+    windows: usize,
+    bursty_features: &[F],
+    config: &ClusterConfig,
+) -> RecurrenceVerdict {
+    let bursty_windows = bursty_features.len();
     if bursty_windows < config.min_recurring {
         return RecurrenceVerdict {
             windows,
@@ -266,11 +314,12 @@ pub fn analyze_recurrence(
             recurrent: false,
         };
     }
-    let features: Vec<Vec<f64>> = bursty
-        .iter()
-        .map(|h| discretize(h).into_iter().map(f64::from).collect())
-        .collect();
-    let clusters = kmeans(&features, config.k, config.seed, config.max_iterations);
+    let clusters = kmeans(
+        bursty_features,
+        config.k,
+        config.seed,
+        config.max_iterations,
+    );
     let largest = clusters.largest().map(|(_, s)| s).unwrap_or(0);
     RecurrenceVerdict {
         windows,
@@ -350,7 +399,7 @@ mod tests {
 
     #[test]
     fn kmeans_empty_input() {
-        let clusters = kmeans(&[], 3, 1, 10);
+        let clusters = kmeans::<Vec<f64>>(&[], 3, 1, 10);
         assert!(clusters.assignments.is_empty());
         assert!(clusters.largest().is_none());
     }

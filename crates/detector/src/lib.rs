@@ -68,10 +68,12 @@ pub mod cost;
 pub mod density;
 pub mod events;
 pub mod fault;
+pub mod fft;
 pub mod online;
 pub mod pipeline;
 pub mod report;
 pub mod trace;
+pub mod window;
 
 pub use auditor::{AuditorError, CcAuditor, HardwareUnit};
 pub use autocorr::{autocorrelation, Autocorrelogram, OscillationVerdict};
@@ -84,7 +86,9 @@ pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, SymbolSeries};
 pub use fault::{FaultClass, FaultConfig, FaultInjector};
 pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
-pub use pipeline::{CcHunter, CcHunterConfig, Detection, ResourceKind, Verdict};
+pub use pipeline::{
+    CcHunter, CcHunterConfig, Detection, PairAudit, PairEvidence, ResourceKind, Verdict,
+};
 pub use report::SessionReport;
 pub use trace::TraceError;
 

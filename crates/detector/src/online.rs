@@ -18,6 +18,21 @@
 //! fraction of the window — that decays under loss instead of letting the
 //! verdict flip to a spuriously confident `Clean`.
 //!
+//! ## Incremental windows
+//!
+//! Both daemons keep their observation window in a ring buffer
+//! ([`crate::window::SlidingWindow`]) with running aggregates (observation
+//! weight, observed / bursty / oscillatory counts), so `push_quantum` /
+//! `push_slot` cost O(1) per quantum plus the analysis of the new slot
+//! itself — nothing in the window is ever re-scanned. The contention
+//! daemon's k-means clustering is memoized on the window's bursty-feature
+//! sequence: a quantum sliding through the window is discretized exactly
+//! once, and the clustering reruns only when a push or eviction changes the
+//! sequence (the seeded k-means is deterministic, so reuse is exact). The
+//! running weight sum is rebased — recomputed from the ring — every
+//! `capacity` pushes, which keeps it amortized O(1) while preventing
+//! floating-point round-off from accumulating without bound.
+//!
 //! ## Checkpoint / restore
 //!
 //! Both daemons serialize their sliding window to the plain-text checkpoint
@@ -28,12 +43,12 @@
 use crate::auditor::ConflictRecord;
 use crate::autocorr::{OscillationDetector, OscillationVerdict};
 use crate::burst::{BurstDetector, BurstVerdict};
-use crate::cluster::{analyze_recurrence, RecurrenceVerdict};
+use crate::cluster::{discretized_features, recurrence_from_features, RecurrenceVerdict};
 use crate::density::DensityHistogram;
 use crate::pipeline::{symbol_series, CcHunterConfig, Verdict};
 use crate::trace::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointSlot, TraceError};
+use crate::window::SlidingWindow;
 use crate::DetectorError;
-use std::collections::VecDeque;
 use std::io::{Read, Write};
 
 /// One OS quantum's worth of harvested observation, as delivered to the
@@ -122,8 +137,21 @@ impl OnlineStatus {
 #[derive(Debug, Clone)]
 struct QuantumSlot {
     histogram: Option<DensityHistogram>,
-    verdict: Option<BurstVerdict>,
+    /// Discretized k-means features — present iff the quantum's burst
+    /// verdict was significant. Computed once at push time so a quantum is
+    /// never re-discretized while it slides through the window.
+    features: Option<Vec<f64>>,
     weight: f64,
+}
+
+/// Cached clustering outcome over the window's current bursty-feature
+/// sequence. `windows`/`bursty_windows` are patched in from the running
+/// counters at read time; the expensive part (k-means) is only redone when a
+/// push or eviction changes the bursty sequence itself.
+#[derive(Debug, Clone, Copy)]
+struct ClusterCache {
+    largest_burst_cluster: usize,
+    recurrent: bool,
 }
 
 /// Streaming detector for one *combinational* resource (bus, divider,
@@ -152,8 +180,20 @@ struct QuantumSlot {
 pub struct OnlineContentionDetector {
     config: CcHunterConfig,
     detector: BurstDetector,
-    window: VecDeque<QuantumSlot>,
-    capacity: usize,
+    window: SlidingWindow<QuantumSlot>,
+    /// Running observation-weight sum over the window (running confidence
+    /// numerator).
+    weight_sum: f64,
+    /// Running count of slots holding a histogram.
+    observed: usize,
+    /// Running count of slots with a significant burst verdict.
+    bursty: usize,
+    /// Pushes since `weight_sum` was last recomputed from the ring; the sum
+    /// is rebased every `capacity` pushes (amortized O(1)) so add/subtract
+    /// round-off can never accumulate.
+    pushes_since_rebase: usize,
+    /// Clustering cache, invalidated when the bursty sequence changes.
+    cache: Option<ClusterCache>,
 }
 
 impl OnlineContentionDetector {
@@ -172,8 +212,12 @@ impl OnlineContentionDetector {
         Ok(OnlineContentionDetector {
             detector: BurstDetector::new(config.burst),
             config,
-            window: VecDeque::new(),
-            capacity: window_quanta.min(512),
+            window: SlidingWindow::new(window_quanta.min(512)),
+            weight_sum: 0.0,
+            observed: 0,
+            bursty: 0,
+            pushes_since_rebase: 0,
+            cache: None,
         })
     }
 
@@ -184,7 +228,7 @@ impl OnlineContentionDetector {
 
     /// The sliding-window capacity in quanta.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.window.capacity()
     }
 
     /// Feeds one quantum's harvest (a bare [`DensityHistogram`] converts to
@@ -204,47 +248,104 @@ impl OnlineContentionDetector {
             }
             Harvest::Missed => (None, None),
         };
-        if self.window.len() == self.capacity {
-            self.window.pop_front();
-        }
-        self.window.push_back(QuantumSlot {
+        let features = match (&histogram, &verdict) {
+            (Some(h), Some(v)) if v.significant => Some(discretized_features(h)),
+            _ => None,
+        };
+        self.insert_slot(QuantumSlot {
             histogram,
-            verdict: verdict.as_ref().copied(),
+            features,
             weight,
         });
         self.status(verdict)
     }
 
-    /// Computes the daemon's status over the current window; `quantum` is
-    /// the just-pushed quantum's own verdict, if it was observed.
-    fn status(&self, quantum: Option<BurstVerdict>) -> OnlineStatus {
+    /// Slides `slot` into the window, maintaining the running aggregates in
+    /// O(1) and invalidating the clustering cache only when the bursty
+    /// sequence actually changed.
+    fn insert_slot(&mut self, slot: QuantumSlot) {
+        self.weight_sum += slot.weight;
+        if slot.histogram.is_some() {
+            self.observed += 1;
+        }
+        if slot.features.is_some() {
+            self.bursty += 1;
+            self.cache = None;
+        }
+        if let Some(evicted) = self.window.push(slot) {
+            self.weight_sum -= evicted.weight;
+            if evicted.histogram.is_some() {
+                self.observed -= 1;
+            }
+            if evicted.features.is_some() {
+                self.bursty -= 1;
+                self.cache = None;
+            }
+        }
+        self.pushes_since_rebase += 1;
+        if self.pushes_since_rebase >= self.window.capacity() {
+            self.weight_sum = self.window.iter().map(|s| s.weight).sum();
+            self.pushes_since_rebase = 0;
+        }
+    }
+
+    /// Recurrence over the observed quanta of the current window. Cheap
+    /// counters answer the common cases; k-means reruns only when the
+    /// window's bursty-feature sequence changed since the last clustering.
+    fn recurrence(&mut self) -> RecurrenceVerdict {
         // Recurrence is established over the *observed* quanta only — a
         // gap cannot make two recurring patterns dissimilar, it just
         // shrinks the evidence (which the confidence reports).
-        let histograms: Vec<DensityHistogram> = self
+        if self.bursty < self.config.cluster.min_recurring {
+            return RecurrenceVerdict {
+                windows: self.observed,
+                bursty_windows: self.bursty,
+                largest_burst_cluster: self.bursty,
+                recurrent: false,
+            };
+        }
+        if let Some(cache) = self.cache {
+            return RecurrenceVerdict {
+                windows: self.observed,
+                bursty_windows: self.bursty,
+                largest_burst_cluster: cache.largest_burst_cluster,
+                recurrent: cache.recurrent,
+            };
+        }
+        let features: Vec<&[f64]> = self
             .window
             .iter()
-            .filter_map(|s| s.histogram.clone())
+            .filter_map(|s| s.features.as_deref())
             .collect();
-        let verdicts: Vec<BurstVerdict> = self.window.iter().filter_map(|s| s.verdict).collect();
-        let recurrence = analyze_recurrence(&histograms, &verdicts, &self.config.cluster);
+        let verdict = recurrence_from_features(self.observed, &features, &self.config.cluster);
+        self.cache = Some(ClusterCache {
+            largest_burst_cluster: verdict.largest_burst_cluster,
+            recurrent: verdict.recurrent,
+        });
+        verdict
+    }
+
+    /// Computes the daemon's status over the current window; `quantum` is
+    /// the just-pushed quantum's own verdict, if it was observed.
+    fn status(&mut self, quantum: Option<BurstVerdict>) -> OnlineStatus {
+        let recurrence = self.recurrence();
         let call = if recurrence.recurrent {
             Verdict::CovertTimingChannel
         } else {
             Verdict::Clean
         };
         let window_len = self.window.len();
-        let observed_weight: f64 = self.window.iter().map(|s| s.weight).sum();
         OnlineStatus {
             quantum_burst: quantum,
             quantum_oscillation: None,
             oscillatory_in_window: 0,
             window_len,
-            observed_in_window: histograms.len(),
+            observed_in_window: self.observed,
+            // Clamped: the running sum can sit an ulp outside [0, len].
             confidence: if window_len == 0 {
                 0.0
             } else {
-                observed_weight / window_len as f64
+                (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
             },
             recurrence: Some(recurrence),
             verdict: call,
@@ -278,7 +379,7 @@ impl OnlineContentionDetector {
             .collect();
         let cp = Checkpoint {
             kind: "contention".to_string(),
-            capacity: self.capacity,
+            capacity: self.window.capacity(),
             slots,
         };
         write_checkpoint(&cp, writer)?;
@@ -305,7 +406,7 @@ impl OnlineContentionDetector {
         }
         let mut daemon = Self::new(config, cp.capacity)?;
         for (idx, slot) in cp.slots.into_iter().enumerate() {
-            if daemon.window.len() == daemon.capacity {
+            if daemon.window.is_full() {
                 return Err(DetectorError::Trace(TraceError::Parse {
                     line: 0,
                     reason: format!(
@@ -331,9 +432,13 @@ impl OnlineContentionDetector {
                 })
                 .transpose()?;
             let verdict = histogram.as_ref().map(|h| daemon.detector.analyze(h));
-            daemon.window.push_back(QuantumSlot {
+            let features = match (&histogram, &verdict) {
+                (Some(h), Some(v)) if v.significant => Some(discretized_features(h)),
+                _ => None,
+            };
+            daemon.insert_slot(QuantumSlot {
                 histogram,
-                verdict,
+                features,
                 weight: slot.weight,
             });
         }
@@ -355,8 +460,16 @@ struct OscSlot {
 pub struct OnlineOscillationDetector {
     config: CcHunterConfig,
     detector: OscillationDetector,
-    window: VecDeque<OscSlot>,
-    capacity: usize,
+    window: SlidingWindow<OscSlot>,
+    /// Running observation-weight sum over the window.
+    weight_sum: f64,
+    /// Running count of observed (non-missed) slots.
+    observed: usize,
+    /// Running count of oscillatory slots.
+    oscillatory: usize,
+    /// Pushes since the last exact recomputation of `weight_sum` (see
+    /// [`OnlineContentionDetector`]).
+    pushes_since_rebase: usize,
 }
 
 impl OnlineOscillationDetector {
@@ -375,8 +488,11 @@ impl OnlineOscillationDetector {
         Ok(OnlineOscillationDetector {
             detector: OscillationDetector::new(config.oscillation),
             config,
-            window: VecDeque::new(),
-            capacity: window_quanta.min(512),
+            window: SlidingWindow::new(window_quanta.min(512)),
+            weight_sum: 0.0,
+            observed: 0,
+            oscillatory: 0,
+            pushes_since_rebase: 0,
         })
     }
 
@@ -418,41 +534,50 @@ impl OnlineOscillationDetector {
         self.status(None)
     }
 
+    /// Slides `slot` into the window, maintaining the running counters in
+    /// O(1) — `status` never re-walks the window.
     fn push_slot(&mut self, slot: OscSlot) {
-        if self.window.len() == self.capacity {
-            self.window.pop_front();
+        self.weight_sum += slot.weight;
+        if slot.oscillatory.is_some() {
+            self.observed += 1;
         }
-        self.window.push_back(slot);
+        if slot.oscillatory == Some(true) {
+            self.oscillatory += 1;
+        }
+        if let Some(evicted) = self.window.push(slot) {
+            self.weight_sum -= evicted.weight;
+            if evicted.oscillatory.is_some() {
+                self.observed -= 1;
+            }
+            if evicted.oscillatory == Some(true) {
+                self.oscillatory -= 1;
+            }
+        }
+        self.pushes_since_rebase += 1;
+        if self.pushes_since_rebase >= self.window.capacity() {
+            self.weight_sum = self.window.iter().map(|s| s.weight).sum();
+            self.pushes_since_rebase = 0;
+        }
     }
 
     fn status(&self, quantum: Option<OscillationVerdict>) -> OnlineStatus {
-        let oscillatory = self
-            .window
-            .iter()
-            .filter(|s| s.oscillatory == Some(true))
-            .count();
-        let observed = self
-            .window
-            .iter()
-            .filter(|s| s.oscillatory.is_some())
-            .count();
-        let call = if oscillatory >= self.config.min_oscillatory_windows {
+        let call = if self.oscillatory >= self.config.min_oscillatory_windows {
             Verdict::CovertTimingChannel
         } else {
             Verdict::Clean
         };
         let window_len = self.window.len();
-        let observed_weight: f64 = self.window.iter().map(|s| s.weight).sum();
         OnlineStatus {
             quantum_burst: None,
             quantum_oscillation: quantum,
-            oscillatory_in_window: oscillatory,
+            oscillatory_in_window: self.oscillatory,
             window_len,
-            observed_in_window: observed,
+            observed_in_window: self.observed,
+            // Clamped: the running sum can sit an ulp outside [0, len].
             confidence: if window_len == 0 {
                 0.0
             } else {
-                observed_weight / window_len as f64
+                (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
             },
             recurrence: None,
             verdict: call,
@@ -477,7 +602,7 @@ impl OnlineOscillationDetector {
             .collect();
         let cp = Checkpoint {
             kind: "oscillation".to_string(),
-            capacity: self.capacity,
+            capacity: self.window.capacity(),
             slots,
         };
         write_checkpoint(&cp, writer)?;
@@ -501,7 +626,7 @@ impl OnlineOscillationDetector {
         }
         let mut daemon = Self::new(config, cp.capacity)?;
         for slot in cp.slots {
-            if daemon.window.len() == daemon.capacity {
+            if daemon.window.is_full() {
                 return Err(DetectorError::Trace(TraceError::Parse {
                     line: 0,
                     reason: format!(
@@ -510,7 +635,7 @@ impl OnlineOscillationDetector {
                     ),
                 }));
             }
-            daemon.window.push_back(OscSlot {
+            daemon.push_slot(OscSlot {
                 oscillatory: slot.oscillatory,
                 weight: slot.weight,
             });

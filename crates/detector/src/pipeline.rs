@@ -10,6 +10,17 @@
 //!   symbol series → autocorrelogram → periodicity test. The window
 //!   defaults to one quantum and can be divided further (the paper's
 //!   Figure 11 shows fractional windows recover 0.1 bps channels).
+//!
+//! ## Parallel audit engine
+//!
+//! A deployment audits many principal pairs at once (every suspect
+//! trojan/spy pairing on every shared unit). [`CcHunter::audit_pairs`] fans
+//! the labeled per-pair evidence out across the process-wide thread pool,
+//! and the per-quantum / per-window analyses inside a single audit use the
+//! same pool when the work is large enough. All parallel paths go through
+//! the vendored `threadpool::par_map`, whose output is bit-identical to the
+//! serial loop for any thread count, so verdicts never depend on the host's
+//! core count.
 
 use crate::auditor::ConflictRecord;
 use crate::autocorr::{OscillationConfig, OscillationDetector, OscillationVerdict};
@@ -19,6 +30,11 @@ use crate::density::{DeltaTPolicy, DensityHistogram};
 use crate::events::{pair_symbol, EventTrain, SymbolSeries};
 use crate::online::Harvest;
 use std::fmt;
+
+/// Minimum number of per-quantum histograms before the burst analysis fans
+/// out to the thread pool; below this the per-item work is too cheap to
+/// amortize job dispatch.
+const PAR_MIN_HISTOGRAMS: usize = 64;
 
 /// The two classes of shared hardware the paper distinguishes (§IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,8 +222,11 @@ impl CcHunter {
                 Harvest::Missed => None,
             })
             .collect();
-        let quantum_verdicts: Vec<BurstVerdict> =
-            histograms.iter().map(|h| detector.analyze(h)).collect();
+        let quantum_verdicts: Vec<BurstVerdict> = if histograms.len() >= PAR_MIN_HISTOGRAMS {
+            threadpool::par_map(&histograms, |h| detector.analyze(h))
+        } else {
+            histograms.iter().map(|h| detector.analyze(h)).collect()
+        };
         let recurrence = analyze_recurrence(&histograms, &quantum_verdicts, &self.config.cluster);
         let peak_likelihood_ratio = quantum_verdicts
             .iter()
@@ -285,19 +304,24 @@ impl CcHunter {
         let window =
             (self.config.quantum_cycles / self.config.windows_per_quantum.max(1) as u64).max(1);
         let detector = OscillationDetector::new(self.config.oscillation);
-        let mut window_verdicts = Vec::new();
+        let mut bounds = Vec::new();
         let mut lo = start;
         while lo < end {
             let hi = (lo + window).min(end);
-            let series = symbol_series(records, lo, hi);
-            window_verdicts.push(detector.analyze(&series, self.config.max_lag));
+            bounds.push((lo, hi));
             lo = hi;
         }
+        // Each window's autocorrelogram is independent — fan out; results
+        // stay in window order.
+        let window_verdicts: Vec<OscillationVerdict> = threadpool::par_map(&bounds, |&(lo, hi)| {
+            let series = symbol_series(records, lo, hi);
+            detector.analyze(&series, self.config.max_lag)
+        });
         let oscillatory_windows = window_verdicts.iter().filter(|v| v.oscillatory).count();
         let peak = window_verdicts
             .iter()
             .filter_map(|v| v.peak)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite peaks"));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         let verdict = if oscillatory_windows >= self.config.min_oscillatory_windows {
             Verdict::CovertTimingChannel
         } else {
@@ -310,6 +334,68 @@ impl CcHunter {
             verdict,
         }
     }
+
+    /// Runs the full analysis for one labeled pair's evidence.
+    pub fn audit_pair(&self, audit: &PairAudit) -> Detection {
+        match &audit.evidence {
+            PairEvidence::Contention(harvests) => {
+                let report = self.analyze_contention_harvests(harvests.clone());
+                Detection::from_contention(audit.label.clone(), &report)
+            }
+            PairEvidence::Memory {
+                records,
+                start,
+                end,
+            } => {
+                let report = self.analyze_oscillation(records, *start, *end);
+                Detection::from_oscillation(audit.label.clone(), &report)
+            }
+        }
+    }
+
+    /// Audits many principal pairs, fanning the per-pair analyses out
+    /// across the process-wide thread pool.
+    ///
+    /// Detections are returned in input order and are bit-identical to a
+    /// serial `audits.iter().map(|a| self.audit_pair(a))` loop for any
+    /// thread count (including `CCHUNTER_THREADS=1`): each pair's analysis
+    /// touches only its own evidence, and any nested parallelism inside a
+    /// single audit degrades to its serial-equivalent path while the pool
+    /// is busy with the outer fan-out.
+    pub fn audit_pairs(&self, audits: &[PairAudit]) -> Vec<Detection> {
+        threadpool::par_map(audits, |audit| self.audit_pair(audit))
+    }
+}
+
+/// The evidence backing one entry of a multi-pair audit.
+#[derive(Debug, Clone)]
+pub enum PairEvidence {
+    /// Per-quantum harvests from a combinational unit (recurrent-burst
+    /// path).
+    Contention(
+        /// One harvest per OS quantum of the observation window.
+        Vec<Harvest>,
+    ),
+    /// Drained conflict records from a memory unit (oscillation path).
+    Memory {
+        /// The pair's conflict-miss records.
+        records: Vec<ConflictRecord>,
+        /// Start of the observation interval in cycles (inclusive).
+        start: u64,
+        /// End of the observation interval in cycles (exclusive).
+        end: u64,
+    },
+}
+
+/// One job of a multi-pair audit: a labeled principal pair (or resource)
+/// plus the evidence harvested for it.
+#[derive(Debug, Clone)]
+pub struct PairAudit {
+    /// Pair label carried into the resulting [`Detection`] (e.g.
+    /// `"memory-bus: pid 17 ↔ pid 23"`).
+    pub label: String,
+    /// The harvested evidence to analyze.
+    pub evidence: PairEvidence,
 }
 
 /// Builds the cross-context conflict symbol series for records within
@@ -581,6 +667,55 @@ mod tests {
         let records = cache_records(16, 64);
         let report = hunter.analyze_oscillation(&records, 0, 1_000_000);
         assert_eq!(report.window_verdicts.len(), 4);
+    }
+
+    #[test]
+    fn audit_pairs_matches_serial_and_labels_detections() {
+        let hunter = CcHunter::new(config());
+        let covert: Vec<Harvest> = hunter
+            .quantum_histograms(&covert_train(8, 100_000), 0, 800_000)
+            .into_iter()
+            .map(Harvest::Complete)
+            .collect();
+        let benign: Vec<Harvest> = hunter
+            .quantum_histograms(&benign_train(8, 100_000), 0, 800_000)
+            .into_iter()
+            .map(Harvest::Complete)
+            .collect();
+        let records = cache_records(64, 128);
+        let end = records.last().unwrap().cycle + 1;
+        let audits = vec![
+            PairAudit {
+                label: "memory-bus: pid 17 <-> pid 23".to_string(),
+                evidence: PairEvidence::Contention(covert),
+            },
+            PairAudit {
+                label: "divider: pid 4 <-> pid 9".to_string(),
+                evidence: PairEvidence::Contention(benign),
+            },
+            PairAudit {
+                label: "l2-cache: pid 17 <-> pid 23".to_string(),
+                evidence: PairEvidence::Memory {
+                    records,
+                    start: 0,
+                    end,
+                },
+            },
+        ];
+        let parallel = hunter.audit_pairs(&audits);
+        let serial: Vec<Detection> = audits.iter().map(|a| hunter.audit_pair(a)).collect();
+        assert_eq!(parallel.len(), 3);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.resource, s.resource);
+            assert_eq!(p.verdict, s.verdict);
+            assert_eq!(p.evidence, s.evidence);
+        }
+        assert!(parallel[0].verdict.is_covert());
+        assert_eq!(parallel[0].kind, ResourceKind::Combinational);
+        assert_eq!(parallel[1].verdict, Verdict::Clean);
+        assert!(parallel[2].verdict.is_covert());
+        assert_eq!(parallel[2].kind, ResourceKind::Memory);
+        assert!(parallel[0].resource.contains("memory-bus"));
     }
 
     #[test]

@@ -354,3 +354,125 @@ fn online_detector_survives_any_fault_sequence() {
         }
     }
 }
+
+#[test]
+fn fft_autocorrelogram_matches_naive_for_any_length() {
+    // The FFT (Wiener–Khinchin) path and the direct lag-product path are
+    // the same mathematical object; agreement must hold for arbitrary —
+    // in particular non-power-of-two — series lengths and lag depths.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xFF70_0000 + case);
+        let n = rng.gen_range(64usize..3000);
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let max_lag = rng.gen_range(32usize..1200);
+        let fast = Autocorrelogram::compute(&samples, max_lag);
+        let naive = Autocorrelogram::compute_naive(&samples, max_lag);
+        for lag in 0..=max_lag {
+            assert!(
+                (fast.coefficient(lag) - naive.coefficient(lag)).abs() < 1e-9,
+                "case {case} n {n} lag {lag}: fft {} vs naive {}",
+                fast.coefficient(lag),
+                naive.coefficient(lag)
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_window_state_matches_from_scratch_replay() {
+    // The daemon's running aggregates (weight sum, observed/bursty counts,
+    // memoized clustering) must be indistinguishable from a daemon that
+    // recomputes everything from the retained window: replaying only the
+    // last `capacity` harvests into a fresh daemon yields the same status.
+    use cchunter_detector::online::{Harvest, OnlineContentionDetector};
+    use cchunter_detector::CcHunterConfig;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x17C0_0000 + case);
+        let capacity = rng.gen_range(1usize..24);
+        let quantum = 100_000u64;
+        let config = CcHunterConfig {
+            quantum_cycles: quantum,
+            ..CcHunterConfig::default()
+        };
+        let mut daemon = OnlineContentionDetector::new(config, capacity).unwrap();
+        let steps = rng.gen_range(1usize..60);
+        let mut harvests: Vec<Harvest> = Vec::new();
+        let mut incremental = None;
+        for _ in 0..steps {
+            let harvest = match rng.gen_range(0u32..3) {
+                2 => Harvest::Missed,
+                kind => {
+                    let train = EventTrain::from_times(times(&mut rng, 120, quantum));
+                    let histogram = DensityHistogram::from_train(&train, 1_000, 0, quantum);
+                    if kind == 0 {
+                        Harvest::Complete(histogram)
+                    } else {
+                        Harvest::Partial {
+                            histogram,
+                            lost_fraction: rng.gen_range(0.0..1.0),
+                        }
+                    }
+                }
+            };
+            harvests.push(harvest.clone());
+            incremental = Some(daemon.push_quantum(harvest));
+        }
+        let incremental = incremental.unwrap();
+        let tail = &harvests[harvests.len().saturating_sub(capacity)..];
+        let mut fresh = OnlineContentionDetector::new(config, capacity).unwrap();
+        let mut replay = None;
+        for harvest in tail {
+            replay = Some(fresh.push_quantum(harvest.clone()));
+        }
+        let replay = replay.unwrap();
+        assert_eq!(incremental.window_len, replay.window_len, "case {case}");
+        assert_eq!(
+            incremental.observed_in_window, replay.observed_in_window,
+            "case {case}"
+        );
+        assert_eq!(incremental.verdict, replay.verdict, "case {case}");
+        let summarize = |s: &cchunter_detector::OnlineStatus| {
+            s.recurrence.as_ref().map(|r| {
+                (
+                    r.windows,
+                    r.bursty_windows,
+                    r.largest_burst_cluster,
+                    r.recurrent,
+                )
+            })
+        };
+        assert_eq!(summarize(&incremental), summarize(&replay), "case {case}");
+        assert!(
+            (incremental.confidence - replay.confidence).abs() < 1e-12,
+            "case {case}: incremental confidence {} vs replay {}",
+            incremental.confidence,
+            replay.confidence
+        );
+    }
+}
+
+#[test]
+fn par_map_is_thread_count_invariant() {
+    // The determinism contract of the vendored pool: par_map output is
+    // bit-identical to a serial map for any thread count.
+    let mut pools: Vec<threadpool::Pool> = [1usize, 2, 7].map(threadpool::Pool::new).into();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9A40_0000 + case);
+        let n = rng.gen_range(0usize..300);
+        let items: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let f = |x: &f64| (x * 1.000_001).sin() + x / 3.0;
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        for pool in &mut pools {
+            let got = threadpool::par_map_in(pool, &items, f);
+            assert_eq!(got.len(), serial.len(), "case {case}");
+            for (i, (a, b)) in got.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "case {case} item {i} with {} threads",
+                    pool.threads()
+                );
+            }
+        }
+    }
+}

@@ -6,6 +6,15 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
 //! wall-clock median over a fixed number of batches — good enough for
 //! relative before/after comparisons, with no statistics machinery.
+//!
+//! Two extensions beyond the upstream API (used by the workspace's bench
+//! runner, which upstream criterion covers with its own machinery):
+//!
+//! * [`Criterion::results`] exposes the measured per-iteration times so a
+//!   runner binary can serialize them (e.g. to `BENCH_detector.json`);
+//! * setting the `CCHUNTER_BENCH_QUICK` environment variable to anything
+//!   but `0`/empty switches to a fast low-precision mode (smaller timing
+//!   batches, fewer re-measures) for CI smoke runs.
 
 #![allow(clippy::all)] // vendored shim: mirrors the upstream API, not our style
 
@@ -29,7 +38,12 @@ impl Bencher {
     /// Times `routine`, auto-scaling the iteration count until one batch
     /// takes long enough to measure.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm up and find a batch size taking ≥ ~20 ms.
+        let (batch_floor, remeasures) = if quick_mode() {
+            (Duration::from_millis(2), 1)
+        } else {
+            (Duration::from_millis(20), 4)
+        };
+        // Warm up and find a batch size taking at least `batch_floor`.
         let mut batch = 1u64;
         let per_iter = loop {
             let start = Instant::now();
@@ -37,14 +51,14 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(20) || batch >= 1 << 30 {
+            if elapsed >= batch_floor || batch >= 1 << 30 {
                 break elapsed / batch as u32;
             }
             batch *= 8;
         };
         // Re-measure a few batches and keep the best (least-noise) one.
         let mut best = per_iter;
-        for _ in 0..4 {
+        for _ in 0..remeasures {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -58,10 +72,17 @@ impl Bencher {
     }
 }
 
+/// Whether `CCHUNTER_BENCH_QUICK` selects the fast low-precision mode.
+pub fn quick_mode() -> bool {
+    std::env::var("CCHUNTER_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 /// Bench registry and runner (stand-in for criterion's `Criterion`).
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<(String, Duration)>,
 }
 
 impl Criterion {
@@ -70,10 +91,18 @@ impl Criterion {
         let mut bencher = Bencher { result: None };
         f(&mut bencher);
         match bencher.result {
-            Some(t) => println!("{name:<48} {:>12.3?} /iter", t),
+            Some(t) => {
+                println!("{name:<48} {:>12.3?} /iter", t);
+                self.results.push((name.to_string(), t));
+            }
             None => println!("{name:<48} (no measurement)"),
         }
         self
+    }
+
+    /// Measured `(name, per-iteration time)` pairs, in run order.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
     }
 }
 

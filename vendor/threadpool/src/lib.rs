@@ -1,0 +1,313 @@
+//! Vendored scoped thread-pool shim with a deterministic `par_map`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the minimal parallel substrate the workspace needs: a persistent worker
+//! [`Pool`] whose [`scoped`](Pool::scoped) jobs may borrow from the caller's
+//! stack (the `scoped_threadpool` idiom), and [`par_map`] /
+//! [`par_map_in`] — an indexed parallel map whose output is **bit-identical
+//! to a serial map regardless of thread count**, because every result is
+//! written to its input's slot and the mapped function runs once per item.
+//!
+//! ## Determinism contract
+//!
+//! `par_map(items, f)` returns exactly `items.iter().map(f).collect()` for
+//! any pure `f`: items are partitioned into contiguous chunks, each chunk's
+//! results are written into the matching output positions, and no reduction
+//! or reordering happens across threads. Callers that need reproducible
+//! floating-point results must therefore only parallelize *independent*
+//! per-item work (as the detector's k-means assignment step and per-pair
+//! audits do) and keep any cross-item accumulation serial.
+//!
+//! ## Nesting
+//!
+//! The global pool behind [`par_map`] is guarded by a `try_lock`: a nested
+//! `par_map` issued from inside a pool worker (or from a second user thread
+//! while a map is in flight) silently degrades to the serial path instead of
+//! deadlocking. Results are identical either way.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
+use std::thread::{self, JoinHandle};
+
+type Thunk<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A fixed-size pool of persistent worker threads executing scoped jobs.
+#[derive(Debug)]
+pub struct Pool {
+    sender: Option<Sender<Thunk<'static>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Thunk<'static>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || worker_loop(&receiver))
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`Scope`] through which jobs borrowing from the
+    /// caller's stack can be submitted; returns only after every submitted
+    /// job has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all jobs have drained) if any submitted job panicked.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _marker: PhantomData,
+        };
+        let result = f(&scope);
+        scope.join();
+        result
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Thunk<'static>>>) {
+    loop {
+        // Hold the lock only while dequeuing, never while running a job.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // pool dropped
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Handle for submitting borrowed jobs inside [`Pool::scoped`].
+#[derive(Debug)]
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    // Invariant in 'scope: a longer-lived scope must not be coercible to a
+    // shorter-lived one (or borrowed jobs could outlive their data).
+    _marker: PhantomData<std::cell::Cell<&'scope ()>>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Submits a job that may borrow anything outliving `'scope`. The job
+    /// is guaranteed to finish before `scoped` returns.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.pending.lock().expect("scope counter healthy") += 1;
+        let state = Arc::clone(&self.state);
+        let job: Thunk<'scope> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut pending = state.pending.lock().expect("scope counter healthy");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the job only borrows data outliving 'scope, and
+        // `Scope::join` (called from both `Pool::scoped` and `Drop`) blocks
+        // until the job has run to completion, so the erased lifetime can
+        // never be observed dangling. This is the `scoped_threadpool` idiom.
+        let job: Thunk<'static> = unsafe { std::mem::transmute(job) };
+        self.pool
+            .sender
+            .as_ref()
+            .expect("pool is alive inside scoped")
+            .send(job)
+            .expect("pool workers are alive");
+    }
+
+    fn join(&self) {
+        let mut pending = self.state.pending.lock().expect("scope counter healthy");
+        while *pending > 0 {
+            pending = self
+                .state
+                .done
+                .wait(pending)
+                .expect("scope counter healthy");
+        }
+        drop(pending);
+        if self.state.panicked.load(Ordering::SeqCst) && !thread::panicking() {
+            panic!("a scoped thread-pool job panicked");
+        }
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    fn drop(&mut self) {
+        // `Pool::scoped` joins on the success path; this covers unwinding
+        // out of the scope closure so borrowed jobs can never dangle.
+        self.join();
+    }
+}
+
+/// The pool size [`par_map`] uses: `CCHUNTER_THREADS` if set to a positive
+/// integer, otherwise the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("CCHUNTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn global_pool() -> &'static Mutex<Pool> {
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Pool::new(default_threads())))
+}
+
+/// Maps `f` over `items` on an explicit pool; the output vector is
+/// bit-identical to `items.iter().map(f).collect()` for any thread count.
+pub fn par_map_in<T, R, F>(pool: &mut Pool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = pool.threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    // Over-partition a little so uneven per-item cost still balances.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let f = &f;
+    pool.scoped(|scope| {
+        for (inputs, outputs) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.execute(move || {
+                for (input, output) in inputs.iter().zip(outputs.iter_mut()) {
+                    *output = Some(f(input));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every chunk fills its slots"))
+        .collect()
+}
+
+/// Maps `f` over `items` on the process-wide pool (size
+/// [`default_threads`]). Falls back to the serial path — with identical
+/// output — when the global pool is already busy (nested or concurrent
+/// maps), so it can never deadlock.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match global_pool().try_lock() {
+        Ok(mut pool) => par_map_in(&mut pool, items, f),
+        Err(TryLockError::Poisoned(poisoned)) => par_map_in(&mut poisoned.into_inner(), items, f),
+        Err(TryLockError::WouldBlock) => items.iter().map(f).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let mut pool = Pool::new(threads);
+            let parallel = par_map_in(&mut pool, &items, |&x| x * x + 1);
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn global_par_map_and_nesting_stay_serial_equivalent() {
+        let items: Vec<u64> = (0..64).collect();
+        let got = par_map(&items, |&x| {
+            // Nested maps degrade to the serial path instead of deadlocking.
+            par_map(&[x, x + 1], |&y| y * 2).iter().sum::<u64>()
+        });
+        let want: Vec<u64> = items.iter().map(|&x| x * 2 + (x + 1) * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scoped_jobs_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sums = Mutex::new(0u64);
+        let mut pool = Pool::new(4);
+        pool.scoped(|scope| {
+            for value in &data {
+                let sums = &sums;
+                scope.execute(move || {
+                    *sums.lock().unwrap() += *value;
+                });
+            }
+        });
+        assert_eq!(*sums.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_drain() {
+        let mut pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked job.
+        let doubled = par_map_in(&mut pool, &[1, 2, 3], |&x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}
