@@ -11,6 +11,7 @@ use cchunter_detector::conflict::{GenerationTracker, IdealLruTracker, MissClassi
 use cchunter_detector::density::DensityHistogram;
 use cchunter_detector::online::{Harvest, OnlineContentionDetector};
 use cchunter_detector::pipeline::symbol_series;
+use cchunter_detector::supervisor::{PairInput, ProbeFault, Supervisor, SupervisorConfig};
 use cchunter_detector::{BloomFilter, CcHunter, CcHunterConfig, PairAudit, PairEvidence};
 use criterion::{black_box, Criterion};
 
@@ -22,6 +23,7 @@ pub fn detector_suite(c: &mut Criterion) {
     bench_clustering(c);
     bench_online_push(c);
     bench_audit_pairs(c);
+    bench_supervisor_tick(c);
     bench_bloom(c);
     bench_trackers(c);
 }
@@ -111,6 +113,37 @@ fn bench_audit_pairs(c: &mut Criterion) {
     });
     c.bench_function("audit_8_pairs_parallel", |b| {
         b.iter(|| hunter.audit_pairs(black_box(&audits)))
+    });
+}
+
+fn bench_supervisor_tick(c: &mut Criterion) {
+    // One supervised tick of an 8-pair fleet at steady state (full
+    // 64-quantum windows): the per-quantum cost of the whole supervision
+    // layer — probe dispatch, watchdogged parallel analysis, breaker
+    // bookkeeping — on top of the raw per-pair pushes.
+    let config = SupervisorConfig {
+        window_quanta: 64,
+        ..SupervisorConfig::default()
+    };
+    let mut fleet = Supervisor::new(config).expect("valid supervisor config");
+    for pair in 0..8 {
+        fleet
+            .add_contention_pair(format!("memory-bus: pair {pair}"))
+            .expect("valid pair config");
+    }
+    let histograms: Vec<DensityHistogram> = (0..8)
+        .map(|i| covert_histogram(14 + (i % 7), 2_500))
+        .collect();
+    let mut source = |pair: usize, tick: u64, _attempt: u32| {
+        Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(
+            histograms[(pair + tick as usize) % histograms.len()].clone(),
+        )))
+    };
+    for _ in 0..64 {
+        fleet.tick(&mut source);
+    }
+    c.bench_function("supervisor_tick_8_pairs_64_window", |b| {
+        b.iter(|| black_box(fleet.tick(&mut source)))
     });
 }
 

@@ -71,7 +71,10 @@ pub mod fault;
 pub mod fft;
 pub mod online;
 pub mod pipeline;
+pub mod policy;
 pub mod report;
+pub mod store;
+pub mod supervisor;
 pub mod trace;
 pub mod window;
 
@@ -89,7 +92,10 @@ pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, O
 pub use pipeline::{
     CcHunter, CcHunterConfig, Detection, PairAudit, PairEvidence, ResourceKind, Verdict,
 };
+pub use policy::{BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig};
 pub use report::SessionReport;
+pub use store::CheckpointStore;
+pub use supervisor::{PairInput, Supervisor, SupervisorConfig};
 pub use trace::TraceError;
 
 use std::fmt;
@@ -123,6 +129,32 @@ pub enum DetectorError {
         /// Short unit label (e.g. "memory-bus").
         unit: &'static str,
     },
+    /// A stored checkpoint failed CRC/framing validation (see
+    /// [`store::CorruptCheckpoint`] for which entry, generation, and why).
+    CorruptCheckpoint(Box<store::CorruptCheckpoint>),
+    /// A checkpoint parsed cleanly but describes state incompatible with
+    /// the configuration it is being restored into (wrong kind, impossible
+    /// capacity, out-of-range histogram bins, …).
+    CheckpointMismatch {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+    /// A supervised analysis panicked and was contained by its watchdog.
+    AnalysisPanicked {
+        /// What was being analyzed (e.g. the pair label).
+        context: String,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A supervised analysis finished but blew its deadline budget.
+    DeadlineExceeded {
+        /// What was being analyzed (e.g. the pair label).
+        context: String,
+        /// The configured budget in microseconds.
+        budget_us: u64,
+        /// The observed elapsed time in microseconds.
+        elapsed_us: u64,
+    },
 }
 
 impl fmt::Display for DetectorError {
@@ -135,6 +167,21 @@ impl fmt::Display for DetectorError {
             }
             DetectorError::BadHarvest { reason } => write!(f, "bad harvest: {reason}"),
             DetectorError::NotAudited { unit } => write!(f, "{unit} is not under audit"),
+            DetectorError::CorruptCheckpoint(e) => write!(f, "{e}"),
+            DetectorError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint mismatch: {reason}")
+            }
+            DetectorError::AnalysisPanicked { context, message } => {
+                write!(f, "analysis of {context} panicked: {message}")
+            }
+            DetectorError::DeadlineExceeded {
+                context,
+                budget_us,
+                elapsed_us,
+            } => write!(
+                f,
+                "analysis of {context} exceeded its {budget_us} µs deadline ({elapsed_us} µs)"
+            ),
         }
     }
 }
@@ -144,6 +191,7 @@ impl std::error::Error for DetectorError {
         match self {
             DetectorError::Auditor(e) => Some(e),
             DetectorError::Trace(e) => Some(e),
+            DetectorError::CorruptCheckpoint(e) => Some(e.as_ref()),
             _ => None,
         }
     }

@@ -46,7 +46,7 @@ use crate::burst::{BurstDetector, BurstVerdict};
 use crate::cluster::{discretized_features, recurrence_from_features, RecurrenceVerdict};
 use crate::density::DensityHistogram;
 use crate::pipeline::{symbol_series, CcHunterConfig, Verdict};
-use crate::trace::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointSlot, TraceError};
+use crate::trace::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointSlot};
 use crate::window::SlidingWindow;
 use crate::DetectorError;
 use std::io::{Read, Write};
@@ -395,37 +395,42 @@ impl OnlineContentionDetector {
     /// # Errors
     ///
     /// Returns [`DetectorError::Trace`] on malformed input and
-    /// [`DetectorError::InvalidConfig`] if the checkpoint is not a
-    /// contention checkpoint or its capacity is zero.
+    /// [`DetectorError::CheckpointMismatch`] if the parsed state is
+    /// incompatible with this daemon: wrong checkpoint kind, a capacity of
+    /// zero or beyond the paper's 512-quantum window limit, more slots than
+    /// the declared capacity, oscillation slots in a contention window, or
+    /// histogram bin indices outside
+    /// [`HISTOGRAM_BINS`](crate::density::HISTOGRAM_BINS). Incompatible
+    /// state is never silently adopted (or clamped) — a daemon restored
+    /// from a checkpoint either matches it exactly or refuses it.
     pub fn restore<R: Read>(config: CcHunterConfig, reader: R) -> Result<Self, DetectorError> {
         let cp = read_checkpoint(reader)?;
         if cp.kind != "contention" {
-            return Err(DetectorError::InvalidConfig {
+            return Err(DetectorError::CheckpointMismatch {
                 reason: format!("expected a contention checkpoint, got kind {:?}", cp.kind),
             });
         }
+        validate_window_shape(cp.capacity, cp.slots.len())?;
         let mut daemon = Self::new(config, cp.capacity)?;
         for (idx, slot) in cp.slots.into_iter().enumerate() {
-            if daemon.window.is_full() {
-                return Err(DetectorError::Trace(TraceError::Parse {
-                    line: 0,
+            if slot.oscillatory.is_some() {
+                return Err(DetectorError::CheckpointMismatch {
                     reason: format!(
-                        "checkpoint has more slots than its capacity {}",
-                        cp.capacity
+                        "slot {idx} carries an oscillation outcome in a contention window"
                     ),
-                }));
+                });
             }
             let histogram = slot
                 .histogram
                 .map(|(delta_t, sparse)| {
                     let mut bins = vec![0u64; crate::density::HISTOGRAM_BINS];
                     for (i, f) in sparse {
-                        let b = bins
-                            .get_mut(i)
-                            .ok_or(DetectorError::Trace(TraceError::Parse {
-                                line: 0,
-                                reason: format!("slot {idx} bin index {i} out of range"),
-                            }))?;
+                        let b = bins.get_mut(i).ok_or(DetectorError::CheckpointMismatch {
+                            reason: format!(
+                                "slot {idx} bin index {i} outside the {}-bin histogram",
+                                crate::density::HISTOGRAM_BINS
+                            ),
+                        })?;
                         *b = f;
                     }
                     DensityHistogram::from_bins(bins, delta_t)
@@ -499,6 +504,11 @@ impl OnlineOscillationDetector {
     /// Quanta currently retained (missed quanta included).
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+
+    /// Maximum quanta the sliding window retains.
+    pub fn capacity(&self) -> usize {
+        self.window.capacity()
     }
 
     /// Feeds one quantum's drained conflict records.
@@ -615,25 +625,25 @@ impl OnlineOscillationDetector {
     /// # Errors
     ///
     /// Returns [`DetectorError::Trace`] on malformed input and
-    /// [`DetectorError::InvalidConfig`] if the checkpoint is not an
-    /// oscillation checkpoint or its capacity is zero.
+    /// [`DetectorError::CheckpointMismatch`] if the parsed state is
+    /// incompatible with this daemon: wrong checkpoint kind, a capacity of
+    /// zero or beyond the 512-quantum limit, more slots than the declared
+    /// capacity, or histogram slots in an oscillation window. Incompatible
+    /// state is never silently adopted.
     pub fn restore<R: Read>(config: CcHunterConfig, reader: R) -> Result<Self, DetectorError> {
         let cp = read_checkpoint(reader)?;
         if cp.kind != "oscillation" {
-            return Err(DetectorError::InvalidConfig {
+            return Err(DetectorError::CheckpointMismatch {
                 reason: format!("expected an oscillation checkpoint, got kind {:?}", cp.kind),
             });
         }
+        validate_window_shape(cp.capacity, cp.slots.len())?;
         let mut daemon = Self::new(config, cp.capacity)?;
-        for slot in cp.slots {
-            if daemon.window.is_full() {
-                return Err(DetectorError::Trace(TraceError::Parse {
-                    line: 0,
-                    reason: format!(
-                        "checkpoint has more slots than its capacity {}",
-                        cp.capacity
-                    ),
-                }));
+        for (idx, slot) in cp.slots.into_iter().enumerate() {
+            if slot.histogram.is_some() {
+                return Err(DetectorError::CheckpointMismatch {
+                    reason: format!("slot {idx} carries a histogram in an oscillation window"),
+                });
             }
             daemon.push_slot(OscSlot {
                 oscillatory: slot.oscillatory,
@@ -642,6 +652,29 @@ impl OnlineOscillationDetector {
         }
         Ok(daemon)
     }
+}
+
+/// Shared restore-time validation: a checkpoint's window must have a
+/// plausible capacity (nonzero, within the paper's 512-quantum limit) and
+/// no more slots than that capacity. Anything else is refused with a typed
+/// [`DetectorError::CheckpointMismatch`] rather than clamped or truncated.
+fn validate_window_shape(capacity: usize, slots: usize) -> Result<(), DetectorError> {
+    if capacity == 0 {
+        return Err(DetectorError::CheckpointMismatch {
+            reason: "checkpoint declares a zero-capacity window".to_string(),
+        });
+    }
+    if capacity > 512 {
+        return Err(DetectorError::CheckpointMismatch {
+            reason: format!("checkpoint capacity {capacity} exceeds the 512-quantum window limit"),
+        });
+    }
+    if slots > capacity {
+        return Err(DetectorError::CheckpointMismatch {
+            reason: format!("checkpoint holds {slots} slots but declares capacity {capacity}"),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -777,7 +810,93 @@ mod tests {
         daemon.checkpoint(&mut buf).unwrap();
         let err = OnlineContentionDetector::restore(CcHunterConfig::default(), buf.as_slice())
             .unwrap_err();
-        assert!(matches!(err, DetectorError::InvalidConfig { .. }));
+        assert!(matches!(err, DetectorError::CheckpointMismatch { .. }));
+    }
+
+    #[test]
+    fn restore_rejects_incompatible_state() {
+        let config = CcHunterConfig::default;
+        // Capacity beyond the 512-quantum limit is refused, not clamped.
+        let text = "cchunter-checkpoint,v1\nkind,contention\ncapacity,4096\nend\n";
+        let err = OnlineContentionDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        // Zero capacity.
+        let text = "cchunter-checkpoint,v1\nkind,oscillation\ncapacity,0\nend\n";
+        let err = OnlineOscillationDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        // More slots than capacity.
+        let text =
+            "cchunter-checkpoint,v1\nkind,contention\ncapacity,1\nslot,1,missed\nslot,1,missed\nend\n";
+        let err = OnlineContentionDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        // A histogram bin index outside the 128-bin buffer.
+        let text =
+            "cchunter-checkpoint,v1\nkind,contention\ncapacity,4\nslot,1,hist,100000,500:10\nend\n";
+        let err = OnlineContentionDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        // Cross-kind slots: an oscillation outcome inside a contention
+        // window (and vice versa) is incompatible state, not a parse error.
+        let text = "cchunter-checkpoint,v1\nkind,contention\ncapacity,4\nslot,1,osc,1\nend\n";
+        let err = OnlineContentionDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        let text =
+            "cchunter-checkpoint,v1\nkind,oscillation\ncapacity,4\nslot,1,hist,100000,0:5\nend\n";
+        let err = OnlineOscillationDetector::restore(config(), text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, DetectorError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn degraded_midwindow_checkpoint_resumes_identically() {
+        // push_missed → checkpoint → restore → continued pushes must
+        // reproduce the exact OnlineStatus sequence of an uninterrupted
+        // run, for both daemon kinds.
+        let mut daemon = OnlineContentionDetector::new(CcHunterConfig::default(), 6).unwrap();
+        daemon.push_quantum(covert_histogram());
+        daemon.push_quantum(Harvest::Missed);
+        daemon.push_quantum(Harvest::Partial {
+            histogram: covert_histogram(),
+            lost_fraction: 0.4,
+        });
+        daemon.push_quantum(Harvest::Missed);
+        let mut buf = Vec::new();
+        daemon.checkpoint(&mut buf).unwrap();
+        let mut restored =
+            OnlineContentionDetector::restore(CcHunterConfig::default(), buf.as_slice()).unwrap();
+        for harvest in [
+            Harvest::Missed,
+            Harvest::Complete(covert_histogram()),
+            Harvest::Partial {
+                histogram: quiet_histogram(),
+                lost_fraction: 0.9,
+            },
+            Harvest::Complete(quiet_histogram()),
+            Harvest::Missed,
+        ] {
+            let a = daemon.push_quantum(harvest.clone());
+            let b = restored.push_quantum(harvest);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.confidence, b.confidence);
+            assert_eq!(a.window_len, b.window_len);
+            assert_eq!(a.observed_in_window, b.observed_in_window);
+        }
     }
 
     #[test]

@@ -365,6 +365,29 @@ impl CcHunter {
     pub fn audit_pairs(&self, audits: &[PairAudit]) -> Vec<Detection> {
         threadpool::par_map(audits, |audit| self.audit_pair(audit))
     }
+
+    /// Panic-safe variant of [`CcHunter::audit_pairs`]: each pair's
+    /// analysis runs under a watchdog, and a panicking audit (corrupt
+    /// evidence tripping an internal invariant) is contained to its own
+    /// slot as a typed [`crate::DetectorError::AnalysisPanicked`] instead
+    /// of tearing the batch (or the daemon) down.
+    ///
+    /// Successful slots are bit-identical to [`CcHunter::audit_pairs`].
+    pub fn try_audit_pairs(
+        &self,
+        audits: &[PairAudit],
+    ) -> Vec<Result<Detection, crate::DetectorError>> {
+        threadpool::par_catch_map(audits, |audit| self.audit_pair(audit))
+            .into_iter()
+            .zip(audits)
+            .map(|(result, audit)| {
+                result.map_err(|panic| crate::DetectorError::AnalysisPanicked {
+                    context: audit.label.clone(),
+                    message: panic.message,
+                })
+            })
+            .collect()
+    }
 }
 
 /// The evidence backing one entry of a multi-pair audit.
@@ -716,6 +739,26 @@ mod tests {
         assert!(parallel[2].verdict.is_covert());
         assert_eq!(parallel[2].kind, ResourceKind::Memory);
         assert!(parallel[0].resource.contains("memory-bus"));
+    }
+
+    #[test]
+    fn try_audit_pairs_matches_audit_pairs_on_healthy_evidence() {
+        let hunter = CcHunter::new(config());
+        let covert: Vec<Harvest> = hunter
+            .quantum_histograms(&covert_train(8, 100_000), 0, 800_000)
+            .into_iter()
+            .map(Harvest::Complete)
+            .collect();
+        let audits = vec![PairAudit {
+            label: "memory-bus: pid 17 <-> pid 23".to_string(),
+            evidence: PairEvidence::Contention(covert),
+        }];
+        let plain = hunter.audit_pairs(&audits);
+        let caught = hunter.try_audit_pairs(&audits);
+        assert_eq!(caught.len(), 1);
+        let d = caught[0].as_ref().expect("healthy audit succeeds");
+        assert_eq!(d.verdict, plain[0].verdict);
+        assert_eq!(d.evidence, plain[0].evidence);
     }
 
     #[test]

@@ -1,0 +1,659 @@
+//! Durable checkpoint store: crash-safe persistence for the online
+//! daemons' sliding-window state.
+//!
+//! The plain-text checkpoints of [`crate::trace`] are human-inspectable but
+//! fragile as *stored* state: a torn write, a truncated disk flush, or a
+//! flipped bit silently yields a file that parses wrong — or not at all —
+//! and an always-on auditor that loses its observation window to a bad
+//! restart also loses the recurrence evidence it spent up to 512 quanta
+//! accumulating. This module wraps any checkpoint payload in a durable
+//! envelope:
+//!
+//! * **length-framed, CRC32-checksummed, versioned** binary frames
+//!   ([`encode_frame`] / [`decode_frame`]) so corruption is *detected*
+//!   rather than misparsed;
+//! * **temp-file + atomic rename** writes ([`CheckpointStore::save`]) so a
+//!   crash mid-write can never destroy the previous good state;
+//! * **generational retention** — the last `keep` generations of every
+//!   named entry are kept on disk, and [`CheckpointStore::load_latest`]
+//!   automatically rolls back to the newest generation that still validates,
+//!   reporting how many corrupt generations it skipped.
+//!
+//! Nothing in the recovery path panics: every failure is a typed
+//! [`CorruptCheckpoint`] (chained through
+//! [`DetectorError::CorruptCheckpoint`](crate::DetectorError)) or an I/O
+//! error.
+//!
+//! ## Frame layout (version 2)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CCHKPT\r\n"
+//! 8       4     format version, u32 LE (currently 2)
+//! 12      8     payload length in bytes, u64 LE
+//! 20      4     CRC32 (IEEE) of the payload, u32 LE
+//! 24      n     payload (e.g. a crate::trace plain-text checkpoint)
+//! ```
+//!
+//! Trailing bytes after the payload are rejected (a longer stale file
+//! renamed over a shorter one would otherwise hide corruption), and the
+//! declared length is bounded by [`MAX_PAYLOAD_BYTES`] so an absurd length
+//! field cannot trigger an unbounded allocation.
+
+use crate::DetectorError;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every stored frame. The `\r\n` tail catches text-mode
+/// line-ending translation the same way PNG's magic does.
+pub const FRAME_MAGIC: [u8; 8] = *b"CCHKPT\r\n";
+
+/// Current frame format version.
+pub const FRAME_VERSION: u32 = 2;
+
+/// Upper bound on a frame's declared payload length. A full 512-slot
+/// contention checkpoint with dense histograms is well under 1 MiB; 64 MiB
+/// leaves two orders of magnitude of headroom while keeping a corrupted
+/// length field from allocating unboundedly.
+pub const MAX_PAYLOAD_BYTES: u64 = 64 << 20;
+
+const HEADER_BYTES: usize = 24;
+
+/// How a stored checkpoint failed validation.
+#[derive(Debug)]
+pub enum CorruptKind {
+    /// The file is shorter than a frame header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The magic prefix does not match [`FRAME_MAGIC`].
+    BadMagic,
+    /// The frame carries an unsupported format version.
+    BadVersion(u32),
+    /// The declared payload length exceeds [`MAX_PAYLOAD_BYTES`].
+    OversizedPayload(u64),
+    /// The file's byte count disagrees with the declared payload length
+    /// (truncated payload or trailing garbage).
+    LengthMismatch {
+        /// Payload bytes the header declared.
+        declared: u64,
+        /// Payload bytes actually present.
+        found: u64,
+    },
+    /// The payload's CRC32 does not match the header.
+    ChecksumMismatch {
+        /// CRC32 recorded in the header.
+        expected: u32,
+        /// CRC32 of the payload as read.
+        found: u32,
+    },
+    /// Every retained generation failed validation.
+    AllGenerationsCorrupt {
+        /// Generations that were tried, newest first.
+        tried: Vec<u64>,
+    },
+    /// The store directory could not be read or written.
+    Io(std::io::Error),
+}
+
+/// A corrupt (or unreadable) stored checkpoint, with enough context to
+/// report which entry and generation failed and why. Chains through
+/// [`std::error::Error::source`] when an underlying I/O error exists.
+#[derive(Debug)]
+pub struct CorruptCheckpoint {
+    /// The store entry name, when the failure is tied to one.
+    pub name: Option<String>,
+    /// The generation that failed validation, when known.
+    pub generation: Option<u64>,
+    /// What failed.
+    pub kind: CorruptKind,
+}
+
+impl CorruptCheckpoint {
+    fn frame(kind: CorruptKind) -> Self {
+        CorruptCheckpoint {
+            name: None,
+            generation: None,
+            kind,
+        }
+    }
+
+    fn locate(mut self, name: &str, generation: u64) -> Self {
+        self.name = Some(name.to_string());
+        self.generation = Some(generation);
+        self
+    }
+}
+
+impl fmt::Display for CorruptCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt checkpoint")?;
+        if let Some(name) = &self.name {
+            write!(f, " {name:?}")?;
+        }
+        if let Some(generation) = self.generation {
+            write!(f, " generation {generation}")?;
+        }
+        match &self.kind {
+            CorruptKind::TruncatedHeader { found } => {
+                write!(f, ": truncated header ({found} of {HEADER_BYTES} bytes)")
+            }
+            CorruptKind::BadMagic => write!(f, ": bad magic"),
+            CorruptKind::BadVersion(v) => {
+                write!(
+                    f,
+                    ": unsupported format version {v} (expected {FRAME_VERSION})"
+                )
+            }
+            CorruptKind::OversizedPayload(len) => {
+                write!(
+                    f,
+                    ": declared payload of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+                )
+            }
+            CorruptKind::LengthMismatch { declared, found } => {
+                write!(f, ": declared {declared} payload bytes, found {found}")
+            }
+            CorruptKind::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    ": CRC32 mismatch (header {expected:#010x}, payload {found:#010x})"
+                )
+            }
+            CorruptKind::AllGenerationsCorrupt { tried } => {
+                write!(
+                    f,
+                    ": all retained generations failed validation ({tried:?})"
+                )
+            }
+            CorruptKind::Io(e) => write!(f, ": i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorruptCheckpoint {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            CorruptKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CorruptCheckpoint> for DetectorError {
+    fn from(e: CorruptCheckpoint) -> Self {
+        DetectorError::CorruptCheckpoint(Box::new(e))
+    }
+}
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Wraps `payload` in a version-2 frame (magic, version, length, CRC32).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a frame and returns its payload.
+///
+/// # Errors
+///
+/// Returns [`CorruptCheckpoint`] on a truncated header, wrong magic,
+/// unsupported version, oversized or mismatched length, trailing bytes, or
+/// a CRC32 mismatch. Never panics, and never allocates more than the
+/// (bounded) declared payload length.
+pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, CorruptCheckpoint> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(CorruptCheckpoint::frame(CorruptKind::TruncatedHeader {
+            found: bytes.len(),
+        }));
+    }
+    if bytes[..8] != FRAME_MAGIC {
+        return Err(CorruptCheckpoint::frame(CorruptKind::BadMagic));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != FRAME_VERSION {
+        return Err(CorruptCheckpoint::frame(CorruptKind::BadVersion(version)));
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    if declared > MAX_PAYLOAD_BYTES {
+        return Err(CorruptCheckpoint::frame(CorruptKind::OversizedPayload(
+            declared,
+        )));
+    }
+    let expected_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte slice"));
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() as u64 != declared {
+        return Err(CorruptCheckpoint::frame(CorruptKind::LengthMismatch {
+            declared,
+            found: payload.len() as u64,
+        }));
+    }
+    let found_crc = crc32(payload);
+    if found_crc != expected_crc {
+        return Err(CorruptCheckpoint::frame(CorruptKind::ChecksumMismatch {
+            expected: expected_crc,
+            found: found_crc,
+        }));
+    }
+    Ok(payload.to_vec())
+}
+
+/// A checkpoint successfully loaded from the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedCheckpoint {
+    /// The generation the payload came from.
+    pub generation: u64,
+    /// Corrupt newer generations that were skipped to reach it. Zero means
+    /// the newest generation validated; anything higher is a rollback the
+    /// supervisor surfaces in its status.
+    pub rolled_back: usize,
+    /// The validated payload.
+    pub payload: Vec<u8>,
+}
+
+/// A directory of named, generational, CRC-framed checkpoint files.
+///
+/// Every entry name maps to files `<name>.g<generation>.ckpt`; saves write a
+/// temp file in the same directory and atomically rename it into place, then
+/// prune generations beyond the retention count. Loads walk generations
+/// newest-first and return the first one that validates.
+///
+/// ```
+/// use cchunter_detector::store::CheckpointStore;
+/// let dir = std::env::temp_dir().join(format!("cchunter-doc-{}", std::process::id()));
+/// let store = CheckpointStore::open(&dir, 3).unwrap();
+/// store.save("pair-0", b"state v1").unwrap();
+/// store.save("pair-0", b"state v2").unwrap();
+/// let loaded = store.load_latest("pair-0").unwrap().unwrap();
+/// assert_eq!(loaded.payload, b"state v2");
+/// assert_eq!(loaded.rolled_back, 0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir`, retaining the
+    /// last `keep` generations of every entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] if `keep` is zero and any
+    /// I/O error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, DetectorError> {
+        if keep == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "checkpoint store must keep at least one generation".to_string(),
+            });
+        }
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, keep })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Generations retained per entry.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    fn validate_name(name: &str) -> Result<(), DetectorError> {
+        let ok = !name.is_empty()
+            && name.len() <= 128
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if ok {
+            Ok(())
+        } else {
+            Err(DetectorError::InvalidConfig {
+                reason: format!(
+                    "checkpoint entry name {name:?} must be 1..=128 chars of [A-Za-z0-9._-]"
+                ),
+            })
+        }
+    }
+
+    fn path_for(&self, name: &str, generation: u64) -> PathBuf {
+        self.dir.join(format!("{name}.g{generation:08}.ckpt"))
+    }
+
+    /// Every on-disk generation of `name`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and any
+    /// I/O error from listing the directory.
+    pub fn generations(&self, name: &str) -> Result<Vec<u64>, DetectorError> {
+        Self::validate_name(name)?;
+        let prefix = format!("{name}.g");
+        let mut generations = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let file_name = entry?.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            if let Some(rest) = file_name
+                .strip_prefix(&prefix)
+                .and_then(|r| r.strip_suffix(".ckpt"))
+            {
+                if let Ok(generation) = rest.parse::<u64>() {
+                    generations.push(generation);
+                }
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    /// Frames `payload` and durably writes it as the next generation of
+    /// `name` (temp file in the same directory, flush, atomic rename), then
+    /// prunes generations beyond the retention count. Returns the new
+    /// generation number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and any
+    /// I/O error from the write path. A failed save never disturbs the
+    /// previously stored generations.
+    pub fn save(&self, name: &str, payload: &[u8]) -> Result<u64, DetectorError> {
+        Self::validate_name(name)?;
+        let generation = self.generations(name)?.last().map_or(0, |g| g + 1);
+        let tmp = self.dir.join(format!(".{name}.g{generation:08}.tmp"));
+        let framed = encode_frame(payload);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&framed)?;
+            // Flush file contents before the rename makes them reachable;
+            // a crash between the two leaves only a stale temp file.
+            file.sync_all()?;
+        }
+        let target = self.path_for(name, generation);
+        if let Err(e) = fs::rename(&tmp, &target) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        self.prune(name)?;
+        Ok(generation)
+    }
+
+    fn prune(&self, name: &str) -> Result<(), DetectorError> {
+        let generations = self.generations(name)?;
+        if generations.len() > self.keep {
+            for &generation in &generations[..generations.len() - self.keep] {
+                // Best-effort: a prune race or permission hiccup must not
+                // fail the save that triggered it.
+                let _ = fs::remove_file(self.path_for(name, generation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest generation of `name` that validates, rolling back
+    /// over corrupt newer generations. Returns `Ok(None)` when the entry
+    /// has no generations at all (a cold start).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::CorruptCheckpoint`] when generations exist
+    /// but none validates (the error lists every generation tried), and
+    /// [`DetectorError::InvalidConfig`] for an invalid name. Never panics.
+    pub fn load_latest(&self, name: &str) -> Result<Option<LoadedCheckpoint>, DetectorError> {
+        Self::validate_name(name)?;
+        let mut generations = self.generations(name)?;
+        if generations.is_empty() {
+            return Ok(None);
+        }
+        generations.reverse();
+        for (skipped, &generation) in generations.iter().enumerate() {
+            match self.load_generation(name, generation) {
+                Ok(payload) => {
+                    return Ok(Some(LoadedCheckpoint {
+                        generation,
+                        rolled_back: skipped,
+                        payload,
+                    }))
+                }
+                Err(_corrupt) => continue,
+            }
+        }
+        Err(CorruptCheckpoint {
+            name: Some(name.to_string()),
+            generation: None,
+            kind: CorruptKind::AllGenerationsCorrupt { tried: generations },
+        }
+        .into())
+    }
+
+    /// Loads and validates one specific generation of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptCheckpoint`] when the file is unreadable or fails
+    /// frame validation.
+    pub fn load_generation(
+        &self,
+        name: &str,
+        generation: u64,
+    ) -> Result<Vec<u8>, CorruptCheckpoint> {
+        let bytes = fs::read(self.path_for(name, generation))
+            .map_err(|e| CorruptCheckpoint::frame(CorruptKind::Io(e)).locate(name, generation))?;
+        decode_frame(&bytes).map_err(|e| e.locate(name, generation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str, keep: usize) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "cchunter-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir, keep).unwrap()
+    }
+
+    fn cleanup(store: &CheckpointStore) {
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = b"cchunter-checkpoint,v1\nkind,contention\ncapacity,8\nend\n";
+        let framed = encode_frame(payload);
+        assert_eq!(decode_frame(&framed).unwrap(), payload);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let payload = b"slot,1,missed";
+        let framed = encode_frame(payload);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} must not validate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_detected() {
+        let framed = encode_frame(b"some payload bytes");
+        for cut in 0..framed.len() {
+            assert!(decode_frame(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut longer = framed.clone();
+        longer.push(0);
+        assert!(matches!(
+            decode_frame(&longer).unwrap_err().kind,
+            CorruptKind::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn absurd_length_is_bounded_not_allocated() {
+        let mut framed = encode_frame(b"x");
+        framed[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&framed).unwrap_err().kind,
+            CorruptKind::OversizedPayload(_)
+        ));
+    }
+
+    #[test]
+    fn save_load_and_generations() {
+        let store = temp_store("basic", 3);
+        assert_eq!(store.load_latest("a").unwrap(), None);
+        assert_eq!(store.save("a", b"v0").unwrap(), 0);
+        assert_eq!(store.save("a", b"v1").unwrap(), 1);
+        let loaded = store.load_latest("a").unwrap().unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.rolled_back, 0);
+        assert_eq!(loaded.payload, b"v1");
+        assert_eq!(store.generations("a").unwrap(), vec![0, 1]);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn retention_prunes_old_generations() {
+        let store = temp_store("prune", 2);
+        for i in 0..5u8 {
+            store.save("p", &[i]).unwrap();
+        }
+        assert_eq!(store.generations("p").unwrap(), vec![3, 4]);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn corrupt_newest_generation_rolls_back() {
+        let store = temp_store("rollback", 3);
+        store.save("pair", b"good old state").unwrap();
+        let newest = store.save("pair", b"good new state").unwrap();
+        // Flip one payload bit of the newest generation on disk.
+        let path = store.path_for("pair", newest);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+
+        let loaded = store.load_latest("pair").unwrap().unwrap();
+        assert_eq!(loaded.generation, 0);
+        assert_eq!(loaded.rolled_back, 1, "the corrupt newest was skipped");
+        assert_eq!(loaded.payload, b"good old state");
+        cleanup(&store);
+    }
+
+    #[test]
+    fn truncated_newest_generation_rolls_back() {
+        let store = temp_store("truncate", 3);
+        store.save("pair", b"generation zero").unwrap();
+        let newest = store.save("pair", b"generation one").unwrap();
+        let path = store.path_for("pair", newest);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = store.load_latest("pair").unwrap().unwrap();
+        assert_eq!(loaded.generation, 0);
+        assert_eq!(loaded.rolled_back, 1);
+        assert_eq!(loaded.payload, b"generation zero");
+        cleanup(&store);
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_a_typed_error() {
+        let store = temp_store("allbad", 2);
+        for payload in [b"a".as_slice(), b"bb"] {
+            let generation = store.save("x", payload).unwrap();
+            let path = store.path_for("x", generation);
+            fs::write(&path, b"garbage").unwrap();
+        }
+        let err = store.load_latest("x").unwrap_err();
+        let DetectorError::CorruptCheckpoint(corrupt) = &err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(matches!(
+            corrupt.kind,
+            CorruptKind::AllGenerationsCorrupt { .. }
+        ));
+        // The chain renders and sources sanely.
+        assert!(err.to_string().contains("corrupt checkpoint"));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let store = temp_store("names", 1);
+        assert!(store.save("../escape", b"x").is_err());
+        assert!(store.save("", b"x").is_err());
+        assert!(store.save("has space", b"x").is_err());
+        assert!(store.save("pair-0_ok.v1", b"x").is_ok());
+        cleanup(&store);
+    }
+
+    #[test]
+    fn zero_retention_rejected() {
+        let dir = std::env::temp_dir().join("cchunter-store-zero");
+        assert!(matches!(
+            CheckpointStore::open(dir, 0),
+            Err(DetectorError::InvalidConfig { .. })
+        ));
+    }
+}

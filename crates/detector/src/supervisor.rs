@@ -1,0 +1,1438 @@
+//! The supervision layer: a crash-safe, self-healing fleet of per-pair
+//! online detectors.
+//!
+//! [`crate::online`] gives one daemon per audited pair; a deployment runs
+//! *many* — every suspect trojan/spy pairing on every shared unit — and the
+//! audit loop must survive everything a long-horizon, adversarial
+//! deployment throws at it. [`Supervisor`] owns the fleet and makes the
+//! per-quantum tick crash-safe end to end:
+//!
+//! * **Per-pair watchdogs** — every pair's analysis runs under
+//!   `catch_unwind` (via the thread pool's panic-safe
+//!   [`threadpool::par_catch_map_mut`] fan-out) with a deadline budget. A
+//!   panic or deadline miss becomes a typed
+//!   [`DetectorError::AnalysisPanicked`] /
+//!   [`DetectorError::DeadlineExceeded`], counts against that pair alone,
+//!   and yields a degraded per-pair report instead of poisoning the batch.
+//!   A panicked detector is rebuilt from the checkpoint store (or reset)
+//!   so the fleet keeps ticking.
+//! * **Retry with deterministic backoff** — a transiently missed probe is
+//!   retried up to the configured budget with seeded exponential backoff +
+//!   jitter ([`crate::policy::backoff_delay`]); the schedule depends only
+//!   on `(seed, pair, tick, attempt)`, so fault-injected runs replay
+//!   exactly, before and after a crash-restore.
+//! * **Quarantine** — each pair carries a
+//!   [`CircuitBreaker`](crate::policy::CircuitBreaker): pairs whose
+//!   failure rate over a sliding window exceeds the threshold are skipped
+//!   (with decaying reported confidence) and probed periodically for
+//!   recovery, so one broken monitor cannot starve the fleet's audit
+//!   budget.
+//! * **Crash-safe state** — [`Supervisor::checkpoint`] writes every pair's
+//!   sliding window plus a fleet manifest (tick, pair roster, breaker
+//!   states) through the CRC-framed, generational
+//!   [`CheckpointStore`](crate::store::CheckpointStore);
+//!   [`Supervisor::restore`] reloads the newest generations that validate,
+//!   rolling back over corrupt ones and surfacing every rollback in the
+//!   pair status.
+//!
+//! Determinism contract: given the same config, seed, and probe inputs,
+//! a supervisor restored from its checkpoint store at any tick produces
+//! the same verdict sequence as one that never crashed. (The deadline
+//! watchdog is the one wall-clock element; with a generous budget it never
+//! fires and the contract is exact.)
+
+use crate::auditor::ConflictRecord;
+use crate::online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
+use crate::pipeline::{CcHunterConfig, Verdict};
+use crate::policy::{
+    backoff_delay, mix_seed, BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig,
+};
+use crate::store::CheckpointStore;
+use crate::DetectorError;
+use std::fmt;
+use std::io::{BufRead, BufReader};
+use std::time::Instant;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Detection parameters shared by every pair's daemon.
+    pub hunter: CcHunterConfig,
+    /// Sliding-window length (quanta) of every pair's daemon.
+    pub window_quanta: usize,
+    /// Per-pair analysis deadline budget in microseconds; 0 disables the
+    /// deadline watchdog.
+    pub deadline_us: u64,
+    /// Retry/backoff policy for transiently failing probes.
+    pub backoff: BackoffConfig,
+    /// Quarantine (circuit-breaker) policy.
+    pub quarantine: QuarantineConfig,
+    /// Automatically checkpoint every N ticks when a store is attached
+    /// (0 = manual checkpoints only).
+    pub checkpoint_every: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            hunter: CcHunterConfig::default(),
+            window_quanta: 64,
+            deadline_us: 0,
+            backoff: BackoffConfig::default(),
+            quarantine: QuarantineConfig::default(),
+            checkpoint_every: 0,
+            seed: 0xCC_4117,
+        }
+    }
+}
+
+/// A chaos-engineering input for exercising the watchdogs: first-class so
+/// robustness tests and drills can inject the exact failure modes the
+/// supervisor must contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// The pair's analysis panics mid-push.
+    Panic,
+    /// The pair's analysis stalls for the given number of microseconds
+    /// before completing (to trip the deadline watchdog).
+    StallUs(u64),
+}
+
+/// One pair's harvested input for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PairInput {
+    /// A contention pair's per-quantum harvest.
+    Harvest(Harvest),
+    /// An oscillation pair's drained conflict records.
+    Conflicts {
+        /// The records drained this quantum.
+        records: Vec<ConflictRecord>,
+        /// Estimated corrupted/lost fraction, in `[0, 1]`.
+        lost_fraction: f64,
+    },
+    /// The probe produced nothing at all (kind-agnostic gap).
+    Missed,
+    /// An injected failure (see [`ChaosOp`]).
+    Chaos(ChaosOp),
+}
+
+impl PairInput {
+    /// Whether this input is a retryable non-observation.
+    fn is_missed(&self) -> bool {
+        matches!(
+            self,
+            PairInput::Missed | PairInput::Harvest(Harvest::Missed)
+        )
+    }
+}
+
+/// A transient probe failure, retried under the backoff policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFault {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for ProbeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probe fault: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ProbeFault {}
+
+/// Source of per-pair probe inputs, polled once per pair per tick (plus
+/// retries). Implemented for closures
+/// `FnMut(pair, tick, attempt) -> Result<PairInput, ProbeFault>`.
+pub trait ProbeSource {
+    /// Harvests pair `pair`'s input for `tick`; `attempt` is 0 for the
+    /// first try and counts up across retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeFault`] for a transient failure the supervisor
+    /// should retry under its backoff policy.
+    fn probe(&mut self, pair: usize, tick: u64, attempt: u32) -> Result<PairInput, ProbeFault>;
+}
+
+impl<F> ProbeSource for F
+where
+    F: FnMut(usize, u64, u32) -> Result<PairInput, ProbeFault>,
+{
+    fn probe(&mut self, pair: usize, tick: u64, attempt: u32) -> Result<PairInput, ProbeFault> {
+        self(pair, tick, attempt)
+    }
+}
+
+/// The two daemon kinds a pair can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Combinational resource: recurrent-burst daemon.
+    Contention,
+    /// Memory resource: oscillation daemon.
+    Oscillation,
+}
+
+impl fmt::Display for PairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairKind::Contention => f.write_str("contention"),
+            PairKind::Oscillation => f.write_str("oscillation"),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum PairDetector {
+    Contention(OnlineContentionDetector),
+    Oscillation(OnlineOscillationDetector),
+}
+
+/// What [`analyze`] yields for one pair: the post-push status plus
+/// whether the quantum was actually observed.
+type AnalysisResult = Result<(OnlineStatus, bool), DetectorError>;
+
+/// An [`AnalysisResult`] paired with its elapsed microseconds, as it
+/// comes back from the panic-catching fan-out.
+type TimedAnalysis = Result<(AnalysisResult, u64), threadpool::JobPanic>;
+
+/// How a panicked pair's detector was brought back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Restored from the checkpoint store.
+    RestoredFromStore {
+        /// The generation the state came from.
+        generation: u64,
+    },
+    /// No usable checkpoint: the window was reset empty.
+    Reset,
+}
+
+/// Where a pair's state came from at restore time — surfaced so operators
+/// can see that (and how far) a rollback happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoredFrom {
+    /// Store generation the state was loaded from.
+    pub generation: u64,
+    /// Corrupt newer generations skipped to reach it.
+    pub rolled_back: usize,
+}
+
+#[derive(Debug)]
+struct Pair {
+    label: String,
+    kind: PairKind,
+    detector: PairDetector,
+    breaker: CircuitBreaker,
+    /// Confidence reported while quarantined; decays per skipped tick.
+    quarantine_confidence: f64,
+    last_verdict: Verdict,
+    restored_from: Option<RestoredFrom>,
+    failures: u64,
+    panics: u64,
+    deadline_misses: u64,
+    retries: u64,
+    backoff_waited_us: u64,
+}
+
+/// Outcome of one pair's tick.
+#[derive(Debug)]
+pub enum PairOutcome {
+    /// The analysis ran cleanly.
+    Analyzed(OnlineStatus),
+    /// The analysis produced a status but something went wrong around it
+    /// (final probe missed after retries, wrong-kind input, deadline
+    /// miss); the window advanced with a gap or the status is tainted.
+    Degraded {
+        /// The daemon's status after the (gap) push.
+        status: OnlineStatus,
+        /// The typed cause.
+        error: DetectorError,
+    },
+    /// The pair is quarantined and was skipped this tick.
+    Skipped {
+        /// The decayed confidence the fleet reports for it.
+        confidence: f64,
+    },
+    /// The analysis panicked; the detector was rebuilt.
+    Failed {
+        /// The typed cause ([`DetectorError::AnalysisPanicked`]).
+        error: DetectorError,
+        /// How the pair's detector was brought back.
+        recovery: Recovery,
+    },
+}
+
+/// One pair's report for one tick.
+#[derive(Debug)]
+pub struct PairReport {
+    /// Pair index.
+    pub pair: usize,
+    /// Pair label.
+    pub label: String,
+    /// What happened.
+    pub outcome: PairOutcome,
+    /// Breaker state after the tick.
+    pub health: BreakerState,
+    /// Probe retries spent this tick.
+    pub retries: u32,
+    /// Virtual microseconds of backoff delay scheduled this tick.
+    pub backoff_us: u64,
+}
+
+/// Fleet-wide report for one tick.
+#[derive(Debug)]
+pub struct TickReport {
+    /// The tick that ran (the supervisor's quantum counter before
+    /// incrementing).
+    pub tick: u64,
+    /// Per-pair reports, in pair order.
+    pub reports: Vec<PairReport>,
+    /// Generation written by this tick's automatic checkpoint, if one ran.
+    pub checkpoint_generation: Option<u64>,
+    /// Error from this tick's automatic checkpoint, if it failed (the tick
+    /// itself still completes).
+    pub checkpoint_error: Option<String>,
+}
+
+/// A pair's standing in the fleet (for status tables and monitoring).
+#[derive(Debug, Clone)]
+pub struct PairStatus {
+    /// Pair index.
+    pub index: usize,
+    /// Pair label.
+    pub label: String,
+    /// Daemon kind.
+    pub kind: PairKind,
+    /// Breaker state.
+    pub health: BreakerState,
+    /// Failure rate over the breaker's window.
+    pub failure_rate: f64,
+    /// The pair's current verdict (last analyzed status).
+    pub verdict: Verdict,
+    /// Where the pair's state was restored from, if it was.
+    pub restored_from: Option<RestoredFrom>,
+    /// Total probe/analysis failures recorded.
+    pub failures: u64,
+    /// Contained analysis panics.
+    pub panics: u64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// Total probe retries.
+    pub retries: u64,
+}
+
+/// Report of a [`Supervisor::restore`]: which generations the fleet state
+/// actually came from.
+#[derive(Debug, Clone)]
+pub struct RestoreReport {
+    /// Manifest provenance.
+    pub manifest: RestoredFrom,
+    /// Per-pair provenance, in pair order.
+    pub pairs: Vec<RestoredFrom>,
+}
+
+impl RestoreReport {
+    /// Total corrupt generations rolled over across manifest and pairs.
+    pub fn total_rolled_back(&self) -> usize {
+        self.manifest.rolled_back + self.pairs.iter().map(|p| p.rolled_back).sum::<usize>()
+    }
+}
+
+const MANIFEST_MAGIC: &str = "cchunter-supervisor,v1";
+const MANIFEST_NAME: &str = "supervisor";
+
+/// The supervised audit service: owns the per-pair daemons, their
+/// watchdogs and breakers, and (optionally) a durable checkpoint store.
+///
+/// ```
+/// use cchunter_detector::supervisor::{PairInput, ProbeFault, Supervisor, SupervisorConfig};
+/// use cchunter_detector::online::Harvest;
+///
+/// let mut fleet = Supervisor::new(SupervisorConfig::default()).unwrap();
+/// fleet.add_contention_pair("memory-bus: pid 17 <-> pid 23").unwrap();
+/// let report = fleet.tick(&mut |_pair: usize, _tick: u64, _attempt: u32| {
+///     Ok::<PairInput, ProbeFault>(PairInput::Missed)
+/// });
+/// assert_eq!(report.reports.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    pairs: Vec<Pair>,
+    store: Option<CheckpointStore>,
+    tick: u64,
+}
+
+impl Supervisor {
+    /// Creates an empty fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] if `window_quanta` is zero.
+    pub fn new(config: SupervisorConfig) -> Result<Self, DetectorError> {
+        if config.window_quanta == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "supervisor window must hold at least one quantum".to_string(),
+            });
+        }
+        Ok(Supervisor {
+            config,
+            pairs: Vec::new(),
+            store: None,
+            tick: 0,
+        })
+    }
+
+    /// Attaches a durable checkpoint store (builder style).
+    pub fn with_store(mut self, store: CheckpointStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Ticks completed so far.
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of supervised pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn add_pair(&mut self, label: String, kind: PairKind) -> Result<usize, DetectorError> {
+        let detector = self.fresh_detector(kind)?;
+        self.pairs.push(Pair {
+            label,
+            kind,
+            detector,
+            breaker: CircuitBreaker::new(self.config.quarantine),
+            quarantine_confidence: 0.0,
+            last_verdict: Verdict::Clean,
+            restored_from: None,
+            failures: 0,
+            panics: 0,
+            deadline_misses: 0,
+            retries: 0,
+            backoff_waited_us: 0,
+        });
+        Ok(self.pairs.len() - 1)
+    }
+
+    fn fresh_detector(&self, kind: PairKind) -> Result<PairDetector, DetectorError> {
+        Ok(match kind {
+            PairKind::Contention => PairDetector::Contention(OnlineContentionDetector::new(
+                self.config.hunter,
+                self.config.window_quanta,
+            )?),
+            PairKind::Oscillation => PairDetector::Oscillation(OnlineOscillationDetector::new(
+                self.config.hunter,
+                self.config.window_quanta,
+            )?),
+        })
+    }
+
+    /// Adds a contention (combinational-resource) pair; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon-construction errors.
+    pub fn add_contention_pair(
+        &mut self,
+        label: impl Into<String>,
+    ) -> Result<usize, DetectorError> {
+        self.add_pair(label.into(), PairKind::Contention)
+    }
+
+    /// Adds an oscillation (memory-resource) pair; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon-construction errors.
+    pub fn add_oscillation_pair(
+        &mut self,
+        label: impl Into<String>,
+    ) -> Result<usize, DetectorError> {
+        self.add_pair(label.into(), PairKind::Oscillation)
+    }
+
+    /// Runs one supervised tick: probes every non-quarantined pair
+    /// (retrying transient misses under the backoff policy), fans the
+    /// analyses out across the thread pool under the panic/deadline
+    /// watchdogs, updates every breaker, and (when due) auto-checkpoints.
+    ///
+    /// Never panics and never aborts the batch: every per-pair failure is
+    /// contained and reported in the returned [`TickReport`].
+    pub fn tick<S: ProbeSource + ?Sized>(&mut self, source: &mut S) -> TickReport {
+        let tick = self.tick;
+        let deadline_us = self.config.deadline_us;
+
+        // Phase 1 (serial): decide skips, probe with retry + backoff.
+        enum Plan {
+            Skip {
+                confidence: f64,
+            },
+            Analyze {
+                input: PairInput,
+                retries: u32,
+                backoff_us: u64,
+            },
+        }
+        let mut plans: Vec<Plan> = Vec::with_capacity(self.pairs.len());
+        for (idx, pair) in self.pairs.iter_mut().enumerate() {
+            if !pair.breaker.should_attempt(tick) {
+                pair.quarantine_confidence *= pair.breaker.config().confidence_decay;
+                plans.push(Plan::Skip {
+                    confidence: pair.quarantine_confidence,
+                });
+                continue;
+            }
+            let seed = mix_seed(self.config.seed, idx as u64, tick);
+            let mut attempt: u32 = 0;
+            let mut backoff_us: u64 = 0;
+            let input = loop {
+                let result = source.probe(idx, tick, attempt);
+                let retryable = match &result {
+                    Ok(input) => input.is_missed(),
+                    Err(_) => true,
+                };
+                if !retryable {
+                    break result.expect("non-retryable is Ok");
+                }
+                match backoff_delay(&self.config.backoff, seed, attempt) {
+                    Some(delay) => {
+                        // The delay is virtual: the schedule is recorded
+                        // (and reproducible), not slept, so supervised
+                        // tests replay instantly.
+                        backoff_us += delay;
+                        attempt += 1;
+                    }
+                    None => break PairInput::Missed,
+                }
+            };
+            pair.retries += attempt as u64;
+            pair.backoff_waited_us += backoff_us;
+            plans.push(Plan::Analyze {
+                input,
+                retries: attempt,
+                backoff_us,
+            });
+        }
+
+        // Phase 2 (parallel): run every planned analysis under the
+        // watchdogs. Jobs are per-pair &mut state; a panicking job is
+        // contained in its own slot.
+        struct Job<'a> {
+            pair: &'a mut Pair,
+            input: Option<PairInput>,
+        }
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut job_index: Vec<usize> = Vec::new();
+        for (idx, (pair, plan)) in self.pairs.iter_mut().zip(&mut plans).enumerate() {
+            if let Plan::Analyze { input, .. } = plan {
+                jobs.push(Job {
+                    pair,
+                    input: Some(input.clone()),
+                });
+                job_index.push(idx);
+            }
+        }
+        let results = threadpool::par_catch_map_mut(&mut jobs, |job| {
+            let input = job.input.take().expect("input set at plan time");
+            let start = Instant::now();
+            let pushed = analyze(&mut job.pair.detector, input);
+            let elapsed_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            (pushed, elapsed_us)
+        });
+        drop(jobs);
+
+        // Phase 3 (serial): bookkeeping — breakers, verdicts, recovery.
+        let mut analysis_results = job_index.into_iter().zip(results);
+        let mut reports = Vec::with_capacity(self.pairs.len());
+        for (idx, plan) in plans.into_iter().enumerate() {
+            let (retries, backoff_us, result) = match plan {
+                Plan::Skip { confidence } => {
+                    let pair = &self.pairs[idx];
+                    reports.push(PairReport {
+                        pair: idx,
+                        label: pair.label.clone(),
+                        outcome: PairOutcome::Skipped { confidence },
+                        health: pair.breaker.state(),
+                        retries: 0,
+                        backoff_us: 0,
+                    });
+                    continue;
+                }
+                Plan::Analyze {
+                    retries,
+                    backoff_us,
+                    ..
+                } => {
+                    let (job_idx, result) =
+                        analysis_results.next().expect("one result per planned job");
+                    debug_assert_eq!(job_idx, idx);
+                    (retries, backoff_us, result)
+                }
+            };
+            let outcome = self.settle_pair(idx, tick, deadline_us, result);
+            let pair = &self.pairs[idx];
+            reports.push(PairReport {
+                pair: idx,
+                label: pair.label.clone(),
+                outcome,
+                health: pair.breaker.state(),
+                retries,
+                backoff_us,
+            });
+        }
+
+        self.tick = tick + 1;
+
+        // Phase 4: automatic checkpoint, if due.
+        let mut checkpoint_generation = None;
+        let mut checkpoint_error = None;
+        if self.store.is_some()
+            && self.config.checkpoint_every > 0
+            && self.tick.is_multiple_of(self.config.checkpoint_every)
+        {
+            match self.checkpoint() {
+                Ok(generation) => checkpoint_generation = Some(generation),
+                Err(e) => checkpoint_error = Some(e.to_string()),
+            }
+        }
+
+        TickReport {
+            tick,
+            reports,
+            checkpoint_generation,
+            checkpoint_error,
+        }
+    }
+
+    /// Converts one pair's raw analysis result into its outcome, updating
+    /// breaker, verdict, and recovery state.
+    fn settle_pair(
+        &mut self,
+        idx: usize,
+        tick: u64,
+        deadline_us: u64,
+        result: TimedAnalysis,
+    ) -> PairOutcome {
+        match result {
+            Err(panic) => {
+                let recovery = self.rebuild_detector(idx);
+                let pair = &mut self.pairs[idx];
+                pair.panics += 1;
+                pair.failures += 1;
+                pair.quarantine_confidence = 0.0;
+                pair.breaker.record_failure(tick);
+                PairOutcome::Failed {
+                    error: DetectorError::AnalysisPanicked {
+                        context: pair.label.clone(),
+                        message: panic.message,
+                    },
+                    recovery,
+                }
+            }
+            Ok((pushed, elapsed_us)) => {
+                let pair = &mut self.pairs[idx];
+                let deadline_missed = deadline_us > 0 && elapsed_us > deadline_us;
+                match pushed {
+                    Ok((status, observed)) => {
+                        pair.last_verdict = status.verdict;
+                        pair.quarantine_confidence = status.confidence;
+                        if deadline_missed {
+                            pair.deadline_misses += 1;
+                            pair.failures += 1;
+                            pair.breaker.record_failure(tick);
+                            PairOutcome::Degraded {
+                                status,
+                                error: DetectorError::DeadlineExceeded {
+                                    context: pair.label.clone(),
+                                    budget_us: deadline_us,
+                                    elapsed_us,
+                                },
+                            }
+                        } else if observed {
+                            pair.breaker.record_success(tick);
+                            PairOutcome::Analyzed(status)
+                        } else {
+                            // The window advanced with a gap: the analysis
+                            // behaved, but the probe ultimately failed.
+                            pair.failures += 1;
+                            pair.breaker.record_failure(tick);
+                            PairOutcome::Degraded {
+                                status,
+                                error: DetectorError::BadHarvest {
+                                    reason: "probe missed after exhausting retries".to_string(),
+                                },
+                            }
+                        }
+                    }
+                    Err(error) => {
+                        pair.failures += 1;
+                        pair.breaker.record_failure(tick);
+                        let status = push_gap(&mut pair.detector);
+                        pair.last_verdict = status.verdict;
+                        pair.quarantine_confidence = status.confidence;
+                        PairOutcome::Degraded { status, error }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Brings a panicked pair's detector back: from the store when
+    /// possible, otherwise a fresh (empty-window) daemon. Never fails —
+    /// a rebuild error degrades to the reset path.
+    fn rebuild_detector(&mut self, idx: usize) -> Recovery {
+        let kind = self.pairs[idx].kind;
+        if let Some(store) = &self.store {
+            if let Ok(Some(loaded)) = store.load_latest(&pair_entry_name(idx)) {
+                let restored = match kind {
+                    PairKind::Contention => OnlineContentionDetector::restore(
+                        self.config.hunter,
+                        loaded.payload.as_slice(),
+                    )
+                    .map(PairDetector::Contention),
+                    PairKind::Oscillation => OnlineOscillationDetector::restore(
+                        self.config.hunter,
+                        loaded.payload.as_slice(),
+                    )
+                    .map(PairDetector::Oscillation),
+                };
+                if let Ok(detector) = restored {
+                    self.pairs[idx].detector = detector;
+                    self.pairs[idx].restored_from = Some(RestoredFrom {
+                        generation: loaded.generation,
+                        rolled_back: loaded.rolled_back,
+                    });
+                    return Recovery::RestoredFromStore {
+                        generation: loaded.generation,
+                    };
+                }
+            }
+        }
+        let fresh = self
+            .fresh_detector(kind)
+            .expect("config validated at construction");
+        self.pairs[idx].detector = fresh;
+        Recovery::Reset
+    }
+
+    /// The fleet's current standing, pair by pair.
+    pub fn pair_statuses(&self) -> Vec<PairStatus> {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(index, pair)| PairStatus {
+                index,
+                label: pair.label.clone(),
+                kind: pair.kind,
+                health: pair.breaker.state(),
+                failure_rate: pair.breaker.failure_rate(),
+                verdict: pair.last_verdict,
+                restored_from: pair.restored_from,
+                failures: pair.failures,
+                panics: pair.panics,
+                deadline_misses: pair.deadline_misses,
+                retries: pair.retries,
+            })
+            .collect()
+    }
+
+    /// Durably checkpoints the whole fleet (every pair's window plus the
+    /// manifest) to the attached store. Returns the manifest's new
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] when no store is attached
+    /// and any store/serialization error. A failed checkpoint never
+    /// corrupts previously stored generations (every write is atomic).
+    pub fn checkpoint(&self) -> Result<u64, DetectorError> {
+        let store = self.store.as_ref().ok_or(DetectorError::InvalidConfig {
+            reason: "no checkpoint store attached".to_string(),
+        })?;
+        for (idx, pair) in self.pairs.iter().enumerate() {
+            let mut payload = Vec::new();
+            match &pair.detector {
+                PairDetector::Contention(d) => d.checkpoint(&mut payload)?,
+                PairDetector::Oscillation(d) => d.checkpoint(&mut payload)?,
+            }
+            store.save(&pair_entry_name(idx), &payload)?;
+        }
+        let mut manifest = String::new();
+        manifest.push_str(MANIFEST_MAGIC);
+        manifest.push('\n');
+        manifest.push_str(&format!("tick,{}\n", self.tick));
+        manifest.push_str(&format!("pairs,{}\n", self.pairs.len()));
+        for (idx, pair) in self.pairs.iter().enumerate() {
+            manifest.push_str(&format!(
+                "pair,{idx},{},{},{},{},{},{},{},{}\n",
+                pair.kind,
+                pair.breaker.serialize(),
+                pair.quarantine_confidence,
+                pair.failures,
+                pair.panics,
+                pair.deadline_misses,
+                pair.retries,
+                pair.label
+            ));
+        }
+        manifest.push_str("end\n");
+        store.save(MANIFEST_NAME, manifest.as_bytes())
+    }
+
+    /// Restores a whole fleet from `store`: loads the newest valid
+    /// manifest generation, then every pair's newest valid window, rolling
+    /// back over corrupt generations and reporting the provenance of
+    /// everything that was loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::CorruptCheckpoint`] when an entry exists
+    /// but no generation validates, [`DetectorError::CheckpointMismatch`]
+    /// when the stored state is incompatible with `config` (e.g. a window
+    /// capacity that differs from `config.window_quanta`), and
+    /// [`DetectorError::Trace`] on manifest parse failures. The recovery
+    /// path never panics.
+    pub fn restore(
+        config: SupervisorConfig,
+        store: CheckpointStore,
+    ) -> Result<(Self, RestoreReport), DetectorError> {
+        let mut fleet = Supervisor::new(config)?;
+        let loaded =
+            store
+                .load_latest(MANIFEST_NAME)?
+                .ok_or(DetectorError::CheckpointMismatch {
+                    reason: "store has no supervisor manifest".to_string(),
+                })?;
+        let manifest_from = RestoredFrom {
+            generation: loaded.generation,
+            rolled_back: loaded.rolled_back,
+        };
+        let manifest = parse_manifest(&loaded.payload, config.quarantine)?;
+        fleet.tick = manifest.tick;
+
+        let mut pair_provenance = Vec::with_capacity(manifest.pairs.len());
+        for (idx, entry) in manifest.pairs.into_iter().enumerate() {
+            let pair_loaded = store.load_latest(&pair_entry_name(idx))?.ok_or_else(|| {
+                DetectorError::CheckpointMismatch {
+                    reason: format!("manifest lists pair {idx} but the store has no window for it"),
+                }
+            })?;
+            let detector = match entry.kind {
+                PairKind::Contention => {
+                    PairDetector::Contention(OnlineContentionDetector::restore(
+                        config.hunter,
+                        pair_loaded.payload.as_slice(),
+                    )?)
+                }
+                PairKind::Oscillation => {
+                    PairDetector::Oscillation(OnlineOscillationDetector::restore(
+                        config.hunter,
+                        pair_loaded.payload.as_slice(),
+                    )?)
+                }
+            };
+            let capacity = match &detector {
+                PairDetector::Contention(d) => d.capacity(),
+                PairDetector::Oscillation(d) => d.capacity(),
+            };
+            let expected = config.window_quanta.min(512);
+            if capacity != expected {
+                return Err(DetectorError::CheckpointMismatch {
+                    reason: format!(
+                        "pair {idx} window capacity {capacity} does not match the configured {expected}"
+                    ),
+                });
+            }
+            let restored_from = RestoredFrom {
+                generation: pair_loaded.generation,
+                rolled_back: pair_loaded.rolled_back,
+            };
+            fleet.pairs.push(Pair {
+                label: entry.label,
+                kind: entry.kind,
+                detector,
+                breaker: entry.breaker,
+                quarantine_confidence: entry.quarantine_confidence,
+                last_verdict: Verdict::Clean,
+                restored_from: Some(restored_from),
+                failures: entry.failures,
+                panics: entry.panics,
+                deadline_misses: entry.deadline_misses,
+                retries: entry.retries,
+                backoff_waited_us: 0,
+            });
+            pair_provenance.push(restored_from);
+        }
+        fleet.store = Some(store);
+        Ok((
+            fleet,
+            RestoreReport {
+                manifest: manifest_from,
+                pairs: pair_provenance,
+            },
+        ))
+    }
+}
+
+fn pair_entry_name(idx: usize) -> String {
+    format!("pair-{idx:04}")
+}
+
+/// Runs one input through a pair's detector. The bool reports whether the
+/// quantum was actually observed (false = gap). May panic only for
+/// [`ChaosOp::Panic`] — which the caller contains.
+fn analyze(
+    detector: &mut PairDetector,
+    input: PairInput,
+) -> Result<(OnlineStatus, bool), DetectorError> {
+    match (detector, input) {
+        (PairDetector::Contention(d), PairInput::Harvest(h)) => {
+            let observed = !matches!(h, Harvest::Missed);
+            Ok((d.push_quantum(h), observed))
+        }
+        (
+            PairDetector::Oscillation(d),
+            PairInput::Conflicts {
+                records,
+                lost_fraction,
+            },
+        ) => Ok((d.push_quantum_degraded(&records, lost_fraction), true)),
+        (PairDetector::Contention(d), PairInput::Missed) => {
+            Ok((d.push_quantum(Harvest::Missed), false))
+        }
+        (PairDetector::Oscillation(d), PairInput::Missed) => Ok((d.push_missed(), false)),
+        (_, PairInput::Chaos(ChaosOp::Panic)) => {
+            panic!("chaos: injected analysis panic")
+        }
+        (d, PairInput::Chaos(ChaosOp::StallUs(us))) => {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+            Ok((push_gap(d), false))
+        }
+        (PairDetector::Contention(_), PairInput::Conflicts { .. }) => {
+            Err(DetectorError::BadHarvest {
+                reason: "conflict records delivered to a contention pair".to_string(),
+            })
+        }
+        (PairDetector::Oscillation(_), PairInput::Harvest(_)) => Err(DetectorError::BadHarvest {
+            reason: "density harvest delivered to an oscillation pair".to_string(),
+        }),
+    }
+}
+
+/// Advances a pair's window with a zero-observation gap.
+fn push_gap(detector: &mut PairDetector) -> OnlineStatus {
+    match detector {
+        PairDetector::Contention(d) => d.push_quantum(Harvest::Missed),
+        PairDetector::Oscillation(d) => d.push_missed(),
+    }
+}
+
+struct ManifestPair {
+    kind: PairKind,
+    breaker: CircuitBreaker,
+    quarantine_confidence: f64,
+    failures: u64,
+    panics: u64,
+    deadline_misses: u64,
+    retries: u64,
+    label: String,
+}
+
+struct Manifest {
+    tick: u64,
+    pairs: Vec<ManifestPair>,
+}
+
+fn manifest_error(line: usize, reason: impl Into<String>) -> DetectorError {
+    DetectorError::Trace(crate::trace::TraceError::Parse {
+        line,
+        reason: reason.into(),
+    })
+}
+
+fn parse_manifest(payload: &[u8], quarantine: QuarantineConfig) -> Result<Manifest, DetectorError> {
+    let mut tick: Option<u64> = None;
+    let mut declared_pairs: Option<usize> = None;
+    let mut pairs: Vec<ManifestPair> = Vec::new();
+    let mut saw_magic = false;
+    let mut saw_end = false;
+    for (idx, line) in BufReader::new(payload).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| manifest_error(line_no, format!("unreadable line: {e}")))?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if !saw_magic {
+            if text != MANIFEST_MAGIC {
+                return Err(manifest_error(
+                    line_no,
+                    format!("expected {MANIFEST_MAGIC:?} magic, got {text:?}"),
+                ));
+            }
+            saw_magic = true;
+            continue;
+        }
+        if text == "end" {
+            saw_end = true;
+            break;
+        }
+        let (tag, rest) = text.split_once(',').unwrap_or((text, ""));
+        match tag {
+            "tick" => {
+                tick = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|e| manifest_error(line_no, format!("bad tick {rest:?}: {e}")))?,
+                );
+            }
+            "pairs" => {
+                let n: usize = rest.trim().parse().map_err(|e| {
+                    manifest_error(line_no, format!("bad pair count {rest:?}: {e}"))
+                })?;
+                if n > 65_536 {
+                    return Err(manifest_error(
+                        line_no,
+                        format!("absurd pair count {n} (limit 65536)"),
+                    ));
+                }
+                declared_pairs = Some(n);
+            }
+            "pair" => {
+                // pair,<idx>,<kind>,<breaker>,<confidence>,
+                //      <failures>,<panics>,<deadline-misses>,<retries>,<label…>
+                let mut fields = rest.splitn(9, ',');
+                let idx_field: usize = fields
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .parse()
+                    .map_err(|e| manifest_error(line_no, format!("bad pair index: {e}")))?;
+                if idx_field != pairs.len() {
+                    return Err(manifest_error(
+                        line_no,
+                        format!(
+                            "pair index {idx_field} out of order (expected {})",
+                            pairs.len()
+                        ),
+                    ));
+                }
+                let kind = match fields.next().unwrap_or("").trim() {
+                    "contention" => PairKind::Contention,
+                    "oscillation" => PairKind::Oscillation,
+                    other => {
+                        return Err(manifest_error(
+                            line_no,
+                            format!("unknown pair kind {other:?}"),
+                        ))
+                    }
+                };
+                let breaker_field = fields.next().unwrap_or("");
+                let breaker =
+                    CircuitBreaker::deserialize(quarantine, breaker_field).ok_or_else(|| {
+                        manifest_error(line_no, format!("bad breaker state {breaker_field:?}"))
+                    })?;
+                let confidence: f64 = fields
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .parse()
+                    .map_err(|e| manifest_error(line_no, format!("bad confidence: {e}")))?;
+                if !(0.0..=1.0).contains(&confidence) {
+                    return Err(manifest_error(
+                        line_no,
+                        format!("confidence {confidence} out of [0, 1]"),
+                    ));
+                }
+                let mut counter = |what: &str| -> Result<u64, DetectorError> {
+                    fields
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .parse()
+                        .map_err(|e| manifest_error(line_no, format!("bad {what} count: {e}")))
+                };
+                let failures = counter("failure")?;
+                let panics = counter("panic")?;
+                let deadline_misses = counter("deadline-miss")?;
+                let retries = counter("retry")?;
+                let label = fields.next().unwrap_or("").to_string();
+                pairs.push(ManifestPair {
+                    kind,
+                    breaker,
+                    quarantine_confidence: confidence,
+                    failures,
+                    panics,
+                    deadline_misses,
+                    retries,
+                    label,
+                });
+            }
+            other => {
+                return Err(manifest_error(
+                    line_no,
+                    format!("unknown manifest tag {other:?}"),
+                ));
+            }
+        }
+    }
+    if !saw_magic || !saw_end {
+        return Err(manifest_error(
+            0,
+            "truncated manifest (missing magic or end)",
+        ));
+    }
+    let tick = tick.ok_or_else(|| manifest_error(0, "manifest has no tick line"))?;
+    if let Some(declared) = declared_pairs {
+        if declared != pairs.len() {
+            return Err(manifest_error(
+                0,
+                format!(
+                    "manifest declares {declared} pairs but lists {}",
+                    pairs.len()
+                ),
+            ));
+        }
+    }
+    Ok(Manifest { tick, pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{DensityHistogram, HISTOGRAM_BINS};
+
+    fn covert_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_400;
+        bins[19] = 20;
+        bins[20] = 150;
+        bins[21] = 25;
+        DensityHistogram::from_bins(bins, 100_000).unwrap()
+    }
+
+    fn quiet_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_495;
+        bins[1] = 5;
+        DensityHistogram::from_bins(bins, 100_000).unwrap()
+    }
+
+    fn test_config() -> SupervisorConfig {
+        SupervisorConfig {
+            window_quanta: 8,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn temp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "cchunter-supervisor-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir, 3).unwrap()
+    }
+
+    fn cleanup(store_dir: &std::path::Path) {
+        let _ = std::fs::remove_dir_all(store_dir);
+    }
+
+    #[test]
+    fn healthy_fleet_detects_and_reports() {
+        let mut fleet = Supervisor::new(test_config()).unwrap();
+        fleet.add_contention_pair("bus").unwrap();
+        fleet.add_contention_pair("divider").unwrap();
+        let mut source = |pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(if pair == 0 {
+                covert_histogram()
+            } else {
+                quiet_histogram()
+            })))
+        };
+        for _ in 0..6 {
+            let report = fleet.tick(&mut source);
+            assert_eq!(report.reports.len(), 2);
+            for r in &report.reports {
+                assert!(matches!(r.outcome, PairOutcome::Analyzed(_)), "{r:?}");
+            }
+        }
+        let statuses = fleet.pair_statuses();
+        assert!(statuses[0].verdict.is_covert(), "{statuses:?}");
+        assert_eq!(statuses[1].verdict, Verdict::Clean);
+        assert!(statuses.iter().all(|s| s.health == BreakerState::Closed));
+    }
+
+    #[test]
+    fn panicking_pair_is_contained_and_does_not_poison_the_batch() {
+        let mut fleet = Supervisor::new(test_config()).unwrap();
+        fleet.add_contention_pair("healthy").unwrap();
+        fleet.add_contention_pair("panicky").unwrap();
+        let mut source = |pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(if pair == 1 {
+                PairInput::Chaos(ChaosOp::Panic)
+            } else {
+                PairInput::Harvest(Harvest::Complete(covert_histogram()))
+            })
+        };
+        let report = fleet.tick(&mut source);
+        assert!(matches!(
+            report.reports[0].outcome,
+            PairOutcome::Analyzed(_)
+        ));
+        match &report.reports[1].outcome {
+            PairOutcome::Failed { error, recovery } => {
+                assert!(matches!(error, DetectorError::AnalysisPanicked { .. }));
+                assert_eq!(*recovery, Recovery::Reset, "no store attached");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        assert_eq!(fleet.pair_statuses()[1].panics, 1);
+        // The healthy pair keeps working on subsequent ticks.
+        let report = fleet.tick(&mut source);
+        assert!(matches!(
+            report.reports[0].outcome,
+            PairOutcome::Analyzed(_)
+        ));
+    }
+
+    #[test]
+    fn deadline_miss_is_typed_and_counted() {
+        let config = SupervisorConfig {
+            deadline_us: 500,
+            ..test_config()
+        };
+        let mut fleet = Supervisor::new(config).unwrap();
+        fleet.add_contention_pair("slow").unwrap();
+        let mut source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Chaos(ChaosOp::StallUs(5_000)))
+        };
+        let report = fleet.tick(&mut source);
+        match &report.reports[0].outcome {
+            PairOutcome::Degraded { error, .. } => {
+                assert!(
+                    matches!(error, DetectorError::DeadlineExceeded { .. }),
+                    "{error}"
+                );
+            }
+            other => panic!("expected deadline degradation, got {other:?}"),
+        }
+        assert_eq!(fleet.pair_statuses()[0].deadline_misses, 1);
+    }
+
+    #[test]
+    fn transient_misses_retry_with_recorded_backoff() {
+        let mut fleet = Supervisor::new(test_config()).unwrap();
+        fleet.add_contention_pair("flaky").unwrap();
+        // Fails twice per tick, then delivers.
+        let mut source = |_pair: usize, _tick: u64, attempt: u32| {
+            if attempt < 2 {
+                Err(ProbeFault {
+                    reason: "harvest deadline slipped".to_string(),
+                })
+            } else {
+                Ok(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+            }
+        };
+        let report = fleet.tick(&mut source);
+        assert!(matches!(
+            report.reports[0].outcome,
+            PairOutcome::Analyzed(_)
+        ));
+        assert_eq!(report.reports[0].retries, 2);
+        assert!(report.reports[0].backoff_us > 0);
+        // Deterministic: the same tick replayed yields the same schedule.
+        let mut fleet2 = Supervisor::new(test_config()).unwrap();
+        fleet2.add_contention_pair("flaky").unwrap();
+        let report2 = fleet2.tick(&mut source);
+        assert_eq!(report.reports[0].backoff_us, report2.reports[0].backoff_us);
+    }
+
+    #[test]
+    fn fully_faulty_pair_is_quarantined_and_neighbors_unaffected() {
+        let config = SupervisorConfig {
+            quarantine: QuarantineConfig {
+                failure_window: 4,
+                trip_threshold: 0.75,
+                min_observations: 4,
+                probe_interval: 8,
+                recovery_successes: 2,
+                confidence_decay: 0.5,
+            },
+            ..test_config()
+        };
+        let faulty_idx = 1usize;
+        let run = |with_faulty: bool| {
+            let mut fleet = Supervisor::new(config).unwrap();
+            fleet.add_contention_pair("good-0").unwrap();
+            if with_faulty {
+                fleet.add_contention_pair("broken").unwrap();
+            }
+            fleet.add_contention_pair("good-1").unwrap();
+            let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
+            for _ in 0..12 {
+                let report = fleet.tick(&mut |pair: usize, _tick: u64, _attempt: u32| {
+                    if with_faulty && pair == faulty_idx {
+                        Err(ProbeFault {
+                            reason: "dead monitor".to_string(),
+                        })
+                    } else {
+                        Ok(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+                    }
+                });
+                verdicts.push(
+                    report
+                        .reports
+                        .iter()
+                        .filter_map(|r| match &r.outcome {
+                            PairOutcome::Analyzed(s) => Some((r.label.clone(), s.verdict)),
+                            _ => None,
+                        })
+                        .filter(|(label, _)| label.starts_with("good"))
+                        .map(|(_, v)| v)
+                        .collect(),
+                );
+            }
+            (fleet.pair_statuses(), verdicts)
+        };
+        let (with_statuses, with_verdicts) = run(true);
+        let (without_statuses, without_verdicts) = run(false);
+
+        // The 100%-faulty pair trips open within the 4-outcome window.
+        assert!(
+            with_statuses[faulty_idx].health != BreakerState::Closed,
+            "faulty pair must be quarantined: {with_statuses:?}"
+        );
+        assert!(with_statuses[faulty_idx].failures >= 4);
+        // And the healthy pairs' verdict sequences are identical with or
+        // without the broken neighbor.
+        assert_eq!(with_verdicts, without_verdicts);
+        assert!(with_statuses[0].verdict.is_covert());
+        assert!(with_statuses[2].verdict.is_covert());
+        assert_eq!(without_statuses[0].verdict, with_statuses[0].verdict);
+    }
+
+    #[test]
+    fn quarantined_pair_skips_decay_confidence_and_recovers() {
+        let config = SupervisorConfig {
+            quarantine: QuarantineConfig {
+                failure_window: 4,
+                trip_threshold: 0.5,
+                min_observations: 2,
+                probe_interval: 3,
+                recovery_successes: 1,
+                confidence_decay: 0.5,
+            },
+            ..test_config()
+        };
+        let mut fleet = Supervisor::new(config).unwrap();
+        fleet.add_contention_pair("wobbly").unwrap();
+        // Faulty for the first 4 ticks, healthy afterwards.
+        let mut source = |_pair: usize, tick: u64, _attempt: u32| {
+            if tick < 4 {
+                Err(ProbeFault {
+                    reason: "flapping".to_string(),
+                })
+            } else {
+                Ok(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+            }
+        };
+        let mut saw_skip = false;
+        let mut recovered = false;
+        for _ in 0..12 {
+            let report = fleet.tick(&mut source);
+            match &report.reports[0].outcome {
+                PairOutcome::Skipped { confidence } => {
+                    saw_skip = true;
+                    assert!(*confidence < 1.0);
+                }
+                PairOutcome::Analyzed(_) if saw_skip => {
+                    recovered = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_skip, "quarantine must skip ticks");
+        assert!(recovered, "recovery probes must close the breaker");
+        assert_eq!(fleet.pair_statuses()[0].health, BreakerState::Closed);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_fleet_state() {
+        let store = temp_store("roundtrip");
+        let dir = store.dir().to_path_buf();
+        let config = test_config();
+        let mut fleet = Supervisor::new(config).unwrap().with_store(store);
+        fleet.add_contention_pair("bus: t <-> s").unwrap();
+        fleet.add_oscillation_pair("l2: t <-> s").unwrap();
+        let mut source = |pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(match pair {
+                0 => PairInput::Harvest(Harvest::Complete(covert_histogram())),
+                _ => PairInput::Missed,
+            })
+        };
+        for _ in 0..5 {
+            fleet.tick(&mut source);
+        }
+        fleet.checkpoint().unwrap();
+
+        let (restored, report) =
+            Supervisor::restore(config, CheckpointStore::open(&dir, 3).unwrap()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.tick_count(), 5);
+        assert_eq!(report.total_rolled_back(), 0);
+        let statuses = restored.pair_statuses();
+        assert_eq!(statuses[0].label, "bus: t <-> s");
+        assert_eq!(statuses[0].kind, PairKind::Contention);
+        assert_eq!(statuses[1].kind, PairKind::Oscillation);
+        assert!(statuses.iter().all(|s| s.restored_from.is_some()));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn restore_without_manifest_is_typed() {
+        let store = temp_store("empty");
+        let dir = store.dir().to_path_buf();
+        let err = Supervisor::restore(test_config(), store).unwrap_err();
+        assert!(matches!(err, DetectorError::CheckpointMismatch { .. }));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn manifest_parser_rejects_garbage() {
+        let q = QuarantineConfig::default();
+        for bad in [
+            &b""[..],
+            b"not-a-manifest\nend\n",
+            b"cchunter-supervisor,v1\ntick,5\n", // no end
+            b"cchunter-supervisor,v1\ntick,5\npairs,2\npair,0,contention,closed;0;0;,1,x\nend\n",
+            b"cchunter-supervisor,v1\ntick,5\npair,0,weird,closed;0;0;,1,x\nend\n",
+            b"cchunter-supervisor,v1\ntick,5\npair,0,contention,closed;0;0;,7,x\nend\n",
+        ] {
+            assert!(parse_manifest(bad, q).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -539,6 +539,36 @@ impl QuantumRunner {
             start,
             ..DegradedAuditData::default()
         };
+        for _ in 0..quanta {
+            let quantum = self.run_quantum_with_injector(machine, session, injector);
+            if let Some(h) = quantum.bus {
+                data.bus_harvests.push(h);
+            }
+            if let Some(h) = quantum.divider {
+                data.divider_harvests.push(h);
+            }
+            if let Some(h) = quantum.multiplier {
+                data.multiplier_harvests.push(h);
+            }
+            if let Some(batch) = quantum.conflicts {
+                data.conflicts.push(batch);
+            }
+        }
+        data.end = machine.now().as_u64();
+        data
+    }
+
+    /// Runs exactly one OS time quantum through the fault injector and
+    /// returns its harvests — the incremental step a supervised service
+    /// loop takes between checkpoints, so callers can stop (or crash and
+    /// restore) at any quantum boundary instead of committing to a whole
+    /// run up front.
+    pub fn run_quantum_with_injector(
+        &self,
+        machine: &mut Machine,
+        session: &mut AuditSession,
+        injector: &mut FaultInjector,
+    ) -> DegradedQuantum {
         let (has_bus, has_div, has_mul, has_cache) = {
             let inner = session.inner.borrow();
             (
@@ -548,39 +578,55 @@ impl QuantumRunner {
                 inner.cache.is_some(),
             )
         };
-        for q in 0..quanta {
-            let boundary = start + (q as u64 + 1) * self.quantum_cycles;
-            machine.run_until(boundary.into());
-            // Invariant: each harvest below is gated on the matching slot
-            // being programmed, so NotAudited cannot occur.
-            if has_bus {
-                let histogram = session
-                    .harvest_bus_histogram(boundary)
-                    .expect("bus slot is programmed");
-                data.bus_harvests.push(injector.perturb_harvest(histogram));
-            }
-            if has_div {
-                let histogram = session
-                    .harvest_divider_histogram(boundary)
-                    .expect("divider slot is programmed");
-                data.divider_harvests
-                    .push(injector.perturb_harvest(histogram));
-            }
-            if has_mul {
-                let histogram = session
-                    .harvest_multiplier_histogram(boundary)
-                    .expect("multiplier slot is programmed");
-                data.multiplier_harvests
-                    .push(injector.perturb_harvest(histogram));
-            }
-            if has_cache {
-                let records = session.drain_conflicts().expect("cache slot is programmed");
-                data.conflicts.push(injector.perturb_conflicts(records));
-            }
+        let boundary = machine.now().as_u64() + self.quantum_cycles;
+        machine.run_until(boundary.into());
+        // Invariant: each harvest below is gated on the matching slot
+        // being programmed, so NotAudited cannot occur.
+        let mut quantum = DegradedQuantum {
+            boundary,
+            ..DegradedQuantum::default()
+        };
+        if has_bus {
+            let histogram = session
+                .harvest_bus_histogram(boundary)
+                .expect("bus slot is programmed");
+            quantum.bus = Some(injector.perturb_harvest(histogram));
         }
-        data.end = machine.now().as_u64();
-        data
+        if has_div {
+            let histogram = session
+                .harvest_divider_histogram(boundary)
+                .expect("divider slot is programmed");
+            quantum.divider = Some(injector.perturb_harvest(histogram));
+        }
+        if has_mul {
+            let histogram = session
+                .harvest_multiplier_histogram(boundary)
+                .expect("multiplier slot is programmed");
+            quantum.multiplier = Some(injector.perturb_harvest(histogram));
+        }
+        if has_cache {
+            let records = session.drain_conflicts().expect("cache slot is programmed");
+            quantum.conflicts = Some(injector.perturb_conflicts(records));
+        }
+        quantum
     }
+}
+
+/// One quantum's degraded harvests from
+/// [`QuantumRunner::run_quantum_with_injector`]. A field is `None` when
+/// the corresponding unit is not under audit.
+#[derive(Debug, Default)]
+pub struct DegradedQuantum {
+    /// Bus-lock harvest, possibly `Partial` or `Missed`.
+    pub bus: Option<Harvest>,
+    /// Divider-wait harvest.
+    pub divider: Option<Harvest>,
+    /// Multiplier-wait harvest.
+    pub multiplier: Option<Harvest>,
+    /// Conflict records with their estimated lost fraction.
+    pub conflicts: Option<(Vec<ConflictRecord>, f64)>,
+    /// The cycle this quantum ended on.
+    pub boundary: u64,
 }
 
 /// Data harvested over an audited run through a [`FaultInjector`].

@@ -255,6 +255,118 @@ where
     }
 }
 
+/// A contained panic from one item of a [`par_catch_map`] /
+/// [`par_catch_map_mut`] call: the panic payload rendered to a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload (`&str` / `String` payloads verbatim, anything
+    /// else as a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn catch<R>(f: impl FnOnce() -> R) -> Result<R, JobPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JobPanic {
+        message: panic_message(payload),
+    })
+}
+
+/// Like [`par_map`], but every item's `f` runs under `catch_unwind`: a
+/// panicking item yields `Err(JobPanic)` in its own slot instead of
+/// poisoning the whole map. Output order and Ok values are bit-identical to
+/// the serial `items.iter().map(|i| catch(|| f(i))).collect()` for any
+/// thread count.
+pub fn par_catch_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(items, |item| catch(|| f(item)))
+}
+
+/// Maps `f` over mutable items on an explicit pool; like [`par_map_in`]
+/// but each item is visited through `&mut T`, so per-item state (e.g. one
+/// online detector per audited pair) can be advanced in place. Output is
+/// bit-identical to the serial loop for any thread count.
+pub fn par_map_mut_in<T, R, F>(pool: &mut Pool, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = pool.threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let f = &f;
+    pool.scoped(|scope| {
+        for (inputs, outputs) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.execute(move || {
+                for (input, output) in inputs.iter_mut().zip(outputs.iter_mut()) {
+                    *output = Some(f(input));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every chunk fills its slots"))
+        .collect()
+}
+
+/// [`par_map_mut_in`] on the process-wide pool, with the same
+/// busy-fallback-to-serial behavior as [`par_map`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    match global_pool().try_lock() {
+        Ok(mut pool) => par_map_mut_in(&mut pool, items, f),
+        Err(TryLockError::Poisoned(poisoned)) => {
+            par_map_mut_in(&mut poisoned.into_inner(), items, f)
+        }
+        Err(TryLockError::WouldBlock) => items.iter_mut().map(f).collect(),
+    }
+}
+
+/// The panic-safe worker wrapper: maps `f` over mutable items with every
+/// call contained by `catch_unwind`. A panicking item yields
+/// `Err(JobPanic)` in its own output slot; the other items' results — and
+/// the pool itself — are unaffected. This is the fan-out primitive the
+/// detector's supervised audit loop uses so one faulty pair analysis can
+/// never take the whole batch down.
+pub fn par_catch_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    par_map_mut(items, |item| catch(|| f(item)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +407,65 @@ mod tests {
             }
         });
         assert_eq!(*sums.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn par_map_mut_advances_items_in_place() {
+        for threads in [1, 2, 8] {
+            let mut pool = Pool::new(threads);
+            let mut items: Vec<u64> = (0..100).collect();
+            let returned = par_map_mut_in(&mut pool, &mut items, |x| {
+                *x += 1;
+                *x * 2
+            });
+            let want_items: Vec<u64> = (1..=100).collect();
+            let want_returned: Vec<u64> = (1..=100).map(|x| x * 2).collect();
+            assert_eq!(items, want_items, "{threads} threads");
+            assert_eq!(returned, want_returned, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_catch_map_contains_panics_to_their_slots() {
+        let items: Vec<u64> = (0..32).collect();
+        let results = par_catch_map(&items, |&x| {
+            if x % 7 == 3 {
+                panic!("bad item {x}");
+            }
+            x * 10
+        });
+        for (i, result) in results.iter().enumerate() {
+            if i % 7 == 3 {
+                let panic = result.as_ref().unwrap_err();
+                assert_eq!(panic.message, format!("bad item {i}"));
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn par_catch_map_mut_spares_healthy_items_and_the_pool() {
+        let mut items: Vec<u64> = (0..32).collect();
+        let results = par_catch_map_mut(&mut items, |x| {
+            if *x == 5 {
+                panic!("poisoned slot");
+            }
+            *x += 100;
+            *x
+        });
+        assert!(results[5].is_err());
+        for (i, result) in results.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(*result.as_ref().unwrap(), i as u64 + 100);
+                assert_eq!(items[i], i as u64 + 100);
+            }
+        }
+        // The panicked slot's item was left untouched and the global pool
+        // still works.
+        assert_eq!(items[5], 5);
+        let doubled = par_map(&[1, 2, 3], |&x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
     }
 
     #[test]
