@@ -1,0 +1,592 @@
+//! The CI perf-regression gate: compares a fresh quick-mode bench run
+//! against the committed `BENCH_detector.json` baseline and fails when any
+//! suite slowed down past the threshold.
+//!
+//! The comparison is deliberately coarse — quick-mode timings on shared CI
+//! hosts are noisy, so the gate only catches large (default > 25%)
+//! regressions, per suite, with a per-suite report. A suite present in the
+//! baseline but missing from the fresh run also fails (a silently dropped
+//! benchmark would otherwise blind the gate); a brand-new suite is
+//! reported but passes, since its baseline lands with the same change.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// A minimal JSON value, parsed by [`parse_json`]. Covers the subset the
+/// bench runner emits (objects, arrays, numbers, strings, booleans, null);
+/// no dependency on an external JSON crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as f64 (bench values are well under 2^53).
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: impl Into<String>) -> String {
+        format!("at byte {}: {}", self.pos, reason.into())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {:?}, found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(self.error(format!("unexpected {:?}", other.map(|c| c as char)))),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("bad literal (expected {text})")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected ',' or '}}', found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected ',' or ']', found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => {
+                            return Err(self.error(format!(
+                                "unsupported escape {:?}",
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str upstream,
+                    // so byte-level continuation handling is safe).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+}
+
+/// Parses `text` as JSON.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Extracts the `benches_ns_per_op` map from a parsed `BENCH_detector.json`.
+///
+/// # Errors
+///
+/// Returns a description when the key is missing or malformed.
+pub fn benches_ns(doc: &Json) -> Result<BTreeMap<String, f64>, String> {
+    let obj = doc
+        .get("benches_ns_per_op")
+        .ok_or("no benches_ns_per_op object")?;
+    match obj {
+        Json::Obj(entries) => entries
+            .iter()
+            .map(|(name, v)| {
+                v.as_f64()
+                    .map(|ns| (name.clone(), ns))
+                    .ok_or_else(|| format!("bench {name:?} has a non-numeric value"))
+            })
+            .collect(),
+        _ => Err("benches_ns_per_op is not an object".to_string()),
+    }
+}
+
+/// One suite's standing in the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteStatus {
+    /// Within the threshold (or faster).
+    Ok,
+    /// Slower than baseline by more than the threshold: gate fails.
+    Regressed,
+    /// In the baseline but absent from the fresh run: gate fails.
+    MissingFresh,
+    /// In the fresh run but not the baseline (new suite): reported, passes.
+    New,
+}
+
+impl SuiteStatus {
+    /// Whether this status fails the gate.
+    pub fn fails(self) -> bool {
+        matches!(self, SuiteStatus::Regressed | SuiteStatus::MissingFresh)
+    }
+}
+
+impl fmt::Display for SuiteStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteStatus::Ok => f.write_str("ok"),
+            SuiteStatus::Regressed => f.write_str("REGRESSED"),
+            SuiteStatus::MissingFresh => f.write_str("MISSING"),
+            SuiteStatus::New => f.write_str("new"),
+        }
+    }
+}
+
+/// One row of the per-suite gate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteComparison {
+    /// Suite (benchmark) name.
+    pub name: String,
+    /// Baseline ns/op, if the suite is in the baseline.
+    pub baseline_ns: Option<f64>,
+    /// Fresh ns/op, if the suite was just measured.
+    pub fresh_ns: Option<f64>,
+    /// `fresh / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    /// The verdict for this suite.
+    pub status: SuiteStatus,
+}
+
+/// The whole gate's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Per-suite rows, baseline order first, then new suites.
+    pub suites: Vec<SuiteComparison>,
+    /// Failing ratio: fresh > baseline * threshold fails.
+    pub threshold: f64,
+}
+
+impl CheckReport {
+    /// Whether any suite fails the gate.
+    pub fn failed(&self) -> bool {
+        self.suites.iter().any(|s| s.status.fails())
+    }
+
+    /// Renders the per-suite report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>7}  status\n",
+            "suite", "baseline", "fresh", "ratio"
+        ));
+        for s in &self.suites {
+            let fmt_ns = |ns: Option<f64>| match ns {
+                Some(ns) => format!("{:.0} ns", ns),
+                None => "-".to_string(),
+            };
+            let ratio = match s.ratio {
+                Some(r) => format!("{r:.2}x"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>12} {:>7}  {}\n",
+                s.name,
+                fmt_ns(s.baseline_ns),
+                fmt_ns(s.fresh_ns),
+                ratio,
+                s.status
+            ));
+        }
+        let verdict = if self.failed() {
+            format!(
+                "FAIL: a suite slowed down past {:.0}% of baseline (or went missing)",
+                self.threshold * 100.0
+            )
+        } else {
+            format!(
+                "ok: all suites within {:.0}% of baseline",
+                self.threshold * 100.0
+            )
+        };
+        out.push_str(&verdict);
+        out.push('\n');
+        out
+    }
+}
+
+/// Compares fresh measurements against the baseline. `threshold` is the
+/// failing ratio (1.25 = fail when a suite is more than 25% slower).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> CheckReport {
+    let mut suites = Vec::new();
+    for (name, &base_ns) in baseline {
+        match fresh.get(name) {
+            Some(&fresh_ns) => {
+                let ratio = if base_ns > 0.0 {
+                    fresh_ns / base_ns
+                } else {
+                    f64::INFINITY
+                };
+                suites.push(SuiteComparison {
+                    name: name.clone(),
+                    baseline_ns: Some(base_ns),
+                    fresh_ns: Some(fresh_ns),
+                    ratio: Some(ratio),
+                    status: if ratio > threshold {
+                        SuiteStatus::Regressed
+                    } else {
+                        SuiteStatus::Ok
+                    },
+                });
+            }
+            None => suites.push(SuiteComparison {
+                name: name.clone(),
+                baseline_ns: Some(base_ns),
+                fresh_ns: None,
+                ratio: None,
+                status: SuiteStatus::MissingFresh,
+            }),
+        }
+    }
+    for (name, &fresh_ns) in fresh {
+        if !baseline.contains_key(name) {
+            suites.push(SuiteComparison {
+                name: name.clone(),
+                baseline_ns: None,
+                fresh_ns: Some(fresh_ns),
+                ratio: None,
+                status: SuiteStatus::New,
+            });
+        }
+    }
+    CheckReport { suites, threshold }
+}
+
+/// Measures the host-speed calibration kernel: a fixed pure-ALU xorshift
+/// loop, best of five timed batches, in ns per iteration.
+///
+/// The baseline run records this next to the suite times; the gate
+/// re-measures it and scales fresh suite times by the ratio, cancelling
+/// global host-speed drift (CPU frequency scaling, noisy-neighbor steal
+/// time on shared CI runners) while leaving per-suite regressions intact.
+pub fn measure_calibration() -> f64 {
+    const ITERS: u64 = 4_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..ITERS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// The host-speed correction factor `baseline_calibration /
+/// fresh_calibration`, clamped to `[0.25, 1.0]`. Multiply fresh suite
+/// times by this before comparing.
+///
+/// The correction is deliberately one-sided: a slower host than at
+/// baseline time is forgiven (scale < 1), but a faster host never
+/// penalizes the fresh run (scale capped at 1) — ALU calibration
+/// over-predicts the speedup of memory-bound suites, and a fast host
+/// passes the raw comparison anyway. The 0.25 floor keeps a glitched
+/// calibration from hiding a 4x regression.
+pub fn host_speed_scale(baseline_calibration_ns: f64, fresh_calibration_ns: f64) -> f64 {
+    if baseline_calibration_ns <= 0.0 || fresh_calibration_ns <= 0.0 {
+        return 1.0;
+    }
+    (baseline_calibration_ns / fresh_calibration_ns).clamp(0.25, 1.0)
+}
+
+/// Applies a test-only handicap of the form `"suite:factor"` (from
+/// `CCHUNTER_BENCH_HANDICAP`) to the fresh measurements, multiplying the
+/// named suite's time — used to verify end to end that a deliberately
+/// slowed suite fails the gate. Unknown suite names and malformed specs
+/// are ignored.
+pub fn apply_handicap(fresh: &mut BTreeMap<String, f64>, spec: &str) {
+    let Some((name, factor)) = spec.split_once(':') else {
+        return;
+    };
+    let Ok(factor) = factor.trim().parse::<f64>() else {
+        return;
+    };
+    if let Some(ns) = fresh.get_mut(name.trim()) {
+        *ns *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_the_runner_output_shape() {
+        let doc = parse_json(
+            "{\n  \"host_cores\": 8,\n  \"quick\": false,\n  \"benches_ns_per_op\": {\n    \"a\": 100,\n    \"b\": 2.5e3\n  },\n  \"distributions_ns\": {\"a\": {\"min\": 90, \"samples\": [90, 100]}}\n}\n",
+        )
+        .unwrap();
+        let benches = benches_ns(&doc).unwrap();
+        assert_eq!(benches.get("a"), Some(&100.0));
+        assert_eq!(benches.get("b"), Some(&2500.0));
+        assert_eq!(
+            doc.get("distributions_ns")
+                .and_then(|d| d.get("a"))
+                .and_then(|a| a.get("min"))
+                .and_then(Json::as_f64),
+            Some(90.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1,]",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let baseline = map(&[("a", 100.0), ("b", 200.0)]);
+        let fresh = map(&[("a", 120.0), ("b", 150.0)]);
+        let report = compare(&baseline, &fresh, 1.25);
+        assert!(!report.failed(), "{}", report.render());
+        assert!(report.suites.iter().all(|s| s.status == SuiteStatus::Ok));
+    }
+
+    #[test]
+    fn regression_fails_with_per_suite_status() {
+        let baseline = map(&[("a", 100.0), ("b", 200.0)]);
+        let fresh = map(&[("a", 130.0), ("b", 150.0)]);
+        let report = compare(&baseline, &fresh, 1.25);
+        assert!(report.failed());
+        let a = report.suites.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!(a.status, SuiteStatus::Regressed);
+        assert_eq!(
+            report.suites.iter().find(|s| s.name == "b").unwrap().status,
+            SuiteStatus::Ok
+        );
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_fresh_suite_fails_but_new_suite_passes() {
+        let baseline = map(&[("a", 100.0)]);
+        let fresh = map(&[("b", 50.0)]);
+        let report = compare(&baseline, &fresh, 1.25);
+        assert!(report.failed());
+        assert_eq!(report.suites[0].status, SuiteStatus::MissingFresh);
+        assert_eq!(report.suites[1].status, SuiteStatus::New);
+        assert!(!report.suites[1].status.fails());
+    }
+
+    #[test]
+    fn host_speed_scale_cancels_global_drift() {
+        // Host got 2x slower: fresh times double, scale halves them back.
+        assert!((host_speed_scale(10.0, 20.0) - 0.5).abs() < 1e-12);
+        // Host got faster: never scale up (one-sided correction).
+        assert_eq!(host_speed_scale(20.0, 10.0), 1.0);
+        // Glitched measurements clamp instead of swinging the gate.
+        assert_eq!(host_speed_scale(100.0, 1.0), 1.0);
+        assert_eq!(host_speed_scale(1.0, 100.0), 0.25);
+        assert_eq!(host_speed_scale(0.0, 10.0), 1.0);
+        assert_eq!(host_speed_scale(10.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn handicap_multiplies_only_the_named_suite() {
+        let mut fresh = map(&[("a", 100.0), ("b", 100.0)]);
+        apply_handicap(&mut fresh, "a:3.0");
+        assert_eq!(fresh.get("a"), Some(&300.0));
+        assert_eq!(fresh.get("b"), Some(&100.0));
+        // Malformed specs are ignored.
+        apply_handicap(&mut fresh, "nonsense");
+        apply_handicap(&mut fresh, "b:not-a-number");
+        assert_eq!(fresh.get("b"), Some(&100.0));
+    }
+}

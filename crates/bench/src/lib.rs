@@ -2,6 +2,7 @@
 //! [`suites`] module holding the benchmark bodies shared by the `cargo
 //! bench` harnesses and the bench-runner binary.
 
+pub mod check;
 pub mod suites;
 
 use cchunter_detector::auditor::ConflictRecord;

@@ -69,10 +69,12 @@ pub mod density;
 pub mod events;
 pub mod fault;
 pub mod fft;
+pub mod metrics;
 pub mod online;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
+pub mod span;
 pub mod store;
 pub mod supervisor;
 pub mod trace;
@@ -88,14 +90,18 @@ pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, SymbolSeries};
 pub use fault::{FaultClass, FaultConfig, FaultInjector};
+pub use metrics::{Counter, Family, Gauge, Histogram, Registry};
 pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 pub use pipeline::{
     CcHunter, CcHunterConfig, Detection, PairAudit, PairEvidence, ResourceKind, Verdict,
 };
 pub use policy::{BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig};
 pub use report::SessionReport;
+pub use span::{Span, TraceEvent, Tracer};
 pub use store::CheckpointStore;
-pub use supervisor::{PairInput, Supervisor, SupervisorConfig};
+pub use supervisor::{
+    FleetStatus, LatencySummary, MetricsSnapshot, PairInput, Supervisor, SupervisorConfig,
+};
 pub use trace::TraceError;
 
 use std::fmt;

@@ -1,0 +1,1131 @@
+//! Zero-dependency metrics: atomic counters, gauges, fixed-bucket latency
+//! histograms, labeled per-pair families, and a [`Registry`] with
+//! Prometheus-text and JSON exposition.
+//!
+//! The detection stack is built to run unattended for months; what an
+//! operator can *observe* about it — audit latency, quarantine churn,
+//! rollback counts, verdict flips — matters as much as the verdicts
+//! themselves. This module is the numeric half of the observability layer
+//! (the event half is [`crate::span`]): every instrument is a cheap
+//! `Arc`-shared handle over relaxed atomics, safe to clone into the thread
+//! pool's fan-outs, and every registered instrument can be scraped at any
+//! time without pausing the fleet.
+//!
+//! * [`Counter`] — monotonic `u64`, exact under concurrent increments.
+//! * [`Gauge`] — an `f64` that can move both ways (confidence, fill levels).
+//! * [`Histogram`] — fixed cumulative buckets + sum/count/max, for latency
+//!   distributions; never allocates after construction.
+//! * [`Family`] — a labeled set of any of the above (one time series per
+//!   label value, e.g. per audited pair).
+//! * [`Registry`] — named, help-texted instruments with
+//!   [`render_prometheus`](Registry::render_prometheus) and
+//!   [`render_json`](Registry::render_json) exposition.
+//!
+//! [`parse_prometheus`] is a deliberately small parser for the text format
+//! this module emits — enough for round-trip property tests and for a
+//! scrape-side consumer that wants typed samples without a dependency.
+//!
+//! A process-wide [`default_registry`] collects the hot-path instruments of
+//! [`crate::pipeline`], [`crate::online`] and [`crate::policy`]; components
+//! that want isolation (tests, multi-tenant embedders) construct their own
+//! [`Registry`] and inject it (see
+//! [`Supervisor::with_registry`](crate::supervisor::Supervisor::with_registry)).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter. Cloning shares the underlying value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to at least `floor` (used to re-seed monotonic
+    /// counters from a persisted snapshot after a crash-restore; idempotent,
+    /// so an in-process restore that shares the registry never
+    /// double-counts).
+    pub fn seed(&self, floor: u64) {
+        self.value.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point gauge that can move in both directions.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (atomic read-modify-write loop).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly ascending; an implicit
+    /// `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` slots, the last
+    /// being the overflow bucket).
+    buckets: Vec<AtomicU64>,
+    /// Bit pattern of the running sum (CAS-updated f64).
+    sum_bits: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+    /// Bit pattern of the largest observation (valid for the non-negative
+    /// values this histogram is meant for — u64 bit order matches f64 order
+    /// on non-negatives).
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket cumulative histogram for non-negative observations
+/// (latencies in microseconds, batch sizes). Cloning shares the buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// Default latency buckets in microseconds: 1 µs to 1 s, roughly
+/// logarithmic — wide enough for both a single counter bump and a wedged
+/// analysis.
+pub const LATENCY_BUCKETS_US: [f64; 14] = [
+    1.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    25_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+impl Histogram {
+    /// Creates a histogram with the given finite bucket upper bounds
+    /// (strictly ascending; an overflow bucket is always appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, unsorted, or contains a non-finite
+    /// bound — histogram shape is a compile-time-style decision, not data.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                count: AtomicU64::new(0),
+                max_bits: AtomicU64::new(0.0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// A histogram over [`LATENCY_BUCKETS_US`].
+    pub fn latency_us() -> Self {
+        Histogram::new(&LATENCY_BUCKETS_US)
+    }
+
+    /// Records one observation (negative values clamp to zero).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .max_bits
+            .fetch_max(v.to_bits(), Ordering::Relaxed);
+        let mut current = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest observation seen (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.inner.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs, ending with the
+    /// `(+Inf, total)` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut running = 0u64;
+        let mut out = Vec::with_capacity(self.inner.bounds.len() + 1);
+        for (i, count) in self.inner.buckets.iter().enumerate() {
+            running += count.load(Ordering::Relaxed);
+            let bound = self.inner.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+
+    /// Estimated `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
+    /// the containing bucket — the usual Prometheus-style estimate, exact
+    /// enough for latency summaries.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut lower_bound = 0.0f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.inner.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            let next_cumulative = cumulative + in_bucket;
+            if (next_cumulative as f64) >= rank {
+                let upper = match self.inner.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: cap at the observed max.
+                    None => return self.max(),
+                };
+                if in_bucket == 0 {
+                    return upper;
+                }
+                let fraction = (rank - cumulative as f64) / in_bucket as f64;
+                return lower_bound + (upper - lower_bound) * fraction;
+            }
+            cumulative = next_cumulative;
+            lower_bound = self.inner.bounds.get(i).copied().unwrap_or(lower_bound);
+        }
+        self.max()
+    }
+}
+
+/// A labeled set of instruments: one member per label *value* under a
+/// single label *name* (the registry's label scheme is one label per
+/// family — e.g. `pair` for per-pair series).
+pub struct Family<M> {
+    label_name: String,
+    factory: Arc<dyn Fn() -> M + Send + Sync>,
+    members: Arc<Mutex<BTreeMap<String, M>>>,
+}
+
+impl<M> Clone for Family<M> {
+    fn clone(&self) -> Self {
+        Family {
+            label_name: self.label_name.clone(),
+            factory: Arc::clone(&self.factory),
+            members: Arc::clone(&self.members),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Family<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let members = self.members.lock().expect("family lock poisoned");
+        f.debug_struct("Family")
+            .field("label_name", &self.label_name)
+            .field("members", &members.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl<M: Clone> Family<M> {
+    /// Creates a family whose members are built by `factory` on first use
+    /// of each label value.
+    pub fn new(
+        label_name: impl Into<String>,
+        factory: impl Fn() -> M + Send + Sync + 'static,
+    ) -> Self {
+        Family {
+            label_name: label_name.into(),
+            factory: Arc::new(factory),
+            members: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The family's label name.
+    pub fn label_name(&self) -> &str {
+        &self.label_name
+    }
+
+    /// The member for `value`, created on first use. The returned handle
+    /// shares state with every other handle for the same value.
+    pub fn with_label(&self, value: &str) -> M {
+        let mut members = self.members.lock().expect("family lock poisoned");
+        members
+            .entry(value.to_string())
+            .or_insert_with(|| (self.factory)())
+            .clone()
+    }
+
+    /// All `(label value, member)` pairs, sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, M)> {
+        let members = self.members.lock().expect("family lock poisoned");
+        members
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Every instrument shape a [`Registry`] can hold.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A plain counter.
+    Counter(Counter),
+    /// A plain gauge.
+    Gauge(Gauge),
+    /// A plain histogram.
+    Histogram(Histogram),
+    /// A labeled counter family.
+    CounterFamily(Family<Counter>),
+    /// A labeled gauge family.
+    GaugeFamily(Family<Gauge>),
+    /// A labeled histogram family.
+    HistogramFamily(Family<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::CounterFamily(_) => "counter",
+            Metric::Gauge(_) | Metric::GaugeFamily(_) => "gauge",
+            Metric::Histogram(_) | Metric::HistogramFamily(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Registration {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of instruments with Prometheus-text and JSON
+/// exposition. Cloning shares the underlying collection; registration is
+/// get-or-create, so two components registering the same name (and kind)
+/// share one instrument.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Vec<Registration>>>,
+}
+
+/// One exported sample: a metric name, optional `(label name, label
+/// value)`, and a value. Histograms export one sample per cumulative
+/// bucket (suffix `_bucket`, extra `le` label) plus `_sum` and `_count`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric (or derived series) name.
+    pub name: String,
+    /// Labels, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn is_valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+
+    fn register_with(&self, name: &str, help: &str, build: impl FnOnce() -> Metric) -> Metric {
+        assert!(
+            Self::is_valid_name(name),
+            "invalid metric name {name:?} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some(existing) = inner.iter().find(|r| r.name == name) {
+            return existing.metric.clone();
+        }
+        let registration = Registration {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: build(),
+        };
+        let metric = registration.metric.clone();
+        inner.push(registration);
+        metric
+    }
+
+    /// Registers (or fetches) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register_with(name, help, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register_with(name, help, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or fetches) a histogram. A later registration under the
+    /// same name returns the existing histogram (its original bounds win).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        match self.register_with(name, help, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or fetches) a labeled counter family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn counter_family(&self, name: &str, help: &str, label: &str) -> Family<Counter> {
+        let label = label.to_string();
+        match self.register_with(name, help, move || {
+            Metric::CounterFamily(Family::new(label, Counter::new))
+        }) {
+            Metric::CounterFamily(f) => f,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or fetches) a labeled gauge family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn gauge_family(&self, name: &str, help: &str, label: &str) -> Family<Gauge> {
+        let label = label.to_string();
+        match self.register_with(name, help, move || {
+            Metric::GaugeFamily(Family::new(label, Gauge::new))
+        }) {
+            Metric::GaugeFamily(f) => f,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Registers (or fetches) a labeled histogram family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn histogram_family(
+        &self,
+        name: &str,
+        help: &str,
+        label: &str,
+        bounds: &[f64],
+    ) -> Family<Histogram> {
+        let label = label.to_string();
+        let bounds = bounds.to_vec();
+        match self.register_with(name, help, move || {
+            Metric::HistogramFamily(Family::new(label, move || Histogram::new(&bounds)))
+        }) {
+            Metric::HistogramFamily(f) => f,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// All registered `(name, help, metric)` triples, in registration
+    /// order.
+    pub fn registrations(&self) -> Vec<(String, String, Metric)> {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        inner
+            .iter()
+            .map(|r| (r.name.clone(), r.help.clone(), r.metric.clone()))
+            .collect()
+    }
+
+    /// Flattens every instrument into exported [`Sample`]s (the same set
+    /// the Prometheus exposition prints).
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for (name, _help, metric) in self.registrations() {
+            match metric {
+                Metric::Counter(c) => out.push(Sample {
+                    name: name.clone(),
+                    labels: Vec::new(),
+                    value: c.get() as f64,
+                }),
+                Metric::Gauge(g) => out.push(Sample {
+                    name: name.clone(),
+                    labels: Vec::new(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => histogram_samples(&mut out, &name, &[], &h),
+                Metric::CounterFamily(f) => {
+                    for (label, c) in f.snapshot() {
+                        out.push(Sample {
+                            name: name.clone(),
+                            labels: vec![(f.label_name().to_string(), label)],
+                            value: c.get() as f64,
+                        });
+                    }
+                }
+                Metric::GaugeFamily(f) => {
+                    for (label, g) in f.snapshot() {
+                        out.push(Sample {
+                            name: name.clone(),
+                            labels: vec![(f.label_name().to_string(), label)],
+                            value: g.get(),
+                        });
+                    }
+                }
+                Metric::HistogramFamily(f) => {
+                    for (label, h) in f.snapshot() {
+                        let labels = [(f.label_name().to_string(), label)];
+                        histogram_samples(&mut out, &name, &labels, &h);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers followed by one sample
+    /// per line, histograms expanded into cumulative `_bucket`/`_sum`/
+    /// `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, metric) in self.registrations() {
+            if !help.is_empty() {
+                writeln!(out, "# HELP {name} {}", escape_help(&help)).expect("string write");
+            }
+            writeln!(out, "# TYPE {name} {}", metric.type_name()).expect("string write");
+            let prefix_len = out.len();
+            for sample in self.samples_for(&name, &metric) {
+                write_sample_line(&mut out, &sample);
+            }
+            // A family with no members yet still printed its headers; that
+            // is valid exposition, nothing to clean up.
+            let _ = prefix_len;
+        }
+        out
+    }
+
+    fn samples_for(&self, name: &str, metric: &Metric) -> Vec<Sample> {
+        let mut out = Vec::new();
+        match metric {
+            Metric::Counter(c) => out.push(Sample {
+                name: name.to_string(),
+                labels: Vec::new(),
+                value: c.get() as f64,
+            }),
+            Metric::Gauge(g) => out.push(Sample {
+                name: name.to_string(),
+                labels: Vec::new(),
+                value: g.get(),
+            }),
+            Metric::Histogram(h) => histogram_samples(&mut out, name, &[], h),
+            Metric::CounterFamily(f) => {
+                for (label, c) in f.snapshot() {
+                    out.push(Sample {
+                        name: name.to_string(),
+                        labels: vec![(f.label_name().to_string(), label)],
+                        value: c.get() as f64,
+                    });
+                }
+            }
+            Metric::GaugeFamily(f) => {
+                for (label, g) in f.snapshot() {
+                    out.push(Sample {
+                        name: name.to_string(),
+                        labels: vec![(f.label_name().to_string(), label)],
+                        value: g.get(),
+                    });
+                }
+            }
+            Metric::HistogramFamily(f) => {
+                for (label, h) in f.snapshot() {
+                    let labels = [(f.label_name().to_string(), label)];
+                    histogram_samples(&mut out, name, &labels, &h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object: metric name → value
+    /// (counters/gauges), or → `{label: value}` (families), or → a
+    /// histogram object with `count`, `sum`, `max` and cumulative
+    /// `buckets`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let registrations = self.registrations();
+        for (i, (name, _help, metric)) in registrations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\n  {}: ", json_string(name)).expect("string write");
+            match metric {
+                Metric::Counter(c) => write!(out, "{}", c.get()).expect("string write"),
+                Metric::Gauge(g) => write!(out, "{}", json_number(g.get())).expect("string write"),
+                Metric::Histogram(h) => json_histogram(&mut out, h),
+                Metric::CounterFamily(f) => {
+                    out.push('{');
+                    for (j, (label, c)) in f.snapshot().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "{}: {}", json_string(label), c.get()).expect("string write");
+                    }
+                    out.push('}');
+                }
+                Metric::GaugeFamily(f) => {
+                    out.push('{');
+                    for (j, (label, g)) in f.snapshot().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "{}: {}", json_string(label), json_number(g.get()))
+                            .expect("string write");
+                    }
+                    out.push('}');
+                }
+                Metric::HistogramFamily(f) => {
+                    out.push('{');
+                    for (j, (label, h)) in f.snapshot().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "{}: ", json_string(label)).expect("string write");
+                        json_histogram(&mut out, h);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn histogram_samples(
+    out: &mut Vec<Sample>,
+    name: &str,
+    labels: &[(String, String)],
+    h: &Histogram,
+) {
+    for (bound, cumulative) in h.cumulative_buckets() {
+        let mut bucket_labels = labels.to_vec();
+        bucket_labels.push(("le".to_string(), format_bound(bound)));
+        out.push(Sample {
+            name: format!("{name}_bucket"),
+            labels: bucket_labels,
+            value: cumulative as f64,
+        });
+    }
+    out.push(Sample {
+        name: format!("{name}_sum"),
+        labels: labels.to_vec(),
+        value: h.sum(),
+    });
+    out.push(Sample {
+        name: format!("{name}_count"),
+        labels: labels.to_vec(),
+        value: h.count() as f64,
+    });
+}
+
+fn format_bound(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format_value(bound)
+    }
+}
+
+/// Formats a sample value so that it round-trips through `str::parse::<f64>`.
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_sample_line(out: &mut String, sample: &Sample) {
+    out.push_str(&sample.name);
+    if !sample.labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in sample.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{k}=\"{}\"", escape_label(v)).expect("string write");
+        }
+        out.push('}');
+    }
+    writeln!(out, " {}", format_value(sample.value)).expect("string write");
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format_value(v)
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+fn json_histogram(out: &mut String, h: &Histogram) {
+    write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": {{",
+        h.count(),
+        json_number(h.sum()),
+        json_number(h.max())
+    )
+    .expect("string write");
+    for (i, (bound, cumulative)) in h.cumulative_buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}: {cumulative}", json_string(&format_bound(*bound))).expect("string write");
+    }
+    out.push_str("}}");
+}
+
+/// The process-wide default registry: hot-path instruments in
+/// [`crate::pipeline`], [`crate::online`] and [`crate::policy`] register
+/// here, and [`crate::supervisor::Supervisor`] uses it unless an explicit
+/// registry is injected.
+pub fn default_registry() -> Registry {
+    static DEFAULT: OnceLock<Registry> = OnceLock::new();
+    DEFAULT.get_or_init(Registry::new).clone()
+}
+
+/// A sample parsed back from the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// Series name.
+    pub name: String,
+    /// Labels in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// Parses the Prometheus text exposition format emitted by
+/// [`Registry::render_prometheus`] (names, one-level labels with escapes,
+/// `+Inf` bounds). Comment and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a line-numbered message for any malformed sample line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample_line(line).map_err(|e| format!("line {line_no}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample_line(line: &str) -> Result<ParsedSample, String> {
+    let (series, value_text) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            if close < brace {
+                return Err("mismatched label braces".to_string());
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let space = line
+                .find(char::is_whitespace)
+                .ok_or_else(|| "sample has no value".to_string())?;
+            (&line[..space], line[space..].trim())
+        }
+    };
+    let value: f64 = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse()
+            .map_err(|e| format!("bad value {other:?}: {e}"))?,
+    };
+    let (name, labels) = match series.find('{') {
+        Some(brace) => {
+            let inner = &series[brace + 1..series.len() - 1];
+            (series[..brace].to_string(), parse_labels(inner)?)
+        }
+        None => (series.to_string(), Vec::new()),
+    };
+    if !Registry::is_valid_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(ParsedSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(inner: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Skip separators and terminal whitespace.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value is not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("unterminated value for label {key}")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_shares() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.inc_by(4);
+        assert_eq!(c.get(), 5);
+        c.seed(3);
+        assert_eq!(c.get(), 5, "seed never lowers");
+        c.seed(10);
+        assert_eq!(c2.get(), 10);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-4.0);
+        assert!((g.get() + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_quantiles() {
+        let h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        for v in [1.0, 5.0, 50.0, 500.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5556.0).abs() < 1e-9);
+        assert_eq!(h.max(), 5000.0);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (10.0, 2));
+        assert_eq!(buckets[1], (100.0, 3));
+        assert_eq!(buckets[2], (1000.0, 4));
+        assert_eq!(buckets[3].1, 5);
+        assert!(buckets[3].0.is_infinite());
+        // Median falls in the (10, 100] bucket.
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=100.0).contains(&p50), "{p50}");
+        // The tail estimate is capped at the observed max.
+        assert_eq!(h.quantile(1.0), 5000.0);
+        // Empty histogram quantile is defined.
+        assert_eq!(Histogram::latency_us().quantile(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10.0, 5.0]);
+    }
+
+    #[test]
+    fn family_members_are_shared_per_label() {
+        let f: Family<Counter> = Family::new("pair", Counter::new);
+        f.with_label("bus").inc();
+        f.with_label("bus").inc();
+        f.with_label("cache").inc();
+        let snapshot = f.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].0, "bus");
+        assert_eq!(snapshot[0].1.get(), 2);
+        assert_eq!(snapshot[1].1.get(), 1);
+    }
+
+    #[test]
+    fn registry_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("cchunter_test_total", "a test counter");
+        let b = r.counter("cchunter_test_total", "ignored duplicate help");
+        a.inc();
+        assert_eq!(b.get(), 1, "same name returns the same counter");
+        assert_eq!(r.registrations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        let _ = r.counter("cchunter_kind_clash", "");
+        let _ = r.gauge("cchunter_kind_clash", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_names() {
+        let _ = Registry::new().counter("0starts-with-digit", "");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_samples() {
+        let r = Registry::new();
+        r.counter("cchunter_ticks_total", "Fleet ticks completed")
+            .inc_by(7);
+        let f = r.counter_family("cchunter_pair_panics_total", "Contained panics", "pair");
+        f.with_label("bus: a <-> b").inc();
+        let h = r.histogram("cchunter_latency_us", "Analysis latency", &[10.0, 100.0]);
+        h.observe(42.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP cchunter_ticks_total Fleet ticks completed"));
+        assert!(text.contains("# TYPE cchunter_ticks_total counter"));
+        assert!(text.contains("cchunter_ticks_total 7"));
+        assert!(text.contains("cchunter_pair_panics_total{pair=\"bus: a <-> b\"} 1"));
+        assert!(text.contains("cchunter_latency_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("cchunter_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cchunter_latency_us_sum 42"));
+        assert!(text.contains("cchunter_latency_us_count 1"));
+    }
+
+    #[test]
+    fn parser_roundtrips_samples_exactly() {
+        let r = Registry::new();
+        r.counter("cchunter_a_total", "plain").inc_by(3);
+        let g = r.gauge("cchunter_conf", "a gauge");
+        g.set(-0.125);
+        let f = r.counter_family("cchunter_lbl_total", "labels", "pair");
+        f.with_label("weird \"label\"\\with\nnasties").inc_by(9);
+        let h = r.histogram("cchunter_h_us", "hist", &[1.0, 2.5]);
+        h.observe(2.0);
+        h.observe(100.0);
+        let rendered = r.render_prometheus();
+        let parsed = parse_prometheus(&rendered).expect("parses");
+        let expected: Vec<ParsedSample> = r
+            .samples()
+            .into_iter()
+            .map(|s| ParsedSample {
+                name: s.name,
+                labels: s.labels,
+                value: s.value,
+            })
+            .collect();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "name",                        // no value
+            "name{x=\"y\" 3",              // unterminated labels
+            "name{x=y} 3",                 // unquoted value
+            "name{x=\"y\\q\"} 3",          // bad escape
+            "0name 3",                     // bad name
+            "name{x=\"\\\"} 3 extra junk", // unterminated + trailing
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_contains_values() {
+        let r = Registry::new();
+        r.counter("cchunter_j_total", "").inc_by(2);
+        let f = r.gauge_family("cchunter_j_conf", "", "pair");
+        f.with_label("p\"0").set(0.5);
+        let h = r.histogram_family("cchunter_j_lat", "", "pair", &[1.0]);
+        h.with_label("p0").observe(3.0);
+        let json = r.render_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"cchunter_j_total\": 2"));
+        assert!(json.contains("\"p\\\"0\": 0.5"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn default_registry_is_shared() {
+        let a = default_registry();
+        let b = default_registry();
+        let c = a.counter("cchunter_default_shared_total", "");
+        c.inc();
+        assert_eq!(b.counter("cchunter_default_shared_total", "").get(), 1);
+    }
+}

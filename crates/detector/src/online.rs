@@ -45,11 +45,61 @@ use crate::autocorr::{OscillationDetector, OscillationVerdict};
 use crate::burst::{BurstDetector, BurstVerdict};
 use crate::cluster::{discretized_features, recurrence_from_features, RecurrenceVerdict};
 use crate::density::DensityHistogram;
+use crate::metrics::{default_registry, Counter};
 use crate::pipeline::{symbol_series, CcHunterConfig, Verdict};
+use crate::span;
 use crate::trace::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointSlot};
 use crate::window::SlidingWindow;
 use crate::DetectorError;
 use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+/// Process-wide count of quanta pushed into any online daemon.
+fn online_pushes_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_online_pushes_total",
+            "Quanta pushed into online daemons (all pairs, all fleets)",
+        )
+    })
+}
+
+/// Process-wide count of missed (zero-weight) quanta pushed.
+fn online_missed_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_online_missed_total",
+            "Missed quanta (gaps) pushed into online daemons",
+        )
+    })
+}
+
+/// Process-wide count of daemon verdict flips (clean ↔ covert).
+fn online_verdict_flips_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_online_verdict_flips_total",
+            "Online daemon verdict changes (clean <-> covert)",
+        )
+    })
+}
+
+/// Publishes a verdict change on the daemon push path: counted always,
+/// traced when the global tracer is on. `kind` is the daemon kind label.
+fn note_verdict_flip(kind: &'static str, from: Verdict, to: Verdict, confidence: f64) {
+    online_verdict_flips_total().inc();
+    let tracer = span::global();
+    if tracer.is_enabled() {
+        tracer.event(
+            "online",
+            "verdict-flip",
+            format!("{kind}: {from} -> {to} (confidence {confidence:.3})"),
+        );
+    }
+}
 
 /// One OS quantum's worth of harvested observation, as delivered to the
 /// daemon — possibly degraded.
@@ -194,6 +244,8 @@ pub struct OnlineContentionDetector {
     pushes_since_rebase: usize,
     /// Clustering cache, invalidated when the bursty sequence changes.
     cache: Option<ClusterCache>,
+    /// The last verdict returned, so flips can be traced.
+    last_verdict: Verdict,
 }
 
 impl OnlineContentionDetector {
@@ -218,6 +270,7 @@ impl OnlineContentionDetector {
             bursty: 0,
             pushes_since_rebase: 0,
             cache: None,
+            last_verdict: Verdict::Clean,
         })
     }
 
@@ -240,6 +293,10 @@ impl OnlineContentionDetector {
     /// window the verdict actually rests on.
     pub fn push_quantum(&mut self, harvest: impl Into<Harvest>) -> OnlineStatus {
         let harvest = harvest.into();
+        online_pushes_total().inc();
+        if matches!(harvest, Harvest::Missed) {
+            online_missed_total().inc();
+        }
         let weight = harvest.observed_weight();
         let (histogram, verdict) = match harvest {
             Harvest::Complete(h) | Harvest::Partial { histogram: h, .. } => {
@@ -335,18 +392,23 @@ impl OnlineContentionDetector {
             Verdict::Clean
         };
         let window_len = self.window.len();
+        let confidence = if window_len == 0 {
+            0.0
+        } else {
+            // Clamped: the running sum can sit an ulp outside [0, len].
+            (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
+        };
+        if call != self.last_verdict {
+            note_verdict_flip("contention", self.last_verdict, call, confidence);
+            self.last_verdict = call;
+        }
         OnlineStatus {
             quantum_burst: quantum,
             quantum_oscillation: None,
             oscillatory_in_window: 0,
             window_len,
             observed_in_window: self.observed,
-            // Clamped: the running sum can sit an ulp outside [0, len].
-            confidence: if window_len == 0 {
-                0.0
-            } else {
-                (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
-            },
+            confidence,
             recurrence: Some(recurrence),
             verdict: call,
         }
@@ -475,6 +537,8 @@ pub struct OnlineOscillationDetector {
     /// Pushes since the last exact recomputation of `weight_sum` (see
     /// [`OnlineContentionDetector`]).
     pushes_since_rebase: usize,
+    /// The last verdict returned, so flips can be traced.
+    last_verdict: Verdict,
 }
 
 impl OnlineOscillationDetector {
@@ -498,6 +562,7 @@ impl OnlineOscillationDetector {
             observed: 0,
             oscillatory: 0,
             pushes_since_rebase: 0,
+            last_verdict: Verdict::Clean,
         })
     }
 
@@ -525,6 +590,7 @@ impl OnlineOscillationDetector {
         records: &[ConflictRecord],
         lost_fraction: f64,
     ) -> OnlineStatus {
+        online_pushes_total().inc();
         let series = symbol_series(records, 0, u64::MAX);
         let verdict = self.detector.analyze(&series, self.config.max_lag);
         self.push_slot(OscSlot {
@@ -537,6 +603,8 @@ impl OnlineOscillationDetector {
     /// Records a quantum whose conflict drain never arrived: the window
     /// keeps its place as a gap with zero observation weight.
     pub fn push_missed(&mut self) -> OnlineStatus {
+        online_pushes_total().inc();
+        online_missed_total().inc();
         self.push_slot(OscSlot {
             oscillatory: None,
             weight: 0.0,
@@ -570,25 +638,30 @@ impl OnlineOscillationDetector {
         }
     }
 
-    fn status(&self, quantum: Option<OscillationVerdict>) -> OnlineStatus {
+    fn status(&mut self, quantum: Option<OscillationVerdict>) -> OnlineStatus {
         let call = if self.oscillatory >= self.config.min_oscillatory_windows {
             Verdict::CovertTimingChannel
         } else {
             Verdict::Clean
         };
         let window_len = self.window.len();
+        let confidence = if window_len == 0 {
+            0.0
+        } else {
+            // Clamped: the running sum can sit an ulp outside [0, len].
+            (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
+        };
+        if call != self.last_verdict {
+            note_verdict_flip("oscillation", self.last_verdict, call, confidence);
+            self.last_verdict = call;
+        }
         OnlineStatus {
             quantum_burst: None,
             quantum_oscillation: quantum,
             oscillatory_in_window: self.oscillatory,
             window_len,
             observed_in_window: self.observed,
-            // Clamped: the running sum can sit an ulp outside [0, len].
-            confidence: if window_len == 0 {
-                0.0
-            } else {
-                (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
-            },
+            confidence,
             recurrence: None,
             verdict: call,
         }

@@ -28,13 +28,63 @@ use crate::burst::{BurstConfig, BurstDetector, BurstVerdict};
 use crate::cluster::{analyze_recurrence, ClusterConfig, RecurrenceVerdict};
 use crate::density::{DeltaTPolicy, DensityHistogram};
 use crate::events::{pair_symbol, EventTrain, SymbolSeries};
+use crate::metrics::{default_registry, Counter, Histogram, LATENCY_BUCKETS_US};
 use crate::online::Harvest;
+use crate::span;
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Minimum number of per-quantum histograms before the burst analysis fans
 /// out to the thread pool; below this the per-item work is too cheap to
 /// amortize job dispatch.
 const PAR_MIN_HISTOGRAMS: usize = 64;
+
+/// Batch audits run through [`CcHunter::audit_pairs`] /
+/// [`CcHunter::try_audit_pairs`].
+fn pipeline_batches_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_pipeline_batches_total",
+            "Batch audits run through the parallel pipeline.",
+        )
+    })
+}
+
+/// Individual pair audits completed by the pipeline.
+fn pipeline_audits_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_pipeline_audits_total",
+            "Individual pair audits completed by the pipeline.",
+        )
+    })
+}
+
+/// Pipeline audits whose verdict was covert.
+fn pipeline_covert_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_pipeline_covert_total",
+            "Pipeline pair audits that reported a covert timing channel.",
+        )
+    })
+}
+
+/// Wall-clock latency of whole audit batches.
+fn pipeline_batch_latency_us() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        default_registry().histogram(
+            "cchunter_pipeline_batch_latency_us",
+            "Wall-clock latency of whole pipeline audit batches, in microseconds.",
+            &LATENCY_BUCKETS_US,
+        )
+    })
+}
 
 /// The two classes of shared hardware the paper distinguishes (§IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,7 +387,7 @@ impl CcHunter {
 
     /// Runs the full analysis for one labeled pair's evidence.
     pub fn audit_pair(&self, audit: &PairAudit) -> Detection {
-        match &audit.evidence {
+        let detection = match &audit.evidence {
             PairEvidence::Contention(harvests) => {
                 let report = self.analyze_contention_harvests(harvests.clone());
                 Detection::from_contention(audit.label.clone(), &report)
@@ -350,7 +400,12 @@ impl CcHunter {
                 let report = self.analyze_oscillation(records, *start, *end);
                 Detection::from_oscillation(audit.label.clone(), &report)
             }
+        };
+        pipeline_audits_total().inc();
+        if detection.verdict.is_covert() {
+            pipeline_covert_total().inc();
         }
+        detection
     }
 
     /// Audits many principal pairs, fanning the per-pair analyses out
@@ -363,7 +418,15 @@ impl CcHunter {
     /// single audit degrades to its serial-equivalent path while the pool
     /// is busy with the outer fan-out.
     pub fn audit_pairs(&self, audits: &[PairAudit]) -> Vec<Detection> {
-        threadpool::par_map(audits, |audit| self.audit_pair(audit))
+        let mut batch_span = span::global().span("pipeline", "audit-batch");
+        let started = Instant::now();
+        let detections = threadpool::par_map(audits, |audit| self.audit_pair(audit));
+        record_batch(started);
+        if span::global().is_enabled() {
+            let covert = detections.iter().filter(|d| d.verdict.is_covert()).count();
+            batch_span.detail(format_args!("{} pairs, {covert} covert", audits.len()));
+        }
+        detections
     }
 
     /// Panic-safe variant of [`CcHunter::audit_pairs`]: each pair's
@@ -377,17 +440,41 @@ impl CcHunter {
         &self,
         audits: &[PairAudit],
     ) -> Vec<Result<Detection, crate::DetectorError>> {
-        threadpool::par_catch_map(audits, |audit| self.audit_pair(audit))
-            .into_iter()
-            .zip(audits)
-            .map(|(result, audit)| {
-                result.map_err(|panic| crate::DetectorError::AnalysisPanicked {
-                    context: audit.label.clone(),
-                    message: panic.message,
+        let mut batch_span = span::global().span("pipeline", "audit-batch");
+        let started = Instant::now();
+        let results: Vec<Result<Detection, crate::DetectorError>> =
+            threadpool::par_catch_map(audits, |audit| self.audit_pair(audit))
+                .into_iter()
+                .zip(audits)
+                .map(|(result, audit)| {
+                    result.map_err(|panic| crate::DetectorError::AnalysisPanicked {
+                        context: audit.label.clone(),
+                        message: panic.message,
+                    })
                 })
-            })
-            .collect()
+                .collect();
+        record_batch(started);
+        if span::global().is_enabled() {
+            let covert = results
+                .iter()
+                .filter(|r| r.as_ref().is_ok_and(|d| d.verdict.is_covert()))
+                .count();
+            let contained = results.iter().filter(|r| r.is_err()).count();
+            batch_span.detail(format_args!(
+                "{} pairs, {covert} covert, {contained} contained panics",
+                audits.len()
+            ));
+        }
+        results
     }
+}
+
+/// Records one finished batch in the pipeline's batch counter and latency
+/// histogram.
+fn record_batch(started: Instant) {
+    let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    pipeline_batches_total().inc();
+    pipeline_batch_latency_us().observe(elapsed_us as f64);
 }
 
 /// The evidence backing one entry of a multi-pair audit.

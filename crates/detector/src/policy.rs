@@ -19,10 +19,25 @@
 //! wall-clock, so behavior is exactly reproducible and serializes cleanly
 //! into checkpoints.
 
+use crate::metrics::{default_registry, Counter};
+use crate::span;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Process-wide count of breaker state transitions (any breaker, any
+/// fleet), registered in [`default_registry`].
+fn breaker_transitions_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_breaker_transitions_total",
+            "Circuit-breaker state transitions across all supervised pairs",
+        )
+    })
+}
 
 /// Exponential-backoff parameters for transient probe failures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +159,19 @@ pub enum BreakerState {
     },
 }
 
+impl BreakerState {
+    /// The state's bare name (`closed` / `open` / `half-open`), without the
+    /// per-state data — the stable vocabulary used by trace events and
+    /// metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
 impl fmt::Display for BreakerState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -243,7 +271,8 @@ impl CircuitBreaker {
     }
 
     /// Records a successful probe at `tick`.
-    pub fn record_success(&mut self, _tick: u64) {
+    pub fn record_success(&mut self, tick: u64) {
+        let before = self.state;
         self.push_outcome(false);
         match self.state {
             BreakerState::Closed => {}
@@ -258,6 +287,7 @@ impl CircuitBreaker {
                 self.maybe_close();
             }
         }
+        self.note_transition(before, tick);
     }
 
     fn maybe_close(&mut self) {
@@ -272,6 +302,7 @@ impl CircuitBreaker {
 
     /// Records a failed probe at `tick`, possibly tripping the breaker.
     pub fn record_failure(&mut self, tick: u64) {
+        let before = self.state;
         self.push_outcome(true);
         match self.state {
             BreakerState::Closed => {
@@ -285,6 +316,25 @@ impl CircuitBreaker {
             BreakerState::HalfOpen { .. } | BreakerState::Open { .. } => {
                 self.state = BreakerState::Open { since_tick: tick };
             }
+        }
+        self.note_transition(before, tick);
+    }
+
+    /// Publishes a state change (same-variant updates such as an open
+    /// breaker refreshing `since_tick` are not transitions) to the global
+    /// transition counter and tracer.
+    fn note_transition(&self, before: BreakerState, tick: u64) {
+        if std::mem::discriminant(&before) == std::mem::discriminant(&self.state) {
+            return;
+        }
+        breaker_transitions_total().inc();
+        let tracer = span::global();
+        if tracer.is_enabled() {
+            tracer.event(
+                "policy",
+                "breaker-transition",
+                format!("{} -> {} at tick {tick}", before.name(), self.state.name()),
+            );
         }
     }
 

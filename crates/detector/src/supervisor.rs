@@ -22,7 +22,7 @@
 //!   on `(seed, pair, tick, attempt)`, so fault-injected runs replay
 //!   exactly, before and after a crash-restore.
 //! * **Quarantine** — each pair carries a
-//!   [`CircuitBreaker`](crate::policy::CircuitBreaker): pairs whose
+//!   [`CircuitBreaker`]: pairs whose
 //!   failure rate over a sliding window exceeds the threshold are skipped
 //!   (with decaying reported confidence) and probed periodically for
 //!   recovery, so one broken monitor cannot starve the fleet's audit
@@ -30,7 +30,7 @@
 //! * **Crash-safe state** — [`Supervisor::checkpoint`] writes every pair's
 //!   sliding window plus a fleet manifest (tick, pair roster, breaker
 //!   states) through the CRC-framed, generational
-//!   [`CheckpointStore`](crate::store::CheckpointStore);
+//!   [`CheckpointStore`];
 //!   [`Supervisor::restore`] reloads the newest generations that validate,
 //!   rolling back over corrupt ones and surfacing every rollback in the
 //!   pair status.
@@ -42,15 +42,20 @@
 //! fires and the contract is exact.)
 
 use crate::auditor::ConflictRecord;
+use crate::metrics::{
+    default_registry, Counter, Family, Gauge, Histogram, Registry, LATENCY_BUCKETS_US,
+};
 use crate::online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 use crate::pipeline::{CcHunterConfig, Verdict};
 use crate::policy::{
     backoff_delay, mix_seed, BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig,
 };
+use crate::span::{self, Tracer};
 use crate::store::CheckpointStore;
 use crate::DetectorError;
 use std::fmt;
 use std::io::{BufRead, BufReader};
+use std::mem::discriminant;
 use std::time::Instant;
 
 /// Fleet-level configuration.
@@ -344,6 +349,311 @@ impl RestoreReport {
 const MANIFEST_MAGIC: &str = "cchunter-supervisor,v1";
 const MANIFEST_NAME: &str = "supervisor";
 
+/// The fleet's registered instrument set (see DESIGN.md §12 for the name
+/// and label scheme). Families are labeled by pair label.
+#[derive(Debug, Clone)]
+struct FleetMetrics {
+    ticks: Counter,
+    tick_latency_us: Histogram,
+    audit_latency_us: Histogram,
+    pair_audit_latency_us: Family<Histogram>,
+    analyzed: Family<Counter>,
+    degraded: Family<Counter>,
+    failures: Family<Counter>,
+    panics: Family<Counter>,
+    deadline_misses: Family<Counter>,
+    retries: Family<Counter>,
+    backoff_us: Family<Counter>,
+    quarantine_skips: Family<Counter>,
+    verdict_flips: Family<Counter>,
+    breaker_transitions: Family<Counter>,
+    recoveries: Family<Counter>,
+    confidence: Family<Gauge>,
+    covert: Family<Gauge>,
+    quarantined: Family<Gauge>,
+    checkpoints: Counter,
+    checkpoint_errors: Counter,
+    restore_rollbacks: Counter,
+}
+
+impl FleetMetrics {
+    fn register(registry: &Registry) -> Self {
+        const PAIR: &str = "pair";
+        FleetMetrics {
+            ticks: registry.counter(
+                "cchunter_supervisor_ticks_total",
+                "Supervised fleet ticks completed.",
+            ),
+            tick_latency_us: registry.histogram(
+                "cchunter_supervisor_tick_latency_us",
+                "Wall-clock latency of one supervised fleet tick, in microseconds.",
+                &LATENCY_BUCKETS_US,
+            ),
+            audit_latency_us: registry.histogram(
+                "cchunter_audit_latency_us",
+                "Per-pair analysis latency, in microseconds.",
+                &LATENCY_BUCKETS_US,
+            ),
+            pair_audit_latency_us: registry.histogram_family(
+                "cchunter_pair_audit_latency_us",
+                "Per-pair analysis latency, in microseconds, by pair.",
+                PAIR,
+                &LATENCY_BUCKETS_US,
+            ),
+            analyzed: registry.counter_family(
+                "cchunter_pair_analyzed_total",
+                "Clean per-pair analyses.",
+                PAIR,
+            ),
+            degraded: registry.counter_family(
+                "cchunter_pair_degraded_total",
+                "Degraded per-pair outcomes (gaps, wrong-kind inputs, deadline misses).",
+                PAIR,
+            ),
+            failures: registry.counter_family(
+                "cchunter_pair_failures_total",
+                "Per-pair probe/analysis failures.",
+                PAIR,
+            ),
+            panics: registry.counter_family(
+                "cchunter_pair_panics_total",
+                "Contained per-pair analysis panics.",
+                PAIR,
+            ),
+            deadline_misses: registry.counter_family(
+                "cchunter_pair_deadline_misses_total",
+                "Per-pair deadline watchdog trips.",
+                PAIR,
+            ),
+            retries: registry.counter_family(
+                "cchunter_pair_retries_total",
+                "Per-pair probe retries.",
+                PAIR,
+            ),
+            backoff_us: registry.counter_family(
+                "cchunter_pair_backoff_us_total",
+                "Virtual microseconds of retry backoff scheduled per pair.",
+                PAIR,
+            ),
+            quarantine_skips: registry.counter_family(
+                "cchunter_pair_quarantine_skips_total",
+                "Ticks skipped because the pair was quarantined.",
+                PAIR,
+            ),
+            verdict_flips: registry.counter_family(
+                "cchunter_pair_verdict_flips_total",
+                "Per-pair verdict changes (clean <-> covert).",
+                PAIR,
+            ),
+            breaker_transitions: registry.counter_family(
+                "cchunter_pair_breaker_transitions_total",
+                "Per-pair circuit-breaker state transitions.",
+                PAIR,
+            ),
+            recoveries: registry.counter_family(
+                "cchunter_pair_recoveries_total",
+                "Detector rebuilds after contained panics.",
+                PAIR,
+            ),
+            confidence: registry.gauge_family(
+                "cchunter_pair_confidence",
+                "The pair's current covert-channel confidence, in [0, 1].",
+                PAIR,
+            ),
+            covert: registry.gauge_family(
+                "cchunter_pair_covert",
+                "1 when the pair's current verdict is covert, else 0.",
+                PAIR,
+            ),
+            quarantined: registry.gauge_family(
+                "cchunter_pair_quarantined",
+                "1 when the pair's breaker is open or half-open, else 0.",
+                PAIR,
+            ),
+            checkpoints: registry.counter(
+                "cchunter_checkpoints_total",
+                "Successful fleet checkpoints.",
+            ),
+            checkpoint_errors: registry.counter(
+                "cchunter_checkpoint_errors_total",
+                "Failed fleet checkpoint attempts.",
+            ),
+            restore_rollbacks: registry.counter(
+                "cchunter_restore_rollbacks_total",
+                "Corrupt checkpoint generations rolled over during restores.",
+            ),
+        }
+    }
+}
+
+/// Fleet-local (unregistered) mirrors of the cross-pair aggregates.
+///
+/// [`Supervisor::metrics_snapshot`] reads these instead of the registry so
+/// the digest stays exact for *this* fleet even when several supervisors
+/// share the process-wide default registry. Instruments (not plain ints)
+/// so `&self` methods like [`Supervisor::checkpoint`] can bump them.
+#[derive(Debug)]
+struct FleetTotals {
+    analyzed: Counter,
+    degraded: Counter,
+    quarantine_skips: Counter,
+    verdict_flips: Counter,
+    breaker_transitions: Counter,
+    recoveries: Counter,
+    checkpoints: Counter,
+    checkpoint_errors: Counter,
+    restore_rollbacks: Counter,
+    audit_latency_us: Histogram,
+    tick_latency_us: Histogram,
+}
+
+impl FleetTotals {
+    fn new() -> Self {
+        FleetTotals {
+            analyzed: Counter::new(),
+            degraded: Counter::new(),
+            quarantine_skips: Counter::new(),
+            verdict_flips: Counter::new(),
+            breaker_transitions: Counter::new(),
+            recoveries: Counter::new(),
+            checkpoints: Counter::new(),
+            checkpoint_errors: Counter::new(),
+            restore_rollbacks: Counter::new(),
+            audit_latency_us: Histogram::latency_us(),
+            tick_latency_us: Histogram::latency_us(),
+        }
+    }
+}
+
+/// A compact latency-distribution digest taken from a fixed-bucket
+/// histogram; quantiles are bucket-interpolated (see
+/// [`Histogram::quantile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean, in microseconds.
+    pub mean_us: f64,
+    /// Interpolated median, in microseconds.
+    pub p50_us: f64,
+    /// Interpolated 90th percentile, in microseconds.
+    pub p90_us: f64,
+    /// Largest observation, in microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean_us: h.mean(),
+            p50_us: h.quantile(0.5),
+            p90_us: h.quantile(0.9),
+            max_us: h.max(),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}µs p50={:.1}µs p90={:.1}µs max={:.1}µs",
+            self.count, self.mean_us, self.p50_us, self.p90_us, self.max_us
+        )
+    }
+}
+
+/// A point-in-time numeric digest of one fleet's health, computed from the
+/// fleet's own state (exact for this fleet even when the metrics registry
+/// is shared process-wide).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Ticks completed.
+    pub ticks: u64,
+    /// Supervised pairs.
+    pub pairs: usize,
+    /// Pairs whose breaker is not closed.
+    pub quarantined_pairs: usize,
+    /// Pairs whose current verdict is covert.
+    pub covert_pairs: usize,
+    /// Clean analyses across all pairs and ticks.
+    pub analyzed: u64,
+    /// Degraded outcomes (gaps, wrong-kind inputs, deadline misses).
+    pub degraded: u64,
+    /// Probe/analysis failures.
+    pub failures: u64,
+    /// Contained analysis panics.
+    pub panics: u64,
+    /// Deadline watchdog trips.
+    pub deadline_misses: u64,
+    /// Probe retries.
+    pub retries: u64,
+    /// Ticks skipped under quarantine.
+    pub quarantine_skips: u64,
+    /// Verdict changes (clean <-> covert).
+    pub verdict_flips: u64,
+    /// Circuit-breaker state transitions.
+    pub breaker_transitions: u64,
+    /// Detector rebuilds after contained panics.
+    pub recoveries: u64,
+    /// Successful checkpoints.
+    pub checkpoints: u64,
+    /// Failed checkpoint attempts.
+    pub checkpoint_errors: u64,
+    /// Corrupt generations rolled over during restores.
+    pub restore_rollbacks: u64,
+    /// Mean covert-channel confidence across pairs.
+    pub mean_confidence: f64,
+    /// Per-pair analysis latency distribution.
+    pub audit_latency: LatencySummary,
+    /// Whole-tick latency distribution.
+    pub tick_latency: LatencySummary,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} pairs ({} covert, {} quarantined) at tick {}",
+            self.pairs, self.covert_pairs, self.quarantined_pairs, self.ticks
+        )?;
+        writeln!(
+            f,
+            "  analyzed {}  degraded {}  failures {}  panics {}  deadline misses {}",
+            self.analyzed, self.degraded, self.failures, self.panics, self.deadline_misses
+        )?;
+        writeln!(
+            f,
+            "  retries {}  quarantine skips {}  verdict flips {}  breaker transitions {}  recoveries {}",
+            self.retries,
+            self.quarantine_skips,
+            self.verdict_flips,
+            self.breaker_transitions,
+            self.recoveries
+        )?;
+        writeln!(
+            f,
+            "  checkpoints {} ({} failed)  restore rollbacks {}  mean confidence {:.3}",
+            self.checkpoints, self.checkpoint_errors, self.restore_rollbacks, self.mean_confidence
+        )?;
+        writeln!(f, "  audit latency: {}", self.audit_latency)?;
+        write!(f, "  tick latency:  {}", self.tick_latency)
+    }
+}
+
+/// Everything a monitoring page needs about one fleet: the tick counter,
+/// every pair's standing, and the numeric digest.
+#[derive(Debug, Clone)]
+pub struct FleetStatus {
+    /// Ticks completed.
+    pub tick: u64,
+    /// Per-pair standing, in pair order.
+    pub pairs: Vec<PairStatus>,
+    /// The numeric digest.
+    pub metrics: MetricsSnapshot,
+}
+
 /// The supervised audit service: owns the per-pair daemons, their
 /// watchdogs and breakers, and (optionally) a durable checkpoint store.
 ///
@@ -364,10 +674,18 @@ pub struct Supervisor {
     pairs: Vec<Pair>,
     store: Option<CheckpointStore>,
     tick: u64,
+    registry: Registry,
+    metrics: FleetMetrics,
+    totals: FleetTotals,
+    tracer: Tracer,
 }
 
 impl Supervisor {
-    /// Creates an empty fleet.
+    /// Creates an empty fleet. Instruments register in the process-wide
+    /// [`default_registry`] and structured events go to the
+    /// `CCHUNTER_TRACE`-controlled [`span::global`] tracer; see
+    /// [`Supervisor::with_registry`] / [`Supervisor::with_tracer`] to
+    /// redirect either.
     ///
     /// # Errors
     ///
@@ -378,11 +696,17 @@ impl Supervisor {
                 reason: "supervisor window must hold at least one quantum".to_string(),
             });
         }
+        let registry = default_registry();
+        let metrics = FleetMetrics::register(&registry);
         Ok(Supervisor {
             config,
             pairs: Vec::new(),
             store: None,
             tick: 0,
+            registry,
+            metrics,
+            totals: FleetTotals::new(),
+            tracer: span::global().clone(),
         })
     }
 
@@ -390,6 +714,36 @@ impl Supervisor {
     pub fn with_store(mut self, store: CheckpointStore) -> Self {
         self.store = Some(store);
         self
+    }
+
+    /// Rebinds this fleet's instruments to `registry` (builder style) —
+    /// e.g. a fresh [`Registry`] per fleet when exact isolation matters.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.metrics = FleetMetrics::register(&registry);
+        self.registry = registry;
+        self
+    }
+
+    /// Redirects this fleet's structured events to `tracer` (builder
+    /// style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The registry this fleet's instruments live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The tracer receiving this fleet's structured events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Renders this fleet's registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// The attached store, if any.
@@ -483,6 +837,8 @@ impl Supervisor {
     pub fn tick<S: ProbeSource + ?Sized>(&mut self, source: &mut S) -> TickReport {
         let tick = self.tick;
         let deadline_us = self.config.deadline_us;
+        let tick_started = Instant::now();
+        let mut tick_span = self.tracer.span("supervisor", "tick");
 
         // Phase 1 (serial): decide skips, probe with retry + backoff.
         enum Plan {
@@ -499,6 +855,22 @@ impl Supervisor {
         for (idx, pair) in self.pairs.iter_mut().enumerate() {
             if !pair.breaker.should_attempt(tick) {
                 pair.quarantine_confidence *= pair.breaker.config().confidence_decay;
+                self.metrics.quarantine_skips.with_label(&pair.label).inc();
+                self.totals.quarantine_skips.inc();
+                self.metrics
+                    .confidence
+                    .with_label(&pair.label)
+                    .set(pair.quarantine_confidence);
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        "supervisor",
+                        "quarantine-skip",
+                        format_args!(
+                            "{} (confidence {:.3})",
+                            pair.label, pair.quarantine_confidence
+                        ),
+                    );
+                }
                 plans.push(Plan::Skip {
                     confidence: pair.quarantine_confidence,
                 });
@@ -529,6 +901,26 @@ impl Supervisor {
             };
             pair.retries += attempt as u64;
             pair.backoff_waited_us += backoff_us;
+            if attempt > 0 {
+                self.metrics
+                    .retries
+                    .with_label(&pair.label)
+                    .inc_by(attempt as u64);
+                self.metrics
+                    .backoff_us
+                    .with_label(&pair.label)
+                    .inc_by(backoff_us);
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        "policy",
+                        "retry-backoff",
+                        format_args!(
+                            "{}: {attempt} retries, {backoff_us} µs scheduled at tick {tick}",
+                            pair.label
+                        ),
+                    );
+                }
+            }
             plans.push(Plan::Analyze {
                 input,
                 retries: attempt,
@@ -614,9 +1006,25 @@ impl Supervisor {
         {
             match self.checkpoint() {
                 Ok(generation) => checkpoint_generation = Some(generation),
-                Err(e) => checkpoint_error = Some(e.to_string()),
+                Err(e) => {
+                    self.metrics.checkpoint_errors.inc();
+                    self.totals.checkpoint_errors.inc();
+                    if self.tracer.is_enabled() {
+                        self.tracer.event("supervisor", "checkpoint-error", &e);
+                    }
+                    checkpoint_error = Some(e.to_string());
+                }
             }
         }
+
+        let tick_elapsed_us = tick_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics.ticks.inc();
+        self.metrics.tick_latency_us.observe(tick_elapsed_us as f64);
+        self.totals.tick_latency_us.observe(tick_elapsed_us as f64);
+        if self.tracer.is_enabled() {
+            tick_span.detail(format_args!("tick {tick}: {} pairs", reports.len()));
+        }
+        drop(tick_span);
 
         TickReport {
             tick,
@@ -635,7 +1043,10 @@ impl Supervisor {
         deadline_us: u64,
         result: TimedAnalysis,
     ) -> PairOutcome {
-        match result {
+        let label = self.pairs[idx].label.clone();
+        let breaker_before = self.pairs[idx].breaker.state();
+        let verdict_before = self.pairs[idx].last_verdict;
+        let outcome = match result {
             Err(panic) => {
                 let recovery = self.rebuild_detector(idx);
                 let pair = &mut self.pairs[idx];
@@ -643,15 +1054,32 @@ impl Supervisor {
                 pair.failures += 1;
                 pair.quarantine_confidence = 0.0;
                 pair.breaker.record_failure(tick);
+                self.metrics.panics.with_label(&label).inc();
+                self.metrics.failures.with_label(&label).inc();
+                self.metrics.recoveries.with_label(&label).inc();
+                self.totals.recoveries.inc();
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        "supervisor",
+                        "panic-contained",
+                        format_args!("{label}: {} ({recovery:?})", panic.message),
+                    );
+                }
                 PairOutcome::Failed {
                     error: DetectorError::AnalysisPanicked {
-                        context: pair.label.clone(),
+                        context: label.clone(),
                         message: panic.message,
                     },
                     recovery,
                 }
             }
             Ok((pushed, elapsed_us)) => {
+                self.metrics.audit_latency_us.observe(elapsed_us as f64);
+                self.metrics
+                    .pair_audit_latency_us
+                    .with_label(&label)
+                    .observe(elapsed_us as f64);
+                self.totals.audit_latency_us.observe(elapsed_us as f64);
                 let pair = &mut self.pairs[idx];
                 let deadline_missed = deadline_us > 0 && elapsed_us > deadline_us;
                 match pushed {
@@ -662,22 +1090,47 @@ impl Supervisor {
                             pair.deadline_misses += 1;
                             pair.failures += 1;
                             pair.breaker.record_failure(tick);
+                            self.metrics.deadline_misses.with_label(&label).inc();
+                            self.metrics.failures.with_label(&label).inc();
+                            self.metrics.degraded.with_label(&label).inc();
+                            self.totals.degraded.inc();
+                            if self.tracer.is_enabled() {
+                                self.tracer.event(
+                                    "supervisor",
+                                    "deadline-miss",
+                                    format_args!(
+                                        "{label}: {elapsed_us} µs > {deadline_us} µs budget"
+                                    ),
+                                );
+                            }
                             PairOutcome::Degraded {
                                 status,
                                 error: DetectorError::DeadlineExceeded {
-                                    context: pair.label.clone(),
+                                    context: label.clone(),
                                     budget_us: deadline_us,
                                     elapsed_us,
                                 },
                             }
                         } else if observed {
                             pair.breaker.record_success(tick);
+                            self.metrics.analyzed.with_label(&label).inc();
+                            self.totals.analyzed.inc();
                             PairOutcome::Analyzed(status)
                         } else {
                             // The window advanced with a gap: the analysis
                             // behaved, but the probe ultimately failed.
                             pair.failures += 1;
                             pair.breaker.record_failure(tick);
+                            self.metrics.failures.with_label(&label).inc();
+                            self.metrics.degraded.with_label(&label).inc();
+                            self.totals.degraded.inc();
+                            if self.tracer.is_enabled() {
+                                self.tracer.event(
+                                    "supervisor",
+                                    "probe-gap",
+                                    format_args!("{label}: probe missed after exhausting retries"),
+                                );
+                            }
                             PairOutcome::Degraded {
                                 status,
                                 error: DetectorError::BadHarvest {
@@ -692,11 +1145,52 @@ impl Supervisor {
                         let status = push_gap(&mut pair.detector);
                         pair.last_verdict = status.verdict;
                         pair.quarantine_confidence = status.confidence;
+                        self.metrics.failures.with_label(&label).inc();
+                        self.metrics.degraded.with_label(&label).inc();
+                        self.totals.degraded.inc();
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "supervisor",
+                                "analysis-error",
+                                format_args!("{label}: {error}"),
+                            );
+                        }
                         PairOutcome::Degraded { status, error }
                     }
                 }
             }
+        };
+        let pair = &self.pairs[idx];
+        let breaker_after = pair.breaker.state();
+        if discriminant(&breaker_after) != discriminant(&breaker_before) {
+            self.metrics.breaker_transitions.with_label(&label).inc();
+            self.totals.breaker_transitions.inc();
         }
+        if pair.last_verdict != verdict_before {
+            self.metrics.verdict_flips.with_label(&label).inc();
+            self.totals.verdict_flips.inc();
+        }
+        self.metrics
+            .confidence
+            .with_label(&label)
+            .set(pair.quarantine_confidence);
+        self.metrics
+            .covert
+            .with_label(&label)
+            .set(if pair.last_verdict.is_covert() {
+                1.0
+            } else {
+                0.0
+            });
+        self.metrics
+            .quarantined
+            .with_label(&label)
+            .set(if breaker_after == BreakerState::Closed {
+                0.0
+            } else {
+                1.0
+            });
+        outcome
     }
 
     /// Brings a panicked pair's detector back: from the store when
@@ -798,7 +1292,85 @@ impl Supervisor {
             ));
         }
         manifest.push_str("end\n");
-        store.save(MANIFEST_NAME, manifest.as_bytes())
+        let generation = store.save(MANIFEST_NAME, manifest.as_bytes())?;
+        // Drop a Prometheus-text metrics dump next to the checkpoint so the
+        // fleet's last known state is scrapeable post-mortem.
+        std::fs::write(
+            store.dir().join("metrics.prom"),
+            self.registry.render_prometheus(),
+        )?;
+        self.metrics.checkpoints.inc();
+        self.totals.checkpoints.inc();
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "supervisor",
+                "checkpoint",
+                format_args!("generation {generation} at tick {}", self.tick),
+            );
+        }
+        Ok(generation)
+    }
+
+    /// A point-in-time numeric digest of this fleet's health. Monotonic
+    /// event totals survive checkpoint/restore (re-seeded from the
+    /// manifest); latency distributions restart per process.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut failures = 0u64;
+        let mut panics = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut retries = 0u64;
+        let mut quarantined_pairs = 0usize;
+        let mut covert_pairs = 0usize;
+        let mut confidence_sum = 0.0f64;
+        for pair in &self.pairs {
+            failures += pair.failures;
+            panics += pair.panics;
+            deadline_misses += pair.deadline_misses;
+            retries += pair.retries;
+            if pair.breaker.state() != BreakerState::Closed {
+                quarantined_pairs += 1;
+            }
+            if pair.last_verdict.is_covert() {
+                covert_pairs += 1;
+            }
+            confidence_sum += pair.quarantine_confidence;
+        }
+        MetricsSnapshot {
+            ticks: self.tick,
+            pairs: self.pairs.len(),
+            quarantined_pairs,
+            covert_pairs,
+            analyzed: self.totals.analyzed.get(),
+            degraded: self.totals.degraded.get(),
+            failures,
+            panics,
+            deadline_misses,
+            retries,
+            quarantine_skips: self.totals.quarantine_skips.get(),
+            verdict_flips: self.totals.verdict_flips.get(),
+            breaker_transitions: self.totals.breaker_transitions.get(),
+            recoveries: self.totals.recoveries.get(),
+            checkpoints: self.totals.checkpoints.get(),
+            checkpoint_errors: self.totals.checkpoint_errors.get(),
+            restore_rollbacks: self.totals.restore_rollbacks.get(),
+            mean_confidence: if self.pairs.is_empty() {
+                0.0
+            } else {
+                confidence_sum / self.pairs.len() as f64
+            },
+            audit_latency: LatencySummary::from_histogram(&self.totals.audit_latency_us),
+            tick_latency: LatencySummary::from_histogram(&self.totals.tick_latency_us),
+        }
+    }
+
+    /// The whole fleet's standing for a monitoring page: tick counter,
+    /// per-pair table, and the numeric digest.
+    pub fn fleet_status(&self) -> FleetStatus {
+        FleetStatus {
+            tick: self.tick,
+            pairs: self.pair_statuses(),
+            metrics: self.metrics_snapshot(),
+        }
     }
 
     /// Restores a whole fleet from `store`: loads the newest valid
@@ -818,7 +1390,24 @@ impl Supervisor {
         config: SupervisorConfig,
         store: CheckpointStore,
     ) -> Result<(Self, RestoreReport), DetectorError> {
-        let mut fleet = Supervisor::new(config)?;
+        Self::restore_with_registry(config, store, default_registry())
+    }
+
+    /// Like [`Supervisor::restore`], but binds the restored fleet's
+    /// instruments to `registry` instead of the process-wide default.
+    /// Persisted monotonic counters (failures, panics, deadline misses,
+    /// retries, the tick count) re-seed their instruments so scrapes stay
+    /// monotonic across the crash.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Supervisor::restore`].
+    pub fn restore_with_registry(
+        config: SupervisorConfig,
+        store: CheckpointStore,
+        registry: Registry,
+    ) -> Result<(Self, RestoreReport), DetectorError> {
+        let mut fleet = Supervisor::new(config)?.with_registry(registry);
         let loaded =
             store
                 .load_latest(MANIFEST_NAME)?
@@ -886,13 +1475,65 @@ impl Supervisor {
             pair_provenance.push(restored_from);
         }
         fleet.store = Some(store);
-        Ok((
-            fleet,
-            RestoreReport {
-                manifest: manifest_from,
-                pairs: pair_provenance,
-            },
-        ))
+        let report = RestoreReport {
+            manifest: manifest_from,
+            pairs: pair_provenance,
+        };
+        fleet.seed_restored_metrics(&report);
+        Ok((fleet, report))
+    }
+
+    /// Re-seeds registered instruments from counters that survived in the
+    /// manifest, so a restored fleet's scrape picks up where the crashed
+    /// one left off. `Counter::seed` is a max-merge, so re-seeding into a
+    /// registry that already saw this fleet never double-counts.
+    fn seed_restored_metrics(&self, report: &RestoreReport) {
+        self.metrics.ticks.seed(self.tick);
+        let rolled_back = report.total_rolled_back() as u64;
+        if rolled_back > 0 {
+            self.metrics.restore_rollbacks.inc_by(rolled_back);
+            self.totals.restore_rollbacks.inc_by(rolled_back);
+        }
+        for pair in &self.pairs {
+            self.metrics
+                .failures
+                .with_label(&pair.label)
+                .seed(pair.failures);
+            self.metrics
+                .panics
+                .with_label(&pair.label)
+                .seed(pair.panics);
+            self.metrics
+                .deadline_misses
+                .with_label(&pair.label)
+                .seed(pair.deadline_misses);
+            self.metrics
+                .retries
+                .with_label(&pair.label)
+                .seed(pair.retries);
+            self.metrics
+                .confidence
+                .with_label(&pair.label)
+                .set(pair.quarantine_confidence);
+            self.metrics.quarantined.with_label(&pair.label).set(
+                if pair.breaker.state() == BreakerState::Closed {
+                    0.0
+                } else {
+                    1.0
+                },
+            );
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "supervisor",
+                "restore",
+                format_args!(
+                    "{} pairs at tick {}, {rolled_back} generations rolled back",
+                    self.pairs.len(),
+                    self.tick
+                ),
+            );
+        }
     }
 }
 
@@ -1418,6 +2059,107 @@ mod tests {
         let dir = store.dir().to_path_buf();
         let err = Supervisor::restore(test_config(), store).unwrap_err();
         assert!(matches!(err, DetectorError::CheckpointMismatch { .. }));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn fleet_metrics_snapshot_counts_outcomes() {
+        let registry = Registry::new();
+        let tracer = Tracer::new(256);
+        let mut fleet = Supervisor::new(test_config())
+            .unwrap()
+            .with_registry(registry.clone())
+            .with_tracer(tracer.clone());
+        fleet.add_contention_pair("bus").unwrap();
+        fleet.add_contention_pair("chaotic").unwrap();
+        let mut source = |pair: usize, tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(if pair == 1 && tick == 0 {
+                PairInput::Chaos(ChaosOp::Panic)
+            } else {
+                PairInput::Harvest(Harvest::Complete(covert_histogram()))
+            })
+        };
+        for _ in 0..6 {
+            fleet.tick(&mut source);
+        }
+        let snap = fleet.metrics_snapshot();
+        assert_eq!(snap.ticks, 6);
+        assert_eq!(snap.pairs, 2);
+        assert_eq!(snap.analyzed, 11, "{snap:?}");
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.recoveries, 1);
+        assert_eq!(snap.failures, 1);
+        assert!(snap.verdict_flips >= 1, "{snap:?}");
+        assert_eq!(snap.covert_pairs, 2);
+        assert_eq!(snap.audit_latency.count, 11);
+        assert_eq!(snap.tick_latency.count, 6);
+        let text = fleet.render_prometheus();
+        assert!(text.contains("cchunter_supervisor_ticks_total 6"), "{text}");
+        assert!(
+            text.contains("cchunter_pair_panics_total{pair=\"chaotic\"} 1"),
+            "{text}"
+        );
+        assert!(tracer.recorded() > 0, "tick spans must be traced");
+        let status = fleet.fleet_status();
+        assert_eq!(status.tick, 6);
+        assert_eq!(status.pairs.len(), 2);
+        assert_eq!(status.metrics, snap);
+    }
+
+    #[test]
+    fn restore_seeds_persistent_counters_into_fresh_registry() {
+        let store = temp_store("metrics-restore");
+        let dir = store.dir().to_path_buf();
+        let config = test_config();
+        let mut fleet = Supervisor::new(config)
+            .unwrap()
+            .with_registry(Registry::new())
+            .with_store(store);
+        fleet.add_contention_pair("flaky").unwrap();
+        let mut source = |_pair: usize, tick: u64, _attempt: u32| {
+            if tick.is_multiple_of(2) {
+                Err(ProbeFault {
+                    reason: "gap".to_string(),
+                })
+            } else {
+                Ok(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+            }
+        };
+        for _ in 0..6 {
+            fleet.tick(&mut source);
+        }
+        fleet.checkpoint().unwrap();
+        let before = fleet.metrics_snapshot();
+        assert!(before.failures > 0 && before.retries > 0, "{before:?}");
+        assert_eq!(before.checkpoints, 1);
+
+        let registry = Registry::new();
+        let (restored, _) = Supervisor::restore_with_registry(
+            config,
+            CheckpointStore::open(&dir, 3).unwrap(),
+            registry.clone(),
+        )
+        .unwrap();
+        let after = restored.metrics_snapshot();
+        assert_eq!(after.failures, before.failures);
+        assert_eq!(after.retries, before.retries);
+        assert_eq!(after.ticks, before.ticks);
+        // The registered instruments were re-seeded, so the scrape stays
+        // monotonic across the crash.
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains(&format!(
+                "cchunter_pair_failures_total{{pair=\"flaky\"}} {}",
+                before.failures
+            )),
+            "{text}"
+        );
+        // metrics.prom was dumped beside the checkpoint and parses back.
+        let dump = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        let samples = crate::metrics::parse_prometheus(&dump).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "cchunter_supervisor_ticks_total"));
         cleanup(&dir);
     }
 

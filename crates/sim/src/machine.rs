@@ -255,6 +255,7 @@ impl Machine {
             // in between.
             let (t, ev) = self.queue.pop().expect("peeked event");
             self.now = self.now.max(t);
+            self.stats.events_dispatched += 1;
             match ev {
                 EngineEvent::OpComplete(idx) => {
                     self.contexts[idx].busy = false;

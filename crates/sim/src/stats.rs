@@ -17,6 +17,9 @@ pub struct MachineStats {
     pub context_switches: u64,
     /// Threads that have halted.
     pub halted_threads: u64,
+    /// Engine events (op completions and wakes) dispatched by the event
+    /// queue.
+    pub events_dispatched: u64,
 }
 
 #[cfg(test)]

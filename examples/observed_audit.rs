@@ -1,0 +1,376 @@
+//! The observability drill: a supervised fleet under injected faults — a
+//! contained analysis panic, a wedged (quarantined) monitor, a crash with a
+//! corrupted newest checkpoint generation — with the full metrics and
+//! tracing surface on display: the fleet's numeric digest, a
+//! Prometheus-format scrape of the shared registry (simulator counters
+//! included), the structured trace timeline, and a measured
+//! instrumentation-overhead figure for the supervisor tick loop.
+//!
+//! ```sh
+//! cargo run --example observed_audit
+//! ```
+
+use cc_hunter::audit::{AuditSession, QuantumRunner};
+use cc_hunter::channels::{BitClock, BusChannelConfig, BusSpy, BusTrojan, Message, SpyLog};
+use cc_hunter::detector::density::{DensityHistogram, HISTOGRAM_BINS};
+use cc_hunter::detector::metrics::Registry;
+use cc_hunter::detector::online::Harvest;
+use cc_hunter::detector::policy::QuarantineConfig;
+use cc_hunter::detector::span::{self, Tracer};
+use cc_hunter::detector::store::CheckpointStore;
+use cc_hunter::detector::supervisor::{
+    ChaosOp, PairInput, ProbeFault, Supervisor, SupervisorConfig,
+};
+use cc_hunter::detector::{CcHunterConfig, DeltaTPolicy};
+use cc_hunter::sim::{Machine, MachineConfig};
+use cc_hunter::{FaultClass, FaultConfig, FaultInjector};
+use std::time::Instant;
+
+const QUANTUM: u64 = 2_500_000;
+const TICKS: u64 = 24;
+const CRASH_AT: u64 = 12;
+const PANIC_AT: u64 = 7;
+const WEDGED_UNTIL: u64 = 20;
+
+/// A covert-looking synthetic bus/divider histogram.
+fn covert_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_400 + (tick % 7) * 3;
+    bins[19] = 20;
+    bins[20] = 150 + (tick % 5);
+    bins[21] = 25;
+    DensityHistogram::from_bins(bins, 100_000).expect("valid bins")
+}
+
+/// A benign synthetic histogram.
+fn quiet_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_490 + (tick % 9);
+    bins[1] = 5;
+    DensityHistogram::from_bins(bins, 100_000).expect("valid bins")
+}
+
+/// A strongly periodic covert conflict batch.
+fn covert_conflicts(tick: u64) -> Vec<cc_hunter::detector::auditor::ConflictRecord> {
+    (0..128u64)
+        .map(|i| cc_hunter::detector::auditor::ConflictRecord {
+            cycle: tick * QUANTUM + i * 700,
+            replacer: if i % 2 == 0 { 2 } else { 5 },
+            victim: if i % 2 == 0 { 5 } else { 2 },
+        })
+        .collect()
+}
+
+/// Pair 0's hardware: a simulated machine running a real bus covert
+/// channel, stepped one quantum per supervisor tick through the
+/// instrumented [`QuantumRunner`] (so `cchunter_sim_*` counters show up in
+/// the scrape), with dropped-quantum fault injection on the read-out path.
+struct BusRig {
+    machine: Machine,
+    session: AuditSession,
+    runner: QuantumRunner,
+    injector: FaultInjector,
+    last_clean: Option<DensityHistogram>,
+}
+
+impl BusRig {
+    fn new() -> Self {
+        let config = MachineConfig::builder()
+            .quantum_cycles(QUANTUM)
+            .build()
+            .expect("valid config");
+        let mut machine = Machine::new(config);
+        let message = Message::alternating(TICKS as usize * 10);
+        let clock = BitClock::new(0, 250_000);
+        let channel = BusChannelConfig::new(message, clock);
+        let log = SpyLog::new_handle();
+        machine.spawn(
+            Box::new(BusTrojan::new(channel.clone(), 0x1000_0000)),
+            machine.config().context_id(0, 0),
+        );
+        machine.spawn(
+            Box::new(BusSpy::new(channel, 0x4000_0000, log)),
+            machine.config().context_id(1, 0),
+        );
+        let mut session = AuditSession::new();
+        session.audit_bus(100_000).expect("bus audit");
+        session.attach(&mut machine);
+        BusRig {
+            machine,
+            session,
+            runner: QuantumRunner::new(QUANTUM),
+            injector: FaultInjector::new(
+                FaultConfig::only(FaultClass::DroppedQuantum)
+                    .with_rate(FaultClass::DroppedQuantum, 0.15),
+                0x0B5E_0001,
+            ),
+            last_clean: None,
+        }
+    }
+
+    fn probe(&mut self, attempt: u32) -> PairInput {
+        if attempt > 0 {
+            if let Some(h) = self.last_clean.take() {
+                return PairInput::Harvest(Harvest::Complete(h));
+            }
+            return PairInput::Missed;
+        }
+        let quantum = self.runner.run_quantum_with_injector(
+            &mut self.machine,
+            &mut self.session,
+            &mut self.injector,
+        );
+        match quantum.bus.expect("bus is audited") {
+            Harvest::Missed => {
+                self.last_clean = self
+                    .session
+                    .harvest_bus_histogram(quantum.boundary)
+                    .ok()
+                    .or_else(|| Some(quiet_histogram(0)));
+                PairInput::Missed
+            }
+            harvest => PairInput::Harvest(harvest),
+        }
+    }
+}
+
+fn fleet_config() -> SupervisorConfig {
+    SupervisorConfig {
+        hunter: CcHunterConfig {
+            quantum_cycles: QUANTUM,
+            delta_t: DeltaTPolicy::Fixed(100_000),
+            ..CcHunterConfig::default()
+        },
+        window_quanta: 8,
+        deadline_us: 0,
+        checkpoint_every: 5,
+        quarantine: QuarantineConfig {
+            failure_window: 6,
+            trip_threshold: 0.5,
+            min_observations: 4,
+            probe_interval: 4,
+            recovery_successes: 2,
+            confidence_decay: 0.7,
+        },
+        ..SupervisorConfig::default()
+    }
+}
+
+fn build_fleet(store: CheckpointStore) -> Supervisor {
+    let mut fleet = Supervisor::new(fleet_config())
+        .expect("valid fleet config")
+        .with_store(store);
+    fleet
+        .add_contention_pair("memory-bus: pid 17 <-> pid 23 (simulated hardware)")
+        .expect("valid pair");
+    fleet
+        .add_contention_pair("divider: pid 4 <-> pid 9 (flaky collector)")
+        .expect("valid pair");
+    fleet
+        .add_oscillation_pair("l2-cache: pid 17 <-> pid 23")
+        .expect("valid pair");
+    fleet
+        .add_contention_pair("multiplier: pid 5 <-> pid 12 (chaos panic)")
+        .expect("valid pair");
+    fleet
+        .add_contention_pair("memory-bus: pid 50 <-> pid 51 (wedged monitor)")
+        .expect("valid pair");
+    fleet
+}
+
+/// Times `ticks` supervisor quanta at the bench suite's working size
+/// (8 pairs, 64-quanta windows, covert inputs — the
+/// `supervisor_tick_8_pairs_64_window` shape), with the given tracer,
+/// against a private registry so the drill's own numbers stay untouched.
+/// Returns the total wall time.
+fn tick_loop_duration(tracer: Tracer, ticks: u64) -> std::time::Duration {
+    let mut fleet = Supervisor::new(SupervisorConfig {
+        window_quanta: 64,
+        ..SupervisorConfig::default()
+    })
+    .expect("valid config")
+    .with_registry(Registry::new())
+    .with_tracer(tracer);
+    for i in 0..8 {
+        fleet
+            .add_contention_pair(format!("bench-pair-{i}"))
+            .expect("valid pair");
+    }
+    let started = Instant::now();
+    for _ in 0..ticks {
+        fleet.tick(&mut |_pair: usize, tick: u64, _attempt: u32| {
+            Ok::<PairInput, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram(
+                tick,
+            ))))
+        });
+    }
+    started.elapsed()
+}
+
+fn main() {
+    // Force tracing on for the drill regardless of CCHUNTER_TRACE: the
+    // supervisor, pipeline, and sim quantum loop all record into this
+    // process-wide ring.
+    let tracer = span::global();
+    tracer.set_enabled(true);
+
+    let store_dir =
+        std::env::temp_dir().join(format!("cchunter-observed-audit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let mut rig = BusRig::new();
+    let mut flaky_injector = FaultInjector::new(
+        FaultConfig::only(FaultClass::TruncatedHistogram)
+            .with_rate(FaultClass::TruncatedHistogram, 0.4),
+        0x0B5E_0002,
+    );
+    let mut probe = move |pair: usize, tick: u64, attempt: u32| -> Result<PairInput, ProbeFault> {
+        Ok(match pair {
+            0 => rig.probe(attempt),
+            1 => PairInput::Harvest(flaky_injector.perturb_harvest(quiet_histogram(tick))),
+            2 => PairInput::Conflicts {
+                records: covert_conflicts(tick),
+                lost_fraction: 0.0,
+            },
+            3 if tick == PANIC_AT && attempt == 0 => PairInput::Chaos(ChaosOp::Panic),
+            3 => PairInput::Harvest(Harvest::Complete(covert_histogram(tick))),
+            _ if tick < WEDGED_UNTIL => {
+                return Err(ProbeFault {
+                    reason: "hardware interface wedged".to_string(),
+                })
+            }
+            _ => PairInput::Harvest(Harvest::Complete(covert_histogram(tick))),
+        })
+    };
+
+    // The injected chaos panic is contained by the supervisor's watchdog;
+    // keep the default hook for anything else.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos:"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    println!("observability drill: 5 pairs under fault injection, checkpoint every 5 quanta");
+    println!("store: {}", store_dir.display());
+    println!();
+
+    let mut fleet = build_fleet(CheckpointStore::open(&store_dir, 3).expect("store opens"));
+    for _ in 0..CRASH_AT {
+        fleet.tick(&mut probe);
+    }
+
+    // --- Crash with a corrupted newest checkpoint generation: the restore
+    // rolls back a generation per entry and the rollbacks become metrics.
+    println!("*** crash at quantum {CRASH_AT}; newest checkpoint generation is corrupt ***");
+    drop(fleet);
+    let probe_store = CheckpointStore::open(&store_dir, 3).expect("store reopens");
+    for name in [
+        "supervisor",
+        "pair-0000",
+        "pair-0001",
+        "pair-0002",
+        "pair-0003",
+        "pair-0004",
+    ] {
+        let newest = *probe_store
+            .generations(name)
+            .expect("entry has generations")
+            .last()
+            .expect("at least one generation");
+        let path = store_dir.join(format!("{name}.g{newest:08}.ckpt"));
+        let mut bytes = std::fs::read(&path).expect("checkpoint readable");
+        let mid = bytes.len() / 2;
+        let end = (mid + 16).min(bytes.len());
+        for b in &mut bytes[mid..end] {
+            *b ^= 0xA5;
+        }
+        std::fs::write(&path, &bytes).expect("checkpoint writable");
+    }
+    let (mut fleet, restore_report) = Supervisor::restore(
+        fleet_config(),
+        CheckpointStore::open(&store_dir, 3).expect("store reopens"),
+    )
+    .expect("restore succeeds");
+    println!(
+        "restored at quantum {} — {} corrupt generation(s) rolled over",
+        fleet.tick_count(),
+        restore_report.total_rolled_back()
+    );
+    println!();
+
+    for _ in fleet.tick_count()..TICKS {
+        fleet.tick(&mut probe);
+    }
+
+    // --- The fleet digest a monitoring page would poll. ---
+    let status = fleet.fleet_status();
+    println!("{}", status.metrics);
+    println!();
+
+    // --- The Prometheus scrape (histogram bucket lines elided here for
+    // readability; the full exposition is what checkpoint dumps carry). ---
+    println!("Prometheus scrape of the shared registry (bucket lines elided):");
+    for line in fleet.render_prometheus().lines() {
+        if !line.contains("_bucket{") {
+            println!("  {line}");
+        }
+    }
+    println!();
+
+    // --- The structured trace timeline (newest events). ---
+    println!("trace timeline (last 25 of {} events):", tracer.recorded());
+    print!("{}", tracer.render_timeline(25));
+    println!();
+
+    // --- Instrumentation overhead on the tick loop: the same synthetic
+    // fleet, traced vs. untraced, against private registries. ---
+    const OVERHEAD_TICKS: u64 = 300;
+    let untraced = tick_loop_duration(Tracer::disabled(), OVERHEAD_TICKS);
+    let traced = tick_loop_duration(Tracer::new(4096), OVERHEAD_TICKS);
+    let overhead_pct = if untraced.as_nanos() > 0 {
+        (traced.as_secs_f64() / untraced.as_secs_f64() - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "tick-loop instrumentation overhead: {OVERHEAD_TICKS} ticks untraced {:?}, traced {:?} ({overhead_pct:+.1}%)",
+        untraced, traced
+    );
+    println!();
+
+    // The story the drill must tell, every time.
+    let snap = &status.metrics;
+    assert!(snap.quarantine_skips > 0, "wedged pair was quarantined");
+    assert!(snap.restore_rollbacks > 0, "corrupt generation rolled back");
+    assert!(snap.panics >= 1, "chaos panic contained");
+    assert!(snap.checkpoints > 0, "periodic checkpoints ran");
+    assert!(
+        snap.audit_latency.count > 0,
+        "audit latency histogram populated"
+    );
+    assert!(snap.covert_pairs >= 2, "covert channels detected");
+    assert!(tracer.recorded() > 0, "trace ring saw events");
+    let scrape = fleet.render_prometheus();
+    for needle in [
+        "cchunter_pair_quarantine_skips_total",
+        "cchunter_restore_rollbacks_total",
+        "cchunter_audit_latency_us_count",
+        "cchunter_sim_quanta_total",
+    ] {
+        assert!(scrape.contains(needle), "scrape exposes {needle}");
+    }
+    println!(
+        "drill complete: {} quanta audited, {} trace events, metrics dump alongside checkpoints in {}",
+        fleet.tick_count(),
+        tracer.recorded(),
+        store_dir.display()
+    );
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

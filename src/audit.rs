@@ -9,10 +9,47 @@ use cchunter_detector::conflict::{
     ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier,
 };
 use cchunter_detector::density::DensityHistogram;
+use cchunter_detector::metrics::{default_registry, Counter, Family};
+use cchunter_detector::span;
 use cchunter_detector::{DetectorError, FaultInjector, Harvest};
 use cchunter_sim::{CacheLevel, Machine, ProbeEvent, ProbeSink};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// OS time quanta simulated through [`QuantumRunner`].
+fn sim_quanta_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_sim_quanta_total",
+            "OS time quanta simulated through the quantum runner.",
+        )
+    })
+}
+
+/// Engine events dispatched by audited machines, summed per quantum.
+fn sim_events_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        default_registry().counter(
+            "cchunter_sim_events_total",
+            "Engine events dispatched by audited machines.",
+        )
+    })
+}
+
+/// Per-unit harvests taken at quantum boundaries.
+fn sim_harvests_total() -> &'static Family<Counter> {
+    static F: OnceLock<Family<Counter>> = OnceLock::new();
+    F.get_or_init(|| {
+        default_registry().counter_family(
+            "cchunter_sim_harvests_total",
+            "Harvests taken at quantum boundaries, by audited unit.",
+            "unit",
+        )
+    })
+}
 
 /// Which conflict-miss tracker implementation the cache audit uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -488,6 +525,8 @@ impl QuantumRunner {
         };
         for q in 0..quanta {
             let boundary = start + (q as u64 + 1) * self.quantum_cycles;
+            let events_before = machine.stats().events_dispatched;
+            let mut quantum_span = span::global().span("sim", "quantum");
             machine.run_until(boundary.into());
             // Invariant: each harvest below is gated on the matching slot
             // being programmed, so NotAudited cannot occur.
@@ -497,6 +536,7 @@ impl QuantumRunner {
                         .harvest_bus_histogram(boundary)
                         .expect("bus slot is programmed"),
                 );
+                sim_harvests_total().with_label("bus").inc();
             }
             if has_div {
                 data.divider_histograms.push(
@@ -504,6 +544,7 @@ impl QuantumRunner {
                         .harvest_divider_histogram(boundary)
                         .expect("divider slot is programmed"),
                 );
+                sim_harvests_total().with_label("divider").inc();
             }
             if has_mul {
                 data.multiplier_histograms.push(
@@ -511,10 +552,19 @@ impl QuantumRunner {
                         .harvest_multiplier_histogram(boundary)
                         .expect("multiplier slot is programmed"),
                 );
+                sim_harvests_total().with_label("multiplier").inc();
             }
             if has_cache {
                 data.conflicts
                     .extend(session.drain_conflicts().expect("cache slot is programmed"));
+                sim_harvests_total().with_label("cache").inc();
+            }
+            let events = machine.stats().events_dispatched - events_before;
+            sim_quanta_total().inc();
+            sim_events_total().inc_by(events);
+            if span::global().is_enabled() {
+                quantum_span.cycle(boundary);
+                quantum_span.detail(format_args!("quantum {q}: {events} engine events"));
             }
         }
         data.end = machine.now().as_u64();
@@ -579,6 +629,8 @@ impl QuantumRunner {
             )
         };
         let boundary = machine.now().as_u64() + self.quantum_cycles;
+        let events_before = machine.stats().events_dispatched;
+        let mut quantum_span = span::global().span("sim", "quantum");
         machine.run_until(boundary.into());
         // Invariant: each harvest below is gated on the matching slot
         // being programmed, so NotAudited cannot occur.
@@ -591,22 +643,33 @@ impl QuantumRunner {
                 .harvest_bus_histogram(boundary)
                 .expect("bus slot is programmed");
             quantum.bus = Some(injector.perturb_harvest(histogram));
+            sim_harvests_total().with_label("bus").inc();
         }
         if has_div {
             let histogram = session
                 .harvest_divider_histogram(boundary)
                 .expect("divider slot is programmed");
             quantum.divider = Some(injector.perturb_harvest(histogram));
+            sim_harvests_total().with_label("divider").inc();
         }
         if has_mul {
             let histogram = session
                 .harvest_multiplier_histogram(boundary)
                 .expect("multiplier slot is programmed");
             quantum.multiplier = Some(injector.perturb_harvest(histogram));
+            sim_harvests_total().with_label("multiplier").inc();
         }
         if has_cache {
             let records = session.drain_conflicts().expect("cache slot is programmed");
             quantum.conflicts = Some(injector.perturb_conflicts(records));
+            sim_harvests_total().with_label("cache").inc();
+        }
+        let events = machine.stats().events_dispatched - events_before;
+        sim_quanta_total().inc();
+        sim_events_total().inc_by(events);
+        if span::global().is_enabled() {
+            quantum_span.cycle(boundary);
+            quantum_span.detail(format_args!("boundary {boundary}: {events} engine events"));
         }
         quantum
     }

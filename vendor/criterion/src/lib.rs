@@ -30,18 +30,25 @@ pub fn black_box<T>(x: T) -> T {
 /// [`Criterion::bench_function`].
 #[derive(Debug)]
 pub struct Bencher {
-    /// Median per-iteration time of the fastest batch, filled by `iter`.
+    /// Per-iteration time of the fastest batch, filled by `iter`.
     result: Option<Duration>,
+    /// Per-iteration time of every measured batch, in measurement order.
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
     /// Times `routine`, auto-scaling the iteration count until one batch
     /// takes long enough to measure.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Quick mode re-measures fewer batches but keeps the batch floor
+        // close enough to full mode that both resolve comparable batch
+        // sizes — the perf gate compares a quick-mode minimum against the
+        // full-mode baseline minimum, and smaller batches measure colder
+        // code (upward-biased, false regressions).
         let (batch_floor, remeasures) = if quick_mode() {
-            (Duration::from_millis(2), 1)
+            (Duration::from_millis(8), 3)
         } else {
-            (Duration::from_millis(20), 4)
+            (Duration::from_millis(20), 8)
         };
         // Warm up and find a batch size taking at least `batch_floor`.
         let mut batch = 1u64;
@@ -56,20 +63,33 @@ impl Bencher {
             }
             batch *= 8;
         };
-        // Re-measure a few batches and keep the best (least-noise) one.
-        let mut best = per_iter;
+        // Re-measure a few batches, keeping every sample so the runner can
+        // serialize the distribution; the headline number stays the best
+        // (least-noise) batch.
+        let mut samples = Vec::with_capacity(remeasures + 1);
+        samples.push(per_iter);
         for _ in 0..remeasures {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            let t = start.elapsed() / batch as u32;
-            if t < best {
-                best = t;
-            }
+            samples.push(start.elapsed() / batch as u32);
         }
-        self.result = Some(best);
+        self.result = Some(*samples.iter().min().expect("at least one sample"));
+        self.samples = samples;
     }
+}
+
+/// One finished benchmark: its headline (best-batch) per-iteration time
+/// plus every measured batch's per-iteration time.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Best (least-noise) batch's per-iteration time.
+    pub best: Duration,
+    /// Per-iteration time of every measured batch, in measurement order.
+    pub samples: Vec<Duration>,
 }
 
 /// Whether `CCHUNTER_BENCH_QUICK` selects the fast low-precision mode.
@@ -82,26 +102,42 @@ pub fn quick_mode() -> bool {
 /// Bench registry and runner (stand-in for criterion's `Criterion`).
 #[derive(Debug, Default)]
 pub struct Criterion {
-    results: Vec<(String, Duration)>,
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
     /// Runs one named benchmark and prints its per-iteration time.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher { result: None };
+        let mut bencher = Bencher {
+            result: None,
+            samples: Vec::new(),
+        };
         f(&mut bencher);
         match bencher.result {
             Some(t) => {
                 println!("{name:<48} {:>12.3?} /iter", t);
-                self.results.push((name.to_string(), t));
+                self.results.push(BenchResult {
+                    name: name.to_string(),
+                    best: t,
+                    samples: bencher.samples,
+                });
             }
             None => println!("{name:<48} (no measurement)"),
         }
         self
     }
 
-    /// Measured `(name, per-iteration time)` pairs, in run order.
-    pub fn results(&self) -> &[(String, Duration)] {
+    /// Measured `(name, best per-iteration time)` pairs, in run order.
+    pub fn results(&self) -> Vec<(String, Duration)> {
+        self.results
+            .iter()
+            .map(|r| (r.name.clone(), r.best))
+            .collect()
+    }
+
+    /// Full per-benchmark results including every batch sample, in run
+    /// order.
+    pub fn results_detailed(&self) -> &[BenchResult] {
         &self.results
     }
 }
