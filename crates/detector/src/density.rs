@@ -214,13 +214,31 @@ impl DensityHistogram {
     ///
     /// # Panics
     ///
-    /// Panics if the Δt values differ.
+    /// Panics if the Δt values differ. Use [`DensityHistogram::try_merge`]
+    /// when the other histogram comes from untrusted input.
     pub fn merge(&mut self, other: &DensityHistogram) {
         assert_eq!(self.delta_t, other.delta_t, "Δt mismatch in merge");
         for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
             *a += b;
         }
         self.windows += other.windows;
+    }
+
+    /// Merges another histogram into this one, returning
+    /// [`DetectorError::BadHarvest`] (and leaving `self` unchanged) if the
+    /// Δt values differ — the fallible twin of [`DensityHistogram::merge`]
+    /// for histograms reconstructed from external data.
+    pub fn try_merge(&mut self, other: &DensityHistogram) -> Result<(), DetectorError> {
+        if self.delta_t != other.delta_t {
+            return Err(DetectorError::BadHarvest {
+                reason: format!(
+                    "Δt mismatch in merge: {} vs {}",
+                    self.delta_t, other.delta_t
+                ),
+            });
+        }
+        self.merge(other);
+        Ok(())
     }
 
     /// Creates a histogram directly from raw bin frequencies (e.g. read out
@@ -363,6 +381,22 @@ mod tests {
         assert_eq!(a.total_windows(), 2);
         assert_eq!(a.frequency(1), 1);
         assert_eq!(a.frequency(2), 1);
+    }
+
+    #[test]
+    fn try_merge_rejects_delta_t_mismatch() {
+        let t = EventTrain::from_times(vec![10]);
+        let mut a = DensityHistogram::from_train(&t, 100, 0, 100);
+        let b = DensityHistogram::from_train(&t, 200, 0, 200);
+        let before = a.clone();
+        assert!(matches!(
+            a.try_merge(&b),
+            Err(DetectorError::BadHarvest { .. })
+        ));
+        assert_eq!(a.bins(), before.bins());
+        let c = DensityHistogram::from_train(&t, 100, 0, 100);
+        a.try_merge(&c).unwrap();
+        assert_eq!(a.total_windows(), 2);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   away, used by the oscillation detector (each cache conflict miss is one
 //!   symbol: its ordered replacer→victim pair identifier).
 
+use crate::DetectorError;
 use std::fmt;
 
 /// A time-ordered train of (possibly weighted) events.
@@ -43,33 +44,67 @@ impl EventTrain {
     ///
     /// # Panics
     ///
-    /// Panics if `times` is not sorted in nondecreasing order.
+    /// Panics if `times` is not sorted in nondecreasing order. Use
+    /// [`EventTrain::try_from_times`] to get a typed error instead — the
+    /// ingest sanitizer ([`crate::ingest::Sanitizer`]) builds trains through
+    /// the fallible path so hostile input can never panic the daemon.
     pub fn from_times(times: Vec<u64>) -> Self {
-        assert!(
-            times.windows(2).all(|w| w[0] <= w[1]),
-            "event times must be nondecreasing"
-        );
+        match Self::try_from_times(times) {
+            Ok(train) => train,
+            Err(e) => panic!("event times must be nondecreasing: {e}"),
+        }
+    }
+
+    /// Creates a train from unit events at the given timestamps, returning
+    /// [`DetectorError::HostileTrain`] if the timestamps are not sorted in
+    /// nondecreasing order.
+    pub fn try_from_times(times: Vec<u64>) -> Result<Self, DetectorError> {
+        if let Some(i) = times.windows(2).position(|w| w[0] > w[1]) {
+            return Err(DetectorError::HostileTrain {
+                reason: format!(
+                    "time travel at index {}: {} after {}",
+                    i + 1,
+                    times[i + 1],
+                    times[i]
+                ),
+            });
+        }
         let total = times.len() as u64;
         let weights = vec![1; times.len()];
-        EventTrain {
+        Ok(EventTrain {
             times,
             weights,
             total,
-        }
+        })
     }
 
     /// Appends an event of `weight` unit occurrences at `time`.
     ///
     /// # Panics
     ///
-    /// Panics if `time` is earlier than the last pushed event.
+    /// Panics if `time` is earlier than the last pushed event. Use
+    /// [`EventTrain::try_push`] on untrusted input.
     pub fn push(&mut self, time: u64, weight: u32) {
+        if let Err(e) = self.try_push(time, weight) {
+            panic!("event times must be nondecreasing: {e}");
+        }
+    }
+
+    /// Appends an event of `weight` unit occurrences at `time`, returning
+    /// [`DetectorError::HostileTrain`] (and leaving the train unchanged) if
+    /// `time` is earlier than the last pushed event.
+    pub fn try_push(&mut self, time: u64, weight: u32) -> Result<(), DetectorError> {
         if let Some(&last) = self.times.last() {
-            assert!(time >= last, "event times must be nondecreasing");
+            if time < last {
+                return Err(DetectorError::HostileTrain {
+                    reason: format!("time travel: {time} pushed after {last}"),
+                });
+            }
         }
         self.times.push(time);
         self.weights.push(weight);
         self.total += weight as u64;
+        Ok(())
     }
 
     /// Number of entries (weighted events).
@@ -291,6 +326,26 @@ mod tests {
         let mut t = EventTrain::new();
         t.push(10, 1);
         t.push(9, 1);
+    }
+
+    #[test]
+    fn try_push_reports_time_travel_without_mutating() {
+        let mut t = EventTrain::new();
+        t.push(10, 1);
+        let err = t.try_push(9, 1).unwrap_err();
+        assert!(matches!(err, DetectorError::HostileTrain { .. }), "{err}");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_events(), 1);
+        t.try_push(10, 2).unwrap();
+        assert_eq!(t.total_events(), 3);
+    }
+
+    #[test]
+    fn try_from_times_pinpoints_offender() {
+        let err = EventTrain::try_from_times(vec![1, 5, 3, 9]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("index 2"), "{msg}");
+        assert!(EventTrain::try_from_times(vec![1, 3, 3, 9]).is_ok());
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod density;
 pub mod events;
 pub mod fault;
 pub mod fft;
+pub mod ingest;
 pub mod metrics;
 pub mod online;
 pub mod pipeline;
@@ -90,7 +91,15 @@ pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, SymbolSeries};
 pub use fault::{FaultClass, FaultConfig, FaultInjector};
-pub use metrics::{Counter, Family, Gauge, Histogram, Registry};
+pub use ingest::{
+    AdmissionConfig, AdmissionQueue, DrainedBatch, IngestConfig, IngestPipeline, IngestReport,
+    IngestStats, RawEvent, SanitizeReport, Sanitizer, SanitizerConfig, SatAccumulator,
+    SaturatingHistogram, ShedPolicy,
+};
+pub use metrics::{
+    parse_prometheus, Counter, Family, Gauge, Histogram, LossyScrape, ParsedSample, Registry,
+    SkippedLine,
+};
 pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 pub use pipeline::{
     CcHunter, CcHunterConfig, Detection, PairAudit, PairEvidence, ResourceKind, Verdict,
@@ -100,7 +109,8 @@ pub use report::SessionReport;
 pub use span::{Span, TraceEvent, Tracer};
 pub use store::CheckpointStore;
 pub use supervisor::{
-    FleetStatus, LatencySummary, MetricsSnapshot, PairInput, Supervisor, SupervisorConfig,
+    FleetStatus, IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, Supervisor,
+    SupervisorConfig,
 };
 pub use trace::TraceError;
 
@@ -128,6 +138,14 @@ pub enum DetectorError {
     /// zero Δt) and cannot be analyzed even in degraded mode.
     BadHarvest {
         /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// An event train violated the ingest contract (time travel beyond the
+    /// reorder tolerance, duplicate beyond the dedup budget, out-of-range
+    /// context ID, zero-Δt burst past the configured limit) and the
+    /// sanitizer rejected rather than repaired it.
+    HostileTrain {
+        /// Which invariant was violated and by how much.
         reason: String,
     },
     /// The requested hardware unit is not under audit in this session.
@@ -172,6 +190,7 @@ impl fmt::Display for DetectorError {
                 write!(f, "invalid detector configuration: {reason}")
             }
             DetectorError::BadHarvest { reason } => write!(f, "bad harvest: {reason}"),
+            DetectorError::HostileTrain { reason } => write!(f, "hostile event train: {reason}"),
             DetectorError::NotAudited { unit } => write!(f, "{unit} is not under audit"),
             DetectorError::CorruptCheckpoint(e) => write!(f, "{e}"),
             DetectorError::CheckpointMismatch { reason } => {

@@ -845,24 +845,70 @@ pub struct ParsedSample {
     pub value: f64,
 }
 
+/// One malformed exposition line skipped by the lossy parser.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkippedLine {
+    /// 1-based line number in the scraped text.
+    pub line_no: usize,
+    /// The offending line, verbatim (trimmed).
+    pub line: String,
+    /// Why it could not be parsed.
+    pub reason: String,
+}
+
+impl fmt::Display for SkippedLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: {} ({:?})",
+            self.line_no, self.reason, self.line
+        )
+    }
+}
+
+/// The result of a lossy [`parse_prometheus`] pass: every line that parsed,
+/// plus a report of every line that did not.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LossyScrape {
+    /// Samples from the well-formed lines, in appearance order.
+    pub samples: Vec<ParsedSample>,
+    /// Malformed lines, each with its line number and reason.
+    pub skipped: Vec<SkippedLine>,
+}
+
+impl LossyScrape {
+    /// Whether every non-comment line parsed.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
 /// Parses the Prometheus text exposition format emitted by
 /// [`Registry::render_prometheus`] (names, one-level labels with escapes,
-/// `+Inf` bounds). Comment and blank lines are skipped.
+/// `+Inf` bounds). Comment and blank lines are skipped silently.
 ///
-/// # Errors
-///
-/// Returns a line-numbered message for any malformed sample line.
-pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
-    let mut out = Vec::new();
+/// The parse is *lossy*: a malformed or unknown line never fails the whole
+/// scrape (a monitoring path must degrade, not die, when an exporter
+/// glitches mid-write). Each bad line is recorded in
+/// [`LossyScrape::skipped`] with its line number and reason; callers that
+/// require a pristine scrape check [`LossyScrape::is_clean`].
+pub fn parse_prometheus(text: &str) -> LossyScrape {
+    let mut out = LossyScrape::default();
     for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(parse_sample_line(line).map_err(|e| format!("line {line_no}: {e}"))?);
+        match parse_sample_line(line) {
+            Ok(sample) => out.samples.push(sample),
+            Err(reason) => out.skipped.push(SkippedLine {
+                line_no: idx + 1,
+                line: line.to_string(),
+                reason,
+            }),
+        }
     }
-    Ok(out)
+    out
 }
 
 fn parse_sample_line(line: &str) -> Result<ParsedSample, String> {
@@ -1074,7 +1120,9 @@ mod tests {
         h.observe(2.0);
         h.observe(100.0);
         let rendered = r.render_prometheus();
-        let parsed = parse_prometheus(&rendered).expect("parses");
+        let scrape = parse_prometheus(&rendered);
+        assert!(scrape.is_clean(), "{:?}", scrape.skipped);
+        let parsed = scrape.samples;
         let expected: Vec<ParsedSample> = r
             .samples()
             .into_iter()
@@ -1088,7 +1136,7 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_garbage() {
+    fn parser_skips_garbage_lines_without_losing_good_ones() {
         for bad in [
             "name",                        // no value
             "name{x=\"y\" 3",              // unterminated labels
@@ -1097,7 +1145,75 @@ mod tests {
             "0name 3",                     // bad name
             "name{x=\"\\\"} 3 extra junk", // unterminated + trailing
         ] {
-            assert!(parse_prometheus(bad).is_err(), "{bad:?}");
+            // The bad line is reported, not fatal: a valid neighbour on
+            // either side still parses.
+            let text = format!("cchunter_ok_total 1\n{bad}\ncchunter_also_ok 2.5");
+            let scrape = parse_prometheus(&text);
+            assert_eq!(scrape.samples.len(), 2, "{bad:?}");
+            assert_eq!(scrape.skipped.len(), 1, "{bad:?}");
+            assert_eq!(scrape.skipped[0].line_no, 2, "{bad:?}");
+            assert_eq!(scrape.skipped[0].line, bad.trim());
+            assert!(!scrape.is_clean());
+        }
+    }
+
+    #[test]
+    fn parser_fuzz_corrupted_exposition_never_panics_or_loses_prefix() {
+        // Deterministic fuzz: render a real exposition, then corrupt it in
+        // a few hundred seeded ways (truncation, byte flips, injected
+        // garbage) and require the parser to (a) never panic, (b) parse
+        // every line it reports as a sample, and (c) keep lines that were
+        // not touched.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let r = Registry::new();
+        r.counter("cchunter_fz_total", "c").inc_by(7);
+        let f = r.counter_family("cchunter_fz_lbl_total", "f", "pair");
+        f.with_label("a \"quoted\"\\pair\nname").inc_by(2);
+        r.gauge("cchunter_fz_conf", "g").set(0.75);
+        r.histogram("cchunter_fz_us", "h", &[1.0, 10.0])
+            .observe(3.0);
+        let pristine = r.render_prometheus();
+        let clean = parse_prometheus(&pristine);
+        assert!(clean.is_clean());
+        let baseline = clean.samples.len();
+
+        let mut rng = SmallRng::seed_from_u64(0x5C2A9E);
+        for _ in 0..300 {
+            let mut bytes = pristine.clone().into_bytes();
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // Truncate mid-line.
+                    let cut = rng.gen_range(0..bytes.len());
+                    bytes.truncate(cut);
+                }
+                1 => {
+                    // Flip a few bytes to printable garbage.
+                    for _ in 0..rng.gen_range(1..6) {
+                        let i = rng.gen_range(0..bytes.len());
+                        bytes[i] = rng.gen_range(b' '..b'~');
+                    }
+                }
+                _ => {
+                    // Splice a garbage line into the middle.
+                    let junk = b"}}%% not a sample {{\n";
+                    let at = rng.gen_range(0..bytes.len());
+                    let mut spliced = bytes[..at].to_vec();
+                    spliced.extend_from_slice(junk);
+                    spliced.extend_from_slice(&bytes[at..]);
+                    bytes = spliced;
+                }
+            }
+            let corrupted = String::from_utf8_lossy(&bytes);
+            let scrape = parse_prometheus(&corrupted);
+            assert!(
+                scrape.samples.len() <= baseline + 1,
+                "corruption cannot invent more than one accidental sample"
+            );
+            for skipped in &scrape.skipped {
+                assert!(!skipped.reason.is_empty());
+                assert!(skipped.line_no >= 1);
+            }
         }
     }
 

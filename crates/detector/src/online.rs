@@ -386,17 +386,21 @@ impl OnlineContentionDetector {
     /// the just-pushed quantum's own verdict, if it was observed.
     fn status(&mut self, quantum: Option<BurstVerdict>) -> OnlineStatus {
         let recurrence = self.recurrence();
-        let call = if recurrence.recurrent {
-            Verdict::CovertTimingChannel
-        } else {
-            Verdict::Clean
-        };
         let window_len = self.window.len();
         let confidence = if window_len == 0 {
             0.0
         } else {
             // Clamped: the running sum can sit an ulp outside [0, len].
             (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
+        };
+        // Covert evidence always stands; only an affirmative Clean demands
+        // the confidence floor — a blinded monitor must not clear anything.
+        let call = if recurrence.recurrent {
+            Verdict::CovertTimingChannel
+        } else if confidence < self.config.min_confidence {
+            Verdict::Inconclusive
+        } else {
+            Verdict::Clean
         };
         if call != self.last_verdict {
             note_verdict_flip("contention", self.last_verdict, call, confidence);
@@ -639,17 +643,21 @@ impl OnlineOscillationDetector {
     }
 
     fn status(&mut self, quantum: Option<OscillationVerdict>) -> OnlineStatus {
-        let call = if self.oscillatory >= self.config.min_oscillatory_windows {
-            Verdict::CovertTimingChannel
-        } else {
-            Verdict::Clean
-        };
         let window_len = self.window.len();
         let confidence = if window_len == 0 {
             0.0
         } else {
             // Clamped: the running sum can sit an ulp outside [0, len].
             (self.weight_sum / window_len as f64).clamp(0.0, 1.0)
+        };
+        // Same rule as the contention daemon: covert evidence stands, Clean
+        // requires the confidence floor, anything else is Inconclusive.
+        let call = if self.oscillatory >= self.config.min_oscillatory_windows {
+            Verdict::CovertTimingChannel
+        } else if confidence < self.config.min_confidence {
+            Verdict::Inconclusive
+        } else {
+            Verdict::Clean
         };
         if call != self.last_verdict {
             note_verdict_flip("oscillation", self.last_verdict, call, confidence);

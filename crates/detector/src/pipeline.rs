@@ -105,12 +105,25 @@ pub enum Verdict {
     CovertTimingChannel,
     /// No covert-channel signature.
     Clean,
+    /// Not enough trustworthy evidence to rule either way: the observed
+    /// fraction of the window fell below the configured confidence floor
+    /// (harvests missed, shed under a biased admission policy, or saturated
+    /// beyond repair). An `Inconclusive` resource must not be treated as
+    /// clean — the monitor is telling you it was blinded.
+    Inconclusive,
 }
 
 impl Verdict {
     /// Whether this verdict reports a channel.
     pub fn is_covert(self) -> bool {
         matches!(self, Verdict::CovertTimingChannel)
+    }
+
+    /// Whether this verdict affirmatively clears the resource. `false` for
+    /// both [`Verdict::CovertTimingChannel`] and [`Verdict::Inconclusive`]:
+    /// a blinded monitor has not cleared anything.
+    pub fn is_clean(self) -> bool {
+        matches!(self, Verdict::Clean)
     }
 }
 
@@ -119,6 +132,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::CovertTimingChannel => f.write_str("COVERT TIMING CHANNEL"),
             Verdict::Clean => f.write_str("clean"),
+            Verdict::Inconclusive => f.write_str("inconclusive"),
         }
     }
 }
@@ -143,6 +157,13 @@ pub struct CcHunterConfig {
     pub windows_per_quantum: u32,
     /// Minimum number of oscillatory windows to report a cache channel.
     pub min_oscillatory_windows: usize,
+    /// Confidence floor for affirmative `Clean` verdicts on the online
+    /// path: when no covert signature is found but the observed fraction of
+    /// the window is below this value, the online daemons report
+    /// [`Verdict::Inconclusive`] instead of clearing the resource. Covert
+    /// evidence is never downgraded. `0.0` disables the floor (the
+    /// pre-hardening behaviour).
+    pub min_confidence: f64,
 }
 
 impl Default for CcHunterConfig {
@@ -156,6 +177,7 @@ impl Default for CcHunterConfig {
             max_lag: 1000,
             windows_per_quantum: 1,
             min_oscillatory_windows: 2,
+            min_confidence: 0.25,
         }
     }
 }

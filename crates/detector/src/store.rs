@@ -391,9 +391,20 @@ impl CheckpointStore {
     }
 
     /// Frames `payload` and durably writes it as the next generation of
-    /// `name` (temp file in the same directory, flush, atomic rename), then
-    /// prunes generations beyond the retention count. Returns the new
-    /// generation number.
+    /// `name` (temp file in the same directory, flush, atomic rename,
+    /// directory fsync), then prunes generations beyond the retention
+    /// count. Returns the new generation number.
+    ///
+    /// ## Durability contract
+    ///
+    /// When `save` returns `Ok`, the generation survives power loss: the
+    /// file *contents* were `fsync`ed before the rename made them
+    /// reachable, and the *parent directory* is `fsync`ed after the rename
+    /// so the new directory entry itself is on stable storage — on POSIX
+    /// filesystems a rename is only durable once the containing directory
+    /// has been synced. A crash at any point leaves either the previous
+    /// generations untouched (plus at most a stale temp file) or the new
+    /// generation fully present; never a torn or dangling entry.
     ///
     /// # Errors
     ///
@@ -417,8 +428,21 @@ impl CheckpointStore {
             let _ = fs::remove_file(&tmp);
             return Err(e.into());
         }
+        self.sync_dir()?;
         self.prune(name)?;
         Ok(generation)
+    }
+
+    /// Fsyncs the store directory so a just-renamed generation's directory
+    /// entry is durable (see the contract on [`CheckpointStore::save`]).
+    /// Windows cannot open directories as sync handles, so there this is a
+    /// no-op and durability relies on the file-content sync alone.
+    fn sync_dir(&self) -> Result<(), DetectorError> {
+        #[cfg(unix)]
+        {
+            fs::File::open(&self.dir)?.sync_all()?;
+        }
+        Ok(())
     }
 
     fn prune(&self, name: &str) -> Result<(), DetectorError> {

@@ -42,6 +42,7 @@
 //! fires and the contract is exact.)
 
 use crate::auditor::ConflictRecord;
+use crate::ingest::IngestStats;
 use crate::metrics::{
     default_registry, Counter, Family, Gauge, Histogram, Registry, LATENCY_BUCKETS_US,
 };
@@ -564,6 +565,35 @@ impl fmt::Display for LatencySummary {
     }
 }
 
+/// Ingest-layer totals, summed over every [`IngestStats`] handle attached
+/// to the fleet (all zeros when no hardened ingest pipeline is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Raw events offered to admission queues.
+    pub events_offered: u64,
+    /// Events shed by admission queues under overload.
+    pub events_shed: u64,
+    /// Events repaired (reorder-clamped) by sanitizers.
+    pub events_repaired: u64,
+    /// Hostile events dropped by sanitizers.
+    pub events_dropped: u64,
+    /// Quanta whose 16-bit accumulators saturated.
+    pub saturated_quanta: u64,
+    /// Quanta harvested through ingest pipelines.
+    pub quanta: u64,
+    /// Quanta degraded to partial harvests.
+    pub partial_harvests: u64,
+    /// Quanta refused outright (biased shedding past tolerance).
+    pub missed_harvests: u64,
+}
+
+impl IngestSnapshot {
+    /// Whether any ingest activity was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        *self == IngestSnapshot::default()
+    }
+}
+
 /// A point-in-time numeric digest of one fleet's health, computed from the
 /// fleet's own state (exact for this fleet even when the metrics registry
 /// is shared process-wide).
@@ -605,6 +635,9 @@ pub struct MetricsSnapshot {
     pub restore_rollbacks: u64,
     /// Mean covert-channel confidence across pairs.
     pub mean_confidence: f64,
+    /// Ingest-layer totals (shedding, sanitization, saturation) from every
+    /// attached [`IngestStats`] handle; zeros when none is attached.
+    pub ingest: IngestSnapshot,
     /// Per-pair analysis latency distribution.
     pub audit_latency: LatencySummary,
     /// Whole-tick latency distribution.
@@ -637,6 +670,19 @@ impl fmt::Display for MetricsSnapshot {
             "  checkpoints {} ({} failed)  restore rollbacks {}  mean confidence {:.3}",
             self.checkpoints, self.checkpoint_errors, self.restore_rollbacks, self.mean_confidence
         )?;
+        if !self.ingest.is_empty() {
+            writeln!(
+                f,
+                "  ingest: {} offered  {} shed  {} repaired  {} dropped  {} saturated quanta  {} partial  {} refused",
+                self.ingest.events_offered,
+                self.ingest.events_shed,
+                self.ingest.events_repaired,
+                self.ingest.events_dropped,
+                self.ingest.saturated_quanta,
+                self.ingest.partial_harvests,
+                self.ingest.missed_harvests
+            )?;
+        }
         writeln!(f, "  audit latency: {}", self.audit_latency)?;
         write!(f, "  tick latency:  {}", self.tick_latency)
     }
@@ -678,6 +724,7 @@ pub struct Supervisor {
     metrics: FleetMetrics,
     totals: FleetTotals,
     tracer: Tracer,
+    ingest_stats: Vec<IngestStats>,
 }
 
 impl Supervisor {
@@ -707,6 +754,7 @@ impl Supervisor {
             metrics,
             totals: FleetTotals::new(),
             tracer: span::global().clone(),
+            ingest_stats: Vec::new(),
         })
     }
 
@@ -728,6 +776,22 @@ impl Supervisor {
     /// style).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches an ingest pipeline's shared counters (see
+    /// [`crate::IngestPipeline::stats`]): the handle's totals are summed
+    /// into [`MetricsSnapshot::ingest`] so every shed / sanitize /
+    /// saturation event is visible in this fleet's digest. Attach one
+    /// handle per pipeline; repeat for each audited pair that routes
+    /// through hardened ingest.
+    pub fn attach_ingest_stats(&mut self, stats: IngestStats) {
+        self.ingest_stats.push(stats);
+    }
+
+    /// Builder-style [`Supervisor::attach_ingest_stats`].
+    pub fn with_ingest_stats(mut self, stats: IngestStats) -> Self {
+        self.attach_ingest_stats(stats);
         self
     }
 
@@ -1358,9 +1422,26 @@ impl Supervisor {
             } else {
                 confidence_sum / self.pairs.len() as f64
             },
+            ingest: self.ingest_totals(),
             audit_latency: LatencySummary::from_histogram(&self.totals.audit_latency_us),
             tick_latency: LatencySummary::from_histogram(&self.totals.tick_latency_us),
         }
+    }
+
+    /// Sums every attached [`IngestStats`] handle into one digest.
+    fn ingest_totals(&self) -> IngestSnapshot {
+        let mut out = IngestSnapshot::default();
+        for stats in &self.ingest_stats {
+            out.events_offered += stats.events_offered.get();
+            out.events_shed += stats.events_shed.get();
+            out.events_repaired += stats.events_repaired.get();
+            out.events_dropped += stats.events_dropped.get();
+            out.saturated_quanta += stats.saturated_quanta.get();
+            out.quanta += stats.quanta.get();
+            out.partial_harvests += stats.partial_harvests.get();
+            out.missed_harvests += stats.missed_harvests.get();
+        }
+        out
     }
 
     /// The whole fleet's standing for a monitoring page: tick counter,
@@ -2156,8 +2237,10 @@ mod tests {
         );
         // metrics.prom was dumped beside the checkpoint and parses back.
         let dump = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
-        let samples = crate::metrics::parse_prometheus(&dump).unwrap();
-        assert!(samples
+        let scrape = crate::metrics::parse_prometheus(&dump);
+        assert!(scrape.is_clean(), "{:?}", scrape.skipped);
+        assert!(scrape
+            .samples
             .iter()
             .any(|s| s.name == "cchunter_supervisor_ticks_total"));
         cleanup(&dir);

@@ -124,7 +124,9 @@ fn prometheus_exposition_round_trips_through_parser() {
         }
 
         let text = registry.render_prometheus();
-        let parsed = parse_prometheus(&text).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let scrape = parse_prometheus(&text);
+        assert!(scrape.is_clean(), "trial {trial}: {:?}", scrape.skipped);
+        let parsed = scrape.samples;
         let find = |name: &str, labels: &[(&str, &str)]| -> f64 {
             parsed
                 .iter()
@@ -240,8 +242,10 @@ fn restore_reseeds_monotonic_counters_at_arbitrary_kill_points() {
         // The persisted counters are visible in the fresh registry's
         // exposition, and keep counting monotonically from there.
         let text = fresh.render_prometheus();
-        let parsed = parse_prometheus(&text).unwrap();
-        let ticks_sample = parsed
+        let scrape = parse_prometheus(&text);
+        assert!(scrape.is_clean(), "trial {trial}: {:?}", scrape.skipped);
+        let ticks_sample = scrape
+            .samples
             .iter()
             .find(|s| s.name == "cchunter_supervisor_ticks_total")
             .expect("seeded tick counter is exposed");

@@ -26,6 +26,8 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<(Cycle, u64, Slot<T>)>>,
     seq: u64,
+    capacity: Option<usize>,
+    shed: u64,
 }
 
 /// Wrapper so the payload never participates in heap ordering.
@@ -50,18 +52,64 @@ impl<T> Ord for Slot<T> {
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with unbounded capacity.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            capacity: None,
+            shed: 0,
+        }
+    }
+
+    /// Creates an empty queue that never holds more than `capacity` pending
+    /// events.
+    ///
+    /// Once full, [`EventQueue::try_push`] refuses new events (drop-newest)
+    /// and counts them in [`EventQueue::shed`]; memory stays bounded no
+    /// matter how fast producers schedule. A `capacity` of zero sheds
+    /// everything.
+    pub fn bounded(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            capacity: Some(capacity),
+            shed: 0,
         }
     }
 
     /// Schedules `payload` at `when`.
+    ///
+    /// On a bounded queue that is full the event is shed (counted, not
+    /// stored); use [`EventQueue::try_push`] to observe admission.
     pub fn push(&mut self, when: Cycle, payload: T) {
+        let _ = self.try_push(when, payload);
+    }
+
+    /// Schedules `payload` at `when`, reporting whether it was admitted.
+    ///
+    /// Returns `false` (and increments [`EventQueue::shed`]) only when the
+    /// queue was created with [`EventQueue::bounded`] and is at capacity.
+    pub fn try_push(&mut self, when: Cycle, payload: T) -> bool {
+        if let Some(cap) = self.capacity {
+            if self.heap.len() >= cap {
+                self.shed += 1;
+                return false;
+            }
+        }
         self.seq += 1;
         self.heap.push(Reverse((when, self.seq, Slot(payload))));
+        true
+    }
+
+    /// Number of events refused because a bounded queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// The capacity ceiling, if this queue is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Removes and returns the earliest event.
@@ -121,5 +169,31 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.capacity(), None);
+        assert_eq!(q.shed(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_newest_and_counts() {
+        let mut q = EventQueue::bounded(2);
+        assert!(q.try_push(Cycle::new(1), "a"));
+        assert!(q.try_push(Cycle::new(2), "b"));
+        assert!(!q.try_push(Cycle::new(3), "c"));
+        q.push(Cycle::new(4), "d"); // also shed, silently
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed(), 2);
+        assert_eq!(q.capacity(), Some(2));
+        // Popping frees a slot; admission resumes.
+        assert_eq!(q.pop(), Some((Cycle::new(1), "a")));
+        assert!(q.try_push(Cycle::new(5), "e"));
+        assert_eq!(q.shed(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything() {
+        let mut q = EventQueue::bounded(0);
+        assert!(!q.try_push(Cycle::new(1), ()));
+        assert!(q.is_empty());
+        assert_eq!(q.shed(), 1);
     }
 }

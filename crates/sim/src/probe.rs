@@ -234,6 +234,99 @@ impl ProbeSink for VecTrace {
     }
 }
 
+/// A sink with a hard capacity ceiling, modelling the finite FIFO between
+/// a hardware unit and the CC-auditor.
+///
+/// Real auditor wiring cannot buffer an unbounded event firehose: the
+/// paper's CC-auditor harvests per OS quantum, and anything the FIFO cannot
+/// hold between harvests is lost. `BoundedTrace` reproduces that contract
+/// in the simulator: it retains at most `capacity` events, drops the
+/// *oldest* on overflow (the auditor always sees the most recent signal
+/// window), and counts every loss in [`BoundedTrace::shed`] so harvest glue
+/// can report a quantified loss fraction instead of silently thinning the
+/// train. Memory use is bounded by `capacity` regardless of event rate.
+#[derive(Debug)]
+pub struct BoundedTrace {
+    ring: std::collections::VecDeque<ProbeEvent>,
+    capacity: usize,
+    offered: u64,
+    shed: u64,
+}
+
+impl BoundedTrace {
+    /// Creates a sink that retains at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        BoundedTrace {
+            ring: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            offered: 0,
+            shed: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ProbeEvent> {
+        self.ring.iter()
+    }
+
+    /// Total events offered to the sink so far (retained + shed).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// The capacity ceiling.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Fraction of offered events lost since the last [`BoundedTrace::drain`].
+    pub fn lost_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Removes and returns the retained events (oldest first), resetting
+    /// the offered/shed accounting for the next harvest interval.
+    pub fn drain(&mut self) -> Vec<ProbeEvent> {
+        self.offered = 0;
+        self.shed = 0;
+        self.ring.drain(..).collect()
+    }
+}
+
+impl ProbeSink for BoundedTrace {
+    fn on_event(&mut self, event: &ProbeEvent) {
+        self.offered += 1;
+        if self.capacity == 0 {
+            self.shed += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.shed += 1;
+        }
+        self.ring.push_back(*event);
+    }
+}
+
 /// A sink that keeps only events matching a predicate.
 pub struct FilteredTrace<F> {
     inner: VecTrace,
@@ -496,6 +589,36 @@ mod tests {
             ctx: ContextId::new(0, 0),
             hold: 5,
         }
+    }
+
+    #[test]
+    fn bounded_trace_drops_oldest_and_quantifies_loss() {
+        let mut sink = BoundedTrace::new(4);
+        for i in 0..10u64 {
+            sink.on_event(&bus_lock_at(i * 10));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.offered(), 10);
+        assert_eq!(sink.shed(), 6);
+        assert!((sink.lost_fraction() - 0.6).abs() < 1e-12);
+        // The survivors are the *newest* events.
+        let kept: Vec<u64> = sink.events().map(|e| e.cycle().as_u64()).collect();
+        assert_eq!(kept, vec![60, 70, 80, 90]);
+        // Draining resets the accounting for the next quantum.
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 4);
+        assert!(sink.is_empty());
+        assert_eq!(sink.offered(), 0);
+        assert_eq!(sink.lost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bounded_trace_zero_capacity_sheds_everything() {
+        let mut sink = BoundedTrace::new(0);
+        sink.on_event(&bus_lock_at(5));
+        assert!(sink.is_empty());
+        assert_eq!(sink.shed(), 1);
+        assert_eq!(sink.lost_fraction(), 1.0);
     }
 
     #[test]

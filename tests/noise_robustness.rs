@@ -8,11 +8,18 @@ use cc_hunter::audit::{AuditSession, QuantumRunner};
 use cc_hunter::channels::{
     BitClock, BusChannelConfig, BusSpy, BusTrojan, DecodeRule, Message, SpyLog,
 };
-use cc_hunter::detector::{CcHunter, CcHunterConfig, DeltaTPolicy};
-use cc_hunter::sim::{Machine, MachineConfig};
-use cc_hunter::workloads::noise::BackgroundNoise;
+use cc_hunter::detector::{
+    AdmissionConfig, CcHunter, CcHunterConfig, DeltaTPolicy, IngestConfig, IngestPipeline,
+    OnlineContentionDetector, RawEvent, ShedPolicy, Verdict,
+};
+use cc_hunter::sim::{FilteredTrace, Machine, MachineConfig, ProbeEvent};
+use cc_hunter::workloads::noise::{spawn_standard_noise, BackgroundNoise};
 use cc_hunter::workloads::{Mcf, Stream};
 use common::QUANTUM;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[test]
 fn bus_channel_detected_under_heavy_mixed_interference() {
@@ -93,5 +100,148 @@ fn repetition_coding_survives_worse_noise_than_raw_bits() {
         message.bit_error_rate(&decoded),
         0.0,
         "majority vote recovers the message"
+    );
+}
+
+const FLOOD_QUANTA: usize = 10;
+
+/// Captures the raw bus-lock event stream of a working covert bus channel
+/// (trojan + spy + standard background noise) as `RawEvent`s for the ingest
+/// pipeline.
+fn covert_bus_lock_stream() -> Vec<RawEvent> {
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .quantum_cycles(QUANTUM)
+            .build()
+            .unwrap(),
+    );
+    let message = Message::alternating(64);
+    let config = BusChannelConfig::new(message, BitClock::new(50_000, 250_000));
+    let log = SpyLog::new_handle();
+    m.spawn(
+        Box::new(BusTrojan::new(config.clone(), 0x1000_0000)),
+        m.config().context_id(0, 0),
+    );
+    m.spawn(
+        Box::new(BusSpy::new(config, 0x4000_0000, log)),
+        m.config().context_id(1, 0),
+    );
+    spawn_standard_noise(&mut m, 0, 3, 11);
+    let trace = Rc::new(RefCell::new(FilteredTrace::new(|e: &ProbeEvent| {
+        matches!(e, ProbeEvent::BusLock { .. })
+    })));
+    m.attach_probe(trace.clone());
+    m.run_for(FLOOD_QUANTA as u64 * QUANTUM);
+    let smt_per_core = m.config().smt_per_core;
+    let events: Vec<RawEvent> = trace
+        .borrow()
+        .events()
+        .iter()
+        .map(|e| match *e {
+            ProbeEvent::BusLock { cycle, ctx, .. } => RawEvent {
+                time: cycle.as_u64(),
+                weight: 1,
+                context: ctx.index(smt_per_core),
+            },
+            _ => unreachable!("trace is filtered to bus locks"),
+        })
+        .collect();
+    events
+}
+
+/// Audits the covert stream drowned in a 10× benign event flood through a
+/// hardened ingest pipeline with the given shedding policy, returning the
+/// final verdict and mean shed fraction.
+fn audit_flooded(covert: &[RawEvent], policy: ShedPolicy) -> (Verdict, f64) {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        admission: AdmissionConfig {
+            capacity: 512,
+            policy,
+        },
+        ..IngestConfig::default()
+    })
+    .unwrap();
+    let mut daemon = OnlineContentionDetector::new(
+        CcHunterConfig {
+            quantum_cycles: QUANTUM,
+            delta_t: DeltaTPolicy::Fixed(100_000),
+            ..CcHunterConfig::default()
+        },
+        FLOOD_QUANTA,
+    )
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xF100D);
+    let mut status = None;
+    let mut shed_sum = 0.0;
+    // A constant-rate benign flood at 10× the channel's mean event volume:
+    // chatty neighbours don't modulate with the trojan, so every quantum
+    // sees the same deluge regardless of what the channel transmits.
+    let flood_per_quantum = covert.len() * 10 / FLOOD_QUANTA;
+    for q in 0..FLOOD_QUANTA {
+        let start = q as u64 * QUANTUM;
+        let end = start + QUANTUM;
+        let in_quantum: Vec<RawEvent> = covert
+            .iter()
+            .copied()
+            .filter(|e| e.time >= start && e.time < end)
+            .collect();
+        let mut offered = in_quantum.clone();
+        for _ in 0..flood_per_quantum {
+            offered.push(RawEvent {
+                time: rng.gen_range(start..end),
+                weight: 1,
+                context: rng.gen_range(2..8u64) as u8,
+            });
+        }
+        offered.sort_by_key(|e| e.time);
+        for event in offered {
+            pipeline.offer(event);
+            assert!(
+                pipeline.queue_len() <= 512,
+                "admission queue must never exceed its capacity"
+            );
+        }
+        let (harvest, report) = pipeline.end_quantum(start, end);
+        shed_sum += report.shed_fraction;
+        status = Some(daemon.push_quantum(harvest));
+    }
+    let status = status.expect("at least one quantum");
+    (status.verdict, shed_sum / FLOOD_QUANTA as f64)
+}
+
+/// Paper §III-style flood evasion: an adversary co-schedules chatty benign
+/// processes so the monitor's admission queue saturates and sheds. With
+/// *reservoir* (unbiased) shedding the surviving subsample still carries
+/// the channel's burst recurrence and the pair is convicted; with
+/// drop-newest (time-truncated, biased) shedding past the bias tolerance
+/// the monitor refuses the skewed evidence and reports `Inconclusive` —
+/// never a false `Clean` acquittal.
+#[test]
+fn flooded_covert_pair_is_flagged_under_reservoir_and_never_acquitted() {
+    let covert = covert_bus_lock_stream();
+    assert!(
+        covert.len() > 100 * FLOOD_QUANTA,
+        "the channel must produce a dense lock train, got {} events",
+        covert.len()
+    );
+
+    let (verdict, shed) = audit_flooded(&covert, ShedPolicy::Reservoir { seed: 0xCAFE });
+    assert!(
+        shed > 0.5,
+        "the flood must actually overwhelm the queue, shed {shed}"
+    );
+    assert!(
+        verdict.is_covert(),
+        "unbiased reservoir shedding must preserve the channel's burst \
+         evidence, got {verdict}"
+    );
+
+    let (verdict, shed) = audit_flooded(&covert, ShedPolicy::DropNewest);
+    assert!(shed > 0.5, "same flood, same overload, shed {shed}");
+    assert_eq!(
+        verdict,
+        Verdict::Inconclusive,
+        "biased shedding past the tolerance must blind the monitor, not \
+         acquit the pair"
     );
 }
