@@ -9,10 +9,13 @@ use cchunter_detector::burst::BurstDetector;
 use cchunter_detector::cluster::{discretize, kmeans};
 use cchunter_detector::conflict::{GenerationTracker, IdealLruTracker, MissClassifier};
 use cchunter_detector::density::DensityHistogram;
+use cchunter_detector::mitigation::MitigationConfig;
 use cchunter_detector::online::{Harvest, OnlineContentionDetector};
 use cchunter_detector::pipeline::symbol_series;
 use cchunter_detector::supervisor::{PairInput, ProbeFault, Supervisor, SupervisorConfig};
-use cchunter_detector::{BloomFilter, CcHunter, CcHunterConfig, PairAudit, PairEvidence};
+use cchunter_detector::{
+    AdvisoryEnforcer, BloomFilter, CcHunter, CcHunterConfig, PairAudit, PairEvidence,
+};
 use criterion::{black_box, Criterion};
 
 /// Runs every detector benchmark against `c`.
@@ -24,6 +27,7 @@ pub fn detector_suite(c: &mut Criterion) {
     bench_online_push(c);
     bench_audit_pairs(c);
     bench_supervisor_tick(c);
+    bench_mitigation_tick(c);
     bench_bloom(c);
     bench_trackers(c);
 }
@@ -144,6 +148,44 @@ fn bench_supervisor_tick(c: &mut Criterion) {
     }
     c.bench_function("supervisor_tick_8_pairs_64_window", |b| {
         b.iter(|| black_box(fleet.tick(&mut source)))
+    });
+}
+
+fn bench_mitigation_tick(c: &mut Criterion) {
+    // The supervisor tick with the containment layer fully engaged: every
+    // pair convicted, its ladder driven each tick (streak bookkeeping,
+    // enforcement calls, metrics) — the marginal cost of closed-loop
+    // mitigation over plain supervision.
+    let config = SupervisorConfig {
+        window_quanta: 64,
+        mitigation: MitigationConfig {
+            convict_streak: 2,
+            ..MitigationConfig::default()
+        },
+        ..SupervisorConfig::default()
+    };
+    let mut fleet = Supervisor::new(config).expect("valid supervisor config");
+    for pair in 0..8 {
+        fleet
+            .add_contention_pair(format!("memory-bus: pair {pair}"))
+            .expect("valid pair config");
+    }
+    let histograms: Vec<DensityHistogram> = (0..8)
+        .map(|i| covert_histogram(14 + (i % 7), 2_500))
+        .collect();
+    let mut source = |pair: usize, tick: u64, _attempt: u32| {
+        Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(
+            histograms[(pair + tick as usize) % histograms.len()].clone(),
+        )))
+    };
+    let mut enforcer = AdvisoryEnforcer;
+    // Warm past conviction so every pair holds an active containment.
+    for _ in 0..64 {
+        fleet.tick_with_enforcer(&mut source, &mut enforcer);
+    }
+    assert!(fleet.metrics_snapshot().contained_pairs > 0);
+    c.bench_function("mitigation_tick_8_pairs_contained", |b| {
+        b.iter(|| black_box(fleet.tick_with_enforcer(&mut source, &mut enforcer)))
     });
 }
 

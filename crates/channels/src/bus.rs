@@ -348,14 +348,32 @@ impl LockChaff {
     ///
     /// # Panics
     ///
-    /// Panics if `mean_interval` is zero.
+    /// Panics if `mean_interval` is zero. Use [`LockChaff::try_new`] for a
+    /// fallible variant.
     pub fn new(mean_interval: u64, addr: u64, seed: u64) -> Self {
-        assert!(mean_interval > 0, "mean interval must be nonzero");
-        LockChaff {
+        match Self::try_new(mean_interval, addr, seed) {
+            Ok(chaff) => chaff,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LockChaff::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ChannelError::InvalidConfig`] if `mean_interval`
+    /// is zero.
+    pub fn try_new(mean_interval: u64, addr: u64, seed: u64) -> Result<Self, crate::ChannelError> {
+        if mean_interval == 0 {
+            return Err(crate::ChannelError::InvalidConfig {
+                reason: "mean interval must be nonzero".into(),
+            });
+        }
+        Ok(LockChaff {
             mean_interval,
             addr,
             rng: seed | 1,
-        }
+        })
     }
 
     fn next_gap(&mut self) -> u64 {

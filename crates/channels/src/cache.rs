@@ -14,6 +14,7 @@
 //! bit — giving the square-wave symbol series whose autocorrelogram peaks
 //! near the total number of sets used (Figure 8).
 
+use crate::error::ChannelError;
 use crate::message::Message;
 use crate::protocol::{BitClock, PhaseLayout, SpyLogHandle};
 use cchunter_sim::{Op, Program, ProgramView};
@@ -60,11 +61,32 @@ impl CacheChannelConfig {
     /// # Panics
     ///
     /// Panics if `total_sets` is zero, odd, or exceeds the L2 set count.
+    /// Use [`CacheChannelConfig::try_new`] for a fallible variant.
     pub fn new(message: Message, clock: BitClock, total_sets: u32) -> Self {
+        match Self::try_new(message, clock, total_sets) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`CacheChannelConfig::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] if `total_sets` is zero,
+    /// odd, or exceeds the L2 set count.
+    pub fn try_new(
+        message: Message,
+        clock: BitClock,
+        total_sets: u32,
+    ) -> Result<Self, ChannelError> {
         // Cache state persists, so the spy probes *after* the trojan's
         // sweep: force the sequential phase layout.
-        let clock =
-            BitClock::with_layout(clock.start(), clock.bit_cycles(), PhaseLayout::sequential());
+        let clock = BitClock::try_with_layout(
+            clock.start(),
+            clock.bit_cycles(),
+            PhaseLayout::sequential(),
+        )?;
         let config = CacheChannelConfig {
             message,
             clock,
@@ -77,16 +99,37 @@ impl CacheChannelConfig {
             resweep_interval: None,
             noise_loads_per_bit: 8,
         };
-        config.validate();
-        config
+        config.validate()?;
+        Ok(config)
     }
 
     /// Enables periodic re-modulation within each bit (see
     /// [`resweep_interval`](Self::resweep_interval)).
-    pub fn with_resweep(mut self, interval: u64) -> Self {
-        assert!(interval > 0, "resweep interval must be nonzero");
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero. Use
+    /// [`CacheChannelConfig::try_with_resweep`] for a fallible variant.
+    pub fn with_resweep(self, interval: u64) -> Self {
+        match self.try_with_resweep(interval) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`CacheChannelConfig::with_resweep`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] if `interval` is zero.
+    pub fn try_with_resweep(mut self, interval: u64) -> Result<Self, ChannelError> {
+        if interval == 0 {
+            return Err(ChannelError::InvalidConfig {
+                reason: "resweep interval must be nonzero".into(),
+            });
+        }
         self.resweep_interval = Some(interval);
-        self
+        Ok(self)
     }
 
     /// Overrides the per-bit surrounding-code noise loads.
@@ -95,15 +138,18 @@ impl CacheChannelConfig {
         self
     }
 
-    fn validate(&self) {
-        assert!(
-            self.total_sets > 0 && self.total_sets.is_multiple_of(2),
-            "total_sets must be a positive even number"
-        );
-        assert!(
-            self.total_sets <= self.l2_sets,
-            "cannot signal on more sets than the L2 has"
-        );
+    fn validate(&self) -> Result<(), ChannelError> {
+        if self.total_sets == 0 || !self.total_sets.is_multiple_of(2) {
+            return Err(ChannelError::InvalidConfig {
+                reason: "total_sets must be a positive even number".into(),
+            });
+        }
+        if self.total_sets > self.l2_sets {
+            return Err(ChannelError::InvalidConfig {
+                reason: "cannot signal on more sets than the L2 has".into(),
+            });
+        }
+        Ok(())
     }
 
     /// Sets per group (|G1| = |G0|).

@@ -1,0 +1,51 @@
+//! The channel crate's typed error.
+
+use std::fmt;
+
+/// Error returned by fallible channel constructors.
+///
+/// The crate's public API follows the workspace no-panic contract: every
+/// constructor that takes runtime-derived parameters has a `try_*` form (or
+/// returns `Result` directly, like
+/// [`BitClock::for_bandwidth`](crate::BitClock::for_bandwidth)) that reports
+/// bad parameters through this type instead of asserting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A channel or protocol parameter was invalid.
+    InvalidConfig {
+        /// Human-readable description of the rejected parameter.
+        reason: String,
+    },
+}
+
+impl ChannelError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        ChannelError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidConfig { reason } => {
+                write!(f, "invalid channel configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = ChannelError::invalid("bandwidth must be positive");
+        assert!(e.to_string().contains("bandwidth must be positive"));
+        assert!(e.to_string().contains("invalid channel configuration"));
+    }
+}

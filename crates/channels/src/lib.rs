@@ -39,11 +39,13 @@
 pub mod bus;
 pub mod cache;
 pub mod divider;
+pub mod error;
 pub mod message;
 pub mod protocol;
 
 pub use bus::{BusChannelConfig, BusSpy, BusTrojan, LockChaff};
 pub use cache::{CacheChannelConfig, CacheSpy, CacheTrojan};
 pub use divider::{DividerChannelConfig, DividerSpy, DividerTrojan, ExecUnit};
+pub use error::ChannelError;
 pub use message::Message;
 pub use protocol::{BitClock, DecodeRule, Phase, PhaseLayout, SpyLog, SpyLogHandle};

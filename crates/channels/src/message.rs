@@ -79,7 +79,8 @@ impl Message {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero. Use [`Message::try_repeat_encode`] for a
+    /// fallible variant.
     ///
     /// ```
     /// use cchunter_channels::Message;
@@ -87,14 +88,30 @@ impl Message {
     /// assert_eq!(m.repeat_encode(3).bits(), &[true, true, true, false, false, false]);
     /// ```
     pub fn repeat_encode(&self, n: usize) -> Message {
-        assert!(n > 0, "repetition factor must be nonzero");
-        Message {
+        match self.try_repeat_encode(n) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Message::repeat_encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ChannelError::InvalidConfig`] if `n` is zero.
+    pub fn try_repeat_encode(&self, n: usize) -> Result<Message, crate::ChannelError> {
+        if n == 0 {
+            return Err(crate::ChannelError::InvalidConfig {
+                reason: "repetition factor must be nonzero".into(),
+            });
+        }
+        Ok(Message {
             bits: self
                 .bits
                 .iter()
                 .flat_map(|&b| std::iter::repeat_n(b, n))
                 .collect(),
-        }
+        })
     }
 
     /// Decodes an `n`-fold repetition encoding by majority vote per group
@@ -102,7 +119,8 @@ impl Message {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero. Use [`Message::try_repeat_decode`] for a
+    /// fallible variant.
     ///
     /// ```
     /// use cchunter_channels::Message;
@@ -110,8 +128,24 @@ impl Message {
     /// assert_eq!(noisy.repeat_decode(3).bits(), &[true, false]);
     /// ```
     pub fn repeat_decode(&self, n: usize) -> Message {
-        assert!(n > 0, "repetition factor must be nonzero");
-        Message {
+        match self.try_repeat_decode(n) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Message::repeat_decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ChannelError::InvalidConfig`] if `n` is zero.
+    pub fn try_repeat_decode(&self, n: usize) -> Result<Message, crate::ChannelError> {
+        if n == 0 {
+            return Err(crate::ChannelError::InvalidConfig {
+                reason: "repetition factor must be nonzero".into(),
+            });
+        }
+        Ok(Message {
             bits: self
                 .bits
                 .chunks(n)
@@ -120,7 +154,7 @@ impl Message {
                     ones * 2 >= group.len()
                 })
                 .collect(),
-        }
+        })
     }
 
     /// Bit error rate of `received` against this message: differing bits

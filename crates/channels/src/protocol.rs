@@ -17,6 +17,7 @@
 //!   evictions persist, so the spy probes after the transmit window, which
 //!   also keeps its probes from racing the trojan's sweep.
 
+use crate::error::ChannelError;
 use crate::message::Message;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -61,13 +62,21 @@ impl PhaseLayout {
         }
     }
 
-    fn validate(&self) {
+    /// Checks that both windows are ordered fractions of the bit interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] when a window bound falls
+    /// outside `[0, 1]` or a window is empty or reversed.
+    pub fn validate(&self) -> Result<(), ChannelError> {
         for (lo, hi) in [self.transmit, self.sample] {
-            assert!(
-                (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo < hi,
-                "phase windows must be ordered fractions of the bit"
-            );
+            if !((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo < hi) {
+                return Err(ChannelError::invalid(
+                    "phase windows must be ordered fractions of the bit",
+                ));
+            }
         }
+        Ok(())
     }
 }
 
@@ -93,32 +102,81 @@ impl BitClock {
     ///
     /// # Panics
     ///
-    /// Panics if `bit_cycles` is zero.
+    /// Panics if `bit_cycles` is zero. Use [`BitClock::try_new`] for a
+    /// fallible variant.
     pub fn new(start: u64, bit_cycles: u64) -> Self {
-        Self::with_layout(start, bit_cycles, PhaseLayout::concurrent())
+        match Self::try_new(start, bit_cycles) {
+            Ok(clock) => clock,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`BitClock::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] if `bit_cycles` is zero.
+    pub fn try_new(start: u64, bit_cycles: u64) -> Result<Self, ChannelError> {
+        Self::try_with_layout(start, bit_cycles, PhaseLayout::concurrent())
     }
 
     /// Creates a clock with an explicit phase layout.
     ///
     /// # Panics
     ///
-    /// Panics if `bit_cycles` is zero or the layout is malformed.
+    /// Panics if `bit_cycles` is zero or the layout is malformed. Use
+    /// [`BitClock::try_with_layout`] for a fallible variant.
     pub fn with_layout(start: u64, bit_cycles: u64, layout: PhaseLayout) -> Self {
-        assert!(bit_cycles > 0, "bit interval must be nonzero");
-        layout.validate();
-        BitClock {
+        match Self::try_with_layout(start, bit_cycles, layout) {
+            Ok(clock) => clock,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`BitClock::with_layout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] if `bit_cycles` is zero or
+    /// the layout fails [`PhaseLayout::validate`].
+    pub fn try_with_layout(
+        start: u64,
+        bit_cycles: u64,
+        layout: PhaseLayout,
+    ) -> Result<Self, ChannelError> {
+        if bit_cycles == 0 {
+            return Err(ChannelError::invalid("bit interval must be nonzero"));
+        }
+        layout.validate()?;
+        Ok(BitClock {
             start,
             bit_cycles,
             layout,
-        }
+        })
     }
 
     /// Derives the clock from a bandwidth in bits/second (concurrent
     /// layout).
-    pub fn for_bandwidth(start: u64, bandwidth_bps: f64, clock_hz: u64) -> Self {
-        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] if `bandwidth_bps` is not a
+    /// positive finite number or `clock_hz` is zero.
+    pub fn for_bandwidth(
+        start: u64,
+        bandwidth_bps: f64,
+        clock_hz: u64,
+    ) -> Result<Self, ChannelError> {
+        if !(bandwidth_bps > 0.0 && bandwidth_bps.is_finite()) {
+            return Err(ChannelError::invalid(format!(
+                "bandwidth must be positive and finite, got {bandwidth_bps}"
+            )));
+        }
+        if clock_hz == 0 {
+            return Err(ChannelError::invalid("clock frequency must be nonzero"));
+        }
         let bit_cycles = (clock_hz as f64 / bandwidth_bps).round().max(1.0) as u64;
-        BitClock::new(start, bit_cycles)
+        BitClock::try_new(start, bit_cycles)
     }
 
     /// The cycle bit 0 starts at.
@@ -326,8 +384,34 @@ mod tests {
     #[test]
     fn bandwidth_derivation() {
         // 100 bps at 2.5 GHz → 25M cycles per bit.
-        let c = BitClock::for_bandwidth(0, 100.0, 2_500_000_000);
+        let c = BitClock::for_bandwidth(0, 100.0, 2_500_000_000).unwrap();
         assert_eq!(c.bit_cycles(), 25_000_000);
+    }
+
+    #[test]
+    fn non_positive_bandwidth_is_a_typed_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = BitClock::for_bandwidth(0, bad, 2_500_000_000).unwrap_err();
+            assert!(
+                err.to_string().contains("bandwidth"),
+                "error names the bad parameter: {err}"
+            );
+        }
+        let err = BitClock::for_bandwidth(0, 100.0, 0).unwrap_err();
+        assert!(err.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn try_constructors_report_errors_instead_of_panicking() {
+        assert!(BitClock::try_new(0, 0).is_err());
+        assert!(BitClock::try_new(0, 100).is_ok());
+        let bad = PhaseLayout {
+            transmit: (0.5, 0.2),
+            sample: (0.6, 0.9),
+        };
+        assert!(bad.validate().is_err());
+        assert!(BitClock::try_with_layout(0, 100, bad).is_err());
+        assert!(BitClock::try_with_layout(0, 100, PhaseLayout::sequential()).is_ok());
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod fault;
 pub mod fft;
 pub mod ingest;
 pub mod metrics;
+pub mod mitigation;
 pub mod online;
 pub mod pipeline;
 pub mod policy;
@@ -99,6 +100,10 @@ pub use ingest::{
 pub use metrics::{
     parse_prometheus, Counter, Family, Gauge, Histogram, LossyScrape, ParsedSample, Registry,
     SkippedLine,
+};
+pub use mitigation::{
+    AdvisoryEnforcer, ApplyError, ContainmentState, MitigationConfig, MitigationEnforcer,
+    MitigationLevel, MitigationPolicy, ResidualProbe, ResidualReading,
 };
 pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 pub use pipeline::{

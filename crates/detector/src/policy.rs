@@ -385,9 +385,131 @@ impl CircuitBreaker {
     }
 }
 
+/// Adjustments a pair's supervision state needs when its quarantine
+/// recovery probes succeed (the breaker closes again).
+///
+/// Quarantine (probe health) and containment (threat response) are two
+/// independent axes that interact badly without reconciliation: while
+/// quarantined, every skipped tick multiplicatively decays the pair's
+/// reported confidence, and the mitigation policy's verdict streaks are
+/// frozen at their pre-quarantine values. A pair that is *both* quarantined
+/// and contained would otherwise leave quarantine with (a) a confidence
+/// decayed once by the skip path and again by the muted, mitigated channel
+/// (double decay), and (b) a stale covert streak that instantly
+/// re-escalates the containment ladder off pre-quarantine evidence (a
+/// stuck containment that can never step down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReconciliation {
+    /// Restore the quarantine-decayed confidence to the value the detector
+    /// actually reports, instead of continuing from the decayed floor.
+    pub restore_confidence: bool,
+    /// Clear the pre-quarantine covert streak: escalating containment
+    /// further must take fresh post-recovery evidence.
+    pub reset_covert_streak: bool,
+    /// Clear the clean streak symmetrically: stepping containment down
+    /// must also take fresh post-recovery evidence, not ticks accumulated
+    /// while the probe was wedged.
+    pub reset_clean_streak: bool,
+}
+
+/// Computes the reconciliation required when a breaker transitions from
+/// `before` to `after`, given whether the pair is currently contained by an
+/// active mitigation.
+///
+/// Returns `Some` only on a genuine recovery (quarantined → closed);
+/// confidence is always restored on recovery, and the mitigation streaks
+/// are reset only when a containment is actually active.
+///
+/// ```
+/// use cchunter_detector::policy::{reconcile_quarantine_recovery, BreakerState};
+/// let r = reconcile_quarantine_recovery(
+///     BreakerState::HalfOpen { successes: 2 },
+///     BreakerState::Closed,
+///     true,
+/// )
+/// .expect("recovery");
+/// assert!(r.restore_confidence && r.reset_covert_streak);
+/// ```
+pub fn reconcile_quarantine_recovery(
+    before: BreakerState,
+    after: BreakerState,
+    contained: bool,
+) -> Option<RecoveryReconciliation> {
+    let was_quarantined = !matches!(before, BreakerState::Closed);
+    let now_closed = matches!(after, BreakerState::Closed);
+    if !(was_quarantined && now_closed) {
+        return None;
+    }
+    Some(RecoveryReconciliation {
+        restore_confidence: true,
+        reset_covert_streak: contained,
+        reset_clean_streak: contained,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_reconciliation_only_fires_on_quarantine_close() {
+        // Closed -> Closed: nothing to reconcile.
+        assert_eq!(
+            reconcile_quarantine_recovery(BreakerState::Closed, BreakerState::Closed, true),
+            None
+        );
+        // Closed -> Open is a trip, not a recovery.
+        assert_eq!(
+            reconcile_quarantine_recovery(
+                BreakerState::Closed,
+                BreakerState::Open { since_tick: 3 },
+                true
+            ),
+            None
+        );
+        // Open -> HalfOpen is progress but not yet a recovery.
+        assert_eq!(
+            reconcile_quarantine_recovery(
+                BreakerState::Open { since_tick: 3 },
+                BreakerState::HalfOpen { successes: 1 },
+                true
+            ),
+            None
+        );
+        // HalfOpen -> Closed is the recovery edge.
+        let r = reconcile_quarantine_recovery(
+            BreakerState::HalfOpen { successes: 2 },
+            BreakerState::Closed,
+            false,
+        )
+        .expect("recovery edge");
+        assert!(r.restore_confidence);
+        assert!(!r.reset_covert_streak);
+        assert!(!r.reset_clean_streak);
+    }
+
+    #[test]
+    fn recovery_reconciliation_resets_streaks_only_when_contained() {
+        let contained = reconcile_quarantine_recovery(
+            BreakerState::Open { since_tick: 10 },
+            BreakerState::Closed,
+            true,
+        )
+        .expect("recovery edge");
+        assert!(contained.restore_confidence);
+        assert!(contained.reset_covert_streak);
+        assert!(contained.reset_clean_streak);
+
+        let free = reconcile_quarantine_recovery(
+            BreakerState::Open { since_tick: 10 },
+            BreakerState::Closed,
+            false,
+        )
+        .expect("recovery edge");
+        assert!(free.restore_confidence);
+        assert!(!free.reset_covert_streak);
+        assert!(!free.reset_clean_streak);
+    }
 
     #[test]
     fn backoff_is_deterministic_and_bounded() {

@@ -46,10 +46,14 @@ use crate::ingest::IngestStats;
 use crate::metrics::{
     default_registry, Counter, Family, Gauge, Histogram, Registry, LATENCY_BUCKETS_US,
 };
+use crate::mitigation::{
+    AdvisoryEnforcer, ContainmentState, MitigationConfig, MitigationEnforcer, MitigationPolicy,
+};
 use crate::online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, OnlineStatus};
 use crate::pipeline::{CcHunterConfig, Verdict};
 use crate::policy::{
-    backoff_delay, mix_seed, BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig,
+    backoff_delay, mix_seed, reconcile_quarantine_recovery, BackoffConfig, BreakerState,
+    CircuitBreaker, QuarantineConfig,
 };
 use crate::span::{self, Tracer};
 use crate::store::CheckpointStore;
@@ -73,6 +77,9 @@ pub struct SupervisorConfig {
     pub backoff: BackoffConfig,
     /// Quarantine (circuit-breaker) policy.
     pub quarantine: QuarantineConfig,
+    /// Closed-loop mitigation policy (conviction, escalation ladder,
+    /// residual-driven step-down).
+    pub mitigation: MitigationConfig,
     /// Automatically checkpoint every N ticks when a store is attached
     /// (0 = manual checkpoints only).
     pub checkpoint_every: u64,
@@ -88,6 +95,7 @@ impl Default for SupervisorConfig {
             deadline_us: 0,
             backoff: BackoffConfig::default(),
             quarantine: QuarantineConfig::default(),
+            mitigation: MitigationConfig::default(),
             checkpoint_every: 0,
             seed: 0xCC_4117,
         }
@@ -232,6 +240,7 @@ struct Pair {
     kind: PairKind,
     detector: PairDetector,
     breaker: CircuitBreaker,
+    mitigation: MitigationPolicy,
     /// Confidence reported while quarantined; decays per skipped tick.
     quarantine_confidence: f64,
     last_verdict: Verdict,
@@ -282,6 +291,8 @@ pub struct PairReport {
     pub outcome: PairOutcome,
     /// Breaker state after the tick.
     pub health: BreakerState,
+    /// Containment state after the tick.
+    pub containment: ContainmentState,
     /// Probe retries spent this tick.
     pub retries: u32,
     /// Virtual microseconds of backoff delay scheduled this tick.
@@ -318,6 +329,8 @@ pub struct PairStatus {
     pub failure_rate: f64,
     /// The pair's current verdict (last analyzed status).
     pub verdict: Verdict,
+    /// Where the pair stands on the containment ladder.
+    pub containment: ContainmentState,
     /// Where the pair's state was restored from, if it was.
     pub restored_from: Option<RestoredFrom>,
     /// Total probe/analysis failures recorded.
@@ -372,6 +385,12 @@ struct FleetMetrics {
     confidence: Family<Gauge>,
     covert: Family<Gauge>,
     quarantined: Family<Gauge>,
+    mitigations_applied: Family<Counter>,
+    mitigation_failures: Family<Counter>,
+    mitigation_escalations: Family<Counter>,
+    mitigation_stepdowns: Family<Counter>,
+    containment_level: Family<Gauge>,
+    contained_pairs: Gauge,
     checkpoints: Counter,
     checkpoint_errors: Counter,
     restore_rollbacks: Counter,
@@ -470,6 +489,35 @@ impl FleetMetrics {
                 "cchunter_pair_quarantined",
                 "1 when the pair's breaker is open or half-open, else 0.",
                 PAIR,
+            ),
+            mitigations_applied: registry.counter_family(
+                "cchunter_pair_mitigations_applied_total",
+                "Accepted mitigation enforcement calls, by pair.",
+                PAIR,
+            ),
+            mitigation_failures: registry.counter_family(
+                "cchunter_pair_mitigation_failures_total",
+                "Refused mitigation enforcement calls (apply or release), by pair.",
+                PAIR,
+            ),
+            mitigation_escalations: registry.counter_family(
+                "cchunter_pair_mitigation_escalations_total",
+                "Containment-ladder rungs escalated past, by pair.",
+                PAIR,
+            ),
+            mitigation_stepdowns: registry.counter_family(
+                "cchunter_pair_mitigation_stepdowns_total",
+                "Containment-ladder rungs stepped down, by pair.",
+                PAIR,
+            ),
+            containment_level: registry.gauge_family(
+                "cchunter_pair_containment_level",
+                "The pair's containment rung (0 inactive, 1 flush-on-switch … 4 deschedule).",
+                PAIR,
+            ),
+            contained_pairs: registry.gauge(
+                "cchunter_contained_pairs",
+                "Pairs with an active or pending containment.",
             ),
             checkpoints: registry.counter(
                 "cchunter_checkpoints_total",
@@ -607,6 +655,8 @@ pub struct MetricsSnapshot {
     pub quarantined_pairs: usize,
     /// Pairs whose current verdict is covert.
     pub covert_pairs: usize,
+    /// Pairs with an active or pending containment.
+    pub contained_pairs: usize,
     /// Clean analyses across all pairs and ticks.
     pub analyzed: u64,
     /// Degraded outcomes (gaps, wrong-kind inputs, deadline misses).
@@ -627,6 +677,14 @@ pub struct MetricsSnapshot {
     pub breaker_transitions: u64,
     /// Detector rebuilds after contained panics.
     pub recoveries: u64,
+    /// Accepted mitigation enforcement calls.
+    pub mitigations_applied: u64,
+    /// Refused mitigation enforcement calls (apply or release).
+    pub mitigation_failures: u64,
+    /// Containment-ladder rungs escalated past.
+    pub mitigation_escalations: u64,
+    /// Containment-ladder rungs stepped down.
+    pub mitigation_stepdowns: u64,
     /// Successful checkpoints.
     pub checkpoints: u64,
     /// Failed checkpoint attempts.
@@ -648,8 +706,8 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet: {} pairs ({} covert, {} quarantined) at tick {}",
-            self.pairs, self.covert_pairs, self.quarantined_pairs, self.ticks
+            "fleet: {} pairs ({} covert, {} quarantined, {} contained) at tick {}",
+            self.pairs, self.covert_pairs, self.quarantined_pairs, self.contained_pairs, self.ticks
         )?;
         writeln!(
             f,
@@ -664,6 +722,14 @@ impl fmt::Display for MetricsSnapshot {
             self.verdict_flips,
             self.breaker_transitions,
             self.recoveries
+        )?;
+        writeln!(
+            f,
+            "  mitigations: {} applied  {} refused  {} escalations  {} step-downs",
+            self.mitigations_applied,
+            self.mitigation_failures,
+            self.mitigation_escalations,
+            self.mitigation_stepdowns
         )?;
         writeln!(
             f,
@@ -743,6 +809,7 @@ impl Supervisor {
                 reason: "supervisor window must hold at least one quantum".to_string(),
             });
         }
+        config.mitigation.validate()?;
         let registry = default_registry();
         let metrics = FleetMetrics::register(&registry);
         Ok(Supervisor {
@@ -842,6 +909,8 @@ impl Supervisor {
             kind,
             detector,
             breaker: CircuitBreaker::new(self.config.quarantine),
+            mitigation: MitigationPolicy::new(self.config.mitigation)
+                .expect("mitigation config validated at construction"),
             quarantine_confidence: 0.0,
             last_verdict: Verdict::Clean,
             restored_from: None,
@@ -898,7 +967,23 @@ impl Supervisor {
     ///
     /// Never panics and never aborts the batch: every per-pair failure is
     /// contained and reported in the returned [`TickReport`].
+    ///
+    /// Mitigation decisions run against the [`AdvisoryEnforcer`]
+    /// (shadow mode); use [`Supervisor::tick_with_enforcer`] to actuate a
+    /// real scheduler/hardware backend.
     pub fn tick<S: ProbeSource + ?Sized>(&mut self, source: &mut S) -> TickReport {
+        self.tick_with_enforcer(source, &mut AdvisoryEnforcer)
+    }
+
+    /// Like [`Supervisor::tick`], but drives each pair's containment
+    /// policy through `enforcer`, so convictions actuate real scheduler
+    /// and cache-hardware responses (and failed applies escalate the
+    /// ladder).
+    pub fn tick_with_enforcer<S: ProbeSource + ?Sized, E: MitigationEnforcer + ?Sized>(
+        &mut self,
+        source: &mut S,
+        enforcer: &mut E,
+    ) -> TickReport {
         let tick = self.tick;
         let deadline_us = self.config.deadline_us;
         let tick_started = Instant::now();
@@ -1031,6 +1116,7 @@ impl Supervisor {
                         label: pair.label.clone(),
                         outcome: PairOutcome::Skipped { confidence },
                         health: pair.breaker.state(),
+                        containment: pair.mitigation.state(),
                         retries: 0,
                         backoff_us: 0,
                     });
@@ -1048,16 +1134,24 @@ impl Supervisor {
                 }
             };
             let outcome = self.settle_pair(idx, tick, deadline_us, result);
+            self.drive_mitigation(idx, tick, enforcer);
             let pair = &self.pairs[idx];
             reports.push(PairReport {
                 pair: idx,
                 label: pair.label.clone(),
                 outcome,
                 health: pair.breaker.state(),
+                containment: pair.mitigation.state(),
                 retries,
                 backoff_us,
             });
         }
+        self.metrics.contained_pairs.set(
+            self.pairs
+                .iter()
+                .filter(|p| p.mitigation.state().is_active())
+                .count() as f64,
+        );
 
         self.tick = tick + 1;
 
@@ -1230,6 +1324,40 @@ impl Supervisor {
             self.metrics.breaker_transitions.with_label(&label).inc();
             self.totals.breaker_transitions.inc();
         }
+        // A quarantined pair leaving quarantine needs its two supervision
+        // axes reconciled: without this, a contained pair re-enters full
+        // auditing with a decayed confidence and stale verdict streaks
+        // (double decay / instant re-escalation; see
+        // `policy::reconcile_quarantine_recovery`).
+        if let Some(reconciliation) = reconcile_quarantine_recovery(
+            breaker_before,
+            breaker_after,
+            self.pairs[idx].mitigation.is_contained(),
+        ) {
+            let pair = &mut self.pairs[idx];
+            pair.mitigation.reconcile_recovery(reconciliation);
+            if reconciliation.restore_confidence {
+                // `quarantine_confidence` already tracks the freshly
+                // reported status on the success path; clamp out any
+                // residue of the quarantine decay for the degraded paths.
+                pair.quarantine_confidence = pair.quarantine_confidence.clamp(0.0, 1.0);
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    "policy",
+                    "quarantine-recovered",
+                    format_args!(
+                        "{label}: breaker closed, streaks {}",
+                        if reconciliation.reset_covert_streak {
+                            "reset (contained)"
+                        } else {
+                            "kept"
+                        }
+                    ),
+                );
+            }
+        }
+        let pair = &self.pairs[idx];
         if pair.last_verdict != verdict_before {
             self.metrics.verdict_flips.with_label(&label).inc();
             self.totals.verdict_flips.inc();
@@ -1255,6 +1383,142 @@ impl Supervisor {
                 1.0
             });
         outcome
+    }
+
+    /// Drives one pair's containment state machine with its settled
+    /// verdict, actuating through `enforcer` and mirroring the outcome
+    /// into metrics and traces.
+    fn drive_mitigation<E: MitigationEnforcer + ?Sized>(
+        &mut self,
+        idx: usize,
+        tick: u64,
+        enforcer: &mut E,
+    ) {
+        let covert = self.pairs[idx].last_verdict.is_covert();
+        let seed = self.config.seed;
+        let label = self.pairs[idx].label.clone();
+        let report = self.pairs[idx]
+            .mitigation
+            .drive(covert, tick, seed, idx, enforcer);
+        if report.applied > 0 {
+            self.metrics
+                .mitigations_applied
+                .with_label(&label)
+                .inc_by(report.applied as u64);
+        }
+        if report.apply_failures > 0 {
+            self.metrics
+                .mitigation_failures
+                .with_label(&label)
+                .inc_by(report.apply_failures as u64);
+        }
+        if report.step_downs > 0 {
+            self.metrics
+                .mitigation_stepdowns
+                .with_label(&label)
+                .inc_by(report.step_downs as u64);
+        }
+        if report.escalations > 0 {
+            self.metrics
+                .mitigation_escalations
+                .with_label(&label)
+                .inc_by(report.escalations as u64);
+            if self.tracer.is_enabled() {
+                let mut span = self.tracer.span("mitigation", "escalate");
+                span.detail(format_args!(
+                    "{label}: {} rung(s) at tick {tick} -> {}",
+                    report.escalations, report.state
+                ));
+            }
+        }
+        self.metrics
+            .containment_level
+            .with_label(&label)
+            .set(report.state.level().map_or(0.0, |l| f64::from(l.rank())));
+        if self.tracer.is_enabled() {
+            if report.convicted {
+                self.tracer.event(
+                    "mitigation",
+                    "convicted",
+                    format_args!("{label}: covert streak reached at tick {tick}"),
+                );
+            }
+            if report.step_downs > 0 {
+                self.tracer.event(
+                    "mitigation",
+                    "step-down",
+                    format_args!("{label}: -> {} at tick {tick}", report.state),
+                );
+            }
+            if report.stuck {
+                self.tracer.event(
+                    "mitigation",
+                    "stuck",
+                    format_args!("{label}: ladder exhausted, top rung not in force at tick {tick}"),
+                );
+            }
+        }
+    }
+
+    /// Feeds a post-mitigation re-measurement into `pair`'s containment
+    /// policy: `residual_fraction` is the channel's goodput as a fraction
+    /// of its unmitigated baseline, `overhead_fraction` the benign
+    /// co-runner slowdown (see [`ResidualProbe`](crate::ResidualProbe)).
+    /// A residual under the configured cap lets the policy step the ladder
+    /// down; one above it escalates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range pair
+    /// index or a non-finite fraction.
+    pub fn report_residual(
+        &mut self,
+        pair: usize,
+        residual_fraction: f64,
+        overhead_fraction: f64,
+    ) -> Result<(), DetectorError> {
+        if !residual_fraction.is_finite() || !overhead_fraction.is_finite() {
+            return Err(DetectorError::InvalidConfig {
+                reason: "residual and overhead fractions must be finite".to_string(),
+            });
+        }
+        let tick = self.tick;
+        let pair = self
+            .pairs
+            .get_mut(pair)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no supervised pair {pair}"),
+            })?;
+        pair.mitigation
+            .record_residual(crate::mitigation::ResidualReading {
+                residual_fraction: residual_fraction.clamp(0.0, 1.0),
+                overhead_fraction: overhead_fraction.clamp(0.0, 1.0),
+                tick,
+            });
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "mitigation",
+                "residual",
+                format_args!(
+                    "{}: residual {:.3} of baseline, overhead {:.3}",
+                    pair.label, residual_fraction, overhead_fraction
+                ),
+            );
+        }
+        Ok(())
+    }
+
+    /// One pair's containment standing (None for an out-of-range index).
+    pub fn containment(&self, pair: usize) -> Option<ContainmentState> {
+        self.pairs.get(pair).map(|p| p.mitigation.state())
+    }
+
+    /// One pair's detection-to-containment latency in ticks, once the
+    /// current episode's first rung has taken force.
+    pub fn containment_latency_ticks(&self, pair: usize) -> Option<u64> {
+        self.pairs
+            .get(pair)
+            .and_then(|p| p.mitigation.containment_latency_ticks())
     }
 
     /// Brings a panicked pair's detector back: from the store when
@@ -1307,6 +1571,7 @@ impl Supervisor {
                 health: pair.breaker.state(),
                 failure_rate: pair.breaker.failure_rate(),
                 verdict: pair.last_verdict,
+                containment: pair.mitigation.state(),
                 restored_from: pair.restored_from,
                 failures: pair.failures,
                 panics: pair.panics,
@@ -1354,6 +1619,9 @@ impl Supervisor {
                 pair.retries,
                 pair.label
             ));
+            // Containment state rides in its own tagged line (after its
+            // pair line) so v1 manifests without it still parse.
+            manifest.push_str(&format!("mit,{idx},{}\n", pair.mitigation.serialize()));
         }
         manifest.push_str("end\n");
         let generation = store.save(MANIFEST_NAME, manifest.as_bytes())?;
@@ -1385,7 +1653,12 @@ impl Supervisor {
         let mut retries = 0u64;
         let mut quarantined_pairs = 0usize;
         let mut covert_pairs = 0usize;
+        let mut contained_pairs = 0usize;
         let mut confidence_sum = 0.0f64;
+        let mut mitigations_applied = 0u64;
+        let mut mitigation_failures = 0u64;
+        let mut mitigation_escalations = 0u64;
+        let mut mitigation_stepdowns = 0u64;
         for pair in &self.pairs {
             failures += pair.failures;
             panics += pair.panics;
@@ -1397,6 +1670,13 @@ impl Supervisor {
             if pair.last_verdict.is_covert() {
                 covert_pairs += 1;
             }
+            if pair.mitigation.state().is_active() {
+                contained_pairs += 1;
+            }
+            mitigations_applied += pair.mitigation.applies();
+            mitigation_failures += pair.mitigation.apply_failures();
+            mitigation_escalations += pair.mitigation.escalations();
+            mitigation_stepdowns += pair.mitigation.step_downs();
             confidence_sum += pair.quarantine_confidence;
         }
         MetricsSnapshot {
@@ -1404,6 +1684,7 @@ impl Supervisor {
             pairs: self.pairs.len(),
             quarantined_pairs,
             covert_pairs,
+            contained_pairs,
             analyzed: self.totals.analyzed.get(),
             degraded: self.totals.degraded.get(),
             failures,
@@ -1414,6 +1695,10 @@ impl Supervisor {
             verdict_flips: self.totals.verdict_flips.get(),
             breaker_transitions: self.totals.breaker_transitions.get(),
             recoveries: self.totals.recoveries.get(),
+            mitigations_applied,
+            mitigation_failures,
+            mitigation_escalations,
+            mitigation_stepdowns,
             checkpoints: self.totals.checkpoints.get(),
             checkpoint_errors: self.totals.checkpoint_errors.get(),
             restore_rollbacks: self.totals.restore_rollbacks.get(),
@@ -1499,7 +1784,7 @@ impl Supervisor {
             generation: loaded.generation,
             rolled_back: loaded.rolled_back,
         };
-        let manifest = parse_manifest(&loaded.payload, config.quarantine)?;
+        let manifest = parse_manifest(&loaded.payload, config.quarantine, config.mitigation)?;
         fleet.tick = manifest.tick;
 
         let mut pair_provenance = Vec::with_capacity(manifest.pairs.len());
@@ -1544,6 +1829,13 @@ impl Supervisor {
                 kind: entry.kind,
                 detector,
                 breaker: entry.breaker,
+                // Pre-mitigation (v1) manifests restore with an idle
+                // policy; an active containment comes back flagged for
+                // re-assertion through the enforcer.
+                mitigation: entry.mitigation.unwrap_or(
+                    MitigationPolicy::new(config.mitigation)
+                        .expect("mitigation config validated at construction"),
+                ),
                 quarantine_confidence: entry.quarantine_confidence,
                 last_verdict: Verdict::Clean,
                 restored_from: Some(restored_from),
@@ -1603,7 +1895,35 @@ impl Supervisor {
                     1.0
                 },
             );
+            self.metrics
+                .mitigations_applied
+                .with_label(&pair.label)
+                .seed(pair.mitigation.applies());
+            self.metrics
+                .mitigation_failures
+                .with_label(&pair.label)
+                .seed(pair.mitigation.apply_failures());
+            self.metrics
+                .mitigation_escalations
+                .with_label(&pair.label)
+                .seed(pair.mitigation.escalations());
+            self.metrics
+                .mitigation_stepdowns
+                .with_label(&pair.label)
+                .seed(pair.mitigation.step_downs());
+            self.metrics.containment_level.with_label(&pair.label).set(
+                pair.mitigation
+                    .state()
+                    .level()
+                    .map_or(0.0, |l| f64::from(l.rank())),
+            );
         }
+        self.metrics.contained_pairs.set(
+            self.pairs
+                .iter()
+                .filter(|p| p.mitigation.state().is_active())
+                .count() as f64,
+        );
         if self.tracer.is_enabled() {
             self.tracer.event(
                 "supervisor",
@@ -1674,6 +1994,7 @@ fn push_gap(detector: &mut PairDetector) -> OnlineStatus {
 struct ManifestPair {
     kind: PairKind,
     breaker: CircuitBreaker,
+    mitigation: Option<MitigationPolicy>,
     quarantine_confidence: f64,
     failures: u64,
     panics: u64,
@@ -1694,7 +2015,11 @@ fn manifest_error(line: usize, reason: impl Into<String>) -> DetectorError {
     })
 }
 
-fn parse_manifest(payload: &[u8], quarantine: QuarantineConfig) -> Result<Manifest, DetectorError> {
+fn parse_manifest(
+    payload: &[u8],
+    quarantine: QuarantineConfig,
+    mitigation: MitigationConfig,
+) -> Result<Manifest, DetectorError> {
     let mut tick: Option<u64> = None;
     let mut declared_pairs: Option<usize> = None;
     let mut pairs: Vec<ManifestPair> = Vec::new();
@@ -1804,6 +2129,7 @@ fn parse_manifest(payload: &[u8], quarantine: QuarantineConfig) -> Result<Manife
                 pairs.push(ManifestPair {
                     kind,
                     breaker,
+                    mitigation: None,
                     quarantine_confidence: confidence,
                     failures,
                     panics,
@@ -1811,6 +2137,36 @@ fn parse_manifest(payload: &[u8], quarantine: QuarantineConfig) -> Result<Manife
                     retries,
                     label,
                 });
+            }
+            "mit" => {
+                // mit,<idx>,<serialized policy> — optional, must follow
+                // the pair line it annotates.
+                let (idx_field, policy_field) = rest.split_once(',').ok_or_else(|| {
+                    manifest_error(line_no, format!("malformed mitigation line {rest:?}"))
+                })?;
+                let mit_idx: usize = idx_field.trim().parse().map_err(|e| {
+                    manifest_error(line_no, format!("bad mitigation pair index: {e}"))
+                })?;
+                if mit_idx + 1 != pairs.len() {
+                    return Err(manifest_error(
+                        line_no,
+                        format!(
+                            "mitigation line for pair {mit_idx} does not follow its pair entry"
+                        ),
+                    ));
+                }
+                let policy =
+                    MitigationPolicy::deserialize(mitigation, policy_field).ok_or_else(|| {
+                        manifest_error(line_no, format!("bad containment state {policy_field:?}"))
+                    })?;
+                let entry = pairs.last_mut().expect("index checked above");
+                if entry.mitigation.is_some() {
+                    return Err(manifest_error(
+                        line_no,
+                        format!("duplicate mitigation line for pair {mit_idx}"),
+                    ));
+                }
+                entry.mitigation = Some(policy);
             }
             other => {
                 return Err(manifest_error(
@@ -1845,6 +2201,7 @@ fn parse_manifest(payload: &[u8], quarantine: QuarantineConfig) -> Result<Manife
 mod tests {
     use super::*;
     use crate::density::{DensityHistogram, HISTOGRAM_BINS};
+    use crate::mitigation::{ApplyError, MitigationLevel};
 
     fn covert_histogram() -> DensityHistogram {
         let mut bins = vec![0u64; HISTOGRAM_BINS];
@@ -2249,6 +2606,7 @@ mod tests {
     #[test]
     fn manifest_parser_rejects_garbage() {
         let q = QuarantineConfig::default();
+        let m = MitigationConfig::default();
         for bad in [
             &b""[..],
             b"not-a-manifest\nend\n",
@@ -2256,8 +2614,193 @@ mod tests {
             b"cchunter-supervisor,v1\ntick,5\npairs,2\npair,0,contention,closed;0;0;,1,x\nend\n",
             b"cchunter-supervisor,v1\ntick,5\npair,0,weird,closed;0;0;,1,x\nend\n",
             b"cchunter-supervisor,v1\ntick,5\npair,0,contention,closed;0;0;,7,x\nend\n",
+            // Mitigation line with no preceding pair entry.
+            b"cchunter-supervisor,v1\ntick,5\nmit,0,inactive;-;0;0;0;0;0;0;0;0;-;-\nend\n",
+            // Garbled containment state.
+            b"cchunter-supervisor,v1\ntick,5\npair,0,contention,closed;0;0;,1,0,0,0,0,x\nmit,0,contained;warp\nend\n",
         ] {
-            assert!(parse_manifest(bad, q).is_err(), "{bad:?}");
+            assert!(parse_manifest(bad, q, m).is_err(), "{bad:?}");
         }
+        // A v1 manifest without mit lines still parses (idle policy).
+        let ok =
+            b"cchunter-supervisor,v1\ntick,5\npair,0,contention,closed;0;0;,1,0,0,0,0,x\nend\n";
+        let manifest = parse_manifest(ok, q, m).unwrap();
+        assert!(manifest.pairs[0].mitigation.is_none());
+    }
+
+    /// Records enforcement calls; refuses every level in `refuse`.
+    #[derive(Default)]
+    struct RecordingEnforcer {
+        applied: Vec<(usize, MitigationLevel)>,
+        released: Vec<(usize, MitigationLevel)>,
+        refuse: Vec<MitigationLevel>,
+    }
+
+    impl MitigationEnforcer for RecordingEnforcer {
+        fn apply(&mut self, pair: usize, level: MitigationLevel) -> Result<(), ApplyError> {
+            if self.refuse.contains(&level) {
+                return Err(ApplyError {
+                    reason: format!("chaos: {level} refused"),
+                });
+            }
+            self.applied.push((pair, level));
+            Ok(())
+        }
+
+        fn release(&mut self, pair: usize, level: MitigationLevel) -> Result<(), ApplyError> {
+            self.released.push((pair, level));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn covert_pair_is_convicted_and_contained() {
+        let mut fleet = Supervisor::new(test_config()).unwrap();
+        fleet.add_contention_pair("bus: trojan <-> spy").unwrap();
+        fleet.add_contention_pair("benign").unwrap();
+        let mut enforcer = RecordingEnforcer::default();
+        let mut source = |pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(if pair == 0 {
+                covert_histogram()
+            } else {
+                quiet_histogram()
+            })))
+        };
+        for _ in 0..12 {
+            fleet.tick_with_enforcer(&mut source, &mut enforcer);
+        }
+        let statuses = fleet.pair_statuses();
+        assert!(
+            statuses[0].containment.is_active(),
+            "covert pair contained: {:?}",
+            statuses[0].containment
+        );
+        assert_eq!(
+            statuses[1].containment,
+            ContainmentState::Inactive,
+            "benign pair untouched"
+        );
+        assert!(enforcer
+            .applied
+            .contains(&(0, MitigationLevel::FlushOnSwitch)));
+        assert!(enforcer.applied.iter().all(|(pair, _)| *pair == 0));
+        assert!(fleet.containment_latency_ticks(0).is_some());
+        let snapshot = fleet.metrics_snapshot();
+        assert_eq!(snapshot.contained_pairs, 1);
+        assert!(snapshot.mitigations_applied >= 1);
+        let prom = fleet.render_prometheus();
+        assert!(
+            prom.contains("cchunter_pair_containment_level"),
+            "containment gauge exported"
+        );
+    }
+
+    #[test]
+    fn refused_rung_escalates_instead_of_silently_dropping() {
+        let mut fleet = Supervisor::new(test_config()).unwrap();
+        fleet.add_contention_pair("bus").unwrap();
+        let mut enforcer = RecordingEnforcer {
+            refuse: vec![MitigationLevel::FlushOnSwitch],
+            ..RecordingEnforcer::default()
+        };
+        let mut source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+        };
+        for _ in 0..12 {
+            fleet.tick_with_enforcer(&mut source, &mut enforcer);
+        }
+        let containment = fleet.containment(0).unwrap();
+        assert!(containment.is_active(), "{containment:?}");
+        assert_ne!(
+            containment.level(),
+            Some(MitigationLevel::FlushOnSwitch),
+            "refused first rung was escalated past: {containment:?}"
+        );
+        assert!(
+            !enforcer
+                .applied
+                .iter()
+                .any(|(_, l)| *l == MitigationLevel::FlushOnSwitch),
+            "the refused rung never took force"
+        );
+        let snapshot = fleet.metrics_snapshot();
+        assert!(snapshot.mitigation_failures >= 1);
+        assert!(snapshot.mitigation_escalations >= 1);
+    }
+
+    #[test]
+    fn low_residual_steps_containment_back_down() {
+        let config = SupervisorConfig {
+            mitigation: MitigationConfig {
+                convict_streak: 2,
+                step_down_streak: 2,
+                ..MitigationConfig::default()
+            },
+            ..test_config()
+        };
+        let mut fleet = Supervisor::new(config).unwrap();
+        fleet.add_contention_pair("bus").unwrap();
+        let mut enforcer = RecordingEnforcer::default();
+        let mut covert_source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+        };
+        for _ in 0..10 {
+            fleet.tick_with_enforcer(&mut covert_source, &mut enforcer);
+        }
+        assert!(fleet.containment(0).unwrap().is_active());
+        // The channel goes quiet and the re-measured residual is ~zero:
+        // the ladder walks back down to fully released.
+        let mut quiet_source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(quiet_histogram())))
+        };
+        for _ in 0..40 {
+            fleet.report_residual(0, 0.0, 0.02).unwrap();
+            fleet.tick_with_enforcer(&mut quiet_source, &mut enforcer);
+            if fleet.containment(0).unwrap() == ContainmentState::Inactive {
+                break;
+            }
+        }
+        assert_eq!(fleet.containment(0).unwrap(), ContainmentState::Inactive);
+        assert!(enforcer
+            .released
+            .contains(&(0, MitigationLevel::FlushOnSwitch)));
+        assert!(fleet.metrics_snapshot().mitigation_stepdowns >= 1);
+    }
+
+    #[test]
+    fn containment_survives_checkpoint_and_restore() {
+        let store = temp_store("containment");
+        let dir = store.dir().to_path_buf();
+        let config = test_config();
+        let mut fleet = Supervisor::new(config).unwrap().with_store(store);
+        fleet.add_contention_pair("bus").unwrap();
+        let mut enforcer = RecordingEnforcer::default();
+        let mut source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+        };
+        for _ in 0..12 {
+            fleet.tick_with_enforcer(&mut source, &mut enforcer);
+        }
+        let containment = fleet.containment(0).unwrap();
+        assert!(containment.is_active());
+        let latency = fleet.containment_latency_ticks(0);
+        fleet.checkpoint().unwrap();
+        drop(fleet);
+
+        // Kill-and-restore: the containment state comes back and the first
+        // tick re-asserts it through the (fresh) enforcer, whose hardware
+        // state did not survive the crash.
+        let (mut restored, _report) =
+            Supervisor::restore(config, CheckpointStore::open(&dir, 3).unwrap()).unwrap();
+        assert_eq!(restored.containment(0).unwrap(), containment);
+        assert_eq!(restored.containment_latency_ticks(0), latency);
+        let mut fresh_enforcer = RecordingEnforcer::default();
+        restored.tick_with_enforcer(&mut source, &mut fresh_enforcer);
+        assert_eq!(
+            fresh_enforcer.applied,
+            vec![(0, containment.level().unwrap())],
+            "restored containment re-asserted"
+        );
+        cleanup(&dir);
     }
 }

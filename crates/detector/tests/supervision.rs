@@ -5,6 +5,7 @@
 
 use cchunter_detector::auditor::ConflictRecord;
 use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
+use cchunter_detector::mitigation::MitigationConfig;
 use cchunter_detector::online::Harvest;
 use cchunter_detector::policy::{BreakerState, QuarantineConfig};
 use cchunter_detector::store::CheckpointStore;
@@ -273,4 +274,138 @@ fn fully_faulty_pair_is_quarantined_without_collateral() {
     assert!(with_statuses[healthy[1]].verdict.is_covert());
     assert_eq!(with_statuses[healthy[0]].health, BreakerState::Closed);
     assert_eq!(with_statuses[healthy[1]].health, BreakerState::Closed);
+}
+
+/// A pair that is both contained (convicted covert channel) and then
+/// quarantined (wedged probe) must come back cleanly when its recovery
+/// probes succeed: the breaker closes, full auditing resumes with
+/// `Analyzed` outcomes, the containment state survives the quarantine
+/// intact (no leaked or stuck state), the decayed confidence is restored
+/// to the detector-reported value (no double decay), and every health
+/// counter stays consistent between the per-pair status and the fleet
+/// metrics snapshot.
+#[test]
+fn quarantined_pair_recovery_resumes_full_auditing_with_consistent_counters() {
+    let quarantine = QuarantineConfig {
+        failure_window: 6,
+        trip_threshold: 0.5,
+        min_observations: 4,
+        probe_interval: 3,
+        recovery_successes: 2,
+        confidence_decay: 0.7,
+    };
+    let mitigation = MitigationConfig {
+        convict_streak: 2,
+        ..MitigationConfig::default()
+    };
+    let config = SupervisorConfig {
+        quarantine,
+        mitigation,
+        ..fleet_config()
+    };
+    let mut fleet = Supervisor::new(config).unwrap();
+    fleet
+        .add_contention_pair("memory-bus: pid 17 <-> pid 23")
+        .unwrap();
+    let mut covert_probe = |_pair: usize, tick: u64, _attempt: u32| {
+        Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram(
+            tick,
+        ))))
+    };
+
+    // Phase A: the channel is detected and contained.
+    for _ in 0..12 {
+        fleet.tick(&mut covert_probe);
+    }
+    let pre = &fleet.pair_statuses()[0];
+    assert!(pre.verdict.is_covert());
+    assert!(pre.containment.is_active(), "{:?}", pre.containment);
+    let containment_before_quarantine = pre.containment;
+
+    // Phase B: the probe wedges; the breaker trips and confidence decays.
+    let mut wedged = |_pair: usize, _tick: u64, _attempt: u32| {
+        Err::<PairInput, _>(ProbeFault {
+            reason: "hardware interface wedged".to_string(),
+        })
+    };
+    let mut decayed_confidence = f64::INFINITY;
+    for _ in 0..12 {
+        let report = fleet.tick(&mut wedged);
+        if let cchunter_detector::supervisor::PairOutcome::Skipped { confidence } =
+            report.reports[0].outcome
+        {
+            decayed_confidence = decayed_confidence.min(confidence);
+        }
+    }
+    let during = fleet.pair_statuses();
+    assert_ne!(during[0].health, BreakerState::Closed, "breaker tripped");
+    assert!(
+        decayed_confidence < 0.5,
+        "quarantine skipped ticks and decayed confidence, got {decayed_confidence}"
+    );
+    assert_eq!(
+        during[0].containment, containment_before_quarantine,
+        "containment is frozen, not leaked, while quarantined"
+    );
+
+    // Phase C: the probe heals; recovery probes succeed and the breaker
+    // closes again.
+    let mut recovered_at = None;
+    for i in 0..40 {
+        fleet.tick(&mut covert_probe);
+        if fleet.pair_statuses()[0].health == BreakerState::Closed {
+            recovered_at = Some(i);
+            break;
+        }
+    }
+    assert!(recovered_at.is_some(), "breaker must close after recovery");
+
+    // Full auditing resumes: every subsequent tick analyzes cleanly.
+    for _ in 0..4 {
+        let report = fleet.tick(&mut covert_probe);
+        assert!(
+            matches!(
+                report.reports[0].outcome,
+                cchunter_detector::supervisor::PairOutcome::Analyzed(_)
+            ),
+            "{:?}",
+            report.reports[0].outcome
+        );
+    }
+
+    let after = fleet.pair_statuses();
+    let snapshot = fleet.metrics_snapshot();
+    assert_eq!(after[0].health, BreakerState::Closed);
+    assert_eq!(snapshot.quarantined_pairs, 0);
+    assert!(after[0].verdict.is_covert(), "auditing is really back");
+    // No double decay: the reported confidence snapped back to the
+    // detector-reported value instead of continuing from the decayed floor.
+    assert!(
+        snapshot.mean_confidence > decayed_confidence + 0.2,
+        "confidence restored after recovery: {} vs decayed {}",
+        snapshot.mean_confidence,
+        decayed_confidence
+    );
+    // The containment state is still active and never regressed below its
+    // pre-quarantine rung (covert evidence continued, so it may have
+    // escalated — but it must not have been dropped or wedged).
+    assert!(after[0].containment.is_active());
+    assert!(after[0].containment.level() >= containment_before_quarantine.level());
+    assert_eq!(snapshot.contained_pairs, 1);
+    // Health counters are consistent between the status table and the
+    // fleet snapshot (single pair, so they must match exactly).
+    assert_eq!(snapshot.failures, after[0].failures);
+    assert_eq!(snapshot.panics, after[0].panics);
+    assert_eq!(snapshot.deadline_misses, after[0].deadline_misses);
+    assert_eq!(snapshot.retries, after[0].retries);
+    assert!(snapshot.failures >= u64::from(quarantine.min_observations as u32));
+    assert!(snapshot.quarantine_skips > 0);
+    assert!(
+        snapshot.breaker_transitions >= 2,
+        "tripped and recovered: {}",
+        snapshot.breaker_transitions
+    );
+    // The recovery is also visible in the Prometheus rendering.
+    let prom = fleet.render_prometheus();
+    assert!(prom.contains("cchunter_pair_quarantined{pair=\"memory-bus: pid 17 <-> pid 23\"} 0"));
 }

@@ -131,7 +131,8 @@ fn noise_scale(total_cycles: u64) -> u64 {
 /// Runs the memory-bus channel at `bandwidth_bps`, auditing the bus with
 /// the paper's Δt.
 pub fn run_bus(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> ChannelArtifacts {
-    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ)
+        .expect("experiment bandwidths are positive");
     let bit_cycles = clock.bit_cycles();
     let total = opts.epoch + bit_cycles * message.len() as u64;
     let mut m = machine();
@@ -183,7 +184,8 @@ pub fn run_bus(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> Chann
 /// Runs the integer-divider channel at `bandwidth_bps`, auditing core 0's
 /// divider bank.
 pub fn run_divider(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> ChannelArtifacts {
-    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ)
+        .expect("experiment bandwidths are positive");
     let bit_cycles = clock.bit_cycles();
     let total = opts.epoch + bit_cycles * message.len() as u64;
     let mut m = machine();
@@ -246,7 +248,8 @@ pub fn run_cache(
     tracker: TrackerKind,
     opts: &RunOptions,
 ) -> ChannelArtifacts {
-    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ);
+    let clock = BitClock::for_bandwidth(opts.epoch, bandwidth_bps, paper::CLOCK_HZ)
+        .expect("experiment bandwidths are positive");
     let bit_cycles = clock.bit_cycles();
     let total = opts.epoch + bit_cycles * message.len() as u64;
     let mut m = machine();

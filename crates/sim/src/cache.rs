@@ -71,6 +71,10 @@ pub struct Cache {
     blocks: Vec<Block>,
     tick: u64,
     line_shift: u32,
+    /// Per-context fill restrictions (way-partitioning, Intel CAT style):
+    /// a restricted context may only *allocate* into its masked ways; hits
+    /// anywhere still hit. Empty when no partition is active.
+    way_masks: Vec<(ContextId, u64)>,
 }
 
 impl Cache {
@@ -90,6 +94,7 @@ impl Cache {
             blocks: vec![Block::empty(); (sets * ways) as usize],
             tick: 0,
             line_shift: config.line_bytes.trailing_zeros(),
+            way_masks: Vec::new(),
         }
     }
 
@@ -113,6 +118,59 @@ impl Cache {
         ((addr >> self.line_shift) & (self.sets as u64 - 1)) as u32
     }
 
+    /// Full way mask for this geometry (all ways allocatable).
+    fn full_mask(&self) -> u64 {
+        if self.ways as usize >= u64::BITS as usize {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
+    /// Restricts `ctx` to allocate only into the ways selected by `mask`
+    /// (bit *i* set ⇒ way *i* allowed). Hits in other ways are unaffected;
+    /// only victim selection on a fill is masked, mirroring way-partitioning
+    /// hardware such as Intel CAT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `mask` selects no way within this cache's
+    /// associativity (which would make every fill impossible).
+    pub fn set_way_mask(&mut self, ctx: ContextId, mask: u64) -> Result<(), String> {
+        if mask & self.full_mask() == 0 {
+            return Err(format!(
+                "way mask {mask:#x} selects no way of a {}-way cache",
+                self.ways
+            ));
+        }
+        let mask = mask & self.full_mask();
+        match self.way_masks.iter_mut().find(|(c, _)| *c == ctx) {
+            Some(entry) => entry.1 = mask,
+            None => self.way_masks.push((ctx, mask)),
+        }
+        Ok(())
+    }
+
+    /// Removes any fill restriction for `ctx`.
+    pub fn clear_way_mask(&mut self, ctx: ContextId) {
+        self.way_masks.retain(|(c, _)| *c != ctx);
+    }
+
+    /// The effective allocation mask for `ctx` (the full mask when no
+    /// partition is active).
+    pub fn way_mask(&self, ctx: ContextId) -> u64 {
+        self.way_masks
+            .iter()
+            .find(|(c, _)| *c == ctx)
+            .map(|(_, m)| *m)
+            .unwrap_or_else(|| self.full_mask())
+    }
+
+    /// Whether any context currently has a fill restriction.
+    pub fn is_way_partitioned(&self) -> bool {
+        !self.way_masks.is_empty()
+    }
+
     /// Accesses `addr` on behalf of `ctx`: returns hit/miss and, on a miss
     /// that evicts a valid block, the victim's block address and owner.
     ///
@@ -126,6 +184,7 @@ impl Cache {
         let tag = addr >> self.line_shift >> self.sets.trailing_zeros();
         let set_shift = self.sets.trailing_zeros();
         let line_shift = self.line_shift;
+        let mask = self.way_mask(ctx);
         let base = (set * self.ways) as usize;
         let slots = &mut self.blocks[base..base + self.ways as usize];
 
@@ -140,16 +199,23 @@ impl Cache {
             };
         }
 
-        // Miss: fill into an invalid way, else evict true-LRU.
-        let (way, victim) = match slots.iter().position(|b| !b.valid) {
+        // Miss: fill into an invalid allowed way, else evict the true-LRU
+        // block among the allowed ways.
+        let allowed = |i: usize| mask & (1u64 << i) != 0;
+        let (way, victim) = match slots
+            .iter()
+            .enumerate()
+            .position(|(i, b)| allowed(i) && !b.valid)
+        {
             Some(way) => (way, None),
             None => {
                 let way = slots
                     .iter()
                     .enumerate()
+                    .filter(|(i, _)| allowed(*i))
                     .min_by_key(|(_, b)| b.stamp)
                     .map(|(i, _)| i)
-                    .expect("nonzero associativity");
+                    .expect("mask selects at least one way");
                 let evicted = slots[way];
                 let victim_addr = ((evicted.tag << set_shift) | set as u64) << line_shift;
                 (way, Some((victim_addr, evicted.owner)))
@@ -290,6 +356,46 @@ mod tests {
             assert!(out.victim.is_none());
         }
         assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn way_mask_confines_fills_to_allowed_ways() {
+        let mut c = small();
+        // Restrict ctx 1 to way 0 only; ctx 0 stays unrestricted.
+        c.set_way_mask(ctx(1), 0b01).unwrap();
+        // ctx 0 fills both ways of set 0.
+        c.access(0, ctx(0));
+        c.access(256, ctx(0));
+        // ctx 1 must always evict way 0's occupant and never touch way 1.
+        let out = c.access(512, ctx(1));
+        assert_eq!(out.victim.unwrap().0, 0, "way 0 (LRU-oldest fill) evicted");
+        let out = c.access(768, ctx(1));
+        assert_eq!(out.victim.unwrap().0, 512, "ctx 1 churns only way 0");
+        assert!(c.contains(256), "way 1 line untouched by partition");
+    }
+
+    #[test]
+    fn way_mask_does_not_block_hits() {
+        let mut c = small();
+        c.access(0, ctx(0)); // fills way 0
+        c.set_way_mask(ctx(1), 0b10).unwrap();
+        assert!(
+            c.access(0, ctx(1)).hit,
+            "hit in a disallowed way still hits"
+        );
+    }
+
+    #[test]
+    fn way_mask_rejects_empty_and_clears() {
+        let mut c = small();
+        assert!(c.set_way_mask(ctx(0), 0).is_err());
+        assert!(c.set_way_mask(ctx(0), 0b100).is_err(), "outside 2 ways");
+        c.set_way_mask(ctx(0), 0b01).unwrap();
+        assert!(c.is_way_partitioned());
+        assert_eq!(c.way_mask(ctx(0)), 0b01);
+        c.clear_way_mask(ctx(0));
+        assert!(!c.is_way_partitioned());
+        assert_eq!(c.way_mask(ctx(0)), 0b11, "back to the full mask");
     }
 
     #[test]

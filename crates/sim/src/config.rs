@@ -97,6 +97,40 @@ pub struct SchedulerConfig {
     pub switch_cost: u64,
 }
 
+/// Cycle costs charged when the machine enforces a mitigation response
+/// (the per-response overhead knobs of the containment escalation ladder).
+///
+/// Flushing caches on a context switch, draining shared resources at a
+/// temporal-partition handover, and parking a context are not free on real
+/// hardware; these knobs let the benign-workload overhead of each response
+/// be modeled and measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MitigationCostConfig {
+    /// Extra cycles a context switch costs while flush-on-switch is active
+    /// (write-back and invalidate of the core's private caches).
+    pub flush_cycles: u64,
+    /// Length of one temporal-partition slot in cycles. Gated contexts run
+    /// only in alternating slots, so the pair never co-executes.
+    pub partition_slot_cycles: u64,
+    /// Drain overhead charged when a gated context's slot reopens (shared
+    /// queues and in-flight traffic must quiesce at the handover, after
+    /// fence.t-style temporal partitioning).
+    pub partition_drain_cycles: u64,
+    /// Cycles charged when a parked (descheduled) context is resumed.
+    pub deschedule_cycles: u64,
+}
+
+impl Default for MitigationCostConfig {
+    fn default() -> Self {
+        MitigationCostConfig {
+            flush_cycles: 30_000,
+            partition_slot_cycles: 2_000_000,
+            partition_drain_cycles: 5_000,
+            deschedule_cycles: 50_000,
+        }
+    }
+}
+
 /// Full machine configuration.
 ///
 /// Use [`MachineConfig::default`] for the paper's platform or
@@ -123,6 +157,8 @@ pub struct MachineConfig {
     pub multiplier: DividerConfig,
     /// OS scheduler.
     pub scheduler: SchedulerConfig,
+    /// Per-response cost knobs for mitigation enforcement.
+    pub mitigation: MitigationCostConfig,
 }
 
 impl Default for MachineConfig {
@@ -168,6 +204,7 @@ impl Default for MachineConfig {
                 quantum_cycles: 250_000_000,
                 switch_cost: 2_000,
             },
+            mitigation: MitigationCostConfig::default(),
         }
     }
 }
@@ -240,6 +277,11 @@ impl MachineConfig {
         }
         if self.scheduler.quantum_cycles == 0 {
             return Err(ConfigError("scheduler quantum must be nonzero".into()));
+        }
+        if self.mitigation.partition_slot_cycles == 0 {
+            return Err(ConfigError(
+                "temporal partition slot must be nonzero".into(),
+            ));
         }
         Ok(())
     }
@@ -331,6 +373,12 @@ impl MachineConfigBuilder {
     /// Sets the context-switch cost in cycles.
     pub fn switch_cost(mut self, cycles: u64) -> Self {
         self.config.scheduler.switch_cost = cycles;
+        self
+    }
+
+    /// Replaces the mitigation cost knobs.
+    pub fn mitigation(mut self, mitigation: MitigationCostConfig) -> Self {
+        self.config.mitigation = mitigation;
         self
     }
 
@@ -426,5 +474,28 @@ mod tests {
     fn config_error_displays_reason() {
         let err = MachineConfig::builder().clock_hz(0).build().unwrap_err();
         assert!(err.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn mitigation_costs_default_and_validate() {
+        let config = MachineConfig::default();
+        assert!(config.mitigation.partition_slot_cycles > 0);
+        let err = MachineConfig::builder()
+            .mitigation(MitigationCostConfig {
+                partition_slot_cycles: 0,
+                ..MitigationCostConfig::default()
+            })
+            .build();
+        assert!(err.is_err(), "zero partition slot rejected");
+        let ok = MachineConfig::builder()
+            .mitigation(MitigationCostConfig {
+                flush_cycles: 1,
+                partition_slot_cycles: 100,
+                partition_drain_cycles: 2,
+                deschedule_cycles: 3,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ok.mitigation.partition_slot_cycles, 100);
     }
 }

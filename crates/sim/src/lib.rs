@@ -74,7 +74,7 @@ pub use bus::{Bus, BusGrant};
 pub use cache::{Cache, CacheAccessOutcome, CacheLevel};
 pub use config::{
     BusConfig, CacheConfig, ConfigError, DividerConfig, MachineConfig, MachineConfigBuilder,
-    SchedulerConfig,
+    MitigationCostConfig, SchedulerConfig,
 };
 pub use divider::{DivIssue, DividerBank};
 pub use machine::Machine;
@@ -85,6 +85,6 @@ pub use probe::{
     VecTrace,
 };
 pub use program::{FnProgram, OpScript, Program, ProgramView};
-pub use scheduler::ThreadState;
+pub use scheduler::{TemporalGate, ThreadState};
 pub use stats::MachineStats;
 pub use time::{cycles_per_second, Cycle, DEFAULT_CLOCK_HZ};

@@ -7,7 +7,7 @@ use crate::memory::MemorySystem;
 use crate::ops::Op;
 use crate::probe::{ContextId, ProbeEvent, ProbeSink, ThreadId, VecTrace};
 use crate::program::{Program, ProgramView};
-use crate::scheduler::{ContextSched, ThreadState};
+use crate::scheduler::{ContextSched, TemporalGate, ThreadState};
 use crate::stats::MachineStats;
 use crate::time::Cycle;
 use std::cell::RefCell;
@@ -60,6 +60,9 @@ pub struct Machine {
     now: Cycle,
     stats: MachineStats,
     event_buf: Vec<ProbeEvent>,
+    /// Flush the switching core's private caches at every context switch
+    /// (the lowest rung of the containment escalation ladder).
+    flush_on_switch: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -103,6 +106,7 @@ impl Machine {
             now: Cycle::ZERO,
             stats: MachineStats::default(),
             event_buf: Vec::new(),
+            flush_on_switch: false,
         }
     }
 
@@ -239,6 +243,97 @@ impl Machine {
         self.threads[tid as usize].ctx
     }
 
+    /// Enables or disables flush-on-context-switch containment: while on,
+    /// every context switch write-backs and invalidates the switching
+    /// core's private L1/L2 and costs
+    /// [`MitigationCostConfig::flush_cycles`](crate::config::MitigationCostConfig)
+    /// extra cycles.
+    pub fn set_flush_on_switch(&mut self, on: bool) {
+        self.flush_on_switch = on;
+    }
+
+    /// Whether flush-on-context-switch containment is active.
+    pub fn flush_on_switch(&self) -> bool {
+        self.flush_on_switch
+    }
+
+    /// Installs (`Some(phase)`) or removes (`None`) a temporal-partition
+    /// gate on `ctx`: gated contexts only dispatch during slots of their
+    /// phase parity, so two contexts gated with opposite phases never
+    /// co-execute. Slot length comes from the machine's
+    /// [`MitigationCostConfig`](crate::config::MitigationCostConfig).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn set_temporal_phase(&mut self, ctx: ContextId, phase: Option<u8>) {
+        let idx = self.ctx_index(ctx);
+        match phase {
+            Some(p) => {
+                self.contexts[idx].gate = Some(TemporalGate {
+                    slot_cycles: self.config.mitigation.partition_slot_cycles,
+                    phase: p % 2,
+                });
+            }
+            None => {
+                self.contexts[idx].gate = None;
+                if !self.contexts[idx].busy {
+                    self.queue.push(self.now, EngineEvent::Wake(idx));
+                }
+            }
+        }
+    }
+
+    /// The temporal-partition phase of `ctx`, if gated.
+    pub fn temporal_phase(&self, ctx: ContextId) -> Option<u8> {
+        self.contexts[ctx.index(self.config.smt_per_core) as usize]
+            .gate
+            .map(|g| g.phase)
+    }
+
+    /// Installs a way-partition mask restricting `ctx`'s fills into its
+    /// core's L2 (see [`crate::Cache::set_way_mask`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the mask selects no way.
+    pub fn set_l2_way_mask(&mut self, ctx: ContextId, mask: u64) -> Result<(), String> {
+        self.ctx_index(ctx); // bounds check
+        self.memory.l2_mut(ctx.core()).set_way_mask(ctx, mask)
+    }
+
+    /// Removes any L2 way-partition mask for `ctx`.
+    pub fn clear_l2_way_mask(&mut self, ctx: ContextId) {
+        self.ctx_index(ctx); // bounds check
+        self.memory.l2_mut(ctx.core()).clear_way_mask(ctx);
+    }
+
+    /// Parks (deschedules) a hardware context: its threads stay attached
+    /// but nothing further is dispatched until
+    /// [`resume_context`](Machine::resume_context). The op in flight, if
+    /// any, completes first — containment takes effect at the next op
+    /// boundary, like migration.
+    pub fn park_context(&mut self, ctx: ContextId) {
+        let idx = self.ctx_index(ctx);
+        self.contexts[idx].parked = true;
+    }
+
+    /// Resumes a parked context after the configured deschedule cost.
+    pub fn resume_context(&mut self, ctx: ContextId) {
+        let idx = self.ctx_index(ctx);
+        if !self.contexts[idx].parked {
+            return;
+        }
+        self.contexts[idx].parked = false;
+        let when = self.now + self.config.mitigation.deschedule_cycles;
+        self.queue.push(when, EngineEvent::Wake(idx));
+    }
+
+    /// Whether `ctx` is currently parked.
+    pub fn is_parked(&self, ctx: ContextId) -> bool {
+        self.contexts[ctx.index(self.config.smt_per_core) as usize].parked
+    }
+
     /// Runs the machine for `cycles` more cycles of simulated time.
     pub fn run_for(&mut self, cycles: u64) {
         let end = self.now + cycles;
@@ -312,6 +407,32 @@ impl Machine {
         let quantum = self.config.scheduler.quantum_cycles;
         let switch_cost = self.config.scheduler.switch_cost;
         loop {
+            // Containment: a parked context dispatches nothing until it is
+            // resumed (the resume pushes the wake that restarts it).
+            if self.contexts[idx].parked {
+                self.contexts[idx].busy = false;
+                self.emit_events();
+                return;
+            }
+
+            // Containment: outside its temporal-partition slot the context
+            // stalls until the slot reopens, plus the drain overhead the
+            // handover costs.
+            if let Some(gate) = self.contexts[idx].gate {
+                if !gate.allows(t) {
+                    self.stats.partition_stalls += 1;
+                    if !self.contexts[idx].wake_scheduled {
+                        self.contexts[idx].wake_scheduled = true;
+                        let reopen =
+                            gate.next_open(t) + self.config.mitigation.partition_drain_cycles;
+                        self.queue.push(reopen, EngineEvent::Wake(idx));
+                    }
+                    self.contexts[idx].busy = false;
+                    self.emit_events();
+                    return;
+                }
+            }
+
             // Wake any sleepers that are due.
             {
                 let threads = &self.threads;
@@ -369,6 +490,11 @@ impl Machine {
                         to: next,
                     });
                     t += switch_cost;
+                    if self.flush_on_switch {
+                        self.memory.flush_core(ctx_id.core());
+                        self.stats.mitigation_flushes += 1;
+                        t += self.config.mitigation.flush_cycles;
+                    }
                 }
             }
 
@@ -478,6 +604,11 @@ impl Machine {
                     self.contexts[idx].current = None;
                     self.stats.context_switches += 1;
                     t += switch_cost.max(1);
+                    if self.flush_on_switch {
+                        self.memory.flush_core(ctx_id.core());
+                        self.stats.mitigation_flushes += 1;
+                        t += self.config.mitigation.flush_cycles;
+                    }
                     continue;
                 }
                 Op::Halt => {
@@ -779,6 +910,95 @@ mod tests {
         let tid = m.spawn(Box::new(OpScript::new("done", vec![])), c0);
         m.run_for(1_000);
         m.migrate_thread(tid, m.config().context_id(1, 0));
+    }
+
+    #[test]
+    fn flush_on_switch_invalidates_private_caches() {
+        let mut m = Machine::new(tiny_config());
+        let ctx = m.config().context_id(0, 0);
+        let trace = m.attach_trace();
+        m.set_flush_on_switch(true);
+        m.spawn(
+            Box::new(OpScript::new(
+                "reloader",
+                vec![
+                    Op::Load { addr: 0x1000 },
+                    Op::Yield,
+                    Op::Load { addr: 0x1000 },
+                ],
+            )),
+            ctx,
+        );
+        m.run_for(100_000);
+        assert!(m.stats().mitigation_flushes >= 1, "yield flushed the core");
+        let misses = trace
+            .borrow()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::CacheAccess { hit: false, .. }))
+            .count();
+        assert_eq!(misses, 2, "the re-load misses again after the flush");
+    }
+
+    #[test]
+    fn temporal_gate_stalls_context_until_its_slot() {
+        use crate::config::MitigationCostConfig;
+        let config = MachineConfig::builder()
+            .quantum_cycles(10_000)
+            .switch_cost(10)
+            .mitigation(MitigationCostConfig {
+                partition_slot_cycles: 50_000,
+                partition_drain_cycles: 100,
+                ..MitigationCostConfig::default()
+            })
+            .build()
+            .unwrap();
+        let mut m = Machine::new(config);
+        let ctx = m.config().context_id(0, 0);
+        let tid = m.spawn(
+            Box::new(OpScript::new("gated", vec![Op::Compute { cycles: 100 }])),
+            ctx,
+        );
+        // Phase 1 owns odd slots: closed during [0, 50k).
+        m.set_temporal_phase(ctx, Some(1));
+        m.run_for(40_000);
+        assert_eq!(m.stats().committed_ops, 0, "gate closed: nothing ran");
+        assert!(m.stats().partition_stalls >= 1);
+        m.run_for(20_000);
+        assert_eq!(m.thread_state(tid), ThreadState::Halted, "slot opened");
+        assert_eq!(m.temporal_phase(ctx), Some(1));
+        m.set_temporal_phase(ctx, None);
+        assert_eq!(m.temporal_phase(ctx), None);
+    }
+
+    #[test]
+    fn parked_context_dispatches_nothing_until_resumed() {
+        let mut m = Machine::new(tiny_config());
+        let ctx = m.config().context_id(0, 0);
+        let tid = m.spawn(
+            Box::new(OpScript::new("parked", vec![Op::Compute { cycles: 10 }])),
+            ctx,
+        );
+        m.park_context(ctx);
+        assert!(m.is_parked(ctx));
+        m.run_for(100_000);
+        assert_eq!(m.stats().committed_ops, 0, "parked context never ran");
+        m.resume_context(ctx);
+        assert!(!m.is_parked(ctx));
+        m.run_for(200_000);
+        assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    }
+
+    #[test]
+    fn l2_way_mask_installs_and_clears_through_machine() {
+        let mut m = Machine::new(tiny_config());
+        let ctx = m.config().context_id(0, 0);
+        assert!(m.set_l2_way_mask(ctx, 0).is_err(), "empty mask rejected");
+        m.set_l2_way_mask(ctx, 0b11).unwrap();
+        assert!(m.memory().l2(0).is_way_partitioned());
+        assert_eq!(m.memory().l2(0).way_mask(ctx), 0b11);
+        m.clear_l2_way_mask(ctx);
+        assert!(!m.memory().l2(0).is_way_partitioned());
     }
 
     #[test]

@@ -67,6 +67,19 @@ impl MemorySystem {
         &self.l2[core as usize]
     }
 
+    /// Mutable access to the L2 cache of `core` (e.g. to install a
+    /// way-partition mask).
+    pub fn l2_mut(&mut self, core: u8) -> &mut Cache {
+        &mut self.l2[core as usize]
+    }
+
+    /// Invalidates the entire private hierarchy (L1 and L2) of `core`; the
+    /// enforcement half of flush-on-context-switch containment.
+    pub fn flush_core(&mut self, core: u8) {
+        self.l1[core as usize].flush();
+        self.l2[core as usize].flush();
+    }
+
     /// Performs a load or store by `ctx` at `addr`, starting at `now`.
     /// Probe events are appended to `events`.
     pub fn access(

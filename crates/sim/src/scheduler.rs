@@ -24,6 +24,35 @@ pub enum ThreadState {
     Halted,
 }
 
+/// A time-division gate used for temporal partitioning of a context
+/// (fence.t-style, Wistoff et al.): time is divided into slots of
+/// `slot_cycles`, and the context may only run during slots of its `phase`
+/// parity. Two contexts gated with opposite phases never co-execute, which
+/// removes every contention-timing channel between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalGate {
+    /// Slot length in cycles (nonzero).
+    pub slot_cycles: u64,
+    /// Which slot parity (0 or 1) this context owns.
+    pub phase: u8,
+}
+
+impl TemporalGate {
+    /// Whether the gate is open at `now`.
+    pub fn allows(&self, now: Cycle) -> bool {
+        (now.as_u64() / self.slot_cycles) % 2 == self.phase as u64 % 2
+    }
+
+    /// First cycle at or after `now` at which the gate is open.
+    pub fn next_open(&self, now: Cycle) -> Cycle {
+        if self.allows(now) {
+            return now;
+        }
+        let slot = now.as_u64() / self.slot_cycles;
+        Cycle::new((slot + 1) * self.slot_cycles)
+    }
+}
+
 /// Scheduling state of one hardware context.
 #[derive(Debug, Clone)]
 pub struct ContextSched {
@@ -39,6 +68,11 @@ pub struct ContextSched {
     pub busy: bool,
     /// Whether a wake event is already scheduled (avoids duplicates).
     pub wake_scheduled: bool,
+    /// Temporal-partition gate, if this context is being contained.
+    pub gate: Option<TemporalGate>,
+    /// Whether the context is parked (descheduled): attached threads are
+    /// kept but nothing is dispatched until the context is resumed.
+    pub parked: bool,
 }
 
 impl ContextSched {
@@ -51,6 +85,8 @@ impl ContextSched {
             quantum_end: Cycle::ZERO,
             busy: false,
             wake_scheduled: false,
+            gate: None,
+            parked: false,
         }
     }
 
@@ -109,6 +145,43 @@ mod tests {
         ctx.sleeping = vec![5, 2, 9];
         let wake = |t: ThreadId| Cycle::new(t as u64);
         assert_eq!(ctx.next_wake(wake), Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn temporal_gate_alternates_slots() {
+        let even = TemporalGate {
+            slot_cycles: 100,
+            phase: 0,
+        };
+        let odd = TemporalGate {
+            slot_cycles: 100,
+            phase: 1,
+        };
+        for t in [0u64, 50, 99, 200, 250] {
+            assert!(even.allows(Cycle::new(t)), "even gate open at {t}");
+            assert!(!odd.allows(Cycle::new(t)), "odd gate closed at {t}");
+        }
+        for t in [100u64, 199, 300] {
+            assert!(!even.allows(Cycle::new(t)));
+            assert!(odd.allows(Cycle::new(t)));
+        }
+        // Opposite phases are never simultaneously open.
+        for t in 0..1000u64 {
+            let now = Cycle::new(t);
+            assert!(even.allows(now) != odd.allows(now));
+        }
+    }
+
+    #[test]
+    fn temporal_gate_next_open_is_slot_boundary() {
+        let odd = TemporalGate {
+            slot_cycles: 100,
+            phase: 1,
+        };
+        assert_eq!(odd.next_open(Cycle::new(0)), Cycle::new(100));
+        assert_eq!(odd.next_open(Cycle::new(99)), Cycle::new(100));
+        assert_eq!(odd.next_open(Cycle::new(150)), Cycle::new(150), "open now");
+        assert_eq!(odd.next_open(Cycle::new(200)), Cycle::new(300));
     }
 
     #[test]

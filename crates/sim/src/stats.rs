@@ -20,6 +20,10 @@ pub struct MachineStats {
     /// Engine events (op completions and wakes) dispatched by the event
     /// queue.
     pub events_dispatched: u64,
+    /// Cache flushes performed by flush-on-switch containment.
+    pub mitigation_flushes: u64,
+    /// Dispatches deferred because a temporal-partition gate was closed.
+    pub partition_stalls: u64,
 }
 
 #[cfg(test)]
