@@ -31,8 +31,9 @@ const CHECK_THRESHOLD: f64 = 1.25;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_mode = args.iter().any(|a| a == "--check");
-    if let Some(unknown) = args.iter().find(|a| *a != "--check") {
-        eprintln!("unknown argument {unknown:?} (supported: --check)");
+    let delta_mode = args.iter().any(|a| a == "--delta");
+    if let Some(unknown) = args.iter().find(|a| *a != "--check" && *a != "--delta") {
+        eprintln!("unknown argument {unknown:?} (supported: --check, --delta)");
         return ExitCode::FAILURE;
     }
 
@@ -43,11 +44,38 @@ fn main() -> ExitCode {
         std::env::set_var("CCHUNTER_BENCH_QUICK", "1");
         return run_check();
     }
+    if delta_mode {
+        std::env::set_var("CCHUNTER_BENCH_QUICK", "1");
+        return run_delta();
+    }
 
-    let mut c = Criterion::default();
-    detector_suite(&mut c);
+    // Baseline mode runs the whole suite several times and merges per
+    // suite: the headline `benches_ns_per_op` keeps the best (minimum)
+    // round, while the merged sample distributions span all rounds. The
+    // host drifts through multi-minute performance phases (±30% on shared
+    // containers), so a single round's minimum can record an
+    // unrepresentatively fast phase; cross-round distributions give the
+    // gate a stable typical value (p50) to compare against.
+    const BASELINE_ROUNDS: u32 = 3;
+    let mut merged: Vec<BenchResult> = Vec::new();
+    for round in 1..=BASELINE_ROUNDS {
+        let mut c = Criterion::default();
+        detector_suite(&mut c);
+        for r in c.results_detailed() {
+            match merged.iter_mut().find(|m| m.name == r.name) {
+                Some(m) => {
+                    m.best = m.best.min(r.best);
+                    m.samples.extend_from_slice(&r.samples);
+                }
+                None => merged.push(r.clone()),
+            }
+        }
+        if round < BASELINE_ROUNDS {
+            println!("— round {round}/{BASELINE_ROUNDS} done —");
+        }
+    }
     let out = repo_root().join("BENCH_detector.json");
-    let json = render_json(&c);
+    let json = render_json(&merged);
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
     println!("\nwrote {}", out.display());
     ExitCode::SUCCESS
@@ -70,7 +98,7 @@ fn run_check() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline = match check::parse_json(&text).and_then(|doc| check::benches_ns(&doc)) {
+    let baseline = match check::parse_json(&text).and_then(|doc| check::gate_baseline_ns(&doc)) {
         Ok(map) => map,
         Err(e) => {
             eprintln!("malformed baseline {}: {e}", baseline_path.display());
@@ -138,14 +166,70 @@ fn run_check() -> ExitCode {
     }
 }
 
+/// `--delta`: measures the suite once in quick mode, compares it against
+/// the *committed* baseline (`git show HEAD:BENCH_detector.json`, falling
+/// back to the working-tree file), and writes the Markdown comparison to
+/// `bench_delta.md` at the repo root. Purely informational — always exits
+/// zero when the baseline is readable; CI uploads the file as an artifact
+/// so a PR's perf impact is one click away.
+fn run_delta() -> ExitCode {
+    let baseline_path = repo_root().join("BENCH_detector.json");
+    let committed = std::process::Command::new("git")
+        .args(["show", "HEAD:BENCH_detector.json"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok());
+    let text = match committed {
+        Some(t) => t,
+        None => match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let baseline = match check::parse_json(&text).and_then(|doc| check::gate_baseline_ns(&doc)) {
+        Ok(map) => map,
+        Err(e) => {
+            eprintln!("malformed baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_calibration = check::parse_json(&text)
+        .ok()
+        .and_then(|doc| doc.get("calibration_ns").and_then(check::Json::as_f64));
+    let scale = match baseline_calibration {
+        Some(base) => check::host_speed_scale(base, check::measure_calibration()),
+        None => 1.0,
+    };
+
+    let mut c = Criterion::default();
+    detector_suite(&mut c);
+    let fresh: BTreeMap<String, f64> = c
+        .results()
+        .into_iter()
+        .map(|(name, t)| (name, t.as_nanos() as f64 * scale))
+        .collect();
+    let report = check::compare(&baseline, &fresh, CHECK_THRESHOLD);
+
+    let out = repo_root().join("bench_delta.md");
+    let md = report.render_markdown();
+    std::fs::write(&out, &md).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    print!("{md}");
+    println!("\nwrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 /// Serializes results as the `BENCH_detector.json` document: the headline
 /// `benches_ns_per_op` map plus per-bench `distributions_ns` summaries.
-fn render_json(c: &Criterion) -> String {
+fn render_json(detailed: &[BenchResult]) -> String {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let quick = criterion::quick_mode();
-    let detailed = c.results_detailed();
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"host_cores\": {host_cores},").expect("string write");

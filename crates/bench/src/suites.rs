@@ -9,6 +9,7 @@ use cchunter_detector::burst::BurstDetector;
 use cchunter_detector::cluster::{discretize, kmeans};
 use cchunter_detector::conflict::{GenerationTracker, IdealLruTracker, MissClassifier};
 use cchunter_detector::density::DensityHistogram;
+use cchunter_detector::ingest::{IngestConfig, IngestPipeline, RawEvent};
 use cchunter_detector::mitigation::MitigationConfig;
 use cchunter_detector::online::{Harvest, OnlineContentionDetector};
 use cchunter_detector::pipeline::symbol_series;
@@ -21,7 +22,9 @@ use criterion::{black_box, Criterion};
 /// Runs every detector benchmark against `c`.
 pub fn detector_suite(c: &mut Criterion) {
     bench_autocorrelation(c);
+    bench_batched_autocorrelation(c);
     bench_density(c);
+    bench_arena_ingest(c);
     bench_burst(c);
     bench_clustering(c);
     bench_online_push(c);
@@ -43,6 +46,45 @@ fn bench_autocorrelation(c: &mut Criterion) {
     // speedup stays visible in every BENCH_detector.json.
     c.bench_function("autocorrelogram_5120_events_1000_lags_naive", |b| {
         b.iter(|| Autocorrelogram::compute_naive(black_box(&samples), 1000))
+    });
+}
+
+fn bench_batched_autocorrelation(c: &mut Criterion) {
+    // Eight pairs' symbol series correlated in one batch: the planner reuses
+    // one FFT plan (twiddles + scratch) across all eight same-length series.
+    let records = quantum_conflicts(10, 256);
+    let series = symbol_series(&records, 0, u64::MAX);
+    let samples = series.as_f64();
+    let batch: Vec<Vec<f64>> = (0..8).map(|_| samples.clone()).collect();
+    c.bench_function("batched_autocorrelogram_8x5120", |b| {
+        b.iter(|| Autocorrelogram::compute_batch(black_box(&batch), 1000))
+    });
+}
+
+fn bench_arena_ingest(c: &mut Criterion) {
+    // One full hardened-ingest quantum: offer 4096 clean events, then
+    // drain → sanitize-into-arena → density histogram from the borrowed
+    // view. Steady state reuses the queue, arena slabs, and histogram
+    // scratch, so this measures the zero-copy path end to end.
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        delta_t: 1_000,
+        ..IngestConfig::default()
+    })
+    .expect("valid ingest config");
+    let events: Vec<RawEvent> = (0..4_096u64)
+        .map(|i| RawEvent {
+            time: i * 100,
+            weight: 1 + (i % 3) as u32,
+            context: (i % 4) as u8,
+        })
+        .collect();
+    c.bench_function("arena_ingest_quantum_4096_events", |b| {
+        b.iter(|| {
+            for &e in &events {
+                pipeline.offer(e);
+            }
+            black_box(pipeline.end_quantum(0, 409_600))
+        })
     });
 }
 
@@ -117,6 +159,23 @@ fn bench_audit_pairs(c: &mut Criterion) {
     });
     c.bench_function("audit_8_pairs_parallel", |b| {
         b.iter(|| hunter.audit_pairs(black_box(&audits)))
+    });
+
+    // A wider fan-out through the batch engine: 64 pairs with 16-quantum
+    // windows each, stressing planner/scratch reuse across many pairs
+    // rather than depth within one.
+    let wide: Vec<PairAudit> = (0..64)
+        .map(|pair| PairAudit {
+            label: format!("memory-bus: pair {pair}"),
+            evidence: PairEvidence::Contention(
+                (0..16)
+                    .map(|q| Harvest::Complete(covert_histogram(14 + ((pair + q) % 7), 2_500)))
+                    .collect(),
+            ),
+        })
+        .collect();
+    c.bench_function("audit_64_pairs_batched", |b| {
+        b.iter(|| hunter.audit_pairs(black_box(&wide)))
     });
 }
 

@@ -9,7 +9,6 @@
 //! sustained periodicity.
 
 use crate::events::SymbolSeries;
-use crate::fft;
 
 /// Below this `n × lags` volume the naive O(n·lags) loop beats the FFT's
 /// constant factor; above it [`Autocorrelogram::compute`] switches to the
@@ -94,26 +93,38 @@ impl Autocorrelogram {
     }
 
     fn build(samples: &[f64], max_lag: usize, force_naive: bool) -> Self {
-        let n = samples.len();
-        let mut coefficients = vec![0.0; max_lag + 1];
-        if n >= 2 {
-            if let Some((centered, denom)) = centered_series(samples) {
-                // Coefficients are defined (nonzero) only while lag + 2 <= n.
-                let lags = max_lag.min(n - 2);
-                if force_naive || n.saturating_mul(lags) <= NAIVE_CUTOFF {
-                    for (lag, coeff) in coefficients.iter_mut().enumerate().take(lags + 1) {
-                        *coeff = lag_sum(&centered, lag) / denom;
-                    }
-                } else {
-                    let sums = fft::autocorrelation_sums(&centered, lags);
-                    for (coeff, sum) in coefficients.iter_mut().zip(&sums) {
-                        *coeff = sum / denom;
-                    }
-                }
-            }
-            coefficients[0] = 1.0;
-        }
+        // The thread-local planner caches FFT twiddle tables and scratch
+        // keyed by padded length, so repeated computes (an audit tick over
+        // many pairs, or the online daemon's steady-state pushes) pay table
+        // setup once. Semantics are unchanged: the planner picks the FFT or
+        // direct path by the same NAIVE_CUTOFF volume rule.
+        let coefficients = crate::batch::with_planner(|p| {
+            p.correlogram_coefficients(samples, max_lag, NAIVE_CUTOFF, force_naive)
+        });
         Autocorrelogram { coefficients }
+    }
+
+    /// Computes the autocorrelograms of many series in one pass over the
+    /// shared thread-local plan cache — the batched entry point of the
+    /// analysis engine. Equivalent to mapping [`compute`](Self::compute)
+    /// over `series` (property-tested against
+    /// [`compute_naive`](Self::compute_naive) to ≤1e-9); series that pad to
+    /// the same transform length share one twiddle table and one set of
+    /// scratch buffers.
+    pub fn compute_batch<S: AsRef<[f64]>>(series: &[S], max_lag: usize) -> Vec<Self> {
+        crate::batch::with_planner(|p| {
+            series
+                .iter()
+                .map(|s| Autocorrelogram {
+                    coefficients: p.correlogram_coefficients(
+                        s.as_ref(),
+                        max_lag,
+                        NAIVE_CUTOFF,
+                        false,
+                    ),
+                })
+                .collect()
+        })
     }
 
     /// Computes the autocorrelogram of a labeled symbol series.

@@ -1,0 +1,845 @@
+//! The batched analysis engine (ROADMAP item 2): reusable FFT plans,
+//! lane-accumulated inner-loop kernels, and per-thread scratch so auditing
+//! many pairs per tick stops paying per-pair setup.
+//!
+//! Three ingredients:
+//!
+//! * [`FftPlan`] — precomputed radix-2 twiddle and untangle tables for one
+//!   padded transform length. [`BatchPlanner`] caches plans keyed by length
+//!   and owns the scratch buffers (padded signal, packed/half spectra,
+//!   correlation sums), so an audit tick over many pairs pays table setup
+//!   once per distinct length and allocates nothing per pair.
+//! * Lane kernels ([`sq_dist`]) — fixed 4-wide accumulator loops in stable
+//!   Rust that the autovectorizer lowers to packed SIMD. Every caller uses
+//!   the same canonical reduction shape
+//!   `(lane0 + lane1) + (lane2 + lane3) + tail`, so serial and parallel
+//!   paths compute bit-identical results; the plain scalar forms
+//!   ([`sq_dist_scalar`]) stay as property-test oracles.
+//! * [`with_planner`] — a per-thread planner instance. The deterministic
+//!   `par_map` fan-out runs on persistent pool workers, so each worker
+//!   keeps its own warm plan cache and scratch with no locking; the
+//!   determinism contract is unaffected because plans are pure functions of
+//!   the transform length.
+//!
+//! The twiddle tables evaluate `cos`/`sin` per entry instead of the
+//! incremental `w ·= w_step` recurrence of [`crate::fft::fft_in_place`], so
+//! the planned transform is (slightly) *more* accurate than the unplanned
+//! one; both stay well inside the ≤1e-9 oracle bound the property tests
+//! enforce against the direct O(n·lags) reference.
+
+use crate::fft::Complex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Lane width of the accumulator kernels.
+///
+/// Four `f64` lanes map to two SSE2 registers (the portable baseline) or a
+/// single AVX register; measured on the reference host, 4 lanes beat both
+/// the scalar loop (~2×) and an 8-lane variant (extra reduction latency
+/// dominates at 128-element feature vectors).
+pub const LANE_WIDTH: usize = 4;
+
+/// Squared Euclidean distance between two equal-length vectors, computed
+/// with [`LANE_WIDTH`] independent accumulator lanes.
+///
+/// The reduction shape is fixed — `(l0 + l1) + (l2 + l3) + tail` — so every
+/// caller (k-means assignment, seeding, serial or parallel) sees the same
+/// floating-point result. Agrees with [`sq_dist_scalar`] to ≤1e-9 relative
+/// on the detector's feature scales (property-tested).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the lengths differ; in release the shorter
+/// length governs.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: gated on runtime AVX2 detection.
+        return unsafe { x86::sq_dist_avx2(a, b) };
+    }
+    sq_dist_portable(a, b)
+}
+
+/// The portable lowering of [`sq_dist`]: stable-Rust 4-lane loop the
+/// autovectorizer maps onto the baseline SIMD width (two SSE2 registers on
+/// x86-64). The AVX2 path is bit-identical — one 256-bit register holds
+/// exactly these four lanes — so which lowering runs never affects results.
+pub(crate) fn sq_dist_portable(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    let n = a.len().min(b.len());
+    let main = n - n % LANE_WIDTH;
+    let mut lanes = [0.0f64; LANE_WIDTH];
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANE_WIDTH)
+        .zip(b[..main].chunks_exact(LANE_WIDTH))
+    {
+        for l in 0..LANE_WIDTH {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[main..n].iter().zip(&b[main..n]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// The straight-line scalar reference for [`sq_dist`]: one accumulator,
+/// strict left-to-right summation. Kept as the property-test oracle.
+pub fn sq_dist_scalar(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Element-wise `dst[i] += src[i]` over the common prefix — the k-means
+/// centroid-update accumulation. Each element's add is independent (no
+/// reduction, no reassociation), so every lowering is bit-identical by
+/// construction; the AVX2 path just does four at a time.
+pub(crate) fn add_assign(dst: &mut [f64], src: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: gated on runtime AVX2 detection.
+        unsafe { x86::add_assign_avx2(dst, src) };
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// How many [`LANE_WIDTH`] chunks the bounded kernels accumulate between
+/// cutoff checks: often enough to abandon early, rarely enough that the
+/// horizontal-reduction cost of the check stays invisible. Shared by the
+/// portable and AVX2 lowerings so their abandonment points coincide.
+const CHECK_EVERY: usize = 8;
+
+/// [`sq_dist`] with early abandonment: returns as soon as the partial sum
+/// strictly exceeds `cutoff`. Partial sums of squares are nondecreasing, so
+/// an abandoned distance is guaranteed `> cutoff`; the returned partial is
+/// only meaningful for that comparison. When the full distance is
+/// `<= cutoff` the result is bit-identical to [`sq_dist`] (same lanes, same
+/// reduction), which is what lets the k-means nearest-centroid search use
+/// this without perturbing assignments or tie-breaks.
+pub(crate) fn sq_dist_bounded(a: &[f64], b: &[f64], cutoff: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: gated on runtime AVX2 detection.
+        return unsafe { x86::sq_dist_bounded_avx2(a, b, cutoff) };
+    }
+    sq_dist_bounded_portable(a, b, cutoff)
+}
+
+/// Portable lowering of [`sq_dist_bounded`]; see [`sq_dist_portable`].
+pub(crate) fn sq_dist_bounded_portable(a: &[f64], b: &[f64], cutoff: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    let n = a.len().min(b.len());
+    let main = n - n % LANE_WIDTH;
+    let mut lanes = [0.0f64; LANE_WIDTH];
+    let mut since_check = 0usize;
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANE_WIDTH)
+        .zip(b[..main].chunks_exact(LANE_WIDTH))
+    {
+        for l in 0..LANE_WIDTH {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+        since_check += 1;
+        if since_check == CHECK_EVERY {
+            since_check = 0;
+            let partial = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            if partial > cutoff {
+                return partial;
+            }
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[main..n].iter().zip(&b[main..n]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// Up to this many centroids the fused distance kernel handles in one pass;
+/// the k-means assignment loop falls back to per-centroid [`sq_dist`] calls
+/// for larger k (the detector's configs use k = 3).
+pub(crate) const MAX_FUSED_K: usize = 4;
+
+/// Squared distances from `point` to up to [`MAX_FUSED_K`] centroids,
+/// computed in a single pass over `point`: each chunk of the point row is
+/// loaded once and folded into every centroid's accumulator lanes, instead
+/// of re-streaming the row per centroid. `out[j]` receives the distance to
+/// `centroids[j]`; slots past `centroids.len()` are left untouched.
+///
+/// Each centroid's sum performs exactly the operations of [`sq_dist`] — the
+/// same lane assignment per element, the same individually-rounded
+/// subtract/multiply/add, the same `(l0 + l1) + (l2 + l3) + tail` reduction
+/// — merely interleaved with the other centroids' arithmetic. Interleaving
+/// independent accumulators changes no operand of any floating-point
+/// operation, so `out[j]` is bit-identical to `sq_dist(point, &centroids[j])`
+/// (asserted in the kernel equivalence tests).
+///
+/// # Panics
+///
+/// Panics (in debug builds) when `centroids.len() > MAX_FUSED_K` or any
+/// centroid's length differs from the point's; release builds take the
+/// shorter length per centroid like [`sq_dist`].
+pub(crate) fn sq_dists_fused(point: &[f64], centroids: &[Vec<f64>], out: &mut [f64; MAX_FUSED_K]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: gated on runtime AVX2 detection.
+        unsafe { x86::sq_dists_fused_avx2(point, centroids, out) };
+        return;
+    }
+    sq_dists_fused_portable(point, centroids, out)
+}
+
+/// Portable lowering of [`sq_dists_fused`]; see [`sq_dist_portable`]. The
+/// chunk loop is outermost — one pass over the point row folds into every
+/// centroid's lanes — with a per-centroid [`sq_dist_portable`] fallback for
+/// ragged lengths (which [`kmeans`](crate::cluster::kmeans) never produces).
+pub(crate) fn sq_dists_fused_portable(
+    point: &[f64],
+    centroids: &[Vec<f64>],
+    out: &mut [f64; MAX_FUSED_K],
+) {
+    debug_assert!(centroids.len() <= MAX_FUSED_K, "too many fused centroids");
+    let k = centroids.len().min(MAX_FUSED_K);
+    let n = point.len();
+    if centroids.iter().take(k).any(|c| c.len() != n) {
+        debug_assert!(false, "sq_dist length mismatch");
+        for (o, c) in out.iter_mut().zip(centroids) {
+            *o = sq_dist_portable(point, c);
+        }
+        return;
+    }
+    let main = n - n % LANE_WIDTH;
+    let mut lanes = [[0.0f64; LANE_WIDTH]; MAX_FUSED_K];
+    let mut base = 0usize;
+    while base < main {
+        let p = &point[base..base + LANE_WIDTH];
+        for (j, lane) in lanes.iter_mut().enumerate().take(k) {
+            let c = &centroids[j][base..base + LANE_WIDTH];
+            for l in 0..LANE_WIDTH {
+                let d = p[l] - c[l];
+                lane[l] += d * d;
+            }
+        }
+        base += LANE_WIDTH;
+    }
+    for (j, lane) in lanes.iter().enumerate().take(k) {
+        let c = &centroids[j];
+        let mut tail = 0.0;
+        for (x, y) in point[main..n].iter().zip(&c[main..n]) {
+            let d = x - y;
+            tail += d * d;
+        }
+        out[j] = (lane[0] + lane[1]) + (lane[2] + lane[3]) + tail;
+    }
+}
+
+/// AVX2 lowerings of the lane kernels, used when the running CPU has them.
+///
+/// Bit-identity argument: the portable kernels keep [`LANE_WIDTH`] = 4
+/// independent `f64` accumulators, adding `(a[4c+l] - b[4c+l])²` to lane
+/// `l` on chunk `c`. One 256-bit register *is* those four lanes, and
+/// `vsubpd`/`vmulpd`/`vaddpd` perform the identical individually-rounded
+/// operations per lane in the identical order (no FMA — a fused
+/// multiply-add would round differently). The final horizontal reduction
+/// uses the same canonical `(l0 + l1) + (l2 + l3) + tail` shape, and the
+/// bounded variant checks the cutoff at the same chunk boundaries, so the
+/// dispatch is unobservable in results (property-tested against the
+/// portable forms).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{CHECK_EVERY, LANE_WIDTH};
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+        _mm256_sub_pd,
+    };
+
+    /// AVX2 [`super::add_assign`]: packed element-wise adds, no reduction.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 ([`avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign_avx2(dst: &mut [f64], src: &[f64]) {
+        let n = dst.len().min(src.len());
+        let main = n - n % LANE_WIDTH;
+        let mut i = 0usize;
+        while i < main {
+            // SAFETY: i + LANE_WIDTH <= main <= both slice lengths.
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_add_pd(d, s));
+            i += LANE_WIDTH;
+        }
+        for (d, s) in dst[main..n].iter_mut().zip(&src[main..n]) {
+            *d += s;
+        }
+    }
+
+    /// Whether the running CPU supports AVX2 (the detection result is
+    /// cached by the standard library; this is an atomic load after the
+    /// first call).
+    #[inline]
+    pub fn avx2_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// AVX2 [`super::sq_dist`]; bit-identical to [`super::sq_dist_portable`].
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 ([`avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist_avx2(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+        let n = a.len().min(b.len());
+        let main = n - n % LANE_WIDTH;
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i < main {
+            // SAFETY: i + LANE_WIDTH <= main <= both slice lengths.
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+            let d = _mm256_sub_pd(va, vb);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+            i += LANE_WIDTH;
+        }
+        let mut lanes = [0.0f64; LANE_WIDTH];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0;
+        for (x, y) in a[main..n].iter().zip(&b[main..n]) {
+            let d = x - y;
+            tail += d * d;
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    }
+
+    /// AVX2 [`super::sq_dists_fused`]: one pass over the point row with up
+    /// to [`super::MAX_FUSED_K`] accumulator registers, each performing the
+    /// exact per-lane operations of [`sq_dist_avx2`] for its centroid.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 ([`avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dists_fused_avx2(
+        point: &[f64],
+        centroids: &[Vec<f64>],
+        out: &mut [f64; super::MAX_FUSED_K],
+    ) {
+        debug_assert!(
+            centroids.len() <= super::MAX_FUSED_K,
+            "too many fused centroids"
+        );
+        let k = centroids.len().min(super::MAX_FUSED_K);
+        let n = point.len();
+        if centroids.iter().take(k).any(|c| c.len() != n) {
+            debug_assert!(false, "sq_dist length mismatch");
+            for (o, c) in out.iter_mut().zip(centroids) {
+                *o = sq_dist_avx2(point, c);
+            }
+            return;
+        }
+        let main = n - n % LANE_WIDTH;
+        let mut acc = [_mm256_setzero_pd(); super::MAX_FUSED_K];
+        let mut i = 0usize;
+        while i < main {
+            // SAFETY: i + LANE_WIDTH <= main <= every slice length.
+            let p = _mm256_loadu_pd(point.as_ptr().add(i));
+            for (j, a) in acc.iter_mut().enumerate().take(k) {
+                let c = _mm256_loadu_pd(centroids[j].as_ptr().add(i));
+                let d = _mm256_sub_pd(p, c);
+                *a = _mm256_add_pd(*a, _mm256_mul_pd(d, d));
+            }
+            i += LANE_WIDTH;
+        }
+        for (j, a) in acc.iter().enumerate().take(k) {
+            let mut lanes = [0.0f64; LANE_WIDTH];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), *a);
+            let c = &centroids[j];
+            let mut tail = 0.0;
+            for (x, y) in point[main..n].iter().zip(&c[main..n]) {
+                let d = x - y;
+                tail += d * d;
+            }
+            out[j] = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+        }
+    }
+
+    /// AVX2 [`super::sq_dist_bounded`]; abandons at the same chunk
+    /// boundaries with the same partial sums as the portable form.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 ([`avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist_bounded_avx2(a: &[f64], b: &[f64], cutoff: f64) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+        let n = a.len().min(b.len());
+        let main = n - n % LANE_WIDTH;
+        let mut acc = _mm256_setzero_pd();
+        let mut lanes = [0.0f64; LANE_WIDTH];
+        let mut since_check = 0usize;
+        let mut i = 0usize;
+        while i < main {
+            // SAFETY: i + LANE_WIDTH <= main <= both slice lengths.
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+            let d = _mm256_sub_pd(va, vb);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+            i += LANE_WIDTH;
+            since_check += 1;
+            if since_check == CHECK_EVERY {
+                since_check = 0;
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+                let partial = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+                if partial > cutoff {
+                    return partial;
+                }
+            }
+        }
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0;
+        for (x, y) in a[main..n].iter().zip(&b[main..n]) {
+            let d = x - y;
+            tail += d * d;
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    }
+}
+
+/// A cached radix-2 FFT plan for one real transform length `n` (a power of
+/// two ≥ 2): the per-stage butterfly twiddle tables of the underlying
+/// `n/2`-point complex FFT plus the untangle table of the real-input
+/// packing. Building a plan is O(n); applying it replaces every
+/// `cos`/`sin` evaluation (and the error-accumulating `w ·= w_step`
+/// recurrence) in the transform hot loop with a table load.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    /// Real transform length.
+    n: usize,
+    /// Complex sub-transform length `n / 2`.
+    m: usize,
+    /// `stages[s][k] = e^{-iτk/width}` for butterfly width `2 << s`,
+    /// `k < width/2` — the forward twiddles; the inverse transform uses
+    /// their conjugates.
+    stages: Vec<Vec<Complex>>,
+    /// `untangle[k] = e^{-iτk/n}` for `k ∈ 0..=m` — the half-spectrum
+    /// recombination twiddles of the real-input packing.
+    untangle: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds the plan for real transform length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "real FFT length must be a power of two >= 2"
+        );
+        let m = n / 2;
+        let mut stages = Vec::new();
+        let mut width = 2usize;
+        while width <= m {
+            let table: Vec<Complex> = (0..width / 2)
+                .map(|k| {
+                    let angle = -std::f64::consts::TAU * k as f64 / width as f64;
+                    Complex::new(angle.cos(), angle.sin())
+                })
+                .collect();
+            stages.push(table);
+            width *= 2;
+        }
+        let untangle: Vec<Complex> = (0..=m)
+            .map(|k| {
+                let angle = -std::f64::consts::TAU * k as f64 / n as f64;
+                Complex::new(angle.cos(), angle.sin())
+            })
+            .collect();
+        FftPlan {
+            n,
+            m,
+            stages,
+            untangle,
+        }
+    }
+
+    /// The real transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Plans are never built for length 0; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place complex FFT over `data` (length must be `n/2`) using the
+    /// cached twiddle tables. Mirrors [`crate::fft::fft_in_place`].
+    fn fft_in_place(&self, data: &mut [Complex], inverse: bool) {
+        let m = data.len();
+        debug_assert_eq!(m, self.m, "plan length mismatch");
+        if m <= 1 {
+            return;
+        }
+        let shift = usize::BITS - m.trailing_zeros();
+        for i in 0..m {
+            let j = i.reverse_bits() >> shift;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        for (s, table) in self.stages.iter().enumerate() {
+            let width = 2usize << s;
+            let half = width / 2;
+            for start in (0..m).step_by(width) {
+                for (k, &tw) in table.iter().enumerate() {
+                    let w = if inverse { tw.conj() } else { tw };
+                    let even = data[start + k];
+                    let odd = data[start + k + half].mul(w);
+                    data[start + k] = even.add(odd);
+                    data[start + k + half] = even.sub(odd);
+                }
+            }
+        }
+        if inverse {
+            let scale = 1.0 / m as f64;
+            for value in data.iter_mut() {
+                *value = value.scale(scale);
+            }
+        }
+    }
+
+    /// Forward real FFT of `signal` (length `n`) into `spectrum`
+    /// (`n/2 + 1` half-spectrum bins), using `packed` as the `n/2`-point
+    /// working buffer. Mirrors [`crate::fft::real_fft`] with the packing
+    /// and untangle twiddles served from the table.
+    fn real_fft_into(
+        &self,
+        signal: &[f64],
+        packed: &mut Vec<Complex>,
+        spectrum: &mut Vec<Complex>,
+    ) {
+        debug_assert_eq!(signal.len(), self.n, "plan length mismatch");
+        let m = self.m;
+        packed.clear();
+        packed.extend((0..m).map(|j| Complex::new(signal[2 * j], signal[2 * j + 1])));
+        self.fft_in_place(packed, false);
+        spectrum.clear();
+        spectrum.reserve(m + 1);
+        for k in 0..=m {
+            let z_k = packed[k % m];
+            let z_mk = packed[(m - k) % m].conj();
+            let even = z_k.add(z_mk).scale(0.5);
+            let diff = z_k.sub(z_mk);
+            let odd = Complex::new(diff.im * 0.5, -diff.re * 0.5);
+            spectrum.push(even.add(self.untangle[k].mul(odd)));
+        }
+    }
+
+    /// Inverse of [`FftPlan::real_fft_into`]: reconstructs the length-`n`
+    /// real sequence from its Hermitian half-spectrum into `out`.
+    fn inverse_real_fft_into(
+        &self,
+        spectrum: &[Complex],
+        packed: &mut Vec<Complex>,
+        out: &mut Vec<f64>,
+    ) {
+        let m = self.m;
+        debug_assert_eq!(spectrum.len(), m + 1, "half-spectrum length mismatch");
+        packed.clear();
+        packed.reserve(m);
+        for k in 0..m {
+            let x_k = spectrum[k];
+            let x_mk = spectrum[m - k].conj();
+            let even = x_k.add(x_mk).scale(0.5);
+            let with_twiddle = x_k.sub(x_mk).scale(0.5);
+            // Inverse untangle twiddle: e^{+iτk/n} = conj(forward).
+            let odd = self.untangle[k].conj().mul(with_twiddle);
+            packed.push(Complex::new(even.re - odd.im, even.im + odd.re));
+        }
+        self.fft_in_place(packed, true);
+        out.clear();
+        out.reserve(self.n);
+        for z in packed.iter() {
+            out.push(z.re);
+            out.push(z.im);
+        }
+    }
+}
+
+/// Reusable working memory of a [`BatchPlanner`]: the padded signal, the
+/// packed/half spectra, and the correlation-sum output of one transform.
+/// Buffers grow to the largest length seen and are then reused verbatim.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    padded: Vec<f64>,
+    packed: Vec<Complex>,
+    spectrum: Vec<Complex>,
+    sums: Vec<f64>,
+    centered: Vec<f64>,
+}
+
+/// A plan cache plus scratch buffers for batched spectral analysis.
+///
+/// One planner per thread (see [`with_planner`]) turns the per-pair
+/// allocation profile of an audit tick — fresh twiddle recurrences, fresh
+/// padded buffers, fresh spectra — into table lookups over warm memory.
+/// Plans are keyed by padded transform length; an 8-pair audit whose
+/// series all pad to the same power of two builds exactly one plan.
+#[derive(Debug, Default)]
+pub struct BatchPlanner {
+    plans: HashMap<usize, FftPlan>,
+    scratch: BatchScratch,
+}
+
+impl BatchPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct transform lengths planned so far.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Linear autocorrelation sums `r[lag] = Σᵢ x[i]·x[i+lag]` for
+    /// `lag ∈ 0..=max_lag` of an already-centered series, via the
+    /// Wiener–Khinchin theorem on cached plans and scratch. Semantics match
+    /// [`crate::fft::autocorrelation_sums`]; the returned slice lives in
+    /// the planner's scratch and is valid until the next call.
+    pub fn autocorrelation_sums(&mut self, centered: &[f64], max_lag: usize) -> &[f64] {
+        let n = centered.len();
+        let lags = max_lag.min(n.saturating_sub(1));
+        let len = (n + lags).next_power_of_two().max(2);
+        let plan = self.plans.entry(len).or_insert_with(|| FftPlan::new(len));
+        let scratch = &mut self.scratch;
+        scratch.padded.clear();
+        scratch.padded.extend_from_slice(centered);
+        scratch.padded.resize(len, 0.0);
+        plan.real_fft_into(&scratch.padded, &mut scratch.packed, &mut scratch.spectrum);
+        // Power spectrum: the multiply-accumulate inner loop of the whole
+        // pipeline; in-place over the half-spectrum.
+        for c in scratch.spectrum.iter_mut() {
+            *c = Complex::new(c.norm_sqr(), 0.0);
+        }
+        plan.inverse_real_fft_into(&scratch.spectrum, &mut scratch.packed, &mut scratch.sums);
+        &scratch.sums[..=lags.min(len - 1)]
+    }
+
+    /// Autocorrelation *coefficients* of a raw (uncentered) series for
+    /// every lag `0..=max_lag`: centers the series in scratch, picks the
+    /// FFT or direct path by problem volume exactly like
+    /// [`crate::autocorr::Autocorrelogram::compute`], and divides by the
+    /// centered energy. Returns the freshly allocated coefficient vector
+    /// (the one allocation the caller keeps).
+    pub(crate) fn correlogram_coefficients(
+        &mut self,
+        samples: &[f64],
+        max_lag: usize,
+        naive_cutoff: usize,
+        force_naive: bool,
+    ) -> Vec<f64> {
+        let n = samples.len();
+        let mut coefficients = vec![0.0; max_lag + 1];
+        if n < 2 {
+            return coefficients;
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        self.scratch.centered.clear();
+        self.scratch
+            .centered
+            .extend(samples.iter().map(|x| x - mean));
+        let denom: f64 = self.scratch.centered.iter().map(|x| x * x).sum();
+        if denom <= f64::EPSILON {
+            coefficients[0] = 1.0;
+            return coefficients;
+        }
+        let lags = max_lag.min(n - 2);
+        if force_naive || n.saturating_mul(lags) <= naive_cutoff {
+            for (lag, coeff) in coefficients.iter_mut().enumerate().take(lags + 1) {
+                let centered = &self.scratch.centered;
+                let sum: f64 = (0..centered.len() - lag)
+                    .map(|i| centered[i] * centered[i + lag])
+                    .sum();
+                *coeff = sum / denom;
+            }
+        } else {
+            // Move the centered buffer out so the planner can reuse its
+            // spectral scratch without aliasing it.
+            let centered = std::mem::take(&mut self.scratch.centered);
+            let sums = self.autocorrelation_sums(&centered, lags);
+            for (coeff, sum) in coefficients.iter_mut().zip(sums) {
+                *coeff = sum / denom;
+            }
+            self.scratch.centered = centered;
+        }
+        coefficients[0] = 1.0;
+        coefficients
+    }
+}
+
+thread_local! {
+    static PLANNER: RefCell<BatchPlanner> = RefCell::new(BatchPlanner::new());
+}
+
+/// Runs `f` with this thread's [`BatchPlanner`].
+///
+/// Worker threads of the vendored pool are persistent, so each keeps a warm
+/// plan cache across `par_map` fan-outs — per-thread batch scratch without
+/// locks, and without threading a planner handle through every call site.
+///
+/// # Panics
+///
+/// Panics if called reentrantly from inside `f` (the planner is exclusively
+/// borrowed for the duration of the call).
+pub fn with_planner<R>(f: impl FnOnce(&mut BatchPlanner) -> R) -> R {
+    PLANNER.with(|p| f(&mut p.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft;
+
+    #[test]
+    fn lane_sq_dist_matches_scalar() {
+        for len in [0usize, 1, 3, 4, 7, 8, 100, 128, 129] {
+            let a: Vec<f64> = (0..len).map(|i| ((i * 37) % 13) as f64 - 6.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| ((i * 53) % 11) as f64 - 5.0).collect();
+            let lane = sq_dist(&a, &b);
+            let scalar = sq_dist_scalar(&a, &b);
+            assert!(
+                (lane - scalar).abs() <= 1e-9 * scalar.abs().max(1.0),
+                "len {len}: {lane} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_sq_dist_is_exact_below_cutoff_and_larger_above() {
+        let a: Vec<f64> = (0..128).map(|i| (i % 16) as f64).collect();
+        let b: Vec<f64> = (0..128).map(|i| ((i + 3) % 16) as f64).collect();
+        let full = sq_dist(&a, &b);
+        // Generous cutoff: must be bit-identical to the unbounded kernel.
+        assert_eq!(sq_dist_bounded(&a, &b, full * 2.0), full);
+        // Tight cutoff: whatever partial comes back must exceed it.
+        assert!(sq_dist_bounded(&a, &b, full * 0.1) > full * 0.1);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernels_are_bit_identical_to_portable() {
+        if !x86::avx2_available() {
+            return; // Nothing to compare on this host.
+        }
+        for len in [0usize, 1, 3, 4, 7, 31, 32, 33, 128, 129, 517] {
+            let a: Vec<f64> = (0..len)
+                .map(|i| ((i * 37) % 13) as f64 / 3.0 - 2.0)
+                .collect();
+            let b: Vec<f64> = (0..len)
+                .map(|i| ((i * 53) % 11) as f64 / 7.0 - 0.5)
+                .collect();
+            let portable = sq_dist_portable(&a, &b);
+            // SAFETY: AVX2 presence checked above.
+            let vector = unsafe { x86::sq_dist_avx2(&a, &b) };
+            assert_eq!(portable.to_bits(), vector.to_bits(), "len {len}");
+            for cutoff in [f64::INFINITY, portable, portable / 2.0, 0.0] {
+                let pb = sq_dist_bounded_portable(&a, &b, cutoff);
+                // SAFETY: AVX2 presence checked above.
+                let vb = unsafe { x86::sq_dist_bounded_avx2(&a, &b, cutoff) };
+                assert_eq!(pb.to_bits(), vb.to_bits(), "len {len} cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_distances_are_bit_identical_to_sq_dist() {
+        for len in [0usize, 1, 3, 4, 7, 31, 32, 33, 128, 129] {
+            let point: Vec<f64> = (0..len)
+                .map(|i| ((i * 37) % 13) as f64 / 3.0 - 2.0)
+                .collect();
+            let centroids: Vec<Vec<f64>> = (0..MAX_FUSED_K)
+                .map(|j| {
+                    (0..len)
+                        .map(|i| ((i * 53 + j * 17) % 11) as f64 / 7.0 - 0.5)
+                        .collect()
+                })
+                .collect();
+            for k in 0..=MAX_FUSED_K {
+                let cs = &centroids[..k];
+                let mut out = [f64::NAN; MAX_FUSED_K];
+                sq_dists_fused_portable(&point, cs, &mut out);
+                for (j, c) in cs.iter().enumerate() {
+                    assert_eq!(
+                        out[j].to_bits(),
+                        sq_dist_portable(&point, c).to_bits(),
+                        "len {len} k {k} centroid {j}"
+                    );
+                }
+                #[cfg(target_arch = "x86_64")]
+                if x86::avx2_available() {
+                    let mut vout = [f64::NAN; MAX_FUSED_K];
+                    // SAFETY: AVX2 presence checked above.
+                    unsafe { x86::sq_dists_fused_avx2(&point, cs, &mut vout) };
+                    for j in 0..k {
+                        assert_eq!(
+                            vout[j].to_bits(),
+                            out[j].to_bits(),
+                            "avx2 len {len} k {k} centroid {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_sums_match_unplanned() {
+        let mut planner = BatchPlanner::new();
+        for n in [2usize, 3, 65, 300, 1024, 2077] {
+            let series: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+            let reference = fft::autocorrelation_sums(&series, 900);
+            let planned = planner.autocorrelation_sums(&series, 900).to_vec();
+            assert_eq!(planned.len(), reference.len(), "n = {n}");
+            for (lag, (p, r)) in planned.iter().zip(&reference).enumerate() {
+                assert!(
+                    (p - r).abs() <= 1e-9 * r.abs().max(1.0),
+                    "n {n} lag {lag}: {p} vs {r}"
+                );
+            }
+        }
+        // 2077 + 900 pads to 4096; 1024 + 900 pads to 2048; etc.
+        assert!(planner.cached_plans() >= 3);
+    }
+
+    #[test]
+    fn plans_are_reused_across_same_length_calls() {
+        let mut planner = BatchPlanner::new();
+        let series: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+        planner.autocorrelation_sums(&series, 100);
+        let plans_after_first = planner.cached_plans();
+        for _ in 0..5 {
+            planner.autocorrelation_sums(&series, 100);
+        }
+        assert_eq!(planner.cached_plans(), plans_after_first);
+    }
+
+    #[test]
+    fn with_planner_is_reusable_per_thread() {
+        let series: Vec<f64> = (0..300).map(|i| (i % 5) as f64).collect();
+        let a = with_planner(|p| p.autocorrelation_sums(&series, 64).to_vec());
+        let b = with_planner(|p| p.autocorrelation_sums(&series, 64).to_vec());
+        assert_eq!(a, b);
+    }
+}

@@ -143,16 +143,48 @@ impl BurstDetector {
             };
         };
 
-        let burst_windows: u64 = bins[threshold..].iter().sum();
-        let nonburst_mean = mean_density(bins, 0, threshold);
-        let burst_mean = mean_density(bins, threshold, HISTOGRAM_BINS);
+        // One fused pass over the bins computes everything the split
+        // formulas used to re-scan for: burst mass and weighted sum, the
+        // non-burst weighted sum, the peak (last-max-wins on ties, matching
+        // `max_by_key`), and the first/last non-empty burst bins. All
+        // accumulators are integers, so the fusion is exact.
+        let mut pre_count = 0u64;
+        let mut pre_weight = 0u64;
+        let mut burst_windows = 0u64;
+        let mut burst_weight = 0u64;
+        let mut peak_freq = 0u64;
+        let mut burst_peak = None;
+        let mut first = None;
+        let mut last = None;
+        for (i, &f) in bins.iter().enumerate().skip(1) {
+            if i < threshold {
+                pre_count += f;
+                pre_weight += i as u64 * f;
+            } else if f > 0 {
+                burst_windows += f;
+                burst_weight += i as u64 * f;
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = Some(i);
+                if f >= peak_freq {
+                    peak_freq = f;
+                    burst_peak = Some(i);
+                }
+            }
+        }
+        let nonburst_count = bins[0] + pre_count;
+        let nonburst_mean = if nonburst_count == 0 {
+            0.0
+        } else {
+            pre_weight as f64 / nonburst_count as f64
+        };
+        let burst_mean = if burst_windows == 0 {
+            0.0
+        } else {
+            burst_weight as f64 / burst_windows as f64
+        };
         let likelihood_ratio = burst_windows as f64 / contended as f64;
-        let burst_peak = bins[threshold..]
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f > 0)
-            .max_by_key(|(_, &f)| f)
-            .map(|(i, _)| i + threshold);
         let coherence = match burst_peak {
             Some(peak) if burst_windows > 0 => {
                 let half_width =
@@ -167,10 +199,8 @@ impl BurstDetector {
         let has_burst = burst_windows >= self.config.min_burst_windows
             && burst_mean > 1.0
             && coherence >= self.config.min_coherence;
-        let first = bins[threshold..].iter().position(|&f| f > 0);
-        let last = bins[threshold..].iter().rposition(|&f| f > 0);
         let burst_range = match (first, last) {
-            (Some(a), Some(b)) => Some((a + threshold, b + threshold)),
+            (Some(a), Some(b)) => Some((a, b)),
             _ => None,
         };
         BurstVerdict {

@@ -9,6 +9,7 @@
 //! cluster of bursty histograms, regardless of burst intervals — so
 //! low-bandwidth or irregular channels are still caught.
 
+use crate::batch::{sq_dist, sq_dist_bounded, sq_dists_fused, MAX_FUSED_K};
 use crate::burst::BurstVerdict;
 use crate::density::DensityHistogram;
 use rand::rngs::SmallRng;
@@ -100,11 +101,37 @@ const PAR_ASSIGN_MIN: usize = 64;
 /// Index of the centroid nearest to `point` (first wins on exact ties —
 /// the tie-break every caller, serial or parallel, must share for
 /// assignments to be reproducible).
+///
+/// Distances use the lane-accumulated [`sq_dist`] kernel with early
+/// abandonment: once a candidate's partial sum exceeds the best distance it
+/// can never win (partial sums of squares are nondecreasing, and selection
+/// requires strictly-less under `total_cmp`), so cutting it short changes
+/// neither the winner nor the first-wins tie-break.
+///
+/// For k up to [`MAX_FUSED_K`] the distances come from the fused
+/// single-pass kernel [`sq_dists_fused`], whose per-centroid sums are
+/// bit-identical to `sq_dist` calls; the argmin over full distances also
+/// matches the early-abandoning loop it replaces, because an abandoned
+/// candidate's partial sum already exceeded the running best and its full
+/// distance can only be larger — strictly-less selection rejects it either
+/// way.
 fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
     let mut best = 0;
+    if centroids.len() <= MAX_FUSED_K {
+        let mut dists = [f64::INFINITY; MAX_FUSED_K];
+        sq_dists_fused(point, centroids, &mut dists);
+        let mut best_dist = dists[0];
+        for (j, dist) in dists.iter().enumerate().take(centroids.len()).skip(1) {
+            if dist.total_cmp(&best_dist) == std::cmp::Ordering::Less {
+                best = j;
+                best_dist = *dist;
+            }
+        }
+        return best;
+    }
     let mut best_dist = sq_dist(point, &centroids[0]);
     for (j, centroid) in centroids.iter().enumerate().skip(1) {
-        let dist = sq_dist(point, centroid);
+        let dist = sq_dist_bounded(point, centroid, best_dist);
         if dist.total_cmp(&best_dist) == std::cmp::Ordering::Less {
             best = j;
             best_dist = dist;
@@ -147,23 +174,40 @@ pub fn kmeans<F: AsRef<[f64]> + Sync>(
     let k = k.min(features.len());
     let mut rng = SmallRng::seed_from_u64(seed);
 
-    // k-means++ initialization.
+    // k-means++ initialization. `dists[i]` holds min over current centroids
+    // of sq_dist(features[i], centroid), maintained incrementally: each new
+    // centroid folds in with the same `f64::min` the full recomputation
+    // would use, so the values (and the seeded sampling driven by them) are
+    // identical to the O(n·k²) rebuild-every-round form this replaces.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut dists = vec![f64::INFINITY; features.len()];
+    let mut init_nearest = vec![0usize; features.len()];
+    // Each fold uses the early-abandoning kernel with the point's current
+    // min as the cutoff: an abandoned distance is some partial sum already
+    // above `*d`, so the strict-less test keeps `*d` — exactly what the
+    // full distance would have produced (it can only be larger still).
+    // Alongside the min, track *which* centroid holds it, applying the same
+    // ascending-index, strict-less, first-wins-on-ties rule as
+    // `nearest_centroid`: once all k centroids are folded, `init_nearest`
+    // IS the first iteration's assignment vector, for free.
+    let fold_in = |dists: &mut Vec<f64>, nearest: &mut Vec<usize>, j: usize, centroid: &[f64]| {
+        for ((d, n), f) in dists.iter_mut().zip(nearest.iter_mut()).zip(features) {
+            let cand = sq_dist_bounded(f.as_ref(), centroid, *d);
+            if cand.total_cmp(d) == std::cmp::Ordering::Less {
+                *d = cand;
+                *n = j;
+            }
+        }
+    };
     centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
+    fold_in(&mut dists, &mut init_nearest, 0, &centroids[0]);
     while centroids.len() < k {
-        let dists: Vec<f64> = features
-            .iter()
-            .map(|f| {
-                centroids
-                    .iter()
-                    .map(|c| sq_dist(f.as_ref(), c))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
         let total: f64 = dists.iter().sum();
         if total <= f64::EPSILON {
             // All points identical to existing centroids.
             centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
+            let j = centroids.len() - 1;
+            fold_in(&mut dists, &mut init_nearest, j, &centroids[j]);
             continue;
         }
         let mut target = rng.gen_range(0.0..total);
@@ -176,39 +220,71 @@ pub fn kmeans<F: AsRef<[f64]> + Sync>(
             target -= d;
         }
         centroids.push(features[chosen].as_ref().to_vec());
+        let j = centroids.len() - 1;
+        fold_in(&mut dists, &mut init_nearest, j, &centroids[j]);
     }
 
     let mut assignments = vec![0usize; features.len()];
+    let mut updated_once = false;
+    // The init fold already computed every point's nearest init centroid;
+    // hand it to the first loop iteration so the first (and often only
+    // non-converged) assignment pass costs nothing.
+    let mut precomputed = Some(init_nearest);
+    // Scratch reused across iterations: one flat k×dim accumulator slab and
+    // the per-cluster member counts. Zeroing a flat slab each round is a
+    // memset; the summation order inside it is identical to the per-cluster
+    // `Vec<Vec<f64>>` form this replaces.
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
     for _ in 0..max_iterations {
         // Assign: independent per point, so safe to parallelize.
-        let nearest: Vec<usize> = if features.len() >= PAR_ASSIGN_MIN {
-            let centroids = &centroids;
-            threadpool::par_map(features, |f| nearest_centroid(f.as_ref(), centroids))
-        } else {
-            features
-                .iter()
-                .map(|f| nearest_centroid(f.as_ref(), &centroids))
-                .collect()
-        };
         let mut changed = false;
-        for (a, n) in assignments.iter_mut().zip(&nearest) {
-            if *a != *n {
-                *a = *n;
-                changed = true;
+        if let Some(nearest) = precomputed.take() {
+            for (a, n) in assignments.iter_mut().zip(&nearest) {
+                if *a != *n {
+                    *a = *n;
+                    changed = true;
+                }
             }
+        } else if features.len() >= PAR_ASSIGN_MIN {
+            let centroids = &centroids;
+            let nearest: Vec<usize> =
+                threadpool::par_map(features, |f| nearest_centroid(f.as_ref(), centroids));
+            for (a, n) in assignments.iter_mut().zip(&nearest) {
+                if *a != *n {
+                    *a = *n;
+                    changed = true;
+                }
+            }
+        } else {
+            for (a, f) in assignments.iter_mut().zip(features) {
+                let n = nearest_centroid(f.as_ref(), &centroids);
+                if *a != n {
+                    *a = n;
+                    changed = true;
+                }
+            }
+        }
+        // Converged with the centroids already derived from these exact
+        // assignments: re-running the update would recompute the identical
+        // means (same members, same summation order), so skip it. The guard
+        // excludes the first iteration, whose "unchanged" compares against
+        // the all-zeros initial vector rather than a real prior update.
+        if !changed && updated_once {
+            break;
         }
         // Update: serial, preserving a fixed summation order.
-        let mut sums = vec![vec![0.0; dim]; k];
-        let mut counts = vec![0usize; k];
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        counts.iter_mut().for_each(|c| *c = 0);
         for (f, &a) in features.iter().zip(&assignments) {
             counts[a] += 1;
-            for (s, x) in sums[a].iter_mut().zip(f.as_ref()) {
-                *s += x;
-            }
+            crate::batch::add_assign(&mut sums[a * dim..(a + 1) * dim], f.as_ref());
         }
-        for (j, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+        for (j, (sum, &count)) in sums.chunks_exact(dim.max(1)).zip(&counts).enumerate() {
             if count > 0 {
-                centroids[j] = sum.iter().map(|s| s / count as f64).collect();
+                for (c, s) in centroids[j].iter_mut().zip(sum) {
+                    *c = s / count as f64;
+                }
             } else {
                 // Re-seed an empty cluster at the point farthest from its
                 // centroid.
@@ -227,6 +303,7 @@ pub fn kmeans<F: AsRef<[f64]> + Sync>(
         if !changed {
             break;
         }
+        updated_once = true;
     }
 
     let mut sizes = vec![0usize; k];
@@ -238,10 +315,6 @@ pub fn kmeans<F: AsRef<[f64]> + Sync>(
         centroids,
         sizes,
     }
-}
-
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// Outcome of recurrence analysis over an observation window of quanta.
@@ -265,8 +338,8 @@ pub struct RecurrenceVerdict {
 /// with `significant` burst verdicts participate in clustering; the pattern
 /// is recurrent when at least [`ClusterConfig::min_recurring`] of them share
 /// a cluster (i.e. keep producing *similar* burst histograms).
-pub fn analyze_recurrence(
-    histograms: &[DensityHistogram],
+pub fn analyze_recurrence<H: std::borrow::Borrow<DensityHistogram>>(
+    histograms: &[H],
     verdicts: &[BurstVerdict],
     config: &ClusterConfig,
 ) -> RecurrenceVerdict {
@@ -275,20 +348,61 @@ pub fn analyze_recurrence(
         verdicts.len(),
         "histograms and verdicts must be parallel"
     );
-    let features: Vec<Vec<f64>> = histograms
+    // One flat feature slab for the whole window: the bursty quanta's
+    // discretized strings land back-to-back and k-means sees borrowed
+    // row slices, so the hot audit path allocates twice (slab + row table)
+    // instead of once per bursty quantum.
+    let mut slab: Vec<f64> = Vec::new();
+    for (h, _) in histograms
         .iter()
         .zip(verdicts)
         .filter(|(_, v)| v.significant)
-        .map(|(h, _)| discretized_features(h))
-        .collect();
-    recurrence_from_features(histograms.len(), &features, config)
+    {
+        discretized_features_into(h.borrow(), &mut slab);
+    }
+    let rows: Vec<&[f64]> = slab.chunks_exact(crate::density::HISTOGRAM_BINS).collect();
+    recurrence_from_features(histograms.len(), &rows, config)
 }
 
 /// A histogram's discretized string as a k-means feature vector — the form
 /// the incremental online daemon caches per window slot so a quantum is
 /// discretized exactly once.
 pub fn discretized_features(histogram: &DensityHistogram) -> Vec<f64> {
-    discretize(histogram).into_iter().map(f64::from).collect()
+    let mut features = Vec::with_capacity(crate::density::HISTOGRAM_BINS);
+    discretized_features_into(histogram, &mut features);
+    features
+}
+
+/// Appends a histogram's discretized feature vector onto `out` — the
+/// allocation-free form the batched audit path uses to fill one flat
+/// feature slab for a whole window instead of one `Vec` per quantum.
+/// Identical values to `discretize(h)` mapped through `f64::from`, computed
+/// in a single pass without the intermediate `u8` string.
+pub fn discretized_features_into(histogram: &DensityHistogram, out: &mut Vec<f64>) {
+    // Bit width → level, precomputed: `LEVEL_OF_WIDTH[w] = min(w, L-1) as
+    // f64`, with width 0 (an empty bin) mapping to level 0.0 exactly as the
+    // branchy `if f == 0` form did. The table turns the per-bin
+    // convert+clamp into a single branchless load, which matters on the
+    // batch audit path where every quantum's 128 bins pass through here.
+    const LEVEL_OF_WIDTH: [f64; 65] = {
+        let mut t = [0.0f64; 65];
+        let mut w = 1;
+        while w < 65 {
+            t[w] = if w < (DISCRETIZATION_LEVELS - 1) as usize {
+                w as f64
+            } else {
+                (DISCRETIZATION_LEVELS - 1) as f64
+            };
+            w += 1;
+        }
+        t
+    };
+    out.extend(
+        histogram
+            .bins()
+            .iter()
+            .map(|&f| LEVEL_OF_WIDTH[(u64::BITS - f.leading_zeros()) as usize]),
+    );
 }
 
 /// Decides recurrence from the already-discretized feature vectors of the
@@ -378,6 +492,165 @@ mod tests {
             assert_eq!(clusters.assignments[i + 1], a1);
         }
         assert_eq!(clusters.sizes, vec![5, 5]);
+    }
+
+    /// Straight transcription of the textbook form of the algorithm —
+    /// full k-means++ distance recomputation per seeding round, fresh
+    /// assignment scan per iteration, per-cluster `Vec` accumulators —
+    /// kept as the oracle the optimized `kmeans` must match bit-for-bit
+    /// (same seeded choices, same assignments, same centroid floats).
+    fn kmeans_reference<F: AsRef<[f64]> + Sync>(
+        features: &[F],
+        k: usize,
+        seed: u64,
+        max_iterations: usize,
+    ) -> PatternClusters {
+        assert!(k > 0);
+        if features.is_empty() {
+            return PatternClusters {
+                assignments: Vec::new(),
+                centroids: Vec::new(),
+                sizes: Vec::new(),
+            };
+        }
+        let dim = features[0].as_ref().len();
+        let k = k.min(features.len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
+        while centroids.len() < k {
+            let dists: Vec<f64> = features
+                .iter()
+                .map(|f| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(f.as_ref(), c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= f64::EPSILON {
+                centroids.push(features[rng.gen_range(0..features.len())].as_ref().to_vec());
+                continue;
+            }
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = features.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                if target < *d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            centroids.push(features[chosen].as_ref().to_vec());
+        }
+        let mut assignments = vec![0usize; features.len()];
+        let mut updated_once = false;
+        for _ in 0..max_iterations {
+            let nearest: Vec<usize> = features
+                .iter()
+                .map(|f| {
+                    let point = f.as_ref();
+                    let mut best = 0;
+                    let mut best_dist = sq_dist(point, &centroids[0]);
+                    for (j, c) in centroids.iter().enumerate().skip(1) {
+                        let dist = sq_dist(point, c);
+                        if dist.total_cmp(&best_dist) == std::cmp::Ordering::Less {
+                            best = j;
+                            best_dist = dist;
+                        }
+                    }
+                    best
+                })
+                .collect();
+            let mut changed = false;
+            for (a, n) in assignments.iter_mut().zip(&nearest) {
+                if *a != *n {
+                    *a = *n;
+                    changed = true;
+                }
+            }
+            if !changed && updated_once {
+                break;
+            }
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (f, &a) in features.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(f.as_ref()) {
+                    *s += x;
+                }
+            }
+            for (j, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+                if count > 0 {
+                    centroids[j] = sum.iter().map(|s| s / count as f64).collect();
+                } else {
+                    let far = features
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            sq_dist(a.as_ref(), &centroids[assignments[0]])
+                                .total_cmp(&sq_dist(b.as_ref(), &centroids[assignments[0]]))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty features");
+                    centroids[j] = features[far].as_ref().to_vec();
+                }
+            }
+            if !changed {
+                break;
+            }
+            updated_once = true;
+        }
+        let mut sizes = vec![0usize; k];
+        for &a in &assignments {
+            sizes[a] += 1;
+        }
+        PatternClusters {
+            assignments,
+            centroids,
+            sizes,
+        }
+    }
+
+    #[test]
+    fn optimized_kmeans_is_bit_identical_to_reference() {
+        // Mixed shapes: well-separated groups, near-duplicates, a stretch
+        // of identical points (exercises the duplicate-centroid seeding
+        // branch), and high-dimensional discretized-looking strings.
+        let mut x = 0x1234_5678_u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for (n, dim, k) in [
+            (1usize, 1usize, 1usize),
+            (7, 3, 3),
+            (64, 128, 3),
+            (40, 16, 5),
+        ] {
+            let features: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dim).map(|_| (next() % 16) as f64).collect())
+                .collect();
+            let fast = kmeans(&features, k, 99, 50);
+            let slow = kmeans_reference(&features, k, 99, 50);
+            assert_eq!(fast.assignments, slow.assignments, "n={n} dim={dim} k={k}");
+            assert_eq!(fast.sizes, slow.sizes, "n={n} dim={dim} k={k}");
+            for (cf, cs) in fast.centroids.iter().zip(&slow.centroids) {
+                for (a, b) in cf.iter().zip(cs) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} dim={dim} k={k}");
+                }
+            }
+        }
+        // All-identical points: every seeding round hits the duplicate
+        // branch.
+        let dupes: Vec<Vec<f64>> = (0..12).map(|_| vec![3.0; 8]).collect();
+        let fast = kmeans(&dupes, 4, 7, 20);
+        let slow = kmeans_reference(&dupes, 4, 7, 20);
+        assert_eq!(fast.assignments, slow.assignments);
+        assert_eq!(fast.sizes, slow.sizes);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`MissClassifier::record_replacement`] for each eviction.
 
 use crate::bloom::BloomFilter;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, VecDeque};
 
 /// Classification of a cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +73,14 @@ pub trait MissClassifier {
 #[derive(Debug, Clone)]
 pub struct IdealLruTracker {
     capacity: usize,
+    /// Latest access tick per resident block; membership here *is*
+    /// residency in the shadow cache.
     stamps: HashMap<u64, u64>,
-    order: BTreeMap<u64, u64>,
+    /// Accesses in arrival order. Entries whose tick no longer matches
+    /// `stamps[block]` are stale (the block was re-accessed later) and are
+    /// skipped lazily at eviction time, so recency ordering never needs a
+    /// sorted structure: the queue is monotone in tick by construction.
+    queue: VecDeque<(u64, u64)>,
     tick: u64,
 }
 
@@ -89,7 +95,7 @@ impl IdealLruTracker {
         IdealLruTracker {
             capacity: capacity_blocks,
             stamps: HashMap::new(),
-            order: BTreeMap::new(),
+            queue: VecDeque::new(),
             tick: 0,
         }
     }
@@ -111,15 +117,25 @@ impl MissClassifier for IdealLruTracker {
 
     fn record_access(&mut self, block: u64) {
         self.tick += 1;
-        if let Some(old) = self.stamps.insert(block, self.tick) {
-            self.order.remove(&old);
-        }
-        self.order.insert(self.tick, block);
+        self.stamps.insert(block, self.tick);
+        self.queue.push_back((self.tick, block));
         if self.stamps.len() > self.capacity {
-            // Evict the least recently used shadow entry.
-            let (&oldest, &victim) = self.order.iter().next().expect("nonempty");
-            self.order.remove(&oldest);
-            self.stamps.remove(&victim);
+            // Evict the least recently used live entry; stale queue slots
+            // (superseded by a later re-access) pop for free on the way.
+            while let Some((t, b)) = self.queue.pop_front() {
+                if self.stamps.get(&b) == Some(&t) {
+                    self.stamps.remove(&b);
+                    break;
+                }
+            }
+        }
+        // A hot working set that never exceeds capacity keeps appending
+        // without ever popping; compact once stale slots dominate so memory
+        // stays O(capacity). Each retained pass removes ≥ 3/4 of the queue,
+        // so the scan amortizes to O(1) per access.
+        if self.queue.len() > self.stamps.len().max(self.capacity) * 4 + 64 {
+            let stamps = &self.stamps;
+            self.queue.retain(|&(t, b)| stamps.get(&b) == Some(&t));
         }
     }
 

@@ -7,7 +7,7 @@
 //! (non-burst) densities live on the left, bursts show up as a second
 //! distribution in the right tail (Figure 5/6).
 
-use crate::events::EventTrain;
+use crate::events::{EventTrain, TrainView};
 use crate::DetectorError;
 
 /// Number of histogram bins, matching the paper's 128-entry hardware
@@ -94,18 +94,57 @@ impl DensityHistogram {
     /// Every window in the range is counted — windows with no events land in
     /// bin 0 (the paper's "non-contention" bin).
     pub fn from_train(train: &EventTrain, delta_t: u64, start: u64, end: u64) -> Self {
+        Self::from_view(train.as_view(), delta_t, start, end)
+    }
+
+    /// Builds the histogram from a borrowed [`TrainView`] — the zero-copy
+    /// twin of [`DensityHistogram::from_train`] used by the arena-backed
+    /// ingest path.
+    pub fn from_view(view: TrainView<'_>, delta_t: u64, start: u64, end: u64) -> Self {
         let mut h = Self::empty(delta_t);
-        h.accumulate(train, start, end);
+        h.accumulate_view(view, start, end);
         h
     }
 
     /// Adds the windows of `[start, end)` from `train` into this histogram.
     pub fn accumulate(&mut self, train: &EventTrain, start: u64, end: u64) {
+        self.accumulate_view(train.as_view(), start, end);
+    }
+
+    /// Adds the windows of `[start, end)` from a borrowed view into this
+    /// histogram. Produces bit-identical bins to the owned-train path.
+    pub fn accumulate_view(&mut self, view: TrainView<'_>, start: u64, end: u64) {
         if end <= start {
             return;
         }
         let dt = self.delta_t;
         let total_windows = (end - start).div_ceil(dt);
+        // Narrow to the in-range entries once (sorted times → binary
+        // search) instead of filtering every entry in the hot loop.
+        let view = view.window(start, end);
+
+        // Unit-weight fast path: with no multi-cycle runs each event lands
+        // wholly in window (t - start) / Δt, and sorted times mean equal
+        // window indices are consecutive — run-length encode straight into
+        // bins with no per-window scratch array at all.
+        if view.weights().iter().all(|&w| w == 1) {
+            let mut counted_windows: u64 = 0;
+            let mut i = 0;
+            let times = view.times();
+            while i < times.len() {
+                let w = (times[i] - start) / dt;
+                let mut run = 1usize;
+                while i + run < times.len() && (times[i + run] - start) / dt == w {
+                    run += 1;
+                }
+                self.bins[run.min(HISTOGRAM_BINS - 1)] += 1;
+                counted_windows += 1;
+                i += run;
+            }
+            self.bins[0] += total_windows - counted_windows;
+            self.windows += total_windows;
+            return;
+        }
 
         // Per-window counts. Runs from different contexts may overlap in
         // time, so counts are accumulated per window index before binning.
@@ -127,8 +166,8 @@ impl DensityHistogram {
                 *sparse.entry(window).or_insert(0) += count;
             }
         };
-        for (time, weight) in train.iter() {
-            if time < start || time >= end || weight == 0 {
+        for (time, weight) in view.iter() {
+            if weight == 0 {
                 continue;
             }
             // Spread the run of `weight` unit events over consecutive

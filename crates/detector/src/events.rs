@@ -140,33 +140,30 @@ impl EventTrain {
         &self.times
     }
 
+    /// The raw per-entry weights (parallel to [`EventTrain::times`]).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// A zero-copy view of the whole train.
+    pub fn as_view(&self) -> TrainView<'_> {
+        TrainView {
+            times: &self.times,
+            weights: &self.weights,
+            total: self.total,
+        }
+    }
+
     /// Mean unit-event rate over `[start, end)`, in events per cycle.
     ///
     /// Returns 0.0 for an empty window.
     pub fn mean_rate(&self, start: u64, end: u64) -> f64 {
-        if end <= start {
-            return 0.0;
-        }
-        let events: u64 = self
-            .iter()
-            .filter(|&(t, _)| t >= start && t < end)
-            .map(|(_, w)| w as u64)
-            .sum();
-        events as f64 / (end - start) as f64
+        self.as_view().mean_rate(start, end)
     }
 
     /// Returns the sub-train with timestamps in `[start, end)`.
     pub fn window(&self, start: u64, end: u64) -> EventTrain {
-        let lo = self.times.partition_point(|&t| t < start);
-        let hi = self.times.partition_point(|&t| t < end);
-        let times = self.times[lo..hi].to_vec();
-        let weights = self.weights[lo..hi].to_vec();
-        let total = weights.iter().map(|&w| w as u64).sum();
-        EventTrain {
-            times,
-            weights,
-            total,
-        }
+        self.as_view().window(start, end).to_owned()
     }
 
     /// Splits the train into consecutive windows of `window_cycles` covering
@@ -181,6 +178,232 @@ impl EventTrain {
             lo = hi;
         }
         out
+    }
+}
+
+/// A borrowed, zero-copy slice of an event train: the times and weights of
+/// a contiguous time-ordered run, whether they live in an [`EventTrain`] or
+/// an [`EventTrainArena`] slab. Windowing a view is O(log n) and allocates
+/// nothing, which is what lets the ingest → sanitize → window → analyze
+/// chain run without copying events between stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainView<'a> {
+    times: &'a [u64],
+    weights: &'a [u32],
+    total: u64,
+}
+
+impl<'a> TrainView<'a> {
+    /// Number of entries (weighted events).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the view has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Total unit event count (sum of weights).
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// First and last timestamps, if nonempty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(time, weight)` entries in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + 'a {
+        self.times.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// The timestamps.
+    pub fn times(&self) -> &'a [u64] {
+        self.times
+    }
+
+    /// The per-entry weights (parallel to [`TrainView::times`]).
+    pub fn weights(&self) -> &'a [u32] {
+        self.weights
+    }
+
+    /// Mean unit-event rate over `[start, end)`, in events per cycle.
+    ///
+    /// Returns 0.0 for an empty window. Identical result to filtering and
+    /// summing every entry (the times are sorted, so the half-open window
+    /// is a contiguous run located by binary search).
+    pub fn mean_rate(&self, start: u64, end: u64) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let w = self.window(start, end);
+        w.total as f64 / (end - start) as f64
+    }
+
+    /// The sub-view with timestamps in `[start, end)` — zero-copy.
+    pub fn window(&self, start: u64, end: u64) -> TrainView<'a> {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < end);
+        let weights = &self.weights[lo..hi];
+        TrainView {
+            times: &self.times[lo..hi],
+            weights,
+            total: weights.iter().map(|&w| w as u64).sum(),
+        }
+    }
+
+    /// Consecutive zero-copy windows of `window_cycles` covering
+    /// `[start, end)` (the last window may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    pub fn windows(&self, start: u64, end: u64, window_cycles: u64) -> Vec<TrainView<'a>> {
+        assert!(window_cycles > 0, "window length must be nonzero");
+        let mut out = Vec::new();
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + window_cycles).min(end);
+            out.push(self.window(lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
+    /// Copies the view into an owned [`EventTrain`].
+    pub fn to_owned(&self) -> EventTrain {
+        EventTrain {
+            times: self.times.to_vec(),
+            weights: self.weights.to_vec(),
+            total: self.total,
+        }
+    }
+}
+
+/// Arena-backed structure-of-arrays storage for many event trains: one
+/// contiguous timestamp slab, one parallel weight slab, and per-train
+/// ranges. An audit tick that rebuilds eight pairs' trains every quantum
+/// reuses the same three allocations forever (`clear` keeps capacity), and
+/// every analysis stage reads [`TrainView`]s borrowing straight from the
+/// slabs.
+///
+/// ```
+/// use cchunter_detector::events::EventTrainArena;
+/// let mut arena = EventTrainArena::new();
+/// let a = arena.begin_train();
+/// arena.push(100, 1).unwrap();
+/// arena.push(250, 3).unwrap();
+/// let b = arena.begin_train();
+/// arena.push(40, 1).unwrap(); // trains are independently ordered
+/// assert_eq!(arena.trains(), 2);
+/// assert_eq!(arena.view(a).total_events(), 4);
+/// assert_eq!(arena.view(b).times(), &[40]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventTrainArena {
+    times: Vec<u64>,
+    weights: Vec<u32>,
+    /// Per-train `(start, total_weight)`; a train's entries end where the
+    /// next train's start (or the slab end) begins.
+    ranges: Vec<(usize, u64)>,
+}
+
+impl EventTrainArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of trains.
+    pub fn trains(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the arena holds no trains.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total entries across all trains.
+    pub fn entries(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Drops all trains, keeping the slab allocations for reuse.
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.weights.clear();
+        self.ranges.clear();
+    }
+
+    /// Opens a new (empty) train at the end of the slabs and returns its
+    /// index. Subsequent [`EventTrainArena::push`] calls append to it.
+    pub fn begin_train(&mut self) -> usize {
+        self.ranges.push((self.times.len(), 0));
+        self.ranges.len() - 1
+    }
+
+    /// Appends an event to the currently open train, enforcing the same
+    /// nondecreasing-time contract as [`EventTrain::try_push`] (scoped to
+    /// this train — different trains are independent series).
+    ///
+    /// Returns [`DetectorError::HostileTrain`] if no train is open or time
+    /// runs backwards within the open train.
+    pub fn push(&mut self, time: u64, weight: u32) -> Result<(), DetectorError> {
+        let Some(&mut (start, ref mut total)) = self.ranges.last_mut() else {
+            return Err(DetectorError::HostileTrain {
+                reason: "push into an arena with no open train".to_string(),
+            });
+        };
+        if let Some(&last) = self.times.get(start..).and_then(<[u64]>::last) {
+            if time < last {
+                return Err(DetectorError::HostileTrain {
+                    reason: format!("time travel: {time} pushed after {last}"),
+                });
+            }
+        }
+        self.times.push(time);
+        self.weights.push(weight);
+        *total += weight as u64;
+        Ok(())
+    }
+
+    /// Copies an owned train into the arena as a new train, returning its
+    /// index.
+    pub fn push_train(&mut self, train: &EventTrain) -> usize {
+        let idx = self.begin_train();
+        self.times.extend_from_slice(&train.times);
+        self.weights.extend_from_slice(&train.weights);
+        self.ranges[idx].1 = train.total;
+        idx
+    }
+
+    /// A zero-copy view of train `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn view(&self, idx: usize) -> TrainView<'_> {
+        let (start, total) = self.ranges[idx];
+        let end = self
+            .ranges
+            .get(idx + 1)
+            .map_or(self.times.len(), |&(next, _)| next);
+        TrainView {
+            times: &self.times[start..end],
+            weights: &self.weights[start..end],
+            total,
+        }
+    }
+
+    /// Iterates zero-copy views of every train in insertion order.
+    pub fn views(&self) -> impl Iterator<Item = TrainView<'_>> {
+        (0..self.trains()).map(|i| self.view(i))
     }
 }
 

@@ -41,22 +41,22 @@ impl Complex {
         self.re * self.re + self.im * self.im
     }
 
-    fn add(self, other: Self) -> Self {
+    pub(crate) fn add(self, other: Self) -> Self {
         Complex::new(self.re + other.re, self.im + other.im)
     }
 
-    fn sub(self, other: Self) -> Self {
+    pub(crate) fn sub(self, other: Self) -> Self {
         Complex::new(self.re - other.re, self.im - other.im)
     }
 
-    fn mul(self, other: Self) -> Self {
+    pub(crate) fn mul(self, other: Self) -> Self {
         Complex::new(
             self.re * other.re - self.im * other.im,
             self.re * other.im + self.im * other.re,
         )
     }
 
-    fn scale(self, s: f64) -> Self {
+    pub(crate) fn scale(self, s: f64) -> Self {
         Complex::new(self.re * s, self.im * s)
     }
 }

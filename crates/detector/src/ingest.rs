@@ -55,7 +55,7 @@
 
 use crate::auditor::ConflictRecord;
 use crate::density::{DensityHistogram, HISTOGRAM_BINS};
-use crate::events::EventTrain;
+use crate::events::{EventTrain, EventTrainArena};
 use crate::metrics::{default_registry, Counter};
 use crate::online::Harvest;
 use crate::span;
@@ -468,7 +468,22 @@ impl Sanitizer {
     /// what the tolerances allow and dropping the rest. Never panics on any
     /// input; the report says exactly what happened.
     pub fn sanitize(&self, events: &[RawEvent]) -> (EventTrain, SanitizeReport) {
-        let mut train = EventTrain::new();
+        let mut arena = EventTrainArena::new();
+        let (idx, report) = self.sanitize_into(events, &mut arena);
+        (arena.view(idx).to_owned(), report)
+    }
+
+    /// Sanitizes raw events directly into `arena` as a new train, returning
+    /// its index and the report — the zero-copy core of
+    /// [`sanitize`](Self::sanitize). The arena's slabs are reused across
+    /// quanta by the ingest pipeline, so a steady-state quantum allocates
+    /// nothing on this path.
+    pub fn sanitize_into(
+        &self,
+        events: &[RawEvent],
+        arena: &mut EventTrainArena,
+    ) -> (usize, SanitizeReport) {
+        let idx = arena.begin_train();
         let mut report = SanitizeReport {
             offered: events.len() as u64,
             ..SanitizeReport::default()
@@ -508,7 +523,7 @@ impl Sanitizer {
             // Cannot fail: `time` was clamped to be >= the last accepted
             // timestamp — but hostile input must never panic, so the error
             // path degrades to a drop instead of unwrapping.
-            if train.try_push(time, event.weight).is_err() {
+            if arena.push(time, event.weight).is_err() {
                 report.time_travel += 1;
                 continue;
             }
@@ -516,7 +531,7 @@ impl Sanitizer {
             prev_accepted = Some(event);
             last_time = time;
         }
-        (train, report)
+        (idx, report)
     }
 
     /// Strict mode: returns the sanitized train only if the input needed no
@@ -818,6 +833,9 @@ pub struct IngestPipeline {
     config: IngestConfig,
     queue: AdmissionQueue,
     sanitizer: Sanitizer,
+    /// Reused SoA storage for the per-quantum sanitized train: cleared (not
+    /// freed) every quantum so steady state allocates nothing.
+    arena: EventTrainArena,
     stats: IngestStats,
 }
 
@@ -844,6 +862,7 @@ impl IngestPipeline {
         Ok(IngestPipeline {
             queue: AdmissionQueue::new(config.admission)?,
             sanitizer: Sanitizer::new(config.sanitizer),
+            arena: EventTrainArena::new(),
             stats: IngestStats::new(),
             config,
         })
@@ -896,8 +915,14 @@ impl IngestPipeline {
             }
         }
 
-        let (train, sanitize) = self.sanitizer.sanitize(&events);
-        let software = DensityHistogram::from_train(&train, self.config.delta_t, start, end);
+        self.arena.clear();
+        let (train_idx, sanitize) = self.sanitizer.sanitize_into(&events, &mut self.arena);
+        let software = DensityHistogram::from_view(
+            self.arena.view(train_idx),
+            self.config.delta_t,
+            start,
+            end,
+        );
         let mut hardware =
             SaturatingHistogram::new(self.config.delta_t).expect("Δt validated at construction");
         hardware

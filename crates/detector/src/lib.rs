@@ -60,6 +60,7 @@
 
 pub mod auditor;
 pub mod autocorr;
+pub mod batch;
 pub mod bloom;
 pub mod burst;
 pub mod cluster;
@@ -84,13 +85,14 @@ pub mod window;
 
 pub use auditor::{AuditorError, CcAuditor, HardwareUnit};
 pub use autocorr::{autocorrelation, Autocorrelogram, OscillationVerdict};
+pub use batch::{BatchPlanner, FftPlan};
 pub use bloom::BloomFilter;
 pub use burst::{BurstDetector, BurstVerdict};
 pub use cluster::{ClusterConfig, PatternClusters, RecurrenceVerdict};
 pub use conflict::{ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier};
 pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
-pub use events::{EventTrain, SymbolSeries};
+pub use events::{EventTrain, EventTrainArena, SymbolSeries, TrainView};
 pub use fault::{FaultClass, FaultConfig, FaultInjector};
 pub use ingest::{
     AdmissionConfig, AdmissionQueue, DrainedBatch, IngestConfig, IngestPipeline, IngestReport,

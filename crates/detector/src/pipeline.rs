@@ -284,7 +284,6 @@ impl CcHunter {
     /// fraction of the window so degraded evidence is never mistaken for a
     /// fully observed `Clean`.
     pub fn analyze_contention_harvests(&self, harvests: Vec<Harvest>) -> ContentionReport {
-        let detector = BurstDetector::new(self.config.burst);
         let window_len = harvests.len();
         let observed_weight: f64 = harvests.iter().map(Harvest::observed_weight).sum();
         let histograms: Vec<DensityHistogram> = harvests
@@ -294,12 +293,59 @@ impl CcHunter {
                 Harvest::Missed => None,
             })
             .collect();
+        self.contention_report(window_len, observed_weight, histograms)
+    }
+
+    /// Borrowing variant of [`CcHunter::analyze_contention_harvests`]: the
+    /// caller keeps its harvest buffer (the batch audit path reuses evidence
+    /// across retries) and only the observed histograms are cloned into the
+    /// report. The report is bit-identical to the owning variant.
+    pub fn analyze_contention_slice(&self, harvests: &[Harvest]) -> ContentionReport {
+        let window_len = harvests.len();
+        let observed_weight: f64 = harvests.iter().map(Harvest::observed_weight).sum();
+        let histograms: Vec<DensityHistogram> = harvests
+            .iter()
+            .filter_map(|h| h.histogram().cloned())
+            .collect();
+        self.contention_report(window_len, observed_weight, histograms)
+    }
+
+    fn contention_report(
+        &self,
+        window_len: usize,
+        observed_weight: f64,
+        histograms: Vec<DensityHistogram>,
+    ) -> ContentionReport {
+        let core = {
+            let refs: Vec<&DensityHistogram> = histograms.iter().collect();
+            self.contention_core(&refs)
+        };
+        ContentionReport {
+            histograms,
+            quantum_verdicts: core.quantum_verdicts,
+            recurrence: core.recurrence,
+            peak_likelihood_ratio: core.peak_likelihood_ratio,
+            confidence: if window_len == 0 {
+                0.0
+            } else {
+                observed_weight / window_len as f64
+            },
+            verdict: core.verdict,
+        }
+    }
+
+    /// The analysis shared by every contention entry point, over *borrowed*
+    /// histograms: the batch audit path analyzes evidence in place and never
+    /// copies a histogram, while the report-building paths clone only what
+    /// the caller keeps.
+    fn contention_core(&self, histograms: &[&DensityHistogram]) -> ContentionCore {
+        let detector = BurstDetector::new(self.config.burst);
         let quantum_verdicts: Vec<BurstVerdict> = if histograms.len() >= PAR_MIN_HISTOGRAMS {
-            threadpool::par_map(&histograms, |h| detector.analyze(h))
+            threadpool::par_map(histograms, |h| detector.analyze(h))
         } else {
             histograms.iter().map(|h| detector.analyze(h)).collect()
         };
-        let recurrence = analyze_recurrence(&histograms, &quantum_verdicts, &self.config.cluster);
+        let recurrence = analyze_recurrence(histograms, &quantum_verdicts, &self.config.cluster);
         let peak_likelihood_ratio = quantum_verdicts
             .iter()
             .filter(|v| v.has_burst_distribution)
@@ -310,16 +356,10 @@ impl CcHunter {
         } else {
             Verdict::Clean
         };
-        ContentionReport {
-            histograms,
+        ContentionCore {
             quantum_verdicts,
             recurrence,
             peak_likelihood_ratio,
-            confidence: if window_len == 0 {
-                0.0
-            } else {
-                observed_weight / window_len as f64
-            },
             verdict,
         }
     }
@@ -411,8 +451,14 @@ impl CcHunter {
     pub fn audit_pair(&self, audit: &PairAudit) -> Detection {
         let detection = match &audit.evidence {
             PairEvidence::Contention(harvests) => {
-                let report = self.analyze_contention_harvests(harvests.clone());
-                Detection::from_contention(audit.label.clone(), &report)
+                // Analyze the evidence where it sits: no harvest clone, no
+                // histogram copies — the detection summary is all this path
+                // keeps. Identical verdict and evidence string to
+                // `Detection::from_contention(analyze_contention_harvests(..))`.
+                let histograms: Vec<&DensityHistogram> =
+                    harvests.iter().filter_map(Harvest::histogram).collect();
+                let core = self.contention_core(&histograms);
+                Detection::from_core(audit.label.clone(), &core)
             }
             PairEvidence::Memory {
                 records,
@@ -489,6 +535,15 @@ impl CcHunter {
         }
         results
     }
+}
+
+/// The histogram-independent outcome of one contention analysis — what the
+/// audit path keeps after analyzing borrowed evidence.
+struct ContentionCore {
+    quantum_verdicts: Vec<BurstVerdict>,
+    recurrence: RecurrenceVerdict,
+    peak_likelihood_ratio: f64,
+    verdict: Verdict,
 }
 
 /// Records one finished batch in the pipeline's batch counter and latency
@@ -568,6 +623,27 @@ impl Detection {
                 report.quantum_verdicts.len(),
                 report.peak_likelihood_ratio,
                 report.recurrence.largest_burst_cluster
+            ),
+        }
+    }
+
+    /// Builds a detection summary straight from a borrowed-evidence core —
+    /// same fields and evidence string as [`Detection::from_contention`],
+    /// minus the report (and its histogram copies) in the middle.
+    fn from_core(resource: impl Into<String>, core: &ContentionCore) -> Self {
+        Detection {
+            resource: resource.into(),
+            kind: ResourceKind::Combinational,
+            verdict: core.verdict,
+            evidence: format!(
+                "{} of {} quanta bursty (peak LR {:.3}), largest cluster {}",
+                core.quantum_verdicts
+                    .iter()
+                    .filter(|v| v.significant)
+                    .count(),
+                core.quantum_verdicts.len(),
+                core.peak_likelihood_ratio,
+                core.recurrence.largest_burst_cluster
             ),
         }
     }
