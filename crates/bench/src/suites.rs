@@ -13,6 +13,7 @@ use cchunter_detector::ingest::{IngestConfig, IngestPipeline, RawEvent};
 use cchunter_detector::mitigation::MitigationConfig;
 use cchunter_detector::online::{Harvest, OnlineContentionDetector};
 use cchunter_detector::pipeline::symbol_series;
+use cchunter_detector::shard::{ShardedFleet, ShardedFleetConfig};
 use cchunter_detector::supervisor::{PairInput, ProbeFault, Supervisor, SupervisorConfig};
 use cchunter_detector::{
     AdvisoryEnforcer, BloomFilter, CcHunter, CcHunterConfig, PairAudit, PairEvidence,
@@ -30,6 +31,7 @@ pub fn detector_suite(c: &mut Criterion) {
     bench_online_push(c);
     bench_audit_pairs(c);
     bench_supervisor_tick(c);
+    bench_sharded_tick(c);
     bench_mitigation_tick(c);
     bench_bloom(c);
     bench_trackers(c);
@@ -208,6 +210,47 @@ fn bench_supervisor_tick(c: &mut Criterion) {
     c.bench_function("supervisor_tick_8_pairs_64_window", |b| {
         b.iter(|| black_box(fleet.tick(&mut source)))
     });
+}
+
+fn bench_sharded_tick(c: &mut Criterion) {
+    // The same 8-pair steady-state workload as `supervisor_tick`, run
+    // through the sharded coordinator with a single shard: the measured
+    // delta over the flat supervisor is the pure cost of the coordinator
+    // layer (global probe + mailbox hand-off + heartbeat settle). The
+    // second shape spreads 64 pairs across 8 failure domains — the
+    // per-tick cost of a realistically partitioned fleet.
+    let histograms: Vec<DensityHistogram> = (0..8)
+        .map(|i| covert_histogram(14 + (i % 7), 2_500))
+        .collect();
+    for (pairs, shards) in [(8usize, 1usize), (64, 8)] {
+        let config = ShardedFleetConfig {
+            shards,
+            base: SupervisorConfig {
+                window_quanta: 64,
+                ..SupervisorConfig::default()
+            },
+            ..ShardedFleetConfig::default()
+        };
+        let mut fleet = ShardedFleet::new(config).expect("valid fleet config");
+        for pair in 0..pairs {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .expect("valid pair config");
+        }
+        let mut source = |pair: usize, tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(
+                histograms[(pair + tick as usize) % histograms.len()].clone(),
+            )))
+        };
+        for _ in 0..64 {
+            fleet.tick(&mut source);
+        }
+        let name = format!(
+            "sharded_tick_{pairs}_pairs_{shards}_shard{}",
+            if shards == 1 { "" } else { "s" }
+        );
+        c.bench_function(&name, |b| b.iter(|| black_box(fleet.tick(&mut source))));
+    }
 }
 
 fn bench_mitigation_tick(c: &mut Criterion) {

@@ -77,6 +77,7 @@ pub mod online;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
+pub mod shard;
 pub mod span;
 pub mod store;
 pub mod supervisor;
@@ -100,8 +101,8 @@ pub use ingest::{
     SaturatingHistogram, ShedPolicy,
 };
 pub use metrics::{
-    parse_prometheus, Counter, Family, Gauge, Histogram, LossyScrape, ParsedSample, Registry,
-    SkippedLine,
+    parse_prometheus, render_prometheus_merged, Counter, Family, Gauge, Histogram, LossyScrape,
+    ParsedSample, Registry, SkippedLine,
 };
 pub use mitigation::{
     AdvisoryEnforcer, ApplyError, ContainmentState, MitigationConfig, MitigationEnforcer,
@@ -113,11 +114,16 @@ pub use pipeline::{
 };
 pub use policy::{BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig};
 pub use report::SessionReport;
+pub use shard::{
+    pair_key, rendezvous_shard, shard_count_from_env, FleetPairStatus, FleetTickReport,
+    MigrationReport, ShardHealth, ShardStatus, ShardedFleet, ShardedFleetConfig,
+    ShardedFleetStatus,
+};
 pub use span::{Span, TraceEvent, Tracer};
 pub use store::CheckpointStore;
 pub use supervisor::{
-    FleetStatus, IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, Supervisor,
-    SupervisorConfig,
+    FleetStatus, IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, PairKind,
+    PairSnapshot, ProbeFault, ProbeSource, RecoveredFleet, Supervisor, SupervisorConfig,
 };
 pub use trace::TraceError;
 
@@ -163,6 +169,15 @@ pub enum DetectorError {
     /// A stored checkpoint failed CRC/framing validation (see
     /// [`store::CorruptCheckpoint`] for which entry, generation, and why).
     CorruptCheckpoint(Box<store::CorruptCheckpoint>),
+    /// A checkpoint store directory is already exclusively owned by
+    /// another live handle (see [`CheckpointStore::open_exclusive`]):
+    /// two fleets must never interleave generations in one store.
+    StoreBusy {
+        /// The contested store directory.
+        dir: std::path::PathBuf,
+        /// The owner currently holding the claim.
+        owner: String,
+    },
     /// A checkpoint parsed cleanly but describes state incompatible with
     /// the configuration it is being restored into (wrong kind, impossible
     /// capacity, out-of-range histogram bins, …).
@@ -200,6 +215,11 @@ impl fmt::Display for DetectorError {
             DetectorError::HostileTrain { reason } => write!(f, "hostile event train: {reason}"),
             DetectorError::NotAudited { unit } => write!(f, "{unit} is not under audit"),
             DetectorError::CorruptCheckpoint(e) => write!(f, "{e}"),
+            DetectorError::StoreBusy { dir, owner } => write!(
+                f,
+                "checkpoint store {} is exclusively owned by {owner:?}",
+                dir.display()
+            ),
             DetectorError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint mismatch: {reason}")
             }

@@ -217,6 +217,41 @@ impl Histogram {
         }
     }
 
+    /// Adds every observation recorded in `other` into this histogram
+    /// (bucket-by-bucket, plus count, sum, and max), for hierarchical
+    /// rollups that fold per-shard distributions into a fleet-wide one.
+    /// Returns `false` — and merges nothing — when the bucket bounds
+    /// differ, since merging across shapes would misbin. The snapshot of
+    /// `other` is relaxed; a histogram being written concurrently merges
+    /// some consistent-enough recent state, which is all a monitoring
+    /// rollup needs.
+    pub fn merge_from(&self, other: &Histogram) -> bool {
+        if self.inner.bounds != other.inner.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.inner.buckets.iter().zip(&other.inner.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.inner
+            .max_bits
+            .fetch_max(other.max().to_bits(), Ordering::Relaxed);
+        let add = other.sum();
+        let mut current = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + add).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.inner.count.load(Ordering::Relaxed)
@@ -706,6 +741,51 @@ impl Registry {
         out.push_str("\n}\n");
         out
     }
+}
+
+/// Renders several registries as one Prometheus text exposition, with an
+/// optional extra `(label name, label value)` pair injected into every
+/// sample of each part — the hierarchical-rollup exposition: a coordinator
+/// registry plus one registry per shard, each shard's series tagged
+/// `shard="N"`.
+///
+/// `# HELP` / `# TYPE` headers print once per metric name, in first-seen
+/// order across the parts; the first part to register a name supplies its
+/// help text. Same-named series from different parts stay distinguishable
+/// through their injected labels (two unlabeled parts sharing a name will
+/// emit duplicate series — give parts distinct labels).
+pub fn render_prometheus_merged(parts: &[(Option<(&str, &str)>, &Registry)]) -> String {
+    let mut order: Vec<(String, String, &'static str)> = Vec::new();
+    let mut by_name: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
+    for (extra, registry) in parts {
+        for (name, help, metric) in registry.registrations() {
+            if !by_name.contains_key(&name) {
+                order.push((name.clone(), help, metric.type_name()));
+                by_name.insert(name.clone(), Vec::new());
+            }
+            let mut samples = registry.samples_for(&name, &metric);
+            if let Some((k, v)) = extra {
+                for sample in &mut samples {
+                    sample.labels.insert(0, (k.to_string(), v.to_string()));
+                }
+            }
+            by_name
+                .get_mut(&name)
+                .expect("inserted above")
+                .extend(samples);
+        }
+    }
+    let mut out = String::new();
+    for (name, help, type_name) in order {
+        if !help.is_empty() {
+            writeln!(out, "# HELP {name} {}", escape_help(&help)).expect("string write");
+        }
+        writeln!(out, "# TYPE {name} {type_name}").expect("string write");
+        for sample in &by_name[&name] {
+            write_sample_line(&mut out, sample);
+        }
+    }
+    out
 }
 
 fn histogram_samples(

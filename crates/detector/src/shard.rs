@@ -1,0 +1,1739 @@
+//! Failure-domain sharding: a self-healing fleet of fleets.
+//!
+//! One flat [`Supervisor`] contains *pair*-level failures (a panicking
+//! detector, a wedged analysis) but is itself a single failure domain: if
+//! the supervising loop wedges, every monitored pair goes blind at once.
+//! The paper's deployment story — a cloud host auditing every
+//! co-scheduled pair — needs the monitor partitioned the same way the
+//! time-protection literature partitions the resources it guards.
+//!
+//! [`ShardedFleet`] hashes pair identities across N crash-contained shard
+//! supervisors and re-applies the PR 3 watchdog machinery one level up:
+//!
+//! * **Placement** — rendezvous (highest-random-weight) hashing
+//!   ([`pair_key`] + [`rendezvous_shard`]) assigns each pair to one live
+//!   shard. The assignment is stable across restarts with the same shard
+//!   count, and removing one shard moves only *that shard's* pairs.
+//! * **Isolation** — each shard wraps today's [`Supervisor`] with its own
+//!   exclusively-owned [`CheckpointStore`] directory
+//!   ([`CheckpointStore::open_exclusive`]), its own metrics [`Registry`]
+//!   (scraped with a `shard="N"` label), its own optional
+//!   [`IngestPipeline`], and its own [`MitigationEnforcer`].
+//! * **Hand-off** — the coordinator probes each pair once per tick
+//!   (owning the retry/backoff budget) and enqueues inputs into bounded
+//!   per-shard mailboxes. Overload converts [`Harvest::Complete`] into
+//!   [`Harvest::Partial`] backpressure — wider verdict uncertainty — and
+//!   never blocks the coordinator or silently drops a pair's input.
+//! * **Heartbeats** — shard ticks fan out under `catch_unwind` with a
+//!   wall-clock deadline budget. A panicked or over-deadline shard tick is
+//!   a heartbeat miss; [`ShardedFleetConfig::dead_after`] consecutive
+//!   misses declare the shard dead.
+//! * **Migration** — a dead shard's pairs are restored onto survivors
+//!   from its checkpoint store ([`Supervisor::recover_pairs`] →
+//!   [`Supervisor::import_pair`]), rolling back over corrupt generations.
+//!   An active containment re-asserts through the adoptive shard's
+//!   enforcer, exactly like a crash-restore. Pairs whose checkpoints are
+//!   unrecoverable are re-created *degraded*: their Clean verdicts floor
+//!   to [`Verdict::Inconclusive`]. With no survivors at all, pairs are
+//!   carried as orphans (reported Inconclusive) until a shard revives.
+//!
+//! The global pair table is the source of truth: every pair added to the
+//! fleet is accounted for in [`ShardedFleet::pair_statuses`] at all times
+//! — monitored, degraded, or orphaned, never silently gone. A
+//! partially-dead fleet never silently acquits.
+//!
+//! Shard count comes from [`ShardedFleetConfig`] or the `CCHUNTER_SHARDS`
+//! environment knob ([`shard_count_from_env`]), so the same binary runs a
+//! 1-core CI box and a many-core host.
+
+use crate::ingest::{IngestConfig, IngestPipeline};
+use crate::metrics::{
+    render_prometheus_merged, Counter, Family, Gauge, Histogram, Registry, LATENCY_BUCKETS_US,
+};
+use crate::mitigation::{AdvisoryEnforcer, ContainmentState, MitigationEnforcer};
+use crate::online::Harvest;
+use crate::pipeline::Verdict;
+use crate::policy::{backoff_delay, mix_seed, BreakerState};
+use crate::span::{self, Tracer};
+use crate::store::CheckpointStore;
+use crate::supervisor::{
+    IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, PairKind, PairSnapshot, PairStatus,
+    ProbeFault, ProbeSource, RestoredFrom, Supervisor, SupervisorConfig, TickReport,
+};
+use crate::DetectorError;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Sharded-fleet configuration.
+#[derive(Debug, Clone)]
+pub struct ShardedFleetConfig {
+    /// Number of shard supervisors (failure domains). See
+    /// [`shard_count_from_env`] for the `CCHUNTER_SHARDS` knob.
+    pub shards: usize,
+    /// The per-shard supervisor configuration. The coordinator owns the
+    /// probe retry/backoff budget, so shard supervisors run with
+    /// `backoff.max_retries = 0` regardless of what `base` says.
+    pub base: SupervisorConfig,
+    /// Per-shard, per-tick mailbox capacity; inputs beyond it are degraded
+    /// to partial harvests (backpressure), never dropped. 0 = unbounded.
+    pub mailbox_capacity: usize,
+    /// The `lost_fraction` widening applied to an input degraded by
+    /// mailbox overflow, in `[0, 1]`.
+    pub overflow_loss: f64,
+    /// Wall-clock budget for one whole shard tick, in microseconds; an
+    /// over-budget tick is a heartbeat miss. 0 disables the deadline.
+    pub shard_deadline_us: u64,
+    /// Consecutive heartbeat misses before a shard is declared dead and
+    /// its pairs migrate to survivors.
+    pub dead_after: u32,
+    /// Checkpoint generations retained per shard store.
+    pub keep_generations: usize,
+    /// When set, each shard gets its own hardened [`IngestPipeline`] with
+    /// this configuration (stats attached to the shard's supervisor).
+    pub ingest: Option<IngestConfig>,
+}
+
+impl Default for ShardedFleetConfig {
+    fn default() -> Self {
+        ShardedFleetConfig {
+            shards: 4,
+            base: SupervisorConfig::default(),
+            mailbox_capacity: 0,
+            overflow_loss: 0.25,
+            shard_deadline_us: 0,
+            dead_after: 3,
+            keep_generations: 4,
+            ingest: None,
+        }
+    }
+}
+
+impl ShardedFleetConfig {
+    fn validate(&self) -> Result<(), DetectorError> {
+        if self.shards == 0 || self.shards > MAX_SHARDS {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("shard count {} out of range 1..={MAX_SHARDS}", self.shards),
+            });
+        }
+        if !self.overflow_loss.is_finite() || !(0.0..=1.0).contains(&self.overflow_loss) {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("overflow loss {} out of [0, 1]", self.overflow_loss),
+            });
+        }
+        if self.dead_after == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "dead_after must be at least one missed heartbeat".to_string(),
+            });
+        }
+        if self.keep_generations == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "shard stores must keep at least one generation".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Hard upper bound on the shard count (a config typo guard, far above any
+/// sensible core count).
+pub const MAX_SHARDS: usize = 256;
+
+/// Reads the shard count from the `CCHUNTER_SHARDS` environment variable,
+/// clamped to `1..=`[`MAX_SHARDS`]; `default` when unset or unparseable.
+pub fn shard_count_from_env(default: usize) -> usize {
+    std::env::var("CCHUNTER_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, MAX_SHARDS))
+        .unwrap_or(default)
+}
+
+/// FNV-1a hash of a pair label: the stable pair identity used for shard
+/// placement (independent of insertion order and shard count).
+pub fn pair_key(label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Rendezvous (highest-random-weight) choice among `shards` for `key`:
+/// each candidate's weight is a mix of `(key, shard)`, and the largest
+/// wins. Removing one shard from the candidate set only ever moves the
+/// pairs whose maximum *was* that shard — survivors keep their pairs.
+/// Returns `None` when `shards` is empty.
+pub fn rendezvous_shard(key: u64, shards: &[usize]) -> Option<usize> {
+    shards
+        .iter()
+        .copied()
+        .max_by_key(|&shard| (mix_seed(key, shard as u64, 0x5AD0_C0DE), shard))
+}
+
+/// A shard's liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard's supervisor is running.
+    Live,
+    /// The shard was declared dead; its pairs migrated (or orphaned).
+    Dead,
+}
+
+/// One shard's standing for a monitoring page.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub index: usize,
+    /// Liveness.
+    pub health: ShardHealth,
+    /// Pairs currently hosted.
+    pub pairs: usize,
+    /// Consecutive heartbeat misses (resets on a clean tick).
+    pub heartbeat_misses: u32,
+    /// Times this shard has been declared dead.
+    pub deaths: u64,
+    /// Contained shard-tick panics.
+    pub panics: u64,
+    /// Shard ticks that blew the wall-clock deadline.
+    pub tick_deadline_misses: u64,
+    /// Wall-clock microseconds of the last completed shard tick.
+    pub last_tick_us: u64,
+}
+
+/// One pair's fleet-wide standing: every pair ever added appears here,
+/// whatever happened to its shard.
+#[derive(Debug, Clone)]
+pub struct FleetPairStatus {
+    /// Global pair index (stable across migrations).
+    pub pair: usize,
+    /// Pair label.
+    pub label: String,
+    /// Daemon kind.
+    pub kind: PairKind,
+    /// Hosting shard; `None` while orphaned (no live shard to run on).
+    pub shard: Option<usize>,
+    /// Current verdict. Orphaned pairs report
+    /// [`Verdict::Inconclusive`] — a pair the fleet cannot monitor is
+    /// never reported Clean.
+    pub verdict: Verdict,
+    /// Whether the pair runs degraded (untrusted window provenance).
+    pub degraded: bool,
+    /// Containment standing ([`ContainmentState::Inactive`] for orphans).
+    pub containment: ContainmentState,
+    /// Breaker state on the hosting shard, when live.
+    pub health: Option<BreakerState>,
+    /// Provenance of the pair's window, when it was restored/migrated.
+    pub restored_from: Option<RestoredFrom>,
+}
+
+/// What a migration (one shard death) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Pairs re-homed onto surviving shards.
+    pub migrated: usize,
+    /// Of those, pairs imported degraded (unrecoverable or invalid
+    /// checkpoints).
+    pub degraded_imports: usize,
+    /// Pairs left orphaned because no live shard remained.
+    pub orphaned: usize,
+}
+
+/// Fleet-wide report for one coordinator tick.
+#[derive(Debug)]
+pub struct FleetTickReport {
+    /// The coordinator tick that ran.
+    pub tick: u64,
+    /// Per-shard tick reports (`None` for shards that were dead, panicked,
+    /// or skipped this tick), indexed by shard.
+    pub shard_reports: Vec<Option<TickReport>>,
+    /// Shards that missed their heartbeat this tick (panic or deadline).
+    pub heartbeat_misses: Vec<usize>,
+    /// Shards declared dead (and buried) this tick.
+    pub deaths: Vec<usize>,
+    /// What this tick's migrations did (zeros when nothing died).
+    pub migration: MigrationReport,
+    /// Inputs degraded to partial harvests by mailbox overflow.
+    pub overflow_degraded: usize,
+}
+
+/// Everything a monitoring page needs about the sharded fleet.
+#[derive(Debug)]
+pub struct ShardedFleetStatus {
+    /// Coordinator ticks completed.
+    pub tick: u64,
+    /// Per-shard standing.
+    pub shards: Vec<ShardStatus>,
+    /// Every pair's standing (monitored, degraded, or orphaned).
+    pub pairs: Vec<FleetPairStatus>,
+    /// The rolled-up numeric digest (see
+    /// [`ShardedFleet::metrics_snapshot`]).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Where a pair currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairHome {
+    /// Hosted by `shard` at local index `slot`.
+    Assigned { shard: usize, slot: usize },
+    /// No live shard could host it; carried until one revives.
+    Orphaned,
+}
+
+/// One row of the global pair table: the authoritative identity of a pair,
+/// surviving every shard death.
+#[derive(Debug, Clone)]
+struct PairEntry {
+    label: String,
+    kind: PairKind,
+    key: u64,
+    home: PairHome,
+}
+
+/// One failure domain: a supervisor plus everything scoped to it.
+struct Shard {
+    /// `None` while dead.
+    supervisor: Option<Supervisor>,
+    /// The shard's isolated metrics registry (kept across death for
+    /// post-mortem scrapes; replaced on revive).
+    registry: Registry,
+    /// The shard's mitigation actuation backend.
+    enforcer: Box<dyn MitigationEnforcer + Send>,
+    /// The shard's hardened ingest pipeline, when configured.
+    ingest: Option<IngestPipeline>,
+    /// Global pair index hosted at each local slot.
+    slots: Vec<usize>,
+    /// Consecutive heartbeat misses.
+    misses: u32,
+    deaths: u64,
+    panics: u64,
+    tick_deadline_misses: u64,
+    last_tick_us: u64,
+    /// Chaos injection: panic the next N shard ticks.
+    chaos_panic_ticks: u32,
+    /// Chaos injection: stall the next shard tick this long.
+    chaos_stall_us: u64,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("live", &self.supervisor.is_some())
+            .field("slots", &self.slots.len())
+            .field("misses", &self.misses)
+            .field("deaths", &self.deaths)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Coordinator-level instruments (the shard supervisors' own instruments
+/// live in their per-shard registries).
+#[derive(Debug)]
+struct CoordinatorMetrics {
+    ticks: Counter,
+    tick_latency_us: Histogram,
+    live_shards: Gauge,
+    orphaned_pairs: Gauge,
+    degraded_pairs: Gauge,
+    shard_deaths: Counter,
+    migrated_pairs: Counter,
+    degraded_imports: Counter,
+    mailbox_overflow: Counter,
+    probe_retries: Counter,
+    shard_live: Family<Gauge>,
+    shard_pairs: Family<Gauge>,
+    shard_heartbeat_misses: Family<Counter>,
+    shard_tick_latency_us: Family<Histogram>,
+}
+
+impl CoordinatorMetrics {
+    fn register(registry: &Registry) -> Self {
+        const SHARD: &str = "shard";
+        CoordinatorMetrics {
+            ticks: registry.counter(
+                "cchunter_fleet_ticks_total",
+                "Sharded-fleet coordinator ticks completed.",
+            ),
+            tick_latency_us: registry.histogram(
+                "cchunter_fleet_tick_latency_us",
+                "Wall-clock latency of one whole-fleet tick, in microseconds.",
+                &LATENCY_BUCKETS_US,
+            ),
+            live_shards: registry.gauge("cchunter_fleet_live_shards", "Shards currently live."),
+            orphaned_pairs: registry.gauge(
+                "cchunter_fleet_orphaned_pairs",
+                "Pairs with no live shard to run on (reported Inconclusive).",
+            ),
+            degraded_pairs: registry.gauge(
+                "cchunter_fleet_degraded_pairs",
+                "Pairs running in degraded mode (Clean floors to Inconclusive).",
+            ),
+            shard_deaths: registry.counter(
+                "cchunter_fleet_shard_deaths_total",
+                "Shards declared dead by the heartbeat watchdog.",
+            ),
+            migrated_pairs: registry.counter(
+                "cchunter_fleet_migrated_pairs_total",
+                "Pairs migrated off dead shards onto survivors.",
+            ),
+            degraded_imports: registry.counter(
+                "cchunter_fleet_degraded_imports_total",
+                "Migrated pairs whose checkpoints were unrecoverable.",
+            ),
+            mailbox_overflow: registry.counter(
+                "cchunter_fleet_mailbox_overflow_total",
+                "Inputs degraded to partial harvests by mailbox overflow.",
+            ),
+            probe_retries: registry.counter(
+                "cchunter_fleet_probe_retries_total",
+                "Coordinator-side probe retries across all pairs.",
+            ),
+            shard_live: registry.gauge_family(
+                "cchunter_shard_live",
+                "1 when the shard is live, else 0.",
+                SHARD,
+            ),
+            shard_pairs: registry.gauge_family(
+                "cchunter_shard_pairs",
+                "Pairs hosted per shard.",
+                SHARD,
+            ),
+            shard_heartbeat_misses: registry.counter_family(
+                "cchunter_shard_heartbeat_misses_total",
+                "Heartbeat misses (panic or tick deadline) per shard.",
+                SHARD,
+            ),
+            shard_tick_latency_us: registry.histogram_family(
+                "cchunter_shard_tick_latency_us",
+                "Wall-clock latency of one shard tick, in microseconds, by shard.",
+                SHARD,
+                &LATENCY_BUCKETS_US,
+            ),
+        }
+    }
+}
+
+/// The sharded-fleet coordinator: N crash-contained shard supervisors, a
+/// global pair table, heartbeat watchdogs, and checkpoint-based migration.
+///
+/// ```
+/// use cchunter_detector::shard::{ShardedFleet, ShardedFleetConfig};
+/// use cchunter_detector::supervisor::{PairInput, ProbeFault};
+///
+/// let mut fleet = ShardedFleet::new(ShardedFleetConfig {
+///     shards: 2,
+///     ..ShardedFleetConfig::default()
+/// })
+/// .unwrap();
+/// fleet.add_contention_pair("memory-bus: pid 17 <-> pid 23").unwrap();
+/// let report = fleet.tick(&mut |_pair: usize, _tick: u64, _attempt: u32| {
+///     Ok::<PairInput, ProbeFault>(PairInput::Missed)
+/// });
+/// assert!(report.deaths.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ShardedFleet {
+    config: ShardedFleetConfig,
+    /// Root directory holding one store per shard (`shard-NN/`); `None`
+    /// runs storeless (no checkpoints, migration always degrades).
+    store_root: Option<PathBuf>,
+    shards: Vec<Shard>,
+    table: Vec<PairEntry>,
+    tick: u64,
+    registry: Registry,
+    metrics: CoordinatorMetrics,
+    tracer: Tracer,
+}
+
+fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard:02}"))
+}
+
+fn shard_label(shard: usize) -> String {
+    shard.to_string()
+}
+
+/// Replays a pre-probed mailbox into a shard supervisor's probe loop.
+/// Slots are taken at most once; anything unfilled (or re-probed) is a
+/// miss — shard supervisors run with zero retries, so the coordinator's
+/// retry budget is the only one.
+struct MailboxSource {
+    slots: Vec<Option<PairInput>>,
+}
+
+impl ProbeSource for MailboxSource {
+    fn probe(&mut self, pair: usize, _tick: u64, _attempt: u32) -> Result<PairInput, ProbeFault> {
+        Ok(self
+            .slots
+            .get_mut(pair)
+            .and_then(Option::take)
+            .unwrap_or(PairInput::Missed))
+    }
+}
+
+/// Degrades an input under mailbox overflow: complete evidence widens to
+/// partial (the backpressure signal), already-partial evidence widens
+/// further; nothing is dropped.
+fn degrade_for_overflow(input: PairInput, loss: f64) -> PairInput {
+    match input {
+        PairInput::Harvest(Harvest::Complete(histogram)) => PairInput::Harvest(Harvest::Partial {
+            histogram,
+            lost_fraction: loss,
+        }),
+        PairInput::Harvest(Harvest::Partial {
+            histogram,
+            lost_fraction,
+        }) => PairInput::Harvest(Harvest::Partial {
+            histogram,
+            lost_fraction: (lost_fraction + loss).min(1.0),
+        }),
+        PairInput::Conflicts {
+            records,
+            lost_fraction,
+        } => PairInput::Conflicts {
+            records,
+            lost_fraction: (lost_fraction + loss).min(1.0),
+        },
+        other => other,
+    }
+}
+
+/// Imports a migrated pair into `sup` without ever losing it: a snapshot
+/// that fails validation retries degraded; no snapshot at all becomes a
+/// fresh pair under the table's authoritative identity, marked degraded.
+/// Returns `(slot, imported_degraded)`.
+fn import_with_fallback(
+    sup: &mut Supervisor,
+    snapshot: Option<PairSnapshot>,
+    label: &str,
+    kind: PairKind,
+) -> (usize, bool) {
+    if let Some(snap) = snapshot {
+        let degraded = snap.is_degraded();
+        match sup.import_pair(snap.clone()) {
+            Ok(slot) => return (slot, degraded),
+            Err(_) => {
+                if let Ok(slot) = sup.import_pair(snap.degrade()) {
+                    return (slot, true);
+                }
+            }
+        }
+    }
+    // Losing the pair is the one unacceptable outcome; pair construction
+    // under an already-validated config cannot fail.
+    let slot = match kind {
+        PairKind::Contention => sup.add_contention_pair(label),
+        PairKind::Oscillation => sup.add_oscillation_pair(label),
+    }
+    .expect("shard config validated at fleet construction");
+    sup.set_degraded(slot, true).expect("slot just added");
+    (slot, true)
+}
+
+impl ShardedFleet {
+    /// Creates a storeless sharded fleet: no checkpoints are written, so a
+    /// dead shard's pairs always migrate degraded. Use
+    /// [`ShardedFleet::with_store_root`] for durable failure domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range shard
+    /// count, overflow loss, or per-shard configuration.
+    pub fn new(config: ShardedFleetConfig) -> Result<Self, DetectorError> {
+        Self::build(config, None)
+    }
+
+    /// Creates a sharded fleet whose shards checkpoint into
+    /// `root/shard-NN/` directories, each exclusively owned by its shard
+    /// ([`CheckpointStore::open_exclusive`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedFleet::new`], plus store-open errors (including
+    /// [`DetectorError::StoreBusy`] when another fleet owns a shard
+    /// directory).
+    pub fn with_store_root(
+        config: ShardedFleetConfig,
+        root: impl Into<PathBuf>,
+    ) -> Result<Self, DetectorError> {
+        Self::build(config, Some(root.into()))
+    }
+
+    fn build(config: ShardedFleetConfig, root: Option<PathBuf>) -> Result<Self, DetectorError> {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            shards.push(Self::build_shard(&config, root.as_deref(), i)?);
+        }
+        let registry = Registry::new();
+        let metrics = CoordinatorMetrics::register(&registry);
+        let fleet = ShardedFleet {
+            config,
+            store_root: root,
+            shards,
+            table: Vec::new(),
+            tick: 0,
+            registry,
+            metrics,
+            tracer: span::global().clone(),
+        };
+        fleet.refresh_gauges();
+        Ok(fleet)
+    }
+
+    /// The per-shard supervisor configuration: the coordinator owns the
+    /// retry budget, so shards probe their mailbox exactly once.
+    fn shard_supervisor_config(&self, shard: usize) -> SupervisorConfig {
+        let mut cfg = self.config.base;
+        cfg.backoff.max_retries = 0;
+        cfg.seed = mix_seed(self.config.base.seed, shard as u64, 0x5AD0_C0DE);
+        cfg
+    }
+
+    fn build_shard(
+        config: &ShardedFleetConfig,
+        root: Option<&Path>,
+        index: usize,
+    ) -> Result<Shard, DetectorError> {
+        let mut shard_cfg = config.base;
+        shard_cfg.backoff.max_retries = 0;
+        shard_cfg.seed = mix_seed(config.base.seed, index as u64, 0x5AD0_C0DE);
+        let registry = Registry::new();
+        let mut supervisor = Supervisor::new(shard_cfg)?.with_registry(registry.clone());
+        if let Some(root) = root {
+            let store = CheckpointStore::open_exclusive(
+                shard_dir(root, index),
+                config.keep_generations,
+                format!("shard-{index:02}"),
+            )?;
+            supervisor = supervisor.with_store(store);
+        }
+        let ingest = match &config.ingest {
+            Some(cfg) => {
+                let pipeline = IngestPipeline::new(*cfg)?;
+                supervisor.attach_ingest_stats(pipeline.stats());
+                Some(pipeline)
+            }
+            None => None,
+        };
+        Ok(Shard {
+            supervisor: Some(supervisor),
+            registry,
+            enforcer: Box::new(AdvisoryEnforcer),
+            ingest,
+            slots: Vec::new(),
+            misses: 0,
+            deaths: 0,
+            panics: 0,
+            tick_deadline_misses: 0,
+            last_tick_us: 0,
+            chaos_panic_ticks: 0,
+            chaos_stall_us: 0,
+        })
+    }
+
+    /// Replaces `shard`'s mitigation actuation backend (default:
+    /// [`AdvisoryEnforcer`], shadow mode). The enforcer survives shard
+    /// death and revival — it models the hardware/scheduler interface of
+    /// the failure domain, not the supervisor process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index.
+    pub fn set_enforcer(
+        &mut self,
+        shard: usize,
+        enforcer: Box<dyn MitigationEnforcer + Send>,
+    ) -> Result<(), DetectorError> {
+        let slot = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no shard {shard}"),
+            })?;
+        slot.enforcer = enforcer;
+        Ok(())
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &ShardedFleetConfig {
+        &self.config
+    }
+
+    /// Coordinator ticks completed so far.
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Total pairs in the global table (monitored, degraded, or orphaned).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the fleet has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Number of shards (failure domains), live or dead.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Indices of currently live shards.
+    pub fn live_shard_ids(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.supervisor.is_some().then_some(i))
+            .collect()
+    }
+
+    /// One shard's liveness (None for an out-of-range index).
+    pub fn shard_health(&self, shard: usize) -> Option<ShardHealth> {
+        self.shards.get(shard).map(|s| {
+            if s.supervisor.is_some() {
+                ShardHealth::Live
+            } else {
+                ShardHealth::Dead
+            }
+        })
+    }
+
+    /// The shard currently hosting `pair` (None for an out-of-range index
+    /// or an orphaned pair).
+    pub fn shard_of(&self, pair: usize) -> Option<usize> {
+        match self.table.get(pair)?.home {
+            PairHome::Assigned { shard, .. } => Some(shard),
+            PairHome::Orphaned => None,
+        }
+    }
+
+    /// The coordinator's own registry (per-shard instruments live in the
+    /// shard registries; see [`ShardedFleet::render_prometheus`] for the
+    /// merged exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// One shard's metrics registry (None for an out-of-range index). A
+    /// dead shard's registry keeps its last values until the shard is
+    /// revived (post-mortem scrape), then starts fresh.
+    pub fn shard_registry(&self, shard: usize) -> Option<&Registry> {
+        self.shards.get(shard).map(|s| &s.registry)
+    }
+
+    /// Mutable access to one shard's hardened ingest pipeline (None when
+    /// the shard is out of range or [`ShardedFleetConfig::ingest`] is
+    /// unset). Offer raw events and call
+    /// [`IngestPipeline::end_quantum`] between fleet ticks; feed the
+    /// resulting [`Harvest`] back through your [`ProbeSource`].
+    pub fn ingest_mut(&mut self, shard: usize) -> Option<&mut IngestPipeline> {
+        self.shards.get_mut(shard)?.ingest.as_mut()
+    }
+
+    /// Adds a contention (combinational-resource) pair, placing it on a
+    /// live shard by rendezvous hashing of its label; returns its global
+    /// index. With no live shard the pair starts orphaned (and is adopted,
+    /// degraded, when a shard revives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon-construction errors from the hosting shard.
+    pub fn add_contention_pair(
+        &mut self,
+        label: impl Into<String>,
+    ) -> Result<usize, DetectorError> {
+        self.add_pair(label.into(), PairKind::Contention)
+    }
+
+    /// Adds an oscillation (memory-resource) pair; see
+    /// [`ShardedFleet::add_contention_pair`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon-construction errors from the hosting shard.
+    pub fn add_oscillation_pair(
+        &mut self,
+        label: impl Into<String>,
+    ) -> Result<usize, DetectorError> {
+        self.add_pair(label.into(), PairKind::Oscillation)
+    }
+
+    fn add_pair(&mut self, label: String, kind: PairKind) -> Result<usize, DetectorError> {
+        let key = pair_key(&label);
+        let global = self.table.len();
+        let live = self.live_shard_ids();
+        let home = match rendezvous_shard(key, &live) {
+            Some(shard) => {
+                let host = &mut self.shards[shard];
+                let sup = host.supervisor.as_mut().expect("live shard has supervisor");
+                let slot = match kind {
+                    PairKind::Contention => sup.add_contention_pair(label.clone())?,
+                    PairKind::Oscillation => sup.add_oscillation_pair(label.clone())?,
+                };
+                debug_assert_eq!(slot, host.slots.len());
+                host.slots.push(global);
+                PairHome::Assigned { shard, slot }
+            }
+            None => PairHome::Orphaned,
+        };
+        self.table.push(PairEntry {
+            label,
+            kind,
+            key,
+            home,
+        });
+        self.refresh_gauges();
+        Ok(global)
+    }
+
+    /// Runs one fleet tick: probes every assigned pair once (coordinator
+    /// retry/backoff), hands inputs to each shard through its bounded
+    /// mailbox, fans shard ticks out under the panic + deadline
+    /// watchdogs, settles heartbeats, and migrates the pairs of any shard
+    /// declared dead. Never panics and never blocks on a wedged shard
+    /// beyond the deadline fan-out itself.
+    pub fn tick<S: ProbeSource + ?Sized>(&mut self, source: &mut S) -> FleetTickReport {
+        let tick = self.tick;
+        let started = Instant::now();
+        let shard_count = self.shards.len();
+        let mut tick_span = self.tracer.span("fleet", "tick");
+
+        // Phase A (serial): probe each assigned pair once, with the
+        // coordinator-owned retry/backoff budget, into per-shard bounded
+        // mailboxes.
+        let mut mailboxes: Vec<Vec<(usize, PairInput)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        let mut overflow_degraded = 0usize;
+        let mut probe_retries = 0u64;
+        for (global, entry) in self.table.iter().enumerate() {
+            let PairHome::Assigned { shard, slot } = entry.home else {
+                continue;
+            };
+            if self.shards[shard].supervisor.is_none() {
+                continue;
+            }
+            let seed = mix_seed(self.config.base.seed, global as u64, tick);
+            let mut attempt: u32 = 0;
+            let input = loop {
+                let result = source.probe(global, tick, attempt);
+                let retryable = match &result {
+                    Ok(input) => matches!(
+                        input,
+                        PairInput::Missed | PairInput::Harvest(Harvest::Missed)
+                    ),
+                    Err(_) => true,
+                };
+                if !retryable {
+                    break result.expect("non-retryable is Ok");
+                }
+                match backoff_delay(&self.config.base.backoff, seed, attempt) {
+                    // Virtual, as in the flat supervisor: the schedule is
+                    // deterministic and recorded, not slept.
+                    Some(_delay) => attempt += 1,
+                    None => break PairInput::Missed,
+                }
+            };
+            probe_retries += u64::from(attempt);
+            let mailbox = &mut mailboxes[shard];
+            let input = if self.config.mailbox_capacity > 0
+                && mailbox.len() >= self.config.mailbox_capacity
+            {
+                overflow_degraded += 1;
+                degrade_for_overflow(input, self.config.overflow_loss)
+            } else {
+                input
+            };
+            mailbox.push((slot, input));
+        }
+        if probe_retries > 0 {
+            self.metrics.probe_retries.inc_by(probe_retries);
+        }
+        if overflow_degraded > 0 {
+            self.metrics
+                .mailbox_overflow
+                .inc_by(overflow_degraded as u64);
+        }
+
+        // Phase B (parallel): one job per live shard, each under
+        // catch_unwind; a panicking shard is contained in its own slot.
+        struct ShardJob<'a> {
+            shard: &'a mut Shard,
+            mailbox: Vec<(usize, PairInput)>,
+        }
+        let mut jobs: Vec<ShardJob<'_>> = Vec::new();
+        let mut job_ids: Vec<usize> = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if shard.supervisor.is_some() {
+                jobs.push(ShardJob {
+                    shard,
+                    mailbox: std::mem::take(&mut mailboxes[i]),
+                });
+                job_ids.push(i);
+            }
+        }
+        let results = threadpool::par_catch_map_mut(&mut jobs, |job| {
+            if job.shard.chaos_panic_ticks > 0 {
+                job.shard.chaos_panic_ticks -= 1;
+                panic!("chaos: injected shard failure");
+            }
+            let stall = std::mem::take(&mut job.shard.chaos_stall_us);
+            if stall > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(stall));
+            }
+            let supervisor = job
+                .shard
+                .supervisor
+                .as_mut()
+                .expect("jobs are built from live shards");
+            let mut slots: Vec<Option<PairInput>> = vec![None; supervisor.len()];
+            for (slot, input) in job.mailbox.drain(..) {
+                if let Some(cell) = slots.get_mut(slot) {
+                    *cell = Some(input);
+                }
+            }
+            let shard_started = Instant::now();
+            let report = supervisor
+                .tick_with_enforcer(&mut MailboxSource { slots }, job.shard.enforcer.as_mut());
+            let elapsed_us = shard_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            (report, elapsed_us)
+        });
+        drop(jobs);
+
+        // Phase C (serial): heartbeat settlement and death declaration.
+        let mut shard_reports: Vec<Option<TickReport>> = (0..shard_count).map(|_| None).collect();
+        let mut heartbeat_misses = Vec::new();
+        let mut deaths = Vec::new();
+        let deadline_us = self.config.shard_deadline_us;
+        for (i, result) in job_ids.into_iter().zip(results) {
+            let shard = &mut self.shards[i];
+            match result {
+                Err(panic) => {
+                    shard.panics += 1;
+                    shard.misses += 1;
+                    heartbeat_misses.push(i);
+                    self.metrics
+                        .shard_heartbeat_misses
+                        .with_label(&shard_label(i))
+                        .inc();
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "fleet",
+                            "shard-panic",
+                            format_args!("shard {i}: {} (miss {})", panic.message, shard.misses),
+                        );
+                    }
+                }
+                Ok((report, elapsed_us)) => {
+                    shard.last_tick_us = elapsed_us;
+                    self.metrics
+                        .shard_tick_latency_us
+                        .with_label(&shard_label(i))
+                        .observe(elapsed_us as f64);
+                    if deadline_us > 0 && elapsed_us > deadline_us {
+                        shard.tick_deadline_misses += 1;
+                        shard.misses += 1;
+                        heartbeat_misses.push(i);
+                        self.metrics
+                            .shard_heartbeat_misses
+                            .with_label(&shard_label(i))
+                            .inc();
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "fleet",
+                                "shard-deadline-miss",
+                                format_args!(
+                                    "shard {i}: {elapsed_us} µs > {deadline_us} µs budget (miss {})",
+                                    shard.misses
+                                ),
+                            );
+                        }
+                    } else {
+                        shard.misses = 0;
+                    }
+                    shard_reports[i] = Some(report);
+                }
+            }
+            if self.shards[i].misses >= self.config.dead_after {
+                deaths.push(i);
+            }
+        }
+
+        let mut migration = MigrationReport::default();
+        for &i in &deaths {
+            let report = self.bury_shard(i);
+            migration.migrated += report.migrated;
+            migration.degraded_imports += report.degraded_imports;
+            migration.orphaned += report.orphaned;
+        }
+
+        self.tick = tick + 1;
+        let tick_elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics.ticks.inc();
+        self.metrics.tick_latency_us.observe(tick_elapsed_us as f64);
+        self.refresh_gauges();
+        if self.tracer.is_enabled() {
+            tick_span.detail(format_args!(
+                "tick {tick}: {} pairs, {} live shards, {} deaths",
+                self.table.len(),
+                self.live_shard_ids().len(),
+                deaths.len()
+            ));
+        }
+        drop(tick_span);
+
+        FleetTickReport {
+            tick,
+            shard_reports,
+            heartbeat_misses,
+            deaths,
+            migration,
+            overflow_degraded,
+        }
+    }
+
+    /// Declares `shard` dead immediately (as if its heartbeat budget had
+    /// run out) and migrates its pairs: the chaos-drill entry point for
+    /// the same path the watchdog takes. Crash semantics — no parting
+    /// checkpoint is written; recovery works from whatever the shard's
+    /// store already holds. A no-op report for an already-dead shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index.
+    pub fn kill_shard(&mut self, shard: usize) -> Result<MigrationReport, DetectorError> {
+        if shard >= self.shards.len() {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("no shard {shard}"),
+            });
+        }
+        let report = self.bury_shard(shard);
+        self.refresh_gauges();
+        Ok(report)
+    }
+
+    /// Injects a panic into `shard`'s next `ticks` shard ticks (heartbeat
+    /// misses; enough of them kill the shard through the watchdog path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index.
+    pub fn panic_shard(&mut self, shard: usize, ticks: u32) -> Result<(), DetectorError> {
+        let slot = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no shard {shard}"),
+            })?;
+        slot.chaos_panic_ticks = ticks;
+        Ok(())
+    }
+
+    /// Stalls `shard`'s next shard tick by `us` wall-clock microseconds
+    /// (to trip the shard deadline watchdog).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index.
+    pub fn stall_shard(&mut self, shard: usize, us: u64) -> Result<(), DetectorError> {
+        let slot = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no shard {shard}"),
+            })?;
+        slot.chaos_stall_us = us;
+        Ok(())
+    }
+
+    /// Buries a dead shard: drops its supervisor (releasing the store's
+    /// exclusive claim — no parting checkpoint), recovers what its store
+    /// holds, and re-homes every one of its pairs onto survivors (or
+    /// orphans them when none remain). The global table is authoritative:
+    /// pairs added after the shard's last checkpoint have no snapshot and
+    /// are re-created degraded — counted, never lost.
+    fn bury_shard(&mut self, victim: usize) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        {
+            let shard = &mut self.shards[victim];
+            if shard.supervisor.is_none() {
+                return report;
+            }
+            shard.supervisor = None;
+            shard.ingest = None;
+            shard.slots.clear();
+            shard.misses = 0;
+            shard.deaths += 1;
+        }
+        self.metrics.shard_deaths.inc();
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "fleet",
+                "shard-dead",
+                format_args!("shard {victim}: declared dead, migrating pairs"),
+            );
+        }
+
+        // Read back whatever the dead shard's store still holds, under a
+        // temporary exclusive claim (the dead supervisor just released
+        // its own). Any failure here degrades the migration, never
+        // aborts it.
+        let recover_cfg = self.shard_supervisor_config(victim);
+        let recovered: Vec<PairSnapshot> = match &self.store_root {
+            Some(root) => match CheckpointStore::open_exclusive(
+                shard_dir(root, victim),
+                self.config.keep_generations,
+                format!("migrator:shard-{victim:02}"),
+            ) {
+                Ok(store) => match Supervisor::recover_pairs(&recover_cfg, &store) {
+                    Ok(fleet) => fleet.pairs,
+                    Err(_) => Vec::new(),
+                },
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        };
+
+        let victims: Vec<(usize, usize)> = self
+            .table
+            .iter()
+            .enumerate()
+            .filter_map(|(global, entry)| match entry.home {
+                PairHome::Assigned { shard, slot } if shard == victim => Some((global, slot)),
+                _ => None,
+            })
+            .collect();
+        let live = self.live_shard_ids();
+        for (global, slot) in victims {
+            let label = self.table[global].label.clone();
+            let kind = self.table[global].kind;
+            // A stale store could hold some other pair's state under this
+            // slot index; the authoritative identity check guards against
+            // migrating the wrong window.
+            let snapshot = recovered
+                .get(slot)
+                .filter(|s| s.label() == label && s.kind() == kind)
+                .cloned();
+            match rendezvous_shard(self.table[global].key, &live) {
+                None => {
+                    self.table[global].home = PairHome::Orphaned;
+                    report.orphaned += 1;
+                }
+                Some(target) => {
+                    let host = &mut self.shards[target];
+                    let sup = host
+                        .supervisor
+                        .as_mut()
+                        .expect("live_shard_ids only lists live shards");
+                    let (new_slot, degraded) = import_with_fallback(sup, snapshot, &label, kind);
+                    debug_assert_eq!(new_slot, host.slots.len());
+                    host.slots.push(global);
+                    self.table[global].home = PairHome::Assigned {
+                        shard: target,
+                        slot: new_slot,
+                    };
+                    report.migrated += 1;
+                    if degraded {
+                        report.degraded_imports += 1;
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "fleet",
+                            "pair-migrated",
+                            format_args!(
+                                "{label}: shard {victim} -> {target}{}",
+                                if degraded { " (degraded)" } else { "" }
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        self.metrics.migrated_pairs.inc_by(report.migrated as u64);
+        self.metrics
+            .degraded_imports
+            .inc_by(report.degraded_imports as u64);
+        report
+    }
+
+    /// Revives a dead shard with a fresh supervisor (wiping its store
+    /// directory first — its recoverable state already migrated away, and
+    /// stale windows under recycled slot indices must not leak into the
+    /// next life). Previously migrated pairs stay on their adoptive
+    /// shards; orphaned pairs are adopted now, degraded, by rendezvous
+    /// over the new live set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range or
+    /// still-live shard, and propagates store/supervisor construction
+    /// errors (in which case the shard stays dead).
+    pub fn revive_shard(&mut self, shard: usize) -> Result<MigrationReport, DetectorError> {
+        if shard >= self.shards.len() {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("no shard {shard}"),
+            });
+        }
+        if self.shards[shard].supervisor.is_some() {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("shard {shard} is still live"),
+            });
+        }
+        if let Some(root) = &self.store_root {
+            let _ = std::fs::remove_dir_all(shard_dir(root, shard));
+        }
+        let rebuilt = Self::build_shard(&self.config, self.store_root.as_deref(), shard)?;
+        {
+            let slot = &mut self.shards[shard];
+            slot.supervisor = rebuilt.supervisor;
+            slot.registry = rebuilt.registry;
+            slot.ingest = rebuilt.ingest;
+            slot.slots = Vec::new();
+            slot.misses = 0;
+            // The enforcer is the failure domain's actuation backend; it
+            // survives the supervisor's death and revival.
+        }
+        if self.tracer.is_enabled() {
+            self.tracer
+                .event("fleet", "shard-revived", format_args!("shard {shard}"));
+        }
+
+        // Adopt orphans: there is a live shard again, so nothing may stay
+        // unmonitored. Orphans have no recoverable state by definition —
+        // they import degraded.
+        let mut report = MigrationReport::default();
+        let live = self.live_shard_ids();
+        for global in 0..self.table.len() {
+            if !matches!(self.table[global].home, PairHome::Orphaned) {
+                continue;
+            }
+            let Some(target) = rendezvous_shard(self.table[global].key, &live) else {
+                continue;
+            };
+            let label = self.table[global].label.clone();
+            let kind = self.table[global].kind;
+            let host = &mut self.shards[target];
+            let sup = host
+                .supervisor
+                .as_mut()
+                .expect("live_shard_ids only lists live shards");
+            let (new_slot, _) = import_with_fallback(sup, None, &label, kind);
+            debug_assert_eq!(new_slot, host.slots.len());
+            host.slots.push(global);
+            self.table[global].home = PairHome::Assigned {
+                shard: target,
+                slot: new_slot,
+            };
+            report.migrated += 1;
+            report.degraded_imports += 1;
+        }
+        self.metrics.migrated_pairs.inc_by(report.migrated as u64);
+        self.metrics
+            .degraded_imports
+            .inc_by(report.degraded_imports as u64);
+        self.refresh_gauges();
+        Ok(report)
+    }
+
+    /// Manually checkpoints every live shard; returns `(shard,
+    /// generation)` pairs. (Shards also auto-checkpoint through
+    /// [`SupervisorConfig::checkpoint_every`].)
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first shard whose checkpoint fails.
+    pub fn checkpoint(&self) -> Result<Vec<(usize, u64)>, DetectorError> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(sup) = &shard.supervisor {
+                if sup.store().is_some() {
+                    out.push((i, sup.checkpoint()?));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One pair's containment standing, routed through the global table
+    /// (None for an out-of-range index;
+    /// [`ContainmentState::Inactive`] for orphans).
+    pub fn containment(&self, pair: usize) -> Option<ContainmentState> {
+        match self.table.get(pair)?.home {
+            PairHome::Assigned { shard, slot } => self
+                .shards
+                .get(shard)
+                .and_then(|s| s.supervisor.as_ref())
+                .and_then(|sup| sup.containment(slot)),
+            PairHome::Orphaned => Some(ContainmentState::Inactive),
+        }
+    }
+
+    /// Per-shard standing, indexed by shard.
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardStatus {
+                index,
+                health: if shard.supervisor.is_some() {
+                    ShardHealth::Live
+                } else {
+                    ShardHealth::Dead
+                },
+                pairs: shard.slots.len(),
+                heartbeat_misses: shard.misses,
+                deaths: shard.deaths,
+                panics: shard.panics,
+                tick_deadline_misses: shard.tick_deadline_misses,
+                last_tick_us: shard.last_tick_us,
+            })
+            .collect()
+    }
+
+    /// Every pair's fleet-wide standing, in global pair order — the
+    /// zero-lost-pairs ledger: each pair is monitored, degraded, or
+    /// orphaned-Inconclusive, never missing and never silently Clean
+    /// after its shard died without state.
+    pub fn pair_statuses(&self) -> Vec<FleetPairStatus> {
+        let per_shard: Vec<Option<Vec<PairStatus>>> = self
+            .shards
+            .iter()
+            .map(|s| s.supervisor.as_ref().map(|sup| sup.pair_statuses()))
+            .collect();
+        self.table
+            .iter()
+            .enumerate()
+            .map(|(global, entry)| {
+                let hosted = match entry.home {
+                    PairHome::Assigned { shard, slot } => per_shard
+                        .get(shard)
+                        .and_then(|statuses| statuses.as_ref())
+                        .and_then(|statuses| statuses.get(slot))
+                        .map(|status| (shard, status)),
+                    PairHome::Orphaned => None,
+                };
+                match hosted {
+                    Some((shard, status)) => FleetPairStatus {
+                        pair: global,
+                        label: entry.label.clone(),
+                        kind: entry.kind,
+                        shard: Some(shard),
+                        verdict: status.verdict,
+                        degraded: status.degraded,
+                        containment: status.containment,
+                        health: Some(status.health),
+                        restored_from: status.restored_from,
+                    },
+                    None => FleetPairStatus {
+                        pair: global,
+                        label: entry.label.clone(),
+                        kind: entry.kind,
+                        shard: None,
+                        verdict: Verdict::Inconclusive,
+                        degraded: true,
+                        containment: ContainmentState::Inactive,
+                        health: None,
+                        restored_from: None,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// The whole fleet's standing: per-shard table, per-pair ledger, and
+    /// the rolled-up digest.
+    pub fn fleet_status(&self) -> ShardedFleetStatus {
+        ShardedFleetStatus {
+            tick: self.tick,
+            shards: self.shard_statuses(),
+            pairs: self.pair_statuses(),
+            metrics: self.metrics_snapshot(),
+        }
+    }
+
+    /// The hierarchical rollup: every live shard's digest summed into one
+    /// [`MetricsSnapshot`]. `ticks` is the coordinator tick, `pairs` the
+    /// global table size (orphans included), `tick_latency` the
+    /// whole-fleet tick distribution, and `audit_latency` the merge of
+    /// every live shard's per-pair distribution. A dead shard's monotonic
+    /// totals leave the sum until it revives — the coordinator's own
+    /// counters (deaths, migrations, orphans) never reset.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let audit_latency = Histogram::latency_us();
+        let mut quarantined_pairs = 0usize;
+        let mut covert_pairs = 0usize;
+        let mut contained_pairs = 0usize;
+        let mut analyzed = 0u64;
+        let mut degraded = 0u64;
+        let mut failures = 0u64;
+        let mut panics = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut retries = 0u64;
+        let mut quarantine_skips = 0u64;
+        let mut verdict_flips = 0u64;
+        let mut breaker_transitions = 0u64;
+        let mut recoveries = 0u64;
+        let mut mitigations_applied = 0u64;
+        let mut mitigation_failures = 0u64;
+        let mut mitigation_escalations = 0u64;
+        let mut mitigation_stepdowns = 0u64;
+        let mut checkpoints = 0u64;
+        let mut checkpoint_errors = 0u64;
+        let mut restore_rollbacks = 0u64;
+        let mut confidence_sum = 0.0f64;
+        let mut ingest = IngestSnapshot::default();
+        for shard in &self.shards {
+            let Some(sup) = &shard.supervisor else {
+                continue;
+            };
+            let snap = sup.metrics_snapshot();
+            quarantined_pairs += snap.quarantined_pairs;
+            covert_pairs += snap.covert_pairs;
+            contained_pairs += snap.contained_pairs;
+            analyzed += snap.analyzed;
+            degraded += snap.degraded;
+            failures += snap.failures;
+            panics += snap.panics;
+            deadline_misses += snap.deadline_misses;
+            retries += snap.retries;
+            quarantine_skips += snap.quarantine_skips;
+            verdict_flips += snap.verdict_flips;
+            breaker_transitions += snap.breaker_transitions;
+            recoveries += snap.recoveries;
+            mitigations_applied += snap.mitigations_applied;
+            mitigation_failures += snap.mitigation_failures;
+            mitigation_escalations += snap.mitigation_escalations;
+            mitigation_stepdowns += snap.mitigation_stepdowns;
+            checkpoints += snap.checkpoints;
+            checkpoint_errors += snap.checkpoint_errors;
+            restore_rollbacks += snap.restore_rollbacks;
+            confidence_sum += snap.mean_confidence * snap.pairs as f64;
+            let (shard_audit, _shard_tick) = sup.totals_latency();
+            audit_latency.merge_from(shard_audit);
+            ingest.events_offered += snap.ingest.events_offered;
+            ingest.events_shed += snap.ingest.events_shed;
+            ingest.events_repaired += snap.ingest.events_repaired;
+            ingest.events_dropped += snap.ingest.events_dropped;
+            ingest.saturated_quanta += snap.ingest.saturated_quanta;
+            ingest.quanta += snap.ingest.quanta;
+            ingest.partial_harvests += snap.ingest.partial_harvests;
+            ingest.missed_harvests += snap.ingest.missed_harvests;
+        }
+        retries += self.metrics.probe_retries.get();
+        MetricsSnapshot {
+            ticks: self.tick,
+            pairs: self.table.len(),
+            quarantined_pairs,
+            covert_pairs,
+            contained_pairs,
+            analyzed,
+            degraded,
+            failures,
+            panics,
+            deadline_misses,
+            retries,
+            quarantine_skips,
+            verdict_flips,
+            breaker_transitions,
+            recoveries,
+            mitigations_applied,
+            mitigation_failures,
+            mitigation_escalations,
+            mitigation_stepdowns,
+            checkpoints,
+            checkpoint_errors,
+            restore_rollbacks,
+            mean_confidence: if self.table.is_empty() {
+                0.0
+            } else {
+                confidence_sum / self.table.len() as f64
+            },
+            ingest,
+            audit_latency: LatencySummary::from_histogram(&audit_latency),
+            tick_latency: LatencySummary::from_histogram(&self.metrics.tick_latency_us),
+        }
+    }
+
+    /// Renders the coordinator registry plus every shard registry as one
+    /// Prometheus exposition, each shard's series labeled `shard="N"`.
+    pub fn render_prometheus(&self) -> String {
+        let labels: Vec<String> = (0..self.shards.len()).map(shard_label).collect();
+        let mut parts: Vec<(Option<(&str, &str)>, &Registry)> = vec![(None, &self.registry)];
+        for (i, shard) in self.shards.iter().enumerate() {
+            parts.push((Some(("shard", labels[i].as_str())), &shard.registry));
+        }
+        render_prometheus_merged(&parts)
+    }
+
+    /// Pushes the cheap derived gauges (live shards, per-shard pair
+    /// counts, orphan and degraded totals).
+    fn refresh_gauges(&self) {
+        let mut live = 0usize;
+        let mut degraded = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let is_live = shard.supervisor.is_some();
+            if is_live {
+                live += 1;
+            }
+            if let Some(sup) = &shard.supervisor {
+                degraded += sup.degraded_pairs();
+            }
+            self.metrics
+                .shard_live
+                .with_label(&shard_label(i))
+                .set(if is_live { 1.0 } else { 0.0 });
+            self.metrics
+                .shard_pairs
+                .with_label(&shard_label(i))
+                .set(shard.slots.len() as f64);
+        }
+        let orphans = self
+            .table
+            .iter()
+            .filter(|e| matches!(e.home, PairHome::Orphaned))
+            .count();
+        self.metrics.live_shards.set(live as f64);
+        self.metrics.orphaned_pairs.set(orphans as f64);
+        self.metrics.degraded_pairs.set((degraded + orphans) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{DensityHistogram, HISTOGRAM_BINS};
+    use crate::policy::BackoffConfig;
+
+    fn covert_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_400;
+        bins[19] = 20;
+        bins[20] = 25;
+        bins[21] = 20;
+        DensityHistogram::from_bins(bins, 1_000).unwrap()
+    }
+
+    fn quiet_histogram() -> DensityHistogram {
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        bins[0] = 2_400;
+        bins[1] = 40;
+        bins[2] = 12;
+        DensityHistogram::from_bins(bins, 1_000).unwrap()
+    }
+
+    fn test_config(shards: usize) -> ShardedFleetConfig {
+        ShardedFleetConfig {
+            shards,
+            base: SupervisorConfig {
+                window_quanta: 8,
+                backoff: BackoffConfig {
+                    max_retries: 2,
+                    ..BackoffConfig::default()
+                },
+                ..SupervisorConfig::default()
+            },
+            ..ShardedFleetConfig::default()
+        }
+    }
+
+    fn covert_source(pair: usize, _tick: u64, _attempt: u32) -> Result<PairInput, ProbeFault> {
+        let _ = pair;
+        Ok(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+    }
+
+    #[test]
+    fn rendezvous_is_stable_and_minimal() {
+        let shards: Vec<usize> = (0..8).collect();
+        for pair in 0..256 {
+            let key = pair_key(&format!("pair {pair}"));
+            let full = rendezvous_shard(key, &shards).unwrap();
+            assert_eq!(rendezvous_shard(key, &shards).unwrap(), full);
+            // Removing any shard other than the chosen one never moves
+            // this pair.
+            for &removed in &shards {
+                if removed == full {
+                    continue;
+                }
+                let remaining: Vec<usize> =
+                    shards.iter().copied().filter(|&s| s != removed).collect();
+                assert_eq!(rendezvous_shard(key, &remaining).unwrap(), full);
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_spread_across_shards() {
+        let mut fleet = ShardedFleet::new(test_config(4)).unwrap();
+        for pair in 0..64 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        let statuses = fleet.shard_statuses();
+        assert!(
+            statuses.iter().filter(|s| s.pairs > 0).count() >= 3,
+            "64 pairs should land on at least 3 of 4 shards: {statuses:?}"
+        );
+        assert_eq!(statuses.iter().map(|s| s.pairs).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn single_shard_matches_flat_supervisor_verdicts() {
+        let mut fleet = ShardedFleet::new(test_config(1)).unwrap();
+        let mut flat = Supervisor::new(SupervisorConfig {
+            window_quanta: 8,
+            ..SupervisorConfig::default()
+        })
+        .unwrap();
+        for pair in 0..4 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+            flat.add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        for _ in 0..16 {
+            fleet.tick(&mut covert_source);
+            flat.tick(&mut covert_source);
+        }
+        let sharded: Vec<Verdict> = fleet.pair_statuses().iter().map(|p| p.verdict).collect();
+        let flat: Vec<Verdict> = flat.pair_statuses().iter().map(|p| p.verdict).collect();
+        assert_eq!(sharded, flat);
+    }
+
+    #[test]
+    fn mailbox_overflow_degrades_instead_of_dropping() {
+        let mut config = test_config(1);
+        config.mailbox_capacity = 2;
+        config.overflow_loss = 0.3;
+        let mut fleet = ShardedFleet::new(config).unwrap();
+        for pair in 0..5 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        let report = fleet.tick(&mut |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<PairInput, ProbeFault>(PairInput::Harvest(Harvest::Complete(quiet_histogram())))
+        });
+        assert_eq!(report.overflow_degraded, 3);
+        // Every pair still got its input analyzed (degraded, not dropped).
+        let shard_report = report.shard_reports[0].as_ref().unwrap();
+        assert_eq!(shard_report.reports.len(), 5);
+    }
+
+    #[test]
+    fn storeless_kill_degrades_and_never_acquits() {
+        let mut fleet = ShardedFleet::new(test_config(2)).unwrap();
+        for pair in 0..8 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        let mut quiet = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<PairInput, ProbeFault>(PairInput::Harvest(Harvest::Complete(quiet_histogram())))
+        };
+        for _ in 0..12 {
+            fleet.tick(&mut quiet);
+        }
+        let victim = fleet.shard_of(0).unwrap();
+        let report = fleet.kill_shard(victim).unwrap();
+        assert!(report.migrated > 0);
+        // Storeless: every migrated pair must be degraded.
+        assert_eq!(report.degraded_imports, report.migrated);
+        for _ in 0..12 {
+            fleet.tick(&mut quiet);
+        }
+        for status in fleet.pair_statuses() {
+            if status.degraded {
+                assert_ne!(
+                    status.verdict,
+                    Verdict::Clean,
+                    "degraded pair {} must not acquit",
+                    status.label
+                );
+            }
+        }
+        assert_eq!(fleet.pair_statuses().len(), 8, "no pair may be lost");
+    }
+
+    #[test]
+    fn killing_every_shard_orphans_pairs_and_revival_adopts_them() {
+        let mut fleet = ShardedFleet::new(test_config(2)).unwrap();
+        for pair in 0..6 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        fleet.kill_shard(0).unwrap();
+        let report = fleet.kill_shard(1).unwrap();
+        assert!(report.orphaned > 0);
+        let statuses = fleet.pair_statuses();
+        assert_eq!(statuses.len(), 6);
+        for status in &statuses {
+            assert_eq!(status.shard, None);
+            assert_eq!(status.verdict, Verdict::Inconclusive);
+            assert!(status.degraded);
+        }
+        let adopted = fleet.revive_shard(0).unwrap();
+        assert_eq!(adopted.migrated, 6);
+        for status in fleet.pair_statuses() {
+            assert_eq!(status.shard, Some(0));
+            assert!(status.degraded);
+        }
+    }
+
+    #[test]
+    fn heartbeat_watchdog_declares_death_after_consecutive_panics() {
+        let mut config = test_config(2);
+        config.dead_after = 2;
+        let mut fleet = ShardedFleet::new(config).unwrap();
+        for pair in 0..8 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        let victim = fleet.shard_of(0).unwrap();
+        fleet.panic_shard(victim, 2).unwrap();
+        let first = fleet.tick(&mut covert_source);
+        assert_eq!(first.heartbeat_misses, vec![victim]);
+        assert!(first.deaths.is_empty());
+        let second = fleet.tick(&mut covert_source);
+        assert_eq!(second.deaths, vec![victim]);
+        assert!(second.migration.migrated > 0);
+        assert_eq!(fleet.shard_health(victim), Some(ShardHealth::Dead));
+        // The survivor carries everything.
+        assert_eq!(fleet.pair_statuses().len(), 8);
+        assert!(fleet
+            .pair_statuses()
+            .iter()
+            .all(|p| p.shard.is_some() && p.shard != Some(victim)));
+    }
+
+    #[test]
+    fn env_knob_parses_and_clamps() {
+        // Only exercises the parse/clamp logic through the public default
+        // path — the variable itself is process-global state the test
+        // suite must not mutate.
+        assert_eq!(shard_count_from_env(6).clamp(1, MAX_SHARDS), 6);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(ShardedFleet::new(ShardedFleetConfig {
+            shards: 0,
+            ..ShardedFleetConfig::default()
+        })
+        .is_err());
+        assert!(ShardedFleet::new(ShardedFleetConfig {
+            overflow_loss: 1.5,
+            ..ShardedFleetConfig::default()
+        })
+        .is_err());
+        assert!(ShardedFleet::new(ShardedFleetConfig {
+            dead_after: 0,
+            ..ShardedFleetConfig::default()
+        })
+        .is_err());
+    }
+}

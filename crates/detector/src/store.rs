@@ -41,10 +41,12 @@
 //! field cannot trigger an unbounded allocation.
 
 use crate::DetectorError;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Magic prefix of every stored frame. The `\r\n` tail catches text-mode
 /// line-ending translation the same way PNG's magic does.
@@ -310,6 +312,40 @@ pub struct LoadedCheckpoint {
 pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
+    /// Exclusive-ownership token, held only by stores opened through
+    /// [`CheckpointStore::open_exclusive`]. Clones share the token; the
+    /// registration is released when the last clone drops.
+    guard: Option<Arc<OwnerToken>>,
+}
+
+/// Process-wide registry of exclusively owned store directories, keyed by
+/// canonicalized path. Guards the migration window: two shard supervisors
+/// racing for the same pair store would interleave generations and corrupt
+/// the rollback chain, so the second opener gets a typed refusal instead.
+fn owner_registry() -> &'static Mutex<HashMap<PathBuf, String>> {
+    static OWNERS: OnceLock<Mutex<HashMap<PathBuf, String>>> = OnceLock::new();
+    OWNERS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_owner_registry() -> std::sync::MutexGuard<'static, HashMap<PathBuf, String>> {
+    // Ownership bookkeeping must survive a panicked holder: the map itself
+    // is always structurally valid, so poison is ignorable.
+    owner_registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// RAII registration of one store directory's exclusive owner.
+#[derive(Debug)]
+struct OwnerToken {
+    key: PathBuf,
+    owner: String,
+}
+
+impl Drop for OwnerToken {
+    fn drop(&mut self) {
+        lock_owner_registry().remove(&self.key);
+    }
 }
 
 impl CheckpointStore {
@@ -328,7 +364,56 @@ impl CheckpointStore {
         }
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, keep })
+        Ok(CheckpointStore {
+            dir,
+            keep,
+            guard: None,
+        })
+    }
+
+    /// Like [`CheckpointStore::open`], but also registers `owner` as the
+    /// directory's exclusive owner in a process-wide registry. While any
+    /// clone of the returned store is alive, a second `open_exclusive` on
+    /// the same directory (under any path spelling — keys are
+    /// canonicalized) fails with [`DetectorError::StoreBusy`], so two
+    /// shard supervisors can never interleave generations in one pair's
+    /// store during a migration. Dropping the last clone releases the
+    /// claim. Plain [`CheckpointStore::open`] stores are unguarded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheckpointStore::open`], plus
+    /// [`DetectorError::StoreBusy`] when the directory is already owned.
+    pub fn open_exclusive(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+        owner: impl Into<String>,
+    ) -> Result<Self, DetectorError> {
+        let mut store = Self::open(dir, keep)?;
+        let owner = owner.into();
+        // open() just created the directory, so canonicalize only fails on
+        // exotic filesystems; the raw path is a safe (if weaker) key.
+        let key = store
+            .dir
+            .canonicalize()
+            .unwrap_or_else(|_| store.dir.clone());
+        let mut owners = lock_owner_registry();
+        if let Some(holder) = owners.get(&key) {
+            return Err(DetectorError::StoreBusy {
+                dir: store.dir.clone(),
+                owner: holder.clone(),
+            });
+        }
+        owners.insert(key.clone(), owner.clone());
+        drop(owners);
+        store.guard = Some(Arc::new(OwnerToken { key, owner }));
+        Ok(store)
+    }
+
+    /// The exclusive owner registered for this store handle, if it was
+    /// opened through [`CheckpointStore::open_exclusive`].
+    pub fn owner(&self) -> Option<&str> {
+        self.guard.as_deref().map(|g| g.owner.as_str())
     }
 
     /// The store's root directory.
@@ -679,5 +764,38 @@ mod tests {
             CheckpointStore::open(dir, 0),
             Err(DetectorError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn exclusive_open_refuses_second_owner() {
+        let base = temp_store("excl-double", 2);
+        let dir = base.dir().to_path_buf();
+        let first = CheckpointStore::open_exclusive(&dir, 2, "shard-00").unwrap();
+        assert_eq!(first.owner(), Some("shard-00"));
+        match CheckpointStore::open_exclusive(&dir, 2, "shard-01") {
+            Err(DetectorError::StoreBusy { owner, .. }) => assert_eq!(owner, "shard-00"),
+            other => panic!("expected StoreBusy, got {other:?}"),
+        }
+        // Unguarded opens stay allowed (read-side tooling, tests).
+        assert!(CheckpointStore::open(&dir, 2).is_ok());
+        cleanup(&base);
+    }
+
+    #[test]
+    fn exclusive_claim_released_on_last_drop() {
+        let base = temp_store("excl-release", 2);
+        let dir = base.dir().to_path_buf();
+        let first = CheckpointStore::open_exclusive(&dir, 2, "migrator").unwrap();
+        let clone = first.clone();
+        drop(first);
+        // A surviving clone still holds the claim.
+        assert!(matches!(
+            CheckpointStore::open_exclusive(&dir, 2, "thief"),
+            Err(DetectorError::StoreBusy { .. })
+        ));
+        drop(clone);
+        let reopened = CheckpointStore::open_exclusive(&dir, 2, "successor").unwrap();
+        assert_eq!(reopened.owner(), Some("successor"));
+        cleanup(&base);
     }
 }

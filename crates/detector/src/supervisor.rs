@@ -245,6 +245,11 @@ struct Pair {
     quarantine_confidence: f64,
     last_verdict: Verdict,
     restored_from: Option<RestoredFrom>,
+    /// Degraded mode: the pair's window provenance is untrusted (e.g. its
+    /// checkpoint was unrecoverable after a shard death), so Clean
+    /// verdicts floor to [`Verdict::Inconclusive`] — a blinded monitor
+    /// must never acquit.
+    degraded: bool,
     failures: u64,
     panics: u64,
     deadline_misses: u64,
@@ -333,6 +338,9 @@ pub struct PairStatus {
     pub containment: ContainmentState,
     /// Where the pair's state was restored from, if it was.
     pub restored_from: Option<RestoredFrom>,
+    /// Whether the pair runs in degraded mode (untrusted window
+    /// provenance; Clean verdicts floor to [`Verdict::Inconclusive`]).
+    pub degraded: bool,
     /// Total probe/analysis failures recorded.
     pub failures: u64,
     /// Contained analysis panics.
@@ -341,6 +349,88 @@ pub struct PairStatus {
     pub deadline_misses: u64,
     /// Total probe retries.
     pub retries: u64,
+}
+
+/// One pair's portable state: everything needed to re-create the pair in
+/// another fleet running the same configuration. This is the unit of
+/// migration when a shard dies — [`Supervisor::export_pair`] produces one
+/// from a live pair, [`Supervisor::recover_pairs`] reads a whole dead
+/// fleet's worth back from its checkpoint store, and
+/// [`Supervisor::import_pair`] re-creates the pair on a survivor.
+///
+/// Breaker and containment states travel in their serialized (manifest)
+/// form so the importing fleet re-validates them against *its* config —
+/// and so an imported active containment comes back flagged for
+/// re-assertion through the new fleet's enforcer, exactly like a
+/// crash-restore.
+#[derive(Debug, Clone)]
+pub struct PairSnapshot {
+    pub(crate) label: String,
+    pub(crate) kind: PairKind,
+    /// The detector's window checkpoint. `None` means the window was
+    /// unrecoverable: the pair can only be imported degraded.
+    pub(crate) window: Option<Vec<u8>>,
+    pub(crate) breaker: String,
+    pub(crate) mitigation: String,
+    pub(crate) quarantine_confidence: f64,
+    pub(crate) degraded: bool,
+    pub(crate) provenance: Option<RestoredFrom>,
+    pub(crate) failures: u64,
+    pub(crate) panics: u64,
+    pub(crate) deadline_misses: u64,
+    pub(crate) retries: u64,
+}
+
+impl PairSnapshot {
+    /// The pair's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The pair's daemon kind.
+    pub fn kind(&self) -> PairKind {
+        self.kind
+    }
+
+    /// Whether a window checkpoint was recovered for this pair.
+    pub fn has_window(&self) -> bool {
+        self.window.is_some()
+    }
+
+    /// Whether importing this snapshot yields a degraded pair.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded || self.window.is_none()
+    }
+
+    /// Where the snapshot's window came from, when it was read back from
+    /// a store.
+    pub fn provenance(&self) -> Option<RestoredFrom> {
+        self.provenance
+    }
+
+    /// Discards the window checkpoint, forcing a degraded import: the
+    /// fallback when a snapshot's window fails validation on the
+    /// importing fleet.
+    pub fn degrade(mut self) -> Self {
+        self.window = None;
+        self.degraded = true;
+        self
+    }
+}
+
+/// Everything [`Supervisor::recover_pairs`] could read back about a
+/// (possibly dead) fleet from its checkpoint store.
+#[derive(Debug, Clone)]
+pub struct RecoveredFleet {
+    /// The tick counter the fleet had checkpointed.
+    pub tick: u64,
+    /// Manifest provenance (generation loaded, corrupt generations rolled
+    /// over).
+    pub manifest: RestoredFrom,
+    /// Recovered pair snapshots, in the dead fleet's pair order. Pairs
+    /// whose windows were unrecoverable are present with
+    /// [`PairSnapshot::has_window`] `== false`, never silently dropped.
+    pub pairs: Vec<PairSnapshot>,
 }
 
 /// Report of a [`Supervisor::restore`]: which generations the fleet state
@@ -592,7 +682,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_histogram(h: &Histogram) -> Self {
+    pub(crate) fn from_histogram(h: &Histogram) -> Self {
         LatencySummary {
             count: h.count(),
             mean_us: h.mean(),
@@ -897,6 +987,11 @@ impl Supervisor {
         self.pairs.len()
     }
 
+    /// Number of pairs currently running in degraded mode.
+    pub fn degraded_pairs(&self) -> usize {
+        self.pairs.iter().filter(|p| p.degraded).count()
+    }
+
     /// Whether the fleet is empty.
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
@@ -914,6 +1009,7 @@ impl Supervisor {
             quarantine_confidence: 0.0,
             last_verdict: Verdict::Clean,
             restored_from: None,
+            degraded: false,
             failures: 0,
             panics: 0,
             deadline_misses: 0,
@@ -1241,7 +1337,10 @@ impl Supervisor {
                 let pair = &mut self.pairs[idx];
                 let deadline_missed = deadline_us > 0 && elapsed_us > deadline_us;
                 match pushed {
-                    Ok((status, observed)) => {
+                    Ok((mut status, observed)) => {
+                        if pair.degraded && status.verdict == Verdict::Clean {
+                            status.verdict = Verdict::Inconclusive;
+                        }
                         pair.last_verdict = status.verdict;
                         pair.quarantine_confidence = status.confidence;
                         if deadline_missed {
@@ -1300,7 +1399,10 @@ impl Supervisor {
                     Err(error) => {
                         pair.failures += 1;
                         pair.breaker.record_failure(tick);
-                        let status = push_gap(&mut pair.detector);
+                        let mut status = push_gap(&mut pair.detector);
+                        if pair.degraded && status.verdict == Verdict::Clean {
+                            status.verdict = Verdict::Inconclusive;
+                        }
                         pair.last_verdict = status.verdict;
                         pair.quarantine_confidence = status.confidence;
                         self.metrics.failures.with_label(&label).inc();
@@ -1573,12 +1675,42 @@ impl Supervisor {
                 verdict: pair.last_verdict,
                 containment: pair.mitigation.state(),
                 restored_from: pair.restored_from,
+                degraded: pair.degraded,
                 failures: pair.failures,
                 panics: pair.panics,
                 deadline_misses: pair.deadline_misses,
                 retries: pair.retries,
             })
             .collect()
+    }
+
+    /// Whether `pair` runs in degraded mode (None for an out-of-range
+    /// index).
+    pub fn is_degraded(&self, pair: usize) -> Option<bool> {
+        self.pairs.get(pair).map(|p| p.degraded)
+    }
+
+    /// Marks `pair` degraded (or lifts the mark): while degraded, the
+    /// pair's Clean verdicts floor to [`Verdict::Inconclusive`] because
+    /// its window provenance is untrusted. The supervision layers set this
+    /// when a pair is imported without a recoverable checkpoint; lifting
+    /// it is an operator decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index.
+    pub fn set_degraded(&mut self, pair: usize, degraded: bool) -> Result<(), DetectorError> {
+        let entry = self
+            .pairs
+            .get_mut(pair)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no supervised pair {pair}"),
+            })?;
+        entry.degraded = degraded;
+        if degraded && entry.last_verdict == Verdict::Clean {
+            entry.last_verdict = Verdict::Inconclusive;
+        }
+        Ok(())
     }
 
     /// Durably checkpoints the whole fleet (every pair's window plus the
@@ -1622,6 +1754,10 @@ impl Supervisor {
             // Containment state rides in its own tagged line (after its
             // pair line) so v1 manifests without it still parse.
             manifest.push_str(&format!("mit,{idx},{}\n", pair.mitigation.serialize()));
+            // Degraded mode likewise: optional, absent in older manifests.
+            if pair.degraded {
+                manifest.push_str(&format!("deg,{idx}\n"));
+            }
         }
         manifest.push_str("end\n");
         let generation = store.save(MANIFEST_NAME, manifest.as_bytes())?;
@@ -1641,6 +1777,208 @@ impl Supervisor {
             );
         }
         Ok(generation)
+    }
+
+    /// Exports one pair's portable state (see [`PairSnapshot`]) for
+    /// migration to another fleet. The source pair is left untouched;
+    /// removing it (usually by dropping the whole dead fleet) is the
+    /// caller's concern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index
+    /// and propagates window-serialization errors.
+    pub fn export_pair(&self, pair: usize) -> Result<PairSnapshot, DetectorError> {
+        let p = self
+            .pairs
+            .get(pair)
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("no supervised pair {pair}"),
+            })?;
+        let mut window = Vec::new();
+        match &p.detector {
+            PairDetector::Contention(d) => d.checkpoint(&mut window)?,
+            PairDetector::Oscillation(d) => d.checkpoint(&mut window)?,
+        }
+        Ok(PairSnapshot {
+            label: p.label.clone(),
+            kind: p.kind,
+            window: Some(window),
+            breaker: p.breaker.serialize(),
+            mitigation: p.mitigation.serialize(),
+            quarantine_confidence: p.quarantine_confidence,
+            degraded: p.degraded,
+            provenance: p.restored_from,
+            failures: p.failures,
+            panics: p.panics,
+            deadline_misses: p.deadline_misses,
+            retries: p.retries,
+        })
+    }
+
+    /// Imports a migrated pair into this fleet, appending it at the next
+    /// index and seeding its per-pair instruments. A snapshot without a
+    /// window (or marked degraded) comes in with a fresh empty window and
+    /// runs degraded — its Clean verdicts floor to
+    /// [`Verdict::Inconclusive`]. An imported active containment is
+    /// re-asserted through this fleet's enforcer on the next tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::CheckpointMismatch`] when the snapshot's
+    /// breaker/containment state cannot be decoded under this fleet's
+    /// config, or its window fails validation (wrong kind or capacity) —
+    /// callers that must not lose the pair retry with
+    /// [`PairSnapshot::degrade`].
+    pub fn import_pair(&mut self, snapshot: PairSnapshot) -> Result<usize, DetectorError> {
+        let breaker = CircuitBreaker::deserialize(self.config.quarantine, &snapshot.breaker)
+            .ok_or_else(|| DetectorError::CheckpointMismatch {
+                reason: format!("pair {:?}: undecodable breaker state", snapshot.label),
+            })?;
+        let mitigation =
+            MitigationPolicy::deserialize(self.config.mitigation, &snapshot.mitigation)
+                .ok_or_else(|| DetectorError::CheckpointMismatch {
+                    reason: format!("pair {:?}: undecodable containment state", snapshot.label),
+                })?;
+        let (detector, degraded) = match &snapshot.window {
+            Some(payload) if !snapshot.degraded => {
+                let detector = match snapshot.kind {
+                    PairKind::Contention => PairDetector::Contention(
+                        OnlineContentionDetector::restore(self.config.hunter, payload.as_slice())?,
+                    ),
+                    PairKind::Oscillation => PairDetector::Oscillation(
+                        OnlineOscillationDetector::restore(self.config.hunter, payload.as_slice())?,
+                    ),
+                };
+                let capacity = match &detector {
+                    PairDetector::Contention(d) => d.capacity(),
+                    PairDetector::Oscillation(d) => d.capacity(),
+                };
+                let expected = self.config.window_quanta.min(512);
+                if capacity != expected {
+                    return Err(DetectorError::CheckpointMismatch {
+                        reason: format!(
+                            "pair {:?}: window capacity {capacity} does not match the configured {expected}",
+                            snapshot.label
+                        ),
+                    });
+                }
+                (detector, false)
+            }
+            _ => (self.fresh_detector(snapshot.kind)?, true),
+        };
+        self.pairs.push(Pair {
+            label: snapshot.label,
+            kind: snapshot.kind,
+            detector,
+            breaker,
+            mitigation,
+            quarantine_confidence: if degraded {
+                0.0
+            } else {
+                snapshot.quarantine_confidence
+            },
+            // Until the adoptive fleet's first analysis, the pair's
+            // standing is unknown here — reporting Clean would let a
+            // migration silently acquit a convicted pair.
+            last_verdict: Verdict::Inconclusive,
+            restored_from: snapshot.provenance,
+            degraded,
+            failures: snapshot.failures,
+            panics: snapshot.panics,
+            deadline_misses: snapshot.deadline_misses,
+            retries: snapshot.retries,
+            backoff_waited_us: 0,
+        });
+        let idx = self.pairs.len() - 1;
+        self.seed_pair_metrics(&self.pairs[idx]);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "supervisor",
+                "pair-imported",
+                format_args!(
+                    "{} as pair {idx}{}",
+                    self.pairs[idx].label,
+                    if degraded { " (degraded)" } else { "" }
+                ),
+            );
+        }
+        Ok(idx)
+    }
+
+    /// Reads everything recoverable about a (possibly dead) fleet out of
+    /// its checkpoint store without constructing a `Supervisor`: the
+    /// newest valid manifest generation, then every listed pair's newest
+    /// valid window, rolling back over corrupt generations. Pairs whose
+    /// windows are unrecoverable are returned without a window (forcing a
+    /// degraded import), never dropped — the migration path's zero-lost-
+    /// pairs guarantee starts here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::CheckpointMismatch`] when the store has no
+    /// manifest at all, manifest parse errors, and config-validation
+    /// errors; per-pair window failures degrade instead of erroring.
+    pub fn recover_pairs(
+        config: &SupervisorConfig,
+        store: &CheckpointStore,
+    ) -> Result<RecoveredFleet, DetectorError> {
+        config.mitigation.validate()?;
+        let loaded =
+            store
+                .load_latest(MANIFEST_NAME)?
+                .ok_or(DetectorError::CheckpointMismatch {
+                    reason: "store has no supervisor manifest".to_string(),
+                })?;
+        let manifest_from = RestoredFrom {
+            generation: loaded.generation,
+            rolled_back: loaded.rolled_back,
+        };
+        let manifest = parse_manifest(&loaded.payload, config.quarantine, config.mitigation)?;
+        let fallback_policy = MitigationPolicy::new(config.mitigation)?;
+        let mut pairs = Vec::with_capacity(manifest.pairs.len());
+        for (idx, entry) in manifest.pairs.into_iter().enumerate() {
+            let (window, provenance) = match store.load_latest(&pair_entry_name(idx)) {
+                Ok(Some(l)) => {
+                    let provenance = RestoredFrom {
+                        generation: l.generation,
+                        rolled_back: l.rolled_back,
+                    };
+                    (Some(l.payload), Some(provenance))
+                }
+                Ok(None) | Err(_) => (None, None),
+            };
+            let degraded = entry.degraded || window.is_none();
+            pairs.push(PairSnapshot {
+                label: entry.label,
+                kind: entry.kind,
+                window,
+                breaker: entry.breaker.serialize(),
+                mitigation: entry
+                    .mitigation
+                    .as_ref()
+                    .unwrap_or(&fallback_policy)
+                    .serialize(),
+                quarantine_confidence: entry.quarantine_confidence,
+                degraded,
+                provenance,
+                failures: entry.failures,
+                panics: entry.panics,
+                deadline_misses: entry.deadline_misses,
+                retries: entry.retries,
+            });
+        }
+        Ok(RecoveredFleet {
+            tick: manifest.tick,
+            manifest: manifest_from,
+            pairs,
+        })
+    }
+
+    /// This fleet's private latency totals (audit, tick) for hierarchical
+    /// rollups.
+    pub(crate) fn totals_latency(&self) -> (&Histogram, &Histogram) {
+        (&self.totals.audit_latency_us, &self.totals.tick_latency_us)
     }
 
     /// A point-in-time numeric digest of this fleet's health. Monotonic
@@ -1837,8 +2175,14 @@ impl Supervisor {
                         .expect("mitigation config validated at construction"),
                 ),
                 quarantine_confidence: entry.quarantine_confidence,
-                last_verdict: Verdict::Clean,
+                // A degraded pair must not come back silently Clean.
+                last_verdict: if entry.degraded {
+                    Verdict::Inconclusive
+                } else {
+                    Verdict::Clean
+                },
                 restored_from: Some(restored_from),
+                degraded: entry.degraded,
                 failures: entry.failures,
                 panics: entry.panics,
                 deadline_misses: entry.deadline_misses,
@@ -1868,55 +2212,7 @@ impl Supervisor {
             self.totals.restore_rollbacks.inc_by(rolled_back);
         }
         for pair in &self.pairs {
-            self.metrics
-                .failures
-                .with_label(&pair.label)
-                .seed(pair.failures);
-            self.metrics
-                .panics
-                .with_label(&pair.label)
-                .seed(pair.panics);
-            self.metrics
-                .deadline_misses
-                .with_label(&pair.label)
-                .seed(pair.deadline_misses);
-            self.metrics
-                .retries
-                .with_label(&pair.label)
-                .seed(pair.retries);
-            self.metrics
-                .confidence
-                .with_label(&pair.label)
-                .set(pair.quarantine_confidence);
-            self.metrics.quarantined.with_label(&pair.label).set(
-                if pair.breaker.state() == BreakerState::Closed {
-                    0.0
-                } else {
-                    1.0
-                },
-            );
-            self.metrics
-                .mitigations_applied
-                .with_label(&pair.label)
-                .seed(pair.mitigation.applies());
-            self.metrics
-                .mitigation_failures
-                .with_label(&pair.label)
-                .seed(pair.mitigation.apply_failures());
-            self.metrics
-                .mitigation_escalations
-                .with_label(&pair.label)
-                .seed(pair.mitigation.escalations());
-            self.metrics
-                .mitigation_stepdowns
-                .with_label(&pair.label)
-                .seed(pair.mitigation.step_downs());
-            self.metrics.containment_level.with_label(&pair.label).set(
-                pair.mitigation
-                    .state()
-                    .level()
-                    .map_or(0.0, |l| f64::from(l.rank())),
-            );
+            self.seed_pair_metrics(pair);
         }
         self.metrics.contained_pairs.set(
             self.pairs
@@ -1935,6 +2231,62 @@ impl Supervisor {
                 ),
             );
         }
+    }
+
+    /// Seeds one pair's per-pair instruments from its persisted counters
+    /// and current state — shared by whole-fleet restore and single-pair
+    /// import. `Counter::seed` is a max-merge, so re-seeding never
+    /// double-counts.
+    fn seed_pair_metrics(&self, pair: &Pair) {
+        self.metrics
+            .failures
+            .with_label(&pair.label)
+            .seed(pair.failures);
+        self.metrics
+            .panics
+            .with_label(&pair.label)
+            .seed(pair.panics);
+        self.metrics
+            .deadline_misses
+            .with_label(&pair.label)
+            .seed(pair.deadline_misses);
+        self.metrics
+            .retries
+            .with_label(&pair.label)
+            .seed(pair.retries);
+        self.metrics
+            .confidence
+            .with_label(&pair.label)
+            .set(pair.quarantine_confidence);
+        self.metrics.quarantined.with_label(&pair.label).set(
+            if pair.breaker.state() == BreakerState::Closed {
+                0.0
+            } else {
+                1.0
+            },
+        );
+        self.metrics
+            .mitigations_applied
+            .with_label(&pair.label)
+            .seed(pair.mitigation.applies());
+        self.metrics
+            .mitigation_failures
+            .with_label(&pair.label)
+            .seed(pair.mitigation.apply_failures());
+        self.metrics
+            .mitigation_escalations
+            .with_label(&pair.label)
+            .seed(pair.mitigation.escalations());
+        self.metrics
+            .mitigation_stepdowns
+            .with_label(&pair.label)
+            .seed(pair.mitigation.step_downs());
+        self.metrics.containment_level.with_label(&pair.label).set(
+            pair.mitigation
+                .state()
+                .level()
+                .map_or(0.0, |l| f64::from(l.rank())),
+        );
     }
 }
 
@@ -1996,6 +2348,7 @@ struct ManifestPair {
     breaker: CircuitBreaker,
     mitigation: Option<MitigationPolicy>,
     quarantine_confidence: f64,
+    degraded: bool,
     failures: u64,
     panics: u64,
     deadline_misses: u64,
@@ -2131,6 +2484,7 @@ fn parse_manifest(
                     breaker,
                     mitigation: None,
                     quarantine_confidence: confidence,
+                    degraded: false,
                     failures,
                     panics,
                     deadline_misses,
@@ -2167,6 +2521,20 @@ fn parse_manifest(
                     ));
                 }
                 entry.mitigation = Some(policy);
+            }
+            "deg" => {
+                // deg,<idx> — optional degraded-mode marker, must follow
+                // the pair entry it annotates.
+                let deg_idx: usize = rest.trim().parse().map_err(|e| {
+                    manifest_error(line_no, format!("bad degraded pair index: {e}"))
+                })?;
+                if deg_idx + 1 != pairs.len() {
+                    return Err(manifest_error(
+                        line_no,
+                        format!("degraded line for pair {deg_idx} does not follow its pair entry"),
+                    ));
+                }
+                pairs.last_mut().expect("index checked above").degraded = true;
             }
             other => {
                 return Err(manifest_error(

@@ -1,0 +1,348 @@
+//! Integration tests for the sharded fleet: a shard killed mid-checkpoint
+//! rolls back to its last good generation on a survivor, active containment
+//! re-asserts through the adoptive shard's enforcer, and the rendezvous
+//! placement is stable and minimal under shard-count-preserving restarts.
+
+use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
+use cchunter_detector::mitigation::{ApplyError, MitigationEnforcer, MitigationLevel};
+use cchunter_detector::online::Harvest;
+use cchunter_detector::shard::{
+    pair_key, rendezvous_shard, ShardHealth, ShardedFleet, ShardedFleetConfig,
+};
+use cchunter_detector::supervisor::{PairInput, ProbeFault, SupervisorConfig};
+use cchunter_detector::{DetectorError, Verdict};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cchunter-sharding-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A covert-looking per-quantum histogram, varied by tick.
+fn covert_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_400 + (tick % 7) * 3;
+    bins[19] = 20;
+    bins[20] = 150 + (tick % 5);
+    bins[21] = 25;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+/// A benign per-quantum histogram.
+fn quiet_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_490 + (tick % 9);
+    bins[1] = 5;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+/// An enforcer whose actuation log is shared with the test: each shard
+/// gets one, so the test can see *which* failure domain asserted a rung.
+type EnforcerLog = Arc<Mutex<Vec<(usize, MitigationLevel)>>>;
+
+#[derive(Clone)]
+struct SharedEnforcer {
+    log: EnforcerLog,
+}
+
+impl SharedEnforcer {
+    fn new() -> (Self, EnforcerLog) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (SharedEnforcer { log: log.clone() }, log)
+    }
+}
+
+impl MitigationEnforcer for SharedEnforcer {
+    fn apply(&mut self, pair: usize, level: MitigationLevel) -> Result<(), ApplyError> {
+        self.log.lock().unwrap().push((pair, level));
+        Ok(())
+    }
+
+    fn release(&mut self, _pair: usize, _level: MitigationLevel) -> Result<(), ApplyError> {
+        Ok(())
+    }
+}
+
+fn fleet_config(shards: usize) -> ShardedFleetConfig {
+    ShardedFleetConfig {
+        shards,
+        base: SupervisorConfig {
+            window_quanta: 8,
+            ..SupervisorConfig::default()
+        },
+        ..ShardedFleetConfig::default()
+    }
+}
+
+/// Pair 0 carries a covert channel; everything else is quiet.
+fn probe(pair: usize, tick: u64, _attempt: u32) -> Result<PairInput, ProbeFault> {
+    Ok(PairInput::Harvest(Harvest::Complete(if pair == 0 {
+        covert_histogram(tick)
+    } else {
+        quiet_histogram(tick)
+    })))
+}
+
+/// Flips one payload byte in every checkpoint file of the newest
+/// generation in `dir` — a shard that died mid-checkpoint-write, leaving
+/// the whole newest generation torn. Returns how many files were hit.
+fn corrupt_newest_generation(dir: &Path) -> usize {
+    let mut newest: u64 = 0;
+    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let Some(stem) = name.strip_suffix(".ckpt") else {
+            continue;
+        };
+        let Some(pos) = stem.rfind(".g") else {
+            continue;
+        };
+        let Ok(generation) = stem[pos + 2..].parse::<u64>() else {
+            continue;
+        };
+        newest = newest.max(generation);
+        files.push((generation, path));
+    }
+    let mut hit = 0;
+    for (generation, path) in files {
+        if generation != newest {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        hit += 1;
+    }
+    assert!(hit > 0, "no newest-generation files found in {dir:?}");
+    hit
+}
+
+/// Satellite 3: kill a shard mid-checkpoint-write (newest generation torn
+/// across every entry), and the survivor restores the last good generation
+/// via rollback; the contained covert pair re-asserts its containment
+/// through the adoptive shard's enforcer.
+#[test]
+fn shard_death_mid_checkpoint_rolls_back_and_reasserts_containment() {
+    let root = temp_dir("midwrite");
+    let mut fleet = ShardedFleet::with_store_root(fleet_config(2), &root).unwrap();
+    let mut logs = Vec::new();
+    for shard in 0..fleet.shard_count() {
+        let (enforcer, log) = SharedEnforcer::new();
+        fleet.set_enforcer(shard, Box::new(enforcer)).unwrap();
+        logs.push(log);
+    }
+    let covert = fleet
+        .add_contention_pair("memory-bus: pid 17 <-> pid 23")
+        .unwrap();
+    assert_eq!(covert, 0);
+    for pair in 1..6 {
+        fleet
+            .add_contention_pair(format!("divider: pid {pair} <-> pid {}", pair + 40))
+            .unwrap();
+    }
+
+    // Convict and contain the covert pair on its home shard.
+    for _ in 0..24 {
+        fleet.tick(&mut probe);
+    }
+    let home = fleet.shard_of(covert).expect("pair is assigned");
+    assert!(
+        fleet.containment(covert).unwrap().is_active(),
+        "covert pair should be contained before the kill: {:?}",
+        fleet.containment(covert)
+    );
+    assert!(
+        !logs[home].lock().unwrap().is_empty(),
+        "the home shard's enforcer must have asserted the rung"
+    );
+
+    // A good checkpoint, some more progress, then a torn one: every entry
+    // of the newest generation is corrupt, as if the shard died with the
+    // write in flight.
+    fleet.checkpoint().unwrap();
+    for _ in 0..4 {
+        fleet.tick(&mut probe);
+    }
+    fleet.checkpoint().unwrap();
+    corrupt_newest_generation(&root.join(format!("shard-{home:02}")));
+
+    let survivor = 1 - home;
+    let survivor_log_before = logs[survivor].lock().unwrap().len();
+    let report = fleet.kill_shard(home).unwrap();
+    assert!(report.migrated > 0, "{report:?}");
+    assert_eq!(report.orphaned, 0, "{report:?}");
+
+    // The covert pair landed on the survivor, restored from the rolled-back
+    // generation — not degraded, provenance recorded.
+    let status = &fleet.pair_statuses()[covert];
+    assert_eq!(status.shard, Some(survivor));
+    let restored = status
+        .restored_from
+        .expect("migrated pair must carry restore provenance");
+    assert!(
+        restored.rolled_back >= 1,
+        "the torn newest generation must be rolled over: {restored:?}"
+    );
+    assert!(
+        !status.degraded,
+        "a good prior generation existed, the pair must not degrade"
+    );
+    // Until the survivor's first analysis the pair stands Inconclusive —
+    // a migration must never read as an acquittal.
+    assert_ne!(status.verdict, Verdict::Clean);
+
+    // The restored containment re-asserts through the *survivor's*
+    // enforcer on the next tick — active containment never silently lapses
+    // across a migration.
+    assert!(fleet.containment(covert).unwrap().is_active());
+    fleet.tick(&mut probe);
+    assert!(
+        logs[survivor].lock().unwrap().len() > survivor_log_before,
+        "adoptive shard's enforcer must re-assert the restored rung"
+    );
+    assert_eq!(fleet.shard_health(home), Some(ShardHealth::Dead));
+
+    // And the channel keeps being convicted after the move.
+    for _ in 0..8 {
+        fleet.tick(&mut probe);
+    }
+    assert_eq!(
+        fleet.pair_statuses()[covert].verdict,
+        Verdict::CovertTimingChannel
+    );
+    cleanup(&root);
+}
+
+/// Two fleets must not interleave generations in one store root: the
+/// second open fails with the typed busy error naming the owner.
+#[test]
+fn second_fleet_on_same_store_root_is_refused() {
+    let root = temp_dir("busy");
+    let fleet = ShardedFleet::with_store_root(fleet_config(2), &root).unwrap();
+    let err = ShardedFleet::with_store_root(fleet_config(2), &root).unwrap_err();
+    match err {
+        DetectorError::StoreBusy { owner, .. } => assert_eq!(owner, "shard-00"),
+        other => panic!("expected StoreBusy, got {other:?}"),
+    }
+    drop(fleet);
+    // Releasing the first fleet releases the claims.
+    let fleet = ShardedFleet::with_store_root(fleet_config(2), &root).unwrap();
+    drop(fleet);
+    cleanup(&root);
+}
+
+/// Satellite 4a: pair→shard assignment is a pure function of (label,
+/// shard set) — a restart with the same shard count reproduces it exactly,
+/// whatever order the pairs are added in.
+#[test]
+fn assignment_is_stable_across_shard_count_preserving_restarts() {
+    let labels: Vec<String> = (0..96)
+        .map(|i| format!("memory-bus: pid {i} <-> pid {}", i + 100))
+        .collect();
+    let mut first = ShardedFleet::new(fleet_config(8)).unwrap();
+    for label in &labels {
+        first.add_contention_pair(label.clone()).unwrap();
+    }
+    let homes: Vec<Option<usize>> = (0..labels.len()).map(|p| first.shard_of(p)).collect();
+    drop(first);
+
+    // Same shard count, reversed insertion order: same homes.
+    let mut second = ShardedFleet::new(fleet_config(8)).unwrap();
+    for label in labels.iter().rev() {
+        second.add_contention_pair(label.clone()).unwrap();
+    }
+    for (i, label) in labels.iter().enumerate() {
+        let rev_index = labels.len() - 1 - i;
+        assert_eq!(
+            second.shard_of(rev_index),
+            homes[labels.len() - 1 - rev_index],
+            "{label} moved across a restart"
+        );
+    }
+}
+
+/// Satellite 4b: removing one shard re-homes exactly that shard's pairs —
+/// zero survivor churn for every choice of victim — and the per-death
+/// movement averages to ≤ ⌈pairs/N⌉ across victims.
+#[test]
+fn removal_moves_only_the_victims_pairs() {
+    const PAIRS: usize = 1_000;
+    const SHARDS: usize = 8;
+    let shards: Vec<usize> = (0..SHARDS).collect();
+    let keys: Vec<u64> = (0..PAIRS)
+        .map(|i| pair_key(&format!("l2-cache: pid {i} <-> pid {}", i * 7 + 3)))
+        .collect();
+    let full: Vec<usize> = keys
+        .iter()
+        .map(|&k| rendezvous_shard(k, &shards).unwrap())
+        .collect();
+
+    let mut total_moved = 0usize;
+    for victim in 0..SHARDS {
+        let remaining: Vec<usize> = shards.iter().copied().filter(|&s| s != victim).collect();
+        let mut moved = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            let new_home = rendezvous_shard(k, &remaining).unwrap();
+            if full[i] == victim {
+                moved += 1;
+            } else {
+                assert_eq!(
+                    new_home, full[i],
+                    "pair {i} moved although its shard survived"
+                );
+            }
+        }
+        assert_eq!(
+            moved,
+            full.iter().filter(|&&s| s == victim).count(),
+            "movement must equal the victim's population"
+        );
+        total_moved += moved;
+    }
+    let ceil_share = PAIRS.div_ceil(SHARDS);
+    assert!(
+        total_moved / SHARDS <= ceil_share,
+        "average movement per death {} exceeds the fair share {ceil_share}",
+        total_moved / SHARDS
+    );
+}
+
+/// End to end: the same property holds inside a live fleet — killing one
+/// shard leaves every surviving pair exactly where it was.
+#[test]
+fn live_kill_causes_zero_survivor_churn() {
+    let mut fleet = ShardedFleet::new(fleet_config(4)).unwrap();
+    for i in 0..64 {
+        fleet
+            .add_contention_pair(format!("memory-bus: pid {i} <-> pid {}", i + 100))
+            .unwrap();
+    }
+    let before: Vec<Option<usize>> = (0..64).map(|p| fleet.shard_of(p)).collect();
+    let victim = before[0].unwrap();
+    fleet.kill_shard(victim).unwrap();
+    for (pair, home) in before.iter().enumerate() {
+        let home = home.unwrap();
+        if home != victim {
+            assert_eq!(
+                fleet.shard_of(pair),
+                Some(home),
+                "pair {pair} churned although shard {home} survived"
+            );
+        } else {
+            let new_home = fleet.shard_of(pair).expect("migrated, not orphaned");
+            assert_ne!(new_home, victim);
+        }
+    }
+}

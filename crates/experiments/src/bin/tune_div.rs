@@ -43,7 +43,10 @@ fn main() {
         let mut s = AuditSession::new();
         s.audit_divider(0, 500).unwrap();
         s.attach(&mut m);
-        let data = QuantumRunner::new(250_000_000).run(&mut m, &mut s, 1);
+        let data = QuantumRunner::new(250_000_000)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut s, 1)
+            .expect("audit harvest");
         let mut h = DensityHistogram::empty(500);
         for x in &data.divider_histograms {
             h.merge(x);

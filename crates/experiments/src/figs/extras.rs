@@ -74,7 +74,10 @@ pub fn evasion_study() {
         let mut session = AuditSession::new();
         session.audit_bus(paper::BUS_DELTA_T).expect("bus audit");
         session.attach(&mut m);
-        let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, 1);
+        let data = QuantumRunner::new(paper::QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 1)
+            .expect("audit harvest");
 
         let verdict = BurstDetector::default().analyze(&merge(&data.bus_histograms));
         let decoded = log.borrow().decode(DecodeRule::Midpoint, message.len());
@@ -139,7 +142,10 @@ pub fn ablation_coherence() {
         .audit_divider(0, paper::DIV_DELTA_T)
         .expect("divider audit");
     session.attach(&mut m);
-    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, 8);
+    let data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, 8)
+        .expect("audit harvest");
     let merged = merge(&data.divider_histograms);
 
     let with = BurstDetector::default().analyze(&merged);

@@ -62,7 +62,10 @@ pub fn run() {
             .audit_divider(0, paper::DIV_DELTA_T)
             .expect("divider audit");
         session.attach(&mut m);
-        let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta());
+        let data = QuantumRunner::new(paper::QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, quanta())
+            .expect("audit harvest");
 
         let bus_hist = merge(&data.bus_histograms);
         let div_hist = merge(&data.divider_histograms);
@@ -112,7 +115,10 @@ pub fn run() {
             .audit_cache(0, blocks, TrackerKind::Practical)
             .expect("cache audit");
         session.attach(&mut m);
-        let cache_data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta());
+        let cache_data = QuantumRunner::new(paper::QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, quanta())
+            .expect("audit harvest");
         let hunter_cache = CcHunter::new(CcHunterConfig {
             quantum_cycles: paper::QUANTUM,
             ..CcHunterConfig::default()

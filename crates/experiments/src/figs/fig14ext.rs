@@ -77,7 +77,10 @@ pub fn run() {
         session.audit_bus(paper::BUS_DELTA_T).unwrap();
         session.audit_divider(0, paper::DIV_DELTA_T).unwrap();
         session.attach(&mut m);
-        let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta());
+        let data = QuantumRunner::new(paper::QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, quanta())
+            .expect("audit harvest");
         let bus = hunter_bus.analyze_contention(data.bus_histograms);
         let div = hunter_div.analyze_contention(data.divider_histograms);
 
@@ -99,7 +102,10 @@ pub fn run() {
             .audit_cache(0, blocks, TrackerKind::Practical)
             .unwrap();
         session.attach(&mut m);
-        let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta());
+        let data = QuantumRunner::new(paper::QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, quanta())
+            .expect("audit harvest");
         let mul = hunter_div.analyze_contention(data.multiplier_histograms);
         let cache = hunter_cache.analyze_oscillation(&data.conflicts, data.start, data.end);
 

@@ -162,7 +162,10 @@ pub fn run_bus(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> Chann
         None
     };
     let quanta = quanta_for(total, opts.tail_quanta);
-    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, quanta)
+        .expect("audit harvest");
     let (bus_lock_train, divider_wait_train) = match &trace {
         Some(t) => {
             let (locks, waits) = extract_trains(t.borrow().events());
@@ -217,7 +220,10 @@ pub fn run_divider(message: Message, bandwidth_bps: f64, opts: &RunOptions) -> C
         None
     };
     let quanta = quanta_for(total, opts.tail_quanta);
-    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, quanta)
+        .expect("audit harvest");
     let (bus_lock_train, divider_wait_train) = match &trace {
         Some(t) => {
             let (locks, waits) = extract_trains(t.borrow().events());
@@ -286,7 +292,10 @@ pub fn run_cache(
         None
     };
     let quanta = quanta_for(total, opts.tail_quanta);
-    let data = QuantumRunner::new(paper::QUANTUM).run(&mut m, &mut session, quanta);
+    let data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, quanta)
+        .expect("audit harvest");
     let (bus_lock_train, divider_wait_train) = match &trace {
         Some(t) => {
             let (locks, waits) = extract_trains(t.borrow().events());

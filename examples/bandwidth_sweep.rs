@@ -40,7 +40,10 @@ fn main() {
         session.audit_bus(100_000).expect("bus audit");
         session.attach(&mut machine);
         let quanta = ((bit_cycles * bits as u64) / quantum + 1) as usize;
-        let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, quanta);
+        let data = QuantumRunner::new(quantum)
+            .expect("nonzero quantum")
+            .run(&mut machine, &mut session, quanta)
+            .expect("audit harvest");
 
         let hunter = CcHunter::new(CcHunterConfig {
             quantum_cycles: quantum,

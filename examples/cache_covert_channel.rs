@@ -52,7 +52,10 @@ fn main() {
     session.attach(&mut machine);
 
     let quanta = 18;
-    let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(quantum)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
 
     let decoded = log
         .borrow()

@@ -32,7 +32,10 @@ fn main() {
         session.audit_bus(100_000).expect("bus audit");
         session.audit_divider(0, 500).expect("divider audit");
         session.attach(&mut machine);
-        let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, quanta);
+        let data = QuantumRunner::new(quantum)
+            .expect("nonzero quantum")
+            .run(&mut machine, &mut session, quanta)
+            .expect("audit harvest");
 
         let hunter = CcHunter::new(CcHunterConfig {
             quantum_cycles: quantum,
@@ -59,7 +62,10 @@ fn main() {
             .audit_cache(0, blocks, TrackerKind::Practical)
             .expect("cache audit");
         session.attach(&mut machine);
-        let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, quanta);
+        let data = QuantumRunner::new(quantum)
+            .expect("nonzero quantum")
+            .run(&mut machine, &mut session, quanta)
+            .expect("audit harvest");
         let cache = hunter.analyze_oscillation(&data.conflicts, data.start, data.end);
 
         let clean =

@@ -116,7 +116,7 @@ impl DrillRig {
         DrillRig {
             machine: Rc::new(RefCell::new(machine)),
             session,
-            runner: QuantumRunner::new(QUANTUM),
+            runner: QuantumRunner::new(QUANTUM).expect("nonzero quantum"),
             injector: FaultInjector::new(
                 FaultConfig::only(FaultClass::DroppedQuantum)
                     .with_rate(FaultClass::DroppedQuantum, 0.10),
@@ -143,11 +143,14 @@ impl DrillRig {
             return PairInput::Missed;
         }
         self.quanta += 1;
-        let quantum = self.runner.run_quantum_with_injector(
-            &mut self.machine.borrow_mut(),
-            &mut self.session,
-            &mut self.injector,
-        );
+        let quantum = self
+            .runner
+            .run_quantum_with_injector(
+                &mut self.machine.borrow_mut(),
+                &mut self.session,
+                &mut self.injector,
+            )
+            .expect("audit harvest");
         match quantum.bus.expect("bus is audited") {
             Harvest::Missed => {
                 self.last_clean = self.session.harvest_bus_histogram(quantum.boundary).ok();

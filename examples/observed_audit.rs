@@ -98,7 +98,7 @@ impl BusRig {
         BusRig {
             machine,
             session,
-            runner: QuantumRunner::new(QUANTUM),
+            runner: QuantumRunner::new(QUANTUM).expect("nonzero quantum"),
             injector: FaultInjector::new(
                 FaultConfig::only(FaultClass::DroppedQuantum)
                     .with_rate(FaultClass::DroppedQuantum, 0.15),
@@ -115,11 +115,10 @@ impl BusRig {
             }
             return PairInput::Missed;
         }
-        let quantum = self.runner.run_quantum_with_injector(
-            &mut self.machine,
-            &mut self.session,
-            &mut self.injector,
-        );
+        let quantum = self
+            .runner
+            .run_quantum_with_injector(&mut self.machine, &mut self.session, &mut self.injector)
+            .expect("audit harvest");
         match quantum.bus.expect("bus is audited") {
             Harvest::Missed => {
                 self.last_clean = self

@@ -38,7 +38,10 @@ fn main() {
         .audit_cache(0, blocks, TrackerKind::Practical)
         .expect("cache audit");
     session.attach(&mut machine);
-    let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, 18);
+    let data = QuantumRunner::new(quantum)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, 18)
+        .expect("audit harvest");
 
     // Phase 1: record the conflict trace to disk.
     let path = std::env::temp_dir().join("cc_hunter_conflicts.csv");

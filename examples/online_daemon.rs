@@ -51,11 +51,13 @@ fn main() {
     // stops (production would use up to 512 quanta).
     let mut daemon = OnlineContentionDetector::new(hunter_config, 4).expect("nonzero window");
 
-    let runner = QuantumRunner::new(quantum);
+    let runner = QuantumRunner::new(quantum).expect("nonzero quantum");
     let mut alarm_history = Vec::new();
     println!("quantum | bursty | LR    | conf | daemon");
     for q in 0..18 {
-        let data = runner.run(&mut machine, &mut session, 1);
+        let data = runner
+            .run(&mut machine, &mut session, 1)
+            .expect("audit harvest");
         let histogram = data.bus_histograms.into_iter().next().expect("one quantum");
         let status = daemon.push_quantum(histogram);
         let burst = status.quantum_burst.expect("contention path");

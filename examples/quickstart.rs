@@ -49,7 +49,10 @@ fn main() {
 
     // The daemon harvests the histogram buffers each quantum.
     let quanta = 8;
-    let data = QuantumRunner::new(quantum).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(quantum)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
 
     // CC-Hunter's recurrent-burst analysis.
     let hunter = CcHunter::new(CcHunterConfig {

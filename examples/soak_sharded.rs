@@ -1,0 +1,288 @@
+//! Chaos soak for the failure-domain sharded fleet: ten thousand pairs
+//! hashed across eight crash-contained shard supervisors, killed and
+//! resurrected mid-run while a planted covert channel keeps transmitting.
+//!
+//! The harness asserts the sharding contract end to end: every pair added
+//! is accounted for on every sampled tick (monitored, degraded, or
+//! orphaned — never silently gone), shard deaths migrate pairs onto
+//! survivors by checkpoint restore, the planted covert pair is re-convicted
+//! after each forced migration, quiet pairs never flip covert, and the
+//! coordinator's tick latency stays bounded. A summary (with the p50/p99
+//! tick latency) is written to `soak_sharded.json` for CI artifact upload.
+//!
+//! ```sh
+//! cargo run --release --example soak_sharded          # full soak (10 240 pairs, 500 ticks)
+//! CCHUNTER_SHARD_SOAK_QUICK=1 cargo run --example soak_sharded   # CI smoke
+//! ```
+
+use cc_hunter::detector::supervisor::{ChaosOp, PairInput, ProbeFault, SupervisorConfig};
+use cc_hunter::detector::{
+    shard_count_from_env, DensityHistogram, Harvest, ShardHealth, ShardedFleet, ShardedFleetConfig,
+    HISTOGRAM_BINS,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Pairs that feed real harvests every tick; the rest of the fleet is the
+/// long tail of co-scheduled pairs whose probes miss (nothing to report).
+const ACTIVE_PAIRS: usize = 64;
+
+/// A covert-looking per-quantum histogram, varied by tick.
+fn covert_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_400 + (tick % 7) * 3;
+    bins[19] = 20;
+    bins[20] = 150 + (tick % 5);
+    bins[21] = 25;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+/// A benign per-quantum histogram.
+fn quiet_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_490 + (tick % 9);
+    bins[1] = 5;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+fn temp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cchunter-soak-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let quick = std::env::var("CCHUNTER_SHARD_SOAK_QUICK").is_ok_and(|v| v == "1");
+    let ticks: u64 = if quick { 80 } else { 500 };
+    let pairs: usize = if quick { 1_024 } else { 10_240 };
+    let shards = shard_count_from_env(8);
+
+    // Injected chaos panics (shard-level heartbeat kills and pair-level
+    // analysis panics) are contained by the watchdogs; silence only those
+    // in the default panic hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos:"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let root = temp_root();
+    let config = ShardedFleetConfig {
+        shards,
+        base: SupervisorConfig {
+            window_quanta: 8,
+            ..SupervisorConfig::default()
+        },
+        ..ShardedFleetConfig::default()
+    };
+    let mut fleet = ShardedFleet::with_store_root(config, &root).expect("valid fleet");
+
+    // Pair 0 is the planted covert channel; 1..ACTIVE_PAIRS are chatty
+    // benign neighbours; the rest are the quiet long tail.
+    fleet
+        .add_contention_pair("covert-bus: pid 17 <-> pid 23")
+        .expect("covert pair");
+    for i in 1..pairs {
+        fleet
+            .add_contention_pair(format!(
+                "pair-{i:05}: pid {} <-> pid {}",
+                100 + i,
+                20_000 + i
+            ))
+            .expect("benign pair");
+    }
+    assert_eq!(fleet.len(), pairs);
+
+    // The chaos schedule, in coordinator ticks.
+    let checkpoint_every = ticks / 4;
+    let kill_first = checkpoint_every + 2; // covert pair's home, post-checkpoint
+    let kill_second = kill_first + 5; // covert pair's *new* home (fresh state → degraded import)
+    let revive_all_at = ticks / 2;
+    let panic_kill_at = revive_all_at + ticks / 8; // organic death via the heartbeat watchdog
+    let revive_last_at = ticks - ticks / 8;
+
+    let started = Instant::now();
+    let mut tick_us: Vec<u64> = Vec::with_capacity(ticks as usize);
+    let mut deaths_seen = 0usize;
+    let mut migrated_total = 0usize;
+    let mut degraded_imports_total = 0usize;
+    let mut orphaned_total = 0usize;
+    let mut heartbeat_misses_total = 0usize;
+    let mut benign_flips = 0u64;
+    let mut covert_convictions_after_migration = 0u64;
+    let mut forced_migrations = 0u64;
+
+    for tick in 0..ticks {
+        if tick > 0 && tick.is_multiple_of(checkpoint_every) {
+            fleet.checkpoint().expect("fleet checkpoint");
+        }
+        if tick == kill_first || tick == kill_second {
+            let home = fleet.shard_of(0).expect("covert pair is hosted");
+            let report = fleet.kill_shard(home).expect("shard killed");
+            forced_migrations += 1;
+            migrated_total += report.migrated;
+            degraded_imports_total += report.degraded_imports;
+            orphaned_total += report.orphaned;
+            deaths_seen += 1;
+            println!(
+                "tick {tick:>4}: killed shard {home} (covert home) — {} migrated, {} degraded, {} orphaned",
+                report.migrated, report.degraded_imports, report.orphaned
+            );
+        }
+        if tick == panic_kill_at {
+            // Let the heartbeat watchdog declare this death on its own.
+            let home = fleet.shard_of(0).expect("covert pair is hosted");
+            let dead_after = fleet.config().dead_after;
+            fleet.panic_shard(home, dead_after).expect("chaos armed");
+            println!("tick {tick:>4}: armed {dead_after} chaos panics on shard {home}");
+        }
+        if tick == revive_all_at || tick == revive_last_at {
+            for status in fleet.shard_statuses() {
+                if status.health == ShardHealth::Dead {
+                    let report = fleet.revive_shard(status.index).expect("shard revived");
+                    migrated_total += report.migrated;
+                    println!(
+                        "tick {tick:>4}: revived shard {} ({} orphans adopted)",
+                        status.index, report.migrated
+                    );
+                }
+            }
+        }
+
+        let mut probe = |pair: usize, _tick: u64, _attempt: u32| -> Result<PairInput, ProbeFault> {
+            if pair == 0 {
+                return Ok(PairInput::Harvest(Harvest::Complete(covert_histogram(
+                    tick,
+                ))));
+            }
+            if pair < ACTIVE_PAIRS {
+                // One chatty neighbour's analysis panics now and then: the
+                // pair watchdog (inside the shard) must contain it.
+                if pair == 7 && tick.is_multiple_of(37) {
+                    return Ok(PairInput::Chaos(ChaosOp::Panic));
+                }
+                return Ok(PairInput::Harvest(Harvest::Complete(quiet_histogram(
+                    tick + pair as u64,
+                ))));
+            }
+            Ok(PairInput::Missed)
+        };
+        let t0 = Instant::now();
+        let report = fleet.tick(&mut probe);
+        tick_us.push(t0.elapsed().as_micros() as u64);
+
+        heartbeat_misses_total += report.heartbeat_misses.len();
+        deaths_seen += report.deaths.len();
+        migrated_total += report.migration.migrated;
+        degraded_imports_total += report.migration.degraded_imports;
+        orphaned_total += report.migration.orphaned;
+        if !report.deaths.is_empty() {
+            println!(
+                "tick {tick:>4}: watchdog buried shards {:?} — {} migrated",
+                report.deaths, report.migration.migrated
+            );
+        }
+
+        if tick.is_multiple_of(25) || tick + 1 == ticks {
+            let statuses = fleet.pair_statuses();
+            assert_eq!(statuses.len(), pairs, "every pair accounted for");
+            if statuses[0].verdict.is_covert() && forced_migrations > 0 {
+                covert_convictions_after_migration += 1;
+            }
+            if statuses[1..].iter().any(|s| s.verdict.is_covert()) {
+                benign_flips += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    tick_us.sort_unstable();
+    let pct = |p: f64| tick_us[((tick_us.len() - 1) as f64 * p) as usize];
+    let (p50_us, p99_us) = (pct(0.50), pct(0.99));
+
+    let statuses = fleet.pair_statuses();
+    let shard_statuses = fleet.shard_statuses();
+    let snap = fleet.metrics_snapshot();
+    let live = fleet.live_shard_ids().len();
+    let degraded_pairs = statuses.iter().filter(|s| s.degraded).count();
+    let orphans_final = statuses.iter().filter(|s| s.shard.is_none()).count();
+
+    println!();
+    println!(
+        "soak: {ticks} ticks x {pairs} pairs x {shards} shards in {:.2?}",
+        elapsed
+    );
+    println!("latency: p50 {p50_us} us, p99 {p99_us} us; {live}/{shards} shards live at end");
+    println!(
+        "chaos: {deaths_seen} deaths, {heartbeat_misses_total} heartbeat misses, \
+         {migrated_total} pair migrations, {degraded_imports_total} degraded imports, \
+         {orphaned_total} transiently orphaned"
+    );
+    println!(
+        "fleet: {} contained failures, {} panics, verdict[covert-pair] = {}, {} degraded pairs",
+        snap.failures, snap.panics, statuses[0].verdict, degraded_pairs
+    );
+
+    // The sharding contract, asserted every run.
+    assert!(deaths_seen >= 3, "two forced kills plus one watchdog death");
+    assert!(forced_migrations >= 2, "covert pair force-migrated twice");
+    assert!(migrated_total > 0, "migrations happened");
+    assert_eq!(orphans_final, 0, "no pair left orphaned after revival");
+    assert_eq!(statuses.len(), pairs, "zero lost pairs");
+    assert_eq!(live, shards, "every shard revived by the end");
+    assert!(
+        statuses[0].verdict.is_covert(),
+        "planted covert pair convicted at end-of-run: {:?}",
+        statuses[0]
+    );
+    assert!(
+        covert_convictions_after_migration > 0,
+        "covert pair re-convicted after migration"
+    );
+    assert_eq!(benign_flips, 0, "no quiet pair ever flips covert");
+    assert!(
+        statuses[1..].iter().all(|s| !s.verdict.is_covert()),
+        "quiet pairs end non-covert"
+    );
+    assert!(snap.panics > 0, "pair-level chaos panics were contained");
+    assert!(
+        heartbeat_misses_total >= fleet.config().dead_after as usize,
+        "shard-level chaos tripped the heartbeat watchdog"
+    );
+
+    // Machine-readable summary for the CI artifact.
+    let shard_json: Vec<String> = shard_statuses
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"shard\": {}, \"pairs\": {}, \"deaths\": {}, \"panics\": {}, \"last_tick_us\": {} }}",
+                s.index, s.pairs, s.deaths, s.panics, s.last_tick_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"ticks\": {ticks},\n  \"pairs\": {pairs},\n  \"shards\": {shards},\n  \
+         \"quick\": {quick},\n  \"elapsed_ms\": {},\n  \"tick_p50_us\": {p50_us},\n  \
+         \"tick_p99_us\": {p99_us},\n  \"deaths\": {deaths_seen},\n  \
+         \"heartbeat_misses\": {heartbeat_misses_total},\n  \"migrated\": {migrated_total},\n  \
+         \"degraded_imports\": {degraded_imports_total},\n  \
+         \"transient_orphans\": {orphaned_total},\n  \"final_orphans\": {orphans_final},\n  \
+         \"degraded_pairs\": {degraded_pairs},\n  \"benign_covert_flips\": {benign_flips},\n  \
+         \"covert_verdict\": \"{}\",\n  \"contained_failures\": {},\n  \
+         \"shard_statuses\": [\n{}\n  ]\n}}\n",
+        elapsed.as_millis(),
+        statuses[0].verdict,
+        snap.failures,
+        shard_json.join(",\n"),
+    );
+    std::fs::write("soak_sharded.json", &json).expect("summary written");
+    println!();
+    println!("summary written to soak_sharded.json");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -83,19 +83,30 @@ struct Inner {
     /// keep labeling conflicts by *software principal* even when the
     /// trojan or spy lands on a different hardware context.
     principals: [u8; 8],
+    /// Probe deliveries the auditor refused (e.g. a time-travelling event
+    /// from a buggy or hostile probe source). The probe path cannot
+    /// return errors, so refusals are counted and the last one stashed
+    /// instead of panicking inside the event loop.
+    probe_faults: u64,
+    last_probe_fault: Option<AuditorError>,
 }
 
 impl Inner {
+    /// Records an auditor refusal instead of unwinding: the hardware
+    /// would drop a malformed signal on the floor, and the daemon reads
+    /// the fault back at the next harvest.
+    fn note_fault(&mut self, error: AuditorError) {
+        self.probe_faults += 1;
+        self.last_probe_fault = Some(error);
+    }
+
     fn on_event(&mut self, event: &ProbeEvent) {
         match *event {
             ProbeEvent::BusLock { cycle, .. } => {
                 if let Some(slot) = self.bus_slot {
-                    // Invariant: bus_slot is only Some after a successful
-                    // program(), and probe events arrive in nondecreasing
-                    // cycle order, so signal() cannot fail here.
-                    self.auditor
-                        .signal(slot, cycle.as_u64(), 1)
-                        .expect("bus slot accepts signals");
+                    if let Err(error) = self.auditor.signal(slot, cycle.as_u64(), 1) {
+                        self.note_fault(error);
+                    }
                 }
             }
             ProbeEvent::DividerWait {
@@ -107,11 +118,9 @@ impl Inner {
                 if let Some((slot, core)) = self.divider_slot {
                     if waiter.core() == core {
                         let weight = cycles.min(u32::MAX as u64) as u32;
-                        // Invariant: slot was programmed and event times are
-                        // nondecreasing per resource; signal() cannot fail.
-                        self.auditor
-                            .signal(slot, start.as_u64(), weight)
-                            .expect("divider slot accepts signals");
+                        if let Err(error) = self.auditor.signal(slot, start.as_u64(), weight) {
+                            self.note_fault(error);
+                        }
                     }
                 }
             }
@@ -124,11 +133,9 @@ impl Inner {
                 if let Some((slot, core)) = self.multiplier_slot {
                     if waiter.core() == core {
                         let weight = cycles.min(u32::MAX as u64) as u32;
-                        // Invariant: slot was programmed and event times are
-                        // nondecreasing per resource; signal() cannot fail.
-                        self.auditor
-                            .signal(slot, start.as_u64(), weight)
-                            .expect("multiplier slot accepts signals");
+                        if let Err(error) = self.auditor.signal(slot, start.as_u64(), weight) {
+                            self.note_fault(error);
+                        }
                     }
                 }
             }
@@ -173,14 +180,17 @@ impl Inner {
                         if let Some((miss_block, true)) = cache.last_miss {
                             if miss_block == new_block {
                                 let smt = self.smt_per_core;
+                                let slot = cache.slot;
                                 let replacer = self.principals[replacer.index(smt) as usize];
                                 let victim = self.principals[victim_owner.index(smt) as usize];
-                                // Invariant: cache.slot was programmed as a
-                                // SharedCache unit, so record_conflict()
-                                // cannot fail.
-                                self.auditor
-                                    .record_conflict(cache.slot, cycle.as_u64(), replacer, victim)
-                                    .expect("cache slot accepts conflicts");
+                                if let Err(error) = self.auditor.record_conflict(
+                                    slot,
+                                    cycle.as_u64(),
+                                    replacer,
+                                    victim,
+                                ) {
+                                    self.note_fault(error);
+                                }
                             }
                         }
                     }
@@ -237,8 +247,29 @@ impl AuditSession {
                 cache: None,
                 smt_per_core,
                 principals: [0, 1, 2, 3, 4, 5, 6, 7],
+                probe_faults: 0,
+                last_probe_fault: None,
             })),
         }
+    }
+
+    /// Probe deliveries the auditor refused so far (a healthy session
+    /// reports 0; a nonzero count means a probe source emitted events the
+    /// hardware contract rejects, e.g. non-monotonic times).
+    pub fn probe_fault_count(&self) -> u64 {
+        self.inner.borrow().probe_faults
+    }
+
+    /// Takes the most recent refused probe delivery, if any, as a typed
+    /// error — the daemon-side readback for faults that happen inside the
+    /// event loop, where nothing can be returned. The count from
+    /// [`AuditSession::probe_fault_count`] is not reset.
+    pub fn take_probe_fault(&self) -> Option<DetectorError> {
+        self.inner
+            .borrow_mut()
+            .last_probe_fault
+            .take()
+            .map(DetectorError::from)
     }
 
     /// Programs the memory bus for auditing with the given Δt.
@@ -493,22 +524,32 @@ pub struct QuantumRunner {
 impl QuantumRunner {
     /// Creates a runner with the given OS time quantum.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `quantum_cycles` is zero.
-    pub fn new(quantum_cycles: u64) -> Self {
-        assert!(quantum_cycles > 0, "quantum must be nonzero");
-        QuantumRunner { quantum_cycles }
+    /// Returns [`DetectorError::InvalidConfig`] if `quantum_cycles` is
+    /// zero (the machine could never reach a quantum boundary).
+    pub fn new(quantum_cycles: u64) -> Result<Self, DetectorError> {
+        if quantum_cycles == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "OS time quantum must be nonzero".to_string(),
+            });
+        }
+        Ok(QuantumRunner { quantum_cycles })
     }
 
     /// Runs `quanta` OS time quanta from the machine's current time,
     /// harvesting the session's programmed units at each boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harvest failures ([`DetectorError`]) from the session;
+    /// on error, the machine stays wherever the failing quantum left it.
     pub fn run(
         &self,
         machine: &mut Machine,
         session: &mut AuditSession,
         quanta: usize,
-    ) -> AuditData {
+    ) -> Result<AuditData, DetectorError> {
         let start = machine.now().as_u64();
         let mut data = AuditData {
             start,
@@ -528,35 +569,23 @@ impl QuantumRunner {
             let events_before = machine.stats().events_dispatched;
             let mut quantum_span = span::global().span("sim", "quantum");
             machine.run_until(boundary.into());
-            // Invariant: each harvest below is gated on the matching slot
-            // being programmed, so NotAudited cannot occur.
             if has_bus {
-                data.bus_histograms.push(
-                    session
-                        .harvest_bus_histogram(boundary)
-                        .expect("bus slot is programmed"),
-                );
+                data.bus_histograms
+                    .push(session.harvest_bus_histogram(boundary)?);
                 sim_harvests_total().with_label("bus").inc();
             }
             if has_div {
-                data.divider_histograms.push(
-                    session
-                        .harvest_divider_histogram(boundary)
-                        .expect("divider slot is programmed"),
-                );
+                data.divider_histograms
+                    .push(session.harvest_divider_histogram(boundary)?);
                 sim_harvests_total().with_label("divider").inc();
             }
             if has_mul {
-                data.multiplier_histograms.push(
-                    session
-                        .harvest_multiplier_histogram(boundary)
-                        .expect("multiplier slot is programmed"),
-                );
+                data.multiplier_histograms
+                    .push(session.harvest_multiplier_histogram(boundary)?);
                 sim_harvests_total().with_label("multiplier").inc();
             }
             if has_cache {
-                data.conflicts
-                    .extend(session.drain_conflicts().expect("cache slot is programmed"));
+                data.conflicts.extend(session.drain_conflicts()?);
                 sim_harvests_total().with_label("cache").inc();
             }
             let events = machine.stats().events_dispatched - events_before;
@@ -568,7 +597,7 @@ impl QuantumRunner {
             }
         }
         data.end = machine.now().as_u64();
-        data
+        Ok(data)
     }
 
     /// Runs `quanta` OS time quanta like [`QuantumRunner::run`], but routes
@@ -577,20 +606,24 @@ impl QuantumRunner {
     /// `Partial` or `Missed`) instead of bare histograms, and per-quantum
     /// conflict batches annotated with their estimated lost fraction —
     /// ready to feed the gap-aware online detectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harvest failures ([`DetectorError`]) from the session.
     pub fn run_with_injector(
         &self,
         machine: &mut Machine,
         session: &mut AuditSession,
         quanta: usize,
         injector: &mut FaultInjector,
-    ) -> DegradedAuditData {
+    ) -> Result<DegradedAuditData, DetectorError> {
         let start = machine.now().as_u64();
         let mut data = DegradedAuditData {
             start,
             ..DegradedAuditData::default()
         };
         for _ in 0..quanta {
-            let quantum = self.run_quantum_with_injector(machine, session, injector);
+            let quantum = self.run_quantum_with_injector(machine, session, injector)?;
             if let Some(h) = quantum.bus {
                 data.bus_harvests.push(h);
             }
@@ -605,7 +638,7 @@ impl QuantumRunner {
             }
         }
         data.end = machine.now().as_u64();
-        data
+        Ok(data)
     }
 
     /// Runs exactly one OS time quantum through the fault injector and
@@ -613,12 +646,16 @@ impl QuantumRunner {
     /// loop takes between checkpoints, so callers can stop (or crash and
     /// restore) at any quantum boundary instead of committing to a whole
     /// run up front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harvest failures ([`DetectorError`]) from the session.
     pub fn run_quantum_with_injector(
         &self,
         machine: &mut Machine,
         session: &mut AuditSession,
         injector: &mut FaultInjector,
-    ) -> DegradedQuantum {
+    ) -> Result<DegradedQuantum, DetectorError> {
         let (has_bus, has_div, has_mul, has_cache) = {
             let inner = session.inner.borrow();
             (
@@ -632,35 +669,27 @@ impl QuantumRunner {
         let events_before = machine.stats().events_dispatched;
         let mut quantum_span = span::global().span("sim", "quantum");
         machine.run_until(boundary.into());
-        // Invariant: each harvest below is gated on the matching slot
-        // being programmed, so NotAudited cannot occur.
         let mut quantum = DegradedQuantum {
             boundary,
             ..DegradedQuantum::default()
         };
         if has_bus {
-            let histogram = session
-                .harvest_bus_histogram(boundary)
-                .expect("bus slot is programmed");
+            let histogram = session.harvest_bus_histogram(boundary)?;
             quantum.bus = Some(injector.perturb_harvest(histogram));
             sim_harvests_total().with_label("bus").inc();
         }
         if has_div {
-            let histogram = session
-                .harvest_divider_histogram(boundary)
-                .expect("divider slot is programmed");
+            let histogram = session.harvest_divider_histogram(boundary)?;
             quantum.divider = Some(injector.perturb_harvest(histogram));
             sim_harvests_total().with_label("divider").inc();
         }
         if has_mul {
-            let histogram = session
-                .harvest_multiplier_histogram(boundary)
-                .expect("multiplier slot is programmed");
+            let histogram = session.harvest_multiplier_histogram(boundary)?;
             quantum.multiplier = Some(injector.perturb_harvest(histogram));
             sim_harvests_total().with_label("multiplier").inc();
         }
         if has_cache {
-            let records = session.drain_conflicts().expect("cache slot is programmed");
+            let records = session.drain_conflicts()?;
             quantum.conflicts = Some(injector.perturb_conflicts(records));
             sim_harvests_total().with_label("cache").inc();
         }
@@ -671,7 +700,7 @@ impl QuantumRunner {
             quantum_span.cycle(boundary);
             quantum_span.detail(format_args!("boundary {boundary}: {events} engine events"));
         }
-        quantum
+        Ok(quantum)
     }
 }
 
@@ -745,7 +774,10 @@ mod tests {
             )),
             ctx,
         );
-        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        let data = QuantumRunner::new(100_000)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 1)
+            .expect("audit harvest");
         assert_eq!(data.bus_histograms.len(), 1);
         let h = &data.bus_histograms[0];
         assert_eq!(h.contended_windows(), 1, "both locks land in one window");
@@ -767,7 +799,10 @@ mod tests {
             Box::new(OpScript::new("d2", vec![Op::Div { count: 50 }])),
             m.config().context_id(1, 1),
         );
-        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        let data = QuantumRunner::new(100_000)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 1)
+            .expect("audit harvest");
         assert_eq!(data.divider_histograms[0].contended_windows(), 0);
     }
 
@@ -806,7 +841,10 @@ mod tests {
             Box::new(OpScript::new("b", mk_ops(0x100_0000 + 9 * set_stride))),
             m.config().context_id(0, 1),
         );
-        let data = QuantumRunner::new(100_000).run(&mut m, &mut session, 1);
+        let data = QuantumRunner::new(100_000)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 1)
+            .expect("audit harvest");
         let (conflicts, total) = session.cache_miss_counts();
         assert!(total > 0);
         assert!(conflicts > 0, "ping-pong must classify as conflict misses");
@@ -846,6 +884,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_quantum_is_typed_error() {
+        assert!(matches!(
+            QuantumRunner::new(0),
+            Err(DetectorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn refused_probe_deliveries_are_counted_and_read_back() {
+        let session = AuditSession::new();
+        assert_eq!(session.probe_fault_count(), 0);
+        assert!(session.take_probe_fault().is_none());
+        // The event loop cannot return errors, so a refusal lands in the
+        // session-side fault stash instead of unwinding.
+        session
+            .inner
+            .borrow_mut()
+            .note_fault(AuditorError::WrongDatapath);
+        assert_eq!(session.probe_fault_count(), 1);
+        assert!(matches!(
+            session.take_probe_fault(),
+            Some(DetectorError::Auditor(AuditorError::WrongDatapath))
+        ));
+        // The stash is take-once; the count keeps the history.
+        assert!(session.take_probe_fault().is_none());
+        assert_eq!(session.probe_fault_count(), 1);
+    }
+
+    #[test]
     fn set_principal_rejects_out_of_range_context() {
         let session = AuditSession::new();
         session.set_principal(7, 3).unwrap();
@@ -863,8 +930,10 @@ mod tests {
         session.audit_bus(1_000).unwrap();
         session.attach(&mut m);
         let mut injector = FaultInjector::new(FaultConfig::none(), 1);
-        let data =
-            QuantumRunner::new(50_000).run_with_injector(&mut m, &mut session, 4, &mut injector);
+        let data = QuantumRunner::new(50_000)
+            .expect("nonzero quantum")
+            .run_with_injector(&mut m, &mut session, 4, &mut injector)
+            .expect("audit harvest");
         assert_eq!(data.bus_harvests.len(), 4);
         assert!(data
             .bus_harvests
@@ -882,8 +951,10 @@ mod tests {
         session.attach(&mut m);
         let config = FaultConfig::none().with_rate(FaultClass::DroppedQuantum, 1.0);
         let mut injector = FaultInjector::new(config, 1);
-        let data =
-            QuantumRunner::new(50_000).run_with_injector(&mut m, &mut session, 4, &mut injector);
+        let data = QuantumRunner::new(50_000)
+            .expect("nonzero quantum")
+            .run_with_injector(&mut m, &mut session, 4, &mut injector)
+            .expect("audit harvest");
         assert!(data
             .bus_harvests
             .iter()
@@ -897,7 +968,10 @@ mod tests {
         let mut session = AuditSession::new();
         session.audit_bus(1_000).unwrap();
         session.attach(&mut m);
-        let data = QuantumRunner::new(50_000).run(&mut m, &mut session, 4);
+        let data = QuantumRunner::new(50_000)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 4)
+            .expect("audit harvest");
         assert_eq!(m.now().as_u64(), 200_000);
         assert_eq!(data.bus_histograms.len(), 4);
         assert_eq!(data.end - data.start, 200_000);

@@ -50,7 +50,10 @@
 //! let mut session = AuditSession::new();
 //! session.audit_bus(10_000).unwrap();
 //! session.attach(&mut machine);
-//! let data = QuantumRunner::new(1_000_000).run(&mut machine, &mut session, 3);
+//! let data = QuantumRunner::new(1_000_000)
+//!     .expect("nonzero quantum")
+//!     .run(&mut machine, &mut session, 3)
+//!     .expect("audit harvest");
 //!
 //! // The recurrent-burst pipeline flags the channel.
 //! let hunter = CcHunter::new(CcHunterConfig {

@@ -51,7 +51,10 @@ pub fn run_bus_channel(message: Message, bit_cycles: u64, quanta: usize) -> Chan
     let mut session = AuditSession::new();
     session.audit_bus(100_000).expect("bus audit");
     session.attach(&mut machine);
-    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
     ChannelRun { data, log, message }
 }
 
@@ -74,7 +77,10 @@ pub fn run_divider_channel(message: Message, bit_cycles: u64, quanta: usize) -> 
     let mut session = AuditSession::new();
     session.audit_divider(0, 500).expect("divider audit");
     session.attach(&mut machine);
-    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
     ChannelRun { data, log, message }
 }
 
@@ -105,6 +111,9 @@ pub fn run_cache_channel(
         .audit_cache(0, blocks, tracker)
         .expect("cache audit");
     session.attach(&mut machine);
-    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
     ChannelRun { data, log, message }
 }

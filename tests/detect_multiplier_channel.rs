@@ -43,7 +43,10 @@ fn run_multiplier_channel(
     let mut session = AuditSession::new();
     session.audit_multiplier(0, 500).expect("multiplier audit");
     session.attach(&mut machine);
-    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, quanta);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, quanta)
+        .expect("audit harvest");
     (data, log)
 }
 
@@ -96,7 +99,10 @@ fn multiplier_audit_does_not_see_divider_contention() {
     let mut session = AuditSession::new();
     session.audit_multiplier(0, 500).unwrap();
     session.attach(&mut machine);
-    let data = QuantumRunner::new(QUANTUM).run(&mut machine, &mut session, 3);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut machine, &mut session, 3)
+        .expect("audit harvest");
     let contended: u64 = data
         .multiplier_histograms
         .iter()

@@ -59,7 +59,10 @@ fn two_simultaneous_channels_are_both_detected_by_one_session() {
     session.audit_bus(100_000).unwrap();
     session.audit_divider(2, 500).unwrap();
     session.attach(&mut m);
-    let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 8);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, 8)
+        .expect("audit harvest");
 
     // Both spies decode their secrets.
     let bus_decoded = bus_log.borrow().decode(DecodeRule::Midpoint, bus_msg.len());
@@ -102,7 +105,10 @@ fn strict_16bit_hardware_still_detects_at_test_scale() {
     let mut session = AuditSession::with_config(AuditorConfig::paper_strict(), 2);
     session.audit_bus(100_000).unwrap();
     session.attach(&mut m);
-    let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 8);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, 8)
+        .expect("audit harvest");
     let report = CcHunter::new(CcHunterConfig {
         quantum_cycles: QUANTUM,
         delta_t: DeltaTPolicy::Fixed(100_000),

@@ -43,7 +43,10 @@ fn contention_audits_stay_clean_for_all_pairs() {
         session.audit_bus(100_000).unwrap();
         session.audit_divider(0, 500).unwrap();
         session.attach(&mut m);
-        let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 10);
+        let data = QuantumRunner::new(QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 10)
+            .expect("audit harvest");
 
         let hunter = CcHunter::new(CcHunterConfig {
             quantum_cycles: QUANTUM,
@@ -83,7 +86,10 @@ fn cache_audits_stay_clean_for_all_pairs() {
             .audit_cache(0, blocks, TrackerKind::Practical)
             .unwrap();
         session.attach(&mut m);
-        let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 10);
+        let data = QuantumRunner::new(QUANTUM)
+            .expect("nonzero quantum")
+            .run(&mut m, &mut session, 10)
+            .expect("audit harvest");
         let hunter = CcHunter::new(CcHunterConfig {
             quantum_cycles: QUANTUM,
             ..CcHunterConfig::default()
@@ -109,7 +115,10 @@ fn mailserver_second_distribution_is_rejected_by_likelihood_ratio() {
     let mut session = AuditSession::new();
     session.audit_bus(100_000).unwrap();
     session.attach(&mut m);
-    let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 12);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, 12)
+        .expect("audit harvest");
     let hunter = CcHunter::new(CcHunterConfig {
         quantum_cycles: QUANTUM,
         delta_t: DeltaTPolicy::Fixed(100_000),

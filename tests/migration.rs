@@ -42,8 +42,8 @@ fn cache_channel_survives_smt_slot_swap() {
     session.attach(&mut machine);
 
     // First half of the transmission on the original placement.
-    let runner = QuantumRunner::new(QUANTUM);
-    let first = runner.run(&mut machine, &mut session, 9);
+    let runner = QuantumRunner::new(QUANTUM).expect("nonzero quantum");
+    let first = runner.run(&mut machine, &mut session, 9).expect("harvest");
 
     // The OS swaps the pair between the core's SMT slots: move the trojan
     // aside, the spy into slot 0, the trojan into slot 1.
@@ -60,7 +60,7 @@ fn cache_channel_survives_smt_slot_swap() {
     session.set_principal(0, 1).expect("valid context");
     session.set_principal(1, 0).expect("valid context");
 
-    let second = runner.run(&mut machine, &mut session, 9);
+    let second = runner.run(&mut machine, &mut session, 9).expect("harvest");
 
     // The spy still decodes the message correctly across the swap.
     let decoded = log

@@ -58,7 +58,10 @@ fn bus_channel_detected_under_heavy_mixed_interference() {
     let mut session = AuditSession::new();
     session.audit_bus(100_000).unwrap();
     session.attach(&mut m);
-    let data = QuantumRunner::new(QUANTUM).run(&mut m, &mut session, 8);
+    let data = QuantumRunner::new(QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, 8)
+        .expect("audit harvest");
 
     // The channel still decodes (repetition coding would mop up residual
     // errors; here the raw BER must already be small).
