@@ -331,8 +331,8 @@ impl fmt::Display for SuiteStatus {
         match self {
             SuiteStatus::Ok => f.write_str("ok"),
             SuiteStatus::Regressed => f.write_str("REGRESSED"),
-            SuiteStatus::MissingFresh => f.write_str("MISSING"),
-            SuiteStatus::New => f.write_str("new"),
+            SuiteStatus::MissingFresh => f.write_str("MISSING FROM FRESH RUN"),
+            SuiteStatus::New => f.write_str("new (informational)"),
         }
     }
 }
@@ -392,9 +392,21 @@ impl CheckReport {
                 s.status
             ));
         }
+        let new = self
+            .suites
+            .iter()
+            .filter(|s| s.status == SuiteStatus::New)
+            .count();
         let verdict = if self.failed() {
             format!(
-                "FAIL: a suite slowed down past {:.0}% of baseline (or went missing)",
+                "FAIL: a suite slowed down past {:.0}% of baseline or went missing \
+                 from the fresh run (a new suite alone never fails)",
+                self.threshold * 100.0
+            )
+        } else if new > 0 {
+            format!(
+                "ok: all baseline suites within {:.0}% of baseline; {new} new suite(s) \
+                 skipped (informational, not in the committed baseline yet)",
                 self.threshold * 100.0
             )
         } else {
@@ -428,7 +440,7 @@ impl CheckReport {
                 None => ("—".to_string(), ""),
             };
             let status = match s.status {
-                SuiteStatus::New => "new".to_string(),
+                SuiteStatus::New => "new (informational)".to_string(),
                 SuiteStatus::MissingFresh => "missing from fresh run".to_string(),
                 _ => marker.to_string(),
             };
@@ -633,6 +645,29 @@ mod tests {
         assert_eq!(report.suites[0].status, SuiteStatus::MissingFresh);
         assert_eq!(report.suites[1].status, SuiteStatus::New);
         assert!(!report.suites[1].status.fails());
+    }
+
+    #[test]
+    fn rendering_distinguishes_new_from_missing() {
+        // A fresh-only suite alone: informational, the gate passes, and
+        // both renderings say so in words that cannot be misread as a
+        // failure.
+        let baseline = map(&[("a", 100.0)]);
+        let fresh = map(&[("a", 100.0), ("brand_new", 50.0)]);
+        let report = compare(&baseline, &fresh, 1.25);
+        assert!(!report.failed());
+        let text = report.render();
+        assert!(text.contains("new (informational)"), "{text}");
+        assert!(text.contains("1 new suite(s) skipped"), "{text}");
+        assert!(report.render_markdown().contains("new (informational)"));
+
+        // A baseline suite missing from the fresh run: a hard failure with
+        // an unambiguous label.
+        let gone = compare(&map(&[("a", 100.0)]), &map(&[]), 1.25);
+        assert!(gone.failed());
+        let text = gone.render();
+        assert!(text.contains("MISSING FROM FRESH RUN"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
     }
 
     #[test]

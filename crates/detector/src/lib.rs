@@ -70,6 +70,7 @@ pub mod density;
 pub mod events;
 pub mod fault;
 pub mod fft;
+pub mod indicator;
 pub mod ingest;
 pub mod metrics;
 pub mod mitigation;
@@ -95,6 +96,10 @@ pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, EventTrainArena, SymbolSeries, TrainView};
 pub use fault::{FaultClass, FaultConfig, FaultInjector};
+pub use indicator::{
+    indicator_by_name, score_sequences, score_sequences_in, standard_indicators, CcHunterIndicator,
+    CusumIndicator, Indicator, SpectralIndicator, WindowObservation,
+};
 pub use ingest::{
     AdmissionConfig, AdmissionQueue, DrainedBatch, IngestConfig, IngestPipeline, IngestReport,
     IngestStats, RawEvent, SanitizeReport, Sanitizer, SanitizerConfig, SatAccumulator,

@@ -13,7 +13,10 @@ use cchunter_detector::conflict::{
     ConflictClass, GenerationTracker, IdealLruTracker, MissClassifier,
 };
 use cchunter_detector::density::{DensityHistogram, HISTOGRAM_BINS};
-use cchunter_detector::events::EventTrain;
+use cchunter_detector::events::{EventTrain, SymbolSeries};
+use cchunter_detector::indicator::{
+    indicator_by_name, score_sequences_in, Indicator, WindowObservation,
+};
 use cchunter_detector::BloomFilter;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -472,6 +475,92 @@ fn par_map_is_thread_count_invariant() {
                     "case {case} item {i} with {} threads",
                     pool.threads()
                 );
+            }
+        }
+    }
+}
+
+/// A seeded random observation: histogram, rate trace, and/or symbols with
+/// a random weight, covering every field combination an indicator can see.
+fn random_observation(rng: &mut SmallRng) -> WindowObservation {
+    let mut obs = WindowObservation::missed().with_weight(rng.gen_range(0.0..=1.0));
+    if rng.gen_bool(0.7) {
+        let train = EventTrain::from_times(times(rng, 400, 40_000));
+        obs.histogram = Some(DensityHistogram::from_train(&train, 100, 0, 40_000));
+    }
+    if rng.gen_bool(0.7) {
+        let n = rng.gen_range(0usize..200);
+        obs.rates = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+    }
+    if rng.gen_bool(0.5) {
+        let n = rng.gen_range(0usize..300);
+        let symbols: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..56)).collect();
+        obs.symbols = Some(SymbolSeries::from_symbols(symbols));
+    }
+    obs
+}
+
+#[test]
+fn indicator_scores_are_thread_count_invariant() {
+    // Batched indicator scoring is bit-identical to serial scoring for any
+    // pool size — the same contract the FFT batch engine holds, extended to
+    // every Indicator implementation.
+    let mut pools: Vec<threadpool::Pool> = [1usize, 2, 7].map(threadpool::Pool::new).into();
+    for name in ["cchunter", "cusum", "spectral"] {
+        let mut rng = SmallRng::seed_from_u64(0x1D1C_0000);
+        let sequences: Vec<Vec<WindowObservation>> = (0..12)
+            .map(|_| {
+                let len = rng.gen_range(1usize..8);
+                (0..len).map(|_| random_observation(&mut rng)).collect()
+            })
+            .collect();
+        let make: &(dyn Fn() -> Box<dyn Indicator> + Sync) =
+            &move || indicator_by_name(name).expect("built-in name");
+        let serial: Vec<f64> = sequences.iter().map(|s| make().score_sequence(s)).collect();
+        for pool in &mut pools {
+            let got = score_sequences_in(pool, make, &sequences);
+            for (i, (a, b)) in got.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} sequence {i} with {} threads",
+                    pool.threads()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn indicator_online_push_equals_replay_from_scratch() {
+    // The replay-consistency contract: after pushing any prefix of an
+    // observation stream, the online score is bit-identical to a fresh
+    // indicator replaying that prefix — the Indicator-trait analogue of the
+    // sliding-window incremental-vs-scratch property.
+    for name in ["cchunter", "cusum", "spectral"] {
+        for case in 0..CASES / 4 {
+            let mut rng = SmallRng::seed_from_u64(0x0E71_0000 + case);
+            let stream: Vec<WindowObservation> = (0..rng.gen_range(1usize..10))
+                .map(|_| random_observation(&mut rng))
+                .collect();
+            let mut online = indicator_by_name(name).expect("built-in name");
+            for (k, obs) in stream.iter().enumerate() {
+                let pushed = online.push(obs);
+                assert_eq!(
+                    pushed.to_bits(),
+                    online.score().to_bits(),
+                    "{name} case {case}: push return differs from score()"
+                );
+                let replayed = indicator_by_name(name)
+                    .expect("built-in name")
+                    .score_sequence(&stream[..=k]);
+                assert_eq!(
+                    pushed.to_bits(),
+                    replayed.to_bits(),
+                    "{name} case {case} prefix {}: online {pushed} vs replay {replayed}",
+                    k + 1
+                );
+                assert!((0.0..=1.0).contains(&pushed), "{name} case {case}");
             }
         }
     }

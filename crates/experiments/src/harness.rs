@@ -314,6 +314,83 @@ pub fn run_cache(
     }
 }
 
+/// Artifacts from one benign (no-channel) pair run under all three audits —
+/// the negative class of the detection-quality sweeps.
+#[derive(Debug)]
+pub struct BenignArtifacts {
+    /// Raw bus-lock event train.
+    pub bus_lock_train: cc_hunter::detector::EventTrain,
+    /// Raw divider-wait event train (weighted by stalled cycles).
+    pub divider_wait_train: cc_hunter::detector::EventTrain,
+    /// Conflict-miss records from the cache audit.
+    pub conflicts: Vec<cc_hunter::detector::auditor::ConflictRecord>,
+    /// First cycle of the run.
+    pub start: u64,
+    /// First cycle after the run.
+    pub end: u64,
+}
+
+/// Runs the Figure 14 benign pair `label` plus standard noise for `quanta`
+/// OS quanta under every audit: bus + divider in one machine (with the
+/// probe trace attached for the raw event trains), cache in a second, the
+/// auditor's two-unit limit split exactly as in the false-alarm study.
+pub fn run_benign_pair(label: &str, quanta: usize, noise_seed: u64) -> BenignArtifacts {
+    use cc_hunter::workloads::figure14_pairs;
+    use cc_hunter::workloads::noise::spawn_standard_noise;
+
+    let fresh_pair = || {
+        let (_, a, b) = figure14_pairs()
+            .into_iter()
+            .find(|(l, _, _)| *l == label)
+            .unwrap_or_else(|| panic!("unknown benign pair {label:?}"));
+        (a, b)
+    };
+
+    // Run 1: bus + divider audits, trace attached.
+    let (a, b) = fresh_pair();
+    let mut m = machine();
+    m.spawn(a, m.config().context_id(0, 0));
+    m.spawn(b, m.config().context_id(0, 1));
+    spawn_standard_noise(&mut m, 0, 3, noise_seed);
+    let mut session = AuditSession::new();
+    session.audit_bus(paper::BUS_DELTA_T).expect("bus audit");
+    session
+        .audit_divider(0, paper::DIV_DELTA_T)
+        .expect("divider audit");
+    session.attach(&mut m);
+    let trace = m.attach_trace();
+    let data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, quanta)
+        .expect("audit harvest");
+    let (bus_lock_train, divider_wait_train) = extract_trains(trace.borrow().events());
+
+    // Run 2: cache audit.
+    let (a, b) = fresh_pair();
+    let mut m = machine();
+    m.spawn(a, m.config().context_id(0, 0));
+    m.spawn(b, m.config().context_id(0, 1));
+    spawn_standard_noise(&mut m, 0, 3, noise_seed);
+    let mut session = AuditSession::new();
+    let blocks = m.config().l2.total_blocks() as usize;
+    session
+        .audit_cache(0, blocks, TrackerKind::Practical)
+        .expect("cache audit");
+    session.attach(&mut m);
+    let cache_data = QuantumRunner::new(paper::QUANTUM)
+        .expect("nonzero quantum")
+        .run(&mut m, &mut session, quanta)
+        .expect("audit harvest");
+
+    BenignArtifacts {
+        bus_lock_train,
+        divider_wait_train,
+        conflicts: cache_data.conflicts,
+        start: data.start,
+        end: data.end.min(cache_data.end),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,14 @@
 pub mod figs;
 pub mod harness;
 pub mod output;
+pub mod quality;
 
-pub use harness::{paper, run_bus, run_cache, run_divider, ChannelArtifacts, RunOptions};
+pub use harness::{
+    paper, run_benign_pair, run_bus, run_cache, run_divider, BenignArtifacts, ChannelArtifacts,
+    RunOptions,
+};
 pub use output::{write_csv, Table};
+pub use quality::{
+    compare, parse_cells, run_sweep, CellMetrics, CellStatus, Channel, NoiseLevel, QualityReport,
+    SweepConfig, SweepResult,
+};
