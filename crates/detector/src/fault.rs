@@ -15,13 +15,24 @@
 //! [`crate::auditor::CcAuditor`] or the simulator) and the online daemon,
 //! turning clean histograms into [`Harvest`]es and clean conflict drains
 //! into degraded ones.
+//!
+//! The same philosophy extends below the detector: [`StorageFaultInjector`]
+//! is a [`StorageMedium`] that wraps the real disk (or any other medium)
+//! and injects the *gray* storage failures a sick disk produces — ENOSPC,
+//! EIO, failed fsyncs, silently torn writes, stalled writes — again
+//! seedable and per-class toggleable, so checkpoint-durability chaos
+//! drills replay exactly.
 
 use crate::auditor::ConflictRecord;
 use crate::density::{DensityHistogram, HISTOGRAM_BINS};
 use crate::online::Harvest;
+use crate::store::{DiskMedium, StorageMedium};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// The individually toggleable fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -366,6 +377,333 @@ impl FaultInjector {
     }
 }
 
+/// The individually toggleable storage fault classes a gray-failing disk
+/// produces (injected by [`StorageFaultInjector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFaultClass {
+    /// A write or rename fails with `ENOSPC` (the disk-brownout staple).
+    NoSpace,
+    /// A read fails with a medium error (`EIO`).
+    ReadError,
+    /// A write or rename fails with a medium error (`EIO`).
+    WriteError,
+    /// `sync_all` on a file or directory fails: the write may sit in the
+    /// page cache but is not durable.
+    SyncFailure,
+    /// A write is silently torn: only a prefix of the bytes reaches the
+    /// medium, and the call still reports success — the nastiest gray
+    /// failure, detectable only by the CRC envelope at load time.
+    TornWrite,
+    /// A write fails with a timeout after stalling.
+    StalledWrite,
+}
+
+impl StorageFaultClass {
+    /// Every storage fault class, in a fixed order.
+    pub const ALL: [StorageFaultClass; 6] = [
+        StorageFaultClass::NoSpace,
+        StorageFaultClass::ReadError,
+        StorageFaultClass::WriteError,
+        StorageFaultClass::SyncFailure,
+        StorageFaultClass::TornWrite,
+        StorageFaultClass::StalledWrite,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+impl fmt::Display for StorageFaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StorageFaultClass::NoSpace => "no-space",
+            StorageFaultClass::ReadError => "read-error",
+            StorageFaultClass::WriteError => "write-error",
+            StorageFaultClass::SyncFailure => "sync-failure",
+            StorageFaultClass::TornWrite => "torn-write",
+            StorageFaultClass::StalledWrite => "stalled-write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-class storage fault rates, all probabilities in `[0, 1]`, rolled
+/// once per medium operation of the matching kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaultConfig {
+    /// Probability a write/rename fails with `ENOSPC`.
+    pub no_space: f64,
+    /// Probability a read fails with `EIO`.
+    pub read_error: f64,
+    /// Probability a write/rename fails with `EIO`.
+    pub write_error: f64,
+    /// Probability a file/directory fsync fails.
+    pub sync_failure: f64,
+    /// Probability a write is silently torn to a prefix.
+    pub torn_write: f64,
+    /// Probability a write fails with a timeout.
+    pub stalled_write: f64,
+}
+
+impl Default for StorageFaultConfig {
+    /// Every class enabled at a low rate — the "sick disk" profile.
+    fn default() -> Self {
+        StorageFaultConfig {
+            no_space: 0.05,
+            read_error: 0.05,
+            write_error: 0.05,
+            sync_failure: 0.05,
+            torn_write: 0.05,
+            stalled_write: 0.05,
+        }
+    }
+}
+
+impl StorageFaultConfig {
+    /// No storage faults at all (the injector becomes a pass-through).
+    pub fn none() -> Self {
+        StorageFaultConfig {
+            no_space: 0.0,
+            read_error: 0.0,
+            write_error: 0.0,
+            sync_failure: 0.0,
+            torn_write: 0.0,
+            stalled_write: 0.0,
+        }
+    }
+
+    /// Exactly one class enabled, at its default rate.
+    pub fn only(class: StorageFaultClass) -> Self {
+        let mut config = StorageFaultConfig::none();
+        config.set_rate(class, StorageFaultConfig::default().rate(class));
+        config
+    }
+
+    /// The configured rate for `class`.
+    pub fn rate(&self, class: StorageFaultClass) -> f64 {
+        match class {
+            StorageFaultClass::NoSpace => self.no_space,
+            StorageFaultClass::ReadError => self.read_error,
+            StorageFaultClass::WriteError => self.write_error,
+            StorageFaultClass::SyncFailure => self.sync_failure,
+            StorageFaultClass::TornWrite => self.torn_write,
+            StorageFaultClass::StalledWrite => self.stalled_write,
+        }
+    }
+
+    /// Sets the rate for `class` (clamped to `[0, 1]`), builder-style.
+    pub fn set_rate(&mut self, class: StorageFaultClass, rate: f64) -> &mut Self {
+        let rate = rate.clamp(0.0, 1.0);
+        match class {
+            StorageFaultClass::NoSpace => self.no_space = rate,
+            StorageFaultClass::ReadError => self.read_error = rate,
+            StorageFaultClass::WriteError => self.write_error = rate,
+            StorageFaultClass::SyncFailure => self.sync_failure = rate,
+            StorageFaultClass::TornWrite => self.torn_write = rate,
+            StorageFaultClass::StalledWrite => self.stalled_write = rate,
+        }
+        self
+    }
+
+    /// With a different rate for `class`, consuming-builder style.
+    pub fn with_rate(mut self, class: StorageFaultClass, rate: f64) -> Self {
+        self.set_rate(class, rate);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct StorageInjectorState {
+    config: StorageFaultConfig,
+    rng: SmallRng,
+    injected: [u64; StorageFaultClass::ALL.len()],
+}
+
+impl StorageInjectorState {
+    fn roll(&mut self, class: StorageFaultClass) -> bool {
+        let rate = self.config.rate(class);
+        if rate > 0.0 && self.rng.gen_bool(rate) {
+            self.injected[class.index()] += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A deterministic, seedable [`StorageMedium`] that wraps another medium
+/// (the real disk by default) and injects gray storage failures.
+///
+/// Clones share one RNG, config, and fault ledger, so a clone kept outside
+/// a [`crate::store::CheckpointStore`] is a live *control handle*: flip
+/// the rates mid-run ([`StorageFaultInjector::set_config`]) to script a
+/// disk brownout and its healing, and read the ledger
+/// ([`StorageFaultInjector::injected`]) to assert what was injected.
+///
+/// ```
+/// use cchunter_detector::fault::{StorageFaultClass, StorageFaultConfig, StorageFaultInjector};
+/// use cchunter_detector::store::CheckpointStore;
+/// use cchunter_detector::DetectorError;
+/// use std::sync::Arc;
+///
+/// let injector = StorageFaultInjector::new(
+///     StorageFaultConfig::only(StorageFaultClass::NoSpace)
+///         .with_rate(StorageFaultClass::NoSpace, 1.0),
+///     7,
+/// );
+/// let dir = std::env::temp_dir().join(format!("cchunter-sfi-doc-{}", std::process::id()));
+/// let store = CheckpointStore::open_with_medium(&dir, 2, Arc::new(injector.clone())).unwrap();
+/// match store.save("pair-0", b"state") {
+///     Err(DetectorError::StorageFault { retryable: true, .. }) => {}
+///     other => panic!("expected a typed storage fault, got {other:?}"),
+/// }
+/// assert!(injector.total_injected() > 0, "every write rolled ENOSPC");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct StorageFaultInjector {
+    inner: Arc<dyn StorageMedium>,
+    state: Arc<Mutex<StorageInjectorState>>,
+}
+
+impl StorageFaultInjector {
+    /// An injector over the real disk, replaying the fault sequence
+    /// determined by `seed`.
+    pub fn new(config: StorageFaultConfig, seed: u64) -> Self {
+        Self::wrapping(Arc::new(DiskMedium), config, seed)
+    }
+
+    /// An injector over an arbitrary inner medium.
+    pub fn wrapping(inner: Arc<dyn StorageMedium>, config: StorageFaultConfig, seed: u64) -> Self {
+        StorageFaultInjector {
+            inner,
+            state: Arc::new(Mutex::new(StorageInjectorState {
+                config,
+                rng: SmallRng::seed_from_u64(seed),
+                injected: [0; StorageFaultClass::ALL.len()],
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StorageInjectorState> {
+        // The state is always structurally valid; a panicked holder's
+        // poison is ignorable.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The active fault rates.
+    pub fn config(&self) -> StorageFaultConfig {
+        self.lock().config
+    }
+
+    /// Replaces the fault rates on every clone at once — the brownout /
+    /// heal switch of the chaos drills.
+    pub fn set_config(&self, config: StorageFaultConfig) {
+        self.lock().config = config;
+    }
+
+    /// How many faults of `class` have been injected so far.
+    pub fn injected(&self, class: StorageFaultClass) -> u64 {
+        self.lock().injected[class.index()]
+    }
+
+    /// Total faults injected across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.lock().injected.iter().sum()
+    }
+}
+
+impl StorageMedium for StorageFaultInjector {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // Directory creation stays clean: the drills target the steady
+        // state (writes), not store construction.
+        self.inner.create_dir_all(dir)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let torn_cut = {
+            let mut state = self.lock();
+            if state.roll(StorageFaultClass::NoSpace) {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "no space left on device (injected)",
+                ));
+            }
+            if state.roll(StorageFaultClass::StalledWrite) {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "write stalled past its deadline (injected)",
+                ));
+            }
+            if state.roll(StorageFaultClass::WriteError) {
+                return Err(io::Error::other("I/O error on write (injected)"));
+            }
+            if state.roll(StorageFaultClass::TornWrite) && !bytes.is_empty() {
+                Some(state.rng.gen_range(0..bytes.len()))
+            } else {
+                None
+            }
+        };
+        match torn_cut {
+            // The torn write *succeeds* from the caller's view — only a
+            // prefix landed. The CRC envelope catches it at load time.
+            Some(cut) => self.inner.write_file(path, &bytes[..cut]),
+            None => self.inner.write_file(path, bytes),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.lock().roll(StorageFaultClass::SyncFailure) {
+            return Err(io::Error::other("fsync failed (injected)"));
+        }
+        self.inner.sync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        {
+            let mut state = self.lock();
+            if state.roll(StorageFaultClass::NoSpace) {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "no space left on device (injected)",
+                ));
+            }
+            if state.roll(StorageFaultClass::WriteError) {
+                return Err(io::Error::other("I/O error on rename (injected)"));
+            }
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.lock().roll(StorageFaultClass::ReadError) {
+            return Err(io::Error::other("I/O error on read (injected)"));
+        }
+        self.inner.read_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list_dir(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.lock().roll(StorageFaultClass::SyncFailure) {
+            return Err(io::Error::other("directory fsync failed (injected)"));
+        }
+        self.inner.sync_dir(dir)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +834,143 @@ mod tests {
                 assert_eq!(config.rate(class), 0.0, "{class}");
             }
         }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "cchunter-sfi-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn storage_injector_passes_through_when_quiet() {
+        let dir = temp_dir("quiet");
+        let _ = std::fs::remove_dir_all(&dir);
+        let injector = StorageFaultInjector::new(StorageFaultConfig::none(), 1);
+        let store =
+            crate::store::CheckpointStore::open_with_medium(&dir, 2, Arc::new(injector.clone()))
+                .unwrap();
+        store.save("p", b"hello").unwrap();
+        assert_eq!(store.load_latest("p").unwrap().unwrap().payload, b"hello");
+        assert_eq!(injector.total_injected(), 0);
+        assert_eq!(store.write_retries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_injector_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let dir = temp_dir(&format!("det-{seed}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let injector = StorageFaultInjector::new(StorageFaultConfig::default(), seed);
+            let store = crate::store::CheckpointStore::open_with_medium(
+                &dir,
+                2,
+                Arc::new(injector.clone()),
+            )
+            .unwrap();
+            let mut outcomes = Vec::new();
+            for i in 0..40u8 {
+                outcomes.push(store.save("p", &[i]).is_ok());
+            }
+            let ledger: Vec<u64> = StorageFaultClass::ALL
+                .iter()
+                .map(|&c| injector.injected(c))
+                .collect();
+            let _ = std::fs::remove_dir_all(&dir);
+            (outcomes, ledger)
+        };
+        assert_eq!(run(13), run(13));
+        assert_ne!(
+            run(13).1,
+            run(14).1,
+            "different seeds take different fault sequences"
+        );
+    }
+
+    #[test]
+    fn enospc_brownout_fails_typed_and_heals() {
+        let dir = temp_dir("brownout");
+        let _ = std::fs::remove_dir_all(&dir);
+        let injector = StorageFaultInjector::new(
+            StorageFaultConfig::only(StorageFaultClass::NoSpace)
+                .with_rate(StorageFaultClass::NoSpace, 1.0),
+            3,
+        );
+        let store =
+            crate::store::CheckpointStore::open_with_medium(&dir, 2, Arc::new(injector.clone()))
+                .unwrap();
+        match store.save("p", b"v0") {
+            Err(crate::DetectorError::StorageFault {
+                kind,
+                retryable,
+                op,
+                ..
+            }) => {
+                assert_eq!(kind, crate::store::StorageFaultKind::NoSpace);
+                assert!(retryable);
+                assert_eq!(op, "write-file");
+            }
+            other => panic!("expected typed ENOSPC fault, got {other:?}"),
+        }
+        assert!(
+            store.write_retries() > 0,
+            "the bounded retry budget was spent first"
+        );
+        // The medium heals; durable writes resume on the same store.
+        injector.set_config(StorageFaultConfig::none());
+        store.save("p", b"v1").unwrap();
+        assert_eq!(store.load_latest("p").unwrap().unwrap().payload, b"v1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_silent_but_rollback_recovers() {
+        let dir = temp_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let injector = StorageFaultInjector::new(StorageFaultConfig::none(), 5);
+        let store =
+            crate::store::CheckpointStore::open_with_medium(&dir, 3, Arc::new(injector.clone()))
+                .unwrap();
+        store.save("p", b"durable generation").unwrap();
+        injector.set_config(
+            StorageFaultConfig::only(StorageFaultClass::TornWrite)
+                .with_rate(StorageFaultClass::TornWrite, 1.0),
+        );
+        // The torn save *reports success* — that is the point.
+        let torn_generation = store.save("p", b"torn generation").unwrap();
+        injector.set_config(StorageFaultConfig::none());
+        let loaded = store.load_latest("p").unwrap().unwrap();
+        assert_eq!(loaded.payload, b"durable generation");
+        assert_eq!(loaded.rolled_back, 1, "the torn newest was skipped");
+        assert!(loaded.generation < torn_generation);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let dir = temp_dir("transient");
+        let _ = std::fs::remove_dir_all(&dir);
+        // 30% EIO: with 3 retries per step the save virtually always lands.
+        let injector = StorageFaultInjector::new(
+            StorageFaultConfig::only(StorageFaultClass::WriteError)
+                .with_rate(StorageFaultClass::WriteError, 0.3),
+            9,
+        );
+        let store =
+            crate::store::CheckpointStore::open_with_medium(&dir, 2, Arc::new(injector.clone()))
+                .unwrap();
+        let mut ok = 0;
+        for i in 0..30u8 {
+            if store.save("p", &[i]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 25, "retries absorb a 30% fault rate, got {ok}/30");
+        assert!(store.write_retries() > 0);
+        assert!(store.write_backoff_us() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

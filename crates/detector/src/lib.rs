@@ -95,7 +95,10 @@ pub use conflict::{ConflictClass, GenerationTracker, IdealLruTracker, MissClassi
 pub use cost::{CostEstimate, CostModel};
 pub use density::{DeltaTPolicy, DensityHistogram, HISTOGRAM_BINS};
 pub use events::{EventTrain, EventTrainArena, SymbolSeries, TrainView};
-pub use fault::{FaultClass, FaultConfig, FaultInjector};
+pub use fault::{
+    FaultClass, FaultConfig, FaultInjector, StorageFaultClass, StorageFaultConfig,
+    StorageFaultInjector,
+};
 pub use indicator::{
     indicator_by_name, score_sequences, score_sequences_in, standard_indicators, CcHunterIndicator,
     CusumIndicator, Indicator, SpectralIndicator, WindowObservation,
@@ -117,17 +120,20 @@ pub use online::{Harvest, OnlineContentionDetector, OnlineOscillationDetector, O
 pub use pipeline::{
     CcHunter, CcHunterConfig, Detection, PairAudit, PairEvidence, ResourceKind, Verdict,
 };
-pub use policy::{BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig};
+pub use policy::{
+    BackoffConfig, BreakerState, CircuitBreaker, QuarantineConfig, SuspicionConfig,
+    SuspicionTracker, SuspicionTransition,
+};
 pub use report::SessionReport;
 pub use shard::{
     pair_key, rendezvous_shard, shard_count_from_env, FleetPairStatus, FleetTickReport,
-    MigrationReport, ShardHealth, ShardStatus, ShardedFleet, ShardedFleetConfig,
+    LatencySloConfig, MigrationReport, ShardHealth, ShardStatus, ShardedFleet, ShardedFleetConfig,
     ShardedFleetStatus,
 };
 pub use span::{Span, TraceEvent, Tracer};
-pub use store::CheckpointStore;
+pub use store::{classify_io, CheckpointStore, DiskMedium, StorageFaultKind, StorageMedium};
 pub use supervisor::{
-    FleetStatus, IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, PairKind,
+    Durability, FleetStatus, IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, PairKind,
     PairSnapshot, ProbeFault, ProbeSource, RecoveredFleet, Supervisor, SupervisorConfig,
 };
 pub use trace::TraceError;
@@ -174,6 +180,24 @@ pub enum DetectorError {
     /// A stored checkpoint failed CRC/framing validation (see
     /// [`store::CorruptCheckpoint`] for which entry, generation, and why).
     CorruptCheckpoint(Box<store::CorruptCheckpoint>),
+    /// A storage operation failed persistently (bounded retries included),
+    /// classified into the [`store::StorageFaultKind`] taxonomy with a
+    /// retryability tag, so a supervisor can decide between retrying later
+    /// and degrading durability without string-matching errnos.
+    StorageFault {
+        /// What went wrong, independent of platform errno spelling.
+        kind: store::StorageFaultKind,
+        /// Whether retrying later is worthwhile (a full disk heals; a
+        /// vanished one does not).
+        retryable: bool,
+        /// The storage operation that failed (kebab-case
+        /// [`store::StorageMedium`] method name).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: std::path::PathBuf,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
     /// A checkpoint store directory is already exclusively owned by
     /// another live handle (see [`CheckpointStore::open_exclusive`]):
     /// two fleets must never interleave generations in one store.
@@ -220,6 +244,22 @@ impl fmt::Display for DetectorError {
             DetectorError::HostileTrain { reason } => write!(f, "hostile event train: {reason}"),
             DetectorError::NotAudited { unit } => write!(f, "{unit} is not under audit"),
             DetectorError::CorruptCheckpoint(e) => write!(f, "{e}"),
+            DetectorError::StorageFault {
+                kind,
+                retryable,
+                op,
+                path,
+                message,
+            } => write!(
+                f,
+                "storage fault ({kind}, {}) during {op} on {}: {message}",
+                if *retryable {
+                    "retryable"
+                } else {
+                    "not retryable"
+                },
+                path.display()
+            ),
             DetectorError::StoreBusy { dir, owner } => write!(
                 f,
                 "checkpoint store {} is exclusively owned by {owner:?}",

@@ -257,6 +257,23 @@ impl Histogram {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// Zeroes every bucket, the count, the sum, and the max, keeping the
+    /// bucket bounds. For *windowed* views (a latency-SLO tracker that
+    /// judges each tick window on fresh data) — cumulative Prometheus
+    /// series must never be reset.
+    pub fn reset(&self) {
+        for bucket in self.inner.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner
+            .sum_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.inner
+            .max_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))

@@ -385,6 +385,138 @@ impl CircuitBreaker {
     }
 }
 
+/// Hysteresis parameters for latency-SLO shard suspicion.
+///
+/// A gray-failing shard is *slow but alive*: it answers heartbeats, so the
+/// hard watchdog never fires, yet its tick latency quietly starves the
+/// fleet's observation windows. Suspicion is the soft counterpart — a
+/// shard whose tick p99 breaches its budget for [`breach_ticks`]
+/// *consecutive* ticks is **suspected** (and proactively drained), and
+/// only [`clear_ticks`] consecutive in-budget ticks clear it again. Both
+/// streaks reset on any opposite observation, so a shard oscillating
+/// around the budget line settles into whichever side it actually
+/// sustains instead of flapping.
+///
+/// [`breach_ticks`]: SuspicionConfig::breach_ticks
+/// [`clear_ticks`]: SuspicionConfig::clear_ticks
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspicionConfig {
+    /// Consecutive over-budget ticks required to suspect (min 1).
+    pub breach_ticks: u32,
+    /// Consecutive in-budget ticks required to clear (min 1).
+    pub clear_ticks: u32,
+}
+
+impl Default for SuspicionConfig {
+    fn default() -> Self {
+        SuspicionConfig {
+            breach_ticks: 3,
+            clear_ticks: 5,
+        }
+    }
+}
+
+/// An edge of the suspicion state machine, returned by
+/// [`SuspicionTracker::observe`] when a streak completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspicionTransition {
+    /// The breach streak completed: the shard is now suspected.
+    Suspected,
+    /// The recovery streak completed: the shard is healthy again.
+    Cleared,
+}
+
+/// Per-shard latency-SLO suspicion with hysteresis (see
+/// [`SuspicionConfig`]).
+///
+/// ```
+/// use cchunter_detector::policy::{SuspicionConfig, SuspicionTracker, SuspicionTransition};
+/// let mut tracker = SuspicionTracker::new(SuspicionConfig {
+///     breach_ticks: 2,
+///     clear_ticks: 2,
+/// });
+/// assert_eq!(tracker.observe(true), None, "one breach is not a streak");
+/// assert_eq!(tracker.observe(true), Some(SuspicionTransition::Suspected));
+/// assert!(tracker.suspected());
+/// // Strict alternation never completes either streak: no flapping.
+/// for _ in 0..16 {
+///     assert_eq!(tracker.observe(false), None);
+///     assert_eq!(tracker.observe(true), None);
+/// }
+/// assert!(tracker.suspected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuspicionTracker {
+    config: SuspicionConfig,
+    suspected: bool,
+    breach_streak: u32,
+    clear_streak: u32,
+}
+
+impl SuspicionTracker {
+    /// Creates a healthy (unsuspected) tracker. Zero streak lengths are
+    /// clamped to 1 — a zero threshold would transition on every tick.
+    pub fn new(config: SuspicionConfig) -> Self {
+        SuspicionTracker {
+            config: SuspicionConfig {
+                breach_ticks: config.breach_ticks.max(1),
+                clear_ticks: config.clear_ticks.max(1),
+            },
+            suspected: false,
+            breach_streak: 0,
+            clear_streak: 0,
+        }
+    }
+
+    /// The active (clamped) configuration.
+    pub fn config(&self) -> SuspicionConfig {
+        self.config
+    }
+
+    /// Whether the shard is currently suspected.
+    pub fn suspected(&self) -> bool {
+        self.suspected
+    }
+
+    /// Feeds one tick's verdict (`over_budget`: did the tick-latency p99
+    /// breach the budget?) and returns the transition it completes, if
+    /// any.
+    pub fn observe(&mut self, over_budget: bool) -> Option<SuspicionTransition> {
+        if over_budget {
+            self.clear_streak = 0;
+            if self.suspected {
+                return None;
+            }
+            self.breach_streak += 1;
+            if self.breach_streak >= self.config.breach_ticks {
+                self.suspected = true;
+                self.breach_streak = 0;
+                return Some(SuspicionTransition::Suspected);
+            }
+        } else {
+            self.breach_streak = 0;
+            if !self.suspected {
+                return None;
+            }
+            self.clear_streak += 1;
+            if self.clear_streak >= self.config.clear_ticks {
+                self.suspected = false;
+                self.clear_streak = 0;
+                return Some(SuspicionTransition::Cleared);
+            }
+        }
+        None
+    }
+
+    /// Forgets all streak state (e.g. after the shard is rebuilt); a
+    /// revived shard starts healthy.
+    pub fn reset(&mut self) {
+        self.suspected = false;
+        self.breach_streak = 0;
+        self.clear_streak = 0;
+    }
+}
+
 /// Adjustments a pair's supervision state needs when its quarantine
 /// recovery probes succeed (the breaker closes again).
 ///
@@ -660,6 +792,107 @@ mod tests {
         assert_eq!(back.state(), breaker.state());
         assert_eq!(back.failure_rate(), breaker.failure_rate());
         assert_eq!(back.serialize(), text);
+    }
+
+    #[test]
+    fn suspicion_requires_sustained_breach_and_sustained_recovery() {
+        let mut tracker = SuspicionTracker::new(SuspicionConfig {
+            breach_ticks: 3,
+            clear_ticks: 4,
+        });
+        assert_eq!(tracker.observe(true), None);
+        assert_eq!(tracker.observe(true), None);
+        // An in-budget tick resets the breach streak entirely.
+        assert_eq!(tracker.observe(false), None);
+        assert_eq!(tracker.observe(true), None);
+        assert_eq!(tracker.observe(true), None);
+        assert_eq!(tracker.observe(true), Some(SuspicionTransition::Suspected));
+        assert!(tracker.suspected());
+        // Symmetrically, a breach resets the recovery streak.
+        for _ in 0..3 {
+            assert_eq!(tracker.observe(false), None);
+        }
+        assert_eq!(tracker.observe(true), None);
+        for _ in 0..3 {
+            assert_eq!(tracker.observe(false), None);
+        }
+        assert_eq!(tracker.observe(false), Some(SuspicionTransition::Cleared));
+        assert!(!tracker.suspected());
+    }
+
+    #[test]
+    fn suspicion_zero_thresholds_are_clamped() {
+        let mut tracker = SuspicionTracker::new(SuspicionConfig {
+            breach_ticks: 0,
+            clear_ticks: 0,
+        });
+        assert_eq!(tracker.config().breach_ticks, 1);
+        assert_eq!(tracker.config().clear_ticks, 1);
+        assert_eq!(tracker.observe(true), Some(SuspicionTransition::Suspected));
+        assert_eq!(tracker.observe(false), Some(SuspicionTransition::Cleared));
+    }
+
+    /// Property: over seeded latency traces that *oscillate* around the
+    /// budget (no run of equal verdicts ever reaches the configured streak
+    /// length), the tracker never transitions at all — and over arbitrary
+    /// random traces, every transition is backed by a full streak, so the
+    /// transition count is bounded by the number of sustained runs.
+    #[test]
+    fn suspicion_does_not_flap_on_oscillating_latency_traces() {
+        for seed in 0..64u64 {
+            let config = SuspicionConfig {
+                breach_ticks: 2 + (seed % 4) as u32,
+                clear_ticks: 2 + (seed % 3) as u32,
+            };
+            let mut rng = SmallRng::seed_from_u64(mix_seed(0x5105_71C5, seed, 0));
+            // Build a trace whose runs are all strictly shorter than the
+            // relevant streak threshold: the tracker must stay silent.
+            let mut trace = Vec::with_capacity(512);
+            let mut over = false;
+            while trace.len() < 512 {
+                over = !over;
+                let cap = if over {
+                    config.breach_ticks
+                } else {
+                    config.clear_ticks
+                };
+                let run = 1 + rng.gen_range(0..cap.max(2) - 1) as usize;
+                for _ in 0..run.min(cap as usize - 1) {
+                    trace.push(over);
+                }
+            }
+            let mut tracker = SuspicionTracker::new(config);
+            for &v in &trace {
+                assert_eq!(
+                    tracker.observe(v),
+                    None,
+                    "seed {seed}: sub-threshold oscillation must not transition"
+                );
+            }
+            assert!(!tracker.suspected(), "seed {seed}");
+
+            // Arbitrary trace: transitions must strictly alternate
+            // (suspected, cleared, suspected, ...) and each one must be
+            // preceded by a full same-verdict streak.
+            let random: Vec<bool> = (0..512).map(|_| rng.gen_bool(0.5)).collect();
+            let mut tracker = SuspicionTracker::new(config);
+            let mut last = None;
+            for (i, &v) in random.iter().enumerate() {
+                if let Some(t) = tracker.observe(v) {
+                    assert_ne!(Some(t), last, "seed {seed}: transitions alternate");
+                    let needed = match t {
+                        SuspicionTransition::Suspected => config.breach_ticks as usize,
+                        SuspicionTransition::Cleared => config.clear_ticks as usize,
+                    };
+                    assert!(i + 1 >= needed, "seed {seed}");
+                    assert!(
+                        random[i + 1 - needed..=i].iter().all(|&x| x == v),
+                        "seed {seed}: transition at {i} lacks a full streak"
+                    );
+                    last = Some(t);
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,15 +53,18 @@ use crate::metrics::{
 use crate::mitigation::{AdvisoryEnforcer, ContainmentState, MitigationEnforcer};
 use crate::online::Harvest;
 use crate::pipeline::Verdict;
-use crate::policy::{backoff_delay, mix_seed, BreakerState};
+use crate::policy::{
+    backoff_delay, mix_seed, BreakerState, SuspicionConfig, SuspicionTracker, SuspicionTransition,
+};
 use crate::span::{self, Tracer};
-use crate::store::CheckpointStore;
+use crate::store::{CheckpointStore, StorageMedium};
 use crate::supervisor::{
     IngestSnapshot, LatencySummary, MetricsSnapshot, PairInput, PairKind, PairSnapshot, PairStatus,
     ProbeFault, ProbeSource, RestoredFrom, Supervisor, SupervisorConfig, TickReport,
 };
 use crate::DetectorError;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Sharded-fleet configuration.
@@ -91,6 +94,15 @@ pub struct ShardedFleetConfig {
     /// When set, each shard gets its own hardened [`IngestPipeline`] with
     /// this configuration (stats attached to the shard's supervisor).
     pub ingest: Option<IngestConfig>,
+    /// When set, shards are *suspected* on sustained tick-latency SLO
+    /// breaches (the gray-failure watchdog) and proactively drained; see
+    /// [`LatencySloConfig`]. `None` disables suspicion.
+    pub latency_slo: Option<LatencySloConfig>,
+    /// Per-tick cap on pairs migrated back onto their rendezvous-hash home
+    /// shard after it revives (or is cleared of suspicion) — the churn
+    /// budget of the rebalance pass. 0 disables rebalancing (pairs stay
+    /// where migration left them).
+    pub rebalance_per_tick: usize,
 }
 
 impl Default for ShardedFleetConfig {
@@ -104,6 +116,46 @@ impl Default for ShardedFleetConfig {
             dead_after: 3,
             keep_generations: 4,
             ingest: None,
+            latency_slo: None,
+            rebalance_per_tick: 4,
+        }
+    }
+}
+
+/// Latency-SLO suspicion parameters: the *gray*-failure counterpart of the
+/// hard heartbeat watchdog. A shard whose tick-latency p99 (over a rolling
+/// window of [`window_ticks`] shard ticks) breaches [`p99_budget_us`] for
+/// [`SuspicionConfig::breach_ticks`] consecutive ticks is **suspected**:
+/// still live, still ticking, but its pairs are proactively drained to
+/// healthy shards through the checkpoint-restore path — *before* the
+/// watchdog would declare death — at [`drain_per_tick`] pairs per tick.
+/// Suspicion clears after [`SuspicionConfig::clear_ticks`] consecutive
+/// in-budget ticks, and the rebalance pass then walks the pairs home
+/// again.
+///
+/// [`window_ticks`]: LatencySloConfig::window_ticks
+/// [`p99_budget_us`]: LatencySloConfig::p99_budget_us
+/// [`drain_per_tick`]: LatencySloConfig::drain_per_tick
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySloConfig {
+    /// The tick-latency p99 budget, in microseconds.
+    pub p99_budget_us: u64,
+    /// Shard ticks per p99 window; the window resets when full so old
+    /// latencies cannot mask a fresh brownout (or a fresh recovery).
+    pub window_ticks: u64,
+    /// Hysteresis streak lengths (consecutive breach/clear ticks).
+    pub suspicion: SuspicionConfig,
+    /// Per-tick cap on pairs drained off suspected shards.
+    pub drain_per_tick: usize,
+}
+
+impl Default for LatencySloConfig {
+    fn default() -> Self {
+        LatencySloConfig {
+            p99_budget_us: 50_000,
+            window_ticks: 8,
+            suspicion: SuspicionConfig::default(),
+            drain_per_tick: 4,
         }
     }
 }
@@ -129,6 +181,23 @@ impl ShardedFleetConfig {
             return Err(DetectorError::InvalidConfig {
                 reason: "shard stores must keep at least one generation".to_string(),
             });
+        }
+        if let Some(slo) = &self.latency_slo {
+            if slo.p99_budget_us == 0 {
+                return Err(DetectorError::InvalidConfig {
+                    reason: "latency-SLO p99 budget must be positive".to_string(),
+                });
+            }
+            if slo.window_ticks == 0 {
+                return Err(DetectorError::InvalidConfig {
+                    reason: "latency-SLO window must cover at least one tick".to_string(),
+                });
+            }
+            if slo.drain_per_tick == 0 {
+                return Err(DetectorError::InvalidConfig {
+                    reason: "suspected shards must drain at least one pair per tick".to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -191,6 +260,9 @@ pub struct ShardStatus {
     pub pairs: usize,
     /// Consecutive heartbeat misses (resets on a clean tick).
     pub heartbeat_misses: u32,
+    /// Whether the latency-SLO watchdog currently suspects this shard
+    /// (slow but alive; its pairs are being drained).
+    pub suspected: bool,
     /// Times this shard has been declared dead.
     pub deaths: u64,
     /// Contained shard-tick panics.
@@ -255,6 +327,15 @@ pub struct FleetTickReport {
     pub migration: MigrationReport,
     /// Inputs degraded to partial harvests by mailbox overflow.
     pub overflow_degraded: usize,
+    /// Shards that *became* suspected this tick (latency-SLO breach
+    /// streak completed).
+    pub suspected: Vec<usize>,
+    /// Shards cleared of suspicion this tick (recovery streak completed).
+    pub cleared: Vec<usize>,
+    /// Pairs drained off suspected shards this tick.
+    pub drained: usize,
+    /// Pairs rebalanced back onto their rendezvous home shard this tick.
+    pub rebalanced: usize,
 }
 
 /// Everything a monitoring page needs about the sharded fleet.
@@ -303,6 +384,8 @@ struct Shard {
     ingest: Option<IngestPipeline>,
     /// Global pair index hosted at each local slot.
     slots: Vec<usize>,
+    /// Latency-SLO suspicion state, when configured.
+    suspicion: Option<SloState>,
     /// Consecutive heartbeat misses.
     misses: u32,
     deaths: u64,
@@ -315,15 +398,34 @@ struct Shard {
     chaos_stall_us: u64,
 }
 
+impl Shard {
+    /// Whether the latency-SLO watchdog currently suspects this shard.
+    fn is_suspected(&self) -> bool {
+        self.suspicion
+            .as_ref()
+            .is_some_and(|s| s.tracker.suspected())
+    }
+}
+
 impl std::fmt::Debug for Shard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shard")
             .field("live", &self.supervisor.is_some())
             .field("slots", &self.slots.len())
+            .field("suspected", &self.is_suspected())
             .field("misses", &self.misses)
             .field("deaths", &self.deaths)
             .finish_non_exhaustive()
     }
+}
+
+/// Per-shard latency-SLO suspicion state: a rolling tick-latency window
+/// (reset when full) judged against the p99 budget through the hysteresis
+/// tracker.
+#[derive(Debug)]
+struct SloState {
+    window: Histogram,
+    tracker: SuspicionTracker,
 }
 
 /// Coordinator-level instruments (the shard supervisors' own instruments
@@ -340,7 +442,11 @@ struct CoordinatorMetrics {
     degraded_imports: Counter,
     mailbox_overflow: Counter,
     probe_retries: Counter,
+    suspected_shards: Gauge,
+    drained_pairs: Counter,
+    rebalanced_pairs: Counter,
     shard_live: Family<Gauge>,
+    shard_suspected: Family<Gauge>,
     shard_pairs: Family<Gauge>,
     shard_heartbeat_misses: Family<Counter>,
     shard_tick_latency_us: Family<Histogram>,
@@ -388,9 +494,26 @@ impl CoordinatorMetrics {
                 "cchunter_fleet_probe_retries_total",
                 "Coordinator-side probe retries across all pairs.",
             ),
+            suspected_shards: registry.gauge(
+                "cchunter_fleet_suspected_shards",
+                "Shards currently suspected by the latency-SLO watchdog.",
+            ),
+            drained_pairs: registry.counter(
+                "cchunter_fleet_drained_pairs_total",
+                "Pairs proactively drained off suspected (slow-but-alive) shards.",
+            ),
+            rebalanced_pairs: registry.counter(
+                "cchunter_fleet_rebalanced_pairs_total",
+                "Pairs rebalanced back onto their rendezvous home shard.",
+            ),
             shard_live: registry.gauge_family(
                 "cchunter_shard_live",
                 "1 when the shard is live, else 0.",
+                SHARD,
+            ),
+            shard_suspected: registry.gauge_family(
+                "cchunter_shard_suspected",
+                "1 while the latency-SLO watchdog suspects the shard, else 0.",
                 SHARD,
             ),
             shard_pairs: registry.gauge_family(
@@ -437,6 +560,10 @@ pub struct ShardedFleet {
     /// Root directory holding one store per shard (`shard-NN/`); `None`
     /// runs storeless (no checkpoints, migration always degrades).
     store_root: Option<PathBuf>,
+    /// The storage medium every shard store writes through; `None` uses
+    /// the real disk. A [`crate::fault::StorageFaultInjector`] here puts
+    /// the whole fleet's persistence under chaos control.
+    medium: Option<Arc<dyn StorageMedium>>,
     shards: Vec<Shard>,
     table: Vec<PairEntry>,
     tick: u64,
@@ -540,7 +667,7 @@ impl ShardedFleet {
     /// Returns [`DetectorError::InvalidConfig`] for an out-of-range shard
     /// count, overflow loss, or per-shard configuration.
     pub fn new(config: ShardedFleetConfig) -> Result<Self, DetectorError> {
-        Self::build(config, None)
+        Self::build(config, None, None)
     }
 
     /// Creates a sharded fleet whose shards checkpoint into
@@ -556,20 +683,48 @@ impl ShardedFleet {
         config: ShardedFleetConfig,
         root: impl Into<PathBuf>,
     ) -> Result<Self, DetectorError> {
-        Self::build(config, Some(root.into()))
+        Self::build(config, Some(root.into()), None)
     }
 
-    fn build(config: ShardedFleetConfig, root: Option<PathBuf>) -> Result<Self, DetectorError> {
+    /// [`ShardedFleet::with_store_root`] with an explicit
+    /// [`StorageMedium`] every shard store writes through — the
+    /// chaos-engineering entry point: pass a
+    /// [`crate::fault::StorageFaultInjector`] (keeping a clone as the
+    /// control handle) to brown out and heal the whole fleet's
+    /// persistence at runtime.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedFleet::with_store_root`].
+    pub fn with_store_root_and_medium(
+        config: ShardedFleetConfig,
+        root: impl Into<PathBuf>,
+        medium: Arc<dyn StorageMedium>,
+    ) -> Result<Self, DetectorError> {
+        Self::build(config, Some(root.into()), Some(medium))
+    }
+
+    fn build(
+        config: ShardedFleetConfig,
+        root: Option<PathBuf>,
+        medium: Option<Arc<dyn StorageMedium>>,
+    ) -> Result<Self, DetectorError> {
         config.validate()?;
         let mut shards = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
-            shards.push(Self::build_shard(&config, root.as_deref(), i)?);
+            shards.push(Self::build_shard(
+                &config,
+                root.as_deref(),
+                medium.as_ref(),
+                i,
+            )?);
         }
         let registry = Registry::new();
         let metrics = CoordinatorMetrics::register(&registry);
         let fleet = ShardedFleet {
             config,
             store_root: root,
+            medium,
             shards,
             table: Vec::new(),
             tick: 0,
@@ -593,6 +748,7 @@ impl ShardedFleet {
     fn build_shard(
         config: &ShardedFleetConfig,
         root: Option<&Path>,
+        medium: Option<&Arc<dyn StorageMedium>>,
         index: usize,
     ) -> Result<Shard, DetectorError> {
         let mut shard_cfg = config.base;
@@ -601,11 +757,20 @@ impl ShardedFleet {
         let registry = Registry::new();
         let mut supervisor = Supervisor::new(shard_cfg)?.with_registry(registry.clone());
         if let Some(root) = root {
-            let store = CheckpointStore::open_exclusive(
-                shard_dir(root, index),
-                config.keep_generations,
-                format!("shard-{index:02}"),
-            )?;
+            let owner = format!("shard-{index:02}");
+            let store = match medium {
+                Some(medium) => CheckpointStore::open_exclusive_with_medium(
+                    shard_dir(root, index),
+                    config.keep_generations,
+                    owner,
+                    Arc::clone(medium),
+                )?,
+                None => CheckpointStore::open_exclusive(
+                    shard_dir(root, index),
+                    config.keep_generations,
+                    owner,
+                )?,
+            };
             supervisor = supervisor.with_store(store);
         }
         let ingest = match &config.ingest {
@@ -616,12 +781,17 @@ impl ShardedFleet {
             }
             None => None,
         };
+        let suspicion = config.latency_slo.as_ref().map(|slo| SloState {
+            window: Histogram::latency_us(),
+            tracker: SuspicionTracker::new(slo.suspicion),
+        });
         Ok(Shard {
             supervisor: Some(supervisor),
             registry,
             enforcer: Box::new(AdvisoryEnforcer),
             ingest,
             slots: Vec::new(),
+            suspicion,
             misses: 0,
             deaths: 0,
             panics: 0,
@@ -878,6 +1048,10 @@ impl ShardedFleet {
                 job.shard.chaos_panic_ticks -= 1;
                 panic!("chaos: injected shard failure");
             }
+            // The chaos stall counts as shard work: a stalled shard is a
+            // *slow* shard, visible to both the hard deadline watchdog
+            // and the latency-SLO suspicion tracker.
+            let shard_started = Instant::now();
             let stall = std::mem::take(&mut job.shard.chaos_stall_us);
             if stall > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(stall));
@@ -893,7 +1067,6 @@ impl ShardedFleet {
                     *cell = Some(input);
                 }
             }
-            let shard_started = Instant::now();
             let report = supervisor
                 .tick_with_enforcer(&mut MailboxSource { slots }, job.shard.enforcer.as_mut());
             let elapsed_us = shard_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -905,14 +1078,23 @@ impl ShardedFleet {
         let mut shard_reports: Vec<Option<TickReport>> = (0..shard_count).map(|_| None).collect();
         let mut heartbeat_misses = Vec::new();
         let mut deaths = Vec::new();
+        let mut suspected = Vec::new();
+        let mut cleared = Vec::new();
         let deadline_us = self.config.shard_deadline_us;
         for (i, result) in job_ids.into_iter().zip(results) {
             let shard = &mut self.shards[i];
+            // The gray-failure (latency-SLO) verdict for this shard tick:
+            // Some(over_budget) to feed the suspicion tracker, None to
+            // leave it alone.
+            let mut slo_breach = None;
             match result {
                 Err(panic) => {
                     shard.panics += 1;
                     shard.misses += 1;
                     heartbeat_misses.push(i);
+                    // A panicked tick produced no latency sample, but it is
+                    // certainly not *within* the latency budget.
+                    slo_breach = Some(true);
                     self.metrics
                         .shard_heartbeat_misses
                         .with_label(&shard_label(i))
@@ -931,6 +1113,15 @@ impl ShardedFleet {
                         .shard_tick_latency_us
                         .with_label(&shard_label(i))
                         .observe(elapsed_us as f64);
+                    if let (Some(slo), Some(state)) =
+                        (&self.config.latency_slo, shard.suspicion.as_mut())
+                    {
+                        state.window.observe(elapsed_us as f64);
+                        slo_breach = Some(state.window.quantile(0.99) > slo.p99_budget_us as f64);
+                        if state.window.count() >= slo.window_ticks {
+                            state.window.reset();
+                        }
+                    }
                     if deadline_us > 0 && elapsed_us > deadline_us {
                         shard.tick_deadline_misses += 1;
                         shard.misses += 1;
@@ -955,6 +1146,33 @@ impl ShardedFleet {
                     shard_reports[i] = Some(report);
                 }
             }
+            if let (Some(over), Some(state)) = (slo_breach, shard.suspicion.as_mut()) {
+                match state.tracker.observe(over) {
+                    Some(SuspicionTransition::Suspected) => {
+                        suspected.push(i);
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "fleet",
+                                "shard-suspected",
+                                format_args!(
+                                    "shard {i}: tick p99 breached the latency SLO; draining"
+                                ),
+                            );
+                        }
+                    }
+                    Some(SuspicionTransition::Cleared) => {
+                        cleared.push(i);
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "fleet",
+                                "shard-suspicion-cleared",
+                                format_args!("shard {i}: back within the latency SLO"),
+                            );
+                        }
+                    }
+                    None => {}
+                }
+            }
             if self.shards[i].misses >= self.config.dead_after {
                 deaths.push(i);
             }
@@ -967,6 +1185,11 @@ impl ShardedFleet {
             migration.degraded_imports += report.degraded_imports;
             migration.orphaned += report.orphaned;
         }
+
+        // Phase D (serial): bounded-churn placement repair — drain
+        // suspected shards and walk migrated pairs back to their
+        // rendezvous homes.
+        let (drained, rebalanced) = self.rebalance_pass();
 
         self.tick = tick + 1;
         let tick_elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -990,7 +1213,161 @@ impl ShardedFleet {
             deaths,
             migration,
             overflow_degraded,
+            suspected,
+            cleared,
+            drained,
+            rebalanced,
         }
+    }
+
+    /// One bounded-churn pass of the placement repairer. Each assigned
+    /// pair's *preferred* shard is its rendezvous choice over the
+    /// **eligible** set (live and unsuspected); a pair hosted elsewhere is
+    /// moved there through the checkpoint-restore path
+    /// ([`Supervisor::remove_pair`] → [`Supervisor::import_pair`]),
+    /// window and containment intact. Two budgets cap the churn:
+    ///
+    /// * moves *off a suspected shard* (the proactive drain, racing the
+    ///   watchdog) spend [`LatencySloConfig::drain_per_tick`];
+    /// * all other moves (rebalancing onto a revived or
+    ///   suspicion-cleared shard) spend
+    ///   [`ShardedFleetConfig::rebalance_per_tick`].
+    ///
+    /// Returns `(drained, rebalanced)`.
+    fn rebalance_pass(&mut self) -> (usize, usize) {
+        let mut drain_left = self
+            .config
+            .latency_slo
+            .as_ref()
+            .map_or(0, |slo| slo.drain_per_tick);
+        let mut rebalance_left = self.config.rebalance_per_tick;
+        if drain_left == 0 && rebalance_left == 0 {
+            return (0, 0);
+        }
+        let eligible: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (s.supervisor.is_some() && !s.is_suspected()).then_some(i))
+            .collect();
+        if eligible.is_empty() {
+            // Every live shard is suspected: moving pairs between equally
+            // sick shards is pure churn.
+            return (0, 0);
+        }
+        let mut drained = 0usize;
+        let mut rebalanced = 0usize;
+        for global in 0..self.table.len() {
+            if drain_left == 0 && rebalance_left == 0 {
+                break;
+            }
+            let PairHome::Assigned { shard: current, .. } = self.table[global].home else {
+                continue;
+            };
+            let Some(preferred) = rendezvous_shard(self.table[global].key, &eligible) else {
+                continue;
+            };
+            if preferred == current {
+                continue;
+            }
+            let from_suspected = self.shards[current].is_suspected();
+            let budget = if from_suspected {
+                &mut drain_left
+            } else {
+                &mut rebalance_left
+            };
+            if *budget == 0 {
+                continue;
+            }
+            match self.move_pair(global, preferred) {
+                Ok(degraded) => {
+                    if from_suspected {
+                        drained += 1;
+                        drain_left -= 1;
+                        self.metrics.drained_pairs.inc();
+                    } else {
+                        rebalanced += 1;
+                        rebalance_left -= 1;
+                        self.metrics.rebalanced_pairs.inc();
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "fleet",
+                            if from_suspected {
+                                "pair-drained"
+                            } else {
+                                "pair-rebalanced"
+                            },
+                            format_args!(
+                                "{}: shard {current} -> {preferred}{}",
+                                self.table[global].label,
+                                if degraded { " (degraded)" } else { "" }
+                            ),
+                        );
+                    }
+                }
+                Err(e) => {
+                    // A pair that cannot be exported stays where it is —
+                    // it is still monitored, just not where we'd like.
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "fleet",
+                            "pair-move-failed",
+                            format_args!("{}: {e}", self.table[global].label),
+                        );
+                    }
+                }
+            }
+        }
+        (drained, rebalanced)
+    }
+
+    /// Moves one assigned pair to the live shard `target` through the
+    /// checkpoint-restore path, preserving its window, verdict, and
+    /// containment. Fixes up both shards' slot maps (the source
+    /// supervisor's removal is a `swap_remove`, so its last pair takes the
+    /// vacated slot). Returns whether the import fell back to degraded.
+    fn move_pair(&mut self, global: usize, target: usize) -> Result<bool, DetectorError> {
+        let PairHome::Assigned {
+            shard: source,
+            slot,
+        } = self.table[global].home
+        else {
+            return Err(DetectorError::InvalidConfig {
+                reason: format!("pair {global} is not assigned to a shard"),
+            });
+        };
+        let label = self.table[global].label.clone();
+        let kind = self.table[global].kind;
+        let snapshot = self.shards[source]
+            .supervisor
+            .as_mut()
+            .ok_or_else(|| DetectorError::InvalidConfig {
+                reason: format!("pair {global}'s hosting shard {source} is dead"),
+            })?
+            .remove_pair(slot)?;
+        let source_slots = &mut self.shards[source].slots;
+        let removed = source_slots.swap_remove(slot);
+        debug_assert_eq!(removed, global);
+        if let Some(&moved_global) = source_slots.get(slot) {
+            self.table[moved_global].home = PairHome::Assigned {
+                shard: source,
+                slot,
+            };
+        }
+        let host = &mut self.shards[target];
+        let sup = host
+            .supervisor
+            .as_mut()
+            .expect("placement repair only targets live shards");
+        let (new_slot, degraded) = import_with_fallback(sup, Some(snapshot), &label, kind);
+        debug_assert_eq!(new_slot, host.slots.len());
+        host.slots.push(global);
+        self.table[global].home = PairHome::Assigned {
+            shard: target,
+            slot: new_slot,
+        };
+        Ok(degraded)
     }
 
     /// Declares `shard` dead immediately (as if its heartbeat budget had
@@ -1065,6 +1442,11 @@ impl ShardedFleet {
             shard.slots.clear();
             shard.misses = 0;
             shard.deaths += 1;
+            // Death supersedes suspicion; the next life starts healthy.
+            if let Some(state) = shard.suspicion.as_mut() {
+                state.tracker.reset();
+                state.window.reset();
+            }
         }
         self.metrics.shard_deaths.inc();
         if self.tracer.is_enabled() {
@@ -1081,17 +1463,28 @@ impl ShardedFleet {
         // aborts it.
         let recover_cfg = self.shard_supervisor_config(victim);
         let recovered: Vec<PairSnapshot> = match &self.store_root {
-            Some(root) => match CheckpointStore::open_exclusive(
-                shard_dir(root, victim),
-                self.config.keep_generations,
-                format!("migrator:shard-{victim:02}"),
-            ) {
-                Ok(store) => match Supervisor::recover_pairs(&recover_cfg, &store) {
-                    Ok(fleet) => fleet.pairs,
+            Some(root) => {
+                let dir = shard_dir(root, victim);
+                let owner = format!("migrator:shard-{victim:02}");
+                let opened = match &self.medium {
+                    Some(medium) => CheckpointStore::open_exclusive_with_medium(
+                        dir,
+                        self.config.keep_generations,
+                        owner,
+                        Arc::clone(medium),
+                    ),
+                    None => {
+                        CheckpointStore::open_exclusive(dir, self.config.keep_generations, owner)
+                    }
+                };
+                match opened {
+                    Ok(store) => match Supervisor::recover_pairs(&recover_cfg, &store) {
+                        Ok(fleet) => fleet.pairs,
+                        Err(_) => Vec::new(),
+                    },
                     Err(_) => Vec::new(),
-                },
-                Err(_) => Vec::new(),
-            },
+                }
+            }
             None => Vec::new(),
         };
 
@@ -1183,13 +1576,19 @@ impl ShardedFleet {
         if let Some(root) = &self.store_root {
             let _ = std::fs::remove_dir_all(shard_dir(root, shard));
         }
-        let rebuilt = Self::build_shard(&self.config, self.store_root.as_deref(), shard)?;
+        let rebuilt = Self::build_shard(
+            &self.config,
+            self.store_root.as_deref(),
+            self.medium.as_ref(),
+            shard,
+        )?;
         {
             let slot = &mut self.shards[shard];
             slot.supervisor = rebuilt.supervisor;
             slot.registry = rebuilt.registry;
             slot.ingest = rebuilt.ingest;
             slot.slots = Vec::new();
+            slot.suspicion = rebuilt.suspicion;
             slot.misses = 0;
             // The enforcer is the failure domain's actuation backend; it
             // survives the supervisor's death and revival.
@@ -1283,6 +1682,7 @@ impl ShardedFleet {
                 },
                 pairs: shard.slots.len(),
                 heartbeat_misses: shard.misses,
+                suspected: shard.is_suspected(),
                 deaths: shard.deaths,
                 panics: shard.panics,
                 tick_deadline_misses: shard.tick_deadline_misses,
@@ -1341,6 +1741,129 @@ impl ShardedFleet {
             .collect()
     }
 
+    /// Indices of shards the latency-SLO watchdog currently suspects.
+    pub fn suspected_shard_ids(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_suspected().then_some(i))
+            .collect()
+    }
+
+    /// The migration-accounting reconciliation check: asserts that the
+    /// global pair table, the per-shard slot maps, the shard supervisors,
+    /// and the exported `cchunter_shard_pairs` / orphan gauges all agree
+    /// on where every pair is — no pair double-counted, none vanished —
+    /// whatever sequence of kills, migrations, revivals, drains, and
+    /// rebalances came before.
+    ///
+    /// Cheap enough to run after every chaos-drill step; CI's soaks call
+    /// it at each epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] naming the first
+    /// inconsistency found.
+    pub fn verify_accounting(&self) -> Result<(), DetectorError> {
+        let broken = |reason: String| DetectorError::InvalidConfig { reason };
+        // 1. Table -> shard direction: every assigned pair's slot must
+        //    exist on a live shard and map back to the same global index.
+        let mut assigned = 0usize;
+        let mut orphaned = 0usize;
+        for (global, entry) in self.table.iter().enumerate() {
+            match entry.home {
+                PairHome::Orphaned => orphaned += 1,
+                PairHome::Assigned { shard, slot } => {
+                    assigned += 1;
+                    let host = self.shards.get(shard).ok_or_else(|| {
+                        broken(format!("pair {global} assigned to missing shard {shard}"))
+                    })?;
+                    if host.supervisor.is_none() {
+                        return Err(broken(format!(
+                            "pair {global} assigned to dead shard {shard}"
+                        )));
+                    }
+                    match host.slots.get(slot) {
+                        Some(&back) if back == global => {}
+                        Some(&back) => {
+                            return Err(broken(format!(
+                                "pair {global} claims shard {shard} slot {slot}, which hosts \
+                                 pair {back}"
+                            )));
+                        }
+                        None => {
+                            return Err(broken(format!(
+                                "pair {global} claims shard {shard} slot {slot}, beyond its \
+                                 {} slots",
+                                host.slots.len()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Shard -> table direction: every hosted slot must belong to a
+        //    pair that claims it, and the supervisor must host exactly the
+        //    slot map's pairs.
+        let mut hosted = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            match &shard.supervisor {
+                None => {
+                    if !shard.slots.is_empty() {
+                        return Err(broken(format!(
+                            "dead shard {i} still lists {} slots",
+                            shard.slots.len()
+                        )));
+                    }
+                }
+                Some(sup) => {
+                    if sup.len() != shard.slots.len() {
+                        return Err(broken(format!(
+                            "shard {i} supervisor hosts {} pairs but the slot map lists {}",
+                            sup.len(),
+                            shard.slots.len()
+                        )));
+                    }
+                    hosted += shard.slots.len();
+                    for (slot, &global) in shard.slots.iter().enumerate() {
+                        let entry = self.table.get(global).ok_or_else(|| {
+                            broken(format!("shard {i} slot {slot} hosts unknown pair {global}"))
+                        })?;
+                        if entry.home != (PairHome::Assigned { shard: i, slot }) {
+                            return Err(broken(format!(
+                                "shard {i} slot {slot} hosts pair {global}, whose table entry \
+                                 says {:?}",
+                                entry.home
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Totals: assigned + orphaned = table, and the exported
+        //    per-shard gauge family sums to the same fleet total.
+        if assigned != hosted || assigned + orphaned != self.table.len() {
+            return Err(broken(format!(
+                "pair totals disagree: {assigned} assigned + {orphaned} orphaned vs {} in the \
+                 table, {hosted} hosted",
+                self.table.len()
+            )));
+        }
+        self.refresh_gauges();
+        let gauge_pairs: f64 = (0..self.shards.len())
+            .map(|i| self.metrics.shard_pairs.with_label(&shard_label(i)).get())
+            .sum();
+        let gauge_orphans = self.metrics.orphaned_pairs.get();
+        if gauge_pairs + gauge_orphans != self.table.len() as f64 {
+            return Err(broken(format!(
+                "metric families disagree: sum(cchunter_shard_pairs) {gauge_pairs} + orphans \
+                 {gauge_orphans} vs {} pairs",
+                self.table.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// The whole fleet's standing: per-shard table, per-pair ledger, and
     /// the rolled-up digest.
     pub fn fleet_status(&self) -> ShardedFleetStatus {
@@ -1381,6 +1904,9 @@ impl ShardedFleet {
         let mut checkpoints = 0u64;
         let mut checkpoint_errors = 0u64;
         let mut restore_rollbacks = 0u64;
+        let mut durability_degraded = false;
+        let mut shadow_checkpoints = 0u64;
+        let mut durability_heals = 0u64;
         let mut confidence_sum = 0.0f64;
         let mut ingest = IngestSnapshot::default();
         for shard in &self.shards {
@@ -1408,6 +1934,9 @@ impl ShardedFleet {
             checkpoints += snap.checkpoints;
             checkpoint_errors += snap.checkpoint_errors;
             restore_rollbacks += snap.restore_rollbacks;
+            durability_degraded |= snap.durability_degraded;
+            shadow_checkpoints += snap.shadow_checkpoints;
+            durability_heals += snap.durability_heals;
             confidence_sum += snap.mean_confidence * snap.pairs as f64;
             let (shard_audit, _shard_tick) = sup.totals_latency();
             audit_latency.merge_from(shard_audit);
@@ -1444,6 +1973,9 @@ impl ShardedFleet {
             checkpoints,
             checkpoint_errors,
             restore_rollbacks,
+            durability_degraded,
+            shadow_checkpoints,
+            durability_heals,
             mean_confidence: if self.table.is_empty() {
                 0.0
             } else {
@@ -1471,6 +2003,7 @@ impl ShardedFleet {
     fn refresh_gauges(&self) {
         let mut live = 0usize;
         let mut degraded = 0usize;
+        let mut suspected = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
             let is_live = shard.supervisor.is_some();
             if is_live {
@@ -1479,15 +2012,24 @@ impl ShardedFleet {
             if let Some(sup) = &shard.supervisor {
                 degraded += sup.degraded_pairs();
             }
+            let is_suspected = shard.is_suspected();
+            if is_suspected {
+                suspected += 1;
+            }
             self.metrics
                 .shard_live
                 .with_label(&shard_label(i))
                 .set(if is_live { 1.0 } else { 0.0 });
             self.metrics
+                .shard_suspected
+                .with_label(&shard_label(i))
+                .set(if is_suspected { 1.0 } else { 0.0 });
+            self.metrics
                 .shard_pairs
                 .with_label(&shard_label(i))
                 .set(shard.slots.len() as f64);
         }
+        self.metrics.suspected_shards.set(suspected as f64);
         let orphans = self
             .table
             .iter()
@@ -1708,6 +2250,202 @@ mod tests {
             .pair_statuses()
             .iter()
             .all(|p| p.shard.is_some() && p.shard != Some(victim)));
+    }
+
+    /// A slow-but-alive shard breaches the latency SLO, gets suspected
+    /// (not killed), and is drained proactively; once its latency
+    /// recovers, suspicion clears and the bounded rebalance pass walks
+    /// the pairs back to their rendezvous home. No watchdog death, no
+    /// orphan, and the books balance at every step.
+    #[test]
+    fn suspicion_drains_slow_shard_and_rebalances_on_recovery() {
+        let mut config = test_config(2);
+        config.latency_slo = Some(LatencySloConfig {
+            p99_budget_us: 25_000,
+            window_ticks: 4,
+            suspicion: SuspicionConfig {
+                breach_ticks: 2,
+                clear_ticks: 2,
+            },
+            drain_per_tick: 8,
+        });
+        let mut fleet = ShardedFleet::new(config).unwrap();
+        for pair in 0..8 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        let mut quiet = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<PairInput, ProbeFault>(PairInput::Harvest(Harvest::Complete(quiet_histogram())))
+        };
+        for _ in 0..4 {
+            fleet.tick(&mut quiet);
+        }
+        fleet.verify_accounting().unwrap();
+        let victim = fleet.shard_of(0).unwrap();
+        let homes: Vec<usize> = (0..8).map(|p| fleet.shard_of(p).unwrap()).collect();
+        assert!(homes.contains(&victim));
+
+        // Gray failure: the shard answers every tick, but slowly. The
+        // stall is one-shot, so re-arm it before every tick.
+        let mut drained_total = 0usize;
+        let mut suspect_seen = false;
+        for _ in 0..10 {
+            fleet.stall_shard(victim, 100_000).unwrap();
+            let report = fleet.tick(&mut quiet);
+            drained_total += report.drained;
+            if report.suspected.contains(&victim) {
+                suspect_seen = true;
+                break;
+            }
+        }
+        assert!(suspect_seen, "sustained SLO breach must raise suspicion");
+        assert_eq!(
+            fleet.shard_health(victim),
+            Some(ShardHealth::Live),
+            "suspicion is not death: the shard stays live"
+        );
+        assert_eq!(fleet.suspected_shard_ids(), vec![victim]);
+        assert!(fleet.shard_statuses()[victim].suspected);
+        assert!(drained_total > 0, "drain must begin on the suspect tick");
+        // Keep draining (and keep the shard slow) until it is empty.
+        for _ in 0..4 {
+            if fleet.shard_statuses()[victim].pairs == 0 {
+                break;
+            }
+            fleet.stall_shard(victim, 100_000).unwrap();
+            let report = fleet.tick(&mut quiet);
+            drained_total += report.drained;
+        }
+        assert_eq!(
+            fleet.shard_statuses()[victim].pairs,
+            0,
+            "a suspected shard must be fully drained"
+        );
+        assert_eq!(
+            drained_total,
+            homes.iter().filter(|&&h| h == victim).count()
+        );
+        fleet.verify_accounting().unwrap();
+        // Nothing was orphaned or lost on the way out.
+        assert!(fleet
+            .pair_statuses()
+            .iter()
+            .all(|status| status.shard.is_some()));
+
+        // Recovery: the stall is gone, latency falls back under budget,
+        // and suspicion clears after a sustained quiet streak.
+        let mut cleared_seen = false;
+        for _ in 0..60 {
+            let report = fleet.tick(&mut quiet);
+            if report.cleared.contains(&victim) {
+                cleared_seen = true;
+                break;
+            }
+        }
+        assert!(cleared_seen, "recovered latency must clear the suspicion");
+        assert!(fleet.suspected_shard_ids().is_empty());
+
+        // The rebalance pass now walks the drained pairs back to their
+        // rendezvous home, bounded per tick.
+        let mut rebalanced_total = 0usize;
+        for _ in 0..8 {
+            let report = fleet.tick(&mut quiet);
+            assert!(report.rebalanced <= fleet.config.rebalance_per_tick);
+            rebalanced_total += report.rebalanced;
+        }
+        assert!(
+            rebalanced_total > 0,
+            "pairs must return to the revived home"
+        );
+        for (pair, &home) in homes.iter().enumerate() {
+            assert_eq!(
+                fleet.shard_of(pair),
+                Some(home),
+                "pair {pair} must be back at its rendezvous home"
+            );
+        }
+        fleet.verify_accounting().unwrap();
+    }
+
+    /// Killing and reviving a shard ends with every pair back at its
+    /// rendezvous home: the rebalance pass moves at most
+    /// `rebalance_per_tick` pairs per tick onto the revived shard, the
+    /// accounting reconciliation holds at every step, and no verdict
+    /// flips to Clean across the moves.
+    #[test]
+    fn revive_rebalances_home_pairs_with_bounded_churn() {
+        let root = std::env::temp_dir().join(format!(
+            "cchunter-shard-rebalance-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut config = test_config(3);
+        config.rebalance_per_tick = 2;
+        let mut fleet = ShardedFleet::with_store_root(config, &root).unwrap();
+        for pair in 0..12 {
+            fleet
+                .add_contention_pair(format!("memory-bus: pair {pair}"))
+                .unwrap();
+        }
+        for _ in 0..6 {
+            fleet.tick(&mut covert_source);
+        }
+        fleet.verify_accounting().unwrap();
+        fleet.checkpoint().unwrap();
+        let homes: Vec<usize> = (0..12).map(|p| fleet.shard_of(p).unwrap()).collect();
+        let victim = homes[0];
+        let home_count = homes.iter().filter(|&&h| h == victim).count();
+
+        fleet.kill_shard(victim).unwrap();
+        fleet.verify_accounting().unwrap();
+        fleet.tick(&mut covert_source);
+        fleet.verify_accounting().unwrap();
+
+        let adopted = fleet.revive_shard(victim).unwrap();
+        assert_eq!(adopted.orphaned, 0);
+        fleet.verify_accounting().unwrap();
+
+        // The revived shard starts empty; each tick moves at most
+        // `rebalance_per_tick` of its home pairs back.
+        let mut rebalanced_total = 0usize;
+        let mut ticks_needed = 0usize;
+        for _ in 0..12 {
+            let report = fleet.tick(&mut covert_source);
+            assert!(
+                report.rebalanced <= 2,
+                "churn must respect the per-tick budget: {report:?}"
+            );
+            rebalanced_total += report.rebalanced;
+            ticks_needed += 1;
+            fleet.verify_accounting().unwrap();
+            if rebalanced_total >= home_count {
+                break;
+            }
+        }
+        assert_eq!(
+            rebalanced_total, home_count,
+            "every home pair must be rebalanced onto the revived shard"
+        );
+        assert!(
+            ticks_needed >= home_count.div_ceil(2),
+            "the budget must actually bound the churn"
+        );
+        for (pair, &home) in homes.iter().enumerate() {
+            assert_eq!(
+                fleet.shard_of(pair),
+                Some(home),
+                "pair {pair} must end at its rendezvous home"
+            );
+        }
+        // The moves never read as an acquittal.
+        for status in fleet.pair_statuses() {
+            assert_ne!(status.verdict, Verdict::Clean, "{}", status.label);
+        }
+        assert!(fleet.metrics_snapshot().ticks > 0);
+        drop(fleet);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

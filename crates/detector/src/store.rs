@@ -40,12 +40,14 @@
 //! declared length is bounded by [`MAX_PAYLOAD_BYTES`] so an absurd length
 //! field cannot trigger an unbounded allocation.
 
+use crate::policy::{backoff_delay, BackoffConfig};
 use crate::DetectorError;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Magic prefix of every stored frame. The `\r\n` tail catches text-mode
@@ -191,6 +193,173 @@ impl From<CorruptCheckpoint> for DetectorError {
     }
 }
 
+/// The typed classification of a storage-layer failure: what actually went
+/// wrong, independent of how the platform spelled it as an
+/// [`io::ErrorKind`]. Carried (with a retryability tag) by
+/// [`DetectorError::StorageFault`](crate::DetectorError), so callers can
+/// distinguish a full disk from a vanished one without string-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFaultKind {
+    /// The medium is out of space (`ENOSPC` / quota exhaustion).
+    /// Retryable: space is routinely reclaimed out from under a bounded
+    /// retry loop (log rotation, prune, another tenant freeing blocks).
+    NoSpace,
+    /// A generic read/write failure (`EIO` and relatives). Retryable —
+    /// transient controller hiccups are the canonical gray failure.
+    Io,
+    /// `sync_all` on a file or directory failed: bytes may sit in the page
+    /// cache but are **not durable**. Retryable, but a success after a
+    /// failed fsync must be treated as a fresh write, never as proof the
+    /// earlier data landed.
+    SyncFailed,
+    /// A write finished short (torn): fewer bytes reached the medium than
+    /// were submitted. Retryable — and even when a torn frame slips
+    /// through silently, the CRC envelope catches it at load and rollback
+    /// recovers the previous generation.
+    TornWrite,
+    /// The operation stalled past its deadline (timeouts, `EAGAIN`
+    /// loops). Retryable.
+    Stalled,
+    /// The medium is gone: path missing, permission revoked, device
+    /// unmounted. Not retryable — retrying cannot conjure the directory
+    /// back; the caller must degrade durability instead.
+    Unavailable,
+}
+
+impl StorageFaultKind {
+    /// Stable kebab-case label (used in logs, traces, and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFaultKind::NoSpace => "no-space",
+            StorageFaultKind::Io => "io",
+            StorageFaultKind::SyncFailed => "sync-failed",
+            StorageFaultKind::TornWrite => "torn-write",
+            StorageFaultKind::Stalled => "stalled",
+            StorageFaultKind::Unavailable => "unavailable",
+        }
+    }
+}
+
+impl fmt::Display for StorageFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps an [`io::Error`] raised by storage operation `op` (one of the
+/// [`StorageMedium`] method names, kebab-case) onto the typed fault
+/// taxonomy, returning the kind and whether a bounded retry is worthwhile.
+///
+/// Sync failures are classified by *operation*, not error kind: whatever
+/// errno an fsync fails with, the meaning is "not durable yet".
+pub fn classify_io(op: &'static str, e: &io::Error) -> (StorageFaultKind, bool) {
+    use io::ErrorKind as K;
+    if matches!(op, "sync-file" | "sync-dir") {
+        return (StorageFaultKind::SyncFailed, true);
+    }
+    match e.kind() {
+        K::StorageFull | K::QuotaExceeded => (StorageFaultKind::NoSpace, true),
+        K::TimedOut | K::WouldBlock | K::Interrupted => (StorageFaultKind::Stalled, true),
+        K::WriteZero | K::UnexpectedEof => (StorageFaultKind::TornWrite, true),
+        K::NotFound | K::PermissionDenied => (StorageFaultKind::Unavailable, false),
+        _ => (StorageFaultKind::Io, true),
+    }
+}
+
+/// The narrow filesystem surface [`CheckpointStore`] performs all I/O
+/// through.
+///
+/// Production uses [`DiskMedium`] (thin `std::fs` wrappers). Chaos drills
+/// and tests substitute
+/// [`StorageFaultInjector`](crate::fault::StorageFaultInjector) to inject
+/// ENOSPC, EIO, failed fsyncs, torn writes, and stalls without touching a
+/// real disk. The trait is object-safe on purpose: the store holds an
+/// `Arc<dyn StorageMedium>` so a fleet can thread one injector handle
+/// through every shard's store.
+pub trait StorageMedium: fmt::Debug + Send + Sync {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Creates (truncating) `path` and writes all of `bytes` into it.
+    /// No durability is implied until [`StorageMedium::sync_file`].
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes `path`'s contents to stable storage.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Reads the full contents of `path`.
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// The file names (not full paths) of `dir`'s entries; non-UTF-8
+    /// names are skipped.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Flushes `dir`'s entry table to stable storage. A no-op on
+    /// platforms that cannot open directories as sync handles.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real disk: direct `std::fs` pass-through, the default medium of
+/// every store opened without an explicit one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskMedium;
+
+impl StorageMedium for DiskMedium {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        // fsync flushes the file, not the handle's userspace state, so a
+        // fresh read-only handle is sufficient.
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            fs::File::open(dir)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Shared write-path retry bookkeeping (clones of a store observe one
+/// running total, like the owner token).
+#[derive(Debug, Default)]
+struct RetryStats {
+    retries: AtomicU64,
+    backoff_us: AtomicU64,
+}
+
 /// CRC32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
@@ -312,6 +481,15 @@ pub struct LoadedCheckpoint {
 pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
+    /// The filesystem the store performs all I/O through: the real disk
+    /// by default, a fault injector under chaos drills.
+    medium: Arc<dyn StorageMedium>,
+    /// Bounded retry policy for transient write-path faults. Delays are
+    /// *virtual* — deterministic, recorded in [`RetryStats`], never slept.
+    backoff: BackoffConfig,
+    /// Seed for the retry jitter RNG (deterministic per store).
+    seed: u64,
+    retry_stats: Arc<RetryStats>,
     /// Exclusive-ownership token, held only by stores opened through
     /// [`CheckpointStore::open_exclusive`]. Clones share the token; the
     /// registration is released when the last clone drops.
@@ -357,18 +535,41 @@ impl CheckpointStore {
     /// Returns [`DetectorError::InvalidConfig`] if `keep` is zero and any
     /// I/O error from creating the directory.
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, DetectorError> {
+        Self::open_with_medium(dir, keep, Arc::new(DiskMedium))
+    }
+
+    /// Like [`CheckpointStore::open`], but all I/O goes through `medium`
+    /// instead of the real disk — the injection point for storage chaos
+    /// drills ([`crate::fault::StorageFaultInjector`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheckpointStore::open`]; directory-creation failures are
+    /// reported as typed [`DetectorError::StorageFault`]s.
+    pub fn open_with_medium(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+        medium: Arc<dyn StorageMedium>,
+    ) -> Result<Self, DetectorError> {
         if keep == 0 {
             return Err(DetectorError::InvalidConfig {
                 reason: "checkpoint store must keep at least one generation".to_string(),
             });
         }
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore {
+        let store = CheckpointStore {
             dir,
             keep,
+            medium,
+            backoff: BackoffConfig::default(),
+            seed: 0xD15C_FA17,
+            retry_stats: Arc::new(RetryStats::default()),
             guard: None,
-        })
+        };
+        store.retried("create-dir", &store.dir, || {
+            store.medium.create_dir_all(&store.dir)
+        })?;
+        Ok(store)
     }
 
     /// Like [`CheckpointStore::open`], but also registers `owner` as the
@@ -389,7 +590,22 @@ impl CheckpointStore {
         keep: usize,
         owner: impl Into<String>,
     ) -> Result<Self, DetectorError> {
-        let mut store = Self::open(dir, keep)?;
+        Self::open_exclusive_with_medium(dir, keep, owner, Arc::new(DiskMedium))
+    }
+
+    /// [`CheckpointStore::open_exclusive`] with an explicit
+    /// [`StorageMedium`] (see [`CheckpointStore::open_with_medium`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheckpointStore::open_exclusive`].
+    pub fn open_exclusive_with_medium(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+        owner: impl Into<String>,
+        medium: Arc<dyn StorageMedium>,
+    ) -> Result<Self, DetectorError> {
+        let mut store = Self::open_with_medium(dir, keep, medium)?;
         let owner = owner.into();
         // open() just created the directory, so canonicalize only fails on
         // exotic filesystems; the raw path is a safe (if weaker) key.
@@ -426,6 +642,70 @@ impl CheckpointStore {
         self.keep
     }
 
+    /// The medium this store performs its I/O through.
+    pub fn medium(&self) -> &Arc<dyn StorageMedium> {
+        &self.medium
+    }
+
+    /// Replaces the write-path retry policy and jitter seed (builder
+    /// style). Delays stay virtual: deterministic, recorded, never slept.
+    #[must_use]
+    pub fn with_write_backoff(mut self, backoff: BackoffConfig, seed: u64) -> Self {
+        self.backoff = backoff;
+        self.seed = seed;
+        self
+    }
+
+    /// Transient write-path faults absorbed by retries so far, across all
+    /// clones of this store.
+    pub fn write_retries(&self) -> u64 {
+        self.retry_stats.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual backoff (µs) those retries would have waited.
+    pub fn write_backoff_us(&self) -> u64 {
+        self.retry_stats.backoff_us.load(Ordering::Relaxed)
+    }
+
+    /// Runs `attempt_io` with the store's bounded seeded retry policy.
+    /// Retryable faults ([`classify_io`]) are retried up to the backoff
+    /// budget with deterministic *virtual* delays (recorded, not slept);
+    /// non-retryable faults and exhausted budgets surface as
+    /// [`DetectorError::StorageFault`].
+    fn retried<T>(
+        &self,
+        op: &'static str,
+        path: &Path,
+        mut attempt_io: impl FnMut() -> io::Result<T>,
+    ) -> Result<T, DetectorError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match attempt_io() {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    let (kind, retryable) = classify_io(op, &e);
+                    if retryable {
+                        if let Some(delay_us) = backoff_delay(&self.backoff, self.seed, attempt) {
+                            self.retry_stats.retries.fetch_add(1, Ordering::Relaxed);
+                            self.retry_stats
+                                .backoff_us
+                                .fetch_add(delay_us, Ordering::Relaxed);
+                            attempt += 1;
+                            continue;
+                        }
+                    }
+                    return Err(DetectorError::StorageFault {
+                        kind,
+                        retryable,
+                        op,
+                        path: path.to_path_buf(),
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
     fn validate_name(name: &str) -> Result<(), DetectorError> {
         let ok = !name.is_empty()
             && name.len() <= 128
@@ -451,17 +731,15 @@ impl CheckpointStore {
     ///
     /// # Errors
     ///
-    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and any
-    /// I/O error from listing the directory.
+    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and a
+    /// typed [`DetectorError::StorageFault`] when the directory cannot be
+    /// listed (after bounded retries).
     pub fn generations(&self, name: &str) -> Result<Vec<u64>, DetectorError> {
         Self::validate_name(name)?;
         let prefix = format!("{name}.g");
+        let names = self.retried("list-dir", &self.dir, || self.medium.list_dir(&self.dir))?;
         let mut generations = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let file_name = entry?.file_name();
-            let Some(file_name) = file_name.to_str() else {
-                continue;
-            };
+        for file_name in names {
             if let Some(rest) = file_name
                 .strip_prefix(&prefix)
                 .and_then(|r| r.strip_suffix(".ckpt"))
@@ -493,41 +771,58 @@ impl CheckpointStore {
     ///
     /// # Errors
     ///
-    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and any
-    /// I/O error from the write path. A failed save never disturbs the
-    /// previously stored generations.
+    /// Returns [`DetectorError::InvalidConfig`] for an invalid name and a
+    /// typed, retryability-tagged [`DetectorError::StorageFault`] when the
+    /// write path fails persistently (each step is retried with the
+    /// store's bounded seeded backoff first). A failed save never disturbs
+    /// the previously stored generations.
     pub fn save(&self, name: &str, payload: &[u8]) -> Result<u64, DetectorError> {
         Self::validate_name(name)?;
         let generation = self.generations(name)?.last().map_or(0, |g| g + 1);
         let tmp = self.dir.join(format!(".{name}.g{generation:08}.tmp"));
         let framed = encode_frame(payload);
-        {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(&framed)?;
-            // Flush file contents before the rename makes them reachable;
-            // a crash between the two leaves only a stale temp file.
-            file.sync_all()?;
+        // Write then flush the temp file before the rename makes it
+        // reachable; a crash (or persistent fault) between the two leaves
+        // only a stale temp file. Each step retries transient faults
+        // independently — re-running `write_file` is idempotent.
+        if let Err(e) = self.retried("write-file", &tmp, || self.medium.write_file(&tmp, &framed)) {
+            let _ = self.medium.remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = self.retried("sync-file", &tmp, || self.medium.sync_file(&tmp)) {
+            let _ = self.medium.remove_file(&tmp);
+            return Err(e);
         }
         let target = self.path_for(name, generation);
-        if let Err(e) = fs::rename(&tmp, &target) {
-            let _ = fs::remove_file(&tmp);
-            return Err(e.into());
+        if let Err(e) = self.retried("rename", &target, || self.medium.rename(&tmp, &target)) {
+            let _ = self.medium.remove_file(&tmp);
+            return Err(e);
         }
         self.sync_dir()?;
         self.prune(name)?;
         Ok(generation)
     }
 
+    /// Writes an unframed advisory sidecar file (e.g. `metrics.prom`) into
+    /// the store directory through the same medium and retry policy as
+    /// checkpoint frames. Sidecars are observability exhaust: no
+    /// generations, no CRC envelope, no directory fsync.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::StorageFault`] on persistent failure.
+    pub fn write_sidecar(&self, file_name: &str, bytes: &[u8]) -> Result<(), DetectorError> {
+        let path = self.dir.join(file_name);
+        self.retried("write-file", &path, || self.medium.write_file(&path, bytes))
+    }
+
     /// Fsyncs the store directory so a just-renamed generation's directory
     /// entry is durable (see the contract on [`CheckpointStore::save`]).
-    /// Windows cannot open directories as sync handles, so there this is a
-    /// no-op and durability relies on the file-content sync alone.
+    /// Windows cannot open directories as sync handles, so there the
+    /// medium makes this a no-op and durability relies on the file-content
+    /// sync alone.
     fn sync_dir(&self) -> Result<(), DetectorError> {
-        #[cfg(unix)]
-        {
-            fs::File::open(&self.dir)?.sync_all()?;
-        }
-        Ok(())
+        self.retried("sync-dir", &self.dir, || self.medium.sync_dir(&self.dir))
     }
 
     fn prune(&self, name: &str) -> Result<(), DetectorError> {
@@ -536,7 +831,7 @@ impl CheckpointStore {
             for &generation in &generations[..generations.len() - self.keep] {
                 // Best-effort: a prune race or permission hiccup must not
                 // fail the save that triggered it.
-                let _ = fs::remove_file(self.path_for(name, generation));
+                let _ = self.medium.remove_file(&self.path_for(name, generation));
             }
         }
         Ok(())
@@ -589,7 +884,11 @@ impl CheckpointStore {
         name: &str,
         generation: u64,
     ) -> Result<Vec<u8>, CorruptCheckpoint> {
-        let bytes = fs::read(self.path_for(name, generation))
+        // No retry loop on the read side: generational rollback *is* the
+        // recovery path for an unreadable generation.
+        let bytes = self
+            .medium
+            .read_file(&self.path_for(name, generation))
             .map_err(|e| CorruptCheckpoint::frame(CorruptKind::Io(e)).locate(name, generation))?;
         decode_frame(&bytes).map_err(|e| e.locate(name, generation))
     }

@@ -484,6 +484,9 @@ struct FleetMetrics {
     checkpoints: Counter,
     checkpoint_errors: Counter,
     restore_rollbacks: Counter,
+    durability_degraded: Gauge,
+    shadow_checkpoints: Counter,
+    durability_heals: Counter,
 }
 
 impl FleetMetrics {
@@ -621,6 +624,18 @@ impl FleetMetrics {
                 "cchunter_restore_rollbacks_total",
                 "Corrupt checkpoint generations rolled over during restores.",
             ),
+            durability_degraded: registry.gauge(
+                "cchunter_durability_degraded",
+                "1 while checkpoints are shadow-only (storage browning out), else 0.",
+            ),
+            shadow_checkpoints: registry.counter(
+                "cchunter_shadow_checkpoints_total",
+                "In-memory shadow checkpoints taken while storage was degraded.",
+            ),
+            durability_heals: registry.counter(
+                "cchunter_durability_heals_total",
+                "Durable-write resumptions (full re-persists) after storage healed.",
+            ),
         }
     }
 }
@@ -642,6 +657,8 @@ struct FleetTotals {
     checkpoints: Counter,
     checkpoint_errors: Counter,
     restore_rollbacks: Counter,
+    shadow_checkpoints: Counter,
+    durability_heals: Counter,
     audit_latency_us: Histogram,
     tick_latency_us: Histogram,
 }
@@ -658,6 +675,8 @@ impl FleetTotals {
             checkpoints: Counter::new(),
             checkpoint_errors: Counter::new(),
             restore_rollbacks: Counter::new(),
+            shadow_checkpoints: Counter::new(),
+            durability_heals: Counter::new(),
             audit_latency_us: Histogram::latency_us(),
             tick_latency_us: Histogram::latency_us(),
         }
@@ -781,6 +800,12 @@ pub struct MetricsSnapshot {
     pub checkpoint_errors: u64,
     /// Corrupt generations rolled over during restores.
     pub restore_rollbacks: u64,
+    /// Whether checkpoints are currently shadow-only (storage degraded).
+    pub durability_degraded: bool,
+    /// In-memory shadow checkpoints taken while storage was degraded.
+    pub shadow_checkpoints: u64,
+    /// Durable-write resumptions (full re-persists) after storage healed.
+    pub durability_heals: u64,
     /// Mean covert-channel confidence across pairs.
     pub mean_confidence: f64,
     /// Ingest-layer totals (shedding, sanitization, saturation) from every
@@ -826,6 +851,19 @@ impl fmt::Display for MetricsSnapshot {
             "  checkpoints {} ({} failed)  restore rollbacks {}  mean confidence {:.3}",
             self.checkpoints, self.checkpoint_errors, self.restore_rollbacks, self.mean_confidence
         )?;
+        if self.durability_degraded || self.shadow_checkpoints > 0 {
+            writeln!(
+                f,
+                "  durability: {}  shadow checkpoints {}  heals {}",
+                if self.durability_degraded {
+                    "DEGRADED (shadow-only)"
+                } else {
+                    "durable"
+                },
+                self.shadow_checkpoints,
+                self.durability_heals
+            )?;
+        }
         if !self.ingest.is_empty() {
             writeln!(
                 f,
@@ -844,14 +882,63 @@ impl fmt::Display for MetricsSnapshot {
     }
 }
 
+/// Whether the fleet's checkpoints are currently landing on stable
+/// storage.
+///
+/// Under a persistent storage fault (a disk brownout) the supervisor does
+/// not wedge and does not silently no-op: it keeps checkpointing *in
+/// memory* (shadow checkpoints), reports `Degraded` here and in metrics,
+/// and resumes durable writes — with a full re-persist of every pair plus
+/// the manifest — the first time the medium heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Checkpoints are landing on stable storage.
+    Durable,
+    /// Checkpoints are shadow-only (in memory) until the medium heals.
+    Degraded {
+        /// The tick at which durable writes started failing.
+        since_tick: u64,
+    },
+}
+
+impl Durability {
+    /// Whether durable writes are currently suspended.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Durability::Degraded { .. })
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Durability::Durable => f.write_str("durable"),
+            Durability::Degraded { since_tick } => {
+                write!(f, "degraded (since tick {since_tick})")
+            }
+        }
+    }
+}
+
+/// The in-memory stand-in for a durable checkpoint, taken while the
+/// storage medium is browning out. Holds exactly the entries a durable
+/// checkpoint would have written (every pair's window plus the manifest),
+/// so the most recent fleet state survives as long as the process does.
+#[derive(Debug, Clone)]
+struct ShadowCheckpoint {
+    tick: u64,
+    entries: Vec<(String, Vec<u8>)>,
+}
+
 /// Everything a monitoring page needs about one fleet: the tick counter,
-/// every pair's standing, and the numeric digest.
+/// every pair's standing, the durability mode, and the numeric digest.
 #[derive(Debug, Clone)]
 pub struct FleetStatus {
     /// Ticks completed.
     pub tick: u64,
     /// Per-pair standing, in pair order.
     pub pairs: Vec<PairStatus>,
+    /// Whether checkpoints are landing durably or shadow-only.
+    pub durability: Durability,
     /// The numeric digest.
     pub metrics: MetricsSnapshot,
 }
@@ -881,6 +968,8 @@ pub struct Supervisor {
     totals: FleetTotals,
     tracer: Tracer,
     ingest_stats: Vec<IngestStats>,
+    durability: Durability,
+    shadow: Option<ShadowCheckpoint>,
 }
 
 impl Supervisor {
@@ -912,6 +1001,8 @@ impl Supervisor {
             totals: FleetTotals::new(),
             tracer: span::global().clone(),
             ingest_stats: Vec::new(),
+            durability: Durability::Durable,
+            shadow: None,
         })
     }
 
@@ -1251,24 +1342,20 @@ impl Supervisor {
 
         self.tick = tick + 1;
 
-        // Phase 4: automatic checkpoint, if due.
+        // Phase 4: automatic checkpoint, if due. Every due tick attempts a
+        // full durable checkpoint — while degraded that doubles as the
+        // heal probe (success *is* the full re-persist) — and a storage
+        // fault degrades durability to in-memory shadows instead of
+        // wedging or silently no-opping.
         let mut checkpoint_generation = None;
         let mut checkpoint_error = None;
         if self.store.is_some()
             && self.config.checkpoint_every > 0
             && self.tick.is_multiple_of(self.config.checkpoint_every)
         {
-            match self.checkpoint() {
-                Ok(generation) => checkpoint_generation = Some(generation),
-                Err(e) => {
-                    self.metrics.checkpoint_errors.inc();
-                    self.totals.checkpoint_errors.inc();
-                    if self.tracer.is_enabled() {
-                        self.tracer.event("supervisor", "checkpoint-error", &e);
-                    }
-                    checkpoint_error = Some(e.to_string());
-                }
-            }
+            let (generation, error) = self.checkpoint_or_degrade();
+            checkpoint_generation = generation;
+            checkpoint_error = error;
         }
 
         let tick_elapsed_us = tick_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -1726,13 +1813,41 @@ impl Supervisor {
         let store = self.store.as_ref().ok_or(DetectorError::InvalidConfig {
             reason: "no checkpoint store attached".to_string(),
         })?;
+        let entries = self.build_checkpoint_entries()?;
+        let mut generation = 0;
+        for (name, payload) in &entries {
+            // The manifest is last in the entry list, so the returned
+            // generation is the manifest's.
+            generation = store.save(name, payload)?;
+        }
+        // Drop a Prometheus-text metrics dump next to the checkpoint so the
+        // fleet's last known state is scrapeable post-mortem.
+        store.write_sidecar("metrics.prom", self.registry.render_prometheus().as_bytes())?;
+        self.metrics.checkpoints.inc();
+        self.totals.checkpoints.inc();
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "supervisor",
+                "checkpoint",
+                format_args!("generation {generation} at tick {}", self.tick),
+            );
+        }
+        Ok(generation)
+    }
+
+    /// Serializes everything one durable checkpoint writes — every pair's
+    /// window, then the manifest (always last) — without touching storage.
+    /// The shared substrate of [`Supervisor::checkpoint`] and the shadow
+    /// checkpoints of durability-degraded mode.
+    fn build_checkpoint_entries(&self) -> Result<Vec<(String, Vec<u8>)>, DetectorError> {
+        let mut entries = Vec::with_capacity(self.pairs.len() + 1);
         for (idx, pair) in self.pairs.iter().enumerate() {
             let mut payload = Vec::new();
             match &pair.detector {
                 PairDetector::Contention(d) => d.checkpoint(&mut payload)?,
                 PairDetector::Oscillation(d) => d.checkpoint(&mut payload)?,
             }
-            store.save(&pair_entry_name(idx), &payload)?;
+            entries.push((pair_entry_name(idx), payload));
         }
         let mut manifest = String::new();
         manifest.push_str(MANIFEST_MAGIC);
@@ -1760,23 +1875,109 @@ impl Supervisor {
             }
         }
         manifest.push_str("end\n");
-        let generation = store.save(MANIFEST_NAME, manifest.as_bytes())?;
-        // Drop a Prometheus-text metrics dump next to the checkpoint so the
-        // fleet's last known state is scrapeable post-mortem.
-        std::fs::write(
-            store.dir().join("metrics.prom"),
-            self.registry.render_prometheus(),
-        )?;
-        self.metrics.checkpoints.inc();
-        self.totals.checkpoints.inc();
-        if self.tracer.is_enabled() {
-            self.tracer.event(
-                "supervisor",
-                "checkpoint",
-                format_args!("generation {generation} at tick {}", self.tick),
-            );
+        entries.push((MANIFEST_NAME.to_string(), manifest.into_bytes()));
+        Ok(entries)
+    }
+
+    /// The Phase-4 checkpoint attempt with durability-degraded fallback:
+    /// on success (re-)enters [`Durability::Durable`] (a success while
+    /// degraded *is* the full re-persist — every pair plus the manifest
+    /// was just rewritten); on a storage fault enters or stays in
+    /// [`Durability::Degraded`] and takes an in-memory shadow checkpoint
+    /// so the freshest fleet state still survives as long as the process
+    /// does. Non-storage errors (serialization bugs) only count as
+    /// checkpoint errors — they say nothing about the medium.
+    fn checkpoint_or_degrade(&mut self) -> (Option<u64>, Option<String>) {
+        match self.checkpoint() {
+            Ok(generation) => {
+                if let Durability::Degraded { since_tick } = self.durability {
+                    self.durability = Durability::Durable;
+                    self.shadow = None;
+                    self.metrics.durability_degraded.set(0.0);
+                    self.metrics.durability_heals.inc();
+                    self.totals.durability_heals.inc();
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "supervisor",
+                            "durability-healed",
+                            format_args!(
+                                "full re-persist at tick {} (degraded since tick {since_tick})",
+                                self.tick
+                            ),
+                        );
+                    }
+                }
+                (Some(generation), None)
+            }
+            Err(e) => {
+                self.metrics.checkpoint_errors.inc();
+                self.totals.checkpoint_errors.inc();
+                if self.tracer.is_enabled() {
+                    self.tracer.event("supervisor", "checkpoint-error", &e);
+                }
+                if matches!(e, DetectorError::StorageFault { .. }) {
+                    if !self.durability.is_degraded() {
+                        self.durability = Durability::Degraded {
+                            since_tick: self.tick,
+                        };
+                        self.metrics.durability_degraded.set(1.0);
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "supervisor",
+                                "durability-degraded",
+                                format_args!("checkpoints shadow-only from tick {}", self.tick),
+                            );
+                        }
+                    }
+                    // The failed durable attempt may have persisted a prefix
+                    // of the pairs; the shadow holds the complete set.
+                    if let Ok(entries) = self.build_checkpoint_entries() {
+                        self.shadow = Some(ShadowCheckpoint {
+                            tick: self.tick,
+                            entries,
+                        });
+                        self.metrics.shadow_checkpoints.inc();
+                        self.totals.shadow_checkpoints.inc();
+                    }
+                }
+                (None, Some(e.to_string()))
+            }
         }
-        Ok(generation)
+    }
+
+    /// Whether checkpoints are currently landing durably or shadow-only.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// The tick of the freshest in-memory shadow checkpoint, when storage
+    /// is (or recently was) degraded.
+    pub fn shadow_checkpoint_tick(&self) -> Option<u64> {
+        self.shadow.as_ref().map(|s| s.tick)
+    }
+
+    /// The freshest shadow checkpoint's entries — exactly what a durable
+    /// checkpoint would have written (`pair-NNNN` payloads then the
+    /// manifest) — so an operator can spool fleet state to a healthy
+    /// medium while the primary one browns out.
+    pub fn shadow_checkpoint_entries(&self) -> Option<&[(String, Vec<u8>)]> {
+        self.shadow.as_ref().map(|s| s.entries.as_slice())
+    }
+
+    /// Removes `pair` from this fleet and returns its portable snapshot
+    /// (the drain/rebalance primitive: export, then excise). The removal
+    /// is `swap_remove` — the *last* pair takes the removed pair's index,
+    /// and the caller owns fixing any external index maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidConfig`] for an out-of-range index
+    /// and propagates window-serialization errors (in which case the pair
+    /// is *not* removed).
+    pub fn remove_pair(&mut self, pair: usize) -> Result<PairSnapshot, DetectorError> {
+        let snapshot = self.export_pair(pair)?;
+        self.pairs.swap_remove(pair);
+        Ok(snapshot)
     }
 
     /// Exports one pair's portable state (see [`PairSnapshot`]) for
@@ -2040,6 +2241,9 @@ impl Supervisor {
             checkpoints: self.totals.checkpoints.get(),
             checkpoint_errors: self.totals.checkpoint_errors.get(),
             restore_rollbacks: self.totals.restore_rollbacks.get(),
+            durability_degraded: self.durability.is_degraded(),
+            shadow_checkpoints: self.totals.shadow_checkpoints.get(),
+            durability_heals: self.totals.durability_heals.get(),
             mean_confidence: if self.pairs.is_empty() {
                 0.0
             } else {
@@ -2073,6 +2277,7 @@ impl Supervisor {
         FleetStatus {
             tick: self.tick,
             pairs: self.pair_statuses(),
+            durability: self.durability,
             metrics: self.metrics_snapshot(),
         }
     }
@@ -3169,6 +3374,84 @@ mod tests {
             vec![(0, containment.level().unwrap())],
             "restored containment re-asserted"
         );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn storage_brownout_degrades_durability_and_heals_with_full_repersist() {
+        use crate::fault::{StorageFaultClass, StorageFaultConfig, StorageFaultInjector};
+
+        let dir = std::env::temp_dir().join(format!(
+            "cchunter-supervisor-durability-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let injector = StorageFaultInjector::new(StorageFaultConfig::none(), 7);
+        let store =
+            CheckpointStore::open_with_medium(&dir, 3, std::sync::Arc::new(injector.clone()))
+                .unwrap();
+        let config = SupervisorConfig {
+            checkpoint_every: 1,
+            ..test_config()
+        };
+        let mut fleet = Supervisor::new(config).unwrap().with_store(store);
+        fleet.add_contention_pair("bus").unwrap();
+        let mut source = |_pair: usize, _tick: u64, _attempt: u32| {
+            Ok::<_, ProbeFault>(PairInput::Harvest(Harvest::Complete(covert_histogram())))
+        };
+
+        // Healthy medium: the due-tick checkpoint lands durably.
+        let report = fleet.tick(&mut source);
+        let first_generation = report.checkpoint_generation.expect("durable checkpoint");
+        assert_eq!(fleet.durability(), Durability::Durable);
+
+        // Brownout: every write fails with ENOSPC. The fleet keeps ticking,
+        // degrades durability, and shadows the freshest state in memory.
+        injector.set_config(StorageFaultConfig::none().with_rate(StorageFaultClass::NoSpace, 1.0));
+        let report = fleet.tick(&mut source);
+        assert!(report.checkpoint_generation.is_none());
+        let error = report.checkpoint_error.expect("typed checkpoint error");
+        assert!(error.contains("no-space"), "{error}");
+        assert_eq!(
+            fleet.durability(),
+            Durability::Degraded { since_tick: 2 },
+            "degraded from the first failing due tick"
+        );
+        assert_eq!(fleet.shadow_checkpoint_tick(), Some(2));
+        let entries = fleet.shadow_checkpoint_entries().expect("shadow present");
+        assert_eq!(
+            entries.last().map(|(name, _)| name.as_str()),
+            Some(MANIFEST_NAME),
+            "shadow holds the full durable entry set, manifest last"
+        );
+        let status = fleet.fleet_status();
+        assert!(status.durability.is_degraded());
+        assert!(status.metrics.durability_degraded);
+        assert_eq!(status.metrics.shadow_checkpoints, 1);
+
+        // Still browning out: the shadow tracks the newest tick.
+        let _ = fleet.tick(&mut source);
+        assert_eq!(fleet.shadow_checkpoint_tick(), Some(3));
+
+        // Heal: the next due tick's success IS the full re-persist.
+        injector.set_config(StorageFaultConfig::none());
+        let report = fleet.tick(&mut source);
+        let healed_generation = report.checkpoint_generation.expect("durable again");
+        assert_eq!(fleet.durability(), Durability::Durable);
+        assert!(fleet.shadow_checkpoint_tick().is_none(), "shadow retired");
+        let metrics = fleet.metrics_snapshot();
+        assert!(!metrics.durability_degraded);
+        assert_eq!(metrics.durability_heals, 1);
+        assert_eq!(metrics.shadow_checkpoints, 2);
+        assert_eq!(metrics.checkpoint_errors, 2);
+
+        // The re-persisted generation restores the whole fleet.
+        drop(fleet);
+        let (restored, _report) =
+            Supervisor::restore(config, CheckpointStore::open(&dir, 3).unwrap()).unwrap();
+        assert_eq!(restored.pair_statuses().len(), 1);
+        assert!(healed_generation > first_generation, "fresh generation");
         cleanup(&dir);
     }
 }

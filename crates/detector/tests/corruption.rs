@@ -23,6 +23,7 @@ use cchunter_detector::trace::{
 use cchunter_detector::{
     CcHunterConfig, DensityHistogram, DetectorError, EventTrain, HISTOGRAM_BINS,
 };
+use cchunter_detector::{StorageFaultClass, StorageFaultConfig, StorageFaultInjector};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -245,6 +246,87 @@ fn corrupted_conflict_traces_never_panic() {
         let label = corrupt(&mut rng, &mut bytes);
         assert_total(label, case, "read_conflicts", &bytes, |b| read_conflicts(b));
     }
+}
+
+/// A writer dying *mid-frame* leaves the newest generation truncated or
+/// bit-flipped at an arbitrary byte offset — header, length field, CRC,
+/// or payload, wherever the crash landed. With an older generation kept,
+/// the store must roll back to the last durable one: never panic, never
+/// serve a half-written frame as current state, never lose the durable
+/// predecessor. One third of the corpus tears the write *through the
+/// storage-fault injector* instead of editing bytes after the fact — the
+/// injected torn write reports success to the caller, which is exactly
+/// the failure the CRC envelope exists to catch.
+#[test]
+fn midwrite_corruption_at_any_offset_rolls_back_to_durable_generation() {
+    let dir = std::env::temp_dir().join(format!(
+        "cchunter-midwrite-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let injector = StorageFaultInjector::new(StorageFaultConfig::none(), 0x70_44);
+    let store =
+        CheckpointStore::open_with_medium(&dir, 3, std::sync::Arc::new(injector.clone())).unwrap();
+    for case in 0..cases() {
+        let mut rng = SmallRng::seed_from_u64(0x41D_F0F5 + case);
+        let name = format!("pair-{case}");
+        let durable = contention_checkpoint_text(&mut rng);
+        let durable_generation = store.save(&name, &durable).unwrap();
+        let newer = contention_checkpoint_text(&mut rng);
+        let (newer_generation, label, offset) = match rng.gen_range(0u32..3) {
+            0 => {
+                // The nastiest path: the medium itself tears the write to
+                // a prefix and still reports success.
+                injector.set_config(
+                    StorageFaultConfig::none().with_rate(StorageFaultClass::TornWrite, 1.0),
+                );
+                let generation = store.save(&name, &newer).unwrap();
+                injector.set_config(StorageFaultConfig::none());
+                (generation, "injector-torn", 0usize)
+            }
+            kind => {
+                let generation = store.save(&name, &newer).unwrap();
+                let path = store.dir().join(format!("{name}.g{generation:08}.ckpt"));
+                let mut bytes = std::fs::read(&path).unwrap();
+                let offset = rng.gen_range(0..bytes.len());
+                let label = if kind == 1 {
+                    bytes.truncate(offset);
+                    "torn-at-offset"
+                } else {
+                    let bit = rng.gen_range(0u32..8);
+                    bytes[offset] ^= 1 << bit;
+                    "flipped-at-offset"
+                };
+                std::fs::write(&path, &bytes).unwrap();
+                (generation, label, offset)
+            }
+        };
+        assert!(newer_generation > durable_generation);
+        let loaded = catch_unwind(AssertUnwindSafe(|| store.load_latest(&name)))
+            .unwrap_or_else(|_| {
+                panic!("case {case}: store panicked on {label} frame (byte {offset})")
+            })
+            .unwrap_or_else(|e| {
+                panic!("case {case}: {label} at byte {offset} was fatal, not rolled back: {e}")
+            })
+            .unwrap_or_else(|| {
+                panic!("case {case}: {label} at byte {offset} lost the durable generation")
+            });
+        assert_eq!(
+            loaded.generation, durable_generation,
+            "case {case}: {label} at byte {offset} must roll back to the durable generation"
+        );
+        assert_eq!(
+            loaded.rolled_back, 1,
+            "case {case}: the rollback must be surfaced, not silent"
+        );
+        assert_eq!(
+            loaded.payload, durable,
+            "case {case}: the durable payload must survive byte-exact"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

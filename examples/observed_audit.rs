@@ -1,10 +1,11 @@
 //! The observability drill: a supervised fleet under injected faults — a
 //! contained analysis panic, a wedged (quarantined) monitor, a crash with a
-//! corrupted newest checkpoint generation — with the full metrics and
-//! tracing surface on display: the fleet's numeric digest, a
-//! Prometheus-format scrape of the shared registry (simulator counters
-//! included), the structured trace timeline, and a measured
-//! instrumentation-overhead figure for the supervisor tick loop.
+//! corrupted newest checkpoint generation, a storage brownout that flips
+//! the fleet to durability-degraded (shadow-only) checkpointing and heals
+//! — with the full metrics and tracing surface on display: the fleet's
+//! numeric digest, a Prometheus-format scrape of the shared registry
+//! (simulator counters included), the structured trace timeline, and a
+//! measured instrumentation-overhead figure for the supervisor tick loop.
 //!
 //! ```sh
 //! cargo run --example observed_audit
@@ -21,9 +22,12 @@ use cc_hunter::detector::store::CheckpointStore;
 use cc_hunter::detector::supervisor::{
     ChaosOp, PairInput, ProbeFault, Supervisor, SupervisorConfig,
 };
-use cc_hunter::detector::{CcHunterConfig, DeltaTPolicy};
+use cc_hunter::detector::{
+    CcHunterConfig, DeltaTPolicy, StorageFaultClass, StorageFaultConfig, StorageFaultInjector,
+};
 use cc_hunter::sim::{Machine, MachineConfig};
 use cc_hunter::{FaultClass, FaultConfig, FaultInjector};
+use std::sync::Arc;
 use std::time::Instant;
 
 const QUANTUM: u64 = 2_500_000;
@@ -291,9 +295,15 @@ fn main() {
         }
         std::fs::write(&path, &bytes).expect("checkpoint writable");
     }
+    // The restored fleet writes through a storage-fault injector so the
+    // drill can brown out the medium mid-run: checkpoints fall back to
+    // in-memory shadows (durability: degraded) and the first successful
+    // write after the heal is a full re-persist.
+    let storage_injector = StorageFaultInjector::new(StorageFaultConfig::none(), 0x0B5E_0003);
     let (mut fleet, restore_report) = Supervisor::restore(
         fleet_config(),
-        CheckpointStore::open(&store_dir, 3).expect("store reopens"),
+        CheckpointStore::open_with_medium(&store_dir, 3, Arc::new(storage_injector.clone()))
+            .expect("store reopens"),
     )
     .expect("restore succeeds");
     println!(
@@ -304,8 +314,24 @@ fn main() {
     println!();
 
     for _ in fleet.tick_count()..TICKS {
+        // Brown out stable storage across quantum 15's checkpoint and heal
+        // before quantum 20's: the digest below must show the round trip.
+        if fleet.tick_count() == 14 {
+            println!("*** storage brownout (ENOSPC on every write) before quantum 15 ***");
+            storage_injector
+                .set_config(StorageFaultConfig::none().with_rate(StorageFaultClass::NoSpace, 1.0));
+        }
+        if fleet.tick_count() == 17 {
+            println!("*** storage healed before quantum 20 ***");
+            storage_injector.set_config(StorageFaultConfig::none());
+        }
         fleet.tick(&mut probe);
+        if fleet.tick_count() == 16 {
+            println!("durability after quantum 15: {}", fleet.durability());
+        }
     }
+    println!("durability at end of run:   {}", fleet.durability());
+    println!();
 
     // --- The fleet digest a monitoring page would poll. ---
     let status = fleet.fleet_status();
@@ -350,6 +376,15 @@ fn main() {
     assert!(snap.panics >= 1, "chaos panic contained");
     assert!(snap.checkpoints > 0, "periodic checkpoints ran");
     assert!(
+        snap.shadow_checkpoints > 0,
+        "brownout forced shadow checkpoints"
+    );
+    assert!(
+        snap.durability_heals >= 1,
+        "healed medium triggered a re-persist"
+    );
+    assert!(!snap.durability_degraded, "durable again at end of run");
+    assert!(
         snap.audit_latency.count > 0,
         "audit latency histogram populated"
     );
@@ -359,6 +394,8 @@ fn main() {
     for needle in [
         "cchunter_pair_quarantine_skips_total",
         "cchunter_restore_rollbacks_total",
+        "cchunter_durability_degraded",
+        "cchunter_shadow_checkpoints_total",
         "cchunter_audit_latency_us_count",
         "cchunter_sim_quanta_total",
     ] {

@@ -1,0 +1,416 @@
+//! Gray-failure chaos soak: the storage plane browns out and heals, one
+//! shard turns slow-but-alive, and a killed shard is revived — all while
+//! a planted covert channel keeps transmitting.
+//!
+//! The harness asserts the gray-failure contract end to end:
+//!
+//! - An ENOSPC brownout (injected through the [`StorageFaultInjector`]
+//!   every shard store writes through) flips the fleet to
+//!   durability-degraded operation — detection continues, checkpoints go
+//!   to in-memory shadows — and healing the medium resumes durable
+//!   writes with a full re-persist.
+//! - A shard stalled past the latency SLO is *suspected* (not killed):
+//!   its pairs drain proactively onto healthy shards, and once its
+//!   latency recovers the suspicion clears and the pairs walk back.
+//! - A killed-and-revived shard gets its rendezvous-home pairs back,
+//!   at most `rebalance_per_tick` per tick.
+//! - Throughout: the planted covert pair stays convicted, no quiet pair
+//!   ever flips covert, no pair is lost, and the placement/accounting
+//!   books balance on every sampled tick.
+//!
+//! A machine-readable summary lands in `soak_grayfail.json` for CI
+//! artifact upload.
+//!
+//! ```sh
+//! cargo run --release --example soak_grayfail            # full soak
+//! CCHUNTER_GRAYFAIL_QUICK=1 cargo run --example soak_grayfail   # CI smoke
+//! ```
+
+use cc_hunter::detector::supervisor::{PairInput, ProbeFault, SupervisorConfig};
+use cc_hunter::detector::{
+    shard_count_from_env, DensityHistogram, Harvest, LatencySloConfig, ShardHealth, ShardedFleet,
+    ShardedFleetConfig, StorageFaultClass, StorageFaultConfig, StorageFaultInjector,
+    SuspicionConfig, HISTOGRAM_BINS,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pairs that feed real harvests every tick; the rest are the quiet long
+/// tail of co-scheduled pairs whose probes miss.
+const ACTIVE_PAIRS: usize = 48;
+
+/// A covert-looking per-quantum histogram, varied by tick.
+fn covert_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_400 + (tick % 7) * 3;
+    bins[19] = 20;
+    bins[20] = 150 + (tick % 5);
+    bins[21] = 25;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+/// A benign per-quantum histogram.
+fn quiet_histogram(tick: u64) -> DensityHistogram {
+    let mut bins = vec![0u64; HISTOGRAM_BINS];
+    bins[0] = 2_490 + (tick % 9);
+    bins[1] = 5;
+    DensityHistogram::from_bins(bins, 100_000).unwrap()
+}
+
+fn temp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cchunter-soak-grayfail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One soak tick: drives the probe fan-out and returns the tick report.
+fn run_tick(fleet: &mut ShardedFleet, tick: u64) -> cc_hunter::detector::shard::FleetTickReport {
+    let mut probe = |pair: usize, _tick: u64, _attempt: u32| -> Result<PairInput, ProbeFault> {
+        if pair == 0 {
+            return Ok(PairInput::Harvest(Harvest::Complete(covert_histogram(
+                tick,
+            ))));
+        }
+        if pair < ACTIVE_PAIRS {
+            return Ok(PairInput::Harvest(Harvest::Complete(quiet_histogram(
+                tick + pair as u64,
+            ))));
+        }
+        Ok(PairInput::Missed)
+    };
+    fleet.tick(&mut probe)
+}
+
+fn main() {
+    let quick = std::env::var("CCHUNTER_GRAYFAIL_QUICK").is_ok_and(|v| v == "1");
+    let pairs: usize = if quick { 160 } else { 512 };
+    let shards = shard_count_from_env(4);
+    let stall_us: u64 = 100_000;
+
+    // Chaos panics (none are scheduled here, but a contained shard panic
+    // must not spam the console if one ever fires) stay quiet.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos:"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let root = temp_root();
+    let config = ShardedFleetConfig {
+        shards,
+        base: SupervisorConfig {
+            window_quanta: 8,
+            checkpoint_every: 4,
+            ..SupervisorConfig::default()
+        },
+        latency_slo: Some(LatencySloConfig {
+            p99_budget_us: 25_000,
+            window_ticks: 4,
+            suspicion: SuspicionConfig {
+                breach_ticks: 3,
+                clear_ticks: 4,
+            },
+            drain_per_tick: 64,
+        }),
+        rebalance_per_tick: 24,
+        ..ShardedFleetConfig::default()
+    };
+    let rebalance_per_tick = config.rebalance_per_tick;
+    // The injector clone is the live control handle: flipping its config
+    // browns out (and heals) every shard store at once.
+    let injector = StorageFaultInjector::new(StorageFaultConfig::none(), 0x6AF1);
+    let mut fleet =
+        ShardedFleet::with_store_root_and_medium(config, &root, Arc::new(injector.clone()))
+            .expect("valid fleet");
+
+    fleet
+        .add_contention_pair("covert-bus: pid 17 <-> pid 23")
+        .expect("covert pair");
+    for i in 1..pairs {
+        fleet
+            .add_contention_pair(format!(
+                "pair-{i:05}: pid {} <-> pid {}",
+                100 + i,
+                20_000 + i
+            ))
+            .expect("benign pair");
+    }
+
+    let started = Instant::now();
+    let mut tick: u64 = 0;
+    let mut benign_flips = 0u64;
+    let mut degraded_ticks = 0u64;
+    let mut suspected_events = 0usize;
+    let mut cleared_events = 0usize;
+    let mut drained_total = 0usize;
+    let mut rebalanced_total = 0usize;
+    let mut watchdog_deaths = 0usize;
+
+    // Shared per-tick bookkeeping, with the benign-flip audit sampled.
+    macro_rules! soak_tick {
+        () => {{
+            let report = run_tick(&mut fleet, tick);
+            tick += 1;
+            suspected_events += report.suspected.len();
+            cleared_events += report.cleared.len();
+            drained_total += report.drained;
+            rebalanced_total += report.rebalanced;
+            watchdog_deaths += report.deaths.len();
+            assert!(
+                report.rebalanced <= rebalance_per_tick,
+                "churn budget violated: {report:?}"
+            );
+            if fleet.metrics_snapshot().durability_degraded {
+                degraded_ticks += 1;
+            }
+            if tick.is_multiple_of(5) {
+                let statuses = fleet.pair_statuses();
+                assert_eq!(statuses.len(), pairs, "every pair accounted for");
+                if statuses[1..].iter().any(|s| s.verdict.is_covert()) {
+                    benign_flips += 1;
+                }
+                fleet.verify_accounting().expect("books balance");
+            }
+            report
+        }};
+    }
+
+    // Phase 1: warmup — the covert pair convicts under healthy storage.
+    for _ in 0..24 {
+        soak_tick!();
+    }
+    assert!(
+        fleet.pair_statuses()[0].verdict.is_covert(),
+        "covert pair convicted in warmup"
+    );
+    let checkpoints_before_brownout = fleet.metrics_snapshot().checkpoints;
+    assert!(
+        checkpoints_before_brownout > 0,
+        "healthy checkpoints landed"
+    );
+    println!("phase 1: warmup done — covert pair convicted, {checkpoints_before_brownout} checkpoints durable");
+
+    // Phase 2: ENOSPC brownout. Every durable write fails; the fleet must
+    // keep detecting and fall back to shadow checkpoints.
+    injector.set_config(StorageFaultConfig::none().with_rate(StorageFaultClass::NoSpace, 1.0));
+    for _ in 0..12 {
+        soak_tick!();
+    }
+    let snap = fleet.metrics_snapshot();
+    assert!(
+        snap.durability_degraded,
+        "brownout must surface as degraded durability"
+    );
+    assert!(snap.shadow_checkpoints > 0, "shadow checkpoints were taken");
+    assert!(snap.checkpoint_errors > 0, "the failures were counted");
+    assert!(
+        fleet.pair_statuses()[0].verdict.is_covert(),
+        "detection continues through the brownout"
+    );
+    println!(
+        "phase 2: brownout — durability degraded, {} shadow checkpoints, {} checkpoint errors",
+        snap.shadow_checkpoints, snap.checkpoint_errors
+    );
+
+    // Phase 3: heal. Durable writes resume with a full re-persist.
+    injector.set_config(StorageFaultConfig::none());
+    for _ in 0..12 {
+        soak_tick!();
+    }
+    let snap = fleet.metrics_snapshot();
+    assert!(
+        !snap.durability_degraded,
+        "healed medium restores durability"
+    );
+    assert!(snap.durability_heals >= 1, "the heal was a full re-persist");
+    assert!(
+        snap.checkpoints > checkpoints_before_brownout,
+        "durable checkpoints resumed after the heal"
+    );
+    println!(
+        "phase 3: healed — {} durability heals, checkpoints {} -> {}",
+        snap.durability_heals, checkpoints_before_brownout, snap.checkpoints
+    );
+
+    // Phase 4: a gray-slow shard. The covert pair's home stalls past the
+    // latency SLO every tick until it is suspected and drained — it must
+    // never be declared dead for being slow.
+    let victim = fleet.shard_of(0).expect("covert pair hosted");
+    let victim_home_pairs: Vec<usize> = fleet
+        .pair_statuses()
+        .iter()
+        .enumerate()
+        .filter_map(|(p, s)| (s.shard == Some(victim)).then_some(p))
+        .collect();
+    let mut suspect_seen = false;
+    for _ in 0..20 {
+        fleet.stall_shard(victim, stall_us).expect("stall armed");
+        let report = soak_tick!();
+        if report.suspected.contains(&victim) {
+            suspect_seen = true;
+            break;
+        }
+    }
+    assert!(suspect_seen, "sustained SLO breach raises suspicion");
+    assert_eq!(
+        fleet.shard_health(victim),
+        Some(ShardHealth::Live),
+        "a slow shard is suspected, not buried"
+    );
+    for _ in 0..8 {
+        if fleet.shard_statuses()[victim].pairs == 0 {
+            break;
+        }
+        fleet.stall_shard(victim, stall_us).expect("stall armed");
+        soak_tick!();
+    }
+    assert_eq!(
+        fleet.shard_statuses()[victim].pairs,
+        0,
+        "the suspected shard drains fully"
+    );
+    println!(
+        "phase 4: shard {victim} suspected and drained ({} pairs moved off)",
+        victim_home_pairs.len()
+    );
+
+    // Phase 5: the stall is gone; suspicion clears and the drained pairs
+    // rebalance back onto their rendezvous home within the churn budget.
+    let mut cleared_seen = false;
+    for _ in 0..80 {
+        let report = soak_tick!();
+        if report.cleared.contains(&victim) {
+            cleared_seen = true;
+            break;
+        }
+    }
+    assert!(cleared_seen, "recovered latency clears the suspicion");
+    let returned = |fleet: &ShardedFleet, home_pairs: &[usize], home: usize| {
+        home_pairs
+            .iter()
+            .filter(|&&p| fleet.shard_of(p) == Some(home))
+            .count()
+    };
+    for _ in 0..60 {
+        if returned(&fleet, &victim_home_pairs, victim) == victim_home_pairs.len() {
+            break;
+        }
+        soak_tick!();
+    }
+    let back = returned(&fleet, &victim_home_pairs, victim);
+    assert!(
+        back * 10 >= victim_home_pairs.len() * 9,
+        "at least 90% of the drained pairs must be home again: {back}/{}",
+        victim_home_pairs.len()
+    );
+    println!(
+        "phase 5: suspicion cleared, {back}/{} pairs rebalanced home",
+        victim_home_pairs.len()
+    );
+
+    // Phase 6: hard kill and revive. The revived shard starts empty and
+    // gets its rendezvous-home pairs back, bounded per tick.
+    fleet.checkpoint().expect("pre-kill checkpoint");
+    let homes: Vec<usize> = (0..pairs)
+        .map(|p| fleet.shard_of(p).expect("hosted"))
+        .collect();
+    let killed = fleet.shard_of(0).expect("covert pair hosted");
+    let killed_home_pairs: Vec<usize> = homes
+        .iter()
+        .enumerate()
+        .filter_map(|(p, &h)| (h == killed).then_some(p))
+        .collect();
+    let report = fleet.kill_shard(killed).expect("shard killed");
+    assert_eq!(report.orphaned, 0, "survivors adopt everything");
+    soak_tick!();
+    fleet.revive_shard(killed).expect("shard revived");
+    for _ in 0..60 {
+        if returned(&fleet, &killed_home_pairs, killed) == killed_home_pairs.len() {
+            break;
+        }
+        soak_tick!();
+    }
+    let back = returned(&fleet, &killed_home_pairs, killed);
+    assert!(
+        back * 10 >= killed_home_pairs.len() * 9,
+        "at least 90% of the revived shard's home pairs must return: {back}/{}",
+        killed_home_pairs.len()
+    );
+    // Settle and verify the final placement is the rendezvous placement.
+    for _ in 0..8 {
+        soak_tick!();
+    }
+    for (p, &home) in homes.iter().enumerate() {
+        assert_eq!(
+            fleet.shard_of(p),
+            Some(home),
+            "pair {p} must end at its rendezvous home"
+        );
+    }
+    println!(
+        "phase 6: shard {killed} killed and revived, {back}/{} home pairs rebalanced back",
+        killed_home_pairs.len()
+    );
+    let elapsed = started.elapsed();
+
+    // The gray-failure contract, asserted every run.
+    let statuses = fleet.pair_statuses();
+    let snap = fleet.metrics_snapshot();
+    fleet.verify_accounting().expect("final books balance");
+    assert_eq!(watchdog_deaths, 0, "no shard died for being slow");
+    assert_eq!(
+        fleet.live_shard_ids().len(),
+        shards,
+        "every shard live at end"
+    );
+    assert!(suspected_events >= 1 && cleared_events >= 1);
+    assert!(drained_total > 0 && rebalanced_total > 0);
+    assert_eq!(
+        statuses.iter().filter(|s| s.shard.is_none()).count(),
+        0,
+        "no pair left orphaned"
+    );
+    assert!(
+        statuses[0].verdict.is_covert(),
+        "planted covert pair convicted at end-of-run: {:?}",
+        statuses[0]
+    );
+    assert_eq!(benign_flips, 0, "no quiet pair ever flips covert");
+    assert!(!snap.durability_degraded, "durable at end-of-run");
+
+    println!();
+    println!("soak: {tick} ticks x {pairs} pairs x {shards} shards in {elapsed:.2?}");
+    println!(
+        "gray failures: {degraded_ticks} degraded ticks, {} shadow checkpoints, {} heals, \
+         {suspected_events} suspicions, {cleared_events} clears, \
+         {drained_total} drained, {rebalanced_total} rebalanced",
+        snap.shadow_checkpoints, snap.durability_heals
+    );
+
+    let json = format!(
+        "{{\n  \"ticks\": {tick},\n  \"pairs\": {pairs},\n  \"shards\": {shards},\n  \
+         \"quick\": {quick},\n  \"elapsed_ms\": {},\n  \"degraded_ticks\": {degraded_ticks},\n  \
+         \"shadow_checkpoints\": {},\n  \"durability_heals\": {},\n  \
+         \"checkpoint_errors\": {},\n  \"suspected_events\": {suspected_events},\n  \
+         \"cleared_events\": {cleared_events},\n  \"drained_pairs\": {drained_total},\n  \
+         \"rebalanced_pairs\": {rebalanced_total},\n  \"watchdog_deaths\": {watchdog_deaths},\n  \
+         \"home_return_fraction\": {:.3},\n  \"benign_covert_flips\": {benign_flips},\n  \
+         \"covert_verdict\": \"{}\"\n}}\n",
+        elapsed.as_millis(),
+        snap.shadow_checkpoints,
+        snap.durability_heals,
+        snap.checkpoint_errors,
+        back as f64 / killed_home_pairs.len().max(1) as f64,
+        statuses[0].verdict,
+    );
+    std::fs::write("soak_grayfail.json", &json).expect("summary written");
+    println!("summary written to soak_grayfail.json");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
